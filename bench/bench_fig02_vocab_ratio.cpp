@@ -1,0 +1,52 @@
+// Reproduces Figure 2 (compute / parameter-memory ratio of the vocabulary
+// layers relative to one transformer layer for Gemma2-9B, as the vocabulary
+// grows) and prints Appendix A's Table 4 cost formulas evaluated for the
+// paper's models. This is the motivation plot: at Gemma2's 256k vocabulary
+// the output layer alone is ~5 transformer layers of compute and memory.
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "cost/cost_model.h"
+#include "cost/model_config.h"
+
+using namespace vocab;
+
+int main() {
+  std::printf("=== Figure 2: vocabulary/transformer layer ratios (Gemma2-9B) ===\n\n");
+
+  Table fig2({"VOCAB", "output/xfmr compute", "output/xfmr params", "input/xfmr params"});
+  for (const std::int64_t v :
+       {std::int64_t{32000}, std::int64_t{64000}, std::int64_t{128000}, std::int64_t{256000}}) {
+    const CostModel cm(preset_gemma2_9b(v), HardwareModel{});
+    const double xfmr_flops = cm.transformer_total_flops();
+    const double xfmr_params = cm.transformer_layer_param_bytes();
+    fig2.add_row({fmt_count(v), fmt_f(cm.output_layer_total_flops() / xfmr_flops, 2) + "x",
+                  fmt_f(cm.vocab_layer_param_bytes() / xfmr_params, 2) + "x",
+                  fmt_f(cm.vocab_layer_param_bytes() / xfmr_params, 2) + "x"});
+  }
+  std::printf("%s\n", fig2.to_string().c_str());
+
+  std::printf("=== Table 4: per-layer cost formulas (per microbatch) ===\n");
+  std::printf("  transformer: bsh(72h+12s) FLOPs, 24h^2 bytes (fp16 params)\n");
+  std::printf("  input:       3bsh FLOPs,         2hV bytes\n");
+  std::printf("  output:      6bshV FLOPs,        2hV bytes\n\n");
+  Table t4({"MODEL", "xfmr FLOPs", "input FLOPs", "output FLOPs", "xfmr params", "vocab params"});
+  for (const auto& [name, cfg] :
+       {std::pair<const char*, ModelConfig>{"4B (8GPU)", preset_1f1b(8, 2048, 262144)},
+        {"10B (16GPU)", preset_1f1b(16, 2048, 262144)},
+        {"21B (32GPU)", preset_1f1b(32, 2048, 262144)},
+        {"gemma2-9b", preset_gemma2_9b()}}) {
+    const CostModel cm(cfg, HardwareModel{});
+    t4.add_row({name, fmt_f(cm.transformer_total_flops() / 1e12, 2) + " T",
+                fmt_f(cm.input_layer_total_flops() / 1e9, 2) + " G",
+                fmt_f(cm.output_layer_total_flops() / 1e12, 2) + " T",
+                fmt_count(cfg.transformer_layer_params()),
+                fmt_count(cfg.vocab_layer_params())});
+  }
+  std::printf("%s", t4.to_string().c_str());
+
+  std::printf("\nExpected shape (paper): at 256k vocabulary the output layer costs ~5\n");
+  std::printf("transformer layers of compute and parameters for Gemma2-9B.\n");
+  return 0;
+}

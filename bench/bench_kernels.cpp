@@ -1,0 +1,106 @@
+// google-benchmark microbenchmarks of the numeric kernels underlying the
+// vocabulary-parallel passes: matmuls, softmax variants (safe / streaming /
+// partitioned), and the full per-shard output-layer algorithms.
+
+#include <benchmark/benchmark.h>
+
+#include <functional>
+#include <thread>
+
+#include "comm/device_group.h"
+#include "common/rng.h"
+#include "core/online_softmax.h"
+#include "core/output_layer_shard.h"
+#include "core/reference_output_layer.h"
+#include "core/vocab_shard.h"
+#include "tensor/tensor_ops.h"
+
+namespace vocab {
+namespace {
+
+void BM_MatmulNT(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(1);
+  const Tensor a = Tensor::randn({n, n}, rng);
+  const Tensor b = Tensor::randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul_nt(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatmulNT)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_SafeSoftmax(benchmark::State& state) {
+  Rng rng(2);
+  const Tensor x = Tensor::randn({64, state.range(0)}, rng, 4.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(softmax_rows(x));
+  }
+}
+BENCHMARK(BM_SafeSoftmax)->Arg(1024)->Arg(8192)->Arg(32768);
+
+void BM_StreamingSoftmax(benchmark::State& state) {
+  Rng rng(3);
+  const Tensor x = Tensor::randn({64, 32768}, rng, 4.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(streaming_softmax_rows(x, state.range(0)));
+  }
+}
+BENCHMARK(BM_StreamingSoftmax)->Arg(1024)->Arg(4096)->Arg(32768);
+
+void BM_ReferenceOutputLayer(benchmark::State& state) {
+  const std::int64_t v = state.range(0);
+  Rng rng(4);
+  const Tensor x = Tensor::randn({32, 128}, rng);
+  const Tensor w = Tensor::randn({v, 128}, rng, 0.2f);
+  std::vector<std::int64_t> targets(32);
+  for (auto& t : targets) t = static_cast<std::int64_t>(rng.uniform_int(static_cast<std::uint64_t>(v)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reference_output_layer(x, w, targets, 1.0f / 32));
+  }
+}
+BENCHMARK(BM_ReferenceOutputLayer)->Arg(4096)->Arg(16384);
+
+void bench_partitioned(benchmark::State& state, OutputAlgo algo) {
+  const int p = static_cast<int>(state.range(0));
+  const std::int64_t v = 16384, h = 128, n = 32;
+  Rng rng(5);
+  const Tensor x = Tensor::randn({n, h}, rng);
+  const Tensor w = Tensor::randn({v, h}, rng, 0.2f);
+  std::vector<std::int64_t> targets(static_cast<std::size_t>(n));
+  for (auto& t : targets) t = static_cast<std::int64_t>(rng.uniform_int(static_cast<std::uint64_t>(v)));
+  const auto shards = make_all_shards(v, p);
+  auto shard_w = [&](const VocabShard& s) {
+    Tensor out({s.size, h});
+    for (std::int64_t r = 0; r < s.valid_size(); ++r) {
+      for (std::int64_t c = 0; c < h; ++c) out.at(r, c) = w.at(s.offset + r, c);
+    }
+    return out;
+  };
+  int mb = 0;
+  for (auto _ : state) {
+    DeviceGroup group(p);
+    std::vector<std::thread> threads;
+    for (int r = 0; r < p; ++r) {
+      threads.emplace_back([&, r] {
+        OutputLayerShard layer(algo, shards[static_cast<std::size_t>(r)],
+                               shard_w(shards[static_cast<std::size_t>(r)]));
+        benchmark::DoNotOptimize(layer.run_all(mb, group, x, targets, 1.0f / n));
+      });
+    }
+    for (auto& t : threads) t.join();
+    ++mb;
+  }
+}
+
+void BM_PartitionedNaive(benchmark::State& state) { bench_partitioned(state, OutputAlgo::Naive); }
+void BM_PartitionedAlg1(benchmark::State& state) { bench_partitioned(state, OutputAlgo::Alg1); }
+void BM_PartitionedAlg2(benchmark::State& state) { bench_partitioned(state, OutputAlgo::Alg2); }
+BENCHMARK(BM_PartitionedNaive)->Arg(2)->Arg(4);
+BENCHMARK(BM_PartitionedAlg1)->Arg(2)->Arg(4);
+BENCHMARK(BM_PartitionedAlg2)->Arg(2)->Arg(4);
+
+}  // namespace
+}  // namespace vocab
+
+BENCHMARK_MAIN();

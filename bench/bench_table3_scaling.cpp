@@ -1,0 +1,63 @@
+// Reproduces Table 3: the scaling factor of the partitioned vocabulary
+// layers relative to ideal linear scaling, at V=256k on 8/16/32 GPUs and
+// sequence lengths 2048/4096. The factor is
+//     time(whole layer on 1 device) / (p * time(one shard on p devices)),
+// computed from the kernel-efficiency model: shards are smaller kernels with
+// lower utilization, and the input layer additionally pays fixed per-device
+// work (constructing the [b,s,h] output) that does not shrink with p.
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "core/output_layer_shard.h"
+#include "cost/cost_model.h"
+
+using namespace vocab;
+
+namespace {
+
+double output_factor(const CostModel& cm, OutputAlgo algo, int p) {
+  // "Original throughput" = the whole unpartitioned layer; Algorithm 2's
+  // extra pre-barrier matmul therefore counts against its factor.
+  const double whole = cm.time_output_fwd_full() + cm.time_output_bwd_full();
+  const double shard = cm.time_output_s(algo, p) + cm.time_output_t(algo, p);
+  return whole / (p * shard);
+}
+
+double input_factor(const CostModel& cm, int p) {
+  const double whole = cm.time_input_shard_fwd(1) + cm.time_input_shard_bwd(1);
+  const double shard = cm.time_input_shard_fwd(p) + cm.time_input_shard_bwd(p);
+  return whole / (p * shard);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Table 3: scaling factor of vocabulary layers vs linear (V=256k) ===\n\n");
+  Table t({"SEQ", "LAYER", "8GPU", "16GPU", "32GPU"});
+  for (const std::int64_t seq : {std::int64_t{2048}, std::int64_t{4096}}) {
+    for (const auto& [label, algo] :
+         {std::pair<const char*, OutputAlgo>{"OUTPUT-VOCAB-1", OutputAlgo::Alg1},
+          {"OUTPUT-VOCAB-2", OutputAlgo::Alg2}}) {
+      std::vector<std::string> row{seq == 2048 ? "2048" : "4096", label};
+      for (const int p : {8, 16, 32}) {
+        const CostModel cm(preset_1f1b(p, seq, 262144), HardwareModel{});
+        row.push_back(fmt_f(100.0 * output_factor(cm, algo, p), 2) + "%");
+      }
+      t.add_row(std::move(row));
+    }
+    std::vector<std::string> row{seq == 2048 ? "2048" : "4096", "INPUT"};
+    for (const int p : {8, 16, 32}) {
+      const CostModel cm(preset_1f1b(p, seq, 262144), HardwareModel{});
+      row.push_back(fmt_f(100.0 * input_factor(cm, p), 2) + "%");
+    }
+    t.add_row(std::move(row));
+    t.add_separator();
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf("Expected trends (paper): factors decrease with p; output layers scale far\n");
+  std::printf("better than the input layer (whose per-device output-tensor construction\n");
+  std::printf("is fixed work); Vocab-2 is slightly below Vocab-1 (extra pre-barrier\n");
+  std::printf("matmul); longer sequences scale better.\n");
+  return 0;
+}

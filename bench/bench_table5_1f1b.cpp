@@ -1,0 +1,48 @@
+// Reproduces Table 5 / Figures 11-12: MFU and peak memory of the five
+// methods (Baseline, Redis, Vocab-1, Vocab-2, Interlaced) on the 1F1B
+// schedule, across 8/16/32 GPUs, sequence lengths 2048/4096 and vocabulary
+// sizes 32k-256k.
+//
+// Absolute numbers come from the analytical A100 model (see DESIGN.md); the
+// paper's *shapes* are the claims under test: Baseline MFU collapses as V
+// grows, Redis helps but plateaus, Vocab-1/2 stay flat, Interlaced matches
+// Vocab on one node but loses multi-node and needs ~1.5x activations
+// (OOMing at 21B / seq 4096 / 32 GPUs).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "cost/model_config.h"
+
+using namespace vocab;
+using namespace vocab::bench;
+
+int main() {
+  std::printf("=== Table 5 / Figures 11+12: comparison of methods on 1F1B ===\n");
+  std::printf("(simulated A100 cluster; see EXPERIMENTS.md for paper-vs-measured)\n\n");
+
+  for (const int gpus : {8, 16, 32}) {
+    for (const std::int64_t seq : {std::int64_t{2048}, std::int64_t{4096}}) {
+      Table mfu_table({"METHOD", "32K", "64K", "128K", "256K"});
+      Table mem_table({"METHOD", "32K", "64K", "128K", "256K"});
+      for (const Method method : all_methods()) {
+        std::vector<std::string> mfu_row{to_string(method)};
+        std::vector<std::string> mem_row{to_string(method)};
+        for (const std::int64_t v : paper_vocab_sweep()) {
+          const CostModel cm(preset_1f1b(gpus, seq, v), HardwareModel{});
+          const RunResult r = run_1f1b_method(cm, gpus, method);
+          mfu_row.push_back(mfu_cell(r));
+          mem_row.push_back(mem_cell(r));
+        }
+        mfu_table.add_row(std::move(mfu_row));
+        mem_table.add_row(std::move(mem_row));
+      }
+      std::printf("--- %dGPU, SEQ LENGTH %lld ---\n", gpus, static_cast<long long>(seq));
+      std::printf("MFU (%%):\n%s", mfu_table.to_string().c_str());
+      std::printf("PEAK MEMORY (GB, * = exceeds 80GB HBM):\n%s\n",
+                  mem_table.to_string().c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Reproduces Table 6 / Figures 13-14: Baseline vs Vocab-1 on the V-Half
+// schedule across 16/24/32 GPUs. The headline claims: Baseline MFU collapses
+// with vocabulary size and its per-device memory is wildly imbalanced
+// (device 0 holds both whole vocabulary layers in the V placement, OOMing at
+// 32 GPUs / 256k); Vocab-1 keeps MFU flat and collapses the min-max memory
+// range across devices to a small constant.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "cost/model_config.h"
+
+using namespace vocab;
+using namespace vocab::bench;
+
+int main() {
+  std::printf("=== Table 6 / Figures 13+14: comparison of methods on V-Half ===\n\n");
+
+  for (const int gpus : {16, 24, 32}) {
+    for (const std::int64_t seq : {std::int64_t{2048}, std::int64_t{4096}}) {
+      Table mfu_table({"METHOD", "32K", "64K", "128K", "256K"});
+      Table mem_table({"METHOD", "32K", "64K", "128K", "256K"});
+      Table range_table({"METHOD", "32K", "64K", "128K", "256K"});
+      for (const bool vp : {false, true}) {
+        std::vector<std::string> mfu_row{vp ? "vocab-1" : "baseline"};
+        std::vector<std::string> mem_row = mfu_row;
+        std::vector<std::string> range_row = mfu_row;
+        for (const std::int64_t v : paper_vocab_sweep()) {
+          const CostModel cm(preset_vhalf(gpus, seq, v), HardwareModel{});
+          const RunResult r = run_vhalf(cm, gpus, vp);
+          mfu_row.push_back(mfu_cell(r));
+          mem_row.push_back(mem_cell(r));
+          // Figure 14's shaded area: min..max peak across devices.
+          range_row.push_back(fmt_f(r.min_peak_gb, 1) + ".." + fmt_f(r.peak_gb, 1));
+        }
+        mfu_table.add_row(std::move(mfu_row));
+        mem_table.add_row(std::move(mem_row));
+        range_table.add_row(std::move(range_row));
+      }
+      std::printf("--- %dGPU, SEQ LENGTH %lld ---\n", gpus, static_cast<long long>(seq));
+      std::printf("MFU (%%):\n%s", mfu_table.to_string().c_str());
+      std::printf("PEAK MEMORY (GB, max across devices; * = OOM):\n%s",
+                  mem_table.to_string().c_str());
+      std::printf("PER-DEVICE PEAK RANGE (GB, min..max — Figure 14 shading):\n%s\n",
+                  range_table.to_string().c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Example: capacity planning for a training run.
+//
+// Given a model shape and cluster size, estimate — before buying any GPU
+// hours — which schedule fits in memory and what throughput to expect, the
+// way the paper's analysis would be used by a practitioner. Sweeps the
+// vocabulary size and reports the first configuration that OOMs under each
+// method, plus tokens/sec estimates.
+//
+// Usage: ./build/examples/capacity_planner [gpus] [seq]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "cost/cost_model.h"
+
+using namespace vocab;
+using namespace vocab::bench;
+
+int main(int argc, char** argv) {
+  const int gpus = argc > 1 ? std::atoi(argv[1]) : 32;
+  const std::int64_t seq = argc > 2 ? std::atoll(argv[2]) : 4096;
+
+  std::printf("capacity plan: %d GPUs (A100-80GB model), sequence length %lld\n\n", gpus,
+              static_cast<long long>(seq));
+
+  Table t({"vocab", "method", "tokens/sec", "MFU %", "peak GB", "fits?"});
+  for (const std::int64_t v : paper_vocab_sweep()) {
+    for (const Method method : {Method::Baseline, Method::Vocab2, Method::Interlaced}) {
+      const ModelConfig cfg = preset_1f1b(gpus, seq, v);
+      const CostModel cm(cfg, HardwareModel{});
+      const RunResult r = run_1f1b_method(cm, gpus, method);
+      const double tokens_per_iter =
+          static_cast<double>(cfg.num_microbatches) * cfg.tokens_per_microbatch();
+      t.add_row({fmt_count(v), to_string(method), fmt_count(static_cast<long long>(
+                                                      tokens_per_iter / r.makespan)),
+                 fmt_f(100 * r.mfu, 1), fmt_f(r.peak_gb, 1), r.oom ? "NO (OOM)" : "yes"});
+    }
+    t.add_separator();
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf("Reading the plan: the baseline wastes throughput as the vocabulary grows\n");
+  std::printf("and concentrates memory on the first/last stages; vocabulary parallelism\n");
+  std::printf("keeps both flat, so the same cluster supports larger vocabularies.\n");
+  return 0;
+}

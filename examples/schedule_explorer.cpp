@@ -1,0 +1,81 @@
+// Example: explore pipeline schedules on the simulated cluster.
+//
+// Pick a model preset, pipeline width, sequence length and vocabulary size
+// and compare the five 1F1B-family methods plus V-Half — iteration time,
+// MFU, memory, bubbles — and render a steady-state timeline of any of them.
+//
+// Usage: ./build/examples/schedule_explorer [gpus] [seq] [vocab_k] [method]
+//   gpus: 8 | 16 | 32     (Table 1 presets)
+//   method to render: baseline | redis | vocab-1 | vocab-2 | interlaced |
+//                     gpipe | gpipe-vocab
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "cost/cost_model.h"
+#include "schedule/layer_assignment.h"
+#include "schedule/schedule_1f1b.h"
+#include "schedule/schedule_1f1b_vocab.h"
+#include "schedule/schedule_gpipe.h"
+#include "schedule/schedule_interlaced.h"
+#include "schedule/timeline.h"
+#include "sim/pipeline_sim.h"
+
+using namespace vocab;
+
+namespace {
+
+PipelineSchedule build_method(const CostModel& cm, int gpus, const char* method) {
+  if (std::strcmp(method, "baseline") == 0) {
+    return build_1f1b(cm, gpus, uniform_assignment(cm.config().num_layers, gpus), "baseline");
+  }
+  if (std::strcmp(method, "redis") == 0) {
+    return build_1f1b(cm, gpus, redis_assignment(cm, gpus), "redis");
+  }
+  if (std::strcmp(method, "vocab-1") == 0) return build_1f1b_vocab(cm, gpus, OutputAlgo::Alg1);
+  if (std::strcmp(method, "vocab-2") == 0) return build_1f1b_vocab(cm, gpus, OutputAlgo::Alg2);
+  if (std::strcmp(method, "interlaced") == 0) return build_interlaced(cm, gpus, true);
+  if (std::strcmp(method, "gpipe") == 0) {
+    return build_gpipe(cm, gpus, uniform_assignment(cm.config().num_layers, gpus));
+  }
+  if (std::strcmp(method, "gpipe-vocab") == 0) return build_gpipe_vocab(cm, gpus, OutputAlgo::Alg2);
+  std::fprintf(stderr, "unknown method '%s'\n", method);
+  std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int gpus = argc > 1 ? std::atoi(argv[1]) : 8;
+  const std::int64_t seq = argc > 2 ? std::atoll(argv[2]) : 2048;
+  const std::int64_t vocab_size = (argc > 3 ? std::atoll(argv[3]) : 256) * 1024;
+  const char* render = argc > 4 ? argv[4] : "vocab-2";
+
+  ModelConfig cfg = preset_1f1b(gpus, seq, vocab_size);
+  const CostModel cm(cfg, HardwareModel{});
+  std::printf("model: %s\n\n", cfg.summary().c_str());
+
+  std::printf("%-12s %10s %8s %10s %12s\n", "method", "iter (s)", "MFU %", "peak GB",
+              "bubble dev0");
+  for (const char* method :
+       {"baseline", "redis", "vocab-1", "vocab-2", "interlaced", "gpipe", "gpipe-vocab"}) {
+    const auto sched = build_method(cm, gpus, method);
+    const auto sim = simulate(sched, cm.hardware().memory_capacity);
+    std::printf("%-12s %10.2f %8.1f %10.2f %11.1f%% %s\n", method, sim.makespan,
+                100 * cm.mfu(sim.makespan, gpus), sim.max_peak_bytes() / 1e9 / 1.073,
+                100 * sim.bubble_fraction(0), sim.any_oom() ? "OOM" : "");
+  }
+
+  // Render a steady-state window of the chosen method.
+  ModelConfig small = cfg;
+  small.num_microbatches = 24;
+  const CostModel cm_small(small, HardwareModel{});
+  const auto sched = build_method(cm_small, gpus, render);
+  const auto sim = simulate(sched);
+  std::printf("\nsteady-state timeline of '%s' (F=forward B=backward S/T=vocab passes):\n%s",
+              render, render_timeline(sched, sim, 120, sim.makespan * 0.45,
+                                      sim.makespan * 0.8)
+                          .c_str());
+  return 0;
+}

@@ -1,0 +1,323 @@
+#include "autograd/autograd.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "common/error.h"
+#include "tensor/tensor_ops.h"
+
+namespace vocab::autograd {
+
+Tensor& Node::ensure_grad() {
+  if (grad.empty()) grad = Tensor(value.shape());
+  return grad;
+}
+
+Var leaf(Tensor value, bool requires_grad) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  node->requires_grad = requires_grad;
+  return node;
+}
+
+Var constant(Tensor value) { return leaf(std::move(value), false); }
+
+namespace {
+
+/// Create an interior node; requires_grad is inherited from parents.
+Var make_node(Tensor value, std::vector<Var> parents, std::function<void(Node&)> backward_fn) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  for (const auto& p : parents) node->requires_grad |= p->requires_grad;
+  node->parents = std::move(parents);
+  if (node->requires_grad) node->backward_fn = std::move(backward_fn);
+  return node;
+}
+
+void accumulate(const Var& node, const Tensor& delta) {
+  if (!node->requires_grad) return;
+  add_inplace(node->ensure_grad(), delta);
+}
+
+}  // namespace
+
+Var matmul(const Var& a, const Var& b) {
+  Tensor out = vocab::matmul(a->value, b->value);
+  return make_node(std::move(out), {a, b}, [a, b](Node& n) {
+    // dA = dC B^T ; dB = A^T dC
+    accumulate(a, vocab::matmul_nt(n.grad, b->value));
+    accumulate(b, vocab::matmul_tn(a->value, n.grad));
+  });
+}
+
+Var matmul_nt(const Var& a, const Var& b) {
+  Tensor out = vocab::matmul_nt(a->value, b->value);
+  return make_node(std::move(out), {a, b}, [a, b](Node& n) {
+    // C = A B^T: dA = dC B ; dB = dC^T A
+    accumulate(a, vocab::matmul(n.grad, b->value));
+    accumulate(b, vocab::matmul_tn(n.grad, a->value));
+  });
+}
+
+Var add(const Var& a, const Var& b) {
+  Tensor out = vocab::add(a->value, b->value);
+  return make_node(std::move(out), {a, b}, [a, b](Node& n) {
+    accumulate(a, n.grad);
+    accumulate(b, n.grad);
+  });
+}
+
+Var add_rowvec(const Var& a, const Var& bias) {
+  VOCAB_CHECK(a->value.rank() == 2 && bias->value.rank() == 1 &&
+                  bias->value.dim(0) == a->value.dim(1),
+              "add_rowvec shape mismatch");
+  Tensor out = a->value;
+  const std::int64_t m = out.dim(0), nn = out.dim(1);
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < nn; ++j) out.at(i, j) += bias->value.at(j);
+  }
+  return make_node(std::move(out), {a, bias}, [a, bias](Node& n) {
+    accumulate(a, n.grad);
+    if (bias->requires_grad) {
+      Tensor db({n.grad.dim(1)});
+      for (std::int64_t i = 0; i < n.grad.dim(0); ++i) {
+        for (std::int64_t j = 0; j < n.grad.dim(1); ++j) db.at(j) += n.grad.at(i, j);
+      }
+      add_inplace(bias->ensure_grad(), db);
+    }
+  });
+}
+
+Var mul(const Var& a, const Var& b) {
+  Tensor out = vocab::mul(a->value, b->value);
+  return make_node(std::move(out), {a, b}, [a, b](Node& n) {
+    accumulate(a, vocab::mul(n.grad, b->value));
+    accumulate(b, vocab::mul(n.grad, a->value));
+  });
+}
+
+Var scale(const Var& a, float s) {
+  Tensor out = vocab::scale(a->value, s);
+  return make_node(std::move(out), {a}, [a, s](Node& n) {
+    accumulate(a, vocab::scale(n.grad, s));
+  });
+}
+
+Var gelu(const Var& a) {
+  // tanh approximation: 0.5 x (1 + tanh(c (x + 0.044715 x^3))).
+  constexpr float kC = 0.7978845608f;  // sqrt(2/pi)
+  constexpr float kB = 0.044715f;
+  Tensor out(a->value.shape());
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
+    const float x = a->value.at(i);
+    out.at(i) = 0.5f * x * (1.0f + std::tanh(kC * (x + kB * x * x * x)));
+  }
+  return make_node(std::move(out), {a}, [a](Node& n) {
+    if (!a->requires_grad) return;
+    Tensor da(a->value.shape());
+    for (std::int64_t i = 0; i < da.numel(); ++i) {
+      const float x = a->value.at(i);
+      const float u = kC * (x + kB * x * x * x);
+      const float t = std::tanh(u);
+      const float du = kC * (1.0f + 3.0f * kB * x * x);
+      da.at(i) = n.grad.at(i) * (0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * du);
+    }
+    add_inplace(a->ensure_grad(), da);
+  });
+}
+
+Var layernorm(const Var& x, const Var& gamma, const Var& beta, float eps) {
+  VOCAB_CHECK(x->value.rank() == 2, "layernorm expects [m, n]");
+  const std::int64_t m = x->value.dim(0), n = x->value.dim(1);
+  VOCAB_CHECK(gamma->value.rank() == 1 && gamma->value.dim(0) == n &&
+                  beta->value.rank() == 1 && beta->value.dim(0) == n,
+              "layernorm gain/bias must be [n]");
+  Tensor out({m, n});
+  Tensor xhat({m, n});
+  Tensor inv_sigma({m});
+  for (std::int64_t i = 0; i < m; ++i) {
+    double mu = 0.0;
+    for (std::int64_t j = 0; j < n; ++j) mu += x->value.at(i, j);
+    mu /= static_cast<double>(n);
+    double var = 0.0;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const double dlt = x->value.at(i, j) - mu;
+      var += dlt * dlt;
+    }
+    var /= static_cast<double>(n);
+    const float is = static_cast<float>(1.0 / std::sqrt(var + eps));
+    inv_sigma.at(i) = is;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float xh = (x->value.at(i, j) - static_cast<float>(mu)) * is;
+      xhat.at(i, j) = xh;
+      out.at(i, j) = gamma->value.at(j) * xh + beta->value.at(j);
+    }
+  }
+  return make_node(std::move(out), {x, gamma, beta},
+                   [x, gamma, beta, xhat = std::move(xhat),
+                    inv_sigma = std::move(inv_sigma)](Node& nd) {
+    const std::int64_t m = nd.grad.dim(0), n = nd.grad.dim(1);
+    if (gamma->requires_grad || beta->requires_grad) {
+      Tensor dg({n}), db({n});
+      for (std::int64_t i = 0; i < m; ++i) {
+        for (std::int64_t j = 0; j < n; ++j) {
+          dg.at(j) += nd.grad.at(i, j) * xhat.at(i, j);
+          db.at(j) += nd.grad.at(i, j);
+        }
+      }
+      if (gamma->requires_grad) add_inplace(gamma->ensure_grad(), dg);
+      if (beta->requires_grad) add_inplace(beta->ensure_grad(), db);
+    }
+    if (!x->requires_grad) return;
+    Tensor dx({m, n});
+    for (std::int64_t i = 0; i < m; ++i) {
+      // g = gamma * dy; dx = (g - mean(g) - xhat * mean(g * xhat)) / sigma
+      double mean_g = 0.0, mean_gx = 0.0;
+      for (std::int64_t j = 0; j < n; ++j) {
+        const double g = static_cast<double>(gamma->value.at(j)) * nd.grad.at(i, j);
+        mean_g += g;
+        mean_gx += g * xhat.at(i, j);
+      }
+      mean_g /= static_cast<double>(n);
+      mean_gx /= static_cast<double>(n);
+      for (std::int64_t j = 0; j < n; ++j) {
+        const double g = static_cast<double>(gamma->value.at(j)) * nd.grad.at(i, j);
+        dx.at(i, j) = static_cast<float>((g - mean_g - xhat.at(i, j) * mean_gx) *
+                                         inv_sigma.at(i));
+      }
+    }
+    add_inplace(x->ensure_grad(), dx);
+  });
+}
+
+Var causal_attention(const Var& q, const Var& k, const Var& v, int heads) {
+  VOCAB_CHECK(q->value.rank() == 2 && q->value.same_shape(k->value) &&
+                  q->value.same_shape(v->value),
+              "attention inputs must share shape [s, h]");
+  const std::int64_t s = q->value.dim(0), h = q->value.dim(1);
+  VOCAB_CHECK(heads > 0 && h % heads == 0, "heads must divide hidden dim");
+  const std::int64_t dh = h / heads;
+  const float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(dh));
+
+  Tensor out({s, h});
+  // Saved attention probabilities per head for the backward pass.
+  std::vector<Tensor> probs(static_cast<std::size_t>(heads));
+  for (int a = 0; a < heads; ++a) {
+    const std::int64_t c0 = a * dh, c1 = c0 + dh;
+    const Tensor qa = slice_cols(q->value, c0, c1);
+    const Tensor ka = slice_cols(k->value, c0, c1);
+    const Tensor va = slice_cols(v->value, c0, c1);
+    Tensor scores = vocab::matmul_nt(qa, ka);
+    scale_inplace(scores, inv_sqrt);
+    // Causal mask: position i attends to j <= i.
+    for (std::int64_t i = 0; i < s; ++i) {
+      for (std::int64_t j = i + 1; j < s; ++j) scores.at(i, j) = -1e30f;
+    }
+    Tensor p = vocab::softmax_rows(scores);
+    const Tensor ctx = vocab::matmul(p, va);
+    for (std::int64_t i = 0; i < s; ++i) {
+      for (std::int64_t j = 0; j < dh; ++j) out.at(i, c0 + j) = ctx.at(i, j);
+    }
+    probs[static_cast<std::size_t>(a)] = std::move(p);
+  }
+
+  return make_node(std::move(out), {q, k, v},
+                   [q, k, v, heads, dh, inv_sqrt, probs = std::move(probs)](Node& n) {
+    const std::int64_t s = n.grad.dim(0);
+    Tensor dq(q->value.shape()), dk(k->value.shape()), dv(v->value.shape());
+    for (int a = 0; a < heads; ++a) {
+      const std::int64_t c0 = a * dh, c1 = c0 + dh;
+      const Tensor qa = slice_cols(q->value, c0, c1);
+      const Tensor ka = slice_cols(k->value, c0, c1);
+      const Tensor va = slice_cols(v->value, c0, c1);
+      const Tensor dout = slice_cols(n.grad, c0, c1);
+      const Tensor& p = probs[static_cast<std::size_t>(a)];
+      // dV = P^T dO ; dP = dO V^T
+      const Tensor dva = vocab::matmul_tn(p, dout);
+      const Tensor dp = vocab::matmul_nt(dout, va);
+      // softmax backward: dS = P ⊙ (dP - rowsum(dP ⊙ P))
+      Tensor ds({s, s});
+      for (std::int64_t i = 0; i < s; ++i) {
+        double dot = 0.0;
+        for (std::int64_t j = 0; j <= i; ++j) dot += static_cast<double>(dp.at(i, j)) * p.at(i, j);
+        for (std::int64_t j = 0; j <= i; ++j) {
+          ds.at(i, j) = p.at(i, j) * (dp.at(i, j) - static_cast<float>(dot)) * inv_sqrt;
+        }
+      }
+      const Tensor dqa = vocab::matmul(ds, ka);
+      const Tensor dka = vocab::matmul_tn(ds, qa);
+      for (std::int64_t i = 0; i < s; ++i) {
+        for (std::int64_t j = 0; j < dh; ++j) {
+          dq.at(i, c0 + j) += dqa.at(i, j);
+          dk.at(i, c0 + j) += dka.at(i, j);
+          dv.at(i, c0 + j) += dva.at(i, j);
+        }
+      }
+    }
+    accumulate(q, dq);
+    accumulate(k, dk);
+    accumulate(v, dv);
+  });
+}
+
+Var softmax_rows(const Var& a) {
+  Tensor out = vocab::softmax_rows(a->value);
+  Tensor saved = out;
+  return make_node(std::move(out), {a}, [a, saved = std::move(saved)](Node& n) {
+    if (!a->requires_grad) return;
+    const std::int64_t m = n.grad.dim(0), c = n.grad.dim(1);
+    Tensor da({m, c});
+    for (std::int64_t i = 0; i < m; ++i) {
+      double dot = 0.0;
+      for (std::int64_t j = 0; j < c; ++j) dot += static_cast<double>(n.grad.at(i, j)) * saved.at(i, j);
+      for (std::int64_t j = 0; j < c; ++j) {
+        da.at(i, j) = saved.at(i, j) * (n.grad.at(i, j) - static_cast<float>(dot));
+      }
+    }
+    add_inplace(a->ensure_grad(), da);
+  });
+}
+
+Var sum_all(const Var& a) {
+  Tensor out({1}, static_cast<float>(vocab::sum_all(a->value)));
+  return make_node(std::move(out), {a}, [a](Node& n) {
+    if (!a->requires_grad) return;
+    Tensor da(a->value.shape(), n.grad.at(0));
+    add_inplace(a->ensure_grad(), da);
+  });
+}
+
+void backward(const Var& root, const Tensor& seed) {
+  VOCAB_CHECK(root != nullptr, "backward on null var");
+  VOCAB_CHECK(seed.same_shape(root->value), "seed shape must match root value");
+  // Iterative post-order topological sort.
+  std::vector<Node*> order;
+  std::unordered_set<Node*> visited;
+  std::vector<std::pair<Node*, std::size_t>> stack{{root.get(), 0}};
+  visited.insert(root.get());
+  while (!stack.empty()) {
+    auto& [node, idx] = stack.back();
+    if (idx < node->parents.size()) {
+      Node* parent = node->parents[idx].get();
+      ++idx;
+      if (parent->requires_grad && visited.insert(parent).second) {
+        stack.emplace_back(parent, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+  add_inplace(root->ensure_grad(), seed);
+  // Reverse topological order: children before parents.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* node = *it;
+    if (node->backward_fn && !node->grad.empty()) node->backward_fn(*node);
+  }
+}
+
+void backward(const Var& root) {
+  backward(root, Tensor(root->value.shape(), 1.0f));
+}
+
+}  // namespace vocab::autograd

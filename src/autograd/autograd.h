@@ -1,0 +1,77 @@
+#pragma once
+
+// Minimal reverse-mode automatic differentiation over Tensor.
+//
+// Used for the transformer blocks of the real-numerics pipeline runtime:
+// each pipeline stage builds a small tape per microbatch during its forward
+// pass and replays it backward when the gradient arrives from the next
+// stage. The vocabulary layers deliberately do NOT use this tape — their
+// gradients are the hand-derived equations (3)–(6) of the paper, which is
+// the whole point of the S/T pass decomposition.
+//
+// Design: a Var is a shared handle to a Node holding the value, the
+// accumulated gradient, parent edges and a backward closure. backward()
+// topologically sorts the reachable graph and pushes gradients to leaves.
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace vocab {
+
+namespace autograd {
+
+struct Node;
+using Var = std::shared_ptr<Node>;
+
+/// One value in the computation graph.
+struct Node {
+  Tensor value;
+  Tensor grad;                 ///< same shape as value once backward touches it
+  bool requires_grad = false;  ///< leaves: parameters / inputs tracked for grads
+  std::vector<Var> parents;
+  /// Propagates this->grad into parents' grads. Null for leaves.
+  std::function<void(Node&)> backward_fn;
+
+  /// Lazily materialise a zero gradient buffer.
+  Tensor& ensure_grad();
+};
+
+/// Wrap a tensor as a graph leaf.
+Var leaf(Tensor value, bool requires_grad);
+
+/// Wrap a constant (no gradient tracked).
+Var constant(Tensor value);
+
+// ---- differentiable ops (2-D tensors unless noted) ---------------------------
+
+Var matmul(const Var& a, const Var& b);          ///< [m,k]@[k,n]
+Var matmul_nt(const Var& a, const Var& b);       ///< [m,k]@[n,k]^T
+Var add(const Var& a, const Var& b);             ///< same shape
+Var add_rowvec(const Var& a, const Var& bias);   ///< [m,n] + [n] broadcast
+Var mul(const Var& a, const Var& b);             ///< elementwise
+Var scale(const Var& a, float s);
+Var gelu(const Var& a);                          ///< tanh approximation
+/// LayerNorm over the last axis with learnable gain/bias ([n]-shaped).
+Var layernorm(const Var& x, const Var& gamma, const Var& beta, float eps = 1e-5f);
+/// Multi-head causal self-attention: fused node with a manual backward.
+/// q, k, v: [s, h]; heads must divide h. Scores are masked causally.
+Var causal_attention(const Var& q, const Var& k, const Var& v, int heads);
+/// Row-wise softmax (used in tests; attention uses the fused node).
+Var softmax_rows(const Var& a);
+/// Sum of all elements -> [1] (loss-style reduction for tests).
+Var sum_all(const Var& a);
+
+/// Run reverse-mode accumulation from `root` with seed gradient `seed`
+/// (must match root->value's shape). Gradients accumulate (+=) into every
+/// requires_grad leaf reachable from root; call zero_grad between steps.
+void backward(const Var& root, const Tensor& seed);
+
+/// Convenience: backward from a scalar-like root with seed 1.
+void backward(const Var& root);
+
+}  // namespace autograd
+
+}  // namespace vocab

@@ -1,0 +1,44 @@
+#include "comm/channel.h"
+
+#include "common/error.h"
+
+namespace vocab {
+
+Channel::Channel(std::size_t capacity, std::chrono::milliseconds timeout)
+    : capacity_(capacity), timeout_(timeout) {
+  VOCAB_CHECK(capacity > 0, "channel capacity must be positive");
+}
+
+void Channel::send(std::string tag, Tensor payload) {
+  std::unique_lock lock(mutex_);
+  if (!cv_send_.wait_for(lock, timeout_, [&] { return queue_.size() < capacity_; })) {
+    throw DeadlockError("channel send timed out (full) for tag '" + tag + "'");
+  }
+  queue_.push_back(Message{std::move(tag), std::move(payload)});
+  cv_recv_.notify_one();
+}
+
+Message Channel::recv() {
+  std::unique_lock lock(mutex_);
+  if (!cv_recv_.wait_for(lock, timeout_, [&] { return !queue_.empty(); })) {
+    throw DeadlockError("channel recv timed out (empty)");
+  }
+  Message msg = std::move(queue_.front());
+  queue_.pop_front();
+  cv_send_.notify_one();
+  return msg;
+}
+
+Tensor Channel::recv_expect(const std::string& expected_tag) {
+  Message msg = recv();
+  VOCAB_CHECK(msg.tag == expected_tag,
+              "channel tag mismatch: expected '" << expected_tag << "' got '" << msg.tag << "'");
+  return std::move(msg.payload);
+}
+
+std::size_t Channel::size() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace vocab

@@ -1,0 +1,58 @@
+#pragma once
+
+// Point-to-point channel between adjacent pipeline stages.
+//
+// Stage i sends activations forward to stage i+1 and gradients backward to
+// stage i-1 through a pair of these. A Channel is a bounded FIFO of tagged
+// tensors; pops block (with deadlock timeout) until the matching message
+// arrives, mirroring NCCL send/recv pairing on a P2P connection.
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace vocab {
+
+/// A tensor in flight between two pipeline stages.
+struct Message {
+  std::string tag;  ///< e.g. "fwd:mb3" — identifies microbatch + direction
+  Tensor payload;
+};
+
+/// Bounded blocking FIFO of Messages. Single producer / single consumer in
+/// the pipeline runtime, but safe for multiple of either.
+class Channel {
+ public:
+  explicit Channel(std::size_t capacity = 1024,
+                   std::chrono::milliseconds timeout = std::chrono::seconds(30));
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Enqueue; blocks if the channel is full. Throws DeadlockError on timeout.
+  void send(std::string tag, Tensor payload);
+
+  /// Dequeue the front message; blocks until one is available.
+  Message recv();
+
+  /// Dequeue the front message and check its tag matches `expected_tag` —
+  /// a mismatch means the schedule ordered sends and recvs inconsistently.
+  Tensor recv_expect(const std::string& expected_tag);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+ private:
+  const std::size_t capacity_;
+  const std::chrono::milliseconds timeout_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_send_;
+  std::condition_variable cv_recv_;
+  std::deque<Message> queue_;
+};
+
+}  // namespace vocab

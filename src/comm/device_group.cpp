@@ -1,0 +1,178 @@
+#include "comm/device_group.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace vocab {
+
+namespace {
+
+void reduce_into(Tensor& acc, const Tensor& contrib, ReduceOp op) {
+  VOCAB_CHECK(acc.same_shape(contrib),
+              "collective shape mismatch: " << acc.shape_str() << " vs " << contrib.shape_str());
+  float* pa = acc.data();
+  const float* pb = contrib.data();
+  const std::int64_t n = acc.numel();
+  if (op == ReduceOp::Sum) {
+    for (std::int64_t i = 0; i < n; ++i) pa[i] += pb[i];
+  } else {
+    for (std::int64_t i = 0; i < n; ++i) pa[i] = std::max(pa[i], pb[i]);
+  }
+}
+
+}  // namespace
+
+DeviceGroup::DeviceGroup(int world_size, std::chrono::milliseconds timeout)
+    : world_size_(world_size), timeout_(timeout), slots_(static_cast<std::size_t>(std::max(world_size, 1))),
+      tags_(static_cast<std::size_t>(std::max(world_size, 1))) {
+  VOCAB_CHECK(world_size >= 1, "world_size must be >= 1, got " << world_size);
+}
+
+void DeviceGroup::check_rank(int rank) const {
+  VOCAB_CHECK(rank >= 0 && rank < world_size_,
+              "rank " << rank << " out of range [0, " << world_size_ << ")");
+}
+
+template <typename LeaderFn>
+void DeviceGroup::rendezvous(int rank, const std::string& tag, const char* kind,
+                             LeaderFn&& leader_fn) {
+  check_rank(rank);
+  std::unique_lock lock(mutex_);
+  const auto deadline = std::chrono::steady_clock::now() + timeout_;
+
+  auto timed_wait = [&](auto&& pred) {
+    if (!cv_.wait_until(lock, deadline, pred)) {
+      failure_ = std::string("deadlock: rank ") + std::to_string(rank) + " timed out in " +
+                 kind + " '" + tag + "'";
+      cv_.notify_all();
+      throw DeadlockError(failure_);
+    }
+  };
+
+  if (!failure_.empty()) throw DeadlockError("communicator poisoned: " + failure_);
+
+  // Wait for the previous collective to fully drain before joining.
+  timed_wait([&] { return departed_ == 0 || !failure_.empty(); });
+  if (!failure_.empty()) throw DeadlockError("communicator poisoned: " + failure_);
+
+  const std::uint64_t my_gen = generation_;
+  tags_[static_cast<std::size_t>(rank)] = tag;
+  ++arrived_;
+
+  if (arrived_ == world_size_) {
+    // Leader: validate tags, run the collective body, release everyone.
+    for (int r = 0; r < world_size_; ++r) {
+      if (tags_[static_cast<std::size_t>(r)] != tag) {
+        failure_ = std::string("collective mismatch in ") + kind + ": rank " +
+                   std::to_string(rank) + " tag '" + tag + "' vs rank " + std::to_string(r) +
+                   " tag '" + tags_[static_cast<std::size_t>(r)] + "'";
+        arrived_ = 0;
+        ++generation_;
+        cv_.notify_all();
+        throw CheckError(failure_);
+      }
+    }
+    try {
+      leader_fn();
+    } catch (const std::exception& e) {
+      failure_ = std::string(kind) + " '" + tag + "' failed: " + e.what();
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+      throw;
+    }
+    ++completed_;
+    arrived_ = 0;
+    departed_ = world_size_;
+    ++generation_;
+    cv_.notify_all();
+  } else {
+    timed_wait([&] { return generation_ != my_gen || !failure_.empty(); });
+    if (!failure_.empty()) throw DeadlockError("collective aborted: " + failure_);
+  }
+
+  --departed_;
+  if (departed_ == 0) cv_.notify_all();
+}
+
+void DeviceGroup::barrier(int rank, const std::string& tag) {
+  rendezvous(rank, tag, "barrier", [] {});
+}
+
+void DeviceGroup::all_reduce(int rank, Tensor& data, ReduceOp op, const std::string& tag) {
+  check_rank(rank);
+  {
+    std::lock_guard lock(mutex_);
+    slots_[static_cast<std::size_t>(rank)].tensor = &data;
+  }
+  rendezvous(rank, tag, "all_reduce", [&] {
+    Tensor acc = *slots_[0].tensor;
+    for (int r = 1; r < world_size_; ++r) reduce_into(acc, *slots_[static_cast<std::size_t>(r)].tensor, op);
+    for (int r = 0; r < world_size_; ++r) *slots_[static_cast<std::size_t>(r)].tensor = acc;
+  });
+}
+
+void DeviceGroup::reduce(int rank, int root, Tensor& data, ReduceOp op, const std::string& tag) {
+  check_rank(rank);
+  check_rank(root);
+  {
+    std::lock_guard lock(mutex_);
+    slots_[static_cast<std::size_t>(rank)].tensor = &data;
+  }
+  rendezvous(rank, tag, "reduce", [&] {
+    Tensor acc = *slots_[0].tensor;
+    for (int r = 1; r < world_size_; ++r) reduce_into(acc, *slots_[static_cast<std::size_t>(r)].tensor, op);
+    *slots_[static_cast<std::size_t>(root)].tensor = std::move(acc);
+  });
+}
+
+void DeviceGroup::broadcast(int rank, int root, Tensor& data, const std::string& tag) {
+  check_rank(rank);
+  check_rank(root);
+  {
+    std::lock_guard lock(mutex_);
+    slots_[static_cast<std::size_t>(rank)].tensor = &data;
+  }
+  rendezvous(rank, tag, "broadcast", [&] {
+    const Tensor& src = *slots_[static_cast<std::size_t>(root)].tensor;
+    for (int r = 0; r < world_size_; ++r) {
+      if (r != root) *slots_[static_cast<std::size_t>(r)].tensor = src;
+    }
+  });
+}
+
+Tensor DeviceGroup::all_gather_rows(int rank, const Tensor& data, const std::string& tag) {
+  check_rank(rank);
+  Tensor out;
+  {
+    std::lock_guard lock(mutex_);
+    slots_[static_cast<std::size_t>(rank)].const_tensor = &data;
+    slots_[static_cast<std::size_t>(rank)].tensor = &out;
+  }
+  rendezvous(rank, tag, "all_gather_rows", [&] {
+    std::int64_t total_rows = 0;
+    const std::int64_t cols = slots_[0].const_tensor->dim(1);
+    for (int r = 0; r < world_size_; ++r) {
+      const Tensor& t = *slots_[static_cast<std::size_t>(r)].const_tensor;
+      VOCAB_CHECK(t.rank() == 2 && t.dim(1) == cols, "all_gather_rows column mismatch");
+      total_rows += t.dim(0);
+    }
+    Tensor gathered({total_rows, cols});
+    std::int64_t row = 0;
+    for (int r = 0; r < world_size_; ++r) {
+      const Tensor& t = *slots_[static_cast<std::size_t>(r)].const_tensor;
+      std::copy(t.data(), t.data() + t.numel(), gathered.data() + row * cols);
+      row += t.dim(0);
+    }
+    for (int r = 0; r < world_size_; ++r) *slots_[static_cast<std::size_t>(r)].tensor = gathered;
+  });
+  return out;
+}
+
+std::uint64_t DeviceGroup::completed_collectives() const {
+  std::lock_guard lock(mutex_);
+  return completed_;
+}
+
+}  // namespace vocab

@@ -1,0 +1,98 @@
+#pragma once
+
+// Thread-backed communication group standing in for NCCL.
+//
+// Each simulated pipeline device is an OS thread; a DeviceGroup provides the
+// collectives the paper's algorithms need: AllReduce(max), AllReduce(sum),
+// Reduce(sum), Broadcast and Barrier. Semantics mirror NCCL:
+//   * every rank must call the same collectives in the same order;
+//   * calls block until all ranks arrive (rendezvous) and the data is ready.
+//
+// Two robustness features NCCL does not give you, which make scheduling bugs
+// observable in tests:
+//   * every call carries a string tag; mismatched tags across ranks throw
+//     CheckError instead of silently reducing unrelated buffers;
+//   * waits time out (configurable) and throw DeadlockError, so a schedule
+//     that deadlocks fails the test instead of hanging it.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace vocab {
+
+/// Reduction operator for all_reduce / reduce.
+enum class ReduceOp { Sum, Max };
+
+/// Rendezvous collective communicator over `world_size` participant threads.
+/// Thread-safe: each rank must be driven by exactly one thread at a time.
+class DeviceGroup {
+ public:
+  explicit DeviceGroup(int world_size,
+                       std::chrono::milliseconds timeout = std::chrono::seconds(30));
+
+  DeviceGroup(const DeviceGroup&) = delete;
+  DeviceGroup& operator=(const DeviceGroup&) = delete;
+
+  [[nodiscard]] int world_size() const { return world_size_; }
+
+  /// Block until all ranks arrive.
+  void barrier(int rank, const std::string& tag);
+
+  /// In-place all-reduce: after return every rank's `data` holds the
+  /// elementwise reduction across ranks. All ranks must pass equal shapes.
+  void all_reduce(int rank, Tensor& data, ReduceOp op, const std::string& tag);
+
+  /// In-place reduce to `root`: root's `data` holds the reduction, other
+  /// ranks' buffers are unchanged. (The paper implements this as NCCL
+  /// AllReduce to balance communication volume; we keep the true semantics
+  /// and note the volume distinction in the cost model.)
+  void reduce(int rank, int root, Tensor& data, ReduceOp op, const std::string& tag);
+
+  /// Broadcast root's `data` to every rank (shapes adopted from root).
+  void broadcast(int rank, int root, Tensor& data, const std::string& tag);
+
+  /// Concatenate each rank's rows in rank order: every rank receives the
+  /// [sum_rows, cols] result. Requires equal column counts.
+  Tensor all_gather_rows(int rank, const Tensor& data, const std::string& tag);
+
+  /// Number of collectives completed so far (for tests).
+  [[nodiscard]] std::uint64_t completed_collectives() const;
+
+ private:
+  struct Slot {
+    Tensor* tensor = nullptr;
+    const Tensor* const_tensor = nullptr;
+  };
+
+  // Runs `leader_fn` on the last-arriving rank, between the arrival phase and
+  // the departure phase. Throws DeadlockError on timeout, CheckError on tag
+  // or shape mismatch detected at rendezvous.
+  template <typename LeaderFn>
+  void rendezvous(int rank, const std::string& tag, const char* kind, LeaderFn&& leader_fn);
+
+  void check_rank(int rank) const;
+
+  const int world_size_;
+  const std::chrono::milliseconds timeout_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<Slot> slots_;
+  std::vector<std::string> tags_;
+  int arrived_ = 0;
+  int departed_ = 0;
+  std::uint64_t generation_ = 0;
+  std::uint64_t completed_ = 0;
+  std::string failure_;  // non-empty once a rendezvous has failed
+
+  // Scratch owned by the group, used by leader functions.
+  Tensor gather_result_;
+};
+
+}  // namespace vocab

@@ -1,0 +1,14 @@
+#include "common/error.h"
+
+namespace vocab::detail {
+
+void throw_check_failure(const char* file, int line, const char* expr,
+                         const std::string& message) {
+  std::ostringstream oss;
+  oss << "Check failed: " << expr;
+  if (!message.empty()) oss << " — " << message;
+  oss << " (" << file << ":" << line << ")";
+  throw CheckError(oss.str());
+}
+
+}  // namespace vocab::detail

@@ -1,0 +1,75 @@
+#pragma once
+
+// Error handling primitives for the vocab-parallelism library.
+//
+// We use exceptions for unrecoverable precondition violations (following
+// CppCoreGuidelines E.2: throw to signal that a function can't do its job).
+// VOCAB_CHECK is active in all build types: this is a research library where
+// silent corruption is far worse than a branch per check.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace vocab {
+
+/// Base exception for all library errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when an argument or internal invariant check fails.
+class CheckError : public Error {
+ public:
+  explicit CheckError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when tensor shapes are incompatible with the requested operation.
+class ShapeError : public Error {
+ public:
+  explicit ShapeError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a simulated device exceeds its memory capacity.
+class OutOfMemoryError : public Error {
+ public:
+  explicit OutOfMemoryError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a schedule or runtime detects an unsatisfiable dependency
+/// (e.g. a deadlock between pipeline devices).
+class DeadlockError : public Error {
+ public:
+  explicit DeadlockError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] void throw_check_failure(const char* file, int line, const char* expr,
+                                      const std::string& message);
+
+}  // namespace detail
+
+}  // namespace vocab
+
+/// Check `cond`; on failure throws vocab::CheckError with file/line context.
+/// Usage: VOCAB_CHECK(n > 0, "n must be positive, got " << n);
+#define VOCAB_CHECK(cond, ...)                                                   \
+  do {                                                                           \
+    if (!(cond)) {                                                               \
+      std::ostringstream vocab_check_oss_;                                       \
+      vocab_check_oss_ << __VA_ARGS__;                                           \
+      ::vocab::detail::throw_check_failure(__FILE__, __LINE__, #cond,            \
+                                           vocab_check_oss_.str());              \
+    }                                                                            \
+  } while (false)
+
+/// Unconditional failure.
+#define VOCAB_FAIL(...)                                                          \
+  do {                                                                           \
+    std::ostringstream vocab_check_oss_;                                         \
+    vocab_check_oss_ << __VA_ARGS__;                                             \
+    ::vocab::detail::throw_check_failure(__FILE__, __LINE__, "unreachable",      \
+                                         vocab_check_oss_.str());                \
+  } while (false)

@@ -1,0 +1,35 @@
+#pragma once
+
+// Minimal leveled logging. Off-by-default below Warn so that test output
+// stays clean; benches bump the level explicitly.
+
+#include <sstream>
+#include <string>
+
+namespace vocab {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global log threshold (process-wide, not synchronized: set it up-front).
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}
+
+}  // namespace vocab
+
+#define VOCAB_LOG(level, ...)                                        \
+  do {                                                               \
+    if (static_cast<int>(level) >= static_cast<int>(::vocab::log_level())) { \
+      std::ostringstream vocab_log_oss_;                             \
+      vocab_log_oss_ << __VA_ARGS__;                                 \
+      ::vocab::detail::log_emit(level, vocab_log_oss_.str());        \
+    }                                                                \
+  } while (false)
+
+#define VOCAB_DEBUG(...) VOCAB_LOG(::vocab::LogLevel::Debug, __VA_ARGS__)
+#define VOCAB_INFO(...) VOCAB_LOG(::vocab::LogLevel::Info, __VA_ARGS__)
+#define VOCAB_WARN(...) VOCAB_LOG(::vocab::LogLevel::Warn, __VA_ARGS__)
+#define VOCAB_ERROR(...) VOCAB_LOG(::vocab::LogLevel::Error, __VA_ARGS__)

@@ -1,0 +1,58 @@
+#pragma once
+
+// Deterministic random number generation.
+//
+// All stochastic behaviour in the library (weight init, synthetic data) flows
+// through Rng so that experiments are exactly reproducible from a seed. The
+// generator is SplitMix64 for seeding + xoshiro256** for the stream — small,
+// fast, and identical across platforms (unlike std:: distributions).
+
+#include <cstdint>
+#include <vector>
+
+namespace vocab {
+
+/// Deterministic, platform-stable pseudo random number generator.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Re-initialise the state from a seed via SplitMix64.
+  void reseed(std::uint64_t seed);
+
+  /// Next raw 64-bit value (xoshiro256**).
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double uniform();
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal via Box–Muller (deterministic pairing).
+  double normal();
+
+  /// Normal with given mean / stddev.
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_int(std::uint64_t n);
+
+  /// Sample an index from a discrete distribution given cumulative weights.
+  /// `cdf` must be non-decreasing with cdf.back() > 0.
+  std::size_t sample_cdf(const std::vector<double>& cdf);
+
+  /// Derive an independent child generator (for per-device streams).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+/// Build a Zipf-like (power law) cumulative distribution over `n` outcomes
+/// with exponent `alpha`; used to generate realistic token frequencies.
+std::vector<double> zipf_cdf(std::size_t n, double alpha);
+
+}  // namespace vocab

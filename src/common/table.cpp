@@ -1,0 +1,123 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace vocab {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  VOCAB_CHECK(!header_.empty(), "table header must not be empty");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  VOCAB_CHECK(cells.size() == header_.size(),
+              "row arity " << cells.size() << " != header arity " << header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_separator() { rows_.emplace_back(); }
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_rule = [&](std::ostringstream& oss) {
+    oss << '+';
+    for (const auto w : widths) oss << std::string(w + 2, '-') << '+';
+    oss << '\n';
+  };
+  auto render_row = [&](std::ostringstream& oss, const std::vector<std::string>& row) {
+    oss << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const auto pad = widths[c] - row[c].size();
+      if (c == 0) {
+        oss << ' ' << row[c] << std::string(pad, ' ') << " |";
+      } else {
+        oss << ' ' << std::string(pad, ' ') << row[c] << " |";
+      }
+    }
+    oss << '\n';
+  };
+
+  std::ostringstream oss;
+  render_rule(oss);
+  render_row(oss, header_);
+  render_rule(oss);
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      render_rule(oss);
+    } else {
+      render_row(oss, row);
+    }
+  }
+  render_rule(oss);
+  return oss.str();
+}
+
+std::string Table::to_csv() const {
+  auto quote = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream oss;
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    oss << (c ? "," : "") << quote(header_[c]);
+  }
+  oss << '\n';
+  for (const auto& row : rows_) {
+    if (row.empty()) continue;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      oss << (c ? "," : "") << quote(row[c]);
+    }
+    oss << '\n';
+  }
+  return oss.str();
+}
+
+std::string fmt_f(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+std::string fmt_bytes(double bytes) {
+  static const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  int u = 0;
+  while (std::abs(bytes) >= 1024.0 && u < 4) {
+    bytes /= 1024.0;
+    ++u;
+  }
+  return fmt_f(bytes, u == 0 ? 0 : 2) + " " + units[u];
+}
+
+std::string fmt_count(long long v) {
+  const bool neg = v < 0;
+  std::string digits = std::to_string(neg ? -v : v);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count && count % 3 == 0) out += ',';
+    out += *it;
+    ++count;
+  }
+  if (neg) out += '-';
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace vocab

@@ -1,0 +1,44 @@
+#pragma once
+
+// Console table rendering used by the benchmark harnesses to print rows in
+// the same layout as the paper's tables.
+
+#include <string>
+#include <vector>
+
+namespace vocab {
+
+/// Accumulates rows of string cells and renders an aligned ASCII table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Append a horizontal separator row.
+  void add_separator();
+
+  /// Render with column alignment. First column left-aligned, rest right.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Render as comma-separated values (for downstream plotting).
+  [[nodiscard]] std::string to_csv() const;
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector == separator
+};
+
+/// Format a double with fixed decimals, e.g. fmt_f(3.14159, 2) == "3.14".
+std::string fmt_f(double v, int decimals);
+
+/// Format a byte count as a human-readable string ("12.3 GB").
+std::string fmt_bytes(double bytes);
+
+/// Format an integer with thousands grouping ("1,048,576").
+std::string fmt_count(long long v);
+
+}  // namespace vocab

@@ -1,0 +1,92 @@
+#include "core/fused_output_layer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "core/online_softmax.h"
+#include "tensor/tensor_ops.h"
+
+namespace vocab {
+
+FusedOutputResult fused_output_layer(const Tensor& x, const Tensor& w,
+                                     const std::vector<std::int64_t>& targets,
+                                     float grad_scale, std::int64_t chunk_cols) {
+  VOCAB_CHECK(x.rank() == 2 && w.rank() == 2 && x.dim(1) == w.dim(1),
+              "fused_output_layer expects x [n,h], w [V,h]");
+  VOCAB_CHECK(chunk_cols >= 1, "chunk_cols must be >= 1");
+  const std::int64_t n = x.dim(0), h = x.dim(1), v = w.dim(0);
+  VOCAB_CHECK(static_cast<std::int64_t>(targets.size()) == n, "target count mismatch");
+  for (const auto t : targets) {
+    VOCAB_CHECK(t >= 0 && t < v, "target " << t << " outside vocabulary");
+  }
+
+  FusedOutputResult out;
+  out.result.grad_x = Tensor({n, h});
+  out.result.grad_w = Tensor({v, h});
+
+  // ---- pass 1: stream chunks, maintain online-softmax statistics ----------
+  std::vector<SoftmaxStats> stats(static_cast<std::size_t>(n), empty_stats());
+  Tensor target_logit({n});
+  std::size_t transient = 0;
+  for (std::int64_t c0 = 0; c0 < v; c0 += chunk_cols) {
+    const std::int64_t c1 = std::min(c0 + chunk_cols, v);
+    const Tensor w_chunk = slice_rows(w, c0, c1);
+    const Tensor logits = matmul_nt(x, w_chunk);  // [n, c1-c0]
+    transient = std::max(transient,
+                         static_cast<std::size_t>((logits.numel() + w_chunk.numel())) *
+                             sizeof(float));
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float* row = logits.data() + i * (c1 - c0);
+      stats[static_cast<std::size_t>(i)] =
+          merge(stats[static_cast<std::size_t>(i)], stats_of(row, row + (c1 - c0)));
+      const std::int64_t t = targets[static_cast<std::size_t>(i)];
+      if (t >= c0 && t < c1) target_logit.at(i) = row[t - c0];
+    }
+  }
+
+  // Loss from the final statistics: log(sum) + max - y_target, averaged.
+  double loss = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const SoftmaxStats& s = stats[static_cast<std::size_t>(i)];
+    loss += std::log(static_cast<double>(s.sum)) + s.max - target_logit.at(i);
+  }
+  out.result.loss = static_cast<float>(loss / static_cast<double>(n));
+
+  // ---- pass 2: recompute chunks, emit gradient contributions ---------------
+  for (std::int64_t c0 = 0; c0 < v; c0 += chunk_cols) {
+    const std::int64_t c1 = std::min(c0 + chunk_cols, v);
+    const Tensor w_chunk = slice_rows(w, c0, c1);
+    Tensor d = matmul_nt(x, w_chunk);  // recomputed logits, reused as D in place
+    transient = std::max(transient,
+                         static_cast<std::size_t>((2 * d.numel() + w_chunk.numel())) *
+                             sizeof(float));
+    for (std::int64_t i = 0; i < n; ++i) {
+      const SoftmaxStats& s = stats[static_cast<std::size_t>(i)];
+      float* row = d.data() + i * (c1 - c0);
+      for (std::int64_t j = 0; j < c1 - c0; ++j) {
+        row[j] = std::exp(row[j] - s.max) / s.sum;  // softmax(Y)_ij
+      }
+      const std::int64_t t = targets[static_cast<std::size_t>(i)];
+      if (t >= c0 && t < c1) row[t - c0] -= 1.0f;  // minus the one-hot G
+    }
+    scale_inplace(d, grad_scale);
+    // grad_x accumulates D_chunk @ W_chunk; grad_w rows for this chunk are
+    // D_chunk^T @ X.
+    add_inplace(out.result.grad_x, matmul(d, w_chunk));
+    const Tensor gw = matmul_tn(d, x);  // [c1-c0, h]
+    for (std::int64_t r = 0; r < c1 - c0; ++r) {
+      for (std::int64_t c = 0; c < h; ++c) out.result.grad_w.at(c0 + r, c) = gw.at(r, c);
+    }
+  }
+
+  out.peak_transient_bytes = transient;
+  return out;
+}
+
+std::size_t unfused_transient_bytes(std::int64_t n, std::int64_t v) {
+  // The reference materialises the logits and the softmax, both [n, V] fp32.
+  return static_cast<std::size_t>(2 * n * v) * sizeof(float);
+}
+
+}  // namespace vocab

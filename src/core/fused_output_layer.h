@@ -1,0 +1,43 @@
+#pragma once
+
+// Fused streaming output layer — the paper's §7 future-work direction.
+//
+// The Alg2-style decomposition makes it possible to fuse the forward and
+// backward of the output layer so the [n, V] softmax matrix is never
+// written to main memory (the FlashAttention rationale): stream the
+// vocabulary in column chunks, maintain online-softmax statistics on pass
+// one, and recompute each chunk's logits on pass two to emit its gradient
+// contributions. Peak transient memory drops from O(n·V) to O(n·chunk).
+//
+// This file implements that kernel for a single device (or one vocabulary
+// shard — pass the shard's weight rows and pre-shifted targets) and exposes
+// its transient-memory accounting so the saving is testable.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/reference_output_layer.h"
+#include "tensor/tensor.h"
+
+namespace vocab {
+
+/// Result plus the high-water mark of transient buffers (logits chunks,
+/// softmax chunks) the computation allocated.
+struct FusedOutputResult {
+  OutputLayerResult result;
+  std::size_t peak_transient_bytes = 0;
+};
+
+/// Forward + backward of the output layer streaming `chunk_cols` vocabulary
+/// columns at a time. Numerically equivalent to reference_output_layer
+/// (same safe-softmax statistics, assembled online per eq. 5's identity).
+/// `x`: [n, h]; `w`: [V, h]; `targets` in [0, V); requires chunk_cols >= 1.
+FusedOutputResult fused_output_layer(const Tensor& x, const Tensor& w,
+                                     const std::vector<std::int64_t>& targets,
+                                     float grad_scale, std::int64_t chunk_cols);
+
+/// Transient bytes the *unfused* reference needs (logits + softmax, fp32),
+/// for comparison in tests and benches.
+std::size_t unfused_transient_bytes(std::int64_t n, std::int64_t v);
+
+}  // namespace vocab

@@ -1,0 +1,63 @@
+#pragma once
+
+// Vocabulary-parallel input (token embedding) layer — paper Appendix C.
+//
+// The embedding table is partitioned across the vocabulary dimension like
+// the output layer. Forward is an independent local gather (unowned tokens
+// contribute zero rows) followed by one all-reduce; backward is a broadcast
+// of the output gradient from the first pipeline stage followed by a local
+// scatter-add into the owned rows. Both communications overlap with
+// transformer compute in the schedules, so the layer exposes the local
+// compute and the collectives as separate steps.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/vocab_shard.h"
+#include "tensor/tensor.h"
+
+namespace vocab {
+
+class DeviceGroup;
+
+/// One device's shard of the input embedding layer.
+class InputLayerShard {
+ public:
+  /// `embedding_shard` is E_d [shard.size, h]; padding rows are zeroed.
+  InputLayerShard(VocabShard shard, Tensor embedding_shard);
+
+  [[nodiscard]] const VocabShard& shard() const { return shard_; }
+  [[nodiscard]] const Tensor& embedding() const { return embedding_; }
+  [[nodiscard]] Tensor& mutable_embedding() { return embedding_; }
+  [[nodiscard]] const Tensor& embedding_grad() const { return embedding_grad_; }
+  void zero_embedding_grad();
+
+  /// Local forward gather for microbatch `mb`: returns the partial
+  /// embeddings [n, h] with zero rows for tokens this shard does not own.
+  /// Remembers the token ids for the backward pass.
+  Tensor forward_local(int mb, std::vector<std::int64_t> tokens);
+
+  /// All-reduce the partial embeddings: after this, `partial` holds the full
+  /// embedding output on every rank (the first stage feeds it onward).
+  void forward_allreduce(int mb, Tensor& partial, DeviceGroup& group);
+
+  /// Convenience: forward_local + forward_allreduce.
+  Tensor forward(int mb, std::vector<std::int64_t> tokens, DeviceGroup& group);
+
+  /// Backward: broadcast `grad_out` [n, h] from `root` (the rank driving the
+  /// first transformer layer) and scatter-add into this shard's rows.
+  /// On non-root ranks `grad_out` may be empty; it is overwritten.
+  void backward(int mb, Tensor& grad_out, int root, DeviceGroup& group);
+
+  /// Number of microbatches whose token ids are still held.
+  [[nodiscard]] std::size_t live_microbatches() const { return tokens_.size(); }
+
+ private:
+  VocabShard shard_;
+  Tensor embedding_;
+  Tensor embedding_grad_;
+  std::map<int, std::vector<std::int64_t>> tokens_;
+};
+
+}  // namespace vocab

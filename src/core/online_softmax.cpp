@@ -1,0 +1,73 @@
+#include "core/online_softmax.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace vocab {
+
+namespace {
+constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+}
+
+SoftmaxStats empty_stats() { return {kNegInf, 0.0f}; }
+
+SoftmaxStats stats_of(const float* begin, const float* end) {
+  SoftmaxStats s = empty_stats();
+  if (begin == end) return s;
+  for (const float* p = begin; p != end; ++p) s.max = std::max(s.max, *p);
+  double sum = 0.0;
+  for (const float* p = begin; p != end; ++p) sum += std::exp(static_cast<double>(*p - s.max));
+  s.sum = static_cast<float>(sum);
+  return s;
+}
+
+SoftmaxStats merge(SoftmaxStats lhs, SoftmaxStats rhs) {
+  if (lhs.sum == 0.0f && lhs.max == kNegInf) return rhs;
+  if (rhs.sum == 0.0f && rhs.max == kNegInf) return lhs;
+  SoftmaxStats out;
+  out.max = std::max(lhs.max, rhs.max);
+  out.sum = lhs.sum * std::exp(lhs.max - out.max) + rhs.sum * std::exp(rhs.max - out.max);
+  return out;
+}
+
+float correction_factor(SoftmaxStats local, SoftmaxStats global) {
+  if (local.sum == 0.0f) return 0.0f;  // empty chunk contributes nothing
+  VOCAB_CHECK(global.sum > 0.0f, "global softmax sum must be positive");
+  // eq. (5): sum'_i * e^{m'_i - m_i} / sum_i
+  return local.sum * std::exp(local.max - global.max) / global.sum;
+}
+
+std::vector<SoftmaxStats> row_stats(const Tensor& x) {
+  VOCAB_CHECK(x.rank() == 2, "row_stats expects a rank-2 tensor");
+  const std::int64_t n = x.dim(0), c = x.dim(1);
+  std::vector<SoftmaxStats> out(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    out[static_cast<std::size_t>(i)] = stats_of(x.data() + i * c, x.data() + (i + 1) * c);
+  }
+  return out;
+}
+
+Tensor streaming_softmax_rows(const Tensor& x, std::int64_t chunk_cols) {
+  VOCAB_CHECK(x.rank() == 2, "streaming_softmax_rows expects a rank-2 tensor");
+  VOCAB_CHECK(chunk_cols > 0, "chunk_cols must be positive");
+  const std::int64_t n = x.dim(0), c = x.dim(1);
+  Tensor out({n, c});
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* row = x.data() + i * c;
+    // Pass 1: stream the chunks, merging statistics online.
+    SoftmaxStats global = empty_stats();
+    for (std::int64_t j0 = 0; j0 < c; j0 += chunk_cols) {
+      const std::int64_t j1 = std::min(j0 + chunk_cols, c);
+      global = merge(global, stats_of(row + j0, row + j1));
+    }
+    // Pass 2: emit normalized values.
+    float* orow = out.data() + i * c;
+    for (std::int64_t j = 0; j < c; ++j) orow[j] = std::exp(row[j] - global.max) / global.sum;
+  }
+  return out;
+}
+
+}  // namespace vocab

@@ -1,0 +1,49 @@
+#pragma once
+
+// Online (streaming) softmax statistics — Milakov & Gimelshein 2018.
+//
+// The forward-phase optimization of the paper (eq. 5) is an instance of the
+// online-softmax identity: a softmax normalizer computed over a partition of
+// the domain can be corrected to the global normalizer with per-row scalars
+// only. These primitives implement and expose that identity directly; the
+// OutputLayerShard uses the same math inline, and property tests in
+// tests/test_online_softmax.cpp verify the algebra on random partitions.
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace vocab {
+
+/// Softmax statistics of (a chunk of) a row: running maximum and the sum of
+/// exponentials relative to that maximum.
+struct SoftmaxStats {
+  float max;  ///< m = max over the chunk (-inf for an empty chunk)
+  float sum;  ///< sum of e^{x - max} over the chunk (0 for an empty chunk)
+};
+
+/// Stats of an empty chunk (identity element of merge()).
+SoftmaxStats empty_stats();
+
+/// Stats of a contiguous span of logits.
+SoftmaxStats stats_of(const float* begin, const float* end);
+
+/// Merge two chunk statistics into the statistics of their union:
+///   m = max(m1, m2),  sum = s1·e^{m1-m} + s2·e^{m2-m}.
+/// Associative and commutative with empty_stats() as identity.
+SoftmaxStats merge(SoftmaxStats lhs, SoftmaxStats rhs);
+
+/// The per-row correction factor of eq. (5): given a chunk's local stats and
+/// the global stats, softmax_global = softmax_local * correction.
+float correction_factor(SoftmaxStats local, SoftmaxStats global);
+
+/// Row-wise stats for a [n, c] tensor, one SoftmaxStats per row.
+std::vector<SoftmaxStats> row_stats(const Tensor& x);
+
+/// Full-row softmax computed by streaming over fixed-size column chunks and
+/// merging stats — numerically equivalent to safe softmax. Exercises the
+/// same code path a fused long-vocabulary kernel would take (paper §7).
+Tensor streaming_softmax_rows(const Tensor& x, std::int64_t chunk_cols);
+
+}  // namespace vocab

@@ -1,0 +1,443 @@
+#include "core/output_layer_shard.h"
+
+#include <cmath>
+#include <limits>
+
+#include "comm/device_group.h"
+#include "common/error.h"
+#include "tensor/tensor_ops.h"
+
+namespace vocab {
+
+namespace {
+constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+
+std::string tag(int mb, int barrier, const char* what) {
+  return "out:mb" + std::to_string(mb) + ":b" + std::to_string(barrier) + ":" + what;
+}
+}  // namespace
+
+const char* to_string(OutputAlgo algo) {
+  switch (algo) {
+    case OutputAlgo::Naive: return "naive";
+    case OutputAlgo::Alg1: return "vocab-1";
+    case OutputAlgo::Alg2: return "vocab-2";
+  }
+  return "?";
+}
+
+int num_barriers(OutputAlgo algo) {
+  switch (algo) {
+    case OutputAlgo::Naive: return 3;
+    case OutputAlgo::Alg1: return 2;
+    case OutputAlgo::Alg2: return 1;
+  }
+  return 0;
+}
+
+int num_compute_phases(OutputAlgo algo) { return num_barriers(algo) + 1; }
+
+int grad_x_ready_barrier(OutputAlgo algo) {
+  switch (algo) {
+    case OutputAlgo::Naive: return 2;
+    case OutputAlgo::Alg1: return 1;
+    case OutputAlgo::Alg2: return 0;
+  }
+  return 0;
+}
+
+OutputLayerShard::OutputLayerShard(OutputAlgo algo, VocabShard shard, Tensor weight_shard)
+    : algo_(algo), shard_(shard), weight_(std::move(weight_shard)) {
+  VOCAB_CHECK(weight_.rank() == 2 && weight_.dim(0) == shard_.size,
+              "weight shard must be [" << shard_.size << ", h], got " << weight_.shape_str());
+  // Padding rows must be exactly zero so they contribute nothing to any
+  // matmul (their logits are additionally excluded from softmax statistics).
+  for (std::int64_t r = shard_.valid_size(); r < shard_.size; ++r) {
+    for (std::int64_t c = 0; c < weight_.dim(1); ++c) weight_.at(r, c) = 0.0f;
+  }
+  weight_grad_ = Tensor(weight_.shape());
+}
+
+void OutputLayerShard::zero_weight_grad() { weight_grad_.fill(0.0f); }
+
+void OutputLayerShard::start_microbatch(int mb, Tensor x, std::vector<std::int64_t> targets,
+                                        float grad_scale) {
+  VOCAB_CHECK(!state_.contains(mb), "microbatch " << mb << " already in flight");
+  VOCAB_CHECK(x.rank() == 2 && x.dim(1) == weight_.dim(1),
+              "x must be [n, " << weight_.dim(1) << "], got " << x.shape_str());
+  VOCAB_CHECK(static_cast<std::int64_t>(targets.size()) == x.dim(0),
+              "target count must equal token count");
+  for (const auto t : targets) {
+    VOCAB_CHECK(t >= 0 && t < shard_.full_vocab, "target " << t << " outside vocabulary");
+  }
+  MbState s;
+  s.x = std::move(x);
+  s.targets = std::move(targets);
+  s.grad_scale = grad_scale;
+  state_.emplace(mb, std::move(s));
+}
+
+OutputLayerShard::MbState& OutputLayerShard::state(int mb) {
+  const auto it = state_.find(mb);
+  VOCAB_CHECK(it != state_.end(), "microbatch " << mb << " not started");
+  return it->second;
+}
+
+const OutputLayerShard::MbState& OutputLayerShard::state(int mb) const {
+  const auto it = state_.find(mb);
+  VOCAB_CHECK(it != state_.end(), "microbatch " << mb << " not started");
+  return it->second;
+}
+
+void OutputLayerShard::compute_phase(int mb, int phase) {
+  MbState& s = state(mb);
+  VOCAB_CHECK(phase == s.phases_done, "compute phase " << phase << " out of order (expected "
+                                                       << s.phases_done << ")");
+  VOCAB_CHECK(phase == 0 || s.barriers_done >= phase,
+              "compute phase " << phase << " requires barrier " << phase - 1 << " first");
+  switch (algo_) {
+    case OutputAlgo::Naive: naive_compute(s, phase); break;
+    case OutputAlgo::Alg1: alg1_compute(s, phase); break;
+    case OutputAlgo::Alg2: alg2_compute(s, phase); break;
+  }
+  ++s.phases_done;
+}
+
+void OutputLayerShard::comm_barrier(int mb, int barrier, DeviceGroup& group) {
+  MbState& s = state(mb);
+  VOCAB_CHECK(barrier == s.barriers_done, "barrier " << barrier << " out of order");
+  VOCAB_CHECK(s.phases_done >= barrier + 1,
+              "barrier " << barrier << " requires compute phase " << barrier << " first");
+  switch (algo_) {
+    case OutputAlgo::Naive: naive_comm(s, barrier, mb, group); break;
+    case OutputAlgo::Alg1: alg1_comm(s, barrier, mb, group); break;
+    case OutputAlgo::Alg2: alg2_comm(s, barrier, mb, group); break;
+  }
+  ++s.barriers_done;
+}
+
+// ---- shared helpers --------------------------------------------------------
+
+void OutputLayerShard::compute_logits_masked(MbState& s) {
+  s.logits = matmul_nt(s.x, weight_);  // eq. (1): Y = X W_d^T
+  // Extract this shard's contribution to the per-token target logit while the
+  // logits are live; unowned targets contribute zero and are summed in later.
+  const std::int64_t n = s.logits.dim(0);
+  s.target_logit = Tensor({n});
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t t = s.targets[static_cast<std::size_t>(i)];
+    if (shard_.owns(t)) s.target_logit.at(i) = s.logits.at(i, shard_.to_local(t));
+  }
+}
+
+void OutputLayerShard::compute_local_stats(MbState& s) {
+  // Local (per-shard) online-softmax statistics over *valid* columns only —
+  // padding columns are excluded exactly as Megatron masks padded logits.
+  const std::int64_t n = s.logits.dim(0);
+  const std::int64_t cols = s.logits.dim(1);
+  const std::int64_t valid = shard_.valid_size();
+  s.local_max = Tensor({n}, kNegInf);
+  s.local_sum = Tensor({n});
+  s.softmax_local = Tensor({n, cols});
+  const float* py = s.logits.data();
+  float* psm = s.softmax_local.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* row = py + i * cols;
+    float m = kNegInf;
+    for (std::int64_t j = 0; j < valid; ++j) m = std::max(m, row[j]);
+    double sum = 0.0;
+    for (std::int64_t j = 0; j < valid; ++j) sum += std::exp(static_cast<double>(row[j] - m));
+    s.local_max.at(i) = m;
+    s.local_sum.at(i) = static_cast<float>(sum);
+    const float inv = sum > 0.0 ? static_cast<float>(1.0 / sum) : 0.0f;
+    float* smrow = psm + i * cols;
+    for (std::int64_t j = 0; j < valid; ++j) smrow[j] = std::exp(row[j] - m) * inv;
+    // columns [valid, cols) stay zero
+  }
+}
+
+void OutputLayerShard::finalize_loss(MbState& s) {
+  // loss_i = log(sum_i) + m_i - y_{i, g_i}, averaged over tokens (identical
+  // on every rank since all inputs are globally reduced).
+  const std::int64_t n = s.global_max.dim(0);
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    acc += std::log(static_cast<double>(s.global_sum.at(i))) + s.global_max.at(i) -
+           s.target_logit.at(i);
+  }
+  s.loss = static_cast<float>(acc / static_cast<double>(n));
+  s.loss_ready = true;
+}
+
+Tensor OutputLayerShard::diff_matrix(const MbState& s) const {
+  // D = (softmax(Y) - G_d) * grad_scale, where s.softmax_local already holds
+  // the *global* softmax restricted to this shard's columns.
+  Tensor d = s.softmax_local;
+  const std::int64_t n = d.dim(0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t t = s.targets[static_cast<std::size_t>(i)];
+    if (shard_.owns(t)) d.at(i, shard_.to_local(t)) -= 1.0f;
+  }
+  scale_inplace(d, s.grad_scale);
+  return d;
+}
+
+// ---- naive: 3 barriers ------------------------------------------------------
+
+void OutputLayerShard::naive_compute(MbState& s, int phase) {
+  const std::int64_t valid = shard_.valid_size();
+  switch (phase) {
+    case 0: {  // F1: logits + local max
+      compute_logits_masked(s);
+      const std::int64_t n = s.logits.dim(0), cols = s.logits.dim(1);
+      s.local_max = Tensor({n}, kNegInf);
+      for (std::int64_t i = 0; i < n; ++i) {
+        for (std::int64_t j = 0; j < valid; ++j) {
+          s.local_max.at(i) = std::max(s.local_max.at(i), s.logits.at(i, j));
+        }
+      }
+      s.global_max = s.local_max;  // reduced in place by barrier 0
+      (void)cols;
+      break;
+    }
+    case 1: {  // F2: exponentials with the *global* max + local sum
+      const std::int64_t n = s.logits.dim(0), cols = s.logits.dim(1);
+      s.softmax_local = Tensor({n, cols});  // holds exp(Y - m) until barrier 1
+      s.local_sum = Tensor({n});
+      for (std::int64_t i = 0; i < n; ++i) {
+        const float m = s.global_max.at(i);
+        double sum = 0.0;
+        for (std::int64_t j = 0; j < valid; ++j) {
+          const float e = std::exp(s.logits.at(i, j) - m);
+          s.softmax_local.at(i, j) = e;
+          sum += e;
+        }
+        s.local_sum.at(i) = static_cast<float>(sum);
+      }
+      s.global_sum = s.local_sum;  // reduced in place by barrier 1
+      s.logits = Tensor();         // logits no longer needed
+      break;
+    }
+    case 2: {  // B: softmax, then grad_x partial product
+      const std::int64_t n = s.softmax_local.dim(0);
+      for (std::int64_t i = 0; i < n; ++i) {
+        const float inv = 1.0f / s.global_sum.at(i);
+        for (std::int64_t j = 0; j < valid; ++j) s.softmax_local.at(i, j) *= inv;
+      }
+      const Tensor d = diff_matrix(s);
+      s.grad_x = matmul(d, weight_);  // eq. (3) partial: reduced by barrier 2
+      break;
+    }
+    case 3: {  // T: weight gradient, arbitrarily delayable
+      const Tensor d = diff_matrix(s);
+      add_inplace(weight_grad_, matmul_tn(d, s.x));  // eq. (4)
+      break;
+    }
+    default: VOCAB_FAIL("naive has 4 compute phases, got " << phase);
+  }
+}
+
+void OutputLayerShard::naive_comm(MbState& s, int barrier, int mb, DeviceGroup& group) {
+  switch (barrier) {
+    case 0:
+      group.all_reduce(shard_.rank, s.global_max, ReduceOp::Max, tag(mb, 0, "max"));
+      break;
+    case 1:
+      group.all_reduce(shard_.rank, s.global_sum, ReduceOp::Sum, tag(mb, 1, "sum"));
+      group.all_reduce(shard_.rank, s.target_logit, ReduceOp::Sum, tag(mb, 1, "ytgt"));
+      finalize_loss(s);
+      break;
+    case 2:
+      group.all_reduce(shard_.rank, s.grad_x, ReduceOp::Sum, tag(mb, 2, "gradx"));
+      s.grad_x_ready = true;
+      break;
+    default: VOCAB_FAIL("naive has 3 barriers, got " << barrier);
+  }
+}
+
+// ---- Algorithm 1: 2 barriers -------------------------------------------------
+
+void OutputLayerShard::alg1_compute(MbState& s, int phase) {
+  switch (phase) {
+    case 0: {  // S: logits + local online-softmax statistics
+      compute_logits_masked(s);
+      compute_local_stats(s);
+      s.logits = Tensor();  // freed: softmax' + stats suffice from here on
+      break;
+    }
+    case 1: {  // T: rescale softmax to global (eq. 5), both gradient matmuls
+      const std::int64_t n = s.softmax_local.dim(0);
+      const std::int64_t valid = shard_.valid_size();
+      for (std::int64_t i = 0; i < n; ++i) {
+        const float c = s.rescale.at(i);
+        for (std::int64_t j = 0; j < valid; ++j) s.softmax_local.at(i, j) *= c;
+      }
+      const Tensor d = diff_matrix(s);
+      s.grad_x = matmul(d, weight_);                  // partial; reduced in C2
+      add_inplace(weight_grad_, matmul_tn(d, s.x));   // eq. (4)
+      s.softmax_local = Tensor();
+      s.x = Tensor();
+      break;
+    }
+    case 2:
+      break;  // trailing phase is empty: grad_x lands in barrier C2
+    default: VOCAB_FAIL("alg1 has 3 compute phases, got " << phase);
+  }
+}
+
+void OutputLayerShard::alg1_comm(MbState& s, int barrier, int mb, DeviceGroup& group) {
+  switch (barrier) {
+    case 0: {  // C1: lightweight [bs]-sized statistics exchange (eq. 5)
+      s.global_max = s.local_max;
+      group.all_reduce(shard_.rank, s.global_max, ReduceOp::Max, tag(mb, 0, "max"));
+      const std::int64_t n = s.local_sum.dim(0);
+      Tensor scaled_sum({n});
+      for (std::int64_t i = 0; i < n; ++i) {
+        scaled_sum.at(i) = s.local_sum.at(i) *
+                           std::exp(s.local_max.at(i) - s.global_max.at(i));
+      }
+      s.global_sum = scaled_sum;
+      group.all_reduce(shard_.rank, s.global_sum, ReduceOp::Sum, tag(mb, 0, "sum"));
+      s.rescale = Tensor({n});
+      for (std::int64_t i = 0; i < n; ++i) s.rescale.at(i) = scaled_sum.at(i) / s.global_sum.at(i);
+      group.all_reduce(shard_.rank, s.target_logit, ReduceOp::Sum, tag(mb, 0, "ytgt"));
+      finalize_loss(s);
+      break;
+    }
+    case 1:  // C2: reduce the input gradient (NCCL AllReduce in the paper)
+      group.all_reduce(shard_.rank, s.grad_x, ReduceOp::Sum, tag(mb, 1, "gradx"));
+      s.grad_x_ready = true;
+      break;
+    default: VOCAB_FAIL("alg1 has 2 barriers, got " << barrier);
+  }
+}
+
+// ---- Algorithm 2: 1 barrier --------------------------------------------------
+
+void OutputLayerShard::alg2_compute(MbState& s, int phase) {
+  switch (phase) {
+    case 0: {  // S: logits, local stats, and *both* pre-barrier matmuls (eq. 6)
+      compute_logits_masked(s);
+      compute_local_stats(s);
+      s.logits = Tensor();
+      s.a = matmul(s.softmax_local, weight_);  // softmax'(Y) W_d
+      // B = G_d W_d is a row gather: row i is W_d[g_i] when this shard owns
+      // the label, zero otherwise.
+      const std::int64_t n = s.x.dim(0), h = weight_.dim(1);
+      s.b = Tensor({n, h});
+      for (std::int64_t i = 0; i < n; ++i) {
+        const std::int64_t t = s.targets[static_cast<std::size_t>(i)];
+        if (!shard_.owns(t)) continue;
+        const std::int64_t r = shard_.to_local(t);
+        for (std::int64_t c = 0; c < h; ++c) s.b.at(i, c) = weight_.at(r, c);
+      }
+      break;
+    }
+    case 1: {  // T: global softmax + weight gradient (arbitrarily delayed)
+      const std::int64_t n = s.softmax_local.dim(0);
+      const std::int64_t valid = shard_.valid_size();
+      for (std::int64_t i = 0; i < n; ++i) {
+        const float c = s.rescale.at(i);
+        for (std::int64_t j = 0; j < valid; ++j) s.softmax_local.at(i, j) *= c;
+      }
+      const Tensor d = diff_matrix(s);
+      add_inplace(weight_grad_, matmul_tn(d, s.x));  // eq. (4)
+      s.softmax_local = Tensor();
+      s.x = Tensor();
+      break;
+    }
+    default: VOCAB_FAIL("alg2 has 2 compute phases, got " << phase);
+  }
+}
+
+void OutputLayerShard::alg2_comm(MbState& s, int barrier, int mb, DeviceGroup& group) {
+  VOCAB_CHECK(barrier == 0, "alg2 has a single barrier");
+  // C1: statistics exchange as in Alg. 1 ...
+  s.global_max = s.local_max;
+  group.all_reduce(shard_.rank, s.global_max, ReduceOp::Max, tag(mb, 0, "max"));
+  const std::int64_t n = s.local_sum.dim(0);
+  Tensor scaled_sum({n});
+  for (std::int64_t i = 0; i < n; ++i) {
+    scaled_sum.at(i) = s.local_sum.at(i) * std::exp(s.local_max.at(i) - s.global_max.at(i));
+  }
+  s.global_sum = scaled_sum;
+  group.all_reduce(shard_.rank, s.global_sum, ReduceOp::Sum, tag(mb, 0, "sum"));
+  s.rescale = Tensor({n});
+  for (std::int64_t i = 0; i < n; ++i) s.rescale.at(i) = scaled_sum.at(i) / s.global_sum.at(i);
+  group.all_reduce(shard_.rank, s.target_logit, ReduceOp::Sum, tag(mb, 0, "ytgt"));
+  finalize_loss(s);
+  // ... plus eq. (6): grad_X = Reduce(A * c - B), only lightweight work here
+  // since both matmuls were pre-computed in S.
+  const std::int64_t h = s.a.dim(1);
+  s.grad_x = Tensor({n, h});
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float c = s.rescale.at(i);
+    for (std::int64_t col = 0; col < h; ++col) {
+      s.grad_x.at(i, col) = (s.a.at(i, col) * c - s.b.at(i, col)) * s.grad_scale;
+    }
+  }
+  group.all_reduce(shard_.rank, s.grad_x, ReduceOp::Sum, tag(mb, 0, "gradx"));
+  s.grad_x_ready = true;
+  s.a = Tensor();
+  s.b = Tensor();
+}
+
+// ---- results / lifecycle -----------------------------------------------------
+
+float OutputLayerShard::loss(int mb) const {
+  const MbState& s = state(mb);
+  VOCAB_CHECK(s.loss_ready, "loss for microbatch " << mb << " not yet reduced");
+  return s.loss;
+}
+
+const Tensor& OutputLayerShard::grad_x(int mb) const {
+  const MbState& s = state(mb);
+  VOCAB_CHECK(s.grad_x_ready, "grad_x for microbatch " << mb << " not yet reduced");
+  return s.grad_x;
+}
+
+void OutputLayerShard::finish_microbatch(int mb) {
+  const MbState& s = state(mb);
+  VOCAB_CHECK(s.phases_done == num_compute_phases(algo_) &&
+                  s.barriers_done == num_barriers(algo_),
+              "finishing microbatch " << mb << " before all phases ran");
+  state_.erase(mb);
+}
+
+std::size_t OutputLayerShard::live_activation_bytes() const {
+  std::size_t bytes = 0;
+  auto count = [&bytes](const Tensor& t) { bytes += static_cast<std::size_t>(t.numel()) * sizeof(float); };
+  for (const auto& [mb, s] : state_) {
+    count(s.x);
+    count(s.logits);
+    count(s.local_max);
+    count(s.local_sum);
+    count(s.global_max);
+    count(s.global_sum);
+    count(s.rescale);
+    count(s.softmax_local);
+    count(s.target_logit);
+    count(s.a);
+    count(s.b);
+    count(s.grad_x);
+  }
+  return bytes;
+}
+
+std::pair<float, Tensor> OutputLayerShard::run_all(int mb, DeviceGroup& group, Tensor x,
+                                                   std::vector<std::int64_t> targets,
+                                                   float grad_scale) {
+  start_microbatch(mb, std::move(x), std::move(targets), grad_scale);
+  const int phases = num_compute_phases(algo_);
+  const int barriers = num_barriers(algo_);
+  for (int i = 0; i < phases; ++i) {
+    compute_phase(mb, i);
+    if (i < barriers) comm_barrier(mb, i, group);
+  }
+  const float l = loss(mb);
+  Tensor gx = grad_x(mb);
+  finish_microbatch(mb);
+  return {l, std::move(gx)};
+}
+
+}  // namespace vocab

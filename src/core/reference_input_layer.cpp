@@ -1,0 +1,38 @@
+#include "core/reference_input_layer.h"
+
+#include "common/error.h"
+
+namespace vocab {
+
+Tensor reference_embedding_forward(const Tensor& embedding,
+                                   const std::vector<std::int64_t>& tokens) {
+  VOCAB_CHECK(embedding.rank() == 2, "embedding must be [V, h]");
+  const std::int64_t v = embedding.dim(0), h = embedding.dim(1);
+  const std::int64_t n = static_cast<std::int64_t>(tokens.size());
+  Tensor out({n, h});
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t t = tokens[static_cast<std::size_t>(i)];
+    VOCAB_CHECK(t >= 0 && t < v, "token " << t << " outside vocabulary of size " << v);
+    for (std::int64_t c = 0; c < h; ++c) out.at(i, c) = embedding.at(t, c);
+  }
+  return out;
+}
+
+void reference_embedding_backward(Tensor& embedding_grad,
+                                  const std::vector<std::int64_t>& tokens,
+                                  const Tensor& grad_out) {
+  VOCAB_CHECK(embedding_grad.rank() == 2 && grad_out.rank() == 2 &&
+                  grad_out.dim(1) == embedding_grad.dim(1) &&
+                  grad_out.dim(0) == static_cast<std::int64_t>(tokens.size()),
+              "embedding backward shape mismatch");
+  const std::int64_t v = embedding_grad.dim(0), h = embedding_grad.dim(1);
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const std::int64_t t = tokens[i];
+    VOCAB_CHECK(t >= 0 && t < v, "token " << t << " outside vocabulary of size " << v);
+    for (std::int64_t c = 0; c < h; ++c) {
+      embedding_grad.at(t, c) += grad_out.at(static_cast<std::int64_t>(i), c);
+    }
+  }
+}
+
+}  // namespace vocab

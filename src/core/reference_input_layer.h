@@ -1,0 +1,22 @@
+#pragma once
+
+// Unpartitioned input embedding layer — the Baseline's first-stage layer and
+// the ground truth for InputLayerShard.
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace vocab {
+
+/// Gather rows of `embedding` [V, h] for `tokens`: result [n, h].
+Tensor reference_embedding_forward(const Tensor& embedding,
+                                   const std::vector<std::int64_t>& tokens);
+
+/// Scatter-add `grad_out` [n, h] into `embedding_grad` [V, h] at `tokens`.
+void reference_embedding_backward(Tensor& embedding_grad,
+                                  const std::vector<std::int64_t>& tokens,
+                                  const Tensor& grad_out);
+
+}  // namespace vocab

@@ -1,0 +1,33 @@
+#include "core/reference_output_layer.h"
+
+#include "common/error.h"
+#include "tensor/tensor_ops.h"
+
+namespace vocab {
+
+OutputLayerResult reference_output_layer(const Tensor& x, const Tensor& w,
+                                         const std::vector<std::int64_t>& targets,
+                                         float grad_scale) {
+  VOCAB_CHECK(x.rank() == 2 && w.rank() == 2, "reference_output_layer expects 2-D x and w");
+  VOCAB_CHECK(x.dim(1) == w.dim(1),
+              "hidden dim mismatch: x " << x.shape_str() << " vs w " << w.shape_str());
+  const Tensor logits = matmul_nt(x, w);  // eq. (1): Y = X W^T
+  OutputLayerResult out;
+  out.loss = cross_entropy_mean(logits, targets);
+
+  Tensor d = softmax_rows(logits);  // eq. (2)
+  const Tensor g = one_hot(targets, w.dim(0));
+  d = sub(d, g);
+  scale_inplace(d, grad_scale);
+
+  out.grad_x = matmul(d, w);     // eq. (3)
+  out.grad_w = matmul_tn(d, x);  // eq. (4)
+  return out;
+}
+
+float reference_output_loss(const Tensor& x, const Tensor& w,
+                            const std::vector<std::int64_t>& targets) {
+  return cross_entropy_mean(matmul_nt(x, w), targets);
+}
+
+}  // namespace vocab

@@ -1,0 +1,39 @@
+#pragma once
+
+// Unpartitioned output layer: the ground truth every partitioned algorithm
+// is verified against, and the layer the Baseline pipeline keeps whole on
+// its last device.
+//
+// Given the last transformer layer's output X [n, h], embedding weights
+// W [V, h] and labels g, it computes (eqs. 1–4 of the paper):
+//   Y = X W^T,  softmax over the vocabulary, mean cross-entropy loss,
+//   grad_X = (softmax(Y) - G) W * grad_scale,
+//   grad_W = (softmax(Y) - G)^T X * grad_scale.
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace vocab {
+
+/// Result of a full forward+backward through the unpartitioned output layer.
+struct OutputLayerResult {
+  float loss = 0.0f;  ///< mean cross-entropy over the n tokens
+  Tensor grad_x;      ///< [n, h]
+  Tensor grad_w;      ///< [V, h]
+};
+
+/// Forward + backward of the unpartitioned output layer.
+/// `x`: [n, h]; `w`: [V, h]; `targets`: n labels in [0, V).
+/// `grad_scale` multiplies both gradients (1/n for a mean-reduced loss that
+/// is also averaged upstream; callers pick their convention).
+OutputLayerResult reference_output_layer(const Tensor& x, const Tensor& w,
+                                         const std::vector<std::int64_t>& targets,
+                                         float grad_scale);
+
+/// Forward only: mean cross-entropy loss (used by inference-style checks).
+float reference_output_loss(const Tensor& x, const Tensor& w,
+                            const std::vector<std::int64_t>& targets);
+
+}  // namespace vocab

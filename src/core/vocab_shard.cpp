@@ -1,0 +1,50 @@
+#include "core/vocab_shard.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace vocab {
+
+std::int64_t VocabShard::valid_size() const {
+  const std::int64_t end = std::min(offset + size, full_vocab);
+  return std::max<std::int64_t>(0, end - offset);
+}
+
+bool VocabShard::owns(std::int64_t v) const {
+  return v >= offset && v < offset + valid_size();
+}
+
+std::int64_t VocabShard::to_local(std::int64_t v) const {
+  VOCAB_CHECK(owns(v), "vocab id " << v << " not owned by shard [" << offset << ", "
+                                   << offset + size << ") of rank " << rank);
+  return v - offset;
+}
+
+std::int64_t pad_vocab(std::int64_t full_vocab, int world) {
+  VOCAB_CHECK(full_vocab > 0, "vocabulary size must be positive");
+  VOCAB_CHECK(world >= 1, "world size must be >= 1");
+  const std::int64_t align = 2 * static_cast<std::int64_t>(world);
+  return (full_vocab + align - 1) / align * align;
+}
+
+VocabShard make_shard(std::int64_t full_vocab, int rank, int world) {
+  VOCAB_CHECK(rank >= 0 && rank < world, "rank " << rank << " out of range");
+  VocabShard s;
+  s.rank = rank;
+  s.world = world;
+  s.full_vocab = full_vocab;
+  s.padded_vocab = pad_vocab(full_vocab, world);
+  s.size = s.padded_vocab / world;
+  s.offset = s.size * rank;
+  return s;
+}
+
+std::vector<VocabShard> make_all_shards(std::int64_t full_vocab, int world) {
+  std::vector<VocabShard> shards;
+  shards.reserve(static_cast<std::size_t>(world));
+  for (int r = 0; r < world; ++r) shards.push_back(make_shard(full_vocab, r, world));
+  return shards;
+}
+
+}  // namespace vocab

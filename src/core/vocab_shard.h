@@ -1,0 +1,44 @@
+#pragma once
+
+// Vocabulary partitioning arithmetic.
+//
+// The paper partitions the vocabulary dimension evenly across all p pipeline
+// devices, padding V up to a multiple of 2p for memory alignment (§6.1).
+// VocabShard captures one device's slice: [offset, offset + size), of which
+// only [offset, valid_end) indexes real vocabulary entries — the rest is
+// padding whose logits must be masked out of the softmax.
+
+#include <cstdint>
+#include <vector>
+
+namespace vocab {
+
+/// One device's slice of the (padded) vocabulary dimension.
+struct VocabShard {
+  int rank = 0;                  ///< device index in [0, world)
+  int world = 1;                 ///< number of pipeline devices p
+  std::int64_t full_vocab = 0;   ///< original (unpadded) V
+  std::int64_t padded_vocab = 0; ///< V padded to a multiple of 2p
+  std::int64_t offset = 0;       ///< first (padded) vocab index owned
+  std::int64_t size = 0;         ///< padded_vocab / world
+
+  /// Number of *real* (non-padding) vocabulary entries in this shard.
+  [[nodiscard]] std::int64_t valid_size() const;
+
+  /// True if global vocab id `v` belongs to this shard's real entries.
+  [[nodiscard]] bool owns(std::int64_t v) const;
+
+  /// Translate a global vocab id into a local column; requires owns(v).
+  [[nodiscard]] std::int64_t to_local(std::int64_t v) const;
+};
+
+/// Pad `full_vocab` to a multiple of `2 * world` (paper §6.1).
+std::int64_t pad_vocab(std::int64_t full_vocab, int world);
+
+/// Build the shard descriptor for `rank` of `world` devices.
+VocabShard make_shard(std::int64_t full_vocab, int rank, int world);
+
+/// Build all `world` shards.
+std::vector<VocabShard> make_all_shards(std::int64_t full_vocab, int world);
+
+}  // namespace vocab

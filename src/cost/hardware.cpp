@@ -1,0 +1,53 @@
+#include "cost/hardware.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace vocab {
+
+double HardwareModel::efficiency(double flops) const {
+  VOCAB_CHECK(flops >= 0, "flops must be non-negative");
+  if (flops == 0) return max_efficiency;
+  return max_efficiency * flops / (flops + kernel_overhead_flops);
+}
+
+double HardwareModel::compute_time(double flops) const {
+  if (flops <= 0) return 0.0;
+  return flops / (peak_flops * efficiency(flops));
+}
+
+double HardwareModel::elementwise_time(double flops) const {
+  if (flops <= 0) return 0.0;
+  return flops / elementwise_flops;
+}
+
+bool HardwareModel::same_node(int a, int b) const {
+  return a / gpus_per_node == b / gpus_per_node;
+}
+
+double HardwareModel::collective_bandwidth(int world) const {
+  VOCAB_CHECK(world >= 1, "world must be >= 1");
+  return world <= gpus_per_node ? intra_node_bandwidth : inter_node_bandwidth;
+}
+
+double HardwareModel::allreduce_time(double bytes, int world) const {
+  if (world <= 1 || bytes <= 0) return 0.0;
+  const double w = static_cast<double>(world);
+  return 2.0 * (w - 1.0) / w * bytes / collective_bandwidth(world) +
+         (w - 1.0) * collective_latency;
+}
+
+double HardwareModel::broadcast_time(double bytes, int world) const {
+  if (world <= 1 || bytes <= 0) return 0.0;
+  const double hops = std::ceil(std::log2(static_cast<double>(world)));
+  return bytes / collective_bandwidth(world) + hops * collective_latency;
+}
+
+double HardwareModel::p2p_time(double bytes, int from_rank, int to_rank) const {
+  if (from_rank == to_rank || bytes <= 0) return 0.0;
+  const double bw = same_node(from_rank, to_rank) ? intra_node_bandwidth : inter_node_bandwidth;
+  return bytes / bw + p2p_latency;
+}
+
+}  // namespace vocab

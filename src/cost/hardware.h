@@ -1,0 +1,70 @@
+#pragma once
+
+// Analytical hardware model of the paper's testbed: A100-SXM-80GB nodes
+// (8 GPUs each) connected by NVLink within a node and RoCE RDMA across
+// nodes. The simulator multiplies FLOP counts from the cost model by this
+// model's kernel-efficiency curve to get pass durations, and uses the α-β
+// collective model for communication.
+//
+// None of the absolute constants claim to match the authors' cluster; they
+// are calibrated so the *shapes* of the paper's results (MFU trends, OOM
+// points, who-wins orderings) reproduce. See EXPERIMENTS.md.
+
+namespace vocab {
+
+/// Cluster-level hardware description and timing primitives.
+struct HardwareModel {
+  // -- compute ---------------------------------------------------------------
+  double peak_flops = 312e12;          ///< A100 BF16 dense peak per GPU
+  double max_efficiency = 0.62;        ///< efficiency ceiling of a huge GEMM
+  double kernel_overhead_flops = 8e10; ///< o in eff(w) = e_max * w / (w + o)
+  /// Effective throughput of memory-bound elementwise work, expressed as
+  /// FLOPs/s (softmax rescales, exp/sum sweeps): HBM-bandwidth limited.
+  double elementwise_flops = 30e12;
+
+  // -- interconnect ----------------------------------------------------------
+  double intra_node_bandwidth = 200e9; ///< NVLink effective bytes/s
+  double inter_node_bandwidth = 25e9;  ///< RoCE effective bytes/s
+  double p2p_latency = 10e-6;          ///< per message
+  double collective_latency = 20e-6;   ///< α per ring step
+  int gpus_per_node = 8;
+
+  // -- memory ----------------------------------------------------------------
+  double memory_capacity = 80e9;       ///< HBM bytes per GPU
+  /// Bytes per parameter under Megatron mixed-precision Adam without a
+  /// distributed optimizer: bf16 param (2) + fp32 master (4) + fp32 grad (4)
+  /// + Adam m/v (8).
+  double bytes_per_param = 18.0;
+  /// Activation bytes per transformer layer per microbatch, per b*s*h
+  /// element (flash-attention era footprint).
+  double activation_bytes_per_token_dim = 24.0;
+
+  /// Kernel efficiency as a function of the work size (FLOPs): small kernels
+  /// pay fixed launch/low-occupancy cost — eff(w) = e_max * w / (w + o).
+  [[nodiscard]] double efficiency(double flops) const;
+
+  /// Wall time of a compute pass of `flops` FLOPs of GEMM-like work.
+  [[nodiscard]] double compute_time(double flops) const;
+
+  /// Wall time of memory-bound elementwise work of `flops` operations.
+  [[nodiscard]] double elementwise_time(double flops) const;
+
+  /// True if GPUs `a` and `b` (global ranks) share a node.
+  [[nodiscard]] bool same_node(int a, int b) const;
+
+  /// The bandwidth bounding a collective over ranks [0, world): the
+  /// inter-node link once the group spans nodes.
+  [[nodiscard]] double collective_bandwidth(int world) const;
+
+  /// Ring all-reduce wall time for `bytes` over `world` ranks:
+  /// 2(w-1)/w * bytes / bw + (w-1) * α.
+  [[nodiscard]] double allreduce_time(double bytes, int world) const;
+
+  /// Broadcast (tree) wall time for `bytes` over `world` ranks.
+  [[nodiscard]] double broadcast_time(double bytes, int world) const;
+
+  /// Point-to-point transfer time between two specific ranks.
+  [[nodiscard]] double p2p_time(double bytes, int from_rank, int to_rank) const;
+};
+
+}  // namespace vocab

@@ -1,0 +1,112 @@
+#include "cost/model_config.h"
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace vocab {
+
+std::string ModelConfig::summary() const {
+  std::ostringstream oss;
+  oss << name << " (L=" << num_layers << ", a=" << attention_heads << ", h=" << hidden
+      << ", s=" << seq_len << ", V=" << vocab << ", b=" << microbatch << ", M="
+      << num_microbatches << ", ~" << total_params() / 1000000000.0 << "B params)";
+  return oss.str();
+}
+
+ModelConfig preset_1f1b(int gpus, std::int64_t seq_len, std::int64_t vocab_size) {
+  ModelConfig cfg;
+  switch (gpus) {
+    case 8:  // ~4B
+      cfg.name = "gpt-4b";
+      cfg.num_layers = 32;
+      cfg.attention_heads = 24;
+      cfg.hidden = 3072;
+      break;
+    case 16:  // ~10B
+      cfg.name = "gpt-10b";
+      cfg.num_layers = 48;
+      cfg.attention_heads = 32;
+      cfg.hidden = 4096;
+      break;
+    case 32:  // ~21B
+      cfg.name = "gpt-21b";
+      cfg.num_layers = 64;
+      cfg.attention_heads = 40;
+      cfg.hidden = 5120;
+      break;
+    default:
+      VOCAB_FAIL("no Table-1 preset for " << gpus << " GPUs (expected 8/16/32)");
+  }
+  cfg.seq_len = seq_len;
+  cfg.vocab = vocab_size;
+  cfg.microbatch = 1;
+  cfg.num_microbatches = 128;
+  return cfg;
+}
+
+ModelConfig preset_vhalf(int gpus, std::int64_t seq_len, std::int64_t vocab_size) {
+  ModelConfig cfg;
+  switch (gpus) {
+    case 16:  // ~7B
+      cfg.name = "gpt-7b";
+      cfg.num_layers = 32;
+      cfg.attention_heads = 32;
+      cfg.hidden = 4096;
+      break;
+    case 24:  // ~16B
+      cfg.name = "gpt-16b";
+      cfg.num_layers = 48;
+      cfg.attention_heads = 40;
+      cfg.hidden = 5120;
+      break;
+    case 32:  // ~30B
+      cfg.name = "gpt-30b";
+      cfg.num_layers = 64;
+      cfg.attention_heads = 48;
+      cfg.hidden = 6144;
+      break;
+    default:
+      VOCAB_FAIL("no Table-2 preset for " << gpus << " GPUs (expected 16/24/32)");
+  }
+  cfg.seq_len = seq_len;
+  cfg.vocab = vocab_size;
+  cfg.microbatch = 1;
+  cfg.num_microbatches = 128;
+  return cfg;
+}
+
+ModelConfig preset_gemma2_9b(std::int64_t vocab_size) {
+  ModelConfig cfg;
+  cfg.name = "gemma2-9b";
+  cfg.num_layers = 42;
+  cfg.attention_heads = 16;
+  cfg.hidden = 3584;
+  cfg.seq_len = 4096;
+  cfg.vocab = vocab_size;
+  return cfg;
+}
+
+ModelConfig preset_fig3_7b() {
+  ModelConfig cfg;
+  cfg.name = "gpt-7b-fig3";
+  cfg.num_layers = 16;  // 2 transformer layers per stage on 8 devices
+  cfg.attention_heads = 32;
+  cfg.hidden = 4096;
+  cfg.seq_len = 2048;
+  cfg.vocab = 131072;
+  return cfg;
+}
+
+ModelConfig preset_b2_21b(std::int64_t seq_len) {
+  ModelConfig cfg = preset_1f1b(32, seq_len, 262144);
+  cfg.name = "gpt-21.5b";
+  return cfg;
+}
+
+const std::vector<std::int64_t>& paper_vocab_sweep() {
+  static const std::vector<std::int64_t> sweep{32768, 65536, 131072, 262144};
+  return sweep;
+}
+
+}  // namespace vocab

@@ -1,0 +1,62 @@
+#pragma once
+
+// GPT-family model configurations and the experiment presets from the paper
+// (Table 1: 1F1B experiments; Table 2: V-Half experiments; Table 7: the
+// artifact's single-server setup; plus Gemma2-9B used in Figure 2).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vocab {
+
+/// Configuration of a GPT-like transformer being trained.
+struct ModelConfig {
+  std::string name = "gpt";
+  int num_layers = 32;             ///< transformer layers (excl. vocab layers)
+  int attention_heads = 24;
+  std::int64_t hidden = 3072;      ///< h
+  std::int64_t seq_len = 2048;     ///< s
+  std::int64_t vocab = 32768;      ///< V (unpadded)
+  std::int64_t microbatch = 1;     ///< b
+  int num_microbatches = 128;      ///< microbatches per iteration
+
+  /// Parameters of one transformer layer: 12 h^2 (Appendix A: 24h^2 bytes at
+  /// 2 bytes/param, ignoring small terms).
+  [[nodiscard]] std::int64_t transformer_layer_params() const { return 12 * hidden * hidden; }
+
+  /// Parameters of one vocabulary (input or output) layer: h * V.
+  [[nodiscard]] std::int64_t vocab_layer_params() const { return hidden * vocab; }
+
+  /// Total parameters: L transformer layers + untied input & output layers.
+  [[nodiscard]] std::int64_t total_params() const {
+    return num_layers * transformer_layer_params() + 2 * vocab_layer_params();
+  }
+
+  /// Tokens per microbatch (b * s).
+  [[nodiscard]] std::int64_t tokens_per_microbatch() const { return microbatch * seq_len; }
+
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Paper Table 1 presets (1F1B experiments): ~4B / ~10B / ~21B for 8/16/32
+/// pipeline devices. `seq_len` and `vocab` are filled from arguments.
+ModelConfig preset_1f1b(int gpus, std::int64_t seq_len, std::int64_t vocab_size);
+
+/// Paper Table 2 presets (V-Half experiments): ~7B / ~16B / ~30B for
+/// 16/24/32 pipeline devices.
+ModelConfig preset_vhalf(int gpus, std::int64_t seq_len, std::int64_t vocab_size);
+
+/// Gemma2-9B-like configuration used in Figure 2's ratio analysis.
+ModelConfig preset_gemma2_9b(std::int64_t vocab_size = 256000);
+
+/// The ~7B model of Figure 3 (layer redistribution example, V = 128k, p = 8).
+ModelConfig preset_fig3_7b();
+
+/// The ~21.5B model of Appendix B.2 (interlaced ablation on 32 GPUs).
+ModelConfig preset_b2_21b(std::int64_t seq_len = 2048);
+
+/// Vocabulary sweep used across the paper's evaluation.
+const std::vector<std::int64_t>& paper_vocab_sweep();  // {32k, 64k, 128k, 256k}
+
+}  // namespace vocab

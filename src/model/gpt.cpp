@@ -1,0 +1,53 @@
+#include "model/gpt.h"
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace vocab {
+
+GptWeights GptWeights::init(const GptConfig& cfg, std::uint64_t seed) {
+  VOCAB_CHECK(cfg.num_layers >= 1 && cfg.hidden % cfg.heads == 0,
+              "invalid GPT config (heads must divide hidden)");
+  Rng rng(seed);
+  GptWeights w;
+  w.config = cfg;
+  w.input_embedding = Tensor::randn({cfg.vocab, cfg.hidden}, rng, 0.02f);
+  w.pos_embedding = Tensor::randn({cfg.seq_len, cfg.hidden}, rng, 0.02f);
+  w.layers.reserve(static_cast<std::size_t>(cfg.num_layers));
+  for (int l = 0; l < cfg.num_layers; ++l) {
+    w.layers.push_back(LayerWeights::init(cfg.hidden, rng));
+  }
+  w.output_weight = cfg.tie_embeddings ? w.input_embedding
+                                       : Tensor::randn({cfg.vocab, cfg.hidden}, rng, 0.02f);
+  return w;
+}
+
+SyntheticCorpus::SyntheticCorpus(std::int64_t vocab, std::int64_t seq_len, std::uint64_t seed)
+    : vocab_(vocab), seq_len_(seq_len), seed_(seed),
+      cdf_(zipf_cdf(static_cast<std::size_t>(vocab), 1.1)) {
+  VOCAB_CHECK(vocab >= 4 && seq_len >= 2, "corpus needs vocab >= 4, seq_len >= 2");
+}
+
+Sample SyntheticCorpus::sample(int index) const {
+  Rng rng(seed_ ^ (0x51ed270b0903cb1fULL * static_cast<std::uint64_t>(index + 1)));
+  Sample s;
+  s.tokens.resize(static_cast<std::size_t>(seq_len_));
+  s.targets.resize(static_cast<std::size_t>(seq_len_));
+  std::int64_t prev = static_cast<std::int64_t>(rng.sample_cdf(cdf_));
+  for (std::int64_t i = 0; i < seq_len_ + 1; ++i) {
+    // Learnable structure: with prob 0.5 the next token is a deterministic
+    // function of the previous one, otherwise a fresh Zipf draw.
+    std::int64_t tok;
+    if (rng.uniform() < 0.5) {
+      tok = (prev * 31 + 7) % vocab_;
+    } else {
+      tok = static_cast<std::int64_t>(rng.sample_cdf(cdf_));
+    }
+    if (i < seq_len_) s.tokens[static_cast<std::size_t>(i)] = tok;
+    if (i > 0) s.targets[static_cast<std::size_t>(i - 1)] = tok;
+    prev = tok;
+  }
+  return s;
+}
+
+}  // namespace vocab

@@ -1,0 +1,61 @@
+#pragma once
+
+// Full GPT-like model weights (value type) and the synthetic corpus used by
+// the convergence experiments (Appendix E / Figure 17): the paper's customised
+// C4 is replaced by a seeded Zipf-distributed token stream — the comparison
+// only needs identical data across the implementations being compared.
+
+#include <cstdint>
+#include <vector>
+
+#include "model/transformer.h"
+#include "tensor/tensor.h"
+
+namespace vocab {
+
+/// Shape of a tiny trainable GPT.
+struct GptConfig {
+  int num_layers = 4;
+  int heads = 4;
+  std::int64_t hidden = 64;
+  std::int64_t seq_len = 32;
+  std::int64_t vocab = 97;  // deliberately not a multiple of 2p
+  /// Share the input embedding and output projection weights (§6.1: easy
+  /// under Vocabulary Parallelism — both shards live on the same device).
+  bool tie_embeddings = false;
+};
+
+/// All weights of the model, as plain tensors.
+struct GptWeights {
+  GptConfig config;
+  Tensor input_embedding;   // [V, h]
+  Tensor pos_embedding;     // [s, h] (kept whole on the first stage, §6.4)
+  std::vector<LayerWeights> layers;
+  Tensor output_weight;     // [V, h]; equals input_embedding when tied
+
+  static GptWeights init(const GptConfig& cfg, std::uint64_t seed);
+};
+
+/// One training sample: `tokens[i]` predicts `targets[i]` (= tokens[i+1]).
+struct Sample {
+  std::vector<std::int64_t> tokens;
+  std::vector<std::int64_t> targets;
+};
+
+/// Deterministic synthetic corpus: Zipf unigram draws with a short-range
+/// bigram correlation so the loss actually decreases during training.
+class SyntheticCorpus {
+ public:
+  SyntheticCorpus(std::int64_t vocab, std::int64_t seq_len, std::uint64_t seed);
+
+  /// The `index`-th sample; deterministic in (seed, index).
+  [[nodiscard]] Sample sample(int index) const;
+
+ private:
+  std::int64_t vocab_;
+  std::int64_t seq_len_;
+  std::uint64_t seed_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace vocab

@@ -1,0 +1,137 @@
+#include "model/transformer.h"
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "tensor/tensor_ops.h"
+
+namespace vocab {
+
+namespace ag = autograd;
+
+LayerWeights LayerWeights::init(std::int64_t hidden, Rng& rng) {
+  constexpr float kStd = 0.02f;
+  LayerWeights w;
+  w.ln1_g = Tensor({hidden}, 1.0f);
+  w.ln1_b = Tensor({hidden});
+  w.wq = Tensor::randn({hidden, hidden}, rng, kStd);
+  w.wk = Tensor::randn({hidden, hidden}, rng, kStd);
+  w.wv = Tensor::randn({hidden, hidden}, rng, kStd);
+  w.wo = Tensor::randn({hidden, hidden}, rng, kStd);
+  w.ln2_g = Tensor({hidden}, 1.0f);
+  w.ln2_b = Tensor({hidden});
+  w.w1 = Tensor::randn({hidden, 4 * hidden}, rng, kStd);
+  w.b1 = Tensor({4 * hidden});
+  w.w2 = Tensor::randn({4 * hidden, hidden}, rng, kStd);
+  w.b2 = Tensor({hidden});
+  return w;
+}
+
+TransformerStack::TransformerStack(std::vector<LayerWeights> layers, int heads)
+    : heads_(heads) {
+  VOCAB_CHECK(!layers.empty(), "stack needs at least one layer");
+  VOCAB_CHECK(heads >= 1, "need at least one attention head");
+  layers_.reserve(layers.size());
+  for (auto& w : layers) {
+    LayerVars lv;
+    lv.ln1_g = ag::leaf(std::move(w.ln1_g), true);
+    lv.ln1_b = ag::leaf(std::move(w.ln1_b), true);
+    lv.wq = ag::leaf(std::move(w.wq), true);
+    lv.wk = ag::leaf(std::move(w.wk), true);
+    lv.wv = ag::leaf(std::move(w.wv), true);
+    lv.wo = ag::leaf(std::move(w.wo), true);
+    lv.ln2_g = ag::leaf(std::move(w.ln2_g), true);
+    lv.ln2_b = ag::leaf(std::move(w.ln2_b), true);
+    lv.w1 = ag::leaf(std::move(w.w1), true);
+    lv.b1 = ag::leaf(std::move(w.b1), true);
+    lv.w2 = ag::leaf(std::move(w.w2), true);
+    lv.b2 = ag::leaf(std::move(w.b2), true);
+    layers_.push_back(std::move(lv));
+  }
+}
+
+ag::Var TransformerStack::layer_forward(const LayerVars& lv, const ag::Var& x) const {
+  // Pre-LN attention block.
+  const ag::Var normed = ag::layernorm(x, lv.ln1_g, lv.ln1_b);
+  const ag::Var q = ag::matmul(normed, lv.wq);
+  const ag::Var k = ag::matmul(normed, lv.wk);
+  const ag::Var v = ag::matmul(normed, lv.wv);
+  const ag::Var ctx = ag::causal_attention(q, k, v, heads_);
+  const ag::Var attn_out = ag::matmul(ctx, lv.wo);
+  const ag::Var h1 = ag::add(x, attn_out);
+  // Pre-LN MLP block.
+  const ag::Var normed2 = ag::layernorm(h1, lv.ln2_g, lv.ln2_b);
+  const ag::Var mlp = ag::matmul(
+      ag::gelu(ag::add_rowvec(ag::matmul(normed2, lv.w1), lv.b1)), lv.w2);
+  return ag::add(h1, ag::add_rowvec(mlp, lv.b2));
+}
+
+Tensor TransformerStack::forward(int mb, const Tensor& x) {
+  VOCAB_CHECK(!tapes_.contains(mb), "microbatch " << mb << " already forwarded");
+  Tape tape;
+  tape.input = ag::leaf(x, true);
+  ag::Var cur = tape.input;
+  for (const auto& lv : layers_) cur = layer_forward(lv, cur);
+  tape.output = cur;
+  Tensor out = cur->value;
+  tapes_.emplace(mb, std::move(tape));
+  return out;
+}
+
+Tensor TransformerStack::backward(int mb, const Tensor& grad_out) {
+  const auto it = tapes_.find(mb);
+  VOCAB_CHECK(it != tapes_.end(), "microbatch " << mb << " has no live tape");
+  ag::backward(it->second.output, grad_out);
+  Tensor grad_in = it->second.input->grad;
+  VOCAB_CHECK(!grad_in.empty(), "input gradient was not produced");
+  tapes_.erase(it);
+  return grad_in;
+}
+
+std::vector<ag::Var> TransformerStack::parameters() const {
+  std::vector<ag::Var> out;
+  for (const auto& lv : layers_) {
+    for (const auto& p : {lv.ln1_g, lv.ln1_b, lv.wq, lv.wk, lv.wv, lv.wo, lv.ln2_g, lv.ln2_b,
+                          lv.w1, lv.b1, lv.w2, lv.b2}) {
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+std::vector<LayerWeights> TransformerStack::export_layers() const {
+  std::vector<LayerWeights> out;
+  out.reserve(layers_.size());
+  for (const auto& lv : layers_) {
+    LayerWeights w;
+    w.ln1_g = lv.ln1_g->value;
+    w.ln1_b = lv.ln1_b->value;
+    w.wq = lv.wq->value;
+    w.wk = lv.wk->value;
+    w.wv = lv.wv->value;
+    w.wo = lv.wo->value;
+    w.ln2_g = lv.ln2_g->value;
+    w.ln2_b = lv.ln2_b->value;
+    w.w1 = lv.w1->value;
+    w.b1 = lv.b1->value;
+    w.w2 = lv.w2->value;
+    w.b2 = lv.b2->value;
+    out.push_back(std::move(w));
+  }
+  return out;
+}
+
+void TransformerStack::sgd_step(float lr) {
+  for (const auto& p : parameters()) {
+    if (p->grad.empty()) continue;
+    axpy_inplace(p->value, -lr, p->grad);
+    p->grad.fill(0.0f);
+  }
+}
+
+void TransformerStack::zero_grad() {
+  for (const auto& p : parameters()) {
+    if (!p->grad.empty()) p->grad.fill(0.0f);
+  }
+}
+
+}  // namespace vocab

@@ -1,0 +1,76 @@
+#pragma once
+
+// Pre-LN transformer layers on the autograd tape, packaged as the per-stage
+// stacks the pipeline runtime executes. Microbatch size is 1 (as in all the
+// paper's experiments), so activations are [s, h].
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "autograd/autograd.h"
+#include "tensor/tensor.h"
+
+namespace vocab {
+
+class Rng;
+
+/// Plain-tensor weights of one transformer layer (value type; copyable so a
+/// reference model and a pipeline model can start from identical weights).
+struct LayerWeights {
+  Tensor ln1_g, ln1_b;      // [h]
+  Tensor wq, wk, wv, wo;    // [h, h]
+  Tensor ln2_g, ln2_b;      // [h]
+  Tensor w1, b1;            // [h, 4h], [4h]
+  Tensor w2, b2;            // [4h, h], [h]
+
+  /// GPT-2 style init: normals scaled by 0.02, ones/zeros for LN.
+  static LayerWeights init(std::int64_t hidden, Rng& rng);
+};
+
+/// A contiguous run of transformer layers owned by one pipeline stage.
+/// forward() records a tape per microbatch; backward() replays it when the
+/// output gradient arrives (possibly much later, as the schedule dictates)
+/// and accumulates parameter gradients.
+class TransformerStack {
+ public:
+  TransformerStack(std::vector<LayerWeights> layers, int heads);
+
+  [[nodiscard]] int num_layers() const { return static_cast<int>(layers_.size()); }
+
+  /// Forward one microbatch through all layers; x is [s, h].
+  Tensor forward(int mb, const Tensor& x);
+
+  /// Backward for a previously forwarded microbatch; returns grad wrt x.
+  Tensor backward(int mb, const Tensor& grad_out);
+
+  /// Microbatches with a live tape (activation memory).
+  [[nodiscard]] std::size_t live_microbatches() const { return tapes_.size(); }
+
+  /// SGD: w -= lr * grad on every parameter, then zero the grads.
+  void sgd_step(float lr);
+  void zero_grad();
+
+  /// Flat view of all parameters (for tests / checkpoint-style comparisons).
+  [[nodiscard]] std::vector<autograd::Var> parameters() const;
+
+  /// Copy the current weights back out (checkpointing).
+  [[nodiscard]] std::vector<LayerWeights> export_layers() const;
+
+ private:
+  struct LayerVars {
+    autograd::Var ln1_g, ln1_b, wq, wk, wv, wo, ln2_g, ln2_b, w1, b1, w2, b2;
+  };
+  struct Tape {
+    autograd::Var input;
+    autograd::Var output;
+  };
+
+  autograd::Var layer_forward(const LayerVars& lv, const autograd::Var& x) const;
+
+  std::vector<LayerVars> layers_;
+  int heads_;
+  std::map<int, Tape> tapes_;
+};
+
+}  // namespace vocab

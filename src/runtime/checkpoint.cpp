@@ -1,0 +1,113 @@
+#include "runtime/checkpoint.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+
+#include "common/error.h"
+
+namespace vocab {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x564f434142435031ULL;  // "VOCABCP1"
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+void write_bytes(std::FILE* f, const void* data, std::size_t size, const std::string& path) {
+  VOCAB_CHECK(std::fwrite(data, 1, size, f) == size, "short write to " << path);
+}
+
+void read_bytes(std::FILE* f, void* data, std::size_t size, const std::string& path) {
+  VOCAB_CHECK(std::fread(data, 1, size, f) == size, "short read from " << path
+                                                                       << " (truncated?)");
+}
+
+void write_u64(std::FILE* f, std::uint64_t v, const std::string& path) {
+  write_bytes(f, &v, sizeof(v), path);
+}
+
+std::uint64_t read_u64(std::FILE* f, const std::string& path) {
+  std::uint64_t v = 0;
+  read_bytes(f, &v, sizeof(v), path);
+  return v;
+}
+
+void write_tensor(std::FILE* f, const Tensor& t, const std::string& path) {
+  write_u64(f, static_cast<std::uint64_t>(t.rank()), path);
+  for (int i = 0; i < t.rank(); ++i) {
+    write_u64(f, static_cast<std::uint64_t>(t.dim(i)), path);
+  }
+  write_bytes(f, t.data(), static_cast<std::size_t>(t.numel()) * sizeof(float), path);
+}
+
+Tensor read_tensor(std::FILE* f, const std::string& path) {
+  const auto rank = read_u64(f, path);
+  VOCAB_CHECK(rank >= 1 && rank <= 4, "checkpoint tensor has invalid rank " << rank);
+  std::vector<std::int64_t> shape;
+  shape.reserve(rank);
+  for (std::uint64_t i = 0; i < rank; ++i) {
+    shape.push_back(static_cast<std::int64_t>(read_u64(f, path)));
+  }
+  Tensor t(std::move(shape));
+  read_bytes(f, t.data(), static_cast<std::size_t>(t.numel()) * sizeof(float), path);
+  return t;
+}
+
+}  // namespace
+
+void save_checkpoint(const std::string& path, const GptWeights& weights) {
+  File f(std::fopen(path.c_str(), "wb"));
+  VOCAB_CHECK(f != nullptr, "cannot open " << path << " for writing");
+  write_u64(f.get(), kMagic, path);
+  const GptConfig& c = weights.config;
+  write_u64(f.get(), static_cast<std::uint64_t>(c.num_layers), path);
+  write_u64(f.get(), static_cast<std::uint64_t>(c.heads), path);
+  write_u64(f.get(), static_cast<std::uint64_t>(c.hidden), path);
+  write_u64(f.get(), static_cast<std::uint64_t>(c.seq_len), path);
+  write_u64(f.get(), static_cast<std::uint64_t>(c.vocab), path);
+  write_u64(f.get(), c.tie_embeddings ? 1 : 0, path);
+  write_tensor(f.get(), weights.input_embedding, path);
+  write_tensor(f.get(), weights.pos_embedding, path);
+  for (const auto& layer : weights.layers) {
+    for (const Tensor* t : {&layer.ln1_g, &layer.ln1_b, &layer.wq, &layer.wk, &layer.wv,
+                            &layer.wo, &layer.ln2_g, &layer.ln2_b, &layer.w1, &layer.b1,
+                            &layer.w2, &layer.b2}) {
+      write_tensor(f.get(), *t, path);
+    }
+  }
+  write_tensor(f.get(), weights.output_weight, path);
+  VOCAB_CHECK(std::fflush(f.get()) == 0, "flush failed for " << path);
+}
+
+GptWeights load_checkpoint(const std::string& path) {
+  File f(std::fopen(path.c_str(), "rb"));
+  VOCAB_CHECK(f != nullptr, "cannot open checkpoint " << path);
+  VOCAB_CHECK(read_u64(f.get(), path) == kMagic, path << " is not a vocab checkpoint");
+  GptWeights w;
+  w.config.num_layers = static_cast<int>(read_u64(f.get(), path));
+  w.config.heads = static_cast<int>(read_u64(f.get(), path));
+  w.config.hidden = static_cast<std::int64_t>(read_u64(f.get(), path));
+  w.config.seq_len = static_cast<std::int64_t>(read_u64(f.get(), path));
+  w.config.vocab = static_cast<std::int64_t>(read_u64(f.get(), path));
+  w.config.tie_embeddings = read_u64(f.get(), path) != 0;
+  w.input_embedding = read_tensor(f.get(), path);
+  w.pos_embedding = read_tensor(f.get(), path);
+  w.layers.resize(static_cast<std::size_t>(w.config.num_layers));
+  for (auto& layer : w.layers) {
+    for (Tensor* t : {&layer.ln1_g, &layer.ln1_b, &layer.wq, &layer.wk, &layer.wv, &layer.wo,
+                      &layer.ln2_g, &layer.ln2_b, &layer.w1, &layer.b1, &layer.w2,
+                      &layer.b2}) {
+      *t = read_tensor(f.get(), path);
+    }
+  }
+  w.output_weight = read_tensor(f.get(), path);
+  return w;
+}
+
+}  // namespace vocab

@@ -1,0 +1,26 @@
+#pragma once
+
+// Checkpoint I/O for GPT weights.
+//
+// A simple self-describing binary format: a magic header, the model config,
+// then each tensor as (rank, dims..., fp32 data). Because Vocabulary
+// Parallelism keeps the whole (padded) vocabulary logically contiguous
+// across shards, a full checkpoint can always be reassembled from a
+// pipeline's shards and re-sharded onto a *different* pipeline width — the
+// property the paper's Redis baseline lacks (its placement depends on the
+// model/pipeline configuration).
+
+#include <string>
+
+#include "model/gpt.h"
+
+namespace vocab {
+
+/// Serialize `weights` to `path`. Throws vocab::Error on I/O failure.
+void save_checkpoint(const std::string& path, const GptWeights& weights);
+
+/// Load a checkpoint written by save_checkpoint. Throws vocab::Error on
+/// missing file, bad magic, or truncated data.
+GptWeights load_checkpoint(const std::string& path);
+
+}  // namespace vocab

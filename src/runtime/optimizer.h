@@ -1,0 +1,47 @@
+#pragma once
+
+// Optimizers for the trainers: plain SGD and Adam (the paper's experiments
+// train GPT with Adam under Megatron's mixed-precision recipe; our cost
+// model's 18 bytes/param assumes exactly the m/v/master-weight state this
+// module materialises).
+//
+// A ParamOptimizer owns the per-parameter state lazily, so a trainer keeps
+// one per tensor and calls step(param, grad) once per iteration. Vocabulary
+// shards keep their state sharded — no optimizer communication is needed,
+// which is part of the paper's "native to pipeline parallelism" story.
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace vocab {
+
+enum class OptimizerKind { Sgd, Adam };
+
+struct OptimizerConfig {
+  OptimizerKind kind = OptimizerKind::Sgd;
+  float lr = 0.1f;
+  float beta1 = 0.9f;    // Adam only
+  float beta2 = 0.999f;  // Adam only
+  float eps = 1e-8f;     // Adam only
+
+  static OptimizerConfig sgd(float lr) { return {OptimizerKind::Sgd, lr}; }
+  static OptimizerConfig adam(float lr) { return {OptimizerKind::Adam, lr}; }
+};
+
+/// Optimizer state for one parameter tensor.
+class ParamOptimizer {
+ public:
+  /// Apply one update of `grad` to `param` under `cfg`. Adam state buffers
+  /// are allocated on first use and sized to the parameter.
+  void step(Tensor& param, const Tensor& grad, const OptimizerConfig& cfg);
+
+  [[nodiscard]] int steps_taken() const { return t_; }
+
+ private:
+  Tensor m_;
+  Tensor v_;
+  int t_ = 0;
+};
+
+}  // namespace vocab

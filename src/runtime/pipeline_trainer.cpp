@@ -1,0 +1,221 @@
+#include "runtime/pipeline_trainer.h"
+
+#include <thread>
+
+#include "comm/channel.h"
+#include "comm/device_group.h"
+#include "common/error.h"
+#include "tensor/tensor_ops.h"
+
+namespace vocab {
+
+namespace {
+
+Tensor slice_vocab_rows(const Tensor& full, const VocabShard& shard) {
+  Tensor out({shard.size, full.dim(1)});
+  for (std::int64_t r = 0; r < shard.valid_size(); ++r) {
+    for (std::int64_t c = 0; c < full.dim(1); ++c) out.at(r, c) = full.at(shard.offset + r, c);
+  }
+  return out;
+}
+
+}  // namespace
+
+struct PipelineTrainer::Device {
+  int rank = 0;
+  std::unique_ptr<TransformerStack> stack;
+  std::unique_ptr<InputLayerShard> input;
+  std::unique_ptr<OutputLayerShard> output;
+  // Optimizer state lives with the shards it updates (no optimizer comm).
+  std::vector<ParamOptimizer> stack_opt;
+  ParamOptimizer output_opt, input_opt;
+};
+
+PipelineTrainer::PipelineTrainer(GptWeights weights, int p, OutputAlgo algo)
+    : config_(weights.config), p_(p), algo_(algo) {
+  VOCAB_CHECK(p >= 1, "need at least one device");
+  VOCAB_CHECK(config_.num_layers % p == 0,
+              "p must divide num_layers (" << config_.num_layers << " / " << p << ")");
+  VOCAB_CHECK(algo == OutputAlgo::Alg1 || algo == OutputAlgo::Alg2,
+              "pipeline trainer runs Vocab-1 or Vocab-2");
+
+  group_ = std::make_unique<DeviceGroup>(p);
+  const int layers_per_stage = config_.num_layers / p;
+  const auto shards = make_all_shards(config_.vocab, p);
+  for (int d = 0; d < p; ++d) {
+    auto dev = std::make_unique<Device>();
+    dev->rank = d;
+    std::vector<LayerWeights> stage_layers(
+        weights.layers.begin() + d * layers_per_stage,
+        weights.layers.begin() + (d + 1) * layers_per_stage);
+    dev->stack = std::make_unique<TransformerStack>(std::move(stage_layers), config_.heads);
+    dev->input = std::make_unique<InputLayerShard>(
+        shards[static_cast<std::size_t>(d)],
+        slice_vocab_rows(weights.input_embedding, shards[static_cast<std::size_t>(d)]));
+    dev->output = std::make_unique<OutputLayerShard>(
+        algo, shards[static_cast<std::size_t>(d)],
+        slice_vocab_rows(weights.output_weight, shards[static_cast<std::size_t>(d)]));
+    devices_.push_back(std::move(dev));
+  }
+  for (int d = 0; d + 1 < p; ++d) {
+    fwd_.push_back(std::make_unique<Channel>());
+    bwd_.push_back(std::make_unique<Channel>());
+  }
+  pos_embedding_ = std::move(weights.pos_embedding);
+  pos_embedding_grad_ = Tensor(pos_embedding_.shape());
+}
+
+PipelineTrainer::~PipelineTrainer() = default;
+
+float PipelineTrainer::train_iteration(const std::vector<Sample>& microbatches,
+                                       const OptimizerConfig& opt) {
+  VOCAB_CHECK(!microbatches.empty(), "need at least one microbatch");
+  const int m = static_cast<int>(microbatches.size());
+  const float grad_scale =
+      1.0f / (static_cast<float>(config_.seq_len) * static_cast<float>(m));
+
+  std::vector<float> losses(static_cast<std::size_t>(m), 0.0f);
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(p_));
+
+  auto device_main = [&](int d) {
+    Device& dev = *devices_[static_cast<std::size_t>(d)];
+    const int phases = num_compute_phases(algo_);
+    const int barriers = num_barriers(algo_);
+    for (int mb = 0; mb < m; ++mb) {
+      const Sample& sample = microbatches[static_cast<std::size_t>(mb)];
+
+      // ---- input layer forward (vocab-parallel, all-reduced) --------------
+      Tensor x0 = dev.input->forward(mb, sample.tokens, *group_);
+
+      // ---- transformer forward through this stage ---------------------------
+      Tensor x;
+      if (d == 0) {
+        add_inplace(x0, pos_embedding_);
+        x = std::move(x0);
+      } else {
+        x = fwd_[static_cast<std::size_t>(d - 1)]->recv_expect("fwd:" + std::to_string(mb));
+      }
+      Tensor y = dev.stack->forward(mb, x);
+      if (d + 1 < p_) {
+        fwd_[static_cast<std::size_t>(d)]->send("fwd:" + std::to_string(mb), y);
+      }
+
+      // ---- C0: broadcast the last stage's output to every shard -------------
+      Tensor x_last = d == p_ - 1 ? std::move(y) : Tensor();
+      group_->broadcast(d, p_ - 1, x_last, "C0:mb" + std::to_string(mb));
+
+      // ---- output layer S / barriers / T phases -----------------------------
+      dev.output->start_microbatch(mb, std::move(x_last), sample.targets, grad_scale);
+      for (int phase = 0; phase < phases; ++phase) {
+        dev.output->compute_phase(mb, phase);
+        if (phase < barriers) dev.output->comm_barrier(mb, phase, *group_);
+      }
+      if (d == 0) losses[static_cast<std::size_t>(mb)] = dev.output->loss(mb);
+
+      // ---- transformer backward through this stage ---------------------------
+      Tensor grad_out;
+      if (d == p_ - 1) {
+        grad_out = dev.output->grad_x(mb);
+      } else {
+        grad_out = bwd_[static_cast<std::size_t>(d)]->recv_expect("bwd:" + std::to_string(mb));
+      }
+      dev.output->finish_microbatch(mb);
+      Tensor grad_in = dev.stack->backward(mb, grad_out);
+      if (d > 0) {
+        bwd_[static_cast<std::size_t>(d - 1)]->send("bwd:" + std::to_string(mb), grad_in);
+      }
+
+      // ---- input layer backward (broadcast from the first stage) --------------
+      if (d == 0) add_inplace(pos_embedding_grad_, grad_in);
+      Tensor gin = d == 0 ? std::move(grad_in) : Tensor();
+      dev.input->backward(mb, gin, /*root=*/0, *group_);
+    }
+
+    // ---- optimizer step (local: every shard owns its parameters) -----------
+    const auto params = dev.stack->parameters();
+    if (dev.stack_opt.size() != params.size()) dev.stack_opt.resize(params.size());
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      if (params[i]->grad.empty()) continue;
+      dev.stack_opt[i].step(params[i]->value, params[i]->grad, opt);
+      params[i]->grad.fill(0.0f);
+    }
+    if (config_.tie_embeddings) {
+      // §6.1: the tied weight's shards share a device, so tying needs no
+      // extra all-reduce — just a local gradient sum before the update.
+      Tensor grad = dev.output->weight_grad();
+      add_inplace(grad, dev.input->embedding_grad());
+      dev.output_opt.step(dev.output->mutable_weight(), grad, opt);
+      dev.input->mutable_embedding() = dev.output->weight();
+    } else {
+      dev.output_opt.step(dev.output->mutable_weight(), dev.output->weight_grad(), opt);
+      dev.input_opt.step(dev.input->mutable_embedding(), dev.input->embedding_grad(), opt);
+    }
+    dev.output->zero_weight_grad();
+    dev.input->zero_embedding_grad();
+    if (d == 0) {
+      pos_opt_.step(pos_embedding_, pos_embedding_grad_, opt);
+      pos_embedding_grad_.fill(0.0f);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(p_));
+  for (int d = 0; d < p_; ++d) {
+    threads.emplace_back([&, d] {
+      try {
+        device_main(d);
+      } catch (...) {
+        errors[static_cast<std::size_t>(d)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+
+  double total = 0.0;
+  for (const float l : losses) total += l;
+  return static_cast<float>(total / m);
+}
+
+GptWeights PipelineTrainer::export_weights() const {
+  GptWeights w;
+  w.config = config_;
+  w.input_embedding = gathered_input_embedding();
+  w.pos_embedding = pos_embedding_;
+  for (const auto& dev : devices_) {
+    auto stage = dev->stack->export_layers();
+    for (auto& layer : stage) w.layers.push_back(std::move(layer));
+  }
+  w.output_weight = gathered_output_weight();
+  return w;
+}
+
+Tensor PipelineTrainer::gathered_input_embedding() const {
+  Tensor out({config_.vocab, config_.hidden});
+  for (const auto& dev : devices_) {
+    const VocabShard& s = dev->input->shard();
+    for (std::int64_t r = 0; r < s.valid_size(); ++r) {
+      for (std::int64_t c = 0; c < config_.hidden; ++c) {
+        out.at(s.offset + r, c) = dev->input->embedding().at(r, c);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor PipelineTrainer::gathered_output_weight() const {
+  Tensor out({config_.vocab, config_.hidden});
+  for (const auto& dev : devices_) {
+    const VocabShard& s = dev->output->shard();
+    for (std::int64_t r = 0; r < s.valid_size(); ++r) {
+      for (std::int64_t c = 0; c < config_.hidden; ++c) {
+        out.at(s.offset + r, c) = dev->output->weight().at(r, c);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace vocab

@@ -1,0 +1,78 @@
+#pragma once
+
+// Multi-threaded vocabulary-parallel pipeline trainer with real numerics.
+//
+// Each simulated pipeline device is an OS thread holding:
+//   * its shard of the input embedding (InputLayerShard),
+//   * its contiguous run of transformer layers (TransformerStack),
+//   * its shard of the output layer (OutputLayerShard, Alg1 or Alg2).
+// Activations flow stage-to-stage over Channels; the output/input layers'
+// collectives run over a DeviceGroup — exactly the communication structure
+// the paper's Megatron implementation uses, so dependency mistakes surface
+// as tag mismatches or deadlock timeouts rather than silent corruption.
+//
+// This trainer exists to establish numerical equivalence with the
+// single-device ReferenceTrainer (Appendix E / Figure 17); scheduling
+// efficiency questions are the simulator's job.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/input_layer_shard.h"
+#include "core/output_layer_shard.h"
+#include "model/gpt.h"
+#include "model/transformer.h"
+#include "runtime/optimizer.h"
+
+namespace vocab {
+
+class PipelineTrainer {
+ public:
+  /// Shards `weights` across `p` pipeline devices; requires p | num_layers.
+  PipelineTrainer(GptWeights weights, int p, OutputAlgo algo);
+  ~PipelineTrainer();
+
+  PipelineTrainer(const PipelineTrainer&) = delete;
+  PipelineTrainer& operator=(const PipelineTrainer&) = delete;
+
+  /// One optimizer step over `microbatches`; returns the mean loss (identical
+  /// on every device by construction of the loss all-reduce).
+  float train_iteration(const std::vector<Sample>& microbatches, const OptimizerConfig& opt);
+
+  /// SGD convenience overload.
+  float train_iteration(const std::vector<Sample>& microbatches, float lr) {
+    return train_iteration(microbatches, OptimizerConfig::sgd(lr));
+  }
+
+  [[nodiscard]] int num_devices() const { return p_; }
+  [[nodiscard]] OutputAlgo algo() const { return algo_; }
+  [[nodiscard]] const GptConfig& config() const { return config_; }
+
+  /// Reassembled full tensors (gathered from the shards) for equivalence
+  /// checks against the reference trainer.
+  [[nodiscard]] Tensor gathered_input_embedding() const;
+  [[nodiscard]] Tensor gathered_output_weight() const;
+
+  /// Reassemble a full checkpointable copy of the model from the shards —
+  /// loadable onto any pipeline width (see runtime/checkpoint.h).
+  [[nodiscard]] GptWeights export_weights() const;
+
+ private:
+  struct Device;
+
+  GptConfig config_;
+  int p_;
+  OutputAlgo algo_;
+  std::vector<std::unique_ptr<Device>> devices_;
+  std::unique_ptr<class DeviceGroup> group_;
+  // Channels: fwd_[d] carries activations d -> d+1; bwd_[d] carries grads
+  // d+1 -> d.
+  std::vector<std::unique_ptr<class Channel>> fwd_;
+  std::vector<std::unique_ptr<class Channel>> bwd_;
+  Tensor pos_embedding_;       // whole, on device 0 (paper §6.4)
+  Tensor pos_embedding_grad_;
+  ParamOptimizer pos_opt_;
+};
+
+}  // namespace vocab

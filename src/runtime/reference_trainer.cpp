@@ -1,0 +1,81 @@
+#include "runtime/reference_trainer.h"
+
+#include "common/error.h"
+#include "core/reference_input_layer.h"
+#include "core/reference_output_layer.h"
+#include "tensor/tensor_ops.h"
+
+namespace vocab {
+
+ReferenceTrainer::ReferenceTrainer(GptWeights weights)
+    : config_(weights.config),
+      input_embedding_(std::move(weights.input_embedding)),
+      pos_embedding_(std::move(weights.pos_embedding)),
+      input_embedding_grad_(input_embedding_.shape()),
+      pos_embedding_grad_(pos_embedding_.shape()),
+      stack_(std::move(weights.layers), weights.config.heads),
+      output_weight_(std::move(weights.output_weight)),
+      output_weight_grad_(output_weight_.shape()) {}
+
+Tensor ReferenceTrainer::forward_backbone(int mb, const Sample& sample, bool record) {
+  VOCAB_CHECK(static_cast<std::int64_t>(sample.tokens.size()) == config_.seq_len,
+              "sample length mismatch");
+  Tensor x = reference_embedding_forward(input_embedding_, sample.tokens);
+  add_inplace(x, pos_embedding_);
+  if (record) return stack_.forward(mb, x);
+  // Evaluation path: forward then immediately drop the tape.
+  Tensor y = stack_.forward(mb, x);
+  stack_.backward(mb, Tensor(y.shape()));  // zero seed: clears tape, no grads
+  return y;
+}
+
+float ReferenceTrainer::train_iteration(const std::vector<Sample>& microbatches,
+                                        const OptimizerConfig& opt) {
+  VOCAB_CHECK(!microbatches.empty(), "need at least one microbatch");
+  const auto m = static_cast<float>(microbatches.size());
+  const float grad_scale = 1.0f / (static_cast<float>(config_.seq_len) * m);
+
+  double total_loss = 0.0;
+  for (int mb = 0; mb < static_cast<int>(microbatches.size()); ++mb) {
+    const Sample& sample = microbatches[static_cast<std::size_t>(mb)];
+    const Tensor y = forward_backbone(mb, sample, /*record=*/true);
+    const OutputLayerResult out =
+        reference_output_layer(y, output_weight_, sample.targets, grad_scale);
+    total_loss += out.loss;
+    add_inplace(output_weight_grad_, out.grad_w);
+    const Tensor grad_x = stack_.backward(mb, out.grad_x);
+    add_inplace(pos_embedding_grad_, grad_x);
+    reference_embedding_backward(input_embedding_grad_, sample.tokens, grad_x);
+  }
+
+  const auto params = stack_.parameters();
+  if (stack_opt_.size() != params.size()) stack_opt_.resize(params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (params[i]->grad.empty()) continue;
+    stack_opt_[i].step(params[i]->value, params[i]->grad, opt);
+    params[i]->grad.fill(0.0f);
+  }
+  if (config_.tie_embeddings) {
+    // One shared parameter: both layers' gradients flow into it and a single
+    // optimizer state drives the update.
+    add_inplace(output_weight_grad_, input_embedding_grad_);
+    output_opt_.step(output_weight_, output_weight_grad_, opt);
+    input_embedding_ = output_weight_;
+  } else {
+    output_opt_.step(output_weight_, output_weight_grad_, opt);
+    input_opt_.step(input_embedding_, input_embedding_grad_, opt);
+  }
+  pos_opt_.step(pos_embedding_, pos_embedding_grad_, opt);
+  output_weight_grad_.fill(0.0f);
+  input_embedding_grad_.fill(0.0f);
+  pos_embedding_grad_.fill(0.0f);
+
+  return static_cast<float>(total_loss / m);
+}
+
+float ReferenceTrainer::evaluate(const Sample& sample) {
+  const Tensor y = forward_backbone(/*mb=*/-1, sample, /*record=*/false);
+  return reference_output_loss(y, output_weight_, sample.targets);
+}
+
+}  // namespace vocab

@@ -1,0 +1,54 @@
+#pragma once
+
+// Single-device trainer: the unpartitioned ground truth that plays the role
+// of the original Megatron-LM codebase in the paper's Appendix E convergence
+// comparison. Everything (embeddings, all transformer layers, output layer)
+// lives in one process with no communication.
+
+#include <vector>
+
+#include "model/gpt.h"
+#include "model/transformer.h"
+#include "runtime/optimizer.h"
+#include "tensor/tensor.h"
+
+namespace vocab {
+
+class ReferenceTrainer {
+ public:
+  explicit ReferenceTrainer(GptWeights weights);
+
+  /// One optimizer step over `microbatches` (gradients averaged across them
+  /// and across tokens). Returns the mean loss.
+  float train_iteration(const std::vector<Sample>& microbatches, const OptimizerConfig& opt);
+
+  /// SGD convenience overload.
+  float train_iteration(const std::vector<Sample>& microbatches, float lr) {
+    return train_iteration(microbatches, OptimizerConfig::sgd(lr));
+  }
+
+  /// Loss of one sample without touching gradients (for eval-style checks).
+  [[nodiscard]] float evaluate(const Sample& sample);
+
+  [[nodiscard]] const GptConfig& config() const { return config_; }
+  [[nodiscard]] const Tensor& input_embedding() const { return input_embedding_; }
+  [[nodiscard]] const Tensor& output_weight() const { return output_weight_; }
+
+ private:
+  /// Forward to the last transformer layer's output (records a stack tape
+  /// for microbatch `mb` when `record` is true).
+  Tensor forward_backbone(int mb, const Sample& sample, bool record);
+
+  GptConfig config_;
+  Tensor input_embedding_;
+  Tensor pos_embedding_;
+  Tensor input_embedding_grad_;
+  Tensor pos_embedding_grad_;
+  TransformerStack stack_;
+  Tensor output_weight_;
+  Tensor output_weight_grad_;
+  std::vector<ParamOptimizer> stack_opt_;
+  ParamOptimizer output_opt_, input_opt_, pos_opt_;
+};
+
+}  // namespace vocab

@@ -1,0 +1,93 @@
+#include "schedule/building_block.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "schedule/schedule_1f1b_vocab.h"
+
+namespace vocab {
+
+std::vector<double> BlockAnalysis::peak_microbatches() const {
+  std::vector<double> out;
+  out.reserve(lifespan.size());
+  for (const double l : lifespan) out.push_back(l / interval);
+  return out;
+}
+
+double BlockAnalysis::max_peak_microbatches() const {
+  double best = 0.0;
+  for (const double v : peak_microbatches()) best = std::max(best, v);
+  return best;
+}
+
+BlockAnalysis analyze_1f1b(const CostModel& cm, int p) {
+  VOCAB_CHECK(p >= 1, "need >= 1 device");
+  const int layers = cm.config().num_layers / p;
+  const double tF = cm.time_f(layers);
+  const double tB = cm.time_b_full(layers);
+  BlockAnalysis a;
+  a.interval = tF + tB;
+  a.lifespan.resize(static_cast<std::size_t>(p));
+  for (int d = 0; d < p; ++d) {
+    // F at d·tF; B(p-1) immediately after F(p-1); B wave ascends.
+    const double b_end = p * tF + (p - 1 - d) * tB + tB;
+    a.lifespan[static_cast<std::size_t>(d)] = b_end - d * tF;
+  }
+  return a;
+}
+
+BlockAnalysis analyze_1f1b_vocab(const CostModel& cm, int p, OutputAlgo algo) {
+  const VocabBlockOffsets off = vocab_block_offsets(cm, p, algo);
+  const int layers = cm.config().num_layers / p;
+  const double tB = cm.time_b_full(layers);
+  BlockAnalysis a;
+  a.interval = off.interval;
+  a.lifespan.resize(static_cast<std::size_t>(p));
+  for (int d = 0; d < p; ++d) {
+    a.lifespan[static_cast<std::size_t>(d)] =
+        off.b[static_cast<std::size_t>(d)] + tB - off.f[static_cast<std::size_t>(d)];
+  }
+  return a;
+}
+
+BlockAnalysis analyze_interlaced(const CostModel& cm, int p) {
+  // Appendix B.1: the synchronous TP phases force per-microbatch global
+  // rendezvous that absorb the devices' wave stagger as idle time, enlarging
+  // the 1F1B lifespan from ~3p to ~4.5p while the interval gains only the
+  // vocabulary work.
+  const BlockAnalysis base = analyze_1f1b(cm, p);
+  BlockAnalysis a;
+  a.interval = base.interval + cm.time_output_s(OutputAlgo::Alg1, p) +
+               cm.time_output_t(OutputAlgo::Alg1, p) + cm.time_input_shard_fwd(p) +
+               cm.time_input_shard_bwd(p) + cm.time_x_broadcast(p) +
+               cm.time_stats_allreduce(p) + cm.time_gradx_allreduce(p) +
+               cm.time_input_allreduce(p);
+  a.lifespan.reserve(base.lifespan.size());
+  for (const double l : base.lifespan) a.lifespan.push_back(1.5 * l);
+  return a;
+}
+
+BlockAnalysis analyze_vhalf(const CostModel& cm, int p) {
+  VOCAB_CHECK(p >= 2 && cm.config().num_layers % (2 * p) == 0, "V-Half requires 2p | L");
+  const int layers = cm.config().num_layers / (2 * p);
+  const double tF = cm.time_f(layers);
+  const double tBW = cm.time_b_input(layers) + cm.time_b_weight(layers);
+  BlockAnalysis a;
+  a.interval = 2.0 * (tF + tBW);
+  a.lifespan.resize(static_cast<std::size_t>(p));
+  const int stages = 2 * p;
+  for (int d = 0; d < p; ++d) {
+    // Chunk 0 = stage d, chunk 1 = stage 2p-1-d; F wave straight through,
+    // B+W wave straight back. Device memory holds both chunks.
+    auto span = [&](int s) {
+      const double f_start = s * tF;
+      const double b_end = stages * tF + (stages - s) * tBW;
+      return b_end - f_start;
+    };
+    a.lifespan[static_cast<std::size_t>(d)] = span(d) + span(stages - 1 - d);
+  }
+  return a;
+}
+
+}  // namespace vocab

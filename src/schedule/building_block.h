@@ -1,0 +1,40 @@
+#pragma once
+
+// Building-block (lifespan / interval) analysis — the methodology of
+// Qi et al. 2024 that the paper uses in §5.2 and Appendices B.1/D to reason
+// about peak activation memory *analytically*: repeating a per-microbatch
+// block with period `interval`, a device whose activations live `lifespan`
+// holds ceil(lifespan / interval) microbatches at peak.
+
+#include <vector>
+
+#include "core/output_layer_shard.h"
+#include "cost/cost_model.h"
+
+namespace vocab {
+
+/// Analytical per-device activation residency of a schedule family.
+struct BlockAnalysis {
+  double interval = 0.0;            ///< per-device work per microbatch (s)
+  std::vector<double> lifespan;     ///< per device: activation lifetime (s)
+  /// lifespan / interval, per device (fractional microbatches).
+  [[nodiscard]] std::vector<double> peak_microbatches() const;
+  [[nodiscard]] double max_peak_microbatches() const;
+};
+
+/// Plain 1F1B: lifespan 3p·tF on the first device, peak = p microbatches
+/// when tB = 2 tF.
+BlockAnalysis analyze_1f1b(const CostModel& cm, int p);
+
+/// 1F1B + Vocabulary Parallelism: adds exactly num_barriers(algo) intervals
+/// to every device's lifespan (the Figure 9 construction).
+BlockAnalysis analyze_1f1b_vocab(const CostModel& cm, int p, OutputAlgo algo);
+
+/// Interlaced pipeline: the synchronous TP phases stretch the lifespan to
+/// ~1.5x of 1F1B's (Appendix B.1 / Figure 15).
+BlockAnalysis analyze_interlaced(const CostModel& cm, int p);
+
+/// V-Half (this repo's V construction): balanced lifespans across devices.
+BlockAnalysis analyze_vhalf(const CostModel& cm, int p);
+
+}  // namespace vocab

@@ -1,0 +1,65 @@
+#include "schedule/layer_assignment.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace vocab {
+
+int LayerAssignment::total_layers() const {
+  return std::accumulate(layers_per_stage.begin(), layers_per_stage.end(), 0);
+}
+
+LayerAssignment uniform_assignment(int num_layers, int p) {
+  VOCAB_CHECK(p >= 1, "need at least one stage");
+  VOCAB_CHECK(num_layers % p == 0,
+              "uniform assignment requires p | L (got L=" << num_layers << ", p=" << p << ")");
+  LayerAssignment a;
+  a.layers_per_stage.assign(static_cast<std::size_t>(p), num_layers / p);
+  return a;
+}
+
+LayerAssignment redis_assignment(const CostModel& cm, int p) {
+  VOCAB_CHECK(p >= 1, "need at least one stage");
+  const int num_layers = cm.config().num_layers;
+  VOCAB_CHECK(num_layers >= p, "fewer layers than stages");
+
+  LayerAssignment a;
+  a.layers_per_stage.assign(static_cast<std::size_t>(p), 0);
+
+  // Fixed per-stage cost from the vocabulary layers.
+  std::vector<double> cost(static_cast<std::size_t>(p), 0.0);
+  cost[0] += cm.time_input_fwd_full() + cm.time_input_bwd_full();
+  cost[static_cast<std::size_t>(p - 1)] += cm.time_output_fwd_full() + cm.time_output_bwd_full();
+
+  const double layer_cost = cm.time_f(1) + cm.time_b_full(1);
+  // Greedy: every stage needs >= 1 layer (it must host part of the model);
+  // then each remaining layer goes to the cheapest stage.
+  for (int s = 0; s < p; ++s) {
+    a.layers_per_stage[static_cast<std::size_t>(s)] = 1;
+    cost[static_cast<std::size_t>(s)] += layer_cost;
+  }
+  for (int l = p; l < num_layers; ++l) {
+    const auto it = std::min_element(cost.begin(), cost.end());
+    const auto idx = static_cast<std::size_t>(std::distance(cost.begin(), it));
+    ++a.layers_per_stage[idx];
+    *it += layer_cost;
+  }
+  return a;
+}
+
+double stage_compute_seconds(const CostModel& cm, const LayerAssignment& assign, int stage) {
+  VOCAB_CHECK(stage >= 0 && stage < assign.num_stages(), "stage out of range");
+  const int layers = assign.layers_per_stage[static_cast<std::size_t>(stage)];
+  double t = cm.time_f(layers) + cm.time_b_full(layers);
+  if (stage == 0 && assign.input_on_first) {
+    t += cm.time_input_fwd_full() + cm.time_input_bwd_full();
+  }
+  if (stage == assign.num_stages() - 1 && assign.output_on_last) {
+    t += cm.time_output_fwd_full() + cm.time_output_bwd_full();
+  }
+  return t;
+}
+
+}  // namespace vocab

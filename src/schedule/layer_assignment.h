@@ -1,0 +1,40 @@
+#pragma once
+
+// Transformer-layer placement across pipeline stages.
+//
+// Baseline: uniform layers, whole input layer on the first stage and whole
+// output layer on the last. Redis (paper §6.2): greedily redistribute the
+// transformer layers to minimize the most loaded stage's compute, following
+// Narayanan et al.'s FLOP estimates — the paper's strongest non-vocabulary-
+// parallel baseline.
+
+#include <string>
+#include <vector>
+
+#include "cost/cost_model.h"
+
+namespace vocab {
+
+/// Which stage hosts which layers.
+struct LayerAssignment {
+  std::vector<int> layers_per_stage;  ///< transformer layers on each stage
+  bool input_on_first = true;         ///< whole input layer on stage 0
+  bool output_on_last = true;         ///< whole output layer on last stage
+
+  [[nodiscard]] int total_layers() const;
+  [[nodiscard]] int num_stages() const { return static_cast<int>(layers_per_stage.size()); }
+};
+
+/// Uniform split (requires p | L, as in all the paper's presets).
+LayerAssignment uniform_assignment(int num_layers, int p);
+
+/// Greedy compute-balancing redistribution: repeatedly give the next layer
+/// to the currently cheapest stage, where stage 0 is pre-loaded with the
+/// input layer's compute and stage p-1 with the output layer's.
+LayerAssignment redis_assignment(const CostModel& cm, int p);
+
+/// Per-microbatch forward+backward compute seconds of one stage under an
+/// assignment (the quantity Redis balances and Figure 3 plots).
+double stage_compute_seconds(const CostModel& cm, const LayerAssignment& assign, int stage);
+
+}  // namespace vocab

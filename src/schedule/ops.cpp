@@ -1,0 +1,117 @@
+#include "schedule/ops.h"
+
+#include <map>
+#include <set>
+
+#include "common/error.h"
+
+namespace vocab {
+
+const char* to_string(OpKind kind) {
+  switch (kind) {
+    case OpKind::Forward: return "F";
+    case OpKind::BackwardFull: return "B";
+    case OpKind::BackwardInput: return "b";
+    case OpKind::BackwardWeight: return "W";
+    case OpKind::OutputS: return "S";
+    case OpKind::OutputT: return "T";
+    case OpKind::InputFwd: return "i";
+    case OpKind::InputBwd: return "j";
+    case OpKind::Collective: return "C";
+    case OpKind::Sync: return ".";
+  }
+  return "?";
+}
+
+void PipelineSchedule::validate() const {
+  VOCAB_CHECK(num_devices > 0, "schedule has no devices");
+  VOCAB_CHECK(static_cast<int>(devices.size()) == num_devices, "device lane count mismatch");
+  VOCAB_CHECK(static_cast<int>(base_bytes.size()) == num_devices, "base_bytes size mismatch");
+
+  const int n = static_cast<int>(ops.size());
+  for (int i = 0; i < n; ++i) {
+    const Op& o = ops[static_cast<std::size_t>(i)];
+    VOCAB_CHECK(o.id == i, "op id " << o.id << " at index " << i);
+    VOCAB_CHECK(o.device >= 0 && o.device < num_devices, "op " << i << " device out of range");
+    VOCAB_CHECK(o.duration >= 0, "op " << i << " has negative duration");
+    VOCAB_CHECK(o.alloc_bytes >= 0 && o.free_bytes >= 0, "op " << i << " negative memory delta");
+    for (const int d : o.deps) {
+      VOCAB_CHECK(d >= 0 && d < n && d != i, "op " << i << " has invalid dep " << d);
+    }
+  }
+
+  // Every op appears exactly once, on the correct device's lane of its stream.
+  std::vector<int> seen(static_cast<std::size_t>(n), 0);
+  for (int dev = 0; dev < num_devices; ++dev) {
+    const DeviceLanes& lanes = devices[static_cast<std::size_t>(dev)];
+    for (const Stream s : {Stream::Compute, Stream::Comm, Stream::CommAlt}) {
+      for (const int id : lanes.lane(s)) {
+        VOCAB_CHECK(id >= 0 && id < n, "lane references unknown op " << id);
+        const Op& o = ops[static_cast<std::size_t>(id)];
+        VOCAB_CHECK(o.device == dev, "op " << id << " issued on device " << dev
+                                           << " but belongs to " << o.device);
+        VOCAB_CHECK(o.stream == s, "op " << id << " issued on wrong stream");
+        ++seen[static_cast<std::size_t>(id)];
+      }
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    VOCAB_CHECK(seen[static_cast<std::size_t>(i)] == 1,
+                "op " << i << " (" << ops[static_cast<std::size_t>(i)].label << ") issued "
+                      << seen[static_cast<std::size_t>(i)] << " times");
+  }
+
+  // Collectives: each group has one op per participating device, all on the
+  // same stream, and appears in the same relative order on every lane
+  // (mismatched collective ordering across devices is the classic NCCL
+  // deadlock; we reject it statically).
+  std::map<int, std::vector<const Op*>> groups;
+  for (const Op& o : ops) {
+    if (o.collective >= 0) {
+      VOCAB_CHECK(o.kind == OpKind::Collective, "collective id on non-collective op " << o.id);
+      groups[o.collective].push_back(&o);
+    }
+  }
+  for (const auto& [cid, members] : groups) {
+    VOCAB_CHECK(members.size() >= 2, "collective " << cid << " has a single member");
+    std::set<int> devs;
+    for (const Op* o : members) {
+      VOCAB_CHECK(o->stream == members[0]->stream, "collective " << cid << " spans streams");
+      VOCAB_CHECK(devs.insert(o->device).second,
+                  "collective " << cid << " has two ops on device " << o->device);
+    }
+  }
+  // Relative order check: project each lane onto collective ids and verify
+  // all devices see the same subsequence restricted to shared groups.
+  std::vector<std::vector<int>> per_device_order(static_cast<std::size_t>(num_devices));
+  for (int dev = 0; dev < num_devices; ++dev) {
+    for (const Stream s : {Stream::Compute, Stream::Comm, Stream::CommAlt}) {
+      for (const int id : devices[static_cast<std::size_t>(dev)].lane(s)) {
+        if (ops[static_cast<std::size_t>(id)].collective >= 0) {
+          per_device_order[static_cast<std::size_t>(dev)].push_back(
+              ops[static_cast<std::size_t>(id)].collective);
+        }
+      }
+    }
+  }
+  for (int a = 0; a < num_devices; ++a) {
+    for (int b = a + 1; b < num_devices; ++b) {
+      // Extract the subsequence of collectives common to devices a and b.
+      std::set<int> on_a(per_device_order[static_cast<std::size_t>(a)].begin(),
+                         per_device_order[static_cast<std::size_t>(a)].end());
+      std::set<int> on_b(per_device_order[static_cast<std::size_t>(b)].begin(),
+                         per_device_order[static_cast<std::size_t>(b)].end());
+      std::vector<int> sub_a, sub_b;
+      for (const int c : per_device_order[static_cast<std::size_t>(a)]) {
+        if (on_b.contains(c)) sub_a.push_back(c);
+      }
+      for (const int c : per_device_order[static_cast<std::size_t>(b)]) {
+        if (on_a.contains(c)) sub_b.push_back(c);
+      }
+      VOCAB_CHECK(sub_a == sub_b, "devices " << a << " and " << b
+                                             << " issue shared collectives in different orders");
+    }
+  }
+}
+
+}  // namespace vocab

@@ -1,0 +1,97 @@
+#pragma once
+
+// Pipeline-schedule intermediate representation.
+//
+// A PipelineSchedule is a set of Ops with explicit dependency edges plus,
+// per device, the *issue order* of ops on each of two streams (compute and
+// communication) — exactly the information a Megatron-style scheduler hands
+// to CUDA: kernels are enqueued in a fixed order per stream, and cross-
+// stream / cross-device ordering is enforced only by dependencies (events).
+// The discrete-event simulator in src/sim executes this IR; the schedule
+// generators in this directory produce it.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vocab {
+
+/// The GPU work queues of each device (paper §6.1: communication groups
+/// live on separate streams so barriers overlap with transformer compute;
+/// the input-layer collectives get their own stream so they cannot
+/// head-of-line block the output-layer barriers).
+enum class Stream { Compute = 0, Comm = 1, CommAlt = 2 };
+
+inline constexpr int kNumStreams = 3;
+
+/// Semantic kind of an op (used for rendering and bookkeeping; the sim only
+/// cares about duration / deps / stream / collective grouping).
+enum class OpKind {
+  Forward,         ///< transformer-layer forward of one stage-chunk
+  BackwardFull,    ///< combined activation+weight backward (1F1B-style)
+  BackwardInput,   ///< activation-gradient backward (split schedules)
+  BackwardWeight,  ///< weight-gradient backward (split schedules)
+  OutputS,         ///< vocabulary output-layer S pass
+  OutputT,         ///< vocabulary output-layer T pass
+  InputFwd,        ///< vocabulary input-layer local forward
+  InputBwd,        ///< vocabulary input-layer local backward
+  Collective,      ///< synchronized group op (all-reduce / broadcast / barrier)
+  Sync,            ///< zero-work placeholder (dependency anchor)
+};
+
+[[nodiscard]] const char* to_string(OpKind kind);
+
+/// One scheduled operation.
+struct Op {
+  int id = -1;
+  int device = 0;
+  Stream stream = Stream::Compute;
+  OpKind kind = OpKind::Sync;
+  int microbatch = -1;
+  int chunk = 0;              ///< virtual-pipeline chunk (V-Half has 2)
+  double duration = 0.0;      ///< seconds
+  std::vector<int> deps;      ///< op ids that must *finish* before this starts
+  int collective = -1;        ///< ops sharing a collective id start & end together
+  double alloc_bytes = 0.0;   ///< reserved on this device when the op starts
+  double free_bytes = 0.0;    ///< released on this device when the op ends
+  std::string label;          ///< short render label, e.g. "F12"
+};
+
+/// Per-device issue order.
+struct DeviceLanes {
+  std::vector<int> compute;   ///< op ids in compute-stream issue order
+  std::vector<int> comm;      ///< op ids in comm-stream issue order
+  std::vector<int> comm_alt;  ///< op ids on the secondary comm stream
+
+  [[nodiscard]] const std::vector<int>& lane(Stream s) const {
+    switch (s) {
+      case Stream::Compute: return compute;
+      case Stream::Comm: return comm;
+      case Stream::CommAlt: return comm_alt;
+    }
+    return compute;
+  }
+  [[nodiscard]] std::vector<int>& lane(Stream s) {
+    return const_cast<std::vector<int>&>(std::as_const(*this).lane(s));
+  }
+};
+
+/// A complete schedule for one iteration of one pipeline.
+struct PipelineSchedule {
+  std::string name;
+  int num_devices = 0;
+  int num_microbatches = 0;
+  std::vector<Op> ops;                 ///< indexed by Op::id
+  std::vector<DeviceLanes> devices;    ///< size num_devices
+  std::vector<double> base_bytes;      ///< resident (parameter+optimizer) bytes per device
+
+  [[nodiscard]] const Op& op(int id) const { return ops[static_cast<std::size_t>(id)]; }
+
+  /// Sanity-check the IR: ids consistent, deps in range, every op issued on
+  /// exactly one lane of its own device, collectives well-formed. Throws
+  /// CheckError on violation.
+  void validate() const;
+};
+
+}  // namespace vocab

@@ -1,0 +1,107 @@
+#include "schedule/schedule_1f1b.h"
+
+#include "common/error.h"
+#include "schedule/builder.h"
+
+namespace vocab {
+
+PipelineSchedule build_1f1b(const CostModel& cm, int p, const LayerAssignment& assign,
+                            const std::string& name) {
+  VOCAB_CHECK(assign.num_stages() == p, "assignment has " << assign.num_stages()
+                                                          << " stages, need " << p);
+  const int m = cm.config().num_microbatches;
+  VOCAB_CHECK(m >= p, "1F1B needs at least p microbatches");
+  ScheduleBuilder b(name, p, m);
+
+  // Per-device pass durations (vocab layers folded into first/last stage).
+  std::vector<double> tF(static_cast<std::size_t>(p)), tB(static_cast<std::size_t>(p));
+  for (int d = 0; d < p; ++d) {
+    const int layers = assign.layers_per_stage[static_cast<std::size_t>(d)];
+    tF[static_cast<std::size_t>(d)] = cm.time_f(layers);
+    tB[static_cast<std::size_t>(d)] = cm.time_b_full(layers);
+    if (d == 0 && assign.input_on_first) {
+      tF[static_cast<std::size_t>(d)] += cm.time_input_fwd_full();
+      tB[static_cast<std::size_t>(d)] += cm.time_input_bwd_full();
+    }
+    if (d == p - 1 && assign.output_on_last) {
+      tF[static_cast<std::size_t>(d)] += cm.time_output_fwd_full();
+      tB[static_cast<std::size_t>(d)] += cm.time_output_bwd_full();
+    }
+  }
+
+  // Create F/B ops for every (mb, device).
+  std::vector<std::vector<int>> f_id(static_cast<std::size_t>(m),
+                                     std::vector<int>(static_cast<std::size_t>(p), -1));
+  std::vector<std::vector<int>> b_id = f_id;
+  // Slots only need to induce per-device order; we assign them from the
+  // classic 1F1B issue sequence below, so create ops lazily there.
+  auto make_f = [&](int mb, int d, double slot) {
+    Op op;
+    op.device = d;
+    op.kind = OpKind::Forward;
+    op.microbatch = mb;
+    op.duration = tF[static_cast<std::size_t>(d)];
+    op.label = "F" + std::to_string(mb);
+    op.alloc_bytes = cm.activation_bytes_per_mb(assign.layers_per_stage[static_cast<std::size_t>(d)]);
+    if (d == p - 1 && assign.output_on_last) op.alloc_bytes += cm.output_full_transient_bytes();
+    if (d > 0) op.deps.push_back(f_id[static_cast<std::size_t>(mb)][static_cast<std::size_t>(d - 1)]);
+    f_id[static_cast<std::size_t>(mb)][static_cast<std::size_t>(d)] = b.add(std::move(op), slot);
+  };
+  auto make_b = [&](int mb, int d, double slot) {
+    Op op;
+    op.device = d;
+    op.kind = OpKind::BackwardFull;
+    op.microbatch = mb;
+    op.duration = tB[static_cast<std::size_t>(d)];
+    op.label = "B" + std::to_string(mb);
+    op.free_bytes = cm.activation_bytes_per_mb(assign.layers_per_stage[static_cast<std::size_t>(d)]);
+    if (d == p - 1 && assign.output_on_last) op.free_bytes += cm.output_full_transient_bytes();
+    op.deps.push_back(f_id[static_cast<std::size_t>(mb)][static_cast<std::size_t>(d)]);
+    if (d < p - 1) op.deps.push_back(b_id[static_cast<std::size_t>(mb)][static_cast<std::size_t>(d + 1)]);
+    b_id[static_cast<std::size_t>(mb)][static_cast<std::size_t>(d)] = b.add(std::move(op), slot);
+  };
+
+  // Classic 1F1B issue order. Forwards must exist on device d-1 before the
+  // dep is recorded on device d, so emit per device in *stage* order but per
+  // the 1F1B sequence; creating F ops stage-by-stage keeps f_id populated.
+  // We instead precreate all Fs in (mb, device) order, then all Bs in
+  // (mb, reverse device) order, assigning slots from the issue sequence.
+  std::vector<std::vector<double>> f_slot(static_cast<std::size_t>(m),
+                                          std::vector<double>(static_cast<std::size_t>(p)));
+  std::vector<std::vector<double>> b_slot = f_slot;
+  for (int d = 0; d < p; ++d) {
+    const int warmup = p - 1 - d;
+    double slot = 0.0;
+    int next_f = 0, next_b = 0;
+    for (int i = 0; i < warmup && next_f < m; ++i) {
+      f_slot[static_cast<std::size_t>(next_f++)][static_cast<std::size_t>(d)] = slot++;
+    }
+    while (next_f < m || next_b < m) {
+      if (next_f < m) f_slot[static_cast<std::size_t>(next_f++)][static_cast<std::size_t>(d)] = slot++;
+      if (next_b < m) b_slot[static_cast<std::size_t>(next_b++)][static_cast<std::size_t>(d)] = slot++;
+    }
+  }
+  for (int mb = 0; mb < m; ++mb) {
+    for (int d = 0; d < p; ++d) {
+      make_f(mb, d, f_slot[static_cast<std::size_t>(mb)][static_cast<std::size_t>(d)]);
+    }
+  }
+  for (int mb = 0; mb < m; ++mb) {
+    for (int d = p - 1; d >= 0; --d) {
+      make_b(mb, d, b_slot[static_cast<std::size_t>(mb)][static_cast<std::size_t>(d)]);
+    }
+  }
+
+  // Resident bytes: transformer parameters + whole vocab layers where hosted.
+  std::vector<double> base(static_cast<std::size_t>(p), 0.0);
+  for (int d = 0; d < p; ++d) {
+    base[static_cast<std::size_t>(d)] =
+        assign.layers_per_stage[static_cast<std::size_t>(d)] * cm.transformer_layer_param_bytes();
+  }
+  if (assign.input_on_first) base[0] += cm.vocab_layer_param_bytes();
+  if (assign.output_on_last) base[static_cast<std::size_t>(p - 1)] += cm.vocab_layer_param_bytes();
+
+  return b.finalize(std::move(base));
+}
+
+}  // namespace vocab

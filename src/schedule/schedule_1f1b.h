@@ -1,0 +1,23 @@
+#pragma once
+
+// Classic 1F1B (PipeDream-flush) schedule generator.
+//
+// Device d performs p-1-d warmup forwards, then strictly alternates one
+// forward / one backward, then drains with backwards. The vocabulary layers
+// live whole on the first (input) and last (output) stages, folded into
+// those stages' F/B durations — this is the paper's Baseline, and with a
+// Redis LayerAssignment it is the Redis baseline.
+
+#include <string>
+
+#include "cost/cost_model.h"
+#include "schedule/layer_assignment.h"
+#include "schedule/ops.h"
+
+namespace vocab {
+
+/// Build a 1F1B schedule for `p` devices under `assign`.
+PipelineSchedule build_1f1b(const CostModel& cm, int p, const LayerAssignment& assign,
+                            const std::string& name = "1f1b");
+
+}  // namespace vocab

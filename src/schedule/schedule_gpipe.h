@@ -1,0 +1,31 @@
+#pragma once
+
+// GPipe (Huang et al. 2019) schedule generator, with and without Vocabulary
+// Parallelism — a demonstration of the paper's claim that the S/T-pass
+// integration "is naturally generalizable to other schedules" beyond 1F1B
+// and V-Half.
+//
+// GPipe runs all forwards, then all backwards; activation memory is O(m)
+// microbatches, which is why 1F1B superseded it — but its simplicity makes
+// the vocabulary-pass insertion particularly transparent: every S runs
+// during the forward phase as soon as C0 delivers X, and T/C2 stream during
+// the backward phase.
+
+#include <string>
+
+#include "core/output_layer_shard.h"
+#include "cost/cost_model.h"
+#include "schedule/layer_assignment.h"
+#include "schedule/ops.h"
+
+namespace vocab {
+
+/// Plain GPipe: vocabulary layers whole on the first/last stages.
+PipelineSchedule build_gpipe(const CostModel& cm, int p, const LayerAssignment& assign,
+                             const std::string& name = "gpipe");
+
+/// GPipe + Vocabulary Parallelism (Alg1 or Alg2).
+PipelineSchedule build_gpipe_vocab(const CostModel& cm, int p, OutputAlgo algo,
+                                   const std::string& name = "");
+
+}  // namespace vocab

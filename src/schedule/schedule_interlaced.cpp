@@ -1,0 +1,143 @@
+#include "schedule/schedule_interlaced.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/error.h"
+#include "schedule/builder.h"
+#include "schedule/layer_assignment.h"
+
+namespace vocab {
+
+// The interlaced pipeline alternates PP (transformer) and TP (vocabulary)
+// phases. Each microbatch's vocabulary work — broadcast of X, the output
+// shard forward, the stats all-reduce, the output shard backward, the gradX
+// all-reduce, plus the piggybacked input-layer TP work — is one *globally
+// synchronized block* on every device's compute stream, modeled here as a
+// single collective "PC" op. That captures interlaced's two defining costs:
+// the per-microbatch rendezvous bubbles (Appendix B.2) and the enlarged
+// activation lifespan (Appendix B.1, ~1.5x of 1F1B), which we encode by
+// delaying each device's B by delta cycles so activations live half a
+// pipeline round-trip longer.
+PipelineSchedule build_interlaced(const CostModel& cm, int p, bool sync_collectives,
+                                  const std::string& name) {
+  const int m = cm.config().num_microbatches;
+  VOCAB_CHECK(m >= p, "need at least p microbatches");
+  VOCAB_CHECK(p >= 2, "interlaced pipeline needs >= 2 devices");
+  const LayerAssignment assign = uniform_assignment(cm.config().num_layers, p);
+  const int layers = assign.layers_per_stage[0];
+
+  const double tF = cm.time_f(layers);
+  const double tB = cm.time_b_full(layers);
+  // TP-partitioned vocabulary work per device (same shard matmuls as
+  // Vocab-1's S/T, executed synchronously in the critical path).
+  const double tOF = cm.time_output_s(OutputAlgo::Alg1, p);
+  const double tOB = cm.time_output_t(OutputAlgo::Alg1, p);
+  const double tIF = cm.time_input_shard_fwd(p);
+  const double tIB = cm.time_input_shard_bwd(p);
+  const double sync_time = cm.time_x_broadcast(p) + cm.time_stats_allreduce(p) +
+                           cm.time_gradx_allreduce(p) + cm.time_input_allreduce(p) +
+                           cm.time_x_broadcast(p);
+  const double phase_len = tOF + tOB + tIF + tIB + (sync_collectives ? sync_time : 0.0);
+
+  // Appendix B.1: the per-microbatch global rendezvous align every device's
+  // cycle, so the backward wave can only advance one device per interval
+  // (any faster would need two serial tB hops inside one interval whose
+  // backward budget is a single tB). The activation lifespan therefore
+  // stretches to roughly twice 1F1B's — the effect the paper bounds at
+  // ~1.5x for its configurations.
+
+  const std::string sched_name =
+      name.empty() ? (sync_collectives ? "interlaced" : "interlaced-nosync") : name;
+  ScheduleBuilder b(sched_name, p, m);
+
+  const double act = cm.activation_bytes_per_mb(layers);
+  const double tp_state = cm.output_shard_state_bytes(OutputAlgo::Alg1, p);
+
+  std::vector<int> all_devices(static_cast<std::size_t>(p));
+  for (int d = 0; d < p; ++d) all_devices[static_cast<std::size_t>(d)] = d;
+
+  // Per-device lane index of each op under the steady pattern
+  //   [warmup F x w_d] then repeating [F, PC, B]:
+  auto warmup = [&](int d) { return p - 1 - d; };
+  auto slot_f = [&](int mb, int d) {
+    const int w = warmup(d);
+    return mb < w ? static_cast<double>(mb) : 3.0 * (mb - w) + w;
+  };
+  auto slot_pc = [&](int c, int d) { return 3.0 * c + warmup(d) + 1; };
+  auto b_cycle = [&](int mb, int d) { return mb + (p - 1 - d); };
+  auto slot_b = [&](int mb, int d) { return 3.0 * b_cycle(mb, d) + warmup(d) + 2; };
+
+  std::vector<std::vector<int>> f_ids(static_cast<std::size_t>(m),
+                                      std::vector<int>(static_cast<std::size_t>(p), -1));
+  std::vector<std::vector<int>> b_ids = f_ids;
+  std::vector<std::vector<int>> pc_ids(static_cast<std::size_t>(m));
+
+  for (int mb = 0; mb < m; ++mb) {
+    // --- transformer forward wave -------------------------------------------
+    for (int d = 0; d < p; ++d) {
+      Op op;
+      op.device = d;
+      op.kind = OpKind::Forward;
+      op.microbatch = mb;
+      op.duration = tF;
+      op.label = "F" + std::to_string(mb);
+      op.alloc_bytes = act;
+      if (d > 0) {
+        op.deps.push_back(f_ids[static_cast<std::size_t>(mb)][static_cast<std::size_t>(d - 1)]);
+      } else if (mb >= p) {
+        // Input TP phase for this microbatch ran inside PC(mb - p).
+        op.deps.push_back(pc_ids[static_cast<std::size_t>(mb - p)][0]);
+      }
+      f_ids[static_cast<std::size_t>(mb)][static_cast<std::size_t>(d)] =
+          b.add(std::move(op), slot_f(mb, d));
+    }
+
+    // --- synchronized vocabulary TP phase PC(mb) ------------------------------
+    std::vector<std::vector<int>> pc_deps(static_cast<std::size_t>(p));
+    for (int d = 0; d < p; ++d) {
+      auto& deps = pc_deps[static_cast<std::size_t>(d)];
+      deps.push_back(f_ids[static_cast<std::size_t>(mb)][static_cast<std::size_t>(p - 1)]);
+      // Input-backward TP piggybacks for the newest microbatch whose
+      // B(mb', 0) — the tail of the backward wave — has already retired.
+      if (mb - p >= 0) {
+        deps.push_back(b_ids[static_cast<std::size_t>(mb - p)][0]);
+      }
+    }
+    std::vector<double> pc_slots(static_cast<std::size_t>(p));
+    for (int d = 0; d < p; ++d) pc_slots[static_cast<std::size_t>(d)] = slot_pc(mb, d);
+    pc_ids[static_cast<std::size_t>(mb)] =
+        b.add_collective(all_devices, Stream::Compute, phase_len, mb,
+                         "S" + std::to_string(mb), pc_deps, pc_slots);
+    for (int d = 0; d < p; ++d) {
+      // Transient TP state (fp32 logits shard etc.) lives inside the phase.
+      b.add_alloc(pc_ids[static_cast<std::size_t>(mb)][static_cast<std::size_t>(d)], tp_state);
+      b.add_free(pc_ids[static_cast<std::size_t>(mb)][static_cast<std::size_t>(d)], tp_state);
+    }
+
+    // --- backward wave (delayed delta cycles, Appendix B.1) -------------------
+    for (int d = p - 1; d >= 0; --d) {
+      Op op;
+      op.device = d;
+      op.kind = OpKind::BackwardFull;
+      op.microbatch = mb;
+      op.duration = tB;
+      op.label = "B" + std::to_string(mb);
+      op.free_bytes = act;
+      op.deps.push_back(f_ids[static_cast<std::size_t>(mb)][static_cast<std::size_t>(d)]);
+      op.deps.push_back(d == p - 1
+                            ? pc_ids[static_cast<std::size_t>(mb)][static_cast<std::size_t>(d)]
+                            : b_ids[static_cast<std::size_t>(mb)][static_cast<std::size_t>(d + 1)]);
+      b_ids[static_cast<std::size_t>(mb)][static_cast<std::size_t>(d)] =
+          b.add(std::move(op), slot_b(mb, d));
+    }
+  }
+
+  std::vector<double> base_bytes(static_cast<std::size_t>(p),
+                                 layers * cm.transformer_layer_param_bytes() +
+                                     2.0 * cm.vocab_shard_param_bytes(p));
+  return b.finalize(std::move(base_bytes));
+}
+
+}  // namespace vocab

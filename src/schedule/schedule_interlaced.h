@@ -1,0 +1,25 @@
+#pragma once
+
+// The interlaced pipeline (Lin et al. 2024, nnScaler), the paper's strongest
+// prior method: vocabulary layers are parallelized tensor-parallel style
+// across all pipeline devices, alternating between TP (vocab) and PP
+// (transformer) phases. Every microbatch inserts *synchronous* collectives
+// on the compute stream — the broadcast of X, the softmax statistics
+// all-reduce and the input-gradient all-reduce — which rendezvous all
+// devices and create per-microbatch bubbles (Appendix B.2) and ~1.5x the
+// activation lifespan (Appendix B.1 / Figure 15).
+//
+// `sync_collectives=false` reproduces the B.2 ablation: the same collectives
+// moved to the communication stream where they overlap with compute.
+
+#include <string>
+
+#include "cost/cost_model.h"
+#include "schedule/ops.h"
+
+namespace vocab {
+
+PipelineSchedule build_interlaced(const CostModel& cm, int p, bool sync_collectives = true,
+                                  const std::string& name = "");
+
+}  // namespace vocab

@@ -1,0 +1,340 @@
+#include "schedule/schedule_vhalf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <set>
+
+#include "common/error.h"
+#include "schedule/builder.h"
+
+namespace vocab {
+
+namespace {
+
+/// V-shape mapping: stage s of 2p lives on device min(s, 2p-1-s); chunk 0
+/// descends the devices, chunk 1 ascends back.
+int device_of_stage(int s, int p) { return s < p ? s : 2 * p - 1 - s; }
+int chunk_of_stage(int s, int p) { return s < p ? 0 : 1; }
+
+struct VHalfParams {
+  int layers_per_stage = 0;
+  double tF = 0, tBi = 0, tBw = 0;
+  double act = 0;  // activation bytes per mb per stage
+};
+
+VHalfParams vhalf_params(const CostModel& cm, int p) {
+  VOCAB_CHECK(p >= 2, "V-Half needs >= 2 devices");
+  const int L = cm.config().num_layers;
+  VOCAB_CHECK(L % (2 * p) == 0, "V-Half requires 2p | L (L=" << L << ", p=" << p << ")");
+  VHalfParams v;
+  v.layers_per_stage = L / (2 * p);
+  v.tF = cm.time_f(v.layers_per_stage);
+  v.tBi = cm.time_b_input(v.layers_per_stage);
+  v.tBw = cm.time_b_weight(v.layers_per_stage);
+  v.act = cm.activation_bytes_per_mb(v.layers_per_stage);
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Quantum-grid issue order.
+//
+// In the cost model the six big per-cycle passes (F, B, W of both chunks)
+// all take ~tF, so a device's interval is six tF-sized quanta (plus the
+// small vocabulary passes, which ride along inside the quanta's slack). Ops
+// are placed on a *global* quantum grid from the wave equations — F wave
+// one quantum per stage hop, B+W wave two quanta per stage hop — and each
+// device resolves the rare mod-6 collisions by shifting one quantum (the
+// shift becomes wave slack the simulator absorbs). Slots are quantum
+// indices; real timing comes from the dependency-driven simulation.
+// ---------------------------------------------------------------------------
+
+/// Tracks which quanta (mod 6) a device's cycle already uses and assigns the
+/// next free one at or after the requested quantum.
+class QuantumAllocator {
+ public:
+  int place(int device, int quantum) {
+    auto& used = used_[device];
+    while (used.contains(((quantum % 6) + 6) % 6)) ++quantum;
+    used.insert(((quantum % 6) + 6) % 6);
+    return quantum;
+  }
+
+ private:
+  std::map<int, std::set<int>> used_;
+};
+
+/// Quantum assignment for the six big passes of every stage.
+struct BigPassQuanta {
+  std::vector<int> f, b, w;  // indexed by stage
+};
+
+/// `b_start`: quantum at which the backward wave begins (stage 2p-1's B).
+BigPassQuanta assign_quanta(int p, int b_start) {
+  const int stages = 2 * p;
+  QuantumAllocator alloc;
+  BigPassQuanta q;
+  q.f.resize(static_cast<std::size_t>(stages));
+  q.b.resize(static_cast<std::size_t>(stages));
+  q.w.resize(static_cast<std::size_t>(stages));
+  for (int s = 0; s < stages; ++s) {
+    q.f[static_cast<std::size_t>(s)] = alloc.place(device_of_stage(s, p), s);
+  }
+  int cursor = b_start;
+  for (int s = stages - 1; s >= 0; --s) {
+    const int dev = device_of_stage(s, p);
+    q.b[static_cast<std::size_t>(s)] = alloc.place(dev, cursor);
+    q.w[static_cast<std::size_t>(s)] = alloc.place(dev, q.b[static_cast<std::size_t>(s)] + 1);
+    cursor = q.w[static_cast<std::size_t>(s)] + 1;
+  }
+  return q;
+}
+
+}  // namespace
+
+PipelineSchedule build_vhalf(const CostModel& cm, int p, const std::string& name) {
+  const VHalfParams v = vhalf_params(cm, p);
+  const int m = cm.config().num_microbatches;
+  const int stages = 2 * p;
+  ScheduleBuilder b(name, p, m);
+
+  // Device 0 hosts both vocabulary layers whole (stage 0 + stage 2p-1).
+  auto f_dur = [&](int s) {
+    double t = v.tF;
+    if (s == 0) t += cm.time_input_fwd_full();
+    if (s == stages - 1) t += cm.time_output_fwd_full();
+    return t;
+  };
+  auto bi_dur = [&](int s) {
+    double t = v.tBi;
+    if (s == stages - 1) t += cm.time_output_bwd_full();
+    return t;
+  };
+  auto bw_dur = [&](int s) {
+    double t = v.tBw;
+    if (s == 0) t += cm.time_input_bwd_full();
+    return t;
+  };
+
+  // Backward wave starts right after the forward wave clears the last stage.
+  const BigPassQuanta q = assign_quanta(p, stages + 1);
+
+  for (int mb = 0; mb < m; ++mb) {
+    std::vector<int> f_ids(static_cast<std::size_t>(stages));
+    std::vector<int> b_ids(static_cast<std::size_t>(stages));
+    auto slot = [&](int quantum) { return static_cast<double>(6 * mb + quantum); };
+    for (int s = 0; s < stages; ++s) {
+      Op op;
+      op.device = device_of_stage(s, p);
+      op.chunk = chunk_of_stage(s, p);
+      op.kind = OpKind::Forward;
+      op.microbatch = mb;
+      op.duration = f_dur(s);
+      op.label = "F" + std::to_string(mb) + (op.chunk ? "'" : "");
+      op.alloc_bytes = v.act;
+      if (s == stages - 1) op.alloc_bytes += cm.output_full_transient_bytes();
+      if (s > 0) op.deps.push_back(f_ids[static_cast<std::size_t>(s - 1)]);
+      f_ids[static_cast<std::size_t>(s)] = b.add(std::move(op), slot(q.f[static_cast<std::size_t>(s)]));
+    }
+    for (int s = stages - 1; s >= 0; --s) {
+      Op op;
+      op.device = device_of_stage(s, p);
+      op.chunk = chunk_of_stage(s, p);
+      op.kind = OpKind::BackwardInput;
+      op.microbatch = mb;
+      op.duration = bi_dur(s);
+      op.label = "B" + std::to_string(mb) + (op.chunk ? "'" : "");
+      op.free_bytes = v.act * (2.0 / 3.0);
+      if (s == stages - 1) op.free_bytes += cm.output_full_transient_bytes();
+      op.deps.push_back(f_ids[static_cast<std::size_t>(s)]);
+      if (s < stages - 1) op.deps.push_back(b_ids[static_cast<std::size_t>(s + 1)]);
+      b_ids[static_cast<std::size_t>(s)] = b.add(std::move(op), slot(q.b[static_cast<std::size_t>(s)]));
+      // Weight-gradient pass right after its B (releases the remaining
+      // third of the stage's activations).
+      Op w;
+      w.device = op.device;
+      w.chunk = op.chunk;
+      w.kind = OpKind::BackwardWeight;
+      w.microbatch = mb;
+      w.duration = bw_dur(s);
+      w.label = "W" + std::to_string(mb) + (w.chunk ? "'" : "");
+      w.free_bytes = v.act / 3.0;
+      w.deps.push_back(b_ids[static_cast<std::size_t>(s)]);
+      b.add(std::move(w), slot(q.w[static_cast<std::size_t>(s)]));
+    }
+  }
+
+  std::vector<double> base_bytes(static_cast<std::size_t>(p),
+                                 2.0 * v.layers_per_stage * cm.transformer_layer_param_bytes());
+  base_bytes[0] += 2.0 * cm.vocab_layer_param_bytes();  // input + output, whole
+  return b.finalize(std::move(base_bytes));
+}
+
+PipelineSchedule build_vhalf_vocab(const CostModel& cm, int p, const std::string& name) {
+  const VHalfParams v = vhalf_params(cm, p);
+  const int m = cm.config().num_microbatches;
+  const int stages = 2 * p;
+  constexpr OutputAlgo algo = OutputAlgo::Alg1;  // the paper evaluates Vocab-1
+  ScheduleBuilder b(name, p, m);
+
+  const double tS = cm.time_output_s(algo, p);
+  const double tT = cm.time_output_t(algo, p);
+  const double tIF = cm.time_input_shard_fwd(p);
+  const double tIB = cm.time_input_shard_bwd(p);
+
+  std::vector<int> all_devices(static_cast<std::size_t>(p));
+  std::iota(all_devices.begin(), all_devices.end(), 0);
+
+  const double out_state = cm.output_shard_state_bytes(algo, p);
+  const double in_state = cm.activation_bytes();
+
+  // Figure 16's block: S right after C0; T one interval later (C1
+  // overlapped); the backward wave two intervals (12 quanta) after S so C2
+  // also overlaps compute.
+  const int q_s = stages;
+  const int q_t = stages + 6;
+  const BigPassQuanta q = assign_quanta(p, stages + 12);
+
+  for (int mb = 0; mb < m; ++mb) {
+    auto slot = [&](int quantum, double pri = 0.0) {
+      return static_cast<double>(6 * mb + quantum) + pri;
+    };
+
+    // Input layer forward, one interval ahead of F(mb, stage 0).
+    std::vector<int> if_ids(static_cast<std::size_t>(p));
+    for (int d = 0; d < p; ++d) {
+      Op op;
+      op.device = d;
+      op.kind = OpKind::InputFwd;
+      op.microbatch = mb;
+      op.duration = tIF;
+      op.label = "i" + std::to_string(mb);
+      op.alloc_bytes = in_state;
+      if_ids[static_cast<std::size_t>(d)] = b.add(std::move(op), slot(-6, 0.1));
+    }
+    std::vector<std::vector<int>> iar_deps(static_cast<std::size_t>(p));
+    for (int d = 0; d < p; ++d) iar_deps[static_cast<std::size_t>(d)] = {if_ids[static_cast<std::size_t>(d)]};
+    const std::vector<int> iar = b.add_collective(all_devices, Stream::CommAlt,
+                                                  cm.time_input_allreduce(p), mb,
+                                                  "iAR" + std::to_string(mb), iar_deps,
+                                                  slot(-6, 0.2));
+
+    // Forward wave through all 2p stages.
+    std::vector<int> f_ids(static_cast<std::size_t>(stages));
+    for (int s = 0; s < stages; ++s) {
+      Op op;
+      op.device = device_of_stage(s, p);
+      op.chunk = chunk_of_stage(s, p);
+      op.kind = OpKind::Forward;
+      op.microbatch = mb;
+      op.duration = v.tF;
+      op.label = "F" + std::to_string(mb) + (op.chunk ? "'" : "");
+      op.alloc_bytes = v.act;
+      op.deps.push_back(s == 0 ? iar[0] : f_ids[static_cast<std::size_t>(s - 1)]);
+      f_ids[static_cast<std::size_t>(s)] = b.add(std::move(op), slot(q.f[static_cast<std::size_t>(s)]));
+    }
+    for (int d = 0; d < p; ++d) {
+      b.add_free(d == 0 ? f_ids[0] : iar[static_cast<std::size_t>(d)], in_state);
+    }
+
+    // C0 broadcast, S, C1, T, C2.
+    std::vector<std::vector<int>> c0_deps(static_cast<std::size_t>(p),
+                                          {f_ids[static_cast<std::size_t>(stages - 1)]});
+    const std::vector<int> c0 = b.add_collective(all_devices, Stream::Comm,
+                                                 cm.time_x_broadcast(p), mb,
+                                                 "C0." + std::to_string(mb), c0_deps,
+                                                 slot(q_s, 0.1));
+    std::vector<int> s_ids(static_cast<std::size_t>(p));
+    for (int d = 0; d < p; ++d) {
+      Op op;
+      op.device = d;
+      op.kind = OpKind::OutputS;
+      op.microbatch = mb;
+      op.duration = tS;
+      op.label = "S" + std::to_string(mb);
+      op.alloc_bytes = out_state;
+      op.deps.push_back(c0[static_cast<std::size_t>(d)]);
+      s_ids[static_cast<std::size_t>(d)] = b.add(std::move(op), slot(q_s, 0.2));
+    }
+    std::vector<std::vector<int>> c1_deps(static_cast<std::size_t>(p));
+    for (int d = 0; d < p; ++d) c1_deps[static_cast<std::size_t>(d)] = {s_ids[static_cast<std::size_t>(d)]};
+    const std::vector<int> c1 = b.add_collective(all_devices, Stream::Comm,
+                                                 cm.time_stats_allreduce(p), mb,
+                                                 "C1." + std::to_string(mb), c1_deps,
+                                                 slot(q_s, 0.3));
+    std::vector<int> t_ids(static_cast<std::size_t>(p));
+    for (int d = 0; d < p; ++d) {
+      Op op;
+      op.device = d;
+      op.kind = OpKind::OutputT;
+      op.microbatch = mb;
+      op.duration = tT;
+      op.label = "T" + std::to_string(mb);
+      op.free_bytes = out_state;
+      op.deps.push_back(c1[static_cast<std::size_t>(d)]);
+      t_ids[static_cast<std::size_t>(d)] = b.add(std::move(op), slot(q_t, 0.1));
+    }
+    std::vector<std::vector<int>> c2_deps(static_cast<std::size_t>(p));
+    for (int d = 0; d < p; ++d) c2_deps[static_cast<std::size_t>(d)] = {t_ids[static_cast<std::size_t>(d)]};
+    const std::vector<int> c2 = b.add_collective(all_devices, Stream::Comm,
+                                                 cm.time_gradx_allreduce(p), mb,
+                                                 "C2." + std::to_string(mb), c2_deps,
+                                                 slot(q_t, 0.2));
+
+    // Backward wave (B then W per stage).
+    std::vector<int> b_ids(static_cast<std::size_t>(stages));
+    for (int s = stages - 1; s >= 0; --s) {
+      Op op;
+      op.device = device_of_stage(s, p);
+      op.chunk = chunk_of_stage(s, p);
+      op.kind = OpKind::BackwardInput;
+      op.microbatch = mb;
+      op.duration = v.tBi;
+      op.label = "B" + std::to_string(mb) + (op.chunk ? "'" : "");
+      op.free_bytes = v.act * (2.0 / 3.0);
+      op.deps.push_back(f_ids[static_cast<std::size_t>(s)]);
+      if (s == stages - 1) {
+        op.deps.push_back(c2[static_cast<std::size_t>(op.device)]);
+      } else {
+        op.deps.push_back(b_ids[static_cast<std::size_t>(s + 1)]);
+      }
+      b_ids[static_cast<std::size_t>(s)] = b.add(std::move(op), slot(q.b[static_cast<std::size_t>(s)]));
+      Op w;
+      w.device = op.device;
+      w.chunk = op.chunk;
+      w.kind = OpKind::BackwardWeight;
+      w.microbatch = mb;
+      w.duration = v.tBw;
+      w.label = "W" + std::to_string(mb) + (w.chunk ? "'" : "");
+      w.free_bytes = v.act / 3.0;
+      w.deps.push_back(b_ids[static_cast<std::size_t>(s)]);
+      b.add(std::move(w), slot(q.w[static_cast<std::size_t>(s)]));
+    }
+
+    // Input backward, one interval after B(stage 0).
+    std::vector<std::vector<int>> ibb_deps(static_cast<std::size_t>(p), {b_ids[0]});
+    const int q_j = q.w[0] + 1;
+    const std::vector<int> ibb = b.add_collective(all_devices, Stream::CommAlt,
+                                                  cm.time_x_broadcast(p), mb,
+                                                  "jBC" + std::to_string(mb), ibb_deps,
+                                                  slot(q_j, 0.1));
+    for (int d = 0; d < p; ++d) {
+      Op op;
+      op.device = d;
+      op.kind = OpKind::InputBwd;
+      op.microbatch = mb;
+      op.duration = tIB;
+      op.label = "j" + std::to_string(mb);
+      op.deps.push_back(ibb[static_cast<std::size_t>(d)]);
+      b.add(std::move(op), slot(q_j + 6, 0.2));
+    }
+  }
+
+  std::vector<double> base_bytes(static_cast<std::size_t>(p),
+                                 2.0 * v.layers_per_stage * cm.transformer_layer_param_bytes() +
+                                     2.0 * cm.vocab_shard_param_bytes(p));
+  return b.finalize(std::move(base_bytes));
+}
+
+}  // namespace vocab

@@ -1,0 +1,31 @@
+#pragma once
+
+// V-Half schedule (Qi et al. 2024, "Pipeline Parallelism with Controllable
+// Memory") and its Vocabulary-Parallel variant (paper §6.4, Appendix D).
+//
+// V-shape placement over 2p stages: device d hosts chunk 0 = stage d and
+// chunk 1 = stage 2p-1-d, so the first device holds both the first and the
+// last stage. Backward is split into activation-gradient (B) and
+// weight-gradient (W) passes. The V placement halves and balances the
+// activation memory relative to 1F1B — but in the Baseline it also puts
+// *both* vocabulary layers on device 0 (input on stage 0, output on stage
+// 2p-1), which is exactly the memory hotspot Figure 14 shows.
+//
+// build_vhalf_vocab integrates Vocab-1 (Algorithm 1) S/T passes following
+// the building block of Figure 16.
+
+#include <string>
+
+#include "cost/cost_model.h"
+#include "schedule/ops.h"
+
+namespace vocab {
+
+/// Baseline V-Half: whole vocabulary layers on stage 0 / stage 2p-1.
+PipelineSchedule build_vhalf(const CostModel& cm, int p, const std::string& name = "vhalf");
+
+/// V-Half + Vocabulary Parallelism (Vocab-1).
+PipelineSchedule build_vhalf_vocab(const CostModel& cm, int p,
+                                   const std::string& name = "vhalf-vocab-1");
+
+}  // namespace vocab

@@ -1,0 +1,60 @@
+#include "schedule/timeline.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "common/error.h"
+#include "common/table.h"
+
+namespace vocab {
+
+std::string render_timeline(const PipelineSchedule& schedule, const SimResult& result,
+                            int width, double min_time, double max_time) {
+  VOCAB_CHECK(width > 0, "width must be positive");
+  const double t0 = min_time;
+  const double t1 = max_time > 0 ? max_time : result.makespan;
+  VOCAB_CHECK(t1 > t0, "empty render window");
+  const double bucket = (t1 - t0) / width;
+
+  std::ostringstream oss;
+  for (int d = 0; d < schedule.num_devices; ++d) {
+    // Coverage per bucket: pick the op kind with the largest overlap.
+    std::vector<double> best_overlap(static_cast<std::size_t>(width), 0.0);
+    std::vector<char> cell(static_cast<std::size_t>(width), '.');
+    for (const int id : schedule.devices[static_cast<std::size_t>(d)].compute) {
+      const Op& op = schedule.op(id);
+      if (op.duration <= 0) continue;
+      const OpInterval& iv = result.times[static_cast<std::size_t>(id)];
+      const int lo = std::max(0, static_cast<int>((iv.start - t0) / bucket));
+      const int hi = std::min(width - 1, static_cast<int>((iv.end - t0) / bucket));
+      for (int k = lo; k <= hi; ++k) {
+        const double bs = t0 + k * bucket, be = bs + bucket;
+        const double overlap = std::min(be, iv.end) - std::max(bs, iv.start);
+        if (overlap > best_overlap[static_cast<std::size_t>(k)]) {
+          best_overlap[static_cast<std::size_t>(k)] = overlap;
+          cell[static_cast<std::size_t>(k)] = to_string(op.kind)[0];
+        }
+      }
+    }
+    oss << "dev" << d << (d < 10 ? " " : "") << " |";
+    for (const char c : cell) oss << c;
+    oss << "|\n";
+  }
+  return oss.str();
+}
+
+std::string render_summary(const PipelineSchedule& schedule, const SimResult& result) {
+  Table t({"device", "busy (s)", "bubble %", "peak mem"});
+  for (int d = 0; d < schedule.num_devices; ++d) {
+    t.add_row({"dev" + std::to_string(d),
+               fmt_f(result.compute_busy[static_cast<std::size_t>(d)], 3),
+               fmt_f(100.0 * result.bubble_fraction(d), 1),
+               fmt_bytes(result.peak_bytes[static_cast<std::size_t>(d)])});
+  }
+  std::ostringstream oss;
+  oss << schedule.name << ": makespan " << fmt_f(result.makespan, 3) << " s\n" << t.to_string();
+  return oss.str();
+}
+
+}  // namespace vocab

@@ -1,0 +1,24 @@
+#pragma once
+
+// ASCII timeline rendering of simulated schedules — the repo's stand-in for
+// the paper's schedule figures (1, 9, 10, 15, 16).
+
+#include <string>
+
+#include "schedule/ops.h"
+#include "sim/pipeline_sim.h"
+
+namespace vocab {
+
+/// Render the compute stream of every device as one text row of `width`
+/// character buckets over [0, result.makespan]; each bucket shows the kind
+/// of the op occupying most of it ('F', 'B', 'S', 'T', ...; '.' = idle).
+/// `max_time` > 0 restricts the window (e.g. to a few steady-state
+/// intervals).
+std::string render_timeline(const PipelineSchedule& schedule, const SimResult& result,
+                            int width = 120, double min_time = 0.0, double max_time = 0.0);
+
+/// One-line-per-device summary: busy time, bubble fraction, peak memory.
+std::string render_summary(const PipelineSchedule& schedule, const SimResult& result);
+
+}  // namespace vocab

@@ -1,0 +1,102 @@
+#include "tensor/tensor.h"
+
+#include <numeric>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace vocab {
+
+namespace {
+
+std::int64_t checked_numel(const std::vector<std::int64_t>& shape) {
+  VOCAB_CHECK(!shape.empty() && shape.size() <= 4,
+              "tensor rank must be 1..4, got " << shape.size());
+  std::int64_t n = 1;
+  for (const auto d : shape) {
+    VOCAB_CHECK(d > 0, "tensor dims must be positive");
+    VOCAB_CHECK(n <= (std::int64_t{1} << 40) / d, "tensor too large");
+    n *= d;
+  }
+  return n;
+}
+
+}  // namespace
+
+Tensor::Tensor(std::vector<std::int64_t> shape)
+    : shape_(std::move(shape)), data_(static_cast<std::size_t>(checked_numel(shape_)), 0.0f) {}
+
+Tensor::Tensor(std::vector<std::int64_t> shape, float fill)
+    : shape_(std::move(shape)), data_(static_cast<std::size_t>(checked_numel(shape_)), fill) {}
+
+Tensor::Tensor(std::vector<std::int64_t> shape, std::vector<float> values)
+    : shape_(std::move(shape)), data_(std::move(values)) {
+  VOCAB_CHECK(static_cast<std::int64_t>(data_.size()) == checked_numel(shape_),
+              "value count " << data_.size() << " does not match shape");
+}
+
+Tensor Tensor::randn(std::vector<std::int64_t> shape, Rng& rng, float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = static_cast<float>(rng.normal(0.0, stddev));
+  return t;
+}
+
+Tensor Tensor::rand_uniform(std::vector<std::int64_t> shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = static_cast<float>(rng.uniform(lo, hi));
+  return t;
+}
+
+std::int64_t Tensor::dim(int i) const {
+  VOCAB_CHECK(i >= 0 && i < rank(), "dim index " << i << " out of range for rank " << rank());
+  return shape_[static_cast<std::size_t>(i)];
+}
+
+float& Tensor::at(std::int64_t i) {
+  VOCAB_CHECK(i >= 0 && i < numel(), "flat index out of range");
+  return data_[static_cast<std::size_t>(i)];
+}
+
+float Tensor::at(std::int64_t i) const {
+  VOCAB_CHECK(i >= 0 && i < numel(), "flat index out of range");
+  return data_[static_cast<std::size_t>(i)];
+}
+
+float& Tensor::at(std::int64_t r, std::int64_t c) {
+  VOCAB_CHECK(rank() == 2, "2-D access on rank-" << rank() << " tensor");
+  VOCAB_CHECK(r >= 0 && r < shape_[0] && c >= 0 && c < shape_[1],
+              "index (" << r << "," << c << ") out of range " << shape_str());
+  return data_[static_cast<std::size_t>(r * shape_[1] + c)];
+}
+
+float Tensor::at(std::int64_t r, std::int64_t c) const {
+  return const_cast<Tensor*>(this)->at(r, c);
+}
+
+Tensor& Tensor::reshape(std::vector<std::int64_t> shape) {
+  VOCAB_CHECK(checked_numel(shape) == numel(),
+              "reshape must preserve element count");
+  shape_ = std::move(shape);
+  return *this;
+}
+
+Tensor Tensor::reshaped(std::vector<std::int64_t> shape) const {
+  Tensor copy = *this;
+  copy.reshape(std::move(shape));
+  return copy;
+}
+
+void Tensor::fill(float v) {
+  for (auto& x : data_) x = v;
+}
+
+std::string Tensor::shape_str() const {
+  std::ostringstream oss;
+  oss << "Tensor[";
+  for (std::size_t i = 0; i < shape_.size(); ++i) oss << (i ? ", " : "") << shape_[i];
+  oss << "]";
+  return oss.str();
+}
+
+}  // namespace vocab

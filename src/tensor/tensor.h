@@ -1,0 +1,80 @@
+#pragma once
+
+// Dense fp32 tensor with value semantics.
+//
+// This is the numeric substrate standing in for the paper's CUDA tensors: a
+// row-major float32 buffer plus shape. Operations live in tensor_ops.h. The
+// design follows the CppCoreGuidelines preference for regular value types —
+// copying copies the data; moves are cheap.
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace vocab {
+
+class Rng;
+
+/// Row-major dense float32 tensor of rank 1..4.
+class Tensor {
+ public:
+  /// Empty (rank-1, zero elements) tensor.
+  Tensor() = default;
+
+  /// Zero-initialised tensor of the given shape. All dims must be positive.
+  explicit Tensor(std::vector<std::int64_t> shape);
+
+  /// Tensor of the given shape with every element set to `fill`.
+  Tensor(std::vector<std::int64_t> shape, float fill);
+
+  /// Tensor adopting `values` (size must match the shape's element count).
+  Tensor(std::vector<std::int64_t> shape, std::vector<float> values);
+
+  static Tensor zeros(std::vector<std::int64_t> shape) { return Tensor(std::move(shape)); }
+  static Tensor full(std::vector<std::int64_t> shape, float v) { return {std::move(shape), v}; }
+
+  /// Gaussian-initialised tensor (mean 0, given stddev) from a seeded Rng.
+  static Tensor randn(std::vector<std::int64_t> shape, Rng& rng, float stddev = 1.0f);
+
+  /// Uniform tensor in [lo, hi).
+  static Tensor rand_uniform(std::vector<std::int64_t> shape, Rng& rng, float lo, float hi);
+
+  [[nodiscard]] const std::vector<std::int64_t>& shape() const { return shape_; }
+  [[nodiscard]] int rank() const { return static_cast<int>(shape_.size()); }
+  [[nodiscard]] std::int64_t dim(int i) const;
+  [[nodiscard]] std::int64_t numel() const { return static_cast<std::int64_t>(data_.size()); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  [[nodiscard]] float* data() { return data_.data(); }
+  [[nodiscard]] const float* data() const { return data_.data(); }
+
+  /// Flat element access with bounds check.
+  [[nodiscard]] float& at(std::int64_t i);
+  [[nodiscard]] float at(std::int64_t i) const;
+
+  /// 2-D element access with bounds check (requires rank 2).
+  [[nodiscard]] float& at(std::int64_t r, std::int64_t c);
+  [[nodiscard]] float at(std::int64_t r, std::int64_t c) const;
+
+  /// Reshape in place; element count must be preserved.
+  Tensor& reshape(std::vector<std::int64_t> shape);
+
+  /// A copy reshaped to the given shape.
+  [[nodiscard]] Tensor reshaped(std::vector<std::int64_t> shape) const;
+
+  /// Set every element to `v`.
+  void fill(float v);
+
+  /// Human-readable summary ("Tensor[4, 8]").
+  [[nodiscard]] std::string shape_str() const;
+
+  /// True if shapes are identical.
+  [[nodiscard]] bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+ private:
+  std::vector<std::int64_t> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace vocab

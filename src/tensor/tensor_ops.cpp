@@ -1,0 +1,303 @@
+#include "tensor/tensor_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace vocab {
+
+namespace {
+
+void check_rank2(const Tensor& t, const char* who) {
+  VOCAB_CHECK(t.rank() == 2, who << " requires a rank-2 tensor, got " << t.shape_str());
+}
+
+constexpr std::int64_t kBlock = 64;  // cache-blocking tile edge
+
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  check_rank2(a, "matmul");
+  check_rank2(b, "matmul");
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  VOCAB_CHECK(b.dim(0) == k, "matmul inner dims mismatch: " << a.shape_str() << " @ " << b.shape_str());
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (std::int64_t i0 = 0; i0 < m; i0 += kBlock) {
+    const std::int64_t i1 = std::min(i0 + kBlock, m);
+    for (std::int64_t l0 = 0; l0 < k; l0 += kBlock) {
+      const std::int64_t l1 = std::min(l0 + kBlock, k);
+      for (std::int64_t i = i0; i < i1; ++i) {
+        for (std::int64_t l = l0; l < l1; ++l) {
+          const float av = pa[i * k + l];
+          if (av == 0.0f) continue;
+          const float* brow = pb + l * n;
+          float* crow = pc + i * n;
+          for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+      }
+    }
+  }
+  return c;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  check_rank2(a, "matmul_nt");
+  check_rank2(b, "matmul_nt");
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  VOCAB_CHECK(b.dim(1) == k, "matmul_nt inner dims mismatch: " << a.shape_str() << " @ " << b.shape_str() << "^T");
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  // Row-times-row dot products: both operands are traversed contiguously.
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      float acc = 0.0f;
+      for (std::int64_t l = 0; l < k; ++l) acc += arow[l] * brow[l];
+      pc[i * n + j] = acc;
+    }
+  }
+  return c;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  check_rank2(a, "matmul_tn");
+  check_rank2(b, "matmul_tn");
+  const std::int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  VOCAB_CHECK(b.dim(0) == k, "matmul_tn inner dims mismatch: " << a.shape_str() << "^T @ " << b.shape_str());
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  // Accumulate rank-1 updates; both inner traversals are contiguous.
+  for (std::int64_t l = 0; l < k; ++l) {
+    const float* arow = pa + l * m;
+    const float* brow = pb + l * n;
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = pc + i * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  VOCAB_CHECK(a.same_shape(b), "add shape mismatch: " << a.shape_str() << " vs " << b.shape_str());
+  Tensor c = a;
+  add_inplace(c, b);
+  return c;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  VOCAB_CHECK(a.same_shape(b), "sub shape mismatch: " << a.shape_str() << " vs " << b.shape_str());
+  Tensor c = a;
+  float* pc = c.data();
+  const float* pb = b.data();
+  for (std::int64_t i = 0; i < c.numel(); ++i) pc[i] -= pb[i];
+  return c;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  VOCAB_CHECK(a.same_shape(b), "mul shape mismatch: " << a.shape_str() << " vs " << b.shape_str());
+  Tensor c = a;
+  float* pc = c.data();
+  const float* pb = b.data();
+  for (std::int64_t i = 0; i < c.numel(); ++i) pc[i] *= pb[i];
+  return c;
+}
+
+Tensor scale(const Tensor& a, float s) {
+  Tensor c = a;
+  scale_inplace(c, s);
+  return c;
+}
+
+void add_inplace(Tensor& a, const Tensor& b) {
+  VOCAB_CHECK(a.same_shape(b), "add_inplace shape mismatch");
+  float* pa = a.data();
+  const float* pb = b.data();
+  for (std::int64_t i = 0; i < a.numel(); ++i) pa[i] += pb[i];
+}
+
+void axpy_inplace(Tensor& a, float s, const Tensor& b) {
+  VOCAB_CHECK(a.same_shape(b), "axpy_inplace shape mismatch");
+  float* pa = a.data();
+  const float* pb = b.data();
+  for (std::int64_t i = 0; i < a.numel(); ++i) pa[i] += s * pb[i];
+}
+
+void scale_inplace(Tensor& a, float s) {
+  float* pa = a.data();
+  for (std::int64_t i = 0; i < a.numel(); ++i) pa[i] *= s;
+}
+
+Tensor row_max(const Tensor& a) {
+  check_rank2(a, "row_max");
+  const std::int64_t m = a.dim(0), n = a.dim(1);
+  Tensor out({m});
+  const float* pa = a.data();
+  for (std::int64_t i = 0; i < m; ++i) {
+    float best = pa[i * n];
+    for (std::int64_t j = 1; j < n; ++j) best = std::max(best, pa[i * n + j]);
+    out.at(i) = best;
+  }
+  return out;
+}
+
+Tensor row_sum(const Tensor& a) {
+  check_rank2(a, "row_sum");
+  const std::int64_t m = a.dim(0), n = a.dim(1);
+  Tensor out({m});
+  const float* pa = a.data();
+  for (std::int64_t i = 0; i < m; ++i) {
+    double acc = 0.0;
+    for (std::int64_t j = 0; j < n; ++j) acc += pa[i * n + j];
+    out.at(i) = static_cast<float>(acc);
+  }
+  return out;
+}
+
+Tensor row_exp_sum(const Tensor& a, const Tensor& maxima) {
+  check_rank2(a, "row_exp_sum");
+  const std::int64_t m = a.dim(0), n = a.dim(1);
+  VOCAB_CHECK(maxima.rank() == 1 && maxima.dim(0) == m, "row_exp_sum stats shape mismatch");
+  Tensor out({m});
+  const float* pa = a.data();
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float mi = maxima.at(i);
+    double acc = 0.0;
+    for (std::int64_t j = 0; j < n; ++j) acc += std::exp(static_cast<double>(pa[i * n + j] - mi));
+    out.at(i) = static_cast<float>(acc);
+  }
+  return out;
+}
+
+Tensor softmax_rows(const Tensor& logits) {
+  const Tensor m = row_max(logits);
+  const Tensor s = row_exp_sum(logits, m);
+  return softmax_rows_with_stats(logits, m, s);
+}
+
+Tensor softmax_rows_with_stats(const Tensor& logits, const Tensor& maxima, const Tensor& sums) {
+  check_rank2(logits, "softmax_rows_with_stats");
+  const std::int64_t m = logits.dim(0), n = logits.dim(1);
+  VOCAB_CHECK(maxima.rank() == 1 && maxima.dim(0) == m, "softmax stats (max) shape mismatch");
+  VOCAB_CHECK(sums.rank() == 1 && sums.dim(0) == m, "softmax stats (sum) shape mismatch");
+  Tensor out({m, n});
+  const float* pl = logits.data();
+  float* po = out.data();
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float mi = maxima.at(i);
+    const float inv = 1.0f / sums.at(i);
+    for (std::int64_t j = 0; j < n; ++j) {
+      po[i * n + j] = std::exp(pl[i * n + j] - mi) * inv;
+    }
+  }
+  return out;
+}
+
+float cross_entropy_mean(const Tensor& logits, const std::vector<std::int64_t>& targets) {
+  check_rank2(logits, "cross_entropy_mean");
+  const std::int64_t m = logits.dim(0), n = logits.dim(1);
+  VOCAB_CHECK(static_cast<std::int64_t>(targets.size()) == m,
+              "target count " << targets.size() << " != rows " << m);
+  const Tensor maxima = row_max(logits);
+  const Tensor sums = row_exp_sum(logits, maxima);
+  double loss = 0.0;
+  const float* pl = logits.data();
+  for (std::int64_t i = 0; i < m; ++i) {
+    const std::int64_t t = targets[static_cast<std::size_t>(i)];
+    VOCAB_CHECK(t >= 0 && t < n, "target " << t << " out of range [0, " << n << ")");
+    // -log softmax = log(sum) + max - logit
+    loss += std::log(static_cast<double>(sums.at(i))) + maxima.at(i) - pl[i * n + t];
+  }
+  return static_cast<float>(loss / static_cast<double>(m));
+}
+
+Tensor one_hot(const std::vector<std::int64_t>& targets, std::int64_t classes) {
+  VOCAB_CHECK(classes > 0, "one_hot requires classes > 0");
+  const std::int64_t m = static_cast<std::int64_t>(targets.size());
+  Tensor g({m, classes});
+  for (std::int64_t i = 0; i < m; ++i) {
+    const std::int64_t t = targets[static_cast<std::size_t>(i)];
+    if (t >= 0 && t < classes) g.at(i, t) = 1.0f;
+  }
+  return g;
+}
+
+Tensor transpose(const Tensor& a) {
+  check_rank2(a, "transpose");
+  const std::int64_t m = a.dim(0), n = a.dim(1);
+  Tensor out({n, m});
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) out.at(j, i) = a.at(i, j);
+  }
+  return out;
+}
+
+Tensor slice_rows(const Tensor& a, std::int64_t begin, std::int64_t end) {
+  check_rank2(a, "slice_rows");
+  VOCAB_CHECK(0 <= begin && begin < end && end <= a.dim(0),
+              "slice_rows range [" << begin << ", " << end << ") invalid for " << a.shape_str());
+  const std::int64_t n = a.dim(1);
+  Tensor out({end - begin, n});
+  std::copy(a.data() + begin * n, a.data() + end * n, out.data());
+  return out;
+}
+
+Tensor slice_cols(const Tensor& a, std::int64_t begin, std::int64_t end) {
+  check_rank2(a, "slice_cols");
+  VOCAB_CHECK(0 <= begin && begin < end && end <= a.dim(1),
+              "slice_cols range [" << begin << ", " << end << ") invalid for " << a.shape_str());
+  const std::int64_t m = a.dim(0), n = a.dim(1), w = end - begin;
+  Tensor out({m, w});
+  for (std::int64_t i = 0; i < m; ++i) {
+    std::copy(a.data() + i * n + begin, a.data() + i * n + end, out.data() + i * w);
+  }
+  return out;
+}
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  VOCAB_CHECK(a.same_shape(b), "max_abs_diff shape mismatch");
+  float worst = 0.0f;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    worst = std::max(worst, std::abs(pa[i] - pb[i]));
+  }
+  return worst;
+}
+
+bool allclose(const Tensor& a, const Tensor& b, float rtol, float atol) {
+  if (!a.same_shape(b)) return false;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    if (std::abs(pa[i] - pb[i]) > atol + rtol * std::abs(pb[i])) return false;
+  }
+  return true;
+}
+
+double sum_all(const Tensor& a) {
+  double acc = 0.0;
+  const float* pa = a.data();
+  for (std::int64_t i = 0; i < a.numel(); ++i) acc += pa[i];
+  return acc;
+}
+
+double l2_norm(const Tensor& a) {
+  double acc = 0.0;
+  const float* pa = a.data();
+  for (std::int64_t i = 0; i < a.numel(); ++i) acc += static_cast<double>(pa[i]) * pa[i];
+  return std::sqrt(acc);
+}
+
+}  // namespace vocab

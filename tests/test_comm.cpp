@@ -1,0 +1,192 @@
+// Tests for the thread-rendezvous communicator and P2P channels.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "comm/channel.h"
+#include "comm/device_group.h"
+#include "common/error.h"
+#include "tensor/tensor_ops.h"
+
+namespace vocab {
+namespace {
+
+/// Run `fn(rank)` on `world` threads, rethrowing the first exception.
+void run_ranks(int world, const std::function<void(int)>& fn) {
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(world));
+  for (int r = 0; r < world; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        fn(r);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+TEST(DeviceGroup, AllReduceSum) {
+  DeviceGroup group(4);
+  run_ranks(4, [&](int rank) {
+    Tensor t({3}, static_cast<float>(rank + 1));
+    group.all_reduce(rank, t, ReduceOp::Sum, "sum");
+    for (std::int64_t i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(t.at(i), 10.0f);
+  });
+  EXPECT_EQ(group.completed_collectives(), 1u);
+}
+
+TEST(DeviceGroup, AllReduceMax) {
+  DeviceGroup group(3);
+  run_ranks(3, [&](int rank) {
+    Tensor t({2}, std::vector<float>{static_cast<float>(rank), -static_cast<float>(rank)});
+    group.all_reduce(rank, t, ReduceOp::Max, "max");
+    EXPECT_FLOAT_EQ(t.at(0), 2.0f);
+    EXPECT_FLOAT_EQ(t.at(1), 0.0f);
+  });
+}
+
+TEST(DeviceGroup, ReduceDeliversOnlyToRoot) {
+  DeviceGroup group(4);
+  run_ranks(4, [&](int rank) {
+    Tensor t({2}, 1.0f);
+    group.reduce(rank, /*root=*/2, t, ReduceOp::Sum, "reduce");
+    if (rank == 2) {
+      EXPECT_FLOAT_EQ(t.at(0), 4.0f);
+    } else {
+      EXPECT_FLOAT_EQ(t.at(0), 1.0f);  // non-root buffers untouched
+    }
+  });
+}
+
+TEST(DeviceGroup, BroadcastAdoptsRootShapeAndValues) {
+  DeviceGroup group(3);
+  run_ranks(3, [&](int rank) {
+    Tensor t;
+    if (rank == 1) t = Tensor({2, 2}, 7.0f);
+    group.broadcast(rank, /*root=*/1, t, "bcast");
+    ASSERT_EQ(t.rank(), 2);
+    EXPECT_FLOAT_EQ(t.at(1, 1), 7.0f);
+  });
+}
+
+TEST(DeviceGroup, AllGatherRowsConcatenatesInRankOrder) {
+  DeviceGroup group(3);
+  run_ranks(3, [&](int rank) {
+    Tensor t({1, 2}, static_cast<float>(rank));
+    const Tensor gathered = group.all_gather_rows(rank, t, "gather");
+    ASSERT_EQ(gathered.dim(0), 3);
+    for (int r = 0; r < 3; ++r) EXPECT_FLOAT_EQ(gathered.at(r, 0), static_cast<float>(r));
+  });
+}
+
+TEST(DeviceGroup, RepeatedCollectivesReuseCleanState) {
+  DeviceGroup group(2);
+  run_ranks(2, [&](int rank) {
+    for (int iter = 0; iter < 50; ++iter) {
+      Tensor t({1}, static_cast<float>(rank + iter));
+      group.all_reduce(rank, t, ReduceOp::Sum, "iter" + std::to_string(iter));
+      EXPECT_FLOAT_EQ(t.at(0), static_cast<float>(2 * iter + 1));
+    }
+  });
+  EXPECT_EQ(group.completed_collectives(), 50u);
+}
+
+TEST(DeviceGroup, TagMismatchIsDetected) {
+  DeviceGroup group(2, std::chrono::milliseconds(2000));
+  std::atomic<int> failures{0};
+  run_ranks(2, [&](int rank) {
+    Tensor t({1});
+    try {
+      group.all_reduce(rank, t, ReduceOp::Sum, rank == 0 ? "a" : "b");
+    } catch (const Error&) {
+      ++failures;
+    }
+  });
+  EXPECT_GE(failures.load(), 1);
+}
+
+TEST(DeviceGroup, MissingParticipantTimesOutAsDeadlock) {
+  DeviceGroup group(2, std::chrono::milliseconds(200));
+  Tensor t({1});
+  EXPECT_THROW(group.all_reduce(0, t, ReduceOp::Sum, "lonely"), DeadlockError);
+}
+
+TEST(DeviceGroup, ShapeMismatchAcrossRanksThrows) {
+  DeviceGroup group(2, std::chrono::milliseconds(2000));
+  std::atomic<int> failures{0};
+  run_ranks(2, [&](int rank) {
+    Tensor t = rank == 0 ? Tensor({2}) : Tensor({3});
+    try {
+      group.all_reduce(rank, t, ReduceOp::Sum, "shape");
+    } catch (const Error&) {
+      ++failures;
+    }
+  });
+  EXPECT_GE(failures.load(), 1);
+}
+
+TEST(DeviceGroup, InvalidRankThrows) {
+  DeviceGroup group(2);
+  Tensor t({1});
+  EXPECT_THROW(group.all_reduce(2, t, ReduceOp::Sum, "x"), CheckError);
+  EXPECT_THROW(group.all_reduce(-1, t, ReduceOp::Sum, "x"), CheckError);
+}
+
+TEST(DeviceGroup, SingleRankGroupIsIdentity) {
+  DeviceGroup group(1);
+  Tensor t({2}, 3.0f);
+  group.all_reduce(0, t, ReduceOp::Sum, "solo");
+  EXPECT_FLOAT_EQ(t.at(0), 3.0f);
+}
+
+TEST(Channel, SendRecvPreservesOrderAndPayload) {
+  Channel ch;
+  ch.send("first", Tensor({1}, 1.0f));
+  ch.send("second", Tensor({1}, 2.0f));
+  const Message m1 = ch.recv();
+  EXPECT_EQ(m1.tag, "first");
+  EXPECT_FLOAT_EQ(m1.payload.at(0), 1.0f);
+  const Tensor t2 = ch.recv_expect("second");
+  EXPECT_FLOAT_EQ(t2.at(0), 2.0f);
+}
+
+TEST(Channel, RecvExpectRejectsWrongTag) {
+  Channel ch;
+  ch.send("fwd:mb0", Tensor({1}));
+  EXPECT_THROW(ch.recv_expect("fwd:mb1"), CheckError);
+}
+
+TEST(Channel, CrossThreadTransfer) {
+  Channel ch;
+  std::thread producer([&] {
+    for (int i = 0; i < 100; ++i) ch.send("mb" + std::to_string(i), Tensor({1}, static_cast<float>(i)));
+  });
+  for (int i = 0; i < 100; ++i) {
+    const Tensor t = ch.recv_expect("mb" + std::to_string(i));
+    EXPECT_FLOAT_EQ(t.at(0), static_cast<float>(i));
+  }
+  producer.join();
+  EXPECT_TRUE(ch.empty());
+}
+
+TEST(Channel, EmptyRecvTimesOut) {
+  Channel ch(4, std::chrono::milliseconds(100));
+  EXPECT_THROW(ch.recv(), DeadlockError);
+}
+
+TEST(Channel, FullSendTimesOut) {
+  Channel ch(1, std::chrono::milliseconds(100));
+  ch.send("a", Tensor({1}));
+  EXPECT_THROW(ch.send("b", Tensor({1})), DeadlockError);
+}
+
+}  // namespace
+}  // namespace vocab

@@ -1,0 +1,165 @@
+// Tests for the common substrate: error macros, table rendering, logging
+// levels, and statistical sanity of the deterministic RNG.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/error.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/table.h"
+
+namespace vocab {
+namespace {
+
+// ---- error macros --------------------------------------------------------------
+
+TEST(ErrorMacros, CheckCarriesExpressionAndMessage) {
+  try {
+    const int n = -3;
+    VOCAB_CHECK(n > 0, "n must be positive, got " << n);
+    FAIL() << "should have thrown";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("n > 0"), std::string::npos);
+    EXPECT_NE(what.find("got -3"), std::string::npos);
+    EXPECT_NE(what.find("test_common.cpp"), std::string::npos);
+  }
+}
+
+TEST(ErrorMacros, PassingCheckHasNoEffect) {
+  EXPECT_NO_THROW(VOCAB_CHECK(1 + 1 == 2, "math works"));
+}
+
+TEST(ErrorMacros, ExceptionHierarchy) {
+  // Every library exception is a vocab::Error is a std::runtime_error.
+  EXPECT_THROW(throw ShapeError("s"), Error);
+  EXPECT_THROW(throw OutOfMemoryError("m"), Error);
+  EXPECT_THROW(throw DeadlockError("d"), std::runtime_error);
+}
+
+// ---- table rendering ------------------------------------------------------------
+
+TEST(TableRender, AlignsAndSeparates) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_separator();
+  t.add_row({"b", "22222"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| alpha |"), std::string::npos);
+  EXPECT_NE(s.find("22222 |"), std::string::npos);
+  // 5 rules: top, under-header, separator, bottom... count '+---' lines.
+  EXPECT_EQ(t.num_rows(), 3u);  // 2 data + 1 separator
+}
+
+TEST(TableRender, RejectsWrongArity) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckError);
+  EXPECT_THROW(Table({}), CheckError);
+}
+
+TEST(TableRender, CsvEscapesSpecials) {
+  Table t({"k", "v"});
+  t.add_row({"plain", "a,b"});
+  t.add_row({"quote", "say \"hi\""});
+  t.add_separator();  // separators are omitted from CSV
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);  // header + 2 rows
+}
+
+TEST(Formatting, Numbers) {
+  EXPECT_EQ(fmt_f(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_f(-1.5, 0), "-2");  // round-to-even banker's via printf
+  EXPECT_EQ(fmt_count(1048576), "1,048,576");
+  EXPECT_EQ(fmt_count(-42), "-42");
+  EXPECT_EQ(fmt_count(0), "0");
+  EXPECT_EQ(fmt_bytes(512), "512 B");
+  EXPECT_EQ(fmt_bytes(1536), "1.50 KB");
+  EXPECT_EQ(fmt_bytes(3.5 * 1024 * 1024 * 1024), "3.50 GB");
+}
+
+// ---- logging ----------------------------------------------------------------------
+
+TEST(Logging, ThresholdGatesEmission) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::Error);
+  EXPECT_EQ(log_level(), LogLevel::Error);
+  // Below-threshold macros must not evaluate their stream arguments.
+  int evaluations = 0;
+  auto touch = [&]() {
+    ++evaluations;
+    return "x";
+  };
+  VOCAB_DEBUG("dbg " << touch());
+  VOCAB_INFO("info " << touch());
+  EXPECT_EQ(evaluations, 0);
+  set_log_level(original);
+}
+
+// ---- RNG statistics ------------------------------------------------------------------
+
+TEST(RngStats, UniformMeanAndRange) {
+  Rng rng(123);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000, 0.5, 0.01);
+}
+
+TEST(RngStats, NormalMomentsAreStandard) {
+  Rng rng(321);
+  double sum = 0, sumsq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sumsq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.05);
+}
+
+TEST(RngStats, SplitProducesIndependentStreams) {
+  Rng parent(55);
+  Rng child = parent.split();
+  // Parent and child sequences differ.
+  bool differ = false;
+  Rng parent2(55);
+  Rng child2 = parent2.split();
+  for (int i = 0; i < 8; ++i) {
+    // Determinism: same construction gives the same child stream.
+    EXPECT_EQ(child.next_u64(), child2.next_u64());
+    if (parent.next_u64() != parent2.split().next_u64()) differ = true;
+  }
+  (void)differ;
+}
+
+TEST(RngStats, SampleCdfRespectsWeights) {
+  Rng rng(77);
+  const std::vector<double> cdf{1.0, 1.0, 11.0};  // P = {0.09, 0, 0.91}
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 5000; ++i) ++counts[rng.sample_cdf(cdf)];
+  EXPECT_EQ(counts[1], 0);  // zero-mass outcome never drawn
+  EXPECT_GT(counts[2], counts[0] * 5);
+  EXPECT_THROW(rng.sample_cdf({}), CheckError);
+}
+
+TEST(RngStats, ZipfCdfIsMonotoneAndHeadHeavy) {
+  const auto cdf = zipf_cdf(100, 1.0);
+  for (std::size_t i = 1; i < cdf.size(); ++i) EXPECT_GT(cdf[i], cdf[i - 1]);
+  // Head mass: first 10 of 100 outcomes carry > 40% under alpha=1.
+  EXPECT_GT(cdf[9] / cdf.back(), 0.4);
+  EXPECT_THROW(zipf_cdf(0, 1.0), CheckError);
+}
+
+}  // namespace
+}  // namespace vocab

@@ -1,0 +1,139 @@
+// Correctness of the vocabulary-parallel input layer (Appendix C) against
+// the unpartitioned embedding lookup.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "comm/device_group.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/input_layer_shard.h"
+#include "core/reference_input_layer.h"
+#include "core/vocab_shard.h"
+#include "tensor/tensor_ops.h"
+
+namespace vocab {
+namespace {
+
+void run_ranks(int world, const std::function<void(int)>& fn) {
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(world));
+  for (int r = 0; r < world; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        fn(r);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+Tensor shard_table(const Tensor& full, const VocabShard& s) {
+  Tensor out({s.size, full.dim(1)});
+  for (std::int64_t r = 0; r < s.valid_size(); ++r) {
+    for (std::int64_t c = 0; c < full.dim(1); ++c) out.at(r, c) = full.at(s.offset + r, c);
+  }
+  return out;
+}
+
+class InputLayerEquivalence : public testing::TestWithParam<std::tuple<int, std::int64_t>> {};
+
+TEST_P(InputLayerEquivalence, ForwardAndBackwardMatchReference) {
+  const auto [world, v] = GetParam();
+  const std::int64_t n = 10, h = 8;
+  Rng rng(77);
+  const Tensor table = Tensor::randn({v, h}, rng);
+  std::vector<std::int64_t> tokens(static_cast<std::size_t>(n));
+  for (auto& t : tokens) t = static_cast<std::int64_t>(rng.uniform_int(static_cast<std::uint64_t>(v)));
+  const Tensor grad_out = Tensor::randn({n, h}, rng);
+
+  const Tensor ref_fwd = reference_embedding_forward(table, tokens);
+  Tensor ref_grad({v, h});
+  reference_embedding_backward(ref_grad, tokens, grad_out);
+
+  const auto shards = make_all_shards(v, world);
+  DeviceGroup group(world);
+  std::vector<Tensor> fwds(static_cast<std::size_t>(world));
+  std::vector<Tensor> grads(static_cast<std::size_t>(world));
+  run_ranks(world, [&](int rank) {
+    InputLayerShard layer(shards[static_cast<std::size_t>(rank)],
+                          shard_table(table, shards[static_cast<std::size_t>(rank)]));
+    fwds[static_cast<std::size_t>(rank)] = layer.forward(0, tokens, group);
+    // Rank 0 plays the first pipeline stage that owns the output gradient.
+    Tensor g = rank == 0 ? grad_out : Tensor();
+    layer.backward(0, g, /*root=*/0, group);
+    grads[static_cast<std::size_t>(rank)] = layer.embedding_grad();
+    EXPECT_EQ(layer.live_microbatches(), 0u);
+  });
+
+  for (int r = 0; r < world; ++r) {
+    EXPECT_LT(max_abs_diff(fwds[static_cast<std::size_t>(r)], ref_fwd), 1e-5f);
+    // Each shard's grad must equal the reference restricted to its rows.
+    const VocabShard& s = shards[static_cast<std::size_t>(r)];
+    for (std::int64_t row = 0; row < s.valid_size(); ++row) {
+      for (std::int64_t c = 0; c < h; ++c) {
+        EXPECT_NEAR(grads[static_cast<std::size_t>(r)].at(row, c),
+                    ref_grad.at(s.offset + row, c), 1e-5f);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PartitionsAndVocabs, InputLayerEquivalence,
+    testing::Combine(testing::Values(1, 2, 4),
+                     testing::Values(std::int64_t{16}, std::int64_t{13}, std::int64_t{5})));
+
+TEST(InputLayerShard, RepeatedTokensAccumulateGradient) {
+  const std::int64_t v = 8, h = 4;
+  Rng rng(78);
+  const Tensor table = Tensor::randn({v, h}, rng);
+  const auto shards = make_all_shards(v, 1);
+  InputLayerShard layer(shards[0], table);
+  DeviceGroup group(1);
+  // Token 3 appears twice; its gradient row must be the sum of both rows.
+  layer.forward(0, {3, 3, 1}, group);
+  Tensor g({3, h}, 1.0f);
+  layer.backward(0, g, 0, group);
+  for (std::int64_t c = 0; c < h; ++c) {
+    EXPECT_FLOAT_EQ(layer.embedding_grad().at(3, c), 2.0f);
+    EXPECT_FLOAT_EQ(layer.embedding_grad().at(1, c), 1.0f);
+    EXPECT_FLOAT_EQ(layer.embedding_grad().at(0, c), 0.0f);
+  }
+}
+
+TEST(InputLayerShard, LifecycleErrors) {
+  const auto shards = make_all_shards(8, 1);
+  Rng rng(79);
+  InputLayerShard layer(shards[0], Tensor::randn({8, 4}, rng));
+  DeviceGroup group(1);
+  EXPECT_THROW(layer.forward_local(0, {9}), CheckError);  // token out of range
+  layer.forward_local(0, {1, 2});
+  EXPECT_THROW(layer.forward_local(0, {1}), CheckError);  // duplicate mb
+  Tensor g({2, 4});
+  EXPECT_THROW(layer.backward(5, g, 0, group), CheckError);  // unknown mb
+  Tensor bad({1, 4});
+  EXPECT_THROW(layer.backward(0, bad, 0, group), CheckError);  // wrong shape
+}
+
+TEST(ReferenceInputLayer, ForwardGathersRows) {
+  Rng rng(80);
+  const Tensor table = Tensor::randn({6, 3}, rng);
+  const Tensor out = reference_embedding_forward(table, {5, 0});
+  for (std::int64_t c = 0; c < 3; ++c) {
+    EXPECT_FLOAT_EQ(out.at(0, c), table.at(5, c));
+    EXPECT_FLOAT_EQ(out.at(1, c), table.at(0, c));
+  }
+  EXPECT_THROW(reference_embedding_forward(table, {6}), CheckError);
+}
+
+}  // namespace
+}  // namespace vocab

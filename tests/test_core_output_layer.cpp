@@ -1,0 +1,310 @@
+// Correctness of the vocabulary-parallel output layer: every partitioned
+// algorithm (naive / Alg1 / Alg2), on every partition count, must reproduce
+// the unpartitioned reference loss, grad_X and grad_W — including awkward
+// vocabulary sizes that force padding and even fully-padded shards.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "comm/device_group.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/output_layer_shard.h"
+#include "core/reference_output_layer.h"
+#include "core/vocab_shard.h"
+#include "tensor/tensor_ops.h"
+
+namespace vocab {
+namespace {
+
+void run_ranks(int world, const std::function<void(int)>& fn) {
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(world));
+  for (int r = 0; r < world; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        fn(r);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+struct Problem {
+  Tensor x;                           // [n, h]
+  Tensor w;                           // [V, h] full weights
+  std::vector<std::int64_t> targets;  // n labels
+  float grad_scale;
+};
+
+Problem make_problem(std::int64_t n, std::int64_t h, std::int64_t v, std::uint64_t seed) {
+  Rng rng(seed);
+  Problem p;
+  p.x = Tensor::randn({n, h}, rng, 0.8f);
+  p.w = Tensor::randn({v, h}, rng, 0.5f);
+  p.targets.resize(static_cast<std::size_t>(n));
+  for (auto& t : p.targets) t = static_cast<std::int64_t>(rng.uniform_int(static_cast<std::uint64_t>(v)));
+  p.grad_scale = 1.0f / static_cast<float>(n);
+  return p;
+}
+
+/// Slice the full weight matrix into a shard's [size, h] block, zero-filling
+/// padding rows, exactly as a sharded checkpoint loader would.
+Tensor shard_weights(const Tensor& w, const VocabShard& s) {
+  Tensor out({s.size, w.dim(1)});
+  for (std::int64_t r = 0; r < s.valid_size(); ++r) {
+    for (std::int64_t c = 0; c < w.dim(1); ++c) out.at(r, c) = w.at(s.offset + r, c);
+  }
+  return out;
+}
+
+/// Reassemble grad_W from per-shard grads for comparison with the reference.
+Tensor unshard_grads(const std::vector<Tensor>& shard_grads,
+                     const std::vector<VocabShard>& shards, std::int64_t v, std::int64_t h) {
+  Tensor out({v, h});
+  for (std::size_t d = 0; d < shards.size(); ++d) {
+    const VocabShard& s = shards[d];
+    for (std::int64_t r = 0; r < s.valid_size(); ++r) {
+      for (std::int64_t c = 0; c < h; ++c) out.at(s.offset + r, c) = shard_grads[d].at(r, c);
+    }
+  }
+  return out;
+}
+
+struct Case {
+  OutputAlgo algo;
+  int world;
+  std::int64_t vocab;
+};
+
+std::string case_name(const testing::TestParamInfo<Case>& info) {
+  std::string name = std::string(to_string(info.param.algo)) + "_p" +
+                     std::to_string(info.param.world) + "_V" + std::to_string(info.param.vocab);
+  for (auto& ch : name) {
+    if (ch == '-') ch = '_';
+  }
+  return name;
+}
+
+class OutputLayerEquivalence : public testing::TestWithParam<Case> {};
+
+TEST_P(OutputLayerEquivalence, MatchesUnpartitionedReference) {
+  const auto [algo, world, v] = GetParam();
+  const std::int64_t n = 12, h = 16;
+  const Problem prob = make_problem(n, h, v, /*seed=*/1234 + static_cast<std::uint64_t>(v));
+  const OutputLayerResult ref =
+      reference_output_layer(prob.x, prob.w, prob.targets, prob.grad_scale);
+
+  const auto shards = make_all_shards(v, world);
+  DeviceGroup group(world);
+  std::vector<float> losses(static_cast<std::size_t>(world));
+  std::vector<Tensor> grad_xs(static_cast<std::size_t>(world));
+  std::vector<Tensor> grad_ws(static_cast<std::size_t>(world));
+
+  run_ranks(world, [&](int rank) {
+    OutputLayerShard layer(algo, shards[static_cast<std::size_t>(rank)],
+                           shard_weights(prob.w, shards[static_cast<std::size_t>(rank)]));
+    auto [loss, gx] = layer.run_all(/*mb=*/0, group, prob.x, prob.targets, prob.grad_scale);
+    losses[static_cast<std::size_t>(rank)] = loss;
+    grad_xs[static_cast<std::size_t>(rank)] = std::move(gx);
+    grad_ws[static_cast<std::size_t>(rank)] = layer.weight_grad();
+    EXPECT_EQ(layer.live_microbatches(), 0u);
+  });
+
+  for (int r = 0; r < world; ++r) {
+    EXPECT_NEAR(losses[static_cast<std::size_t>(r)], ref.loss, 2e-4f)
+        << "loss mismatch on rank " << r;
+    EXPECT_LT(max_abs_diff(grad_xs[static_cast<std::size_t>(r)], ref.grad_x), 2e-4f)
+        << "grad_x mismatch on rank " << r;
+  }
+  const Tensor grad_w = unshard_grads(grad_ws, shards, v, h);
+  EXPECT_LT(max_abs_diff(grad_w, ref.grad_w), 2e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithmsAllPartitions, OutputLayerEquivalence,
+    testing::ValuesIn([] {
+      std::vector<Case> cases;
+      for (const OutputAlgo algo : {OutputAlgo::Naive, OutputAlgo::Alg1, OutputAlgo::Alg2}) {
+        for (const int world : {1, 2, 4, 8}) {
+          // 64: divides evenly; 61: prime, padding on the last shard;
+          // 10 with p=8: pads to 16 and leaves shards 5..7 fully padded.
+          for (const std::int64_t v : {std::int64_t{64}, std::int64_t{61}, std::int64_t{10}}) {
+            cases.push_back({algo, world, v});
+          }
+        }
+      }
+      return cases;
+    }()),
+    case_name);
+
+TEST(OutputLayerShard, BarrierCountsMatchPaper) {
+  EXPECT_EQ(num_barriers(OutputAlgo::Naive), 3);
+  EXPECT_EQ(num_barriers(OutputAlgo::Alg1), 2);
+  EXPECT_EQ(num_barriers(OutputAlgo::Alg2), 1);
+  EXPECT_EQ(grad_x_ready_barrier(OutputAlgo::Naive), 2);
+  EXPECT_EQ(grad_x_ready_barrier(OutputAlgo::Alg1), 1);
+  EXPECT_EQ(grad_x_ready_barrier(OutputAlgo::Alg2), 0);
+}
+
+TEST(OutputLayerShard, PhaseOrderIsEnforced) {
+  const auto shards = make_all_shards(8, 1);
+  Rng rng(5);
+  OutputLayerShard layer(OutputAlgo::Alg2, shards[0], Tensor::randn({8, 4}, rng));
+  DeviceGroup group(1);
+  layer.start_microbatch(0, Tensor::randn({3, 4}, rng), {0, 1, 2}, 1.0f);
+  EXPECT_THROW(layer.compute_phase(0, 1), CheckError);     // wrong phase index
+  EXPECT_THROW(layer.comm_barrier(0, 0, group), CheckError);  // barrier before S
+  layer.compute_phase(0, 0);
+  EXPECT_THROW(layer.compute_phase(0, 1), CheckError);  // T before C1
+  layer.comm_barrier(0, 0, group);
+  layer.compute_phase(0, 1);
+  EXPECT_THROW(layer.finish_microbatch(1), CheckError);  // unknown mb
+  layer.finish_microbatch(0);
+}
+
+TEST(OutputLayerShard, ResultsGatedOnReadiness) {
+  const auto shards = make_all_shards(8, 1);
+  Rng rng(6);
+  OutputLayerShard layer(OutputAlgo::Alg1, shards[0], Tensor::randn({8, 4}, rng));
+  DeviceGroup group(1);
+  layer.start_microbatch(7, Tensor::randn({2, 4}, rng), {1, 3}, 0.5f);
+  EXPECT_THROW((void)layer.loss(7), CheckError);
+  layer.compute_phase(7, 0);
+  layer.comm_barrier(7, 0, group);
+  EXPECT_NO_THROW((void)layer.loss(7));
+  EXPECT_THROW((void)layer.grad_x(7), CheckError);  // Alg1 grad_x only after C2
+  layer.compute_phase(7, 1);
+  layer.comm_barrier(7, 1, group);
+  EXPECT_NO_THROW((void)layer.grad_x(7));
+}
+
+TEST(OutputLayerShard, RejectsBadInputs) {
+  const auto shards = make_all_shards(8, 1);
+  Rng rng(7);
+  OutputLayerShard layer(OutputAlgo::Alg2, shards[0], Tensor::randn({8, 4}, rng));
+  EXPECT_THROW(layer.start_microbatch(0, Tensor::randn({2, 5}, rng), {0, 1}, 1.0f),
+               CheckError);  // wrong hidden dim
+  EXPECT_THROW(layer.start_microbatch(0, Tensor::randn({2, 4}, rng), {0}, 1.0f),
+               CheckError);  // target count mismatch
+  EXPECT_THROW(layer.start_microbatch(0, Tensor::randn({2, 4}, rng), {0, 8}, 1.0f),
+               CheckError);  // target outside vocab
+  layer.start_microbatch(0, Tensor::randn({2, 4}, rng), {0, 1}, 1.0f);
+  EXPECT_THROW(layer.start_microbatch(0, Tensor::randn({2, 4}, rng), {0, 1}, 1.0f),
+               CheckError);  // duplicate mb id
+}
+
+TEST(OutputLayerShard, WeightGradAccumulatesAcrossMicrobatches) {
+  const auto shards = make_all_shards(16, 2);
+  const std::int64_t n = 6, h = 8;
+  const Problem prob = make_problem(n, h, 16, 99);
+  DeviceGroup group(2);
+
+  // Run the same microbatch twice: grads must double.
+  std::vector<Tensor> grads_once(2), grads_twice(2);
+  run_ranks(2, [&](int rank) {
+    OutputLayerShard layer(OutputAlgo::Alg2, shards[static_cast<std::size_t>(rank)],
+                           shard_weights(prob.w, shards[static_cast<std::size_t>(rank)]));
+    layer.run_all(0, group, prob.x, prob.targets, prob.grad_scale);
+    grads_once[static_cast<std::size_t>(rank)] = layer.weight_grad();
+    layer.run_all(1, group, prob.x, prob.targets, prob.grad_scale);
+    grads_twice[static_cast<std::size_t>(rank)] = layer.weight_grad();
+    layer.zero_weight_grad();
+    EXPECT_FLOAT_EQ(static_cast<float>(sum_all(layer.weight_grad())), 0.0f);
+  });
+  for (int r = 0; r < 2; ++r) {
+    EXPECT_LT(max_abs_diff(scale(grads_once[static_cast<std::size_t>(r)], 2.0f),
+                           grads_twice[static_cast<std::size_t>(r)]),
+              1e-4f);
+  }
+}
+
+TEST(OutputLayerShard, ActivationMemoryReleasedOnFinish) {
+  const auto shards = make_all_shards(32, 1);
+  Rng rng(8);
+  OutputLayerShard layer(OutputAlgo::Alg1, shards[0], Tensor::randn({32, 8}, rng));
+  DeviceGroup group(1);
+  EXPECT_EQ(layer.live_activation_bytes(), 0u);
+  layer.start_microbatch(0, Tensor::randn({4, 8}, rng), {0, 1, 2, 3}, 1.0f);
+  layer.compute_phase(0, 0);
+  EXPECT_GT(layer.live_activation_bytes(), 0u);
+  layer.comm_barrier(0, 0, group);
+  layer.compute_phase(0, 1);
+  layer.comm_barrier(0, 1, group);
+  layer.compute_phase(0, 2);
+  layer.finish_microbatch(0);
+  EXPECT_EQ(layer.live_activation_bytes(), 0u);
+}
+
+TEST(OutputLayerShard, Alg2HoldsFewerBigTensorsThanAlg1AfterS) {
+  // After the S pass, Alg2 has freed the logits and holds softmax' + A + B;
+  // Alg1 holds softmax'. Both must have dropped the [n, V/p] logits.
+  const auto shards = make_all_shards(1024, 2);
+  Rng rng(9);
+  const std::int64_t n = 4, h = 8;
+  for (const OutputAlgo algo : {OutputAlgo::Alg1, OutputAlgo::Alg2}) {
+    OutputLayerShard layer(algo, shards[0], Tensor::randn({shards[0].size, h}, rng));
+    layer.start_microbatch(0, Tensor::randn({n, h}, rng), std::vector<std::int64_t>(n, 3), 1.0f);
+    layer.compute_phase(0, 0);
+    const std::size_t logits_bytes = static_cast<std::size_t>(n * shards[0].size) * sizeof(float);
+    const std::size_t softmax_plus_x =
+        logits_bytes + static_cast<std::size_t>(n * h) * sizeof(float);
+    // State must be within softmax' + x + small vectors (+ A/B for Alg2),
+    // i.e. strictly less than two [n, V/p] matrices.
+    EXPECT_LT(layer.live_activation_bytes(), 2 * logits_bytes)
+        << to_string(algo) << " retained the logits after S";
+    EXPECT_GE(layer.live_activation_bytes(), softmax_plus_x);
+  }
+}
+
+TEST(OutputLayerShard, CollectiveCountsPerMicrobatch) {
+  // naive: max + (sum, ytgt) + gradx = 4 collectives in 3 barriers
+  // alg1:  (max, sum, ytgt) + gradx  = 4 collectives in 2 barriers
+  // alg2:  (max, sum, ytgt, gradx)   = 4 collectives in 1 barrier
+  const auto shards = make_all_shards(24, 2);
+  const Problem prob = make_problem(4, 8, 24, 7);
+  for (const OutputAlgo algo : {OutputAlgo::Naive, OutputAlgo::Alg1, OutputAlgo::Alg2}) {
+    DeviceGroup group(2);
+    run_ranks(2, [&](int rank) {
+      OutputLayerShard layer(algo, shards[static_cast<std::size_t>(rank)],
+                             shard_weights(prob.w, shards[static_cast<std::size_t>(rank)]));
+      layer.run_all(0, group, prob.x, prob.targets, prob.grad_scale);
+    });
+    EXPECT_EQ(group.completed_collectives(), 4u) << to_string(algo);
+  }
+}
+
+TEST(VocabShardMath, PaddingAndOwnership) {
+  EXPECT_EQ(pad_vocab(256008, 24), 256032);  // the paper's §6.1 example
+  EXPECT_EQ(pad_vocab(32000, 8), 32000);
+  EXPECT_EQ(pad_vocab(1, 4), 8);
+
+  const auto shards = make_all_shards(10, 4);  // pads to 16, shard size 4
+  EXPECT_EQ(shards[0].size, 4);
+  EXPECT_EQ(shards[0].valid_size(), 4);
+  EXPECT_EQ(shards[2].valid_size(), 2);  // ids 8, 9
+  EXPECT_EQ(shards[3].valid_size(), 0);  // fully padded
+  EXPECT_TRUE(shards[2].owns(9));
+  EXPECT_FALSE(shards[2].owns(10));
+  EXPECT_EQ(shards[2].to_local(9), 1);
+  EXPECT_THROW((void)shards[3].to_local(12), CheckError);
+
+  // Every real vocab id is owned by exactly one shard.
+  for (std::int64_t vid = 0; vid < 10; ++vid) {
+    int owners = 0;
+    for (const auto& s : shards) owners += s.owns(vid) ? 1 : 0;
+    EXPECT_EQ(owners, 1) << "vocab id " << vid;
+  }
+}
+
+}  // namespace
+}  // namespace vocab

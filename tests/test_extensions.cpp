@@ -1,0 +1,156 @@
+// Tests for the extension features: tied embeddings (§6.1) and the fused
+// streaming output layer (§7 future work).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/fused_output_layer.h"
+#include "core/output_layer_shard.h"
+#include "cost/cost_model.h"
+#include "model/gpt.h"
+#include "runtime/pipeline_trainer.h"
+#include "runtime/reference_trainer.h"
+#include "schedule/schedule_1f1b_vocab.h"
+#include "sim/pipeline_sim.h"
+#include "tensor/tensor_ops.h"
+
+namespace vocab {
+namespace {
+
+// ---- tied embeddings ---------------------------------------------------------
+
+GptConfig tied_config() {
+  GptConfig cfg;
+  cfg.num_layers = 2;
+  cfg.heads = 2;
+  cfg.hidden = 24;
+  cfg.seq_len = 12;
+  cfg.vocab = 41;
+  cfg.tie_embeddings = true;
+  return cfg;
+}
+
+TEST(TiedEmbeddings, InitSharesWeights) {
+  const GptWeights w = GptWeights::init(tied_config(), 3);
+  EXPECT_EQ(max_abs_diff(w.input_embedding, w.output_weight), 0.0f);
+  GptConfig untied = tied_config();
+  untied.tie_embeddings = false;
+  const GptWeights wu = GptWeights::init(untied, 3);
+  EXPECT_GT(max_abs_diff(wu.input_embedding, wu.output_weight), 0.0f);
+}
+
+TEST(TiedEmbeddings, ReferenceKeepsWeightsEqualWhileTraining) {
+  ReferenceTrainer trainer(GptWeights::init(tied_config(), 5));
+  SyntheticCorpus corpus(41, 12, 9);
+  for (int it = 0; it < 4; ++it) {
+    trainer.train_iteration({corpus.sample(2 * it), corpus.sample(2 * it + 1)}, 0.2f);
+  }
+  EXPECT_EQ(max_abs_diff(trainer.input_embedding(), trainer.output_weight()), 0.0f);
+}
+
+TEST(TiedEmbeddings, PipelineMatchesReferenceAndStaysTied) {
+  const GptConfig cfg = tied_config();
+  const GptWeights weights = GptWeights::init(cfg, 7);
+  ReferenceTrainer ref(weights);
+  PipelineTrainer pipe(weights, /*p=*/2, OutputAlgo::Alg2);
+  SyntheticCorpus corpus(cfg.vocab, cfg.seq_len, 11);
+  for (int it = 0; it < 4; ++it) {
+    const std::vector<Sample> mbs{corpus.sample(2 * it), corpus.sample(2 * it + 1)};
+    const float rl = ref.train_iteration(mbs, 0.2f);
+    const float pl = pipe.train_iteration(mbs, 0.2f);
+    EXPECT_NEAR(pl, rl, 5e-3f) << "iteration " << it;
+  }
+  // Tying preserved on every shard: gathered copies are identical.
+  EXPECT_EQ(max_abs_diff(pipe.gathered_input_embedding(), pipe.gathered_output_weight()),
+            0.0f);
+  EXPECT_LT(max_abs_diff(pipe.gathered_output_weight(), ref.output_weight()), 5e-3f);
+}
+
+TEST(TiedEmbeddings, TiedTrainingDiffersFromUntied) {
+  GptConfig untied = tied_config();
+  untied.tie_embeddings = false;
+  ReferenceTrainer tied(GptWeights::init(tied_config(), 13));
+  ReferenceTrainer plain(GptWeights::init(untied, 13));
+  SyntheticCorpus corpus(41, 12, 15);
+  const std::vector<Sample> mbs{corpus.sample(0), corpus.sample(1)};
+  // Same first forward (losses only depend on the forward weights, and the
+  // output weight is initialised differently), so just check the *updates*
+  // diverge: after a step, tied input embedding received output-layer grads.
+  tied.train_iteration(mbs, 0.2f);
+  plain.train_iteration(mbs, 0.2f);
+  EXPECT_GT(max_abs_diff(tied.input_embedding(), plain.input_embedding()), 1e-6f);
+}
+
+// ---- fused streaming output layer ---------------------------------------------
+
+class FusedOutputLayer : public testing::TestWithParam<std::int64_t> {};
+
+TEST_P(FusedOutputLayer, MatchesReferenceAtEveryChunkSize) {
+  const std::int64_t chunk = GetParam();
+  const std::int64_t n = 10, h = 16, v = 103;
+  Rng rng(21);
+  const Tensor x = Tensor::randn({n, h}, rng);
+  const Tensor w = Tensor::randn({v, h}, rng, 0.3f);
+  std::vector<std::int64_t> targets(static_cast<std::size_t>(n));
+  for (auto& t : targets) t = static_cast<std::int64_t>(rng.uniform_int(static_cast<std::uint64_t>(v)));
+
+  const OutputLayerResult ref = reference_output_layer(x, w, targets, 0.1f);
+  const FusedOutputResult fused = fused_output_layer(x, w, targets, 0.1f, chunk);
+  EXPECT_NEAR(fused.result.loss, ref.loss, 1e-5f);
+  EXPECT_LT(max_abs_diff(fused.result.grad_x, ref.grad_x), 1e-5f);
+  EXPECT_LT(max_abs_diff(fused.result.grad_w, ref.grad_w), 1e-5f);
+}
+
+INSTANTIATE_TEST_SUITE_P(ChunkSweep, FusedOutputLayer,
+                         testing::Values<std::int64_t>(1, 7, 16, 64, 103, 1000));
+
+TEST(FusedOutputLayerMemory, TransientShrinksWithChunkSize) {
+  const std::int64_t n = 16, h = 32, v = 4096;
+  Rng rng(22);
+  const Tensor x = Tensor::randn({n, h}, rng);
+  const Tensor w = Tensor::randn({v, h}, rng, 0.2f);
+  std::vector<std::int64_t> targets(static_cast<std::size_t>(n), 7);
+  const auto small = fused_output_layer(x, w, targets, 1.0f, 128);
+  const auto big = fused_output_layer(x, w, targets, 1.0f, 4096);
+  EXPECT_LT(small.peak_transient_bytes, big.peak_transient_bytes);
+  EXPECT_LT(small.peak_transient_bytes, unfused_transient_bytes(n, v) / 4);
+}
+
+TEST(FusedOutputLayerMemory, HandlesExtremeLogits) {
+  // Safe softmax property must survive the streaming restructure.
+  const std::int64_t n = 2, h = 4, v = 32;
+  Tensor x({n, h}, 50.0f);  // huge activations -> huge logits
+  Rng rng(23);
+  const Tensor w = Tensor::randn({v, h}, rng, 2.0f);
+  const auto fused = fused_output_layer(x, w, {0, 31}, 1.0f, 8);
+  EXPECT_TRUE(std::isfinite(fused.result.loss));
+  for (std::int64_t i = 0; i < fused.result.grad_x.numel(); ++i) {
+    ASSERT_TRUE(std::isfinite(fused.result.grad_x.at(i)));
+  }
+}
+
+TEST(FusedOutputLayerMemory, RejectsBadInputs) {
+  Rng rng(24);
+  const Tensor x = Tensor::randn({2, 4}, rng);
+  const Tensor w = Tensor::randn({8, 4}, rng);
+  EXPECT_THROW(fused_output_layer(x, w, {0, 1}, 1.0f, 0), CheckError);   // chunk 0
+  EXPECT_THROW(fused_output_layer(x, w, {0, 8}, 1.0f, 4), CheckError);   // bad target
+  EXPECT_THROW(fused_output_layer(x, w, {0}, 1.0f, 4), CheckError);      // count
+}
+
+// ---- inserted-interval override (ablation support) ------------------------------
+
+TEST(InsertedIntervals, MoreIntervalsMoreMemory) {
+  const CostModel cm(preset_1f1b(8, 2048, 4096), HardwareModel{});
+  const auto two = simulate(build_1f1b_vocab(cm, 8, OutputAlgo::Alg1, "k2", 2));
+  const auto four = simulate(build_1f1b_vocab(cm, 8, OutputAlgo::Alg1, "k4", 4));
+  EXPECT_GT(four.max_peak_bytes(), two.max_peak_bytes());
+  // Throughput is unchanged by extra slack (same interval).
+  EXPECT_NEAR(four.makespan, two.makespan, 0.05 * two.makespan);
+}
+
+}  // namespace
+}  // namespace vocab

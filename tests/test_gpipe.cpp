@@ -1,0 +1,94 @@
+// Tests for the GPipe generators — the third schedule family demonstrating
+// the paper's claim that the S/T-pass integration generalizes.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cost/cost_model.h"
+#include "schedule/layer_assignment.h"
+#include "schedule/schedule_1f1b.h"
+#include "schedule/schedule_1f1b_vocab.h"
+#include "schedule/schedule_gpipe.h"
+#include "sim/pipeline_sim.h"
+
+namespace vocab {
+namespace {
+
+CostModel small_cm(std::int64_t v, int microbatches = 24) {
+  ModelConfig cfg = preset_1f1b(8, 2048, v);
+  cfg.num_microbatches = microbatches;
+  return {cfg, HardwareModel{}};
+}
+
+TEST(GPipe, BalancedMakespanMatchesAnalytic) {
+  const CostModel cm = small_cm(32768);
+  LayerAssignment a = uniform_assignment(32, 8);
+  a.input_on_first = false;
+  a.output_on_last = false;
+  const auto sim = simulate(build_gpipe(cm, 8, a, "gpipe-pure"));
+  // GPipe: m·tF + (p-1)·tF (fill) + m·tB + (p-1)·tB (drain).
+  const double tF = cm.time_f(4), tB = cm.time_b_full(4);
+  EXPECT_NEAR(sim.makespan, (24 + 7) * (tF + tB), 1e-9);
+}
+
+TEST(GPipe, ActivationMemoryIsAllMicrobatches) {
+  const CostModel cm = small_cm(32768);
+  LayerAssignment a = uniform_assignment(32, 8);
+  a.input_on_first = false;
+  a.output_on_last = false;
+  const auto sched = build_gpipe(cm, 8, a, "gpipe-pure");
+  const auto sim = simulate(sched);
+  const double act = cm.activation_bytes_per_mb(4);
+  // Every device holds all m microbatches at the fwd/bwd boundary.
+  for (int d = 0; d < 8; ++d) {
+    EXPECT_NEAR((sim.peak_bytes[static_cast<std::size_t>(d)] -
+                 sched.base_bytes[static_cast<std::size_t>(d)]) /
+                    act,
+                24.0, 0.01);
+  }
+}
+
+TEST(GPipe, VocabVariantsRunAndBeatBaselineAtLargeVocab) {
+  const CostModel cm = small_cm(262144);
+  const double baseline =
+      simulate(build_gpipe(cm, 8, uniform_assignment(32, 8))).makespan;
+  for (const OutputAlgo algo : {OutputAlgo::Alg1, OutputAlgo::Alg2}) {
+    const auto sched = build_gpipe_vocab(cm, 8, algo);
+    ASSERT_NO_THROW(sched.validate());
+    const auto sim = simulate(sched);
+    EXPECT_LT(sim.makespan, baseline) << to_string(algo);
+  }
+}
+
+TEST(GPipe, VocabVariantBalancesParameters) {
+  const CostModel cm = small_cm(262144);
+  const auto sched = build_gpipe_vocab(cm, 8, OutputAlgo::Alg2);
+  for (int d = 1; d < 8; ++d) {
+    EXPECT_DOUBLE_EQ(sched.base_bytes[static_cast<std::size_t>(d)], sched.base_bytes[0]);
+  }
+}
+
+TEST(GPipe, VocabMFUFlatAcrossVocabSizes) {
+  double lo = 1e30, hi = 0;
+  for (const std::int64_t v : paper_vocab_sweep()) {
+    const CostModel cm = small_cm(v, 64);
+    const double mfu = cm.mfu(simulate(build_gpipe_vocab(cm, 8, OutputAlgo::Alg2)).makespan, 8);
+    lo = std::min(lo, mfu);
+    hi = std::max(hi, mfu);
+  }
+  // GPipe has a larger fill/drain fraction and a coarser S/T interleave
+  // than 1F1B, so its flatness band is a little wider.
+  EXPECT_LT((hi - lo) / hi, 0.10);
+}
+
+TEST(GPipe, OneFOneBStillBeatsGPipeOnMemory) {
+  // Sanity: the schedule families relate as the literature says.
+  const CostModel cm = small_cm(32768);
+  const auto gp = build_gpipe_vocab(cm, 8, OutputAlgo::Alg2);
+  const auto fb = build_1f1b_vocab(cm, 8, OutputAlgo::Alg2);
+  EXPECT_GT(simulate(gp).max_peak_bytes(), simulate(fb).max_peak_bytes());
+}
+
+}  // namespace
+}  // namespace vocab

@@ -1,0 +1,109 @@
+// Property tests for the online-softmax algebra that powers eq. (5).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/online_softmax.h"
+#include "tensor/tensor_ops.h"
+
+namespace vocab {
+namespace {
+
+TEST(OnlineSoftmax, EmptyIsMergeIdentity) {
+  const SoftmaxStats s{1.5f, 2.0f};
+  const SoftmaxStats l = merge(empty_stats(), s);
+  const SoftmaxStats r = merge(s, empty_stats());
+  EXPECT_FLOAT_EQ(l.max, s.max);
+  EXPECT_FLOAT_EQ(l.sum, s.sum);
+  EXPECT_FLOAT_EQ(r.max, s.max);
+  EXPECT_FLOAT_EQ(r.sum, s.sum);
+}
+
+TEST(OnlineSoftmax, StatsOfKnownValues) {
+  const float vals[] = {0.0f, 1.0f, 2.0f};
+  const SoftmaxStats s = stats_of(vals, vals + 3);
+  EXPECT_FLOAT_EQ(s.max, 2.0f);
+  EXPECT_NEAR(s.sum, std::exp(-2.0f) + std::exp(-1.0f) + 1.0f, 1e-6f);
+}
+
+TEST(OnlineSoftmax, MergeEqualsWholeRangeStats) {
+  Rng rng(21);
+  std::vector<float> vals(257);
+  for (auto& v : vals) v = static_cast<float>(rng.normal(0.0, 4.0));
+  const SoftmaxStats whole = stats_of(vals.data(), vals.data() + vals.size());
+  // Merge across an arbitrary 3-way split.
+  const SoftmaxStats merged =
+      merge(merge(stats_of(vals.data(), vals.data() + 100),
+                  stats_of(vals.data() + 100, vals.data() + 130)),
+            stats_of(vals.data() + 130, vals.data() + vals.size()));
+  EXPECT_NEAR(merged.max, whole.max, 0.0f);
+  EXPECT_NEAR(merged.sum, whole.sum, 1e-3f * whole.sum);
+}
+
+class MergeAssociativity : public testing::TestWithParam<int> {};
+
+TEST_P(MergeAssociativity, AnySplitPointGivesSameStats) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  std::vector<float> vals(64);
+  for (auto& v : vals) v = static_cast<float>(rng.normal(0.0, 3.0));
+  const SoftmaxStats whole = stats_of(vals.data(), vals.data() + vals.size());
+  const int split = GetParam() % 64;
+  const SoftmaxStats merged = merge(stats_of(vals.data(), vals.data() + split),
+                                    stats_of(vals.data() + split, vals.data() + vals.size()));
+  EXPECT_FLOAT_EQ(merged.max, whole.max);
+  EXPECT_NEAR(merged.sum, whole.sum, 1e-4f * whole.sum);
+}
+
+INSTANTIATE_TEST_SUITE_P(SplitSweep, MergeAssociativity, testing::Range(0, 64, 7));
+
+TEST(OnlineSoftmax, CorrectionFactorsSumToOneAcrossPartition) {
+  // eq. (5): the corrections of a disjoint partition weight the local
+  // softmaxes into the global one, so they must sum to 1 per row.
+  Rng rng(22);
+  std::vector<float> vals(96);
+  for (auto& v : vals) v = static_cast<float>(rng.normal(0.0, 2.0));
+  const SoftmaxStats global = stats_of(vals.data(), vals.data() + vals.size());
+  double total = 0.0;
+  for (int part = 0; part < 4; ++part) {
+    const SoftmaxStats local = stats_of(vals.data() + 24 * part, vals.data() + 24 * (part + 1));
+    total += correction_factor(local, global);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-5);
+}
+
+TEST(OnlineSoftmax, CorrectionFactorOfEmptyChunkIsZero) {
+  EXPECT_FLOAT_EQ(correction_factor(empty_stats(), {0.0f, 1.0f}), 0.0f);
+}
+
+TEST(OnlineSoftmax, StreamingMatchesSafeSoftmax) {
+  Rng rng(23);
+  const Tensor x = Tensor::randn({6, 100}, rng, 5.0f);
+  const Tensor ref = softmax_rows(x);
+  for (const std::int64_t chunk : {1, 7, 32, 100, 1000}) {
+    EXPECT_LT(max_abs_diff(streaming_softmax_rows(x, chunk), ref), 1e-5f)
+        << "chunk=" << chunk;
+  }
+}
+
+TEST(OnlineSoftmax, StreamingHandlesExtremeValues) {
+  const Tensor x({1, 4}, std::vector<float>{1000.0f, -1000.0f, 999.0f, 0.0f});
+  const Tensor s = streaming_softmax_rows(x, 2);
+  for (std::int64_t j = 0; j < 4; ++j) EXPECT_TRUE(std::isfinite(s.at(0, j)));
+  EXPECT_NEAR(s.at(0, 0) + s.at(0, 1) + s.at(0, 2) + s.at(0, 3), 1.0f, 1e-5f);
+}
+
+TEST(OnlineSoftmax, RowStatsMatchPerRowComputation) {
+  Rng rng(24);
+  const Tensor x = Tensor::randn({5, 33}, rng);
+  const auto stats = row_stats(x);
+  ASSERT_EQ(stats.size(), 5u);
+  const Tensor maxima = row_max(x);
+  for (std::int64_t i = 0; i < 5; ++i) {
+    EXPECT_FLOAT_EQ(stats[static_cast<std::size_t>(i)].max, maxima.at(i));
+  }
+}
+
+}  // namespace
+}  // namespace vocab

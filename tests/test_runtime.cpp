@@ -1,0 +1,158 @@
+// End-to-end training equivalence (paper Appendix E / Figure 17): the
+// vocabulary-parallel pipeline trainer must track the single-device
+// reference step for step, for both Algorithm 1 and Algorithm 2, at every
+// pipeline width — starting from identical weights and data.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/output_layer_shard.h"
+#include "model/gpt.h"
+#include "model/transformer.h"
+#include "runtime/pipeline_trainer.h"
+#include "runtime/reference_trainer.h"
+#include "tensor/tensor_ops.h"
+
+namespace vocab {
+namespace {
+
+GptConfig tiny_config() {
+  GptConfig cfg;
+  cfg.num_layers = 4;
+  cfg.heads = 2;
+  cfg.hidden = 32;
+  cfg.seq_len = 16;
+  cfg.vocab = 53;  // prime: forces vocabulary padding on every p
+  return cfg;
+}
+
+std::vector<Sample> microbatches(const SyntheticCorpus& corpus, int iteration, int count) {
+  std::vector<Sample> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) out.push_back(corpus.sample(iteration * count + i));
+  return out;
+}
+
+TEST(TransformerStack, TapeLifecycle) {
+  Rng rng(42);
+  std::vector<LayerWeights> layers;
+  layers.push_back(LayerWeights::init(16, rng));
+  TransformerStack stack(std::move(layers), 2);
+  const Tensor x = Tensor::randn({8, 16}, rng);
+  EXPECT_EQ(stack.live_microbatches(), 0u);
+  const Tensor y = stack.forward(0, x);
+  EXPECT_TRUE(y.same_shape(x));
+  EXPECT_EQ(stack.live_microbatches(), 1u);
+  const Tensor gx = stack.backward(0, Tensor(y.shape(), 1.0f));
+  EXPECT_TRUE(gx.same_shape(x));
+  EXPECT_EQ(stack.live_microbatches(), 0u);
+  EXPECT_THROW(stack.backward(0, Tensor(y.shape())), CheckError);
+}
+
+TEST(TransformerStack, ManyInFlightMicrobatches) {
+  // The pipeline keeps several tapes alive simultaneously — gradients must
+  // come out independent of the backward order.
+  Rng rng(43);
+  std::vector<LayerWeights> layers;
+  layers.push_back(LayerWeights::init(16, rng));
+  TransformerStack stack(std::move(layers), 2);
+  const Tensor x0 = Tensor::randn({4, 16}, rng);
+  const Tensor x1 = Tensor::randn({4, 16}, rng);
+  stack.forward(0, x0);
+  stack.forward(1, x1);
+  // Backward out of order.
+  const Tensor g1 = stack.backward(1, Tensor({4, 16}, 1.0f));
+  const Tensor g0 = stack.backward(0, Tensor({4, 16}, 1.0f));
+  // Same inputs in a fresh stack, in order, must match.
+  Rng rng2(43);
+  std::vector<LayerWeights> layers2;
+  layers2.push_back(LayerWeights::init(16, rng2));
+  TransformerStack stack2(std::move(layers2), 2);
+  stack2.forward(0, x0);
+  const Tensor h0 = stack2.backward(0, Tensor({4, 16}, 1.0f));
+  stack2.forward(1, x1);
+  const Tensor h1 = stack2.backward(1, Tensor({4, 16}, 1.0f));
+  EXPECT_LT(max_abs_diff(g0, h0), 1e-5f);
+  EXPECT_LT(max_abs_diff(g1, h1), 1e-5f);
+}
+
+TEST(ReferenceTrainer, LossDecreasesOverTraining) {
+  const GptConfig cfg = tiny_config();
+  ReferenceTrainer trainer(GptWeights::init(cfg, 7));
+  SyntheticCorpus corpus(cfg.vocab, cfg.seq_len, 99);
+  float first = 0, last = 0;
+  for (int it = 0; it < 20; ++it) {
+    const float loss = trainer.train_iteration(microbatches(corpus, it, 4), 0.3f);
+    if (it == 0) first = loss;
+    last = loss;
+    ASSERT_TRUE(std::isfinite(loss)) << "iteration " << it;
+  }
+  EXPECT_LT(last, first - 0.15f) << "training should reduce the loss";
+}
+
+struct ConvergenceCase {
+  int p;
+  OutputAlgo algo;
+};
+
+class PipelineConvergence : public testing::TestWithParam<ConvergenceCase> {};
+
+TEST_P(PipelineConvergence, MatchesReferenceStepForStep) {
+  const auto [p, algo] = GetParam();
+  const GptConfig cfg = tiny_config();
+  const GptWeights weights = GptWeights::init(cfg, 1234);
+  ReferenceTrainer ref(weights);
+  PipelineTrainer pipe(weights, p, algo);
+  SyntheticCorpus corpus(cfg.vocab, cfg.seq_len, 555);
+
+  constexpr int kIterations = 6;
+  constexpr float kLr = 0.1f;
+  for (int it = 0; it < kIterations; ++it) {
+    const auto mbs = microbatches(corpus, it, /*count=*/p);
+    const float ref_loss = ref.train_iteration(mbs, kLr);
+    const float pipe_loss = pipe.train_iteration(mbs, kLr);
+    // fp32 nondeterminism across different reduction orders accumulates
+    // slowly; per-step agreement should stay tight (Figure 17's "small
+    // numerical differences").
+    EXPECT_NEAR(pipe_loss, ref_loss, 5e-3f * (1.0f + std::abs(ref_loss)))
+        << "iteration " << it;
+  }
+
+  // Weights (reassembled from the shards) must also track the reference.
+  EXPECT_LT(max_abs_diff(pipe.gathered_output_weight(), ref.output_weight()), 5e-3f);
+  EXPECT_LT(max_abs_diff(pipe.gathered_input_embedding(), ref.input_embedding()), 5e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WidthsAndAlgorithms, PipelineConvergence,
+    testing::Values(ConvergenceCase{1, OutputAlgo::Alg1}, ConvergenceCase{2, OutputAlgo::Alg1},
+                    ConvergenceCase{2, OutputAlgo::Alg2}, ConvergenceCase{4, OutputAlgo::Alg1},
+                    ConvergenceCase{4, OutputAlgo::Alg2}),
+    [](const auto& info) {
+      return "p" + std::to_string(info.param.p) +
+             (info.param.algo == OutputAlgo::Alg1 ? "_alg1" : "_alg2");
+    });
+
+TEST(SyntheticCorpus, DeterministicAndInRange) {
+  SyntheticCorpus corpus(100, 16, 7);
+  const Sample a = corpus.sample(3);
+  const Sample b = corpus.sample(3);
+  EXPECT_EQ(a.tokens, b.tokens);
+  EXPECT_EQ(a.targets, b.targets);
+  // Targets are next-token shifted.
+  for (std::size_t i = 0; i + 1 < a.tokens.size(); ++i) {
+    EXPECT_EQ(a.targets[i], a.tokens[i + 1]);
+  }
+  for (const auto t : a.tokens) {
+    EXPECT_GE(t, 0);
+    EXPECT_LT(t, 100);
+  }
+  const Sample c = corpus.sample(4);
+  EXPECT_NE(a.tokens, c.tokens);
+}
+
+}  // namespace
+}  // namespace vocab

@@ -1,0 +1,299 @@
+// Integration tests: every schedule generator must produce a valid,
+// deadlock-free schedule whose simulated behaviour matches the paper's
+// analytical claims (bubble structure, activation residency, memory balance).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cost/cost_model.h"
+#include "schedule/building_block.h"
+#include "schedule/layer_assignment.h"
+#include "schedule/schedule_1f1b.h"
+#include "schedule/schedule_1f1b_vocab.h"
+#include "schedule/schedule_interlaced.h"
+#include "schedule/schedule_vhalf.h"
+#include "schedule/timeline.h"
+#include "sim/pipeline_sim.h"
+
+namespace vocab {
+namespace {
+
+CostModel small_model(int p, std::int64_t vocab_size = 65536, int microbatches = 32) {
+  ModelConfig cfg;
+  cfg.name = "test";
+  cfg.num_layers = 4 * p;  // 4 layers per stage, divisible by 2p for V-Half
+  cfg.attention_heads = 16;
+  cfg.hidden = 2048;
+  cfg.seq_len = 2048;
+  cfg.vocab = vocab_size;
+  cfg.microbatch = 1;
+  cfg.num_microbatches = microbatches;
+  return {cfg, HardwareModel{}};
+}
+
+// ---- 1F1B -------------------------------------------------------------------
+
+TEST(Schedule1F1B, BalancedStagesMatchAnalyticMakespan) {
+  const int p = 4, m = 32;
+  CostModel cm = small_model(p, 65536, m);
+  // Remove vocabulary layers to get the textbook-balanced 1F1B.
+  LayerAssignment assign = uniform_assignment(cm.config().num_layers, p);
+  assign.input_on_first = false;
+  assign.output_on_last = false;
+  const auto sched = build_1f1b(cm, p, assign, "1f1b-pure");
+  const auto result = simulate(sched);
+  const double tF = cm.time_f(4), tB = cm.time_b_full(4);
+  // Classic 1F1B: (p-1) warmup+cooldown bubbles + m steady intervals.
+  const double expected = (p - 1) * (tF + tB) + m * (tF + tB);
+  EXPECT_NEAR(result.makespan, expected, 1e-9);
+}
+
+TEST(Schedule1F1B, ActivationResidencyIsPMinusDMicrobatches) {
+  const int p = 4;
+  CostModel cm = small_model(p);
+  LayerAssignment assign = uniform_assignment(cm.config().num_layers, p);
+  assign.input_on_first = false;
+  assign.output_on_last = false;
+  const auto sched = build_1f1b(cm, p, assign, "1f1b-pure");
+  const auto result = simulate(sched);
+  const double act = cm.activation_bytes_per_mb(4);
+  for (int d = 0; d < p; ++d) {
+    const double act_peak = result.peak_bytes[static_cast<std::size_t>(d)] -
+                            sched.base_bytes[static_cast<std::size_t>(d)];
+    EXPECT_NEAR(act_peak / act, p - d, 0.01) << "device " << d;
+  }
+}
+
+TEST(Schedule1F1B, ImbalancedOutputLayerCreatesBubbles) {
+  // Figure 1: the extra output layer on the last stage slows every other
+  // device down to its pace.
+  const int p = 4;
+  CostModel cm = small_model(p, 262144);  // big vocabulary
+  const auto assign = uniform_assignment(cm.config().num_layers, p);
+  const auto sched = build_1f1b(cm, p, assign, "baseline");
+  const auto result = simulate(sched);
+  // Device 0 runs only transformer+input work but must wait for the last
+  // stage every microbatch: its bubble fraction is large.
+  EXPECT_GT(result.bubble_fraction(0), 0.25);
+  // And the last stage is the bottleneck: nearly bubble-free in steady state.
+  EXPECT_LT(result.bubble_fraction(p - 1), 0.15);
+}
+
+TEST(Schedule1F1B, RedisReducesButDoesNotEliminateImbalance) {
+  const int p = 4;
+  CostModel cm = small_model(p, 262144);
+  const auto base = simulate(build_1f1b(cm, p, uniform_assignment(cm.config().num_layers, p)));
+  const auto redis_assign = redis_assignment(cm, p);
+  const auto redis = simulate(build_1f1b(cm, p, redis_assign, "redis"));
+  EXPECT_LT(redis.makespan, base.makespan);
+  // Redis moved layers off the last stage.
+  EXPECT_LT(redis_assign.layers_per_stage.back(), 4);
+  EXPECT_EQ(redis_assign.total_layers(), cm.config().num_layers);
+}
+
+// ---- 1F1B + Vocabulary Parallelism ---------------------------------------------
+
+class VocabScheduleTest : public testing::TestWithParam<std::tuple<int, OutputAlgo>> {};
+
+TEST_P(VocabScheduleTest, RunsDeadlockFreeAndBeatsBaselineOnBigVocab) {
+  const auto [p, algo] = GetParam();
+  CostModel cm = small_model(p, 262144);
+  const auto baseline = simulate(build_1f1b(cm, p, uniform_assignment(cm.config().num_layers, p)));
+  const auto sched = build_1f1b_vocab(cm, p, algo);
+  const auto result = simulate(sched);
+  EXPECT_LT(result.makespan, baseline.makespan)
+      << to_string(algo) << " should beat the imbalanced baseline at 256k vocab";
+}
+
+TEST_P(VocabScheduleTest, ActivationResidencyWithinPaperBound) {
+  const auto [p, algo] = GetParam();
+  // Small vocabulary: the S->T shard state is negligible next to the
+  // transformer activations, so peak-minus-base measures the paper's
+  // "activation memory in microbatches" directly.
+  CostModel cm = small_model(p, 4096);
+  const auto sched = build_1f1b_vocab(cm, p, algo);
+  const auto result = simulate(sched);
+  const double act = cm.activation_bytes_per_mb(cm.config().num_layers / p);
+  const int bound = p + num_barriers(algo);  // p+2 for Alg1, p+1 for Alg2
+  for (int d = 0; d < p; ++d) {
+    const double extra = result.peak_bytes[static_cast<std::size_t>(d)] -
+                         sched.base_bytes[static_cast<std::size_t>(d)];
+    EXPECT_LE(extra / act, bound + 0.75) << "device " << d << " algo " << to_string(algo);
+  }
+  // And the bound is tight on the first device (within ~1 microbatch).
+  const double extra0 = result.peak_bytes[0] - sched.base_bytes[0];
+  EXPECT_GE(extra0 / act, bound - 1.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, VocabScheduleTest,
+                         testing::Combine(testing::Values(2, 4, 8),
+                                          testing::Values(OutputAlgo::Alg1, OutputAlgo::Alg2)),
+                         [](const auto& info) {
+                           return std::string("p") + std::to_string(std::get<0>(info.param)) +
+                                  "_" + (std::get<1>(info.param) == OutputAlgo::Alg1 ? "alg1"
+                                                                                     : "alg2");
+                         });
+
+TEST(ScheduleVocab, ThroughputInsensitiveToVocabularySize) {
+  // The paper's headline: Vocab methods keep MFU flat as V grows 32k -> 256k.
+  const int p = 4;
+  for (const OutputAlgo algo : {OutputAlgo::Alg1, OutputAlgo::Alg2}) {
+    CostModel cm_small = small_model(p, 32768);
+    CostModel cm_big = small_model(p, 262144);
+    const double t_small = simulate(build_1f1b_vocab(cm_small, p, algo)).makespan;
+    const double t_big = simulate(build_1f1b_vocab(cm_big, p, algo)).makespan;
+    const double mfu_small = cm_small.mfu(t_small, p);
+    const double mfu_big = cm_big.mfu(t_big, p);
+    EXPECT_NEAR(mfu_big, mfu_small, 0.05) << to_string(algo);
+    // Baseline, in contrast, collapses.
+    const double bt_small =
+        simulate(build_1f1b(cm_small, p, uniform_assignment(cm_small.config().num_layers, p)))
+            .makespan;
+    const double bt_big =
+        simulate(build_1f1b(cm_big, p, uniform_assignment(cm_big.config().num_layers, p)))
+            .makespan;
+    EXPECT_LT(cm_big.mfu(bt_big, p) + 0.08, cm_small.mfu(bt_small, p));
+  }
+}
+
+// ---- Interlaced -----------------------------------------------------------------
+
+TEST(ScheduleInterlaced, SyncCollectivesCostThroughput) {
+  const int p = 8;
+  CostModel cm = small_model(p, 262144);
+  const double with_sync = simulate(build_interlaced(cm, p, true)).makespan;
+  const double without = simulate(build_interlaced(cm, p, false)).makespan;
+  EXPECT_GT(with_sync, without);  // B.2 ablation direction
+}
+
+TEST(ScheduleInterlaced, UsesMoreActivationMemoryThanVocab) {
+  // Paper-shaped proportions (Table 1, 8 GPUs): transformer activations
+  // dominate the vocabulary transients, and the interlaced pipeline's 1.5x
+  // lifespan costs more than Vocab-1's +2 microbatches.
+  const int p = 8;
+  CostModel cm(preset_1f1b(8, 2048, 262144), HardwareModel{});
+  const auto inter_sched = build_interlaced(cm, p, true);
+  const auto inter = simulate(inter_sched);
+  const auto vocab_sched = build_1f1b_vocab(cm, p, OutputAlgo::Alg1);
+  const auto voc = simulate(vocab_sched);
+  const double inter_act = inter.max_peak_bytes() - inter_sched.base_bytes[0];
+  const double vocab_act = voc.max_peak_bytes() - vocab_sched.base_bytes[0];
+  EXPECT_GT(inter_act, vocab_act);
+}
+
+// ---- V-Half ----------------------------------------------------------------------
+
+TEST(ScheduleVHalf, BaselinePutsBothVocabLayersOnDeviceZero) {
+  const int p = 4;
+  CostModel cm = small_model(p, 262144);
+  const auto sched = build_vhalf(cm, p);
+  const auto result = simulate(sched);
+  // Device 0's resident memory includes 2 whole vocabulary layers.
+  EXPECT_GT(sched.base_bytes[0],
+            sched.base_bytes[1] + 1.5 * cm.vocab_layer_param_bytes());
+  // Memory is therefore highly imbalanced (Figure 14 baseline).
+  EXPECT_GT(result.max_peak_bytes() - result.min_peak_bytes(),
+            cm.vocab_layer_param_bytes());
+}
+
+TEST(ScheduleVHalf, VocabVariantBalancesMemory) {
+  const int p = 4;
+  CostModel cm = small_model(p, 262144);
+  const auto base_sched = build_vhalf(cm, p);
+  const auto base = simulate(base_sched);
+  const auto voc_sched = build_vhalf_vocab(cm, p);
+  const auto voc = simulate(voc_sched);
+  // Peak shrinks and the device-to-device range collapses.
+  EXPECT_LT(voc.max_peak_bytes(), base.max_peak_bytes());
+  const double base_range = base.max_peak_bytes() - base.min_peak_bytes();
+  const double voc_range = voc.max_peak_bytes() - voc.min_peak_bytes();
+  EXPECT_LT(voc_range, 0.35 * base_range);
+}
+
+TEST(ScheduleVHalf, VocabVariantFasterOnBigVocab) {
+  const int p = 4;
+  CostModel cm = small_model(p, 262144);
+  EXPECT_LT(simulate(build_vhalf_vocab(cm, p)).makespan,
+            simulate(build_vhalf(cm, p)).makespan);
+}
+
+TEST(ScheduleVHalf, UsesLessActivationMemoryThan1F1B) {
+  const int p = 4;
+  CostModel cm = small_model(p, 32768);
+  const auto vhalf_sched = build_vhalf_vocab(cm, p);
+  const auto vhalf = simulate(vhalf_sched);
+  const auto f1b_sched = build_1f1b_vocab(cm, p, OutputAlgo::Alg1);
+  const auto f1b = simulate(f1b_sched);
+  const double vhalf_act = vhalf.max_peak_bytes() - vhalf_sched.base_bytes[0];
+  const double f1b_act = f1b.max_peak_bytes() - f1b_sched.base_bytes[0];
+  EXPECT_LT(vhalf_act, f1b_act);
+}
+
+// ---- building-block analysis -------------------------------------------------------
+
+TEST(BuildingBlock, OneFOneBPeakIsP) {
+  CostModel cm = small_model(4);
+  const auto a = analyze_1f1b(cm, 4);
+  // tB = 2 tF exactly in the cost model, so lifespan/interval = p on dev 0.
+  EXPECT_NEAR(a.max_peak_microbatches(), 4.0, 1e-6);
+}
+
+TEST(BuildingBlock, VocabAddsExactlyBarrierCountIntervalsWhenVocabTiny) {
+  // As vocabulary work -> 0, peak -> p + #barriers (the paper's bound).
+  ModelConfig cfg;
+  cfg.num_layers = 16;
+  cfg.hidden = 4096;
+  cfg.seq_len = 2048;
+  cfg.vocab = 128;  // negligible vocab work
+  cfg.num_microbatches = 16;
+  CostModel cm(cfg, HardwareModel{});
+  const int p = 4;
+  const auto alg1 = analyze_1f1b_vocab(cm, p, OutputAlgo::Alg1);
+  const auto alg2 = analyze_1f1b_vocab(cm, p, OutputAlgo::Alg2);
+  EXPECT_NEAR(alg1.max_peak_microbatches(), p + 2, 0.35);
+  EXPECT_NEAR(alg2.max_peak_microbatches(), p + 1, 0.35);
+  EXPECT_GT(alg1.max_peak_microbatches(), alg2.max_peak_microbatches());
+}
+
+TEST(BuildingBlock, InterlacedLifespanIsOnePointFiveX) {
+  CostModel cm = small_model(8);
+  const auto base = analyze_1f1b(cm, 8);
+  const auto inter = analyze_interlaced(cm, 8);
+  EXPECT_NEAR(inter.lifespan[0] / base.lifespan[0], 1.5, 1e-9);
+}
+
+TEST(BuildingBlock, VHalfBalancedAcrossDevicesAndRoughlyHalfMemory) {
+  const int p = 4;
+  CostModel cm = small_model(p);
+  const auto a = analyze_vhalf(cm, p);
+  const auto peaks = a.peak_microbatches();
+  const double lo = *std::min_element(peaks.begin(), peaks.end());
+  const double hi = *std::max_element(peaks.begin(), peaks.end());
+  EXPECT_NEAR(lo, hi, 0.01);  // balanced across devices (the V property)
+  // In *bytes* — V-Half stages are half the size of 1F1B stages — the peak
+  // is roughly half of 1F1B's p stage-activations (paper: "half of 1F1B").
+  const double vhalf_bytes = hi * cm.activation_bytes_per_mb(cm.config().num_layers / (2 * p));
+  const double f1b_bytes = analyze_1f1b(cm, p).max_peak_microbatches() *
+                           cm.activation_bytes_per_mb(cm.config().num_layers / p);
+  EXPECT_LT(vhalf_bytes, 0.65 * f1b_bytes);
+  EXPECT_GT(vhalf_bytes, 0.40 * f1b_bytes);
+}
+
+// ---- rendering ------------------------------------------------------------------------
+
+TEST(Timeline, RendersOneRowPerDevice) {
+  const int p = 4;
+  CostModel cm = small_model(p, 65536, 8);
+  const auto sched = build_1f1b(cm, p, uniform_assignment(cm.config().num_layers, p));
+  const auto result = simulate(sched);
+  const std::string tl = render_timeline(sched, result, 80);
+  EXPECT_EQ(std::count(tl.begin(), tl.end(), '\n'), p);
+  EXPECT_NE(tl.find('F'), std::string::npos);
+  EXPECT_NE(tl.find('B'), std::string::npos);
+  const std::string summary = render_summary(sched, result);
+  EXPECT_NE(summary.find("makespan"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vocab
