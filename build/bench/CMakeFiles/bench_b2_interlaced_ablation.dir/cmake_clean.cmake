@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_b2_interlaced_ablation.dir/bench_b2_interlaced_ablation.cpp.o"
+  "CMakeFiles/bench_b2_interlaced_ablation.dir/bench_b2_interlaced_ablation.cpp.o.d"
+  "bench_b2_interlaced_ablation"
+  "bench_b2_interlaced_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_b2_interlaced_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

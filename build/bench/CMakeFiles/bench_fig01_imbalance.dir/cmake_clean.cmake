@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_imbalance.dir/bench_fig01_imbalance.cpp.o"
+  "CMakeFiles/bench_fig01_imbalance.dir/bench_fig01_imbalance.cpp.o.d"
+  "bench_fig01_imbalance"
+  "bench_fig01_imbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_imbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_redistribution.dir/bench_fig03_redistribution.cpp.o"
+  "CMakeFiles/bench_fig03_redistribution.dir/bench_fig03_redistribution.cpp.o.d"
+  "bench_fig03_redistribution"
+  "bench_fig03_redistribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_redistribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

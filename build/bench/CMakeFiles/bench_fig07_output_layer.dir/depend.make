@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig07_output_layer.
+# This may be replaced when dependencies are built.

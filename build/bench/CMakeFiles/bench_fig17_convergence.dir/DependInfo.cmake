@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig17_convergence.cpp" "bench/CMakeFiles/bench_fig17_convergence.dir/bench_fig17_convergence.cpp.o" "gcc" "bench/CMakeFiles/bench_fig17_convergence.dir/bench_fig17_convergence.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/vocab_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/vocab_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/vocab_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vocab_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/vocab_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/vocab_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/schedule/CMakeFiles/vocab_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vocab_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/schedule/CMakeFiles/vocab_schedule_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/vocab_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/vocab_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vocab_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_vhalf.dir/bench_table6_vhalf.cpp.o"
+  "CMakeFiles/bench_table6_vhalf.dir/bench_table6_vhalf.cpp.o.d"
+  "bench_table6_vhalf"
+  "bench_table6_vhalf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_vhalf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

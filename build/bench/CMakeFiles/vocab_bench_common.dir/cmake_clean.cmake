@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vocab_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/vocab_bench_common.dir/bench_common.cpp.o.d"
+  "libvocab_bench_common.a"
+  "libvocab_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vocab_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vocab_autograd.dir/autograd.cpp.o"
+  "CMakeFiles/vocab_autograd.dir/autograd.cpp.o.d"
+  "libvocab_autograd.a"
+  "libvocab_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vocab_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vocab_comm.dir/channel.cpp.o"
+  "CMakeFiles/vocab_comm.dir/channel.cpp.o.d"
+  "CMakeFiles/vocab_comm.dir/device_group.cpp.o"
+  "CMakeFiles/vocab_comm.dir/device_group.cpp.o.d"
+  "libvocab_comm.a"
+  "libvocab_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vocab_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

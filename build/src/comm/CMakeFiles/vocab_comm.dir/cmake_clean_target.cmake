@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvocab_comm.a"
+)

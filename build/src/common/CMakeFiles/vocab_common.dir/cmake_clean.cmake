@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vocab_common.dir/error.cpp.o"
+  "CMakeFiles/vocab_common.dir/error.cpp.o.d"
+  "CMakeFiles/vocab_common.dir/logging.cpp.o"
+  "CMakeFiles/vocab_common.dir/logging.cpp.o.d"
+  "CMakeFiles/vocab_common.dir/rng.cpp.o"
+  "CMakeFiles/vocab_common.dir/rng.cpp.o.d"
+  "CMakeFiles/vocab_common.dir/table.cpp.o"
+  "CMakeFiles/vocab_common.dir/table.cpp.o.d"
+  "libvocab_common.a"
+  "libvocab_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vocab_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

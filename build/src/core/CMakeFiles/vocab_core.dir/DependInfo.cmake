@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/fused_output_layer.cpp" "src/core/CMakeFiles/vocab_core.dir/fused_output_layer.cpp.o" "gcc" "src/core/CMakeFiles/vocab_core.dir/fused_output_layer.cpp.o.d"
+  "/root/repo/src/core/input_layer_shard.cpp" "src/core/CMakeFiles/vocab_core.dir/input_layer_shard.cpp.o" "gcc" "src/core/CMakeFiles/vocab_core.dir/input_layer_shard.cpp.o.d"
+  "/root/repo/src/core/online_softmax.cpp" "src/core/CMakeFiles/vocab_core.dir/online_softmax.cpp.o" "gcc" "src/core/CMakeFiles/vocab_core.dir/online_softmax.cpp.o.d"
+  "/root/repo/src/core/output_layer_shard.cpp" "src/core/CMakeFiles/vocab_core.dir/output_layer_shard.cpp.o" "gcc" "src/core/CMakeFiles/vocab_core.dir/output_layer_shard.cpp.o.d"
+  "/root/repo/src/core/reference_input_layer.cpp" "src/core/CMakeFiles/vocab_core.dir/reference_input_layer.cpp.o" "gcc" "src/core/CMakeFiles/vocab_core.dir/reference_input_layer.cpp.o.d"
+  "/root/repo/src/core/reference_output_layer.cpp" "src/core/CMakeFiles/vocab_core.dir/reference_output_layer.cpp.o" "gcc" "src/core/CMakeFiles/vocab_core.dir/reference_output_layer.cpp.o.d"
+  "/root/repo/src/core/vocab_shard.cpp" "src/core/CMakeFiles/vocab_core.dir/vocab_shard.cpp.o" "gcc" "src/core/CMakeFiles/vocab_core.dir/vocab_shard.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/vocab_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/vocab_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vocab_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

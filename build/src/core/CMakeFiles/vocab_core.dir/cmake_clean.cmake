@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vocab_core.dir/fused_output_layer.cpp.o"
+  "CMakeFiles/vocab_core.dir/fused_output_layer.cpp.o.d"
+  "CMakeFiles/vocab_core.dir/input_layer_shard.cpp.o"
+  "CMakeFiles/vocab_core.dir/input_layer_shard.cpp.o.d"
+  "CMakeFiles/vocab_core.dir/online_softmax.cpp.o"
+  "CMakeFiles/vocab_core.dir/online_softmax.cpp.o.d"
+  "CMakeFiles/vocab_core.dir/output_layer_shard.cpp.o"
+  "CMakeFiles/vocab_core.dir/output_layer_shard.cpp.o.d"
+  "CMakeFiles/vocab_core.dir/reference_input_layer.cpp.o"
+  "CMakeFiles/vocab_core.dir/reference_input_layer.cpp.o.d"
+  "CMakeFiles/vocab_core.dir/reference_output_layer.cpp.o"
+  "CMakeFiles/vocab_core.dir/reference_output_layer.cpp.o.d"
+  "CMakeFiles/vocab_core.dir/vocab_shard.cpp.o"
+  "CMakeFiles/vocab_core.dir/vocab_shard.cpp.o.d"
+  "libvocab_core.a"
+  "libvocab_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vocab_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

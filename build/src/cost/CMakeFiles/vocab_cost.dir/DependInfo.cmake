@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cost/cost_model.cpp" "src/cost/CMakeFiles/vocab_cost.dir/cost_model.cpp.o" "gcc" "src/cost/CMakeFiles/vocab_cost.dir/cost_model.cpp.o.d"
+  "/root/repo/src/cost/hardware.cpp" "src/cost/CMakeFiles/vocab_cost.dir/hardware.cpp.o" "gcc" "src/cost/CMakeFiles/vocab_cost.dir/hardware.cpp.o.d"
+  "/root/repo/src/cost/model_config.cpp" "src/cost/CMakeFiles/vocab_cost.dir/model_config.cpp.o" "gcc" "src/cost/CMakeFiles/vocab_cost.dir/model_config.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vocab_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vocab_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/vocab_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/vocab_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vocab_cost.dir/cost_model.cpp.o"
+  "CMakeFiles/vocab_cost.dir/cost_model.cpp.o.d"
+  "CMakeFiles/vocab_cost.dir/hardware.cpp.o"
+  "CMakeFiles/vocab_cost.dir/hardware.cpp.o.d"
+  "CMakeFiles/vocab_cost.dir/model_config.cpp.o"
+  "CMakeFiles/vocab_cost.dir/model_config.cpp.o.d"
+  "libvocab_cost.a"
+  "libvocab_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vocab_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vocab_model.dir/gpt.cpp.o"
+  "CMakeFiles/vocab_model.dir/gpt.cpp.o.d"
+  "CMakeFiles/vocab_model.dir/transformer.cpp.o"
+  "CMakeFiles/vocab_model.dir/transformer.cpp.o.d"
+  "libvocab_model.a"
+  "libvocab_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vocab_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/checkpoint.cpp" "src/runtime/CMakeFiles/vocab_runtime.dir/checkpoint.cpp.o" "gcc" "src/runtime/CMakeFiles/vocab_runtime.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/runtime/optimizer.cpp" "src/runtime/CMakeFiles/vocab_runtime.dir/optimizer.cpp.o" "gcc" "src/runtime/CMakeFiles/vocab_runtime.dir/optimizer.cpp.o.d"
+  "/root/repo/src/runtime/pipeline_trainer.cpp" "src/runtime/CMakeFiles/vocab_runtime.dir/pipeline_trainer.cpp.o" "gcc" "src/runtime/CMakeFiles/vocab_runtime.dir/pipeline_trainer.cpp.o.d"
+  "/root/repo/src/runtime/reference_trainer.cpp" "src/runtime/CMakeFiles/vocab_runtime.dir/reference_trainer.cpp.o" "gcc" "src/runtime/CMakeFiles/vocab_runtime.dir/reference_trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/vocab_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vocab_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/vocab_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vocab_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/vocab_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/vocab_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vocab_runtime.dir/checkpoint.cpp.o"
+  "CMakeFiles/vocab_runtime.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/vocab_runtime.dir/optimizer.cpp.o"
+  "CMakeFiles/vocab_runtime.dir/optimizer.cpp.o.d"
+  "CMakeFiles/vocab_runtime.dir/pipeline_trainer.cpp.o"
+  "CMakeFiles/vocab_runtime.dir/pipeline_trainer.cpp.o.d"
+  "CMakeFiles/vocab_runtime.dir/reference_trainer.cpp.o"
+  "CMakeFiles/vocab_runtime.dir/reference_trainer.cpp.o.d"
+  "libvocab_runtime.a"
+  "libvocab_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vocab_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/schedule/builder.cpp" "src/schedule/CMakeFiles/vocab_schedule.dir/builder.cpp.o" "gcc" "src/schedule/CMakeFiles/vocab_schedule.dir/builder.cpp.o.d"
+  "/root/repo/src/schedule/building_block.cpp" "src/schedule/CMakeFiles/vocab_schedule.dir/building_block.cpp.o" "gcc" "src/schedule/CMakeFiles/vocab_schedule.dir/building_block.cpp.o.d"
+  "/root/repo/src/schedule/layer_assignment.cpp" "src/schedule/CMakeFiles/vocab_schedule.dir/layer_assignment.cpp.o" "gcc" "src/schedule/CMakeFiles/vocab_schedule.dir/layer_assignment.cpp.o.d"
+  "/root/repo/src/schedule/schedule_1f1b.cpp" "src/schedule/CMakeFiles/vocab_schedule.dir/schedule_1f1b.cpp.o" "gcc" "src/schedule/CMakeFiles/vocab_schedule.dir/schedule_1f1b.cpp.o.d"
+  "/root/repo/src/schedule/schedule_1f1b_vocab.cpp" "src/schedule/CMakeFiles/vocab_schedule.dir/schedule_1f1b_vocab.cpp.o" "gcc" "src/schedule/CMakeFiles/vocab_schedule.dir/schedule_1f1b_vocab.cpp.o.d"
+  "/root/repo/src/schedule/schedule_gpipe.cpp" "src/schedule/CMakeFiles/vocab_schedule.dir/schedule_gpipe.cpp.o" "gcc" "src/schedule/CMakeFiles/vocab_schedule.dir/schedule_gpipe.cpp.o.d"
+  "/root/repo/src/schedule/schedule_interlaced.cpp" "src/schedule/CMakeFiles/vocab_schedule.dir/schedule_interlaced.cpp.o" "gcc" "src/schedule/CMakeFiles/vocab_schedule.dir/schedule_interlaced.cpp.o.d"
+  "/root/repo/src/schedule/schedule_vhalf.cpp" "src/schedule/CMakeFiles/vocab_schedule.dir/schedule_vhalf.cpp.o" "gcc" "src/schedule/CMakeFiles/vocab_schedule.dir/schedule_vhalf.cpp.o.d"
+  "/root/repo/src/schedule/timeline.cpp" "src/schedule/CMakeFiles/vocab_schedule.dir/timeline.cpp.o" "gcc" "src/schedule/CMakeFiles/vocab_schedule.dir/timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/schedule/CMakeFiles/vocab_schedule_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vocab_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/vocab_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vocab_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vocab_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/vocab_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/vocab_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vocab_schedule.dir/builder.cpp.o"
+  "CMakeFiles/vocab_schedule.dir/builder.cpp.o.d"
+  "CMakeFiles/vocab_schedule.dir/building_block.cpp.o"
+  "CMakeFiles/vocab_schedule.dir/building_block.cpp.o.d"
+  "CMakeFiles/vocab_schedule.dir/layer_assignment.cpp.o"
+  "CMakeFiles/vocab_schedule.dir/layer_assignment.cpp.o.d"
+  "CMakeFiles/vocab_schedule.dir/schedule_1f1b.cpp.o"
+  "CMakeFiles/vocab_schedule.dir/schedule_1f1b.cpp.o.d"
+  "CMakeFiles/vocab_schedule.dir/schedule_1f1b_vocab.cpp.o"
+  "CMakeFiles/vocab_schedule.dir/schedule_1f1b_vocab.cpp.o.d"
+  "CMakeFiles/vocab_schedule.dir/schedule_gpipe.cpp.o"
+  "CMakeFiles/vocab_schedule.dir/schedule_gpipe.cpp.o.d"
+  "CMakeFiles/vocab_schedule.dir/schedule_interlaced.cpp.o"
+  "CMakeFiles/vocab_schedule.dir/schedule_interlaced.cpp.o.d"
+  "CMakeFiles/vocab_schedule.dir/schedule_vhalf.cpp.o"
+  "CMakeFiles/vocab_schedule.dir/schedule_vhalf.cpp.o.d"
+  "CMakeFiles/vocab_schedule.dir/timeline.cpp.o"
+  "CMakeFiles/vocab_schedule.dir/timeline.cpp.o.d"
+  "libvocab_schedule.a"
+  "libvocab_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vocab_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

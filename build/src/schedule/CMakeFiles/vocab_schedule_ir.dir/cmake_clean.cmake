@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vocab_schedule_ir.dir/ops.cpp.o"
+  "CMakeFiles/vocab_schedule_ir.dir/ops.cpp.o.d"
+  "libvocab_schedule_ir.a"
+  "libvocab_schedule_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vocab_schedule_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vocab_schedule_ir.
+# This may be replaced when dependencies are built.

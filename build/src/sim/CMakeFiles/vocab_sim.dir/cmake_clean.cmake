@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vocab_sim.dir/pipeline_sim.cpp.o"
+  "CMakeFiles/vocab_sim.dir/pipeline_sim.cpp.o.d"
+  "libvocab_sim.a"
+  "libvocab_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vocab_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

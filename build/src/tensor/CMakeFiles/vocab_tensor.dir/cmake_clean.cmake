@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vocab_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/vocab_tensor.dir/tensor.cpp.o.d"
+  "CMakeFiles/vocab_tensor.dir/tensor_ops.cpp.o"
+  "CMakeFiles/vocab_tensor.dir/tensor_ops.cpp.o.d"
+  "libvocab_tensor.a"
+  "libvocab_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vocab_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

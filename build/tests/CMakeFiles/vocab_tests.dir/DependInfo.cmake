@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_autograd.cpp" "tests/CMakeFiles/vocab_tests.dir/test_autograd.cpp.o" "gcc" "tests/CMakeFiles/vocab_tests.dir/test_autograd.cpp.o.d"
+  "/root/repo/tests/test_comm.cpp" "tests/CMakeFiles/vocab_tests.dir/test_comm.cpp.o" "gcc" "tests/CMakeFiles/vocab_tests.dir/test_comm.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/vocab_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/vocab_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_core_input_layer.cpp" "tests/CMakeFiles/vocab_tests.dir/test_core_input_layer.cpp.o" "gcc" "tests/CMakeFiles/vocab_tests.dir/test_core_input_layer.cpp.o.d"
+  "/root/repo/tests/test_core_output_layer.cpp" "tests/CMakeFiles/vocab_tests.dir/test_core_output_layer.cpp.o" "gcc" "tests/CMakeFiles/vocab_tests.dir/test_core_output_layer.cpp.o.d"
+  "/root/repo/tests/test_cost_model.cpp" "tests/CMakeFiles/vocab_tests.dir/test_cost_model.cpp.o" "gcc" "tests/CMakeFiles/vocab_tests.dir/test_cost_model.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/vocab_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/vocab_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_gpipe.cpp" "tests/CMakeFiles/vocab_tests.dir/test_gpipe.cpp.o" "gcc" "tests/CMakeFiles/vocab_tests.dir/test_gpipe.cpp.o.d"
+  "/root/repo/tests/test_online_softmax.cpp" "tests/CMakeFiles/vocab_tests.dir/test_online_softmax.cpp.o" "gcc" "tests/CMakeFiles/vocab_tests.dir/test_online_softmax.cpp.o.d"
+  "/root/repo/tests/test_optimizer_checkpoint.cpp" "tests/CMakeFiles/vocab_tests.dir/test_optimizer_checkpoint.cpp.o" "gcc" "tests/CMakeFiles/vocab_tests.dir/test_optimizer_checkpoint.cpp.o.d"
+  "/root/repo/tests/test_runtime.cpp" "tests/CMakeFiles/vocab_tests.dir/test_runtime.cpp.o" "gcc" "tests/CMakeFiles/vocab_tests.dir/test_runtime.cpp.o.d"
+  "/root/repo/tests/test_schedule_properties.cpp" "tests/CMakeFiles/vocab_tests.dir/test_schedule_properties.cpp.o" "gcc" "tests/CMakeFiles/vocab_tests.dir/test_schedule_properties.cpp.o.d"
+  "/root/repo/tests/test_schedules.cpp" "tests/CMakeFiles/vocab_tests.dir/test_schedules.cpp.o" "gcc" "tests/CMakeFiles/vocab_tests.dir/test_schedules.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/vocab_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/vocab_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_tensor.cpp" "tests/CMakeFiles/vocab_tests.dir/test_tensor.cpp.o" "gcc" "tests/CMakeFiles/vocab_tests.dir/test_tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/vocab_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/vocab_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/vocab_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/schedule/CMakeFiles/vocab_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vocab_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/vocab_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vocab_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/vocab_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/vocab_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vocab_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/schedule/CMakeFiles/vocab_schedule_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
