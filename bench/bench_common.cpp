@@ -1,5 +1,10 @@
 #include "bench_common.h"
 
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
 #include "common/table.h"
 #include "schedule/layer_assignment.h"
 #include "schedule/schedule_1f1b.h"
@@ -72,5 +77,60 @@ std::string mem_cell(const RunResult& r) {
 }
 
 double gib(double bytes) { return bytes / (1024.0 * 1024.0 * 1024.0); }
+
+namespace {
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+}  // namespace
+
+void BenchJson::add(KernelRecord r) { records_.push_back(std::move(r)); }
+
+std::string BenchJson::render() const {
+  std::ostringstream os;
+  os << "[\n";
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const KernelRecord& r = records_[i];
+    os << "  {\"name\": \"" << json_escape(r.name) << "\", "
+       << "\"shape\": \"" << json_escape(r.shape) << "\", "
+       << "\"ns_per_iter\": " << r.ns_per_iter << ", "
+       << "\"gflops\": " << r.gflops << ", "
+       << "\"threads\": " << r.threads << "}" << (i + 1 < records_.size() ? "," : "") << "\n";
+  }
+  os << "]\n";
+  return os.str();
+}
+
+bool BenchJson::write_file(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) {
+    std::cerr << "bench: cannot write " << path << "\n";
+    return false;
+  }
+  f << render();
+  return static_cast<bool>(f);
+}
+
+std::optional<std::string> consume_json_flag(int& argc, char** argv) {
+  std::optional<std::string> path;
+  int w = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      path = argv[++i];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      path = argv[i] + 7;
+    } else {
+      argv[w++] = argv[i];
+    }
+  }
+  argc = w;
+  return path;
+}
 
 }  // namespace vocab::bench

@@ -42,4 +42,33 @@ std::string mem_cell(const RunResult& r);
 /// GiB from bytes.
 double gib(double bytes);
 
+// ---- machine-readable benchmark output (--json <path>) ---------------------
+
+/// One measured kernel data point, the unit of the BENCH_kernels.json perf
+/// trajectory: which kernel, at what shape, how fast, at what pool width.
+struct KernelRecord {
+  std::string name;        ///< benchmark name, e.g. "BM_MatmulNT_Logits"
+  std::string shape;       ///< operand shapes, e.g. "[2048,1024]x[8192,1024]^T"
+  double ns_per_iter = 0;  ///< wall time per iteration
+  double gflops = 0;       ///< throughput (0 when the bench reports no FLOPs)
+  int threads = 1;         ///< VOCAB_NUM_THREADS-configured pool width
+};
+
+/// Accumulates KernelRecords and renders them as a JSON array.
+class BenchJson {
+ public:
+  void add(KernelRecord r);
+  [[nodiscard]] std::string render() const;
+  /// Write render() to `path`; returns false (with a stderr note) on failure.
+  bool write_file(const std::string& path) const;
+
+ private:
+  std::vector<KernelRecord> records_;
+};
+
+/// Remove a `--json <path>` (or `--json=<path>`) flag from argv and return
+/// the path when present, so benchmark binaries can take it alongside the
+/// google-benchmark flags.
+std::optional<std::string> consume_json_flag(int& argc, char** argv);
+
 }  // namespace vocab::bench

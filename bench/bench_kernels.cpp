@@ -1,22 +1,34 @@
 // google-benchmark microbenchmarks of the numeric kernels underlying the
 // vocabulary-parallel passes: matmuls, softmax variants (safe / streaming /
 // partitioned), and the full per-shard output-layer algorithms.
+//
+// Pass `--json <path>` to also emit the results as a machine-readable
+// BENCH_kernels.json array (name, shape, ns/iter, GFLOP/s, threads) so the
+// kernel perf trajectory is recorded across revisions.
 
 #include <benchmark/benchmark.h>
 
 #include <functional>
+#include <string>
 #include <thread>
+#include <vector>
 
+#include "bench_common.h"
 #include "comm/device_group.h"
 #include "common/rng.h"
 #include "core/online_softmax.h"
 #include "core/output_layer_shard.h"
 #include "core/reference_output_layer.h"
 #include "core/vocab_shard.h"
+#include "parallel/thread_pool.h"
 #include "tensor/tensor_ops.h"
 
 namespace vocab {
 namespace {
+
+std::string dims(std::int64_t r, std::int64_t c) {
+  return "[" + std::to_string(r) + "," + std::to_string(c) + "]";
+}
 
 void BM_MatmulNT(benchmark::State& state) {
   const std::int64_t n = state.range(0);
@@ -27,8 +39,60 @@ void BM_MatmulNT(benchmark::State& state) {
     benchmark::DoNotOptimize(matmul_nt(a, b));
   }
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  state.SetLabel(dims(n, n) + "x" + dims(n, n) + "^T");
 }
-BENCHMARK(BM_MatmulNT)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_MatmulNT)->Arg(64)->Arg(128)->Arg(256)->UseRealTime();
+
+// The acceptance shape from the growth plan: a microbatch of 2048 token
+// positions at hidden 1024 against one vocabulary shard of 8192 rows — the
+// logits matmul every output-layer S pass performs.
+constexpr std::int64_t kLogitsRows = 2048;
+constexpr std::int64_t kLogitsHidden = 1024;
+constexpr std::int64_t kLogitsShard = 8192;
+
+// Verbatim copy of the seed revision's serial matmul_nt (single-accumulator
+// dot product), kept here so BENCH_kernels.json always records the optimized
+// kernel against the same baseline it replaced.
+Tensor seed_serial_matmul_nt(const Tensor& a, const Tensor& b) {
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      float acc = 0.0f;
+      for (std::int64_t l = 0; l < k; ++l) acc += arow[l] * brow[l];
+      pc[i * n + j] = acc;
+    }
+  }
+  return c;
+}
+
+void bench_logits_matmul(benchmark::State& state,
+                         const std::function<Tensor(const Tensor&, const Tensor&)>& kernel) {
+  Rng rng(6);
+  const Tensor x = Tensor::randn({kLogitsRows, kLogitsHidden}, rng);
+  const Tensor w = Tensor::randn({kLogitsShard, kLogitsHidden}, rng, 0.2f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernel(x, w));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * kLogitsRows * kLogitsShard * kLogitsHidden);
+  state.SetLabel(dims(kLogitsRows, kLogitsHidden) + "x" + dims(kLogitsShard, kLogitsHidden) +
+                 "^T");
+}
+
+void BM_MatmulNT_Logits(benchmark::State& state) { bench_logits_matmul(state, matmul_nt); }
+void BM_MatmulNT_LogitsSeedSerial(benchmark::State& state) {
+  bench_logits_matmul(state, seed_serial_matmul_nt);
+}
+BENCHMARK(BM_MatmulNT_Logits)->Unit(benchmark::kMillisecond)->Iterations(3)->UseRealTime();
+BENCHMARK(BM_MatmulNT_LogitsSeedSerial)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1)
+    ->UseRealTime();
 
 void BM_SafeSoftmax(benchmark::State& state) {
   Rng rng(2);
@@ -36,6 +100,7 @@ void BM_SafeSoftmax(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(softmax_rows(x));
   }
+  state.SetLabel(dims(64, state.range(0)));
 }
 BENCHMARK(BM_SafeSoftmax)->Arg(1024)->Arg(8192)->Arg(32768);
 
@@ -45,6 +110,7 @@ void BM_StreamingSoftmax(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(streaming_softmax_rows(x, state.range(0)));
   }
+  state.SetLabel(dims(64, 32768) + " chunk=" + std::to_string(state.range(0)));
 }
 BENCHMARK(BM_StreamingSoftmax)->Arg(1024)->Arg(4096)->Arg(32768);
 
@@ -58,6 +124,7 @@ void BM_ReferenceOutputLayer(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(reference_output_layer(x, w, targets, 1.0f / 32));
   }
+  state.SetLabel(dims(32, 128) + "x" + dims(v, 128) + "^T");
 }
 BENCHMARK(BM_ReferenceOutputLayer)->Arg(4096)->Arg(16384);
 
@@ -91,6 +158,7 @@ void bench_partitioned(benchmark::State& state, OutputAlgo algo) {
     for (auto& t : threads) t.join();
     ++mb;
   }
+  state.SetLabel(dims(n, h) + "x" + dims(v, h) + "^T p=" + std::to_string(p));
 }
 
 void BM_PartitionedNaive(benchmark::State& state) { bench_partitioned(state, OutputAlgo::Naive); }
@@ -100,7 +168,40 @@ BENCHMARK(BM_PartitionedNaive)->Arg(2)->Arg(4);
 BENCHMARK(BM_PartitionedAlg1)->Arg(2)->Arg(4);
 BENCHMARK(BM_PartitionedAlg2)->Arg(2)->Arg(4);
 
+// Console output as usual, plus a KernelRecord per measured run for --json.
+class JsonCollector : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      bench::KernelRecord rec;
+      rec.name = run.benchmark_name();
+      rec.shape = run.report_label;
+      const double iters = run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      rec.ns_per_iter = run.real_accumulated_time / iters * 1e9;
+      const auto it = run.counters.find("items_per_second");
+      rec.gflops = it == run.counters.end() ? 0.0 : it->second.value / 1e9;
+      rec.threads = parallel::num_threads();
+      json_.add(std::move(rec));
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  [[nodiscard]] const bench::BenchJson& json() const { return json_; }
+
+ private:
+  bench::BenchJson json_;
+};
+
 }  // namespace
 }  // namespace vocab
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const auto json_path = vocab::bench::consume_json_flag(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  vocab::JsonCollector reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (json_path && !reporter.json().write_file(*json_path)) return 1;
+  return 0;
+}

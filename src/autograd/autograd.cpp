@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "common/error.h"
+#include "parallel/thread_pool.h"
 #include "tensor/tensor_ops.h"
 
 namespace vocab::autograd {
@@ -108,20 +109,29 @@ Var gelu(const Var& a) {
   constexpr float kC = 0.7978845608f;  // sqrt(2/pi)
   constexpr float kB = 0.044715f;
   Tensor out(a->value.shape());
-  for (std::int64_t i = 0; i < out.numel(); ++i) {
-    const float x = a->value.at(i);
-    out.at(i) = 0.5f * x * (1.0f + std::tanh(kC * (x + kB * x * x * x)));
-  }
+  const float* px = a->value.data();
+  float* po = out.data();
+  parallel::parallel_for(0, out.numel(), 4096, [&](std::int64_t e0, std::int64_t e1) {
+    for (std::int64_t i = e0; i < e1; ++i) {
+      const float x = px[i];
+      po[i] = 0.5f * x * (1.0f + std::tanh(kC * (x + kB * x * x * x)));
+    }
+  });
   return make_node(std::move(out), {a}, [a](Node& n) {
     if (!a->requires_grad) return;
     Tensor da(a->value.shape());
-    for (std::int64_t i = 0; i < da.numel(); ++i) {
-      const float x = a->value.at(i);
-      const float u = kC * (x + kB * x * x * x);
-      const float t = std::tanh(u);
-      const float du = kC * (1.0f + 3.0f * kB * x * x);
-      da.at(i) = n.grad.at(i) * (0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * du);
-    }
+    const float* px = a->value.data();
+    const float* pg = n.grad.data();
+    float* pd = da.data();
+    parallel::parallel_for(0, da.numel(), 4096, [&](std::int64_t e0, std::int64_t e1) {
+      for (std::int64_t i = e0; i < e1; ++i) {
+        const float x = px[i];
+        const float u = kC * (x + kB * x * x * x);
+        const float t = std::tanh(u);
+        const float du = kC * (1.0f + 3.0f * kB * x * x);
+        pd[i] = pg[i] * (0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * du);
+      }
+    });
     add_inplace(a->ensure_grad(), da);
   });
 }
@@ -135,23 +145,35 @@ Var layernorm(const Var& x, const Var& gamma, const Var& beta, float eps) {
   Tensor out({m, n});
   Tensor xhat({m, n});
   Tensor inv_sigma({m});
-  for (std::int64_t i = 0; i < m; ++i) {
-    double mu = 0.0;
-    for (std::int64_t j = 0; j < n; ++j) mu += x->value.at(i, j);
-    mu /= static_cast<double>(n);
-    double var = 0.0;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const double dlt = x->value.at(i, j) - mu;
-      var += dlt * dlt;
-    }
-    var /= static_cast<double>(n);
-    const float is = static_cast<float>(1.0 / std::sqrt(var + eps));
-    inv_sigma.at(i) = is;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float xh = (x->value.at(i, j) - static_cast<float>(mu)) * is;
-      xhat.at(i, j) = xh;
-      out.at(i, j) = gamma->value.at(j) * xh + beta->value.at(j);
-    }
+  {
+    const float* px = x->value.data();
+    const float* pgam = gamma->value.data();
+    const float* pbet = beta->value.data();
+    float* po = out.data();
+    float* pxh = xhat.data();
+    float* pis = inv_sigma.data();
+    parallel::parallel_for(0, m, std::max<std::int64_t>(1, 4096 / n),
+                           [&](std::int64_t i0, std::int64_t i1) {
+      for (std::int64_t i = i0; i < i1; ++i) {
+        const float* row = px + i * n;
+        double mu = 0.0;
+        for (std::int64_t j = 0; j < n; ++j) mu += row[j];
+        mu /= static_cast<double>(n);
+        double var = 0.0;
+        for (std::int64_t j = 0; j < n; ++j) {
+          const double dlt = row[j] - mu;
+          var += dlt * dlt;
+        }
+        var /= static_cast<double>(n);
+        const float is = static_cast<float>(1.0 / std::sqrt(var + eps));
+        pis[i] = is;
+        for (std::int64_t j = 0; j < n; ++j) {
+          const float xh = (row[j] - static_cast<float>(mu)) * is;
+          pxh[i * n + j] = xh;
+          po[i * n + j] = pgam[j] * xh + pbet[j];
+        }
+      }
+    });
   }
   return make_node(std::move(out), {x, gamma, beta},
                    [x, gamma, beta, xhat = std::move(xhat),
@@ -170,22 +192,30 @@ Var layernorm(const Var& x, const Var& gamma, const Var& beta, float eps) {
     }
     if (!x->requires_grad) return;
     Tensor dx({m, n});
-    for (std::int64_t i = 0; i < m; ++i) {
-      // g = gamma * dy; dx = (g - mean(g) - xhat * mean(g * xhat)) / sigma
-      double mean_g = 0.0, mean_gx = 0.0;
-      for (std::int64_t j = 0; j < n; ++j) {
-        const double g = static_cast<double>(gamma->value.at(j)) * nd.grad.at(i, j);
-        mean_g += g;
-        mean_gx += g * xhat.at(i, j);
+    const float* pgam = gamma->value.data();
+    const float* pg = nd.grad.data();
+    const float* pxh = xhat.data();
+    const float* pis = inv_sigma.data();
+    float* pdx = dx.data();
+    parallel::parallel_for(0, m, std::max<std::int64_t>(1, 4096 / n),
+                           [&](std::int64_t i0, std::int64_t i1) {
+      for (std::int64_t i = i0; i < i1; ++i) {
+        // g = gamma * dy; dx = (g - mean(g) - xhat * mean(g * xhat)) / sigma
+        double mean_g = 0.0, mean_gx = 0.0;
+        for (std::int64_t j = 0; j < n; ++j) {
+          const double g = static_cast<double>(pgam[j]) * pg[i * n + j];
+          mean_g += g;
+          mean_gx += g * pxh[i * n + j];
+        }
+        mean_g /= static_cast<double>(n);
+        mean_gx /= static_cast<double>(n);
+        for (std::int64_t j = 0; j < n; ++j) {
+          const double g = static_cast<double>(pgam[j]) * pg[i * n + j];
+          pdx[i * n + j] = static_cast<float>((g - mean_g - pxh[i * n + j] * mean_gx) *
+                                              pis[i]);
+        }
       }
-      mean_g /= static_cast<double>(n);
-      mean_gx /= static_cast<double>(n);
-      for (std::int64_t j = 0; j < n; ++j) {
-        const double g = static_cast<double>(gamma->value.at(j)) * nd.grad.at(i, j);
-        dx.at(i, j) = static_cast<float>((g - mean_g - xhat.at(i, j) * mean_gx) *
-                                         inv_sigma.at(i));
-      }
-    }
+    });
     add_inplace(x->ensure_grad(), dx);
   });
 }
@@ -237,13 +267,19 @@ Var causal_attention(const Var& q, const Var& k, const Var& v, int heads) {
       const Tensor dp = vocab::matmul_nt(dout, va);
       // softmax backward: dS = P ⊙ (dP - rowsum(dP ⊙ P))
       Tensor ds({s, s});
-      for (std::int64_t i = 0; i < s; ++i) {
-        double dot = 0.0;
-        for (std::int64_t j = 0; j <= i; ++j) dot += static_cast<double>(dp.at(i, j)) * p.at(i, j);
-        for (std::int64_t j = 0; j <= i; ++j) {
-          ds.at(i, j) = p.at(i, j) * (dp.at(i, j) - static_cast<float>(dot)) * inv_sqrt;
+      const float* pdp = dp.data();
+      const float* pp = p.data();
+      float* pds = ds.data();
+      parallel::parallel_for(0, s, std::max<std::int64_t>(1, 4096 / s),
+                             [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i) {
+          double dot = 0.0;
+          for (std::int64_t j = 0; j <= i; ++j) dot += static_cast<double>(pdp[i * s + j]) * pp[i * s + j];
+          for (std::int64_t j = 0; j <= i; ++j) {
+            pds[i * s + j] = pp[i * s + j] * (pdp[i * s + j] - static_cast<float>(dot)) * inv_sqrt;
+          }
         }
-      }
+      });
       const Tensor dqa = vocab::matmul(ds, ka);
       const Tensor dka = vocab::matmul_tn(ds, qa);
       for (std::int64_t i = 0; i < s; ++i) {
@@ -267,13 +303,19 @@ Var softmax_rows(const Var& a) {
     if (!a->requires_grad) return;
     const std::int64_t m = n.grad.dim(0), c = n.grad.dim(1);
     Tensor da({m, c});
-    for (std::int64_t i = 0; i < m; ++i) {
-      double dot = 0.0;
-      for (std::int64_t j = 0; j < c; ++j) dot += static_cast<double>(n.grad.at(i, j)) * saved.at(i, j);
-      for (std::int64_t j = 0; j < c; ++j) {
-        da.at(i, j) = saved.at(i, j) * (n.grad.at(i, j) - static_cast<float>(dot));
+    const float* pg = n.grad.data();
+    const float* psv = saved.data();
+    float* pda = da.data();
+    parallel::parallel_for(0, m, std::max<std::int64_t>(1, 4096 / c),
+                           [&](std::int64_t i0, std::int64_t i1) {
+      for (std::int64_t i = i0; i < i1; ++i) {
+        double dot = 0.0;
+        for (std::int64_t j = 0; j < c; ++j) dot += static_cast<double>(pg[i * c + j]) * psv[i * c + j];
+        for (std::int64_t j = 0; j < c; ++j) {
+          pda[i * c + j] = psv[i * c + j] * (pg[i * c + j] - static_cast<float>(dot));
+        }
       }
-    }
+    });
     add_inplace(a->ensure_grad(), da);
   });
 }

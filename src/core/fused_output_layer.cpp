@@ -5,6 +5,7 @@
 
 #include "common/error.h"
 #include "core/online_softmax.h"
+#include "parallel/thread_pool.h"
 #include "tensor/tensor_ops.h"
 
 namespace vocab {
@@ -36,13 +37,19 @@ FusedOutputResult fused_output_layer(const Tensor& x, const Tensor& w,
     transient = std::max(transient,
                          static_cast<std::size_t>((logits.numel() + w_chunk.numel())) *
                              sizeof(float));
-    for (std::int64_t i = 0; i < n; ++i) {
-      const float* row = logits.data() + i * (c1 - c0);
-      stats[static_cast<std::size_t>(i)] =
-          merge(stats[static_cast<std::size_t>(i)], stats_of(row, row + (c1 - c0)));
-      const std::int64_t t = targets[static_cast<std::size_t>(i)];
-      if (t >= c0 && t < c1) target_logit.at(i) = row[t - c0];
-    }
+    const std::int64_t cols = c1 - c0;
+    const float* plogits = logits.data();
+    float* ptgt = target_logit.data();
+    parallel::parallel_for(0, n, std::max<std::int64_t>(1, 4096 / cols),
+                           [&](std::int64_t i0, std::int64_t i1) {
+      for (std::int64_t i = i0; i < i1; ++i) {
+        const float* row = plogits + i * cols;
+        stats[static_cast<std::size_t>(i)] =
+            merge(stats[static_cast<std::size_t>(i)], stats_of(row, row + cols));
+        const std::int64_t t = targets[static_cast<std::size_t>(i)];
+        if (t >= c0 && t < c1) ptgt[i] = row[t - c0];
+      }
+    });
   }
 
   // Loss from the final statistics: log(sum) + max - y_target, averaged.
@@ -61,23 +68,33 @@ FusedOutputResult fused_output_layer(const Tensor& x, const Tensor& w,
     transient = std::max(transient,
                          static_cast<std::size_t>((2 * d.numel() + w_chunk.numel())) *
                              sizeof(float));
-    for (std::int64_t i = 0; i < n; ++i) {
-      const SoftmaxStats& s = stats[static_cast<std::size_t>(i)];
-      float* row = d.data() + i * (c1 - c0);
-      for (std::int64_t j = 0; j < c1 - c0; ++j) {
-        row[j] = std::exp(row[j] - s.max) / s.sum;  // softmax(Y)_ij
+    const std::int64_t cols = c1 - c0;
+    float* pd = d.data();
+    parallel::parallel_for(0, n, std::max<std::int64_t>(1, 4096 / cols),
+                           [&](std::int64_t i0, std::int64_t i1) {
+      for (std::int64_t i = i0; i < i1; ++i) {
+        const SoftmaxStats& s = stats[static_cast<std::size_t>(i)];
+        float* row = pd + i * cols;
+        for (std::int64_t j = 0; j < cols; ++j) {
+          row[j] = std::exp(row[j] - s.max) / s.sum;  // softmax(Y)_ij
+        }
+        const std::int64_t t = targets[static_cast<std::size_t>(i)];
+        if (t >= c0 && t < c1) row[t - c0] -= 1.0f;  // minus the one-hot G
       }
-      const std::int64_t t = targets[static_cast<std::size_t>(i)];
-      if (t >= c0 && t < c1) row[t - c0] -= 1.0f;  // minus the one-hot G
-    }
+    });
     scale_inplace(d, grad_scale);
     // grad_x accumulates D_chunk @ W_chunk; grad_w rows for this chunk are
     // D_chunk^T @ X.
     add_inplace(out.result.grad_x, matmul(d, w_chunk));
     const Tensor gw = matmul_tn(d, x);  // [c1-c0, h]
-    for (std::int64_t r = 0; r < c1 - c0; ++r) {
-      for (std::int64_t c = 0; c < h; ++c) out.result.grad_w.at(c0 + r, c) = gw.at(r, c);
-    }
+    const float* pgw = gw.data();
+    float* pw = out.result.grad_w.data();
+    parallel::parallel_for(0, cols, std::max<std::int64_t>(1, 4096 / h),
+                           [&](std::int64_t r0, std::int64_t r1) {
+      for (std::int64_t r = r0; r < r1; ++r) {
+        std::copy(pgw + r * h, pgw + (r + 1) * h, pw + (c0 + r) * h);
+      }
+    });
   }
 
   out.peak_transient_bytes = transient;

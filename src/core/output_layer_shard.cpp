@@ -5,6 +5,7 @@
 
 #include "comm/device_group.h"
 #include "common/error.h"
+#include "parallel/thread_pool.h"
 #include "tensor/tensor_ops.h"
 
 namespace vocab {
@@ -12,8 +13,27 @@ namespace vocab {
 namespace {
 constexpr float kNegInf = -std::numeric_limits<float>::infinity();
 
+// Grain for intra-op row partitioning: a function of the row width only, so
+// chunk boundaries (and results) never depend on the thread count.
+std::int64_t stats_grain(std::int64_t row_width) {
+  return std::max<std::int64_t>(1, 4096 / std::max<std::int64_t>(row_width, 1));
+}
+
 std::string tag(int mb, int barrier, const char* what) {
   return "out:mb" + std::to_string(mb) + ":b" + std::to_string(barrier) + ":" + what;
+}
+
+// Row-wise softmax' *= rescale over the valid columns (eq. 5 application).
+void rescale_softmax_rows(Tensor& softmax_local, const Tensor& rescale, std::int64_t valid) {
+  const std::int64_t n = softmax_local.dim(0), cols = softmax_local.dim(1);
+  float* psm = softmax_local.data();
+  const float* pr = rescale.data();
+  parallel::parallel_for(0, n, stats_grain(valid), [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const float c = pr[i];
+      for (std::int64_t j = 0; j < valid; ++j) psm[i * cols + j] *= c;
+    }
+  });
 }
 }  // namespace
 
@@ -141,19 +161,23 @@ void OutputLayerShard::compute_local_stats(MbState& s) {
   s.softmax_local = Tensor({n, cols});
   const float* py = s.logits.data();
   float* psm = s.softmax_local.data();
-  for (std::int64_t i = 0; i < n; ++i) {
-    const float* row = py + i * cols;
-    float m = kNegInf;
-    for (std::int64_t j = 0; j < valid; ++j) m = std::max(m, row[j]);
-    double sum = 0.0;
-    for (std::int64_t j = 0; j < valid; ++j) sum += std::exp(static_cast<double>(row[j] - m));
-    s.local_max.at(i) = m;
-    s.local_sum.at(i) = static_cast<float>(sum);
-    const float inv = sum > 0.0 ? static_cast<float>(1.0 / sum) : 0.0f;
-    float* smrow = psm + i * cols;
-    for (std::int64_t j = 0; j < valid; ++j) smrow[j] = std::exp(row[j] - m) * inv;
-    // columns [valid, cols) stay zero
-  }
+  float* pmax = s.local_max.data();
+  float* psum = s.local_sum.data();
+  parallel::parallel_for(0, n, stats_grain(valid), [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const float* row = py + i * cols;
+      float m = kNegInf;
+      for (std::int64_t j = 0; j < valid; ++j) m = std::max(m, row[j]);
+      double sum = 0.0;
+      for (std::int64_t j = 0; j < valid; ++j) sum += std::exp(static_cast<double>(row[j] - m));
+      pmax[i] = m;
+      psum[i] = static_cast<float>(sum);
+      const float inv = sum > 0.0 ? static_cast<float>(1.0 / sum) : 0.0f;
+      float* smrow = psm + i * cols;
+      for (std::int64_t j = 0; j < valid; ++j) smrow[j] = std::exp(row[j] - m) * inv;
+      // columns [valid, cols) stay zero
+    }
+  });
 }
 
 void OutputLayerShard::finalize_loss(MbState& s) {
@@ -191,39 +215,51 @@ void OutputLayerShard::naive_compute(MbState& s, int phase) {
       compute_logits_masked(s);
       const std::int64_t n = s.logits.dim(0), cols = s.logits.dim(1);
       s.local_max = Tensor({n}, kNegInf);
-      for (std::int64_t i = 0; i < n; ++i) {
-        for (std::int64_t j = 0; j < valid; ++j) {
-          s.local_max.at(i) = std::max(s.local_max.at(i), s.logits.at(i, j));
+      const float* py = s.logits.data();
+      float* pmax = s.local_max.data();
+      parallel::parallel_for(0, n, stats_grain(valid), [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i) {
+          for (std::int64_t j = 0; j < valid; ++j) pmax[i] = std::max(pmax[i], py[i * cols + j]);
         }
-      }
+      });
       s.global_max = s.local_max;  // reduced in place by barrier 0
-      (void)cols;
       break;
     }
     case 1: {  // F2: exponentials with the *global* max + local sum
       const std::int64_t n = s.logits.dim(0), cols = s.logits.dim(1);
       s.softmax_local = Tensor({n, cols});  // holds exp(Y - m) until barrier 1
       s.local_sum = Tensor({n});
-      for (std::int64_t i = 0; i < n; ++i) {
-        const float m = s.global_max.at(i);
-        double sum = 0.0;
-        for (std::int64_t j = 0; j < valid; ++j) {
-          const float e = std::exp(s.logits.at(i, j) - m);
-          s.softmax_local.at(i, j) = e;
-          sum += e;
+      const float* py = s.logits.data();
+      const float* pgm = s.global_max.data();
+      float* psm = s.softmax_local.data();
+      float* psum = s.local_sum.data();
+      parallel::parallel_for(0, n, stats_grain(valid), [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i) {
+          const float m = pgm[i];
+          double sum = 0.0;
+          for (std::int64_t j = 0; j < valid; ++j) {
+            const float e = std::exp(py[i * cols + j] - m);
+            psm[i * cols + j] = e;
+            sum += e;
+          }
+          psum[i] = static_cast<float>(sum);
         }
-        s.local_sum.at(i) = static_cast<float>(sum);
-      }
+      });
       s.global_sum = s.local_sum;  // reduced in place by barrier 1
       s.logits = Tensor();         // logits no longer needed
       break;
     }
     case 2: {  // B: softmax, then grad_x partial product
       const std::int64_t n = s.softmax_local.dim(0);
-      for (std::int64_t i = 0; i < n; ++i) {
-        const float inv = 1.0f / s.global_sum.at(i);
-        for (std::int64_t j = 0; j < valid; ++j) s.softmax_local.at(i, j) *= inv;
-      }
+      const std::int64_t cols = s.softmax_local.dim(1);
+      const float* pgs = s.global_sum.data();
+      float* psm = s.softmax_local.data();
+      parallel::parallel_for(0, n, stats_grain(valid), [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i) {
+          const float inv = 1.0f / pgs[i];
+          for (std::int64_t j = 0; j < valid; ++j) psm[i * cols + j] *= inv;
+        }
+      });
       const Tensor d = diff_matrix(s);
       s.grad_x = matmul(d, weight_);  // eq. (3) partial: reduced by barrier 2
       break;
@@ -266,12 +302,7 @@ void OutputLayerShard::alg1_compute(MbState& s, int phase) {
       break;
     }
     case 1: {  // T: rescale softmax to global (eq. 5), both gradient matmuls
-      const std::int64_t n = s.softmax_local.dim(0);
-      const std::int64_t valid = shard_.valid_size();
-      for (std::int64_t i = 0; i < n; ++i) {
-        const float c = s.rescale.at(i);
-        for (std::int64_t j = 0; j < valid; ++j) s.softmax_local.at(i, j) *= c;
-      }
+      rescale_softmax_rows(s.softmax_local, s.rescale, shard_.valid_size());
       const Tensor d = diff_matrix(s);
       s.grad_x = matmul(d, weight_);                  // partial; reduced in C2
       add_inplace(weight_grad_, matmul_tn(d, s.x));   // eq. (4)
@@ -334,12 +365,7 @@ void OutputLayerShard::alg2_compute(MbState& s, int phase) {
       break;
     }
     case 1: {  // T: global softmax + weight gradient (arbitrarily delayed)
-      const std::int64_t n = s.softmax_local.dim(0);
-      const std::int64_t valid = shard_.valid_size();
-      for (std::int64_t i = 0; i < n; ++i) {
-        const float c = s.rescale.at(i);
-        for (std::int64_t j = 0; j < valid; ++j) s.softmax_local.at(i, j) *= c;
-      }
+      rescale_softmax_rows(s.softmax_local, s.rescale, shard_.valid_size());
       const Tensor d = diff_matrix(s);
       add_inplace(weight_grad_, matmul_tn(d, s.x));  // eq. (4)
       s.softmax_local = Tensor();
@@ -370,12 +396,19 @@ void OutputLayerShard::alg2_comm(MbState& s, int barrier, int mb, DeviceGroup& g
   // since both matmuls were pre-computed in S.
   const std::int64_t h = s.a.dim(1);
   s.grad_x = Tensor({n, h});
-  for (std::int64_t i = 0; i < n; ++i) {
-    const float c = s.rescale.at(i);
-    for (std::int64_t col = 0; col < h; ++col) {
-      s.grad_x.at(i, col) = (s.a.at(i, col) * c - s.b.at(i, col)) * s.grad_scale;
+  const float* pr = s.rescale.data();
+  const float* pa = s.a.data();
+  const float* pb = s.b.data();
+  float* pgx = s.grad_x.data();
+  const float gscale = s.grad_scale;
+  parallel::parallel_for(0, n, stats_grain(h), [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const float c = pr[i];
+      for (std::int64_t col = 0; col < h; ++col) {
+        pgx[i * h + col] = (pa[i * h + col] * c - pb[i * h + col]) * gscale;
+      }
     }
-  }
+  });
   group.all_reduce(shard_.rank, s.grad_x, ReduceOp::Sum, tag(mb, 0, "gradx"));
   s.grad_x_ready = true;
   s.a = Tensor();

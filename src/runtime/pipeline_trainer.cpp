@@ -1,5 +1,6 @@
 #include "runtime/pipeline_trainer.h"
 
+#include <algorithm>
 #include <thread>
 
 #include "comm/channel.h"
@@ -12,10 +13,10 @@ namespace vocab {
 namespace {
 
 Tensor slice_vocab_rows(const Tensor& full, const VocabShard& shard) {
-  Tensor out({shard.size, full.dim(1)});
-  for (std::int64_t r = 0; r < shard.valid_size(); ++r) {
-    for (std::int64_t c = 0; c < full.dim(1); ++c) out.at(r, c) = full.at(shard.offset + r, c);
-  }
+  const std::int64_t h = full.dim(1);
+  Tensor out({shard.size, h});
+  std::copy(full.data() + shard.offset * h,
+            full.data() + (shard.offset + shard.valid_size()) * h, out.data());
   return out;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "parallel/thread_pool.h"
 
 namespace vocab {
 
@@ -13,7 +14,68 @@ void check_rank2(const Tensor& t, const char* who) {
   VOCAB_CHECK(t.rank() == 2, who << " requires a rank-2 tensor, got " << t.shape_str());
 }
 
-constexpr std::int64_t kBlock = 64;  // cache-blocking tile edge
+// Minimum work per parallel_for chunk, in inner-loop steps. Grains derived
+// from it depend only on the problem shape, keeping chunk boundaries (and
+// therefore results) independent of the thread count.
+constexpr std::int64_t kGrainSteps = 32 * 1024;
+
+std::int64_t row_grain(std::int64_t steps_per_row) {
+  return std::max<std::int64_t>(1, kGrainSteps / std::max<std::int64_t>(steps_per_row, 1));
+}
+
+// SIMD lane width for the dot-product kernels. The lane accumulators below
+// are plain float arrays in a fixed pattern the compiler turns into packed
+// FMAs; the width is a constant of the kernel, never of the machine the
+// result is observed on, so outputs are identical for any thread count.
+constexpr std::int64_t kLanes = 8;
+
+float horizontal_sum(const float* l) {
+  // Fixed reduction tree — part of the determinism contract.
+  return ((l[0] + l[1]) + (l[2] + l[3])) + ((l[4] + l[5]) + (l[6] + l[7]));
+}
+
+// Four simultaneous dot products of `a` against b0..b3 (all length k). Row
+// register blocking: `a` is read once for four outputs, and each output gets
+// kLanes independent accumulator chains so the k-loop is vectorizable
+// without reassociating across lanes.
+void dot4(const float* a, const float* b0, const float* b1, const float* b2,
+          const float* b3, std::int64_t k, float* out) {
+  float l0[kLanes] = {}, l1[kLanes] = {}, l2[kLanes] = {}, l3[kLanes] = {};
+  std::int64_t l = 0;
+  for (; l + kLanes <= k; l += kLanes) {
+    for (std::int64_t v = 0; v < kLanes; ++v) {
+      const float av = a[l + v];
+      l0[v] += av * b0[l + v];
+      l1[v] += av * b1[l + v];
+      l2[v] += av * b2[l + v];
+      l3[v] += av * b3[l + v];
+    }
+  }
+  float acc0 = horizontal_sum(l0), acc1 = horizontal_sum(l1);
+  float acc2 = horizontal_sum(l2), acc3 = horizontal_sum(l3);
+  for (; l < k; ++l) {
+    const float av = a[l];
+    acc0 += av * b0[l];
+    acc1 += av * b1[l];
+    acc2 += av * b2[l];
+    acc3 += av * b3[l];
+  }
+  out[0] = acc0;
+  out[1] = acc1;
+  out[2] = acc2;
+  out[3] = acc3;
+}
+
+float dot1(const float* a, const float* b, std::int64_t k) {
+  float lanes[kLanes] = {};
+  std::int64_t l = 0;
+  for (; l + kLanes <= k; l += kLanes) {
+    for (std::int64_t v = 0; v < kLanes; ++v) lanes[v] += a[l + v] * b[l + v];
+  }
+  float acc = horizontal_sum(lanes);
+  for (; l < k; ++l) acc += a[l] * b[l];
+  return acc;
+}
 
 }  // namespace
 
@@ -26,21 +88,30 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
-  for (std::int64_t i0 = 0; i0 < m; i0 += kBlock) {
-    const std::int64_t i1 = std::min(i0 + kBlock, m);
-    for (std::int64_t l0 = 0; l0 < k; l0 += kBlock) {
-      const std::int64_t l1 = std::min(l0 + kBlock, k);
-      for (std::int64_t i = i0; i < i1; ++i) {
-        for (std::int64_t l = l0; l < l1; ++l) {
-          const float av = pa[i * k + l];
-          if (av == 0.0f) continue;
-          const float* brow = pb + l * n;
-          float* crow = pc + i * n;
-          for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+  // Parallel over output rows; each row accumulates four B rows per pass so C
+  // traffic drops 4x and the j-loop stays elementwise (vector-friendly).
+  parallel::parallel_for(0, m, row_grain(k * n), [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const float* arow = pa + i * k;
+      float* crow = pc + i * n;
+      std::int64_t l = 0;
+      for (; l + 4 <= k; l += 4) {
+        const float a0 = arow[l], a1 = arow[l + 1], a2 = arow[l + 2], a3 = arow[l + 3];
+        const float* b0 = pb + l * n;
+        const float* b1 = b0 + n;
+        const float* b2 = b1 + n;
+        const float* b3 = b2 + n;
+        for (std::int64_t j = 0; j < n; ++j) {
+          crow[j] += (a0 * b0[j] + a1 * b1[j]) + (a2 * b2[j] + a3 * b3[j]);
         }
       }
+      for (; l < k; ++l) {
+        const float av = arow[l];
+        const float* brow = pb + l * n;
+        for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -53,16 +124,31 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
-  // Row-times-row dot products: both operands are traversed contiguously.
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float* brow = pb + j * k;
-      float acc = 0.0f;
-      for (std::int64_t l = 0; l < k; ++l) acc += arow[l] * brow[l];
-      pc[i * n + j] = acc;
+  // Row-times-row dot products, parallel over A rows. A-row tiles keep each
+  // four-row B panel resident across kRowTile outputs instead of streaming
+  // the whole of B once per A row.
+  constexpr std::int64_t kRowTile = 32;
+  parallel::parallel_for(0, m, row_grain(k * n), [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t ib = i0; ib < i1; ib += kRowTile) {
+      const std::int64_t ie = std::min(ib + kRowTile, i1);
+      std::int64_t j = 0;
+      for (; j + 4 <= n; j += 4) {
+        const float* b0 = pb + j * k;
+        const float* b1 = b0 + k;
+        const float* b2 = b1 + k;
+        const float* b3 = b2 + k;
+        for (std::int64_t i = ib; i < ie; ++i) {
+          dot4(pa + i * k, b0, b1, b2, b3, k, pc + i * n + j);
+        }
+      }
+      for (; j < n; ++j) {
+        const float* brow = pb + j * k;
+        for (std::int64_t i = ib; i < ie; ++i) {
+          pc[i * n + j] = dot1(pa + i * k, brow, k);
+        }
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -75,17 +161,38 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
-  // Accumulate rank-1 updates; both inner traversals are contiguous.
-  for (std::int64_t l = 0; l < k; ++l) {
-    const float* arow = pa + l * m;
-    const float* brow = pb + l * n;
-    for (std::int64_t i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = pc + i * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+  // Rank-1 update accumulation, parallel over output rows (columns of A).
+  // Four updates per pass so every C row is touched k/4 times, not k times;
+  // the j-loop is elementwise and vectorizes.
+  parallel::parallel_for(0, m, row_grain(k * n), [&](std::int64_t i0, std::int64_t i1) {
+    std::int64_t l = 0;
+    for (; l + 4 <= k; l += 4) {
+      const float* a0 = pa + l * m;
+      const float* a1 = a0 + m;
+      const float* a2 = a1 + m;
+      const float* a3 = a2 + m;
+      const float* b0 = pb + l * n;
+      const float* b1 = b0 + n;
+      const float* b2 = b1 + n;
+      const float* b3 = b2 + n;
+      for (std::int64_t i = i0; i < i1; ++i) {
+        const float v0 = a0[i], v1 = a1[i], v2 = a2[i], v3 = a3[i];
+        float* crow = pc + i * n;
+        for (std::int64_t j = 0; j < n; ++j) {
+          crow[j] += (v0 * b0[j] + v1 * b1[j]) + (v2 * b2[j] + v3 * b3[j]);
+        }
+      }
     }
-  }
+    for (; l < k; ++l) {
+      const float* arow = pa + l * m;
+      const float* brow = pb + l * n;
+      for (std::int64_t i = i0; i < i1; ++i) {
+        const float av = arow[i];
+        float* crow = pc + i * n;
+        for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  });
   return c;
 }
 
@@ -101,7 +208,9 @@ Tensor sub(const Tensor& a, const Tensor& b) {
   Tensor c = a;
   float* pc = c.data();
   const float* pb = b.data();
-  for (std::int64_t i = 0; i < c.numel(); ++i) pc[i] -= pb[i];
+  parallel::parallel_for(0, c.numel(), kGrainSteps, [&](std::int64_t e0, std::int64_t e1) {
+    for (std::int64_t i = e0; i < e1; ++i) pc[i] -= pb[i];
+  });
   return c;
 }
 
@@ -110,7 +219,9 @@ Tensor mul(const Tensor& a, const Tensor& b) {
   Tensor c = a;
   float* pc = c.data();
   const float* pb = b.data();
-  for (std::int64_t i = 0; i < c.numel(); ++i) pc[i] *= pb[i];
+  parallel::parallel_for(0, c.numel(), kGrainSteps, [&](std::int64_t e0, std::int64_t e1) {
+    for (std::int64_t i = e0; i < e1; ++i) pc[i] *= pb[i];
+  });
   return c;
 }
 
@@ -124,19 +235,25 @@ void add_inplace(Tensor& a, const Tensor& b) {
   VOCAB_CHECK(a.same_shape(b), "add_inplace shape mismatch");
   float* pa = a.data();
   const float* pb = b.data();
-  for (std::int64_t i = 0; i < a.numel(); ++i) pa[i] += pb[i];
+  parallel::parallel_for(0, a.numel(), kGrainSteps, [&](std::int64_t e0, std::int64_t e1) {
+    for (std::int64_t i = e0; i < e1; ++i) pa[i] += pb[i];
+  });
 }
 
 void axpy_inplace(Tensor& a, float s, const Tensor& b) {
   VOCAB_CHECK(a.same_shape(b), "axpy_inplace shape mismatch");
   float* pa = a.data();
   const float* pb = b.data();
-  for (std::int64_t i = 0; i < a.numel(); ++i) pa[i] += s * pb[i];
+  parallel::parallel_for(0, a.numel(), kGrainSteps, [&](std::int64_t e0, std::int64_t e1) {
+    for (std::int64_t i = e0; i < e1; ++i) pa[i] += s * pb[i];
+  });
 }
 
 void scale_inplace(Tensor& a, float s) {
   float* pa = a.data();
-  for (std::int64_t i = 0; i < a.numel(); ++i) pa[i] *= s;
+  parallel::parallel_for(0, a.numel(), kGrainSteps, [&](std::int64_t e0, std::int64_t e1) {
+    for (std::int64_t i = e0; i < e1; ++i) pa[i] *= s;
+  });
 }
 
 Tensor row_max(const Tensor& a) {
@@ -144,11 +261,14 @@ Tensor row_max(const Tensor& a) {
   const std::int64_t m = a.dim(0), n = a.dim(1);
   Tensor out({m});
   const float* pa = a.data();
-  for (std::int64_t i = 0; i < m; ++i) {
-    float best = pa[i * n];
-    for (std::int64_t j = 1; j < n; ++j) best = std::max(best, pa[i * n + j]);
-    out.at(i) = best;
-  }
+  float* po = out.data();
+  parallel::parallel_for(0, m, row_grain(n), [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      float best = pa[i * n];
+      for (std::int64_t j = 1; j < n; ++j) best = std::max(best, pa[i * n + j]);
+      po[i] = best;
+    }
+  });
   return out;
 }
 
@@ -157,11 +277,14 @@ Tensor row_sum(const Tensor& a) {
   const std::int64_t m = a.dim(0), n = a.dim(1);
   Tensor out({m});
   const float* pa = a.data();
-  for (std::int64_t i = 0; i < m; ++i) {
-    double acc = 0.0;
-    for (std::int64_t j = 0; j < n; ++j) acc += pa[i * n + j];
-    out.at(i) = static_cast<float>(acc);
-  }
+  float* po = out.data();
+  parallel::parallel_for(0, m, row_grain(n), [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      double acc = 0.0;
+      for (std::int64_t j = 0; j < n; ++j) acc += pa[i * n + j];
+      po[i] = static_cast<float>(acc);
+    }
+  });
   return out;
 }
 
@@ -171,12 +294,16 @@ Tensor row_exp_sum(const Tensor& a, const Tensor& maxima) {
   VOCAB_CHECK(maxima.rank() == 1 && maxima.dim(0) == m, "row_exp_sum stats shape mismatch");
   Tensor out({m});
   const float* pa = a.data();
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float mi = maxima.at(i);
-    double acc = 0.0;
-    for (std::int64_t j = 0; j < n; ++j) acc += std::exp(static_cast<double>(pa[i * n + j] - mi));
-    out.at(i) = static_cast<float>(acc);
-  }
+  const float* pm = maxima.data();
+  float* po = out.data();
+  parallel::parallel_for(0, m, row_grain(n), [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const float mi = pm[i];
+      double acc = 0.0;
+      for (std::int64_t j = 0; j < n; ++j) acc += std::exp(static_cast<double>(pa[i * n + j] - mi));
+      po[i] = static_cast<float>(acc);
+    }
+  });
   return out;
 }
 
@@ -193,14 +320,18 @@ Tensor softmax_rows_with_stats(const Tensor& logits, const Tensor& maxima, const
   VOCAB_CHECK(sums.rank() == 1 && sums.dim(0) == m, "softmax stats (sum) shape mismatch");
   Tensor out({m, n});
   const float* pl = logits.data();
+  const float* pm = maxima.data();
+  const float* ps = sums.data();
   float* po = out.data();
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float mi = maxima.at(i);
-    const float inv = 1.0f / sums.at(i);
-    for (std::int64_t j = 0; j < n; ++j) {
-      po[i * n + j] = std::exp(pl[i * n + j] - mi) * inv;
+  parallel::parallel_for(0, m, row_grain(n), [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const float mi = pm[i];
+      const float inv = 1.0f / ps[i];
+      for (std::int64_t j = 0; j < n; ++j) {
+        po[i * n + j] = std::exp(pl[i * n + j] - mi) * inv;
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -226,10 +357,13 @@ Tensor one_hot(const std::vector<std::int64_t>& targets, std::int64_t classes) {
   VOCAB_CHECK(classes > 0, "one_hot requires classes > 0");
   const std::int64_t m = static_cast<std::int64_t>(targets.size());
   Tensor g({m, classes});
-  for (std::int64_t i = 0; i < m; ++i) {
-    const std::int64_t t = targets[static_cast<std::size_t>(i)];
-    if (t >= 0 && t < classes) g.at(i, t) = 1.0f;
-  }
+  float* pg = g.data();
+  parallel::parallel_for(0, m, row_grain(1), [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const std::int64_t t = targets[static_cast<std::size_t>(i)];
+      if (t >= 0 && t < classes) pg[i * classes + t] = 1.0f;
+    }
+  });
   return g;
 }
 
@@ -237,9 +371,13 @@ Tensor transpose(const Tensor& a) {
   check_rank2(a, "transpose");
   const std::int64_t m = a.dim(0), n = a.dim(1);
   Tensor out({n, m});
-  for (std::int64_t i = 0; i < m; ++i) {
-    for (std::int64_t j = 0; j < n; ++j) out.at(j, i) = a.at(i, j);
-  }
+  const float* pa = a.data();
+  float* po = out.data();
+  parallel::parallel_for(0, m, row_grain(n), [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      for (std::int64_t j = 0; j < n; ++j) po[j * m + i] = pa[i * n + j];
+    }
+  });
   return out;
 }
 
