@@ -1,0 +1,128 @@
+// schedule_lint: run the static schedule verifier over every generator ×
+// (p, vocabulary) configuration and print a diagnostics table — the CLI
+// face of src/analysis. A clean run certifies, without simulating, that
+// every shipped schedule is deadlock-free, semantically ordered, memory
+// balanced, and that the vocabulary schedules hold the paper's peak
+// activation closed forms (p / p+1 / p+2 microbatches).
+//
+//   ./build/bench/schedule_lint            # table + nonzero exit on findings
+//   ./build/bench/schedule_lint --csv      # machine-readable
+//   ./build/bench/schedule_lint --strict-streams   # also warn on sync
+//                                          # collectives (flags interlaced)
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/verifier.h"
+#include "common/table.h"
+#include "cost/cost_model.h"
+#include "schedule/layer_assignment.h"
+#include "schedule/ops.h"
+#include "schedule/schedule_1f1b.h"
+#include "schedule/schedule_1f1b_vocab.h"
+#include "schedule/schedule_gpipe.h"
+#include "schedule/schedule_interlaced.h"
+#include "schedule/schedule_vhalf.h"
+
+namespace {
+
+using namespace vocab;
+
+struct Case {
+  PipelineSchedule schedule;
+  double expected_peak = -1.0;  ///< paper closed form; < 0 when none applies
+};
+
+std::vector<Case> build_cases(int p, std::int64_t v) {
+  const CostModel cm(preset_1f1b(p, 2048, v), HardwareModel{});
+  const LayerAssignment uniform = uniform_assignment(cm.config().num_layers, p);
+  std::vector<Case> cases;
+  cases.push_back({build_1f1b(cm, p, uniform), static_cast<double>(p)});
+  cases.push_back({build_1f1b(cm, p, redis_assignment(cm, p), "redis"), static_cast<double>(p)});
+  cases.push_back({build_1f1b_vocab(cm, p, OutputAlgo::Alg1), static_cast<double>(p + 2)});
+  cases.push_back({build_1f1b_vocab(cm, p, OutputAlgo::Alg2), static_cast<double>(p + 1)});
+  cases.push_back({build_interlaced(cm, p, true), -1.0});
+  cases.push_back({build_interlaced(cm, p, false), -1.0});
+  cases.push_back({build_gpipe(cm, p, uniform), -1.0});
+  cases.push_back({build_gpipe_vocab(cm, p, OutputAlgo::Alg1), -1.0});
+  cases.push_back({build_gpipe_vocab(cm, p, OutputAlgo::Alg2), -1.0});
+  if (p == 16 || p == 24 || p == 32) {  // the Table-2 presets
+    const CostModel vh(preset_vhalf(p, 2048, v), HardwareModel{});
+    cases.push_back({build_vhalf(vh, p), -1.0});
+    cases.push_back({build_vhalf_vocab(vh, p), -1.0});
+  }
+  return cases;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool csv = false;
+  bool strict_streams = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) {
+      csv = true;
+    } else if (std::strcmp(argv[i], "--strict-streams") == 0) {
+      strict_streams = true;
+    } else {
+      std::cerr << "usage: schedule_lint [--csv] [--strict-streams]\n";
+      return 2;
+    }
+  }
+
+  Table table({"schedule", "p", "vocab", "ops", "peak mb", "errors", "warnings", "status"});
+  std::vector<std::string> reports;
+  int total_errors = 0;
+  int total_warnings = 0;
+
+  for (const int p : {8, 16, 32}) {
+    if (p != 8) table.add_separator();
+    for (const std::int64_t v : {std::int64_t{32768}, std::int64_t{262144}}) {
+      for (const Case& c : build_cases(p, v)) {
+        analysis::VerifyOptions opt;
+        opt.require_comm_stream_collectives = strict_streams;
+        opt.expected_peak_microbatches = c.expected_peak;
+        const std::vector<analysis::Diagnostic> diags = analysis::verify(c.schedule, opt);
+        int errors = 0, warnings = 0;
+        for (const auto& d : diags) {
+          (d.severity == analysis::Severity::Error ? errors : warnings)++;
+        }
+        total_errors += errors;
+        total_warnings += warnings;
+        const auto peaks = analysis::activation_peak_microbatches(c.schedule);
+        double peak = 0.0;
+        for (const double x : peaks) peak = std::max(peak, x);
+        table.add_row({c.schedule.name, std::to_string(p), fmt_count(v),
+                       std::to_string(c.schedule.ops.size()), fmt_f(peak, 1),
+                       std::to_string(errors), std::to_string(warnings),
+                       diags.empty() ? "ok" : (errors ? "FAIL" : "warn")});
+        if (!diags.empty()) {
+          // A single root cause repeated per op can produce thousands of
+          // diagnostics; show the first few and the count of the rest.
+          constexpr std::size_t kMaxShown = 8;
+          std::vector<analysis::Diagnostic> shown(
+              diags.begin(), diags.begin() + static_cast<std::ptrdiff_t>(
+                                                 std::min(diags.size(), kMaxShown)));
+          std::string r = "-- " + c.schedule.name + " (p=" + std::to_string(p) +
+                          ", V=" + std::to_string(v) + ") --\n" +
+                          analysis::render_report(shown);
+          if (diags.size() > kMaxShown) {
+            r += "  ... and " + std::to_string(diags.size() - kMaxShown) +
+                 " more diagnostic(s)\n";
+          }
+          reports.push_back(std::move(r));
+        }
+      }
+    }
+  }
+
+  std::cout << (csv ? table.to_csv() : table.to_string());
+  for (const std::string& r : reports) std::cout << "\n" << r;
+  std::cout << "\nschedule_lint: " << total_errors << " error(s), " << total_warnings
+            << " warning(s)\n";
+  return total_errors > 0 ? 1 : 0;
+}

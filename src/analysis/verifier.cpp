@@ -1,0 +1,613 @@
+#include "analysis/verifier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "common/error.h"
+
+namespace vocab::analysis {
+
+const char* to_string(Severity s) {
+  switch (s) {
+    case Severity::Error: return "error";
+    case Severity::Warning: return "warning";
+  }
+  return "?";
+}
+
+const char* to_string(Check c) {
+  switch (c) {
+    case Check::OpIndex: return "op-index";
+    case Check::DeviceRange: return "device-range";
+    case Check::DepRange: return "dep-range";
+    case Check::NegativeDuration: return "negative-duration";
+    case Check::NegativeBytes: return "negative-bytes";
+    case Check::LaneMembership: return "lane-membership";
+    case Check::CollectiveShape: return "collective-shape";
+    case Check::CollectiveOrder: return "collective-order";
+    case Check::DependencyCycle: return "dependency-cycle";
+    case Check::SemanticOrder: return "semantic-order";
+    case Check::MemoryBalance: return "memory-balance";
+    case Check::PeakActivation: return "peak-activation";
+    case Check::StreamDiscipline: return "stream-discipline";
+  }
+  return "?";
+}
+
+std::string to_string(const Diagnostic& d) {
+  std::ostringstream oss;
+  oss << to_string(d.severity) << " [" << to_string(d.check) << "]";
+  if (!d.ops.empty()) {
+    oss << " ops{";
+    for (std::size_t i = 0; i < d.ops.size(); ++i) oss << (i ? "," : "") << d.ops[i];
+    oss << "}";
+  }
+  oss << ": " << d.message;
+  if (!d.hint.empty()) oss << " (hint: " << d.hint << ")";
+  return oss.str();
+}
+
+std::string render_report(const std::vector<Diagnostic>& diags) {
+  std::ostringstream oss;
+  for (const Diagnostic& d : diags) oss << to_string(d) << "\n";
+  return oss.str();
+}
+
+namespace {
+
+bool is_compute_pass(OpKind k) {
+  switch (k) {
+    case OpKind::Forward:
+    case OpKind::BackwardFull:
+    case OpKind::BackwardInput:
+    case OpKind::BackwardWeight:
+    case OpKind::OutputS:
+    case OpKind::OutputT:
+    case OpKind::InputFwd:
+    case OpKind::InputBwd:
+      return true;
+    case OpKind::Collective:
+    case OpKind::Sync:
+      return false;
+  }
+  return false;
+}
+
+bool is_backward_pass(OpKind k) {
+  return k == OpKind::BackwardFull || k == OpKind::BackwardInput || k == OpKind::BackwardWeight;
+}
+
+class Verifier {
+ public:
+  Verifier(const PipelineSchedule& s, const VerifyOptions& opt) : s_(s), opt_(opt) {}
+
+  std::vector<Diagnostic> run() {
+    if (!check_shape()) return std::move(diags_);
+    check_ops();
+    if (!ids_consistent_) return std::move(diags_);  // indexing by id is unsafe
+    check_lanes();
+    check_collectives();
+    check_cycles();
+    check_semantic_order();
+    check_memory();
+    check_streams();
+    return std::move(diags_);
+  }
+
+ private:
+  void report(Severity sev, Check check, std::vector<int> ops, std::string message,
+              std::string hint) {
+    diags_.push_back({sev, check, std::move(ops), std::move(message), std::move(hint)});
+  }
+
+  // --- schedule-level shape -------------------------------------------------
+
+  bool check_shape() {
+    if (s_.num_devices <= 0) {
+      report(Severity::Error, Check::DeviceRange, {},
+             "schedule has " + std::to_string(s_.num_devices) + " devices",
+             "a schedule needs at least one device");
+      return false;
+    }
+    bool ok = true;
+    if (static_cast<int>(s_.devices.size()) != s_.num_devices) {
+      report(Severity::Error, Check::LaneMembership, {},
+             "devices[] has " + std::to_string(s_.devices.size()) + " lane sets for " +
+                 std::to_string(s_.num_devices) + " devices",
+             "finalize() must emit one DeviceLanes per device");
+      ok = false;
+    }
+    if (static_cast<int>(s_.base_bytes.size()) != s_.num_devices) {
+      report(Severity::Error, Check::MemoryBalance, {},
+             "base_bytes has " + std::to_string(s_.base_bytes.size()) + " entries for " +
+                 std::to_string(s_.num_devices) + " devices",
+             "pass one resident-bytes figure per device to finalize()");
+    }
+    return ok;
+  }
+
+  // --- per-op structural checks --------------------------------------------
+
+  void check_ops() {
+    const int n = static_cast<int>(s_.ops.size());
+    for (int i = 0; i < n; ++i) {
+      const Op& o = s_.ops[static_cast<std::size_t>(i)];
+      if (o.id != i) {
+        report(Severity::Error, Check::OpIndex, {i},
+               "op at index " + std::to_string(i) + " carries id " + std::to_string(o.id),
+               "ScheduleBuilder::add assigns ids; do not renumber ops");
+        ids_consistent_ = false;
+      }
+      if (o.device < 0 || o.device >= s_.num_devices) {
+        report(Severity::Error, Check::DeviceRange, {i},
+               "op " + std::to_string(i) + " placed on device " + std::to_string(o.device) +
+                   " of " + std::to_string(s_.num_devices),
+               "device must be in [0, num_devices)");
+      }
+      if (o.duration < 0) {
+        report(Severity::Error, Check::NegativeDuration, {i},
+               "op " + std::to_string(i) + " has negative duration", "durations are seconds >= 0");
+      }
+      if (o.alloc_bytes < 0 || o.free_bytes < 0) {
+        report(Severity::Error, Check::NegativeBytes, {i},
+               "op " + std::to_string(i) + " has a negative memory delta",
+               "model frees via free_bytes, not negative allocs");
+      }
+      for (const int d : o.deps) {
+        if (d < 0 || d >= n) {
+          report(Severity::Error, Check::DepRange, {i, d},
+                 "op " + std::to_string(i) + " depends on nonexistent op " + std::to_string(d),
+                 "dangling dependency edge; the dep was never added to the schedule");
+        } else if (d == i) {
+          report(Severity::Error, Check::DepRange, {i},
+                 "op " + std::to_string(i) + " depends on itself",
+                 "an op cannot wait for its own completion");
+        }
+      }
+    }
+  }
+
+  // --- lane membership -------------------------------------------------------
+
+  void check_lanes() {
+    const int n = static_cast<int>(s_.ops.size());
+    std::vector<int> seen(static_cast<std::size_t>(n), 0);
+    for (int dev = 0; dev < s_.num_devices; ++dev) {
+      const DeviceLanes& lanes = s_.devices[static_cast<std::size_t>(dev)];
+      for (const Stream st : {Stream::Compute, Stream::Comm, Stream::CommAlt}) {
+        for (const int id : lanes.lane(st)) {
+          if (id < 0 || id >= n) {
+            report(Severity::Error, Check::LaneMembership, {id},
+                   "device " + std::to_string(dev) + " lane references nonexistent op " +
+                       std::to_string(id),
+                   "lanes may only name ops of this schedule");
+            continue;
+          }
+          const Op& o = s_.ops[static_cast<std::size_t>(id)];
+          if (o.device != dev) {
+            report(Severity::Error, Check::LaneMembership, {id},
+                   "op " + std::to_string(id) + " issued on device " + std::to_string(dev) +
+                       " but belongs to device " + std::to_string(o.device),
+                   "issue each op on its own device");
+          }
+          if (o.stream != st) {
+            report(Severity::Error, Check::LaneMembership, {id},
+                   "op " + std::to_string(id) + " issued on the wrong stream lane",
+                   "lane(stream) must only hold ops of that stream");
+          }
+          ++seen[static_cast<std::size_t>(id)];
+        }
+      }
+    }
+    for (int i = 0; i < n; ++i) {
+      if (seen[static_cast<std::size_t>(i)] != 1) {
+        report(Severity::Error, Check::LaneMembership, {i},
+               "op " + std::to_string(i) + " (" + s_.ops[static_cast<std::size_t>(i)].label +
+                   ") issued " + std::to_string(seen[static_cast<std::size_t>(i)]) + " times",
+               "every op must appear exactly once across all lanes");
+      }
+    }
+  }
+
+  // --- collective membership -------------------------------------------------
+
+  void check_collectives() {
+    for (const Op& o : s_.ops) {
+      if (o.collective >= 0) groups_[o.collective].push_back(o.id);
+    }
+    for (const auto& [cid, members] : groups_) {
+      const Op& first = s_.ops[static_cast<std::size_t>(members[0])];
+      if (members.size() < 2) {
+        report(Severity::Error, Check::CollectiveShape, members,
+               "collective " + std::to_string(cid) + " has a single member",
+               "a collective must rendezvous >= 2 devices");
+      }
+      std::set<int> devs;
+      for (const int id : members) {
+        const Op& o = s_.ops[static_cast<std::size_t>(id)];
+        if (o.kind != OpKind::Collective) {
+          report(Severity::Error, Check::CollectiveShape, {id},
+                 "op " + std::to_string(id) + " carries collective id " + std::to_string(cid) +
+                     " but has kind " + vocab::to_string(o.kind),
+                 "only OpKind::Collective ops may join a collective group");
+        }
+        if (o.stream != first.stream) {
+          report(Severity::Error, Check::CollectiveShape, {id, first.id},
+                 "collective " + std::to_string(cid) + " spans streams",
+                 "all members of a group must share one stream");
+        }
+        if (o.duration != first.duration) {
+          report(Severity::Error, Check::CollectiveShape, {id, first.id},
+                 "collective " + std::to_string(cid) + " members disagree on duration",
+                 "members start and end together, so durations must match");
+        }
+        if (!devs.insert(o.device).second) {
+          report(Severity::Error, Check::CollectiveShape, {id},
+                 "collective " + std::to_string(cid) + " has two ops on device " +
+                     std::to_string(o.device),
+                 "one member per participating device");
+        }
+      }
+    }
+
+    // Cross-device relative order of shared collectives (the classic NCCL
+    // deadlock: two ranks enqueue the same pair of collectives in opposite
+    // orders). Project each device's lanes onto collective ids and demand
+    // every pair of devices agree on the subsequence of shared groups.
+    std::vector<std::vector<int>> order(static_cast<std::size_t>(s_.num_devices));
+    for (int dev = 0; dev < s_.num_devices; ++dev) {
+      for (const Stream st : {Stream::Compute, Stream::Comm, Stream::CommAlt}) {
+        for (const int id : s_.devices[static_cast<std::size_t>(dev)].lane(st)) {
+          if (id < 0 || id >= static_cast<int>(s_.ops.size())) continue;
+          if (s_.ops[static_cast<std::size_t>(id)].collective >= 0) {
+            order[static_cast<std::size_t>(dev)].push_back(
+                s_.ops[static_cast<std::size_t>(id)].collective);
+          }
+        }
+      }
+    }
+    for (int a = 0; a < s_.num_devices; ++a) {
+      for (int b = a + 1; b < s_.num_devices; ++b) {
+        const std::set<int> on_a(order[static_cast<std::size_t>(a)].begin(),
+                                 order[static_cast<std::size_t>(a)].end());
+        const std::set<int> on_b(order[static_cast<std::size_t>(b)].begin(),
+                                 order[static_cast<std::size_t>(b)].end());
+        std::vector<int> sub_a, sub_b;
+        for (const int c : order[static_cast<std::size_t>(a)]) {
+          if (on_b.contains(c)) sub_a.push_back(c);
+        }
+        for (const int c : order[static_cast<std::size_t>(b)]) {
+          if (on_a.contains(c)) sub_b.push_back(c);
+        }
+        if (sub_a != sub_b) {
+          report(Severity::Error, Check::CollectiveOrder, {a, b},
+                 "devices " + std::to_string(a) + " and " + std::to_string(b) +
+                     " issue shared collectives in different orders",
+                 "reorder the issue slots so every rank enqueues groups identically");
+          return;  // one pair suffices; further pairs repeat the same story
+        }
+      }
+    }
+  }
+
+  // --- deadlock-freedom as acyclicity ---------------------------------------
+  //
+  // Execution model: each lane runs serially in issue order; an op starts
+  // when its lane predecessor finished and its deps finished; a collective's
+  // members start (and end) together. Contract every collective group to a
+  // single node; add dep edges and lane-successor edges between nodes. The
+  // schedule can always make progress iff this condensed graph is acyclic —
+  // so a topological sort here is a deadlock-freedom proof for the
+  // simulator and for a real stream-ordered runtime alike.
+
+  int rep_of(int id) const {
+    const Op& o = s_.ops[static_cast<std::size_t>(id)];
+    if (o.collective < 0) return id;
+    const auto it = groups_.find(o.collective);
+    return it == groups_.end() ? id : it->second.front();
+  }
+
+  void check_cycles() {
+    const int n = static_cast<int>(s_.ops.size());
+    std::vector<std::set<int>> adj(static_cast<std::size_t>(n));
+    auto add_edge = [&](int from, int to, bool from_dep, int dep_from, int dep_to) {
+      if (from == to) {
+        if (from_dep) {
+          report(Severity::Error, Check::DependencyCycle, {dep_to, dep_from},
+                 "op " + std::to_string(dep_to) + " depends on op " + std::to_string(dep_from) +
+                     ", a member of its own collective group",
+                 "collective members start together, so an intra-group dep can never be "
+                 "satisfied; depend on the producer of the group instead");
+        }
+        return;
+      }
+      adj[static_cast<std::size_t>(from)].insert(to);
+    };
+    for (const Op& o : s_.ops) {
+      for (const int d : o.deps) {
+        if (d < 0 || d >= n || d == o.id) continue;  // reported by check_ops
+        add_edge(rep_of(d), rep_of(o.id), /*from_dep=*/true, d, o.id);
+      }
+    }
+    for (int dev = 0; dev < s_.num_devices; ++dev) {
+      for (const Stream st : {Stream::Compute, Stream::Comm, Stream::CommAlt}) {
+        const auto& lane = s_.devices[static_cast<std::size_t>(dev)].lane(st);
+        for (std::size_t i = 1; i < lane.size(); ++i) {
+          if (lane[i - 1] < 0 || lane[i - 1] >= n || lane[i] < 0 || lane[i] >= n) continue;
+          add_edge(rep_of(lane[i - 1]), rep_of(lane[i]), /*from_dep=*/false, 0, 0);
+        }
+      }
+    }
+
+    // Kahn's algorithm over the condensed graph.
+    std::vector<int> indeg(static_cast<std::size_t>(n), 0);
+    for (int u = 0; u < n; ++u) {
+      for (const int v : adj[static_cast<std::size_t>(u)]) ++indeg[static_cast<std::size_t>(v)];
+    }
+    std::vector<int> queue;
+    for (int u = 0; u < n; ++u) {
+      if (rep_of(u) == u && indeg[static_cast<std::size_t>(u)] == 0) queue.push_back(u);
+    }
+    int processed = 0;
+    int node_count = 0;
+    for (int u = 0; u < n; ++u) {
+      if (rep_of(u) == u) ++node_count;
+    }
+    while (!queue.empty()) {
+      const int u = queue.back();
+      queue.pop_back();
+      ++processed;
+      for (const int v : adj[static_cast<std::size_t>(u)]) {
+        if (--indeg[static_cast<std::size_t>(v)] == 0) queue.push_back(v);
+      }
+    }
+    if (processed == node_count) return;
+
+    // A cycle exists among nodes with indeg > 0; walk it for the report.
+    int start = -1;
+    for (int u = 0; u < n; ++u) {
+      if (rep_of(u) == u && indeg[static_cast<std::size_t>(u)] > 0) {
+        start = u;
+        break;
+      }
+    }
+    std::vector<int> path;
+    std::vector<int> pos_in_path(static_cast<std::size_t>(n), -1);
+    int cur = start;
+    while (pos_in_path[static_cast<std::size_t>(cur)] < 0) {
+      pos_in_path[static_cast<std::size_t>(cur)] = static_cast<int>(path.size());
+      path.push_back(cur);
+      int next = -1;
+      for (const int v : adj[static_cast<std::size_t>(cur)]) {
+        if (indeg[static_cast<std::size_t>(v)] > 0) {
+          next = v;
+          break;
+        }
+      }
+      if (next < 0) break;  // defensive; cannot happen in a stuck subgraph
+      cur = next;
+    }
+    std::vector<int> cycle_ops;
+    std::ostringstream msg;
+    msg << "dependency + issue-order + collective-coupling graph has a cycle:";
+    if (pos_in_path[static_cast<std::size_t>(cur)] >= 0) {
+      for (std::size_t i = static_cast<std::size_t>(pos_in_path[static_cast<std::size_t>(cur)]);
+           i < path.size(); ++i) {
+        const int repr = path[i];
+        const Op& ro = s_.ops[static_cast<std::size_t>(repr)];
+        msg << " " << (ro.label.empty() ? std::to_string(repr) : ro.label) << "(id "
+            << repr << ")";
+        if (ro.collective >= 0) {
+          for (const int m : groups_.at(ro.collective)) cycle_ops.push_back(m);
+        } else {
+          cycle_ops.push_back(repr);
+        }
+      }
+    }
+    report(Severity::Error, Check::DependencyCycle, cycle_ops, msg.str(),
+           "this schedule deadlocks on any stream-ordered runtime; break the cycle by "
+           "reordering issue slots or removing the offending dep");
+  }
+
+  // --- per-microbatch semantic ordering -------------------------------------
+  //
+  // All per-microbatch pass pairs we constrain live on the *same* device and
+  // stream, where issue order equals execution order (a lane is serial), so
+  // a simple lane-position comparison is a sound proof of the runtime order.
+
+  void check_semantic_order() {
+    const int n = static_cast<int>(s_.ops.size());
+    // lane_pos[id] = position of op id within its lane, or -1 if not issued.
+    std::vector<int> lane_pos(static_cast<std::size_t>(n), -1);
+    for (int dev = 0; dev < s_.num_devices; ++dev) {
+      for (const Stream st : {Stream::Compute, Stream::Comm, Stream::CommAlt}) {
+        const auto& lane = s_.devices[static_cast<std::size_t>(dev)].lane(st);
+        for (std::size_t i = 0; i < lane.size(); ++i) {
+          if (lane[i] >= 0 && lane[i] < n) {
+            lane_pos[static_cast<std::size_t>(lane[i])] = static_cast<int>(i);
+          }
+        }
+      }
+    }
+    auto same_lane = [&](const Op& a, const Op& b) {
+      return a.device == b.device && a.stream == b.stream &&
+             lane_pos[static_cast<std::size_t>(a.id)] >= 0 &&
+             lane_pos[static_cast<std::size_t>(b.id)] >= 0;
+    };
+    auto require_before = [&](const Op& first, const Op& second, const std::string& what,
+                              const std::string& hint) {
+      if (!same_lane(first, second)) return;  // odd placement; stream checks cover it
+      if (lane_pos[static_cast<std::size_t>(first.id)] >=
+          lane_pos[static_cast<std::size_t>(second.id)]) {
+        report(Severity::Error, Check::SemanticOrder, {second.id, first.id},
+               what + " violated for microbatch " + std::to_string(first.microbatch) +
+                   " on device " + std::to_string(first.device) + ": " + second.label +
+                   " (id " + std::to_string(second.id) + ") issued before " + first.label +
+                   " (id " + std::to_string(first.id) + ")",
+               hint);
+      }
+    };
+
+    // Bucket compute passes by (device, microbatch).
+    std::map<std::pair<int, int>, std::vector<const Op*>> buckets;
+    for (const Op& o : s_.ops) {
+      if (is_compute_pass(o.kind) && o.microbatch >= 0 && o.device >= 0 &&
+          o.device < s_.num_devices) {
+        buckets[{o.device, o.microbatch}].push_back(&o);
+      }
+    }
+    for (const auto& [key, ops] : buckets) {
+      (void)key;
+      for (const Op* a : ops) {
+        for (const Op* b : ops) {
+          if (a->kind == OpKind::Forward && is_backward_pass(b->kind) && a->chunk == b->chunk &&
+              b->kind != OpKind::BackwardWeight) {
+            require_before(*a, *b, "forward-before-backward",
+                           "a microbatch's B/BI cannot be issued ahead of its F");
+          }
+          if (a->kind == OpKind::BackwardInput && b->kind == OpKind::BackwardWeight &&
+              a->chunk == b->chunk) {
+            require_before(*a, *b, "activation-grad-before-weight-grad",
+                           "W consumes BI's intermediate; issue BI first");
+          }
+          if (a->kind == OpKind::OutputS && b->kind == OpKind::OutputT) {
+            require_before(*a, *b, "S-before-T",
+                           "the T pass consumes the S pass's shard state (softmax "
+                           "statistics); issue S first");
+          }
+          if (a->kind == OpKind::InputFwd && b->kind == OpKind::InputBwd) {
+            require_before(*a, *b, "input-layer fwd/bwd bracketing",
+                           "the input layer's backward must follow its forward");
+          }
+          if (a->kind == OpKind::InputFwd && b->kind == OpKind::Forward && b->chunk == 0) {
+            require_before(*a, *b, "input-before-first-forward",
+                           "the sharded input layer feeds stage 0's F via the "
+                           "embedding all-reduce; issue i ahead of F");
+          }
+        }
+      }
+    }
+  }
+
+  // --- memory accounting -----------------------------------------------------
+
+  void check_memory() {
+    std::vector<double> alloc(static_cast<std::size_t>(s_.num_devices), 0.0);
+    std::vector<double> freed(static_cast<std::size_t>(s_.num_devices), 0.0);
+    for (const Op& o : s_.ops) {
+      if (o.device < 0 || o.device >= s_.num_devices) continue;
+      alloc[static_cast<std::size_t>(o.device)] += std::max(0.0, o.alloc_bytes);
+      freed[static_cast<std::size_t>(o.device)] += std::max(0.0, o.free_bytes);
+    }
+    for (int d = 0; d < s_.num_devices; ++d) {
+      const double a = alloc[static_cast<std::size_t>(d)];
+      const double f = freed[static_cast<std::size_t>(d)];
+      const double tol = opt_.memory_balance_rtol * std::max({a, f, 1.0});
+      if (std::abs(a - f) > tol) {
+        report(Severity::Error, Check::MemoryBalance, {d},
+               "device " + std::to_string(d) + " allocates " + std::to_string(a) +
+                   " bytes but frees " + std::to_string(f) + " over the iteration",
+               "every transient allocation must be released before the next iteration, "
+               "or peak memory grows without bound across iterations");
+      }
+    }
+
+    if (opt_.expected_peak_microbatches >= 0) {
+      const std::vector<double> peaks = activation_peak_microbatches(s_);
+      const double got = peaks.empty() ? 0.0 : *std::max_element(peaks.begin(), peaks.end());
+      if (std::abs(got - opt_.expected_peak_microbatches) > 1e-6) {
+        report(Severity::Error, Check::PeakActivation, {},
+               "symbolic peak activation is " + std::to_string(got) +
+                   " microbatches, expected " +
+                   std::to_string(opt_.expected_peak_microbatches),
+               "the paper's closed forms are p (1F1B), p+1 (Vocab Alg2), p+2 (Vocab "
+               "Alg1): one extra in-flight microbatch per communication barrier");
+      }
+    }
+  }
+
+  // --- stream discipline -----------------------------------------------------
+
+  void check_streams() {
+    for (const Op& o : s_.ops) {
+      if (is_compute_pass(o.kind) && o.stream != Stream::Compute) {
+        report(Severity::Error, Check::StreamDiscipline, {o.id},
+               std::string("compute pass ") + vocab::to_string(o.kind) + " (id " +
+                   std::to_string(o.id) + ") issued on a communication stream",
+               "comm streams model NCCL queues; compute kernels belong on "
+               "Stream::Compute");
+      }
+      if (opt_.require_comm_stream_collectives && o.kind == OpKind::Collective &&
+          o.stream == Stream::Compute) {
+        report(Severity::Warning, Check::StreamDiscipline, {o.id},
+               "collective (id " + std::to_string(o.id) + ", '" + o.label +
+                   "') issued on the compute stream",
+               "synchronous collectives serialize with compute; move the barrier to "
+               "Stream::Comm/CommAlt so it overlaps (paper section 6.1)");
+      }
+    }
+  }
+
+  const PipelineSchedule& s_;
+  const VerifyOptions& opt_;
+  std::vector<Diagnostic> diags_;
+  bool ids_consistent_ = true;
+  std::map<int, std::vector<int>> groups_;  // collective id -> member op ids
+};
+
+}  // namespace
+
+std::vector<Diagnostic> verify(const PipelineSchedule& schedule, const VerifyOptions& options) {
+  return Verifier(schedule, options).run();
+}
+
+void verify_or_throw(const PipelineSchedule& schedule, const VerifyOptions& options) {
+  const std::vector<Diagnostic> diags = verify(schedule, options);
+  const bool fatal = std::any_of(diags.begin(), diags.end(), [](const Diagnostic& d) {
+    return d.severity == Severity::Error;
+  });
+  if (fatal) {
+    VOCAB_FAIL("schedule '" << schedule.name << "' failed static verification:\n"
+                            << render_report(diags));
+  }
+}
+
+std::vector<double> activation_peak_microbatches(const PipelineSchedule& schedule) {
+  std::vector<double> peaks(static_cast<std::size_t>(std::max(0, schedule.num_devices)), 0.0);
+  const int n = static_cast<int>(schedule.ops.size());
+  for (int dev = 0; dev < schedule.num_devices; ++dev) {
+    const auto& lane = schedule.devices[static_cast<std::size_t>(dev)].lane(Stream::Compute);
+    // Unit = one forward pass's activation allocation on this device; the
+    // generators emit homogeneous forwards per device, so the first one
+    // defines the microbatch unit.
+    double unit = 0.0;
+    for (const int id : lane) {
+      if (id < 0 || id >= n) continue;
+      const Op& o = schedule.ops[static_cast<std::size_t>(id)];
+      if (o.kind == OpKind::Forward && o.alloc_bytes > 0) {
+        unit = o.alloc_bytes;
+        break;
+      }
+    }
+    if (unit <= 0) continue;
+    double live = 0.0, peak = 0.0;
+    for (const int id : lane) {
+      if (id < 0 || id >= n) continue;
+      const Op& o = schedule.ops[static_cast<std::size_t>(id)];
+      if (o.kind == OpKind::Forward && o.alloc_bytes > 0) {
+        live += o.alloc_bytes / unit;
+        peak = std::max(peak, live);
+      } else if (is_backward_pass(o.kind) && o.free_bytes > 0) {
+        live -= o.free_bytes / unit;
+      }
+    }
+    peaks[static_cast<std::size_t>(dev)] = peak;
+  }
+  return peaks;
+}
+
+}  // namespace vocab::analysis

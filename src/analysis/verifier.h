@@ -1,0 +1,108 @@
+#pragma once
+
+// Static schedule verifier: proves the pipeline invariants of a
+// PipelineSchedule without simulating it.
+//
+// The simulator (src/sim) observes properties dynamically — a dropped
+// dependency edge or a mis-grouped collective shows up as a deadlock timeout
+// or mysterious makespan drift. This pass instead *decides* them on the IR:
+//
+//   (a) graph well-formedness — ids/deps in range, and acyclicity of the
+//       dependency graph augmented with the per-stream issue-order edges and
+//       the start/end-together coupling of collectives (members contracted
+//       to one node). Acyclicity of that condensed graph is exactly
+//       deadlock-freedom of the stream-ordered execution model, so the
+//       simulator terminating becomes a theorem rather than a timeout.
+//   (b) semantic ordering per (device, microbatch) — F before B/BI, BI
+//       before BW, OutputS before OutputT, input-layer fwd/bwd bracketing,
+//       and collective membership consistency (same id => same kind, one op
+//       per member device, one stream).
+//   (c) memory accounting — alloc/free balance per device, plus a symbolic
+//       peak-activation count (in microbatches of lifespan) that reproduces
+//       the paper's closed forms: p for 1F1B, p+1 for 1F1B-vocab Algorithm 2,
+//       p+2 for Algorithm 1 (one extra microbatch per communication barrier).
+//   (d) stream discipline — compute passes never issue on a communication
+//       stream; optionally, collectives never issue on the compute stream
+//       (the interlaced baseline violates this *by design*, which is the
+//       paper's Appendix B.2 ablation, so that check is opt-in).
+//
+// All checks report machine-readable Diagnostics (op ids, severity, fix
+// hint) instead of throwing, so corrupted schedules can be inspected; use
+// verify_or_throw for the precondition form.
+
+#include <string>
+#include <vector>
+
+#include "schedule/ops.h"
+
+namespace vocab::analysis {
+
+enum class Severity { Error, Warning };
+
+/// Which invariant a diagnostic belongs to (stable codes for tests/tools).
+enum class Check {
+  OpIndex,           ///< op id != its index in `ops`
+  DeviceRange,       ///< op device outside [0, num_devices)
+  DepRange,          ///< dangling or self dependency edge
+  NegativeDuration,  ///< duration < 0
+  NegativeBytes,     ///< alloc/free bytes < 0
+  LaneMembership,    ///< op missing from / duplicated on / on the wrong lane
+  CollectiveShape,   ///< group membership inconsistent (kind/stream/devices)
+  CollectiveOrder,   ///< shared collectives issued in different orders
+  DependencyCycle,   ///< cycle through deps + issue order + collective coupling
+  SemanticOrder,     ///< per-microbatch pass ordering violated
+  MemoryBalance,     ///< per-device alloc/free totals diverge
+  PeakActivation,    ///< symbolic peak-activation count != expectation
+  StreamDiscipline,  ///< compute pass on a comm stream (or barrier on compute)
+};
+
+[[nodiscard]] const char* to_string(Severity s);
+[[nodiscard]] const char* to_string(Check c);
+
+/// One finding. `ops` lists the implicated op ids (primary first).
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  Check check = Check::OpIndex;
+  std::vector<int> ops;
+  std::string message;
+  std::string hint;  ///< how to fix the generator, e.g. "add a dep edge"
+};
+
+[[nodiscard]] std::string to_string(const Diagnostic& d);
+
+/// Multi-line report, one diagnostic per line; empty string when clean.
+[[nodiscard]] std::string render_report(const std::vector<Diagnostic>& diags);
+
+struct VerifyOptions {
+  /// Report Collective ops issued on Stream::Compute as warnings. Off by
+  /// default: the interlaced schedule places its rendezvous there on purpose
+  /// (Appendix B.2); turn on for schedules that promise async barriers.
+  bool require_comm_stream_collectives = false;
+
+  /// Relative tolerance for the per-device alloc/free balance check.
+  double memory_balance_rtol = 1e-9;
+
+  /// When >= 0, additionally assert max-over-devices of
+  /// activation_peak_microbatches() equals this (paper closed forms:
+  /// p / p+1 / p+2). < 0 skips the check.
+  double expected_peak_microbatches = -1.0;
+};
+
+/// Run every check; returns all findings (empty == certified).
+[[nodiscard]] std::vector<Diagnostic> verify(const PipelineSchedule& schedule,
+                                             const VerifyOptions& options = {});
+
+/// Throw CheckError with the rendered report if verify() finds any
+/// Error-severity diagnostic (warnings are allowed through).
+void verify_or_throw(const PipelineSchedule& schedule, const VerifyOptions& options = {});
+
+/// Symbolic peak activation memory per device, in microbatches of lifespan:
+/// scan each device's compute lane in issue order, counting transformer
+/// Forward passes (+1 each) against the backward passes that release them
+/// (weighted by the fraction of a forward's allocation they free, so split
+/// B/W backwards contribute 2/3 + 1/3). Because a lane executes serially,
+/// the lane-order maximum of this count *is* the runtime maximum — no
+/// simulation involved. Devices with no Forward allocation report 0.
+[[nodiscard]] std::vector<double> activation_peak_microbatches(const PipelineSchedule& schedule);
+
+}  // namespace vocab::analysis

@@ -1,10 +1,13 @@
 #include "sim/pipeline_sim.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <limits>
 #include <map>
 #include <sstream>
+#include <string_view>
 
+#include "analysis/verifier.h"
 #include "common/error.h"
 
 namespace vocab {
@@ -35,6 +38,22 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
+/// Debug builds statically verify every simulated schedule; release builds
+/// opt in with VOCAB_VERIFY_SCHEDULES=1 (any value but "0"). The verifier
+/// proves deadlock-freedom, so a failure here points at the generator, not
+/// at the simulation.
+bool verify_precondition_enabled() {
+#ifndef NDEBUG
+  return true;
+#else
+  static const bool enabled = [] {
+    const char* e = std::getenv("VOCAB_VERIFY_SCHEDULES");
+    return e != nullptr && std::string_view(e) != "" && std::string_view(e) != "0";
+  }();
+  return enabled;
+#endif
+}
+
 struct Lane {
   const std::vector<int>* order = nullptr;
   std::size_t next = 0;
@@ -48,6 +67,7 @@ struct Lane {
 
 SimResult simulate(const PipelineSchedule& schedule, double memory_capacity) {
   schedule.validate();
+  if (verify_precondition_enabled()) analysis::verify_or_throw(schedule);
   const int n = static_cast<int>(schedule.ops.size());
   const int p = schedule.num_devices;
 
