@@ -240,7 +240,9 @@ class Verifier {
                  "collective " + std::to_string(cid) + " spans streams",
                  "all members of a group must share one stream");
         }
-        if (o.duration != first.duration) {
+        const double dur_tol = opt_.collective_duration_rtol *
+                               std::max({std::abs(o.duration), std::abs(first.duration), 1.0});
+        if (std::abs(o.duration - first.duration) > dur_tol) {
           report(Severity::Error, Check::CollectiveShape, {id, first.id},
                  "collective " + std::to_string(cid) + " members disagree on duration",
                  "members start and end together, so durations must match");
@@ -367,13 +369,44 @@ class Verifier {
     }
     if (processed == node_count) return;
 
-    // A cycle exists among nodes with indeg > 0; walk it for the report.
+    // Nodes Kahn never processed (indeg still > 0) are everything on *or
+    // downstream of* a cycle; walking from an arbitrary one can dead-end at
+    // an unprocessed sink and report a non-cycle path. Peel that downstream
+    // tail first — iteratively drop unprocessed nodes with no unprocessed
+    // successor (reverse Kahn) — so only true cycle members remain, then
+    // walk within them.
+    std::vector<char> on_cycle(static_cast<std::size_t>(n), 0);
+    for (int u = 0; u < n; ++u) {
+      on_cycle[static_cast<std::size_t>(u)] =
+          rep_of(u) == u && indeg[static_cast<std::size_t>(u)] > 0;
+    }
+    bool peeled = true;
+    while (peeled) {
+      peeled = false;
+      for (int u = 0; u < n; ++u) {
+        if (!on_cycle[static_cast<std::size_t>(u)]) continue;
+        const auto& succs = adj[static_cast<std::size_t>(u)];
+        const bool has_live_succ = std::any_of(succs.begin(), succs.end(), [&](int v) {
+          return on_cycle[static_cast<std::size_t>(v)] != 0;
+        });
+        if (!has_live_succ) {
+          on_cycle[static_cast<std::size_t>(u)] = 0;
+          peeled = true;
+        }
+      }
+    }
     int start = -1;
     for (int u = 0; u < n; ++u) {
-      if (rep_of(u) == u && indeg[static_cast<std::size_t>(u)] > 0) {
+      if (on_cycle[static_cast<std::size_t>(u)]) {
         start = u;
         break;
       }
+    }
+    if (start < 0) {  // defensive; the peel cannot remove genuine cycle members
+      report(Severity::Error, Check::DependencyCycle, {},
+             "dependency + issue-order + collective-coupling graph has a cycle",
+             "this schedule deadlocks on any stream-ordered runtime");
+      return;
     }
     std::vector<int> path;
     std::vector<int> pos_in_path(static_cast<std::size_t>(n), -1);
@@ -383,12 +416,12 @@ class Verifier {
       path.push_back(cur);
       int next = -1;
       for (const int v : adj[static_cast<std::size_t>(cur)]) {
-        if (indeg[static_cast<std::size_t>(v)] > 0) {
+        if (on_cycle[static_cast<std::size_t>(v)]) {
           next = v;
           break;
         }
       }
-      if (next < 0) break;  // defensive; cannot happen in a stuck subgraph
+      if (next < 0) break;  // defensive; after the peel every node has a live successor
       cur = next;
     }
     std::vector<int> cycle_ops;

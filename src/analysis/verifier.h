@@ -82,6 +82,11 @@ struct VerifyOptions {
   /// Relative tolerance for the per-device alloc/free balance check.
   double memory_balance_rtol = 1e-9;
 
+  /// Relative tolerance for the collective members' duration-match check
+  /// (per-device durations may be computed through different arithmetic
+  /// paths and differ by an ULP without being a real shape error).
+  double collective_duration_rtol = 1e-9;
+
   /// When >= 0, additionally assert max-over-devices of
   /// activation_peak_microbatches() equals this (paper closed forms:
   /// p / p+1 / p+2). < 0 skips the check.

@@ -38,20 +38,26 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-/// Debug builds statically verify every simulated schedule; release builds
-/// opt in with VOCAB_VERIFY_SCHEDULES=1 (any value but "0"). The verifier
-/// proves deadlock-freedom, so a failure here points at the generator, not
-/// at the simulation.
-bool verify_precondition_enabled() {
-#ifndef NDEBUG
-  return true;
-#else
+/// VOCAB_VERIFY_SCHEDULES overrides the build-type default in either
+/// direction: "0" disables verification even in debug builds, any other
+/// non-empty value enables it even in release builds. Unset, debug builds
+/// verify and release builds don't. The verifier proves deadlock-freedom,
+/// so a failure here points at the generator, not at the simulation.
+bool verify_precondition_enabled(SimVerify verify) {
+  if (verify == SimVerify::kOn) return true;
+  if (verify == SimVerify::kOff) return false;
   static const bool enabled = [] {
     const char* e = std::getenv("VOCAB_VERIFY_SCHEDULES");
-    return e != nullptr && std::string_view(e) != "" && std::string_view(e) != "0";
+    if (e == nullptr || std::string_view(e).empty()) {
+#ifndef NDEBUG
+      return false;
+#else
+      return true;
+#endif
+    }
+    return std::string_view(e) != "0";
   }();
   return enabled;
-#endif
 }
 
 struct Lane {
@@ -65,9 +71,9 @@ struct Lane {
 
 }  // namespace
 
-SimResult simulate(const PipelineSchedule& schedule, double memory_capacity) {
+SimResult simulate(const PipelineSchedule& schedule, double memory_capacity, SimVerify verify) {
   schedule.validate();
-  if (verify_precondition_enabled()) analysis::verify_or_throw(schedule);
+  if (verify_precondition_enabled(verify)) analysis::verify_or_throw(schedule);
   const int n = static_cast<int>(schedule.ops.size());
   const int p = schedule.num_devices;
 

@@ -44,10 +44,19 @@ struct SimResult {
   [[nodiscard]] bool any_oom() const;
 };
 
+/// Whether simulate() statically verifies the schedule before running it.
+enum class SimVerify {
+  kAuto,  ///< VOCAB_VERIFY_SCHEDULES decides; unset means on in debug, off in release
+  kOn,    ///< always verify
+  kOff,   ///< never verify (e.g. deliberately broken schedules in tests)
+};
+
 /// Simulate `schedule`. If `memory_capacity` > 0, devices whose peak exceeds
 /// it are flagged OOM (simulation still completes so callers can report how
 /// far over the run went). Throws DeadlockError if the issue order can make
-/// no progress.
-SimResult simulate(const PipelineSchedule& schedule, double memory_capacity = 0.0);
+/// no progress. With verification enabled (see SimVerify), throws CheckError
+/// up front if the schedule fails static verification.
+SimResult simulate(const PipelineSchedule& schedule, double memory_capacity = 0.0,
+                   SimVerify verify = SimVerify::kAuto);
 
 }  // namespace vocab

@@ -83,7 +83,9 @@ TEST(PipelineSim, DeadlockIsDetectedAndReported) {
   const int second = b.add(compute_op(0, 1.0, "second"), 1);
   b.add_dep(first_id, second);
   try {
-    simulate(b.finalize({0.0}));
+    // The verifier would reject this cycle up front; bypass it to exercise
+    // the simulator's own dynamic deadlock detection.
+    simulate(b.finalize({0.0}), 0.0, SimVerify::kOff);
     FAIL() << "expected DeadlockError";
   } catch (const DeadlockError& e) {
     EXPECT_NE(std::string(e.what()).find("first"), std::string::npos);
@@ -103,7 +105,7 @@ TEST(PipelineSim, CollectiveBlockedForeverIsDeadlock) {
   blocker.label = "blocker";
   blocker.deps = {coll[0]};
   b.add(std::move(blocker), 0);  // earlier slot than the collective on dev 1
-  EXPECT_THROW(simulate(b.finalize({0.0, 0.0})), DeadlockError);
+  EXPECT_THROW(simulate(b.finalize({0.0, 0.0}), 0.0, SimVerify::kOff), DeadlockError);
 }
 
 TEST(PipelineSim, MemoryPeakTracksAllocAndFree) {
@@ -128,6 +130,7 @@ TEST(PipelineSim, FreeBeforeAllocAtSameTimestamp) {
   b.add(std::move(a), 0);
   Op c = compute_op(0, 1.0, "c");
   c.alloc_bytes = 100;
+  c.free_bytes = 100;  // freed at end (t=2), after the peak under test
   b.add(std::move(c), 1);
   const auto result = simulate(b.finalize({1000.0}));
   EXPECT_DOUBLE_EQ(result.peak_bytes[0], 1100.0);
@@ -137,6 +140,7 @@ TEST(PipelineSim, OomFlaggedAgainstCapacity) {
   ScheduleBuilder b("oom", 1, 1);
   Op a = compute_op(0, 1.0, "a");
   a.alloc_bytes = 100;
+  a.free_bytes = 100;  // freed at end; the peak of 100 stands either way
   b.add(std::move(a), 0);
   const auto ok = simulate(b.finalize({0.0}), /*capacity=*/200.0);
   EXPECT_FALSE(ok.any_oom());

@@ -140,6 +140,25 @@ TEST(Verifier, CycleThroughCollectiveCouplingIsFound) {
   EXPECT_TRUE(implicates(d, g1));
 }
 
+TEST(Verifier, CycleReportNamesTheCycleNotDownstreamSinks) {
+  // The sink is merely *downstream* of the a<->b cycle (and on another
+  // device, so no issue-order edge leads out of it): it survives Kahn's
+  // algorithm with indeg > 0 but sits on no cycle. The report must name a
+  // and b, not dead-end at the sink.
+  RawSchedule raw(2);
+  const int sink = raw.add(1, Stream::Compute, OpKind::Forward, 0, {});
+  const int a = raw.add(0, Stream::Compute, OpKind::Forward, 0, {});
+  const int b = raw.add(0, Stream::Compute, OpKind::Forward, 1, {a});
+  raw.get().ops[static_cast<std::size_t>(a)].deps.push_back(b);
+  raw.get().ops[static_cast<std::size_t>(sink)].deps.push_back(b);
+
+  const auto diags = of_kind(analysis::verify(raw.get()), Check::DependencyCycle);
+  ASSERT_FALSE(diags.empty());
+  EXPECT_TRUE(implicates(diags[0], a));
+  EXPECT_TRUE(implicates(diags[0], b));
+  EXPECT_FALSE(implicates(diags[0], sink));
+}
+
 TEST(Verifier, IntraCollectiveDepIsRejected) {
   RawSchedule raw(2);
   const int c0 = raw.add(0, Stream::Comm, OpKind::Collective, 0, {}, 0, 0, 0, "C");
@@ -177,6 +196,26 @@ TEST(Verifier, CollectiveIdOnComputePassIsRejected) {
   const auto shape = of_kind(analysis::verify(raw.get()), Check::CollectiveShape);
   ASSERT_FALSE(shape.empty());
   EXPECT_TRUE(implicates(shape[0], f));
+}
+
+TEST(Verifier, CollectiveDurationUlpDifferenceIsTolerated) {
+  RawSchedule raw(2);
+  const int c0 = raw.add(0, Stream::Comm, OpKind::Collective, 0, {}, 0, 0, 0, "C");
+  const int c1 = raw.add(1, Stream::Comm, OpKind::Collective, 0, {}, 0, 0, 0, "C");
+  // Same nominal duration computed through different arithmetic paths.
+  raw.get().ops[static_cast<std::size_t>(c0)].duration = 0.3;
+  raw.get().ops[static_cast<std::size_t>(c1)].duration = 0.1 + 0.2;
+  EXPECT_TRUE(of_kind(analysis::verify(raw.get()), Check::CollectiveShape).empty());
+}
+
+TEST(Verifier, CollectiveDurationRealMismatchIsRejected) {
+  RawSchedule raw(2);
+  raw.add(0, Stream::Comm, OpKind::Collective, 0, {}, 0, 0, 0, "C");
+  const int c1 = raw.add(1, Stream::Comm, OpKind::Collective, 0, {}, 0, 0, 0, "C");
+  raw.get().ops[static_cast<std::size_t>(c1)].duration = 2.0;
+  const auto diags = of_kind(analysis::verify(raw.get()), Check::CollectiveShape);
+  ASSERT_FALSE(diags.empty());
+  EXPECT_TRUE(implicates(diags[0], c1));
 }
 
 TEST(Verifier, MismatchedCollectiveOrderAcrossDevicesIsRejected) {
