@@ -101,6 +101,7 @@ std::string BenchJson::render() const {
        << "\"shape\": \"" << json_escape(r.shape) << "\", "
        << "\"ns_per_iter\": " << r.ns_per_iter << ", "
        << "\"gflops\": " << r.gflops << ", "
+       << "\"gbps\": " << r.gbps << ", "
        << "\"threads\": " << r.threads << "}" << (i + 1 < records_.size() ? "," : "") << "\n";
   }
   os << "]\n";

@@ -50,7 +50,8 @@ struct KernelRecord {
   std::string name;        ///< benchmark name, e.g. "BM_MatmulNT_Logits"
   std::string shape;       ///< operand shapes, e.g. "[2048,1024]x[8192,1024]^T"
   double ns_per_iter = 0;  ///< wall time per iteration
-  double gflops = 0;       ///< throughput (0 when the bench reports no FLOPs)
+  double gflops = 0;       ///< compute throughput (0 when the bench reports no FLOPs)
+  double gbps = 0;         ///< memory throughput, GB/s (0 when the bench reports no bytes)
   int threads = 1;         ///< VOCAB_NUM_THREADS-configured pool width
 };
 

@@ -3,8 +3,9 @@
 // partitioned), and the full per-shard output-layer algorithms.
 //
 // Pass `--json <path>` to also emit the results as a machine-readable
-// BENCH_kernels.json array (name, shape, ns/iter, GFLOP/s, threads) so the
-// kernel perf trajectory is recorded across revisions.
+// BENCH_kernels.json array (name, shape, ns/iter, GFLOP/s, GB/s, threads) so
+// the kernel perf trajectory is recorded across revisions. Compute-bound
+// kernels report GFLOP/s; memory-bound ones (softmax) report GB/s.
 
 #include <benchmark/benchmark.h>
 
@@ -94,12 +95,16 @@ BENCHMARK(BM_MatmulNT_LogitsSeedSerial)
     ->Iterations(1)
     ->UseRealTime();
 
+// Softmax is memory-bound, so its throughput is reported as bytes moved
+// (read the logits, write the probabilities) rather than FLOPs.
 void BM_SafeSoftmax(benchmark::State& state) {
   Rng rng(2);
   const Tensor x = Tensor::randn({64, state.range(0)}, rng, 4.0f);
   for (auto _ : state) {
     benchmark::DoNotOptimize(softmax_rows(x));
   }
+  state.SetBytesProcessed(state.iterations() * 2 * 64 * state.range(0) *
+                          static_cast<std::int64_t>(sizeof(float)));
   state.SetLabel(dims(64, state.range(0)));
 }
 BENCHMARK(BM_SafeSoftmax)->Arg(1024)->Arg(8192)->Arg(32768);
@@ -110,9 +115,17 @@ void BM_StreamingSoftmax(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(streaming_softmax_rows(x, state.range(0)));
   }
+  state.SetBytesProcessed(state.iterations() * 2 * 64 * 32768 *
+                          static_cast<std::int64_t>(sizeof(float)));
   state.SetLabel(dims(64, 32768) + " chunk=" + std::to_string(state.range(0)));
 }
 BENCHMARK(BM_StreamingSoftmax)->Arg(1024)->Arg(4096)->Arg(32768);
+
+// Forward logits (2nVh) + grad_x (2nVh) + grad_w (2nVh): the three matmuls
+// dominate; softmax/loss flops are negligible at these shapes.
+constexpr std::int64_t output_layer_flops(std::int64_t n, std::int64_t v, std::int64_t h) {
+  return 6 * n * v * h;
+}
 
 void BM_ReferenceOutputLayer(benchmark::State& state) {
   const std::int64_t v = state.range(0);
@@ -124,6 +137,7 @@ void BM_ReferenceOutputLayer(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(reference_output_layer(x, w, targets, 1.0f / 32));
   }
+  state.SetItemsProcessed(state.iterations() * output_layer_flops(32, v, 128));
   state.SetLabel(dims(32, 128) + "x" + dims(v, 128) + "^T");
 }
 BENCHMARK(BM_ReferenceOutputLayer)->Arg(4096)->Arg(16384);
@@ -158,15 +172,20 @@ void bench_partitioned(benchmark::State& state, OutputAlgo algo) {
     for (auto& t : threads) t.join();
     ++mb;
   }
+  // The p shards together cover the full [v, h] weight, so the aggregate
+  // FLOPs equal the unpartitioned layer's regardless of p.
+  state.SetItemsProcessed(state.iterations() * output_layer_flops(n, v, h));
   state.SetLabel(dims(n, h) + "x" + dims(v, h) + "^T p=" + std::to_string(p));
 }
 
 void BM_PartitionedNaive(benchmark::State& state) { bench_partitioned(state, OutputAlgo::Naive); }
 void BM_PartitionedAlg1(benchmark::State& state) { bench_partitioned(state, OutputAlgo::Alg1); }
 void BM_PartitionedAlg2(benchmark::State& state) { bench_partitioned(state, OutputAlgo::Alg2); }
-BENCHMARK(BM_PartitionedNaive)->Arg(2)->Arg(4);
-BENCHMARK(BM_PartitionedAlg1)->Arg(2)->Arg(4);
-BENCHMARK(BM_PartitionedAlg2)->Arg(2)->Arg(4);
+// UseRealTime: the shard work runs on spawned threads, so the default
+// CPU-time basis would wildly overstate items/sec.
+BENCHMARK(BM_PartitionedNaive)->Arg(2)->Arg(4)->UseRealTime();
+BENCHMARK(BM_PartitionedAlg1)->Arg(2)->Arg(4)->UseRealTime();
+BENCHMARK(BM_PartitionedAlg2)->Arg(2)->Arg(4)->UseRealTime();
 
 // Console output as usual, plus a KernelRecord per measured run for --json.
 class JsonCollector : public benchmark::ConsoleReporter {
@@ -181,6 +200,8 @@ class JsonCollector : public benchmark::ConsoleReporter {
       rec.ns_per_iter = run.real_accumulated_time / iters * 1e9;
       const auto it = run.counters.find("items_per_second");
       rec.gflops = it == run.counters.end() ? 0.0 : it->second.value / 1e9;
+      const auto bytes = run.counters.find("bytes_per_second");
+      rec.gbps = bytes == run.counters.end() ? 0.0 : bytes->second.value / 1e9;
       rec.threads = parallel::num_threads();
       json_.add(std::move(rec));
     }

@@ -1,0 +1,176 @@
+// Wall-clock A/B of the schedule-driven executor against the synchronous
+// naive pipeline: same weights, same data, same devices — the only variable
+// is whether microbatches are pipelined per the generated schedules.
+//
+// Emits BENCH_pipeline.json: per flavor, ns/iteration, speedup over the
+// naive baseline, and each device's idle fraction as measured by the
+// executor (comm waits inside compute ops count as busy, so the printed
+// idle is a lower bound).
+//
+// Usage: bench_pipeline_wallclock [--json <path>] [--p <devices>]
+//                                 [--m <microbatches>] [--iters <n>]
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "model/gpt.h"
+#include "runtime/pipeline_trainer.h"
+
+namespace vocab {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Flavor {
+  const char* key;  // JSON name
+  PipelineFlavor flavor;
+  OutputAlgo algo;
+};
+
+struct Result {
+  std::string name;
+  double ns_per_iter = 0.0;
+  double speedup_vs_naive = 0.0;
+  std::vector<double> idle;  // per device; empty for the naive baseline
+};
+
+GptConfig bench_config(int p) {
+  GptConfig cfg;
+  cfg.num_layers = 2 * p;  // 2p | L so every flavor (incl. V-Half) runs
+  cfg.heads = 2;
+  cfg.hidden = 64;
+  cfg.seq_len = 32;
+  cfg.vocab = 211;  // prime: vocabulary padding on every width
+  return cfg;
+}
+
+double run_flavor(const GptWeights& weights, const std::vector<Sample>& mbs, int p,
+                  const Flavor& f, int iters, std::vector<double>* idle) {
+  PipelineTrainer trainer(weights, p, f.algo, f.flavor);
+  trainer.train_iteration(mbs, 0.05f);  // warmup: builds + caches the executor
+  const auto t0 = Clock::now();
+  for (int i = 0; i < iters; ++i) trainer.train_iteration(mbs, 0.05f);
+  const double ns =
+      std::chrono::duration<double, std::nano>(Clock::now() - t0).count() / iters;
+  if (idle != nullptr) {
+    idle->clear();
+    if (const ExecutorStats* stats = trainer.last_executor_stats()) {
+      for (int d = 0; d < p; ++d) idle->push_back(stats->idle_fraction(d));
+    }
+  }
+  return ns;
+}
+
+std::string render_json(const std::vector<Result>& results, int p, int m) {
+  // Record the measurement machine: overlap can only buy wall-clock when the
+  // p device threads have >= p cores to land on (see DESIGN.md §10).
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::string out = "{\n  \"p\": " + std::to_string(p) + ", \"m\": " + std::to_string(m) +
+                    ", \"cores\": " + std::to_string(cores) + ",\n  \"flavors\": [\n";
+  char buf[160];
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"name\": \"%s\", \"ns_per_iter\": %.0f, \"speedup_vs_naive\": %.3f, ",
+                  r.name.c_str(), r.ns_per_iter, r.speedup_vs_naive);
+    out += buf;
+    out += "\"idle_fraction\": [";
+    for (std::size_t d = 0; d < r.idle.size(); ++d) {
+      std::snprintf(buf, sizeof(buf), "%s%.3f", d > 0 ? ", " : "", r.idle[d]);
+      out += buf;
+    }
+    out += "]}";
+    out += i + 1 < results.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+int run(int argc, char** argv) {
+  int p = 4, m = 8, iters = 3;
+  std::optional<std::string> json_path;
+  for (int i = 1; i < argc; ++i) {
+    const auto intflag = [&](const char* name, int& slot) {
+      if (std::strcmp(argv[i], name) == 0 && i + 1 < argc) {
+        slot = std::atoi(argv[++i]);
+        return true;
+      }
+      return false;
+    };
+    if (intflag("--p", p) || intflag("--m", m) || intflag("--iters", iters)) continue;
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+      continue;
+    }
+    std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+    return 1;
+  }
+
+  const GptConfig cfg = bench_config(p);
+  const GptWeights weights = GptWeights::init(cfg, 2025);
+  SyntheticCorpus corpus(cfg.vocab, cfg.seq_len, 7);
+  std::vector<Sample> mbs;
+  for (int i = 0; i < m; ++i) mbs.push_back(corpus.sample(i));
+
+  const std::vector<Flavor> flavors = {
+      {"naive", PipelineFlavor::Naive, OutputAlgo::Alg2},
+      {"gpipe-vocab-alg2", PipelineFlavor::Gpipe, OutputAlgo::Alg2},
+      {"1f1b-vocab-alg1", PipelineFlavor::OneFOneBVocab, OutputAlgo::Alg1},
+      {"1f1b-vocab-alg2", PipelineFlavor::OneFOneBVocab, OutputAlgo::Alg2},
+      {"v-half-vocab-alg1", PipelineFlavor::VHalf, OutputAlgo::Alg1},
+  };
+
+  std::printf("pipeline wall-clock, p=%d m=%d L=%d h=%lld V=%lld (%d iters each)\n", p, m,
+              cfg.num_layers, static_cast<long long>(cfg.hidden),
+              static_cast<long long>(cfg.vocab), iters);
+  const unsigned cores = std::thread::hardware_concurrency();
+  if (cores < static_cast<unsigned>(p)) {
+    std::printf("  note: %u core(s) < p=%d devices — device threads time-slice one machine,\n"
+                "  so pipelining cannot beat the synchronous baseline here; expect ~1.0x.\n",
+                cores, p);
+  }
+  std::vector<Result> results;
+  double naive_ns = 0.0;
+  for (const Flavor& f : flavors) {
+    Result r;
+    r.name = f.key;
+    r.ns_per_iter = run_flavor(weights, mbs, p, f, iters, &r.idle);
+    if (f.flavor == PipelineFlavor::Naive) naive_ns = r.ns_per_iter;
+    r.speedup_vs_naive = naive_ns > 0.0 ? naive_ns / r.ns_per_iter : 0.0;
+    std::printf("  %-18s %10.2f ms/iter  speedup %5.2fx", r.name.c_str(),
+                r.ns_per_iter / 1e6, r.speedup_vs_naive);
+    if (!r.idle.empty()) {
+      std::printf("  idle [");
+      for (std::size_t d = 0; d < r.idle.size(); ++d) {
+        std::printf("%s%.2f", d > 0 ? " " : "", r.idle[d]);
+      }
+      std::printf("]");
+    }
+    std::printf("\n");
+    results.push_back(std::move(r));
+  }
+
+  if (json_path) {
+    FILE* out = std::fopen(json_path->c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path->c_str());
+      return 1;
+    }
+    const std::string json = render_json(results, p, m);
+    std::fwrite(json.data(), 1, json.size(), out);
+    std::fclose(out);
+    std::printf("wrote %s\n", json_path->c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace vocab
+
+int main(int argc, char** argv) { return vocab::run(argc, argv); }

@@ -1,8 +1,31 @@
 #include "comm/channel.h"
 
+#include <algorithm>
+#include <sstream>
+
 #include "common/error.h"
 
 namespace vocab {
+
+namespace {
+
+// Render queue occupancy + queued tags for DeadlockError messages, so a
+// timed-out send/recv names the messages actually in flight instead of
+// leaving the schedule bug to a debugger. Requires the channel mutex held.
+std::string describe_queue(const std::deque<Message>& queue, std::size_t capacity) {
+  std::ostringstream os;
+  os << "occupancy " << queue.size() << "/" << capacity << ", queued tags [";
+  constexpr std::size_t kMaxListed = 16;
+  for (std::size_t i = 0; i < std::min(queue.size(), kMaxListed); ++i) {
+    if (i > 0) os << ", ";
+    os << "'" << queue[i].tag << "'";
+  }
+  if (queue.size() > kMaxListed) os << ", ... +" << queue.size() - kMaxListed << " more";
+  os << "]";
+  return os.str();
+}
+
+}  // namespace
 
 Channel::Channel(std::size_t capacity, std::chrono::milliseconds timeout)
     : capacity_(capacity), timeout_(timeout) {
@@ -12,20 +35,21 @@ Channel::Channel(std::size_t capacity, std::chrono::milliseconds timeout)
 void Channel::send(std::string tag, Tensor payload) {
   std::unique_lock lock(mutex_);
   if (!cv_send_.wait_for(lock, timeout_, [&] { return queue_.size() < capacity_; })) {
-    throw DeadlockError("channel send timed out (full) for tag '" + tag + "'");
+    throw DeadlockError("channel send timed out (full) for tag '" + tag + "': " +
+                        describe_queue(queue_, capacity_));
   }
   queue_.push_back(Message{std::move(tag), std::move(payload)});
-  cv_recv_.notify_one();
+  cv_recv_.notify_all();
 }
 
 Message Channel::recv() {
   std::unique_lock lock(mutex_);
   if (!cv_recv_.wait_for(lock, timeout_, [&] { return !queue_.empty(); })) {
-    throw DeadlockError("channel recv timed out (empty)");
+    throw DeadlockError("channel recv timed out (empty): " + describe_queue(queue_, capacity_));
   }
   Message msg = std::move(queue_.front());
   queue_.pop_front();
-  cv_send_.notify_one();
+  cv_send_.notify_all();
   return msg;
 }
 
@@ -34,6 +58,21 @@ Tensor Channel::recv_expect(const std::string& expected_tag) {
   VOCAB_CHECK(msg.tag == expected_tag,
               "channel tag mismatch: expected '" << expected_tag << "' got '" << msg.tag << "'");
   return std::move(msg.payload);
+}
+
+Tensor Channel::recv_tag(const std::string& tag) {
+  std::unique_lock lock(mutex_);
+  auto find = [&] { return std::find_if(queue_.begin(), queue_.end(),
+                                        [&](const Message& m) { return m.tag == tag; }); };
+  auto it = queue_.end();
+  if (!cv_recv_.wait_for(lock, timeout_, [&] { return (it = find()) != queue_.end(); })) {
+    throw DeadlockError("channel recv timed out waiting for tag '" + tag + "': " +
+                        describe_queue(queue_, capacity_));
+  }
+  Tensor payload = std::move(it->payload);
+  queue_.erase(it);
+  cv_send_.notify_all();
+  return payload;
 }
 
 std::size_t Channel::size() const {

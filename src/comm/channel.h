@@ -43,8 +43,17 @@ class Channel {
   /// a mismatch means the schedule ordered sends and recvs inconsistently.
   Tensor recv_expect(const std::string& expected_tag);
 
+  /// Dequeue the message whose tag equals `tag`, regardless of queue
+  /// position. Blocks (with deadlock timeout) until it arrives. This is the
+  /// mailbox primitive the schedule executor uses: with non-blocking sends,
+  /// heterogeneous messages (activations of one chunk, gradients of another)
+  /// can interleave on the same channel in any order.
+  Tensor recv_tag(const std::string& tag);
+
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] bool empty() const { return size() == 0; }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
  private:
   const std::size_t capacity_;

@@ -51,9 +51,14 @@ Tensor InputLayerShard::forward(int mb, std::vector<std::int64_t> tokens, Device
 }
 
 void InputLayerShard::backward(int mb, Tensor& grad_out, int root, DeviceGroup& group) {
+  VOCAB_CHECK(tokens_.contains(mb), "input microbatch " << mb << " not started");
+  group.broadcast(shard_.rank, root, grad_out, tag(mb, "bwd"));
+  backward_local(mb, grad_out);
+}
+
+void InputLayerShard::backward_local(int mb, const Tensor& grad_out) {
   const auto it = tokens_.find(mb);
   VOCAB_CHECK(it != tokens_.end(), "input microbatch " << mb << " not started");
-  group.broadcast(shard_.rank, root, grad_out, tag(mb, "bwd"));
   const auto& tokens = it->second;
   VOCAB_CHECK(grad_out.rank() == 2 &&
                   grad_out.dim(0) == static_cast<std::int64_t>(tokens.size()) &&

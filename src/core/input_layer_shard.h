@@ -50,6 +50,11 @@ class InputLayerShard {
   /// On non-root ranks `grad_out` may be empty; it is overwritten.
   void backward(int mb, Tensor& grad_out, int root, DeviceGroup& group);
 
+  /// Local half of backward: scatter-add an already-delivered `grad_out`
+  /// into the owned rows (the schedule executor runs the jBC broadcast as a
+  /// separate collective op). Releases the microbatch's token ids.
+  void backward_local(int mb, const Tensor& grad_out);
+
   /// Number of microbatches whose token ids are still held.
   [[nodiscard]] std::size_t live_microbatches() const { return tokens_.size(); }
 

@@ -18,6 +18,12 @@ namespace {
 
 thread_local bool t_on_worker = false;
 
+// ScopedPool routing state for the current thread: when t_pool_override is
+// set, parallel_for uses t_scoped_pool (null = forced serial) instead of the
+// process singleton.
+thread_local bool t_pool_override = false;
+thread_local ThreadPool* t_scoped_pool = nullptr;
+
 // Upper bound on chunks per parallel_for. A fixed constant (not a function of
 // the thread count!) so partition boundaries are shape-only; large enough
 // that even a wide pool load-balances via the shared chunk counter.
@@ -123,6 +129,11 @@ ThreadPool::ThreadPool() : impl_(new Impl) {
   impl_->start_workers(env_num_threads() - 1);
 }
 
+ThreadPool::ThreadPool(int total_threads) : impl_(new Impl) {
+  VOCAB_CHECK(total_threads >= 1, "thread pool needs at least one thread, got " << total_threads);
+  impl_->start_workers(total_threads - 1);
+}
+
 ThreadPool::~ThreadPool() {
   impl_->join_workers();
   delete impl_;
@@ -193,9 +204,21 @@ void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
     const std::int64_t b = begin + c * chunk;
     body(b, std::min(b + chunk, end));
   };
-  if (!ThreadPool::instance().try_run(chunks, run_chunk)) {
+  ThreadPool* pool = t_pool_override ? t_scoped_pool : &ThreadPool::instance();
+  if (pool == nullptr || !pool->try_run(chunks, run_chunk)) {
     for (std::int64_t c = 0; c < chunks; ++c) run_chunk(c);
   }
+}
+
+ScopedPool::ScopedPool(ThreadPool* pool)
+    : prev_override_(t_pool_override), prev_pool_(t_scoped_pool) {
+  t_pool_override = true;
+  t_scoped_pool = pool;
+}
+
+ScopedPool::~ScopedPool() {
+  t_pool_override = prev_override_;
+  t_scoped_pool = prev_pool_;
 }
 
 int num_threads() { return ThreadPool::instance().num_threads(); }

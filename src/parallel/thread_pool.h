@@ -30,6 +30,17 @@
 // Lifetime: the pool is a lazily-created process-wide singleton; its worker
 // count comes from the VOCAB_NUM_THREADS environment variable (default:
 // std::thread::hardware_concurrency()). Workers are joined at process exit.
+//
+// Pool partitioning
+// -----------------
+//   The schedule executor gives each of its p device threads a *private*
+//   pool of width floor(VOCAB_NUM_THREADS / p) so intra-op parallelism
+//   composes with inter-device parallelism instead of oversubscribing the
+//   machine. A device thread installs its pool with a ScopedPool; while the
+//   scope is active, parallel_for on that thread uses the private pool
+//   instead of the singleton. ScopedPool(nullptr) forces serial execution
+//   (used when p exceeds the pool width). Chunk boundaries are shape-only,
+//   so routing through a different pool never changes the bytes produced.
 
 #include <cstdint>
 #include <functional>
@@ -41,6 +52,11 @@ class ThreadPool {
   /// The process-wide pool. First call reads VOCAB_NUM_THREADS and spawns
   /// workers; subsequent calls are cheap.
   static ThreadPool& instance();
+
+  /// A private pool of `total_threads` execution width (total_threads - 1
+  /// workers + the submitting thread). Install on a device thread with
+  /// ScopedPool so parallel_for routes to it instead of the singleton.
+  explicit ThreadPool(int total_threads);
 
   ~ThreadPool();
   ThreadPool(const ThreadPool&) = delete;
@@ -70,6 +86,24 @@ class ThreadPool {
   ThreadPool();
   struct Impl;
   Impl* impl_;
+};
+
+/// RAII override of the pool parallel_for uses on the *current thread*.
+/// While alive, parallel_for submits to `pool` instead of the process-wide
+/// singleton; a null pool forces serial chunk execution (same chunks, same
+/// order, same bytes). Scopes nest; destruction restores the previous
+/// routing. Used by the schedule executor to give each pipeline device
+/// thread its own slice of the machine.
+class ScopedPool {
+ public:
+  explicit ScopedPool(ThreadPool* pool);
+  ~ScopedPool();
+  ScopedPool(const ScopedPool&) = delete;
+  ScopedPool& operator=(const ScopedPool&) = delete;
+
+ private:
+  bool prev_override_;
+  ThreadPool* prev_pool_;
 };
 
 /// Deterministically partition [begin, end) into chunks of at least `grain`

@@ -2,10 +2,20 @@
 
 #include <algorithm>
 #include <thread>
+#include <utility>
 
 #include "comm/channel.h"
 #include "comm/device_group.h"
 #include "common/error.h"
+#include "core/reference_input_layer.h"
+#include "core/reference_output_layer.h"
+#include "cost/cost_model.h"
+#include "parallel/thread_pool.h"
+#include "schedule/layer_assignment.h"
+#include "schedule/schedule_1f1b.h"
+#include "schedule/schedule_1f1b_vocab.h"
+#include "schedule/schedule_gpipe.h"
+#include "schedule/schedule_vhalf.h"
 #include "tensor/tensor_ops.h"
 
 namespace vocab {
@@ -20,47 +30,115 @@ Tensor slice_vocab_rows(const Tensor& full, const VocabShard& shard) {
   return out;
 }
 
+std::string act_tag(int stage, int mb) {
+  return "act:s" + std::to_string(stage) + ":mb" + std::to_string(mb);
+}
+
+std::string grad_tag(int stage, int mb) {
+  return "grad:s" + std::to_string(stage) + ":mb" + std::to_string(mb);
+}
+
 }  // namespace
+
+const char* to_string(PipelineFlavor flavor) {
+  switch (flavor) {
+    case PipelineFlavor::Naive: return "naive";
+    case PipelineFlavor::Baseline1F1B: return "1f1b";
+    case PipelineFlavor::Gpipe: return "gpipe";
+    case PipelineFlavor::OneFOneBVocab: return "1f1b-vocab";
+    case PipelineFlavor::VHalf: return "v-half";
+  }
+  return "?";
+}
 
 struct PipelineTrainer::Device {
   int rank = 0;
-  std::unique_ptr<TransformerStack> stack;
-  std::unique_ptr<InputLayerShard> input;
+  std::unique_ptr<TransformerStack> stack;   // vocab flavors: stage d; V-Half: chunk 0
+  std::unique_ptr<TransformerStack> stack2;  // V-Half chunk 1 (stage 2p-1-d)
+  std::unique_ptr<InputLayerShard> input;    // vocab-sharded flavors only
   std::unique_ptr<OutputLayerShard> output;
+  // Baseline1F1B keeps the vocabulary layers whole on the boundary devices.
+  Tensor embed_full, embed_full_grad;            // device 0
+  Tensor out_weight_full, out_weight_full_grad;  // device p-1
   // Optimizer state lives with the shards it updates (no optimizer comm).
   std::vector<ParamOptimizer> stack_opt;
   ParamOptimizer output_opt, input_opt;
 };
 
-PipelineTrainer::PipelineTrainer(GptWeights weights, int p, OutputAlgo algo)
-    : config_(weights.config), p_(p), algo_(algo) {
+PipelineTrainer::PipelineTrainer(GptWeights weights, int p, OutputAlgo algo,
+                                 PipelineFlavor flavor)
+    : config_(weights.config), p_(p), algo_(algo), flavor_(flavor) {
   VOCAB_CHECK(p >= 1, "need at least one device");
-  VOCAB_CHECK(config_.num_layers % p == 0,
-              "p must divide num_layers (" << config_.num_layers << " / " << p << ")");
-  VOCAB_CHECK(algo == OutputAlgo::Alg1 || algo == OutputAlgo::Alg2,
-              "pipeline trainer runs Vocab-1 or Vocab-2");
+  const int stages = num_stages();
+  VOCAB_CHECK(config_.num_layers % stages == 0,
+              "stage count must divide num_layers (" << config_.num_layers << " / " << stages
+                                                     << ")");
+  if (vocab_sharded()) {
+    VOCAB_CHECK(algo == OutputAlgo::Alg1 || algo == OutputAlgo::Alg2,
+                "pipeline trainer runs Vocab-1 or Vocab-2");
+  }
+  if (flavor == PipelineFlavor::VHalf) {
+    VOCAB_CHECK(algo == OutputAlgo::Alg1, "the V-Half vocab schedule integrates Vocab-1");
+  }
+  if (flavor == PipelineFlavor::Gpipe || flavor == PipelineFlavor::OneFOneBVocab ||
+      flavor == PipelineFlavor::VHalf) {
+    VOCAB_CHECK(p >= 2, "vocabulary-parallel schedules need >= 2 devices");
+  }
 
-  group_ = std::make_unique<DeviceGroup>(p);
-  const int layers_per_stage = config_.num_layers / p;
-  const auto shards = make_all_shards(config_.vocab, p);
+  const int layers_per_stage = config_.num_layers / stages;
+  auto slice_layers = [&](int stage) {
+    return std::vector<LayerWeights>(
+        weights.layers.begin() + stage * layers_per_stage,
+        weights.layers.begin() + (stage + 1) * layers_per_stage);
+  };
+
+  const auto shards = vocab_sharded() ? make_all_shards(config_.vocab, p)
+                                      : std::vector<VocabShard>{};
   for (int d = 0; d < p; ++d) {
     auto dev = std::make_unique<Device>();
     dev->rank = d;
-    std::vector<LayerWeights> stage_layers(
-        weights.layers.begin() + d * layers_per_stage,
-        weights.layers.begin() + (d + 1) * layers_per_stage);
-    dev->stack = std::make_unique<TransformerStack>(std::move(stage_layers), config_.heads);
-    dev->input = std::make_unique<InputLayerShard>(
-        shards[static_cast<std::size_t>(d)],
-        slice_vocab_rows(weights.input_embedding, shards[static_cast<std::size_t>(d)]));
-    dev->output = std::make_unique<OutputLayerShard>(
-        algo, shards[static_cast<std::size_t>(d)],
-        slice_vocab_rows(weights.output_weight, shards[static_cast<std::size_t>(d)]));
+    dev->stack = std::make_unique<TransformerStack>(slice_layers(d), config_.heads);
+    if (flavor == PipelineFlavor::VHalf) {
+      dev->stack2 = std::make_unique<TransformerStack>(slice_layers(2 * p - 1 - d),
+                                                       config_.heads);
+    }
+    if (vocab_sharded()) {
+      dev->input = std::make_unique<InputLayerShard>(
+          shards[static_cast<std::size_t>(d)],
+          slice_vocab_rows(weights.input_embedding, shards[static_cast<std::size_t>(d)]));
+      dev->output = std::make_unique<OutputLayerShard>(
+          algo, shards[static_cast<std::size_t>(d)],
+          slice_vocab_rows(weights.output_weight, shards[static_cast<std::size_t>(d)]));
+    } else {
+      if (d == 0) {
+        dev->embed_full = weights.input_embedding;
+        dev->embed_full_grad = Tensor(dev->embed_full.shape());
+      }
+      if (d == p - 1) {
+        dev->out_weight_full = weights.output_weight;
+        dev->out_weight_full_grad = Tensor(dev->out_weight_full.shape());
+      }
+    }
     devices_.push_back(std::move(dev));
   }
-  for (int d = 0; d + 1 < p; ++d) {
-    fwd_.push_back(std::make_unique<Channel>());
-    bwd_.push_back(std::make_unique<Channel>());
+
+  if (vocab_sharded()) group_ = std::make_unique<DeviceGroup>(p);
+  if (flavor == PipelineFlavor::Naive) {
+    for (int d = 0; d + 1 < p; ++d) {
+      fwd_.push_back(std::make_unique<Channel>());
+      bwd_.push_back(std::make_unique<Channel>());
+    }
+    const int per_device = parallel::num_threads() / p;
+    if (per_device >= 2) {
+      for (int d = 0; d < p; ++d) {
+        naive_pools_.push_back(std::make_unique<parallel::ThreadPool>(per_device));
+      }
+    }
+  } else {
+    // Scheduled path: one tag-addressed mailbox per device. Sends never
+    // rendezvous (capacity far exceeds the microbatches in flight), which is
+    // what lets transfers overlap the producer's next compute op.
+    for (int d = 0; d < p; ++d) mail_.push_back(std::make_unique<Channel>());
   }
   pos_embedding_ = std::move(weights.pos_embedding);
   pos_embedding_grad_ = Tensor(pos_embedding_.shape());
@@ -68,9 +146,372 @@ PipelineTrainer::PipelineTrainer(GptWeights weights, int p, OutputAlgo algo)
 
 PipelineTrainer::~PipelineTrainer() = default;
 
+int PipelineTrainer::device_of_stage(int stage) const {
+  if (flavor_ != PipelineFlavor::VHalf) return stage;
+  return stage < p_ ? stage : 2 * p_ - 1 - stage;
+}
+
+TransformerStack& PipelineTrainer::stack_of_stage(int stage) const {
+  const Device& dev = *devices_[static_cast<std::size_t>(device_of_stage(stage))];
+  if (flavor_ == PipelineFlavor::VHalf && stage >= p_) return *dev.stack2;
+  return *dev.stack;
+}
+
+const ExecutorStats* PipelineTrainer::last_executor_stats() const {
+  return last_executor_ == nullptr ? nullptr : &last_executor_->last_stats();
+}
+
+ScheduleExecutor& PipelineTrainer::executor_for(int m) {
+  const auto it = executors_.find(m);
+  if (it != executors_.end()) return *it->second;
+
+  ModelConfig mc;
+  mc.name = config_.tie_embeddings ? "gpt-tied" : "gpt";
+  mc.num_layers = config_.num_layers;
+  mc.attention_heads = config_.heads;
+  mc.hidden = config_.hidden;
+  mc.seq_len = config_.seq_len;
+  mc.vocab = config_.vocab;
+  mc.microbatch = 1;
+  mc.num_microbatches = m;
+  const CostModel cm(mc, HardwareModel{});
+
+  PipelineSchedule sched;
+  switch (flavor_) {
+    case PipelineFlavor::Baseline1F1B:
+      sched = build_1f1b(cm, p_, uniform_assignment(config_.num_layers, p_));
+      break;
+    case PipelineFlavor::Gpipe:
+      sched = build_gpipe_vocab(cm, p_, algo_);
+      break;
+    case PipelineFlavor::OneFOneBVocab:
+      sched = build_1f1b_vocab(cm, p_, algo_);
+      break;
+    case PipelineFlavor::VHalf:
+      sched = build_vhalf_vocab(cm, p_);
+      break;
+    case PipelineFlavor::Naive:
+      VOCAB_FAIL("the naive flavor does not execute a schedule");
+  }
+  auto ex = std::make_unique<ScheduleExecutor>(std::move(sched));
+  ScheduleExecutor& ref = *ex;
+  executors_.emplace(m, std::move(ex));
+  return ref;
+}
+
+// ---------------------------------------------------------------------------
+// Scheduled execution: op dispatch.
+// ---------------------------------------------------------------------------
+
+/// One training iteration's in-flight state, dispatched by the executor.
+/// Each DeviceState is touched only by its own device thread; cross-device
+/// traffic goes through mailboxes and the DeviceGroup exclusively.
+struct PipelineTrainer::ScheduledIteration final : OpRunner {
+  PipelineTrainer& tr;
+  const std::vector<Sample>& mbs;
+  float grad_scale;
+  std::vector<float> losses;
+
+  struct DeviceState {
+    std::map<int, Tensor> embed_partial;             // mb -> input-layer partial/output
+    std::map<int, Tensor> last_y;                    // mb -> last stage's output (C0 root)
+    std::map<std::pair<int, int>, Tensor> act;       // (stage, mb) same-device handoff
+    std::map<std::pair<int, int>, Tensor> grad;      // (stage, mb) same-device handoff
+    std::map<int, Tensor> grad0;                     // mb -> stage-0 input grad (jBC root)
+    std::map<int, Tensor> jgrad;                     // mb -> broadcast input-layer grad
+    std::map<int, bool> output_done;                 // all phases + barriers executed
+    std::map<int, bool> grad_taken;                  // grad_x consumed by B(last stage)
+  };
+  std::vector<DeviceState> state;
+
+  ScheduledIteration(PipelineTrainer& trainer, const std::vector<Sample>& microbatches,
+                     float scale)
+      : tr(trainer), mbs(microbatches), grad_scale(scale),
+        losses(microbatches.size(), 0.0f),
+        state(static_cast<std::size_t>(trainer.p_)) {}
+
+  [[nodiscard]] int last_stage() const { return tr.num_stages() - 1; }
+
+  [[nodiscard]] int stage_of(const Op& op) const {
+    if (tr.flavor_ != PipelineFlavor::VHalf) return op.device;
+    return op.chunk == 0 ? op.device : 2 * tr.p_ - 1 - op.device;
+  }
+
+  /// Release the output shard's state once the phases/barriers are done AND
+  /// the last-stage backward has consumed grad_x.
+  void maybe_finish_output(DeviceState& ds, Device& dev, int mb) {
+    if (!ds.output_done[mb] || !ds.grad_taken[mb]) return;
+    dev.output->finish_microbatch(mb);
+    ds.output_done.erase(mb);
+    ds.grad_taken.erase(mb);
+  }
+
+  void run_forward(const Op& op) {
+    const int d = op.device;
+    const int s = stage_of(op);
+    const int mb = op.microbatch;
+    DeviceState& ds = state[static_cast<std::size_t>(d)];
+    Device& dev = *tr.devices_[static_cast<std::size_t>(d)];
+    const Sample& sample = mbs[static_cast<std::size_t>(mb)];
+
+    Tensor x;
+    if (s == 0) {
+      if (tr.vocab_sharded()) {
+        x = std::move(ds.embed_partial.at(mb));
+        ds.embed_partial.erase(mb);
+      } else {
+        x = reference_embedding_forward(dev.embed_full, sample.tokens);
+      }
+      add_inplace(x, tr.pos_embedding_);
+    } else if (const auto it = ds.act.find({s, mb}); it != ds.act.end()) {
+      x = std::move(it->second);
+      ds.act.erase(it);
+    } else {
+      x = tr.mail_[static_cast<std::size_t>(d)]->recv_tag(act_tag(s, mb));
+    }
+
+    Tensor y = tr.stack_of_stage(s).forward(mb, x);
+
+    if (s == last_stage()) {
+      if (tr.vocab_sharded()) {
+        ds.last_y.emplace(mb, std::move(y));
+      } else {
+        // Folded baseline: the whole output layer runs inside F(last), as
+        // its duration in the generated schedule assumes.
+        OutputLayerResult out =
+            reference_output_layer(y, dev.out_weight_full, sample.targets, grad_scale);
+        losses[static_cast<std::size_t>(mb)] = out.loss;
+        add_inplace(dev.out_weight_full_grad, out.grad_w);
+        ds.grad.emplace(std::make_pair(s, mb), std::move(out.grad_x));
+      }
+    } else {
+      const int next_dev = tr.device_of_stage(s + 1);
+      if (next_dev == d) {
+        ds.act.emplace(std::make_pair(s + 1, mb), std::move(y));
+      } else {
+        tr.mail_[static_cast<std::size_t>(next_dev)]->send(act_tag(s + 1, mb), std::move(y));
+      }
+    }
+  }
+
+  void run_backward(const Op& op) {
+    const int d = op.device;
+    const int s = stage_of(op);
+    const int mb = op.microbatch;
+    DeviceState& ds = state[static_cast<std::size_t>(d)];
+    Device& dev = *tr.devices_[static_cast<std::size_t>(d)];
+
+    Tensor grad_in;
+    if (s == last_stage() && tr.vocab_sharded()) {
+      grad_in = tr.stack_of_stage(s).backward(mb, dev.output->grad_x(mb));
+      ds.grad_taken[mb] = true;
+      maybe_finish_output(ds, dev, mb);
+    } else {
+      Tensor grad_out;
+      if (const auto it = ds.grad.find({s, mb}); it != ds.grad.end()) {
+        grad_out = std::move(it->second);
+        ds.grad.erase(it);
+      } else {
+        grad_out = tr.mail_[static_cast<std::size_t>(d)]->recv_tag(grad_tag(s, mb));
+      }
+      grad_in = tr.stack_of_stage(s).backward(mb, grad_out);
+    }
+
+    if (s == 0) {
+      add_inplace(tr.pos_embedding_grad_, grad_in);
+      if (tr.vocab_sharded()) {
+        ds.grad0.emplace(mb, std::move(grad_in));
+      } else {
+        reference_embedding_backward(dev.embed_full_grad,
+                                     mbs[static_cast<std::size_t>(mb)].tokens, grad_in);
+      }
+    } else {
+      const int prev_dev = tr.device_of_stage(s - 1);
+      if (prev_dev == d) {
+        ds.grad.emplace(std::make_pair(s - 1, mb), std::move(grad_in));
+      } else {
+        tr.mail_[static_cast<std::size_t>(prev_dev)]->send(grad_tag(s - 1, mb),
+                                                           std::move(grad_in));
+      }
+    }
+  }
+
+  void run_collective(const Op& op) {
+    const int d = op.device;
+    const int mb = op.microbatch;
+    DeviceState& ds = state[static_cast<std::size_t>(d)];
+    Device& dev = *tr.devices_[static_cast<std::size_t>(d)];
+    DeviceGroup& group = *tr.group_;
+    const std::string& label = op.label;
+
+    if (label.rfind("iAR", 0) == 0) {
+      dev.input->forward_allreduce(mb, ds.embed_partial.at(mb), group);
+      // Only the stage-0 host consumes the all-reduced embedding output.
+      if (d != 0) ds.embed_partial.erase(mb);
+    } else if (label.rfind("C0", 0) == 0) {
+      const int root = tr.device_of_stage(last_stage());
+      Tensor x_last;
+      if (d == root) {
+        x_last = std::move(ds.last_y.at(mb));
+        ds.last_y.erase(mb);
+      }
+      group.broadcast(d, root, x_last, "C0:mb" + std::to_string(mb));
+      dev.output->start_microbatch(mb, std::move(x_last),
+                                   mbs[static_cast<std::size_t>(mb)].targets, grad_scale);
+      ds.output_done[mb] = false;
+      ds.grad_taken[mb] = d != root;  // only the root's B(last) consumes grad_x
+    } else if (label.rfind("C1", 0) == 0) {
+      dev.output->comm_barrier(mb, 0, group);
+      if (d == 0) losses[static_cast<std::size_t>(mb)] = dev.output->loss(mb);
+    } else if (label.rfind("C2", 0) == 0) {
+      dev.output->comm_barrier(mb, 1, group);
+      dev.output->compute_phase(mb, 2);  // Alg1's empty trailing phase
+      ds.output_done[mb] = true;
+      maybe_finish_output(ds, dev, mb);
+    } else if (label.rfind("jBC", 0) == 0) {
+      Tensor g;
+      if (d == 0) {
+        g = std::move(ds.grad0.at(mb));
+        ds.grad0.erase(mb);
+      }
+      group.broadcast(d, /*root=*/0, g, "jBC:mb" + std::to_string(mb));
+      ds.jgrad.emplace(mb, std::move(g));
+    } else {
+      VOCAB_FAIL("unknown collective label '" << label << "'");
+    }
+  }
+
+  void run_op(const Op& op) override {
+    DeviceState& ds = state[static_cast<std::size_t>(op.device)];
+    Device& dev = *tr.devices_[static_cast<std::size_t>(op.device)];
+    switch (op.kind) {
+      case OpKind::Forward:
+        run_forward(op);
+        break;
+      case OpKind::BackwardFull:
+      case OpKind::BackwardInput:
+        run_backward(op);
+        break;
+      case OpKind::BackwardWeight:
+        // The autograd tape computes activation and weight gradients in one
+        // replay, so the split B already accumulated this op's work; W is a
+        // schedule-level placeholder here (see DESIGN.md §10).
+        break;
+      case OpKind::OutputS:
+        dev.output->compute_phase(op.microbatch, 0);
+        break;
+      case OpKind::OutputT:
+        dev.output->compute_phase(op.microbatch, 1);
+        if (tr.algo_ == OutputAlgo::Alg2) {
+          ds.output_done[op.microbatch] = true;
+          maybe_finish_output(ds, dev, op.microbatch);
+        }
+        break;
+      case OpKind::InputFwd:
+        ds.embed_partial.emplace(
+            op.microbatch,
+            dev.input->forward_local(op.microbatch,
+                                     mbs[static_cast<std::size_t>(op.microbatch)].tokens));
+        break;
+      case OpKind::InputBwd:
+        dev.input->backward_local(op.microbatch, ds.jgrad.at(op.microbatch));
+        ds.jgrad.erase(op.microbatch);
+        break;
+      case OpKind::Collective:
+        run_collective(op);
+        break;
+      case OpKind::Sync:
+        break;
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Optimizer step (shared by both paths).
+// ---------------------------------------------------------------------------
+
+void PipelineTrainer::optimizer_step_device(int d, const OptimizerConfig& opt) {
+  Device& dev = *devices_[static_cast<std::size_t>(d)];
+  auto params = dev.stack->parameters();
+  if (dev.stack2) {
+    const auto extra = dev.stack2->parameters();
+    params.insert(params.end(), extra.begin(), extra.end());
+  }
+  if (dev.stack_opt.size() != params.size()) dev.stack_opt.resize(params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (params[i]->grad.empty()) continue;
+    dev.stack_opt[i].step(params[i]->value, params[i]->grad, opt);
+    params[i]->grad.fill(0.0f);
+  }
+
+  if (vocab_sharded()) {
+    if (config_.tie_embeddings) {
+      // §6.1: the tied weight's shards share a device, so tying needs no
+      // extra all-reduce — just a local gradient sum before the update.
+      Tensor grad = dev.output->weight_grad();
+      add_inplace(grad, dev.input->embedding_grad());
+      dev.output_opt.step(dev.output->mutable_weight(), grad, opt);
+      dev.input->mutable_embedding() = dev.output->weight();
+    } else {
+      dev.output_opt.step(dev.output->mutable_weight(), dev.output->weight_grad(), opt);
+      dev.input_opt.step(dev.input->mutable_embedding(), dev.input->embedding_grad(), opt);
+    }
+    dev.output->zero_weight_grad();
+    dev.input->zero_embedding_grad();
+  } else if (config_.tie_embeddings) {
+    // The folded layout puts the tied weight's two copies on *different*
+    // devices, so tying costs a gradient exchange — the disadvantage §6.1
+    // notes for the baseline.
+    if (p_ == 1) {
+      if (d == 0) {
+        add_inplace(dev.out_weight_full_grad, dev.embed_full_grad);
+        dev.output_opt.step(dev.out_weight_full, dev.out_weight_full_grad, opt);
+        dev.embed_full = dev.out_weight_full;
+        dev.out_weight_full_grad.fill(0.0f);
+        dev.embed_full_grad.fill(0.0f);
+      }
+    } else {
+      if (d == 0) {
+        mail_[static_cast<std::size_t>(p_ - 1)]->send("tied:grad", dev.embed_full_grad);
+        dev.embed_full = mail_[0]->recv_tag("tied:weight");
+        dev.embed_full_grad.fill(0.0f);
+      } else if (d == p_ - 1) {
+        add_inplace(dev.out_weight_full_grad, mail_[static_cast<std::size_t>(d)]->recv_tag("tied:grad"));
+        dev.output_opt.step(dev.out_weight_full, dev.out_weight_full_grad, opt);
+        mail_[0]->send("tied:weight", dev.out_weight_full);
+        dev.out_weight_full_grad.fill(0.0f);
+      }
+    }
+  } else {
+    if (d == 0) {
+      dev.input_opt.step(dev.embed_full, dev.embed_full_grad, opt);
+      dev.embed_full_grad.fill(0.0f);
+    }
+    if (d == p_ - 1) {
+      dev.output_opt.step(dev.out_weight_full, dev.out_weight_full_grad, opt);
+      dev.out_weight_full_grad.fill(0.0f);
+    }
+  }
+
+  if (d == 0) {
+    pos_opt_.step(pos_embedding_, pos_embedding_grad_, opt);
+    pos_embedding_grad_.fill(0.0f);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Training iterations.
+// ---------------------------------------------------------------------------
+
 float PipelineTrainer::train_iteration(const std::vector<Sample>& microbatches,
                                        const OptimizerConfig& opt) {
   VOCAB_CHECK(!microbatches.empty(), "need at least one microbatch");
+  return flavor_ == PipelineFlavor::Naive ? train_iteration_naive(microbatches, opt)
+                                          : train_iteration_scheduled(microbatches, opt);
+}
+
+float PipelineTrainer::train_iteration_naive(const std::vector<Sample>& microbatches,
+                                             const OptimizerConfig& opt) {
   const int m = static_cast<int>(microbatches.size());
   const float grad_scale =
       1.0f / (static_cast<float>(config_.seq_len) * static_cast<float>(m));
@@ -79,6 +520,8 @@ float PipelineTrainer::train_iteration(const std::vector<Sample>& microbatches,
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(p_));
 
   auto device_main = [&](int d) {
+    parallel::ScopedPool scope(naive_pools_.empty() ? nullptr
+                                                    : naive_pools_[static_cast<std::size_t>(d)].get());
     Device& dev = *devices_[static_cast<std::size_t>(d)];
     const int phases = num_compute_phases(algo_);
     const int barriers = num_barriers(algo_);
@@ -132,31 +575,7 @@ float PipelineTrainer::train_iteration(const std::vector<Sample>& microbatches,
       dev.input->backward(mb, gin, /*root=*/0, *group_);
     }
 
-    // ---- optimizer step (local: every shard owns its parameters) -----------
-    const auto params = dev.stack->parameters();
-    if (dev.stack_opt.size() != params.size()) dev.stack_opt.resize(params.size());
-    for (std::size_t i = 0; i < params.size(); ++i) {
-      if (params[i]->grad.empty()) continue;
-      dev.stack_opt[i].step(params[i]->value, params[i]->grad, opt);
-      params[i]->grad.fill(0.0f);
-    }
-    if (config_.tie_embeddings) {
-      // §6.1: the tied weight's shards share a device, so tying needs no
-      // extra all-reduce — just a local gradient sum before the update.
-      Tensor grad = dev.output->weight_grad();
-      add_inplace(grad, dev.input->embedding_grad());
-      dev.output_opt.step(dev.output->mutable_weight(), grad, opt);
-      dev.input->mutable_embedding() = dev.output->weight();
-    } else {
-      dev.output_opt.step(dev.output->mutable_weight(), dev.output->weight_grad(), opt);
-      dev.input_opt.step(dev.input->mutable_embedding(), dev.input->embedding_grad(), opt);
-    }
-    dev.output->zero_weight_grad();
-    dev.input->zero_embedding_grad();
-    if (d == 0) {
-      pos_opt_.step(pos_embedding_, pos_embedding_grad_, opt);
-      pos_embedding_grad_.fill(0.0f);
-    }
+    optimizer_step_device(d, opt);
   };
 
   std::vector<std::thread> threads;
@@ -180,13 +599,53 @@ float PipelineTrainer::train_iteration(const std::vector<Sample>& microbatches,
   return static_cast<float>(total / m);
 }
 
+float PipelineTrainer::train_iteration_scheduled(const std::vector<Sample>& microbatches,
+                                                 const OptimizerConfig& opt) {
+  const int m = static_cast<int>(microbatches.size());
+  const float grad_scale =
+      1.0f / (static_cast<float>(config_.seq_len) * static_cast<float>(m));
+
+  ScheduleExecutor& executor = executor_for(m);
+  last_executor_ = &executor;
+
+  ScheduledIteration iteration(*this, microbatches, grad_scale);
+  executor.run(iteration);
+
+  // Optimizer phase: one thread per device, like the compute phase (the
+  // tied folded baseline exchanges its gradient over the mailboxes).
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(p_));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(p_));
+  for (int d = 0; d < p_; ++d) {
+    threads.emplace_back([&, d] {
+      try {
+        optimizer_step_device(d, opt);
+      } catch (...) {
+        errors[static_cast<std::size_t>(d)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+
+  double total = 0.0;
+  for (const float l : iteration.losses) total += l;
+  return static_cast<float>(total / m);
+}
+
+// ---------------------------------------------------------------------------
+// Weight export / gather.
+// ---------------------------------------------------------------------------
+
 GptWeights PipelineTrainer::export_weights() const {
   GptWeights w;
   w.config = config_;
   w.input_embedding = gathered_input_embedding();
   w.pos_embedding = pos_embedding_;
-  for (const auto& dev : devices_) {
-    auto stage = dev->stack->export_layers();
+  for (int s = 0; s < num_stages(); ++s) {
+    auto stage = stack_of_stage(s).export_layers();
     for (auto& layer : stage) w.layers.push_back(std::move(layer));
   }
   w.output_weight = gathered_output_weight();
@@ -194,6 +653,7 @@ GptWeights PipelineTrainer::export_weights() const {
 }
 
 Tensor PipelineTrainer::gathered_input_embedding() const {
+  if (!vocab_sharded()) return devices_[0]->embed_full;
   Tensor out({config_.vocab, config_.hidden});
   for (const auto& dev : devices_) {
     const VocabShard& s = dev->input->shard();
@@ -207,6 +667,7 @@ Tensor PipelineTrainer::gathered_input_embedding() const {
 }
 
 Tensor PipelineTrainer::gathered_output_weight() const {
+  if (!vocab_sharded()) return devices_[static_cast<std::size_t>(p_ - 1)]->out_weight_full;
   Tensor out({config_.vocab, config_.hidden});
   for (const auto& dev : devices_) {
     const VocabShard& s = dev->output->shard();

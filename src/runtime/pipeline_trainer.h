@@ -4,18 +4,25 @@
 //
 // Each simulated pipeline device is an OS thread holding:
 //   * its shard of the input embedding (InputLayerShard),
-//   * its contiguous run of transformer layers (TransformerStack),
+//   * its contiguous run of transformer layers (TransformerStack; V-Half
+//     devices hold two chunks),
 //   * its shard of the output layer (OutputLayerShard, Alg1 or Alg2).
 // Activations flow stage-to-stage over Channels; the output/input layers'
 // collectives run over a DeviceGroup — exactly the communication structure
 // the paper's Megatron implementation uses, so dependency mistakes surface
 // as tag mismatches or deadlock timeouts rather than silent corruption.
 //
-// This trainer exists to establish numerical equivalence with the
-// single-device ReferenceTrainer (Appendix E / Figure 17); scheduling
-// efficiency questions are the simulator's job.
+// Two execution paths share the same shards and optimizer state:
+//   * Naive: the original synchronous loop — one microbatch at a time with a
+//     rendezvous broadcast per microbatch. No pipelining; kept as the A/B
+//     baseline the wall-clock bench compares against.
+//   * Scheduled: a generator-emitted PipelineSchedule (GPipe / 1F1B /
+//     1F1B-vocab / V-Half), statically verified, driven by the
+//     ScheduleExecutor — microbatches genuinely in flight together, P2P
+//     sends non-blocking, collective barriers overlapped with compute.
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -24,13 +31,28 @@
 #include "model/gpt.h"
 #include "model/transformer.h"
 #include "runtime/optimizer.h"
+#include "runtime/schedule_executor.h"
 
 namespace vocab {
 
+/// Which execution strategy train_iteration uses.
+enum class PipelineFlavor {
+  Naive,         ///< synchronous per-microbatch loop (no pipelining)
+  Baseline1F1B,  ///< plain 1F1B schedule, vocab layers whole on first/last stage
+  Gpipe,         ///< GPipe + Vocabulary Parallelism schedule
+  OneFOneBVocab, ///< 1F1B + Vocabulary Parallelism schedule (the paper's main result)
+  VHalf,         ///< V-Half + Vocabulary Parallelism schedule (Vocab-1)
+};
+
+[[nodiscard]] const char* to_string(PipelineFlavor flavor);
+
 class PipelineTrainer {
  public:
-  /// Shards `weights` across `p` pipeline devices; requires p | num_layers.
-  PipelineTrainer(GptWeights weights, int p, OutputAlgo algo);
+  /// Shards `weights` across `p` pipeline devices; requires p | num_layers
+  /// (2p | num_layers for VHalf). Baseline1F1B keeps the vocabulary layers
+  /// whole on the first/last device instead of sharding them.
+  PipelineTrainer(GptWeights weights, int p, OutputAlgo algo,
+                  PipelineFlavor flavor = PipelineFlavor::Naive);
   ~PipelineTrainer();
 
   PipelineTrainer(const PipelineTrainer&) = delete;
@@ -47,7 +69,12 @@ class PipelineTrainer {
 
   [[nodiscard]] int num_devices() const { return p_; }
   [[nodiscard]] OutputAlgo algo() const { return algo_; }
+  [[nodiscard]] PipelineFlavor flavor() const { return flavor_; }
   [[nodiscard]] const GptConfig& config() const { return config_; }
+
+  /// Stats of the most recent scheduled train_iteration (null for the Naive
+  /// flavor or before the first iteration).
+  [[nodiscard]] const ExecutorStats* last_executor_stats() const;
 
   /// Reassembled full tensors (gathered from the shards) for equivalence
   /// checks against the reference trainer.
@@ -60,16 +87,40 @@ class PipelineTrainer {
 
  private:
   struct Device;
+  struct ScheduledIteration;
+
+  [[nodiscard]] bool vocab_sharded() const { return flavor_ != PipelineFlavor::Baseline1F1B; }
+  [[nodiscard]] int num_stages() const { return flavor_ == PipelineFlavor::VHalf ? 2 * p_ : p_; }
+  [[nodiscard]] int device_of_stage(int stage) const;
+  TransformerStack& stack_of_stage(int stage) const;
+
+  float train_iteration_naive(const std::vector<Sample>& microbatches,
+                              const OptimizerConfig& opt);
+  float train_iteration_scheduled(const std::vector<Sample>& microbatches,
+                                  const OptimizerConfig& opt);
+  /// Per-device optimizer step; shared by both paths (the shards own their
+  /// parameters, so no optimizer communication is needed — §6.1).
+  void optimizer_step_device(int d, const OptimizerConfig& opt);
+  /// Build (or fetch the cached) executor for `m` microbatches.
+  ScheduleExecutor& executor_for(int m);
 
   GptConfig config_;
   int p_;
   OutputAlgo algo_;
+  PipelineFlavor flavor_;
   std::vector<std::unique_ptr<Device>> devices_;
   std::unique_ptr<class DeviceGroup> group_;
-  // Channels: fwd_[d] carries activations d -> d+1; bwd_[d] carries grads
-  // d+1 -> d.
+  // Naive path: fwd_[d] carries activations d -> d+1; bwd_[d] carries grads
+  // d+1 -> d. Scheduled path: mail_[d] is device d's tag-addressed mailbox.
   std::vector<std::unique_ptr<class Channel>> fwd_;
   std::vector<std::unique_ptr<class Channel>> bwd_;
+  std::vector<std::unique_ptr<class Channel>> mail_;
+  std::map<int, std::unique_ptr<ScheduleExecutor>> executors_;  // by microbatch count
+  ScheduleExecutor* last_executor_ = nullptr;
+  // Naive path: the same per-device slice of the intra-op thread budget the
+  // executor gives its device threads, so every flavor models p devices of
+  // equal fixed capacity (idle devices cannot lend cores to busy ones).
+  std::vector<std::unique_ptr<parallel::ThreadPool>> naive_pools_;
   Tensor pos_embedding_;       // whole, on device 0 (paper §6.4)
   Tensor pos_embedding_grad_;
   ParamOptimizer pos_opt_;

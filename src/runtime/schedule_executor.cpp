@@ -1,0 +1,174 @@
+#include "runtime/schedule_executor.h"
+
+#include <chrono>
+#include <exception>
+#include <queue>
+#include <thread>
+#include <utility>
+
+#include "analysis/verifier.h"
+#include "common/error.h"
+#include "parallel/thread_pool.h"
+#include "sim/pipeline_sim.h"
+
+namespace vocab {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Union collective members into one condensed node (all members start and
+/// end together, so they execute as a unit of the order). Representative =
+/// smallest member id.
+std::vector<int> condensed_representatives(const PipelineSchedule& s) {
+  std::vector<int> rep(s.ops.size());
+  for (std::size_t i = 0; i < s.ops.size(); ++i) rep[i] = static_cast<int>(i);
+  std::vector<int> first_member;  // by collective id
+  for (const Op& op : s.ops) {
+    if (op.collective < 0) continue;
+    if (op.collective >= static_cast<int>(first_member.size())) {
+      first_member.resize(static_cast<std::size_t>(op.collective) + 1, -1);
+    }
+    int& f = first_member[static_cast<std::size_t>(op.collective)];
+    if (f < 0) f = op.id;
+    rep[static_cast<std::size_t>(op.id)] = f;
+  }
+  return rep;
+}
+
+}  // namespace
+
+double ExecutorStats::idle_fraction(int device) const {
+  if (wall_seconds <= 0.0) return 0.0;
+  const double busy = compute_seconds[static_cast<std::size_t>(device)];
+  return busy >= wall_seconds ? 0.0 : 1.0 - busy / wall_seconds;
+}
+
+ScheduleExecutor::ScheduleExecutor(PipelineSchedule schedule, int total_threads)
+    : schedule_(std::move(schedule)) {
+  // Precondition: the static verifier must certify the schedule — the
+  // topological order below only exists (and the no-deadlock argument only
+  // holds) for the acyclic condensed graph the verifier proves.
+  analysis::verify_or_throw(schedule_);
+
+  // Predicted start times key the tie-breaking so the common linearization
+  // tracks the simulator's intended overlap instead of op creation order.
+  const SimResult sim = simulate(schedule_, /*memory_capacity=*/0.0, SimVerify::kOff);
+
+  const std::vector<int> rep = condensed_representatives(schedule_);
+  const std::size_t n = schedule_.ops.size();
+  std::vector<std::vector<int>> adj(n);
+  std::vector<int> indegree(n, 0);
+  auto add_edge = [&](int from, int to) {
+    const int u = rep[static_cast<std::size_t>(from)];
+    const int v = rep[static_cast<std::size_t>(to)];
+    if (u == v) return;
+    adj[static_cast<std::size_t>(u)].push_back(v);
+    ++indegree[static_cast<std::size_t>(v)];
+  };
+  for (const Op& op : schedule_.ops) {
+    for (const int dep : op.deps) add_edge(dep, op.id);
+  }
+  for (const DeviceLanes& lanes : schedule_.devices) {
+    for (const Stream stream : {Stream::Compute, Stream::Comm, Stream::CommAlt}) {
+      const std::vector<int>& lane = lanes.lane(stream);
+      for (std::size_t i = 1; i < lane.size(); ++i) add_edge(lane[i - 1], lane[i]);
+    }
+  }
+
+  // Kahn's algorithm over condensed nodes, min-heap keyed by (simulated
+  // start, id). Every member op of a popped node lands on its own device's
+  // sequence; devices thereby agree on the relative order of all shared
+  // collectives.
+  using Key = std::pair<double, int>;
+  std::priority_queue<Key, std::vector<Key>, std::greater<>> ready;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rep[i] == static_cast<int>(i) && indegree[i] == 0) {
+      ready.emplace(sim.times[i].start, static_cast<int>(i));
+    }
+  }
+  // Collect each condensed node's member ops up front.
+  std::vector<std::vector<int>> members(n);
+  for (const Op& op : schedule_.ops) members[static_cast<std::size_t>(rep[static_cast<std::size_t>(op.id)])].push_back(op.id);
+
+  sequences_.assign(static_cast<std::size_t>(schedule_.num_devices), {});
+  std::size_t emitted = 0;
+  while (!ready.empty()) {
+    const int node = ready.top().second;
+    ready.pop();
+    for (const int id : members[static_cast<std::size_t>(node)]) {
+      sequences_[static_cast<std::size_t>(schedule_.op(id).device)].push_back(id);
+      ++emitted;
+    }
+    for (const int next : adj[static_cast<std::size_t>(node)]) {
+      if (--indegree[static_cast<std::size_t>(next)] == 0) {
+        ready.emplace(sim.times[static_cast<std::size_t>(next)].start, next);
+      }
+    }
+  }
+  VOCAB_CHECK(emitted == n, "topological order incomplete: " << emitted << " of " << n
+                                                             << " ops emitted");
+
+  // Partition the intra-op thread budget across the device threads.
+  const int total = total_threads > 0 ? total_threads : parallel::num_threads();
+  const int per_device = total / std::max(schedule_.num_devices, 1);
+  if (per_device >= 2) {
+    threads_per_device_ = per_device;
+    for (int d = 0; d < schedule_.num_devices; ++d) {
+      pools_.push_back(std::make_unique<parallel::ThreadPool>(per_device));
+    }
+  }
+}
+
+ScheduleExecutor::~ScheduleExecutor() = default;
+
+const std::vector<int>& ScheduleExecutor::device_sequence(int device) const {
+  VOCAB_CHECK(device >= 0 && device < schedule_.num_devices,
+              "device " << device << " out of range");
+  return sequences_[static_cast<std::size_t>(device)];
+}
+
+void ScheduleExecutor::run(OpRunner& runner) {
+  const int p = schedule_.num_devices;
+  stats_.wall_seconds = 0.0;
+  stats_.compute_seconds.assign(static_cast<std::size_t>(p), 0.0);
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(p));
+
+  const auto t0 = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(p));
+  for (int d = 0; d < p; ++d) {
+    threads.emplace_back([&, d] {
+      // Route this device thread's parallel_for to its private pool slice
+      // (or force serial when the machine is narrower than the pipeline).
+      parallel::ScopedPool scope(pools_.empty() ? nullptr : pools_[static_cast<std::size_t>(d)].get());
+      double compute = 0.0;
+      try {
+        for (const int id : sequences_[static_cast<std::size_t>(d)]) {
+          const Op& op = schedule_.op(id);
+          if (op.stream == Stream::Compute) {
+            const auto op_t0 = Clock::now();
+            runner.run_op(op);
+            compute += seconds_since(op_t0);
+          } else {
+            runner.run_op(op);
+          }
+        }
+      } catch (...) {
+        errors[static_cast<std::size_t>(d)] = std::current_exception();
+      }
+      stats_.compute_seconds[static_cast<std::size_t>(d)] = compute;
+    });
+  }
+  for (auto& t : threads) t.join();
+  stats_.wall_seconds = seconds_since(t0);
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace vocab

@@ -1,0 +1,106 @@
+#pragma once
+
+// Schedule-driven op-dispatch engine: executes a generator-emitted
+// PipelineSchedule with real numerics.
+//
+// The simulator predicts what a schedule *should* cost; this engine makes a
+// schedule actually *run*: one OS thread per device issues that device's ops
+// in a fixed order, dispatching each op (F, B/BI/BW, S, T, i, j, collective)
+// to an OpRunner the trainer provides. P2P transfers are non-blocking sends
+// into per-device mailbox Channels, so a producer keeps computing while its
+// consumer is still busy; collectives rendezvous on a DeviceGroup in an
+// order that is identical across devices by construction.
+//
+// Ordering and deadlock-freedom
+// -----------------------------
+// Static verification (src/analysis/verifier) is a *precondition*: the
+// executor refuses schedules whose condensed dependency graph (dep edges +
+// per-lane issue-order edges + collective members contracted to one node)
+// is not provably acyclic. From that certified DAG the executor derives ONE
+// global topological order — Kahn's algorithm with ties broken by the
+// discrete-event simulator's predicted start times — and each device
+// executes the projection of that common linearization onto its ops. All
+// devices therefore issue shared collectives in the same relative order,
+// and every cross-device dependency points backward in the common order:
+// with sends non-blocking and receives tag-addressed, the smallest
+// incomplete op in the order always has its producers completed, so the
+// execution cannot deadlock.
+//
+// Thread-pool partitioning
+// ------------------------
+// The PR-1 ThreadPool singleton would oversubscribe the machine if all p
+// device threads submitted to it at once (all but one would fall back to
+// serial). Instead the executor owns p private pools of width
+// floor(total_width / p) and installs one per device thread via ScopedPool;
+// when the width quotient drops below 2 the device threads run their
+// kernels serially (ScopedPool(nullptr)).
+
+#include <memory>
+#include <vector>
+
+#include "schedule/ops.h"
+
+namespace vocab::parallel {
+class ThreadPool;
+}
+
+namespace vocab {
+
+/// Callback interface the trainer implements: executes one op's numerics.
+/// `run_op` is invoked on the device thread of `op.device`; ops of one
+/// device never run concurrently with each other, ops of different devices
+/// do. Collective members are invoked on every member device; the runner is
+/// expected to rendezvous them (e.g. through a DeviceGroup).
+class OpRunner {
+ public:
+  virtual ~OpRunner() = default;
+  virtual void run_op(const Op& op) = 0;
+};
+
+/// Wall-clock accounting of one run().
+struct ExecutorStats {
+  double wall_seconds = 0.0;
+  /// Per device: seconds spent inside compute-stream ops (transformer and
+  /// vocabulary passes). Communication waits inside those ops count as busy,
+  /// so 1 - busy/wall is a lower bound on the true idle fraction.
+  std::vector<double> compute_seconds;
+
+  [[nodiscard]] double idle_fraction(int device) const;
+};
+
+/// Per-device dispatch engine for one verified PipelineSchedule. Construct
+/// once per (schedule, thread budget) and run() once per training iteration.
+class ScheduleExecutor {
+ public:
+  /// Verifies `schedule` (throws CheckError on any static violation), then
+  /// derives the per-device execution order. `total_threads` is the machine
+  /// width to partition across device threads; <= 0 uses the process
+  /// ThreadPool's width.
+  explicit ScheduleExecutor(PipelineSchedule schedule, int total_threads = 0);
+  ~ScheduleExecutor();
+
+  ScheduleExecutor(const ScheduleExecutor&) = delete;
+  ScheduleExecutor& operator=(const ScheduleExecutor&) = delete;
+
+  /// Execute every op of the schedule once: p device threads, each invoking
+  /// `runner.run_op` over its sequence in the certified order. Rethrows the
+  /// first device-thread exception after all threads join.
+  void run(OpRunner& runner);
+
+  [[nodiscard]] const PipelineSchedule& schedule() const { return schedule_; }
+  /// The common linearization's projection onto one device (op ids).
+  [[nodiscard]] const std::vector<int>& device_sequence(int device) const;
+  /// Stats of the most recent run().
+  [[nodiscard]] const ExecutorStats& last_stats() const { return stats_; }
+  /// Intra-op pool width given to each device thread (1 = serial).
+  [[nodiscard]] int threads_per_device() const { return threads_per_device_; }
+
+ private:
+  PipelineSchedule schedule_;
+  std::vector<std::vector<int>> sequences_;  // per device, op ids in issue order
+  std::vector<std::unique_ptr<parallel::ThreadPool>> pools_;  // per device; empty when serial
+  int threads_per_device_ = 1;
+  ExecutorStats stats_;
+};
+
+}  // namespace vocab

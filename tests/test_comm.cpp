@@ -188,5 +188,76 @@ TEST(Channel, FullSendTimesOut) {
   EXPECT_THROW(ch.send("b", Tensor({1})), DeadlockError);
 }
 
+TEST(Channel, DeadlockErrorNamesQueuedTagsAndOccupancy) {
+  Channel ch(2, std::chrono::milliseconds(100));
+  ch.send("act:s1:mb0", Tensor({1}));
+  ch.send("act:s1:mb1", Tensor({1}));
+  try {
+    ch.send("act:s1:mb2", Tensor({1}));
+    FAIL() << "expected DeadlockError";
+  } catch (const DeadlockError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("'act:s1:mb2'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("occupancy 2/2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'act:s1:mb0', 'act:s1:mb1'"), std::string::npos) << msg;
+  }
+}
+
+TEST(Channel, FullSendBlocksUntilDrained) {
+  // A send into a full channel must block (not drop, not throw) and complete
+  // once a reader drains capacity — the non-blocking-send guarantee the
+  // schedule executor relies on is "bounded buffer", not "fire and forget".
+  Channel ch(1, std::chrono::seconds(5));
+  ch.send("first", Tensor({1}, 1.0f));
+  std::atomic<bool> second_sent{false};
+  std::thread producer([&] {
+    ch.send("second", Tensor({1}, 2.0f));  // blocks: channel is at capacity
+    second_sent = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(second_sent) << "send into a full channel must block";
+  EXPECT_FLOAT_EQ(ch.recv_expect("first").at(0), 1.0f);
+  EXPECT_FLOAT_EQ(ch.recv_expect("second").at(0), 2.0f);
+  producer.join();
+  EXPECT_TRUE(second_sent);
+}
+
+TEST(Channel, RecvTagPicksFromTheMiddleOfTheQueue) {
+  Channel ch;
+  ch.send("grad:s0:mb1", Tensor({1}, 1.0f));
+  ch.send("act:s2:mb3", Tensor({1}, 3.0f));
+  ch.send("grad:s0:mb2", Tensor({1}, 2.0f));
+  EXPECT_FLOAT_EQ(ch.recv_tag("act:s2:mb3").at(0), 3.0f);
+  EXPECT_FLOAT_EQ(ch.recv_tag("grad:s0:mb2").at(0), 2.0f);
+  EXPECT_FLOAT_EQ(ch.recv_tag("grad:s0:mb1").at(0), 1.0f);
+  EXPECT_TRUE(ch.empty());
+}
+
+TEST(Channel, RecvTagUnblocksOnLateMatchingSend) {
+  Channel ch(8, std::chrono::seconds(5));
+  ch.send("other", Tensor({1}, 9.0f));
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    ch.send("wanted", Tensor({1}, 7.0f));
+  });
+  EXPECT_FLOAT_EQ(ch.recv_tag("wanted").at(0), 7.0f);
+  producer.join();
+  EXPECT_EQ(ch.size(), 1u);  // "other" still queued for its own consumer
+}
+
+TEST(Channel, RecvTagTimeoutReportsWhatIsActuallyQueued) {
+  Channel ch(4, std::chrono::milliseconds(100));
+  ch.send("bwd:mb0", Tensor({1}));
+  try {
+    ch.recv_tag("bwd:mb1");
+    FAIL() << "expected DeadlockError";
+  } catch (const DeadlockError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("'bwd:mb1'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("occupancy 1/4"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'bwd:mb0'"), std::string::npos) << msg;
+  }
+}
+
 }  // namespace
 }  // namespace vocab
