@@ -1,0 +1,175 @@
+// fault_stress: loop the fault-injection matrix (flavor × pipeline width ×
+// fault kind) with rotating seeds, checking after every injected failure
+// that checkpoint recovery reproduces the uninterrupted run bit-for-bit —
+// the CLI face of src/fault, schedule_lint-style: one line per run, summary
+// line at the end, nonzero exit on any failure.
+//
+//   ./build/bench/fault_stress                 # default 2 rounds
+//   ./build/bench/fault_stress --rounds 10     # longer soak
+//   ./build/bench/fault_stress --seed 1234     # different fault placements
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fault/fault_injector.h"
+#include "fault/watchdog.h"
+#include "model/gpt.h"
+#include "runtime/pipeline_trainer.h"
+#include "runtime/resilient_trainer.h"
+#include "tensor/tensor_ops.h"
+
+namespace {
+
+using namespace vocab;
+
+// Small enough that one run takes a fraction of a second, large enough that
+// every flavor divides evenly for p in {2, 4} (V-Half needs 2p | layers).
+GptConfig stress_config() {
+  GptConfig cfg;
+  cfg.num_layers = 8;
+  cfg.heads = 2;
+  cfg.hidden = 32;
+  cfg.seq_len = 16;
+  cfg.vocab = 53;
+  return cfg;
+}
+
+std::vector<Sample> microbatches(const SyntheticCorpus& corpus, int iteration, int count) {
+  std::vector<Sample> out;
+  for (int i = 0; i < count; ++i) out.push_back(corpus.sample(iteration * count + i));
+  return out;
+}
+
+float weights_diff(const GptWeights& a, const GptWeights& b) {
+  float diff = max_abs_diff(a.input_embedding, b.input_embedding);
+  diff = std::max(diff, max_abs_diff(a.pos_embedding, b.pos_embedding));
+  diff = std::max(diff, max_abs_diff(a.output_weight, b.output_weight));
+  for (std::size_t l = 0; l < a.layers.size(); ++l) {
+    diff = std::max(diff, max_abs_diff(a.layers[l].wq, b.layers[l].wq));
+    diff = std::max(diff, max_abs_diff(a.layers[l].w2, b.layers[l].w2));
+  }
+  return diff;
+}
+
+struct RunOutcome {
+  bool ok = false;
+  std::string detail;
+};
+
+RunOutcome run_one(PipelineFlavor flavor, int p, FaultKind kind, std::uint64_t seed,
+                   const std::string& ckpt_path) {
+  constexpr int kIterations = 4;
+  const GptConfig cfg = stress_config();
+  const GptWeights init = GptWeights::init(cfg, 100 + static_cast<int>(seed % 1000));
+  SyntheticCorpus corpus(cfg.vocab, cfg.seq_len, 7);
+  const int m = 2 * p;
+  const OptimizerConfig opt = OptimizerConfig::sgd(0.1f);
+
+  WatchdogConfig watchdog;
+  watchdog.stall_deadline = std::chrono::milliseconds(500);
+  watchdog.poll_interval = std::chrono::milliseconds(10);
+
+  // Seed-rotated placement: one fault of the requested kind somewhere in the
+  // middle iterations, on any device, early in its op sequence.
+  FaultPlan plan =
+      FaultPlan::random(seed, /*count=*/1, p, /*max_iteration=*/kIterations,
+                        /*max_op_index=*/8, {kind},
+                        watchdog.stall_deadline + std::chrono::milliseconds(2000));
+  auto injector = std::make_shared<FaultInjector>(plan);
+
+  PipelineTrainer baseline(init, p, OutputAlgo::Alg1, flavor);
+  RecoveryPolicy policy;
+  policy.checkpoint_path = ckpt_path;
+  policy.enable_watchdog = true;
+  policy.watchdog = watchdog;
+  ResilientTrainer resilient(init, p, OutputAlgo::Alg1, flavor, policy);
+  resilient.set_fault_injector(injector);
+
+  RunOutcome out;
+  try {
+    for (int it = 0; it < kIterations; ++it) {
+      const float l_res = resilient.train_iteration(microbatches(corpus, it, m), opt);
+      const float l_base = baseline.train_iteration(microbatches(corpus, it, m), opt);
+      if (l_res != l_base) {
+        out.detail = "loss diverged at iteration " + std::to_string(it);
+        return out;
+      }
+    }
+  } catch (const std::exception& e) {
+    out.detail = std::string("unrecovered: ") + e.what();
+    return out;
+  }
+  if (injector->faults_fired() != 1) {
+    out.detail = "fault did not fire (plan: " + plan.summary() + ")";
+    return out;
+  }
+  if (resilient.stats().recoveries != 1) {
+    out.detail = "expected exactly one recovery, saw " +
+                 std::to_string(resilient.stats().recoveries);
+    return out;
+  }
+  const float diff = weights_diff(resilient.export_weights(), baseline.export_weights());
+  if (diff != 0.0f) {
+    out.detail = "weights diverged by " + std::to_string(diff);
+    return out;
+  }
+  out.ok = true;
+  out.detail = plan.faults.front().describe();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int rounds = 2;
+  std::uint64_t seed = 1001;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--rounds") == 0 && i + 1 < argc) {
+      rounds = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else {
+      std::cerr << "usage: fault_stress [--rounds N] [--seed S]\n";
+      return 2;
+    }
+  }
+
+  const std::vector<PipelineFlavor> flavors{
+      PipelineFlavor::Baseline1F1B, PipelineFlavor::Gpipe, PipelineFlavor::OneFOneBVocab,
+      PipelineFlavor::VHalf};
+  const std::vector<FaultKind> kinds{FaultKind::ThrowInOp, FaultKind::StallDevice,
+                                     FaultKind::KillThread};
+  const char* tmpdir = std::getenv("TMPDIR");
+  const std::string ckpt =
+      std::string(tmpdir != nullptr ? tmpdir : "/tmp") + "/fault_stress.ckpt";
+
+  int runs = 0, failures = 0;
+  for (int round = 0; round < rounds; ++round) {
+    for (const PipelineFlavor flavor : flavors) {
+      for (const int p : {2, 4}) {
+        for (const FaultKind kind : kinds) {
+          const std::uint64_t run_seed = seed + static_cast<std::uint64_t>(runs);
+          const auto t0 = std::chrono::steady_clock::now();
+          const RunOutcome out = run_one(flavor, p, kind, run_seed, ckpt);
+          const double secs =
+              std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+          ++runs;
+          if (!out.ok) ++failures;
+          std::cout << "fault_stress: round " << round << " seed " << run_seed << " "
+                    << to_string(flavor) << " p=" << p << " " << to_string(kind) << " ["
+                    << (out.ok ? "ok" : "FAIL") << "] " << out.detail << " ("
+                    << static_cast<int>(secs * 1000) << " ms)\n";
+        }
+      }
+    }
+  }
+  std::cout << "\nfault_stress: " << runs << " run(s), " << failures << " failure(s)\n";
+  return failures > 0 ? 1 : 0;
+}

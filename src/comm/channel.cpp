@@ -1,11 +1,23 @@
 #include "comm/channel.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <sstream>
 
 #include "common/error.h"
 
 namespace vocab {
+
+std::chrono::milliseconds default_comm_timeout() {
+  // Read the environment every call: tests toggle VOCAB_COMM_TIMEOUT_MS
+  // between channel constructions, and construction is not a hot path.
+  if (const char* env = std::getenv("VOCAB_COMM_TIMEOUT_MS"); env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const long ms = std::strtol(env, &end, 10);
+    if (end != nullptr && *end == '\0' && ms > 0) return std::chrono::milliseconds(ms);
+  }
+  return std::chrono::seconds(30);
+}
 
 namespace {
 
@@ -28,25 +40,52 @@ std::string describe_queue(const std::deque<Message>& queue, std::size_t capacit
 }  // namespace
 
 Channel::Channel(std::size_t capacity, std::chrono::milliseconds timeout)
-    : capacity_(capacity), timeout_(timeout) {
+    : capacity_(capacity),
+      timeout_(timeout == kCommTimeoutFromEnv ? default_comm_timeout() : timeout) {
   VOCAB_CHECK(capacity > 0, "channel capacity must be positive");
+}
+
+void Channel::set_abort_token(std::shared_ptr<AbortToken> token) {
+  std::lock_guard lock(mutex_);
+  abort_ = std::move(token);
+}
+
+template <typename Ready>
+void Channel::wait_or_throw(std::unique_lock<std::mutex>& lock, std::condition_variable& cv,
+                            const char* verb, const std::string& tag, Ready&& ready) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto deadline = t0 + timeout_;
+  for (;;) {
+    if (ready()) return;
+    if (abort_ != nullptr && abort_->aborted()) {
+      throw AbortedError(abort_->reason(),
+                         std::string("channel ") + verb + " of tag '" + tag + "' interrupted");
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      const auto elapsed =
+          std::chrono::duration_cast<std::chrono::milliseconds>(now - t0).count();
+      throw DeadlockError(std::string("channel ") + verb + " timed out waiting for tag '" +
+                          tag + "' after " + std::to_string(elapsed) + " ms (timeout " +
+                          std::to_string(timeout_.count()) + " ms): " +
+                          describe_queue(queue_, capacity_));
+    }
+    cv.wait_for(lock, std::min<std::chrono::steady_clock::duration>(deadline - now,
+                                                                    kAbortPollInterval));
+  }
 }
 
 void Channel::send(std::string tag, Tensor payload) {
   std::unique_lock lock(mutex_);
-  if (!cv_send_.wait_for(lock, timeout_, [&] { return queue_.size() < capacity_; })) {
-    throw DeadlockError("channel send timed out (full) for tag '" + tag + "': " +
-                        describe_queue(queue_, capacity_));
-  }
+  wait_or_throw(lock, cv_send_, "send (full)", tag,
+                [&] { return queue_.size() < capacity_; });
   queue_.push_back(Message{std::move(tag), std::move(payload)});
   cv_recv_.notify_all();
 }
 
 Message Channel::recv() {
   std::unique_lock lock(mutex_);
-  if (!cv_recv_.wait_for(lock, timeout_, [&] { return !queue_.empty(); })) {
-    throw DeadlockError("channel recv timed out (empty): " + describe_queue(queue_, capacity_));
-  }
+  wait_or_throw(lock, cv_recv_, "recv (empty)", "<front>", [&] { return !queue_.empty(); });
   Message msg = std::move(queue_.front());
   queue_.pop_front();
   cv_send_.notify_all();
@@ -65,19 +104,27 @@ Tensor Channel::recv_tag(const std::string& tag) {
   auto find = [&] { return std::find_if(queue_.begin(), queue_.end(),
                                         [&](const Message& m) { return m.tag == tag; }); };
   auto it = queue_.end();
-  if (!cv_recv_.wait_for(lock, timeout_, [&] { return (it = find()) != queue_.end(); })) {
-    throw DeadlockError("channel recv timed out waiting for tag '" + tag + "': " +
-                        describe_queue(queue_, capacity_));
-  }
+  wait_or_throw(lock, cv_recv_, "recv", tag, [&] { return (it = find()) != queue_.end(); });
   Tensor payload = std::move(it->payload);
   queue_.erase(it);
   cv_send_.notify_all();
   return payload;
 }
 
+void Channel::clear() {
+  std::lock_guard lock(mutex_);
+  queue_.clear();
+  cv_send_.notify_all();
+}
+
 std::size_t Channel::size() const {
   std::lock_guard lock(mutex_);
   return queue_.size();
+}
+
+std::string Channel::describe() const {
+  std::lock_guard lock(mutex_);
+  return describe_queue(queue_, capacity_);
 }
 
 }  // namespace vocab

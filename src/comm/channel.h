@@ -6,16 +6,32 @@
 // stage i-1 through a pair of these. A Channel is a bounded FIFO of tagged
 // tensors; pops block (with deadlock timeout) until the matching message
 // arrives, mirroring NCCL send/recv pairing on a P2P connection.
+//
+// Fault protocol: a channel may share an AbortToken with the rest of the
+// runtime (set_abort_token). Blocking waits slice their timeout into
+// kAbortPollInterval chunks and re-check the token, so the first device
+// failure anywhere unblocks every waiter here within milliseconds as an
+// AbortedError — instead of each peer serializing a full DeadlockError
+// timeout.
 
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <string>
 
+#include "fault/abort_token.h"
 #include "tensor/tensor.h"
 
 namespace vocab {
+
+/// Default timeout for Channel / DeviceGroup waits: VOCAB_COMM_TIMEOUT_MS
+/// from the environment when set to a positive integer, else 30 s.
+[[nodiscard]] std::chrono::milliseconds default_comm_timeout();
+
+/// Sentinel: "resolve the timeout from default_comm_timeout() at use".
+inline constexpr std::chrono::milliseconds kCommTimeoutFromEnv{-1};
 
 /// A tensor in flight between two pipeline stages.
 struct Message {
@@ -28,12 +44,16 @@ struct Message {
 class Channel {
  public:
   explicit Channel(std::size_t capacity = 1024,
-                   std::chrono::milliseconds timeout = std::chrono::seconds(30));
+                   std::chrono::milliseconds timeout = kCommTimeoutFromEnv);
 
   Channel(const Channel&) = delete;
   Channel& operator=(const Channel&) = delete;
 
-  /// Enqueue; blocks if the channel is full. Throws DeadlockError on timeout.
+  /// Share the runtime's abort token; every blocking wait observes it.
+  void set_abort_token(std::shared_ptr<AbortToken> token);
+
+  /// Enqueue; blocks if the channel is full. Throws DeadlockError on timeout,
+  /// AbortedError if the shared token aborts while waiting.
   void send(std::string tag, Tensor payload);
 
   /// Dequeue the front message; blocks until one is available.
@@ -50,14 +70,28 @@ class Channel {
   /// can interleave on the same channel in any order.
   Tensor recv_tag(const std::string& tag);
 
+  /// Drop every queued message (recovery: drain stale in-flight traffic).
+  void clear();
+
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] bool empty() const { return size() == 0; }
 
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::chrono::milliseconds timeout() const { return timeout_; }
+
+  /// One-line occupancy + queued-tags snapshot (for watchdog reports).
+  [[nodiscard]] std::string describe() const;
 
  private:
+  // Wait until `ready()` under `lock`, polling the abort token each slice.
+  // `verb` + `tag` contextualize the DeadlockError / AbortedError.
+  template <typename Ready>
+  void wait_or_throw(std::unique_lock<std::mutex>& lock, std::condition_variable& cv,
+                     const char* verb, const std::string& tag, Ready&& ready);
+
   const std::size_t capacity_;
   const std::chrono::milliseconds timeout_;
+  std::shared_ptr<AbortToken> abort_;
   mutable std::mutex mutex_;
   std::condition_variable cv_send_;
   std::condition_variable cv_recv_;

@@ -1,6 +1,7 @@
 #include "comm/device_group.h"
 
 #include <algorithm>
+#include <sstream>
 
 #include "common/error.h"
 
@@ -24,9 +25,17 @@ void reduce_into(Tensor& acc, const Tensor& contrib, ReduceOp op) {
 }  // namespace
 
 DeviceGroup::DeviceGroup(int world_size, std::chrono::milliseconds timeout)
-    : world_size_(world_size), timeout_(timeout), slots_(static_cast<std::size_t>(std::max(world_size, 1))),
-      tags_(static_cast<std::size_t>(std::max(world_size, 1))) {
+    : world_size_(world_size),
+      timeout_(timeout == kCommTimeoutFromEnv ? default_comm_timeout() : timeout),
+      slots_(static_cast<std::size_t>(std::max(world_size, 1))),
+      tags_(static_cast<std::size_t>(std::max(world_size, 1))),
+      waiting_(static_cast<std::size_t>(std::max(world_size, 1)), false) {
   VOCAB_CHECK(world_size >= 1, "world_size must be >= 1, got " << world_size);
+}
+
+void DeviceGroup::set_abort_token(std::shared_ptr<AbortToken> token) {
+  std::lock_guard lock(mutex_);
+  abort_ = std::move(token);
 }
 
 void DeviceGroup::check_rank(int rank) const {
@@ -39,14 +48,39 @@ void DeviceGroup::rendezvous(int rank, const std::string& tag, const char* kind,
                              LeaderFn&& leader_fn) {
   check_rank(rank);
   std::unique_lock lock(mutex_);
-  const auto deadline = std::chrono::steady_clock::now() + timeout_;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto deadline = t0 + timeout_;
+  waiting_[static_cast<std::size_t>(rank)] = true;
+  struct WaitingGuard {
+    std::vector<bool>& waiting;
+    std::size_t rank;
+    ~WaitingGuard() { waiting[rank] = false; }
+  } waiting_guard{waiting_, static_cast<std::size_t>(rank)};
 
+  // Wait until `pred`, slicing the timeout so the shared abort token is
+  // observed within kAbortPollInterval even if a notify is missed.
   auto timed_wait = [&](auto&& pred) {
-    if (!cv_.wait_until(lock, deadline, pred)) {
-      failure_ = std::string("deadlock: rank ") + std::to_string(rank) + " timed out in " +
-                 kind + " '" + tag + "'";
-      cv_.notify_all();
-      throw DeadlockError(failure_);
+    for (;;) {
+      if (pred()) return;
+      if (abort_ != nullptr && abort_->aborted()) {
+        if (failure_.empty()) failure_ = "aborted during " + std::string(kind) + " '" + tag + "'";
+        cv_.notify_all();
+        throw AbortedError(abort_->reason(), std::string(kind) + " '" + tag + "' on rank " +
+                                                 std::to_string(rank) + " interrupted");
+      }
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) {
+        const auto elapsed =
+            std::chrono::duration_cast<std::chrono::milliseconds>(now - t0).count();
+        failure_ = std::string("deadlock: rank ") + std::to_string(rank) + " timed out in " +
+                   kind + " '" + tag + "' after " + std::to_string(elapsed) + " ms (timeout " +
+                   std::to_string(timeout_.count()) + " ms; arrived " +
+                   std::to_string(arrived_) + "/" + std::to_string(world_size_) + ")";
+        cv_.notify_all();
+        throw DeadlockError(failure_);
+      }
+      cv_.wait_for(lock, std::min<std::chrono::steady_clock::duration>(deadline - now,
+                                                                       kAbortPollInterval));
     }
   };
 
@@ -173,6 +207,23 @@ Tensor DeviceGroup::all_gather_rows(int rank, const Tensor& data, const std::str
 std::uint64_t DeviceGroup::completed_collectives() const {
   std::lock_guard lock(mutex_);
   return completed_;
+}
+
+std::string DeviceGroup::describe() const {
+  std::lock_guard lock(mutex_);
+  std::ostringstream os;
+  os << "arrived " << arrived_ << "/" << world_size_ << ", departed " << departed_
+     << ", completed " << completed_ << ", waiters [";
+  bool first = true;
+  for (int r = 0; r < world_size_; ++r) {
+    if (!waiting_[static_cast<std::size_t>(r)]) continue;
+    if (!first) os << ", ";
+    first = false;
+    os << "r" << r << ":'" << tags_[static_cast<std::size_t>(r)] << "'";
+  }
+  os << "]";
+  if (!failure_.empty()) os << ", failure: " << failure_;
+  return os.str();
 }
 
 }  // namespace vocab

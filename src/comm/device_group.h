@@ -8,20 +8,27 @@
 //   * every rank must call the same collectives in the same order;
 //   * calls block until all ranks arrive (rendezvous) and the data is ready.
 //
-// Two robustness features NCCL does not give you, which make scheduling bugs
+// Robustness features NCCL does not give you, which make scheduling bugs
 // observable in tests:
 //   * every call carries a string tag; mismatched tags across ranks throw
 //     CheckError instead of silently reducing unrelated buffers;
-//   * waits time out (configurable) and throw DeadlockError, so a schedule
-//     that deadlocks fails the test instead of hanging it.
+//   * waits time out (configurable, default from VOCAB_COMM_TIMEOUT_MS) and
+//     throw DeadlockError, so a schedule that deadlocks fails the test
+//     instead of hanging it;
+//   * an optional shared AbortToken (set_abort_token) unblocks every waiting
+//     rank within milliseconds of a failure anywhere in the runtime, as an
+//     AbortedError naming the originating op.
 
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "comm/channel.h"  // default_comm_timeout / kCommTimeoutFromEnv
+#include "fault/abort_token.h"
 #include "tensor/tensor.h"
 
 namespace vocab {
@@ -34,12 +41,15 @@ enum class ReduceOp { Sum, Max };
 class DeviceGroup {
  public:
   explicit DeviceGroup(int world_size,
-                       std::chrono::milliseconds timeout = std::chrono::seconds(30));
+                       std::chrono::milliseconds timeout = kCommTimeoutFromEnv);
 
   DeviceGroup(const DeviceGroup&) = delete;
   DeviceGroup& operator=(const DeviceGroup&) = delete;
 
   [[nodiscard]] int world_size() const { return world_size_; }
+
+  /// Share the runtime's abort token; every rendezvous wait observes it.
+  void set_abort_token(std::shared_ptr<AbortToken> token);
 
   /// Block until all ranks arrive.
   void barrier(int rank, const std::string& tag);
@@ -64,6 +74,10 @@ class DeviceGroup {
   /// Number of collectives completed so far (for tests).
   [[nodiscard]] std::uint64_t completed_collectives() const;
 
+  /// One-line rendezvous snapshot: arrived count + per-rank waiting tags
+  /// (for watchdog reports).
+  [[nodiscard]] std::string describe() const;
+
  private:
   struct Slot {
     Tensor* tensor = nullptr;
@@ -71,8 +85,9 @@ class DeviceGroup {
   };
 
   // Runs `leader_fn` on the last-arriving rank, between the arrival phase and
-  // the departure phase. Throws DeadlockError on timeout, CheckError on tag
-  // or shape mismatch detected at rendezvous.
+  // the departure phase. Throws DeadlockError on timeout, AbortedError when
+  // the shared token aborts, CheckError on tag or shape mismatch detected at
+  // rendezvous.
   template <typename LeaderFn>
   void rendezvous(int rank, const std::string& tag, const char* kind, LeaderFn&& leader_fn);
 
@@ -80,11 +95,13 @@ class DeviceGroup {
 
   const int world_size_;
   const std::chrono::milliseconds timeout_;
+  std::shared_ptr<AbortToken> abort_;
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::vector<Slot> slots_;
   std::vector<std::string> tags_;
+  std::vector<bool> waiting_;
   int arrived_ = 0;
   int departed_ = 0;
   std::uint64_t generation_ = 0;

@@ -1,0 +1,50 @@
+#include "fault/abort_token.h"
+
+namespace vocab {
+
+namespace {
+
+std::string format_aborted(const AbortReason& reason, const std::string& context) {
+  std::string msg = "aborted";
+  if (!context.empty()) msg += " (" + context + ")";
+  msg += ": ";
+  if (reason.device >= 0) {
+    msg += "origin device " + std::to_string(reason.device);
+    if (reason.op_id >= 0) msg += " op " + std::to_string(reason.op_id);
+    msg += ": ";
+  }
+  msg += reason.what.empty() ? std::string("no reason recorded") : reason.what;
+  return msg;
+}
+
+}  // namespace
+
+AbortedError::AbortedError(const AbortReason& reason, const std::string& context)
+    : Error(format_aborted(reason, context)), device_(reason.device), op_id_(reason.op_id) {}
+
+bool AbortToken::abort(AbortReason reason) {
+  std::lock_guard lock(mutex_);
+  if (aborted_.load(std::memory_order_relaxed)) return false;
+  reason_ = std::move(reason);
+  // Release: the reason_ write happens-before any acquire load that sees true.
+  aborted_.store(true, std::memory_order_release);
+  return true;
+}
+
+AbortReason AbortToken::reason() const {
+  std::lock_guard lock(mutex_);
+  return reason_;
+}
+
+void AbortToken::throw_if_aborted(const std::string& context) const {
+  if (!aborted()) return;
+  throw AbortedError(reason(), context);
+}
+
+void AbortToken::reset() {
+  std::lock_guard lock(mutex_);
+  reason_ = AbortReason{};
+  aborted_.store(false, std::memory_order_release);
+}
+
+}  // namespace vocab

@@ -1,0 +1,80 @@
+#pragma once
+
+// Cooperative abort protocol for the multithreaded pipeline runtime.
+//
+// The first device thread that fails publishes an AbortReason into a shared
+// AbortToken; every blocking wait in the communication layer (Channel
+// send/recv/recv_tag, DeviceGroup rendezvous) and every op-dispatch loop
+// polls the token and throws AbortedError within one poll slice. This turns
+// "one op failed, every peer serializes a 30 s DeadlockError" into "all p
+// device threads unwind in milliseconds with the originating op attached".
+//
+// The token is deliberately sticky: once aborted, a trainer that shares it
+// stays poisoned until the owner rebuilds the runtime (the recovery path in
+// runtime/resilient_trainer reloads the last checkpoint and constructs a
+// fresh trainer — and with it a fresh token). reset() exists for tests and
+// for owners that can prove no thread is running.
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <string>
+
+#include "common/error.h"
+
+namespace vocab {
+
+/// Who requested the abort and why. device/op_id are -1 when the origin is
+/// not a scheduled op (e.g. the watchdog or an external cancel).
+struct AbortReason {
+  int device = -1;
+  int op_id = -1;
+  std::string what;
+};
+
+/// Thrown by a thread that observes an abort requested elsewhere. Carries the
+/// originating device/op so peer stack traces name the real failure instead
+/// of their own innocent wait.
+class AbortedError : public Error {
+ public:
+  AbortedError(const AbortReason& reason, const std::string& context);
+
+  [[nodiscard]] int origin_device() const { return device_; }
+  [[nodiscard]] int origin_op_id() const { return op_id_; }
+
+ private:
+  int device_;
+  int op_id_;
+};
+
+/// Process-wide (per trainer) abort flag + reason. Thread-safe; the first
+/// abort() wins and later calls are ignored.
+class AbortToken {
+ public:
+  /// Request an abort. Returns true if this call set the flag (first caller).
+  bool abort(AbortReason reason);
+
+  [[nodiscard]] bool aborted() const { return aborted_.load(std::memory_order_acquire); }
+
+  /// Copy of the winning reason (empty AbortReason if not aborted).
+  [[nodiscard]] AbortReason reason() const;
+
+  /// Throws AbortedError carrying the reason if the token is aborted.
+  void throw_if_aborted(const std::string& context) const;
+
+  /// Re-arm the token. Only safe when no thread can be observing it (tests,
+  /// or an owner that has joined every runtime thread).
+  void reset();
+
+ private:
+  std::atomic<bool> aborted_{false};
+  mutable std::mutex mutex_;
+  AbortReason reason_;
+};
+
+/// Longest interval a blocking comm wait may sleep before re-checking its
+/// AbortToken. Bounds abort latency even if a condition-variable notify is
+/// lost; every wait in Channel / DeviceGroup slices its timeout by this.
+inline constexpr std::chrono::milliseconds kAbortPollInterval{10};
+
+}  // namespace vocab

@@ -1,0 +1,137 @@
+#include "fault/fault_injector.h"
+
+#include <algorithm>
+#include <sstream>
+#include <thread>
+
+#include "common/rng.h"
+
+namespace vocab {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::ThrowInOp: return "throw";
+    case FaultKind::DelayOp: return "delay";
+    case FaultKind::StallDevice: return "stall";
+    case FaultKind::KillThread: return "kill";
+  }
+  return "?";
+}
+
+std::string FaultSpec::describe() const {
+  std::ostringstream os;
+  os << to_string(kind) << "@it" << iteration << ":d" << device << ":op" << op_index;
+  if (delay.count() > 0) os << ":" << delay.count() << "ms";
+  if (!note.empty()) os << " (" << note << ")";
+  return os.str();
+}
+
+FaultPlan FaultPlan::single(FaultSpec spec) {
+  FaultPlan plan;
+  plan.faults.push_back(std::move(spec));
+  return plan;
+}
+
+FaultPlan FaultPlan::random(std::uint64_t seed, int count, int num_devices,
+                            std::uint64_t max_iteration, int max_op_index,
+                            const std::vector<FaultKind>& kinds,
+                            std::chrono::milliseconds delay) {
+  FaultPlan plan;
+  if (kinds.empty() || count <= 0) return plan;
+  Rng rng(seed);
+  for (int i = 0; i < count; ++i) {
+    FaultSpec spec;
+    spec.kind = kinds[static_cast<std::size_t>(rng.uniform_int(kinds.size()))];
+    spec.iteration = rng.uniform_int(std::max<std::uint64_t>(max_iteration, 1));
+    spec.device = static_cast<int>(rng.uniform_int(static_cast<std::uint64_t>(std::max(num_devices, 1))));
+    spec.op_index = static_cast<int>(rng.uniform_int(static_cast<std::uint64_t>(std::max(max_op_index, 1))));
+    spec.delay = delay;
+    spec.note = "seed " + std::to_string(seed);
+    plan.faults.push_back(std::move(spec));
+  }
+  return plan;
+}
+
+std::string FaultPlan::summary() const {
+  std::ostringstream os;
+  os << faults.size() << " fault(s): [";
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << faults[i].describe();
+  }
+  os << "]";
+  return os.str();
+}
+
+namespace {
+
+/// Sleep `total` in kAbortPollInterval slices so an abort elsewhere wakes the
+/// sleeping device thread promptly. Returns true if the sleep was cut short.
+bool interruptible_sleep(std::chrono::milliseconds total, const AbortToken* token) {
+  const auto deadline = std::chrono::steady_clock::now() + total;
+  for (;;) {
+    if (token != nullptr && token->aborted()) return true;
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return false;
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+    std::this_thread::sleep_for(std::min(remaining, kAbortPollInterval));
+  }
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)), fired_(plan_.faults.size(), false) {}
+
+void FaultInjector::begin_iteration(std::uint64_t iteration) {
+  std::lock_guard lock(mutex_);
+  iteration_ = iteration;
+  std::fill(op_counters_.begin(), op_counters_.end(), 0);
+}
+
+void FaultInjector::on_op(int device, int op_id, const std::string& label,
+                          const AbortToken* token) {
+  const FaultSpec* hit = nullptr;
+  {
+    std::lock_guard lock(mutex_);
+    if (device >= static_cast<int>(op_counters_.size())) {
+      op_counters_.resize(static_cast<std::size_t>(device) + 1, 0);
+    }
+    const int index = op_counters_[static_cast<std::size_t>(device)]++;
+    for (std::size_t i = 0; i < plan_.faults.size(); ++i) {
+      const FaultSpec& spec = plan_.faults[i];
+      if (fired_[i] || spec.iteration != iteration_ || spec.device != device ||
+          spec.op_index != index) {
+        continue;
+      }
+      fired_[i] = true;
+      ++fired_count_;
+      hit = &spec;
+      break;
+    }
+  }
+  if (hit == nullptr) return;
+
+  std::ostringstream os;
+  os << "injected " << hit->describe() << " in op '" << label << "' (id " << op_id
+     << ") on device " << device;
+  switch (hit->kind) {
+    case FaultKind::ThrowInOp:
+      throw InjectedFault(os.str());
+    case FaultKind::KillThread:
+      throw ThreadKilledFault(os.str());
+    case FaultKind::DelayOp:
+    case FaultKind::StallDevice:
+      if (interruptible_sleep(hit->delay, token)) {
+        token->throw_if_aborted(os.str());
+      }
+      return;
+  }
+}
+
+int FaultInjector::faults_fired() const {
+  std::lock_guard lock(mutex_);
+  return fired_count_;
+}
+
+}  // namespace vocab

@@ -1,0 +1,113 @@
+#pragma once
+
+// Deterministic fault injection for the pipeline executor.
+//
+// A FaultPlan is a list of FaultSpecs addressed by (iteration, device,
+// op_index) — "the k-th op device d dispatches in iteration i". The
+// ScheduleExecutor calls FaultInjector::on_op before dispatching every op;
+// when a spec matches, the injector acts out the failure mode:
+//
+//   ThrowInOp   — throw InjectedFault (a clean op-level exception): exercises
+//                 the coordinated-abort path.
+//   DelayOp     — sleep `delay` then continue (a slow link / straggler op):
+//                 training must tolerate it and stay bit-identical.
+//   StallDevice — sleep `delay` (chosen longer than the watchdog's stall
+//                 deadline) so the watchdog, not the op, ends the run.
+//   KillThread  — throw ThreadKilledFault, which the executor treats as the
+//                 thread dying silently (no abort is raised): only the
+//                 watchdog can notice the resulting stall.
+//
+// Every mode is reproducible: FaultPlan::random derives specs from a seed via
+// the library Rng, and fired specs are one-shot so a recovery retry of the
+// same iteration does not re-fail.
+//
+// Iteration bookkeeping is driven by the training loop (begin_iteration),
+// not by the trainer internals: a rebuilt trainer must not reset the clock.
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "fault/abort_token.h"
+
+namespace vocab {
+
+enum class FaultKind { ThrowInOp, DelayOp, StallDevice, KillThread };
+
+[[nodiscard]] const char* to_string(FaultKind kind);
+
+/// Thrown by a ThrowInOp spec: an op failed cleanly on its device thread.
+class InjectedFault : public Error {
+ public:
+  explicit InjectedFault(const std::string& what) : Error(what) {}
+};
+
+/// Thrown by a KillThread spec; the executor swallows it without aborting so
+/// the thread simply disappears mid-schedule.
+class ThreadKilledFault : public Error {
+ public:
+  explicit ThreadKilledFault(const std::string& what) : Error(what) {}
+};
+
+/// One planned failure.
+struct FaultSpec {
+  FaultKind kind = FaultKind::ThrowInOp;
+  std::uint64_t iteration = 0;  ///< global training iteration to fire on
+  int device = 0;               ///< device thread to hit
+  int op_index = 0;             ///< k-th op that device dispatches that iteration
+  std::chrono::milliseconds delay{0};  ///< DelayOp / StallDevice duration
+  std::string note;             ///< free-form tag echoed into the error message
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// A reproducible set of failures.
+struct FaultPlan {
+  std::vector<FaultSpec> faults;
+
+  static FaultPlan single(FaultSpec spec);
+
+  /// Seed-driven plan: `count` specs of the given kinds, with iteration in
+  /// [0, max_iteration), device in [0, num_devices) and op_index in
+  /// [0, max_op_index). Identical for identical arguments on any platform.
+  static FaultPlan random(std::uint64_t seed, int count, int num_devices,
+                          std::uint64_t max_iteration, int max_op_index,
+                          const std::vector<FaultKind>& kinds,
+                          std::chrono::milliseconds delay = std::chrono::milliseconds(0));
+
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Thread-safe matcher + actor for one FaultPlan. Shared by the training
+/// loop (begin_iteration) and the executor's device threads (on_op).
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  /// Announce the global iteration about to run and reset the per-device op
+  /// counters. Call once per training-loop iteration *attempt*; a recovery
+  /// retry of iteration i calls begin_iteration(i) again (one-shot firing
+  /// keeps the retry clean).
+  void begin_iteration(std::uint64_t iteration);
+
+  /// Executor hook: called on the device thread before dispatching each op.
+  /// May throw InjectedFault / ThreadKilledFault / AbortedError, or sleep.
+  /// `token` (nullable) lets injected sleeps wake early on abort.
+  void on_op(int device, int op_id, const std::string& label, const AbortToken* token);
+
+  [[nodiscard]] int faults_fired() const;
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+ private:
+  FaultPlan plan_;
+  mutable std::mutex mutex_;
+  std::vector<bool> fired_;
+  std::vector<int> op_counters_;  // per device, within the current iteration
+  std::uint64_t iteration_ = 0;
+  int fired_count_ = 0;
+};
+
+}  // namespace vocab

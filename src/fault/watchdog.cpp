@@ -1,0 +1,117 @@
+#include "fault/watchdog.h"
+
+#include <sstream>
+
+namespace vocab {
+
+namespace {
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Watchdog::Watchdog(int num_devices, WatchdogConfig config, std::shared_ptr<AbortToken> token,
+                   std::function<std::string(int, int)> describe_op,
+                   std::function<std::string()> comm_snapshot)
+    : config_(config), token_(std::move(token)), describe_op_(std::move(describe_op)),
+      comm_snapshot_(std::move(comm_snapshot)),
+      beats_(static_cast<std::size_t>(num_devices)) {}
+
+Watchdog::~Watchdog() { stop(); }
+
+void Watchdog::start() {
+  const std::int64_t t0 = now_ns();
+  // Arm every device from "now": a thread that dies (or deadlocks) before its
+  // first op still trips the deadline.
+  for (Beat& b : beats_) b.last_beat_ns.store(t0, std::memory_order_release);
+  thread_ = std::thread([this] { loop(); });
+}
+
+void Watchdog::stop() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Watchdog::heartbeat(int device, int op_id) {
+  Beat& b = beats_[static_cast<std::size_t>(device)];
+  b.op_id.store(op_id, std::memory_order_relaxed);
+  b.ops_started.fetch_add(1, std::memory_order_relaxed);
+  b.last_beat_ns.store(now_ns(), std::memory_order_release);
+}
+
+void Watchdog::mark_done(int device) {
+  beats_[static_cast<std::size_t>(device)].done.store(true, std::memory_order_release);
+}
+
+std::string Watchdog::last_report() const {
+  std::lock_guard lock(mutex_);
+  return report_;
+}
+
+std::string Watchdog::build_report(std::int64_t now) const {
+  std::ostringstream os;
+  os << "watchdog: stall deadline " << config_.stall_deadline.count() << " ms exceeded\n";
+  for (std::size_t d = 0; d < beats_.size(); ++d) {
+    const Beat& b = beats_[d];
+    const double silent_ms =
+        static_cast<double>(now - b.last_beat_ns.load(std::memory_order_acquire)) / 1e6;
+    os << "  device " << d << ": ";
+    if (b.done.load(std::memory_order_acquire)) {
+      os << "done (" << b.ops_started.load(std::memory_order_relaxed) << " ops)";
+    } else {
+      const int op = b.op_id.load(std::memory_order_relaxed);
+      os << (op < 0 ? std::string("no op dispatched yet")
+                    : describe_op_ ? describe_op_(static_cast<int>(d), op)
+                                   : "op " + std::to_string(op));
+      os << ", silent " << static_cast<std::int64_t>(silent_ms) << " ms, "
+         << b.ops_started.load(std::memory_order_relaxed) << " ops started";
+    }
+    os << "\n";
+  }
+  if (comm_snapshot_) os << comm_snapshot_();
+  return os.str();
+}
+
+void Watchdog::loop() {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    if (cv_.wait_for(lock, config_.poll_interval, [&] { return stop_requested_; })) return;
+    if (token_->aborted()) return;
+
+    bool all_done = true;
+    int stalled = -1;
+    const std::int64_t now = now_ns();
+    const std::int64_t deadline_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(config_.stall_deadline).count();
+    for (std::size_t d = 0; d < beats_.size(); ++d) {
+      const Beat& b = beats_[d];
+      if (b.done.load(std::memory_order_acquire)) continue;
+      all_done = false;
+      if (now - b.last_beat_ns.load(std::memory_order_acquire) > deadline_ns) {
+        stalled = static_cast<int>(d);
+        break;
+      }
+    }
+    if (all_done) return;
+    if (stalled < 0) continue;
+
+    report_ = build_report(now);
+    fired_.store(true, std::memory_order_release);
+    AbortReason reason;
+    reason.device = stalled;
+    reason.op_id = beats_[static_cast<std::size_t>(stalled)].op_id.load(std::memory_order_relaxed);
+    reason.what = report_;
+    token_->abort(std::move(reason));
+    return;
+  }
+}
+
+}  // namespace vocab

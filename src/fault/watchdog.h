@@ -1,0 +1,89 @@
+#pragma once
+
+// Stall watchdog for the pipeline executor's device threads.
+//
+// Each device thread heartbeats before dispatching an op; a background
+// watchdog thread polls the heartbeats and, when a not-yet-finished device
+// has been silent past the stall deadline, assembles a diagnostic snapshot
+// (per-device current op + time in op, plus an owner-provided description of
+// channel occupancy and collective waiters) and aborts the shared token.
+// This is the only mechanism that can end a run whose thread died without
+// throwing (FaultKind::KillThread, or a real crash swallowed elsewhere):
+// the peers are blocked in receives that will never complete, and the
+// watchdog converts that silence into a coordinated AbortedError carrying
+// the snapshot.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fault/abort_token.h"
+
+namespace vocab {
+
+struct WatchdogConfig {
+  /// A device silent this long (while unfinished) is declared stalled.
+  std::chrono::milliseconds stall_deadline{2000};
+  /// Heartbeat poll cadence; also bounds detection latency past the deadline.
+  std::chrono::milliseconds poll_interval{25};
+};
+
+class Watchdog {
+ public:
+  /// `describe_op(device, op_id)` renders a heartbeat for the report;
+  /// `comm_snapshot()` (nullable) appends channel/collective state.
+  Watchdog(int num_devices, WatchdogConfig config, std::shared_ptr<AbortToken> token,
+           std::function<std::string(int, int)> describe_op,
+           std::function<std::string()> comm_snapshot);
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  void start();
+  void stop();
+
+  /// Device `device` is about to dispatch op `op_id`. Lock-free.
+  void heartbeat(int device, int op_id);
+
+  /// Device `device` finished its sequence (or unwound with an exception that
+  /// was reported); the watchdog stops monitoring it.
+  void mark_done(int device);
+
+  /// Non-empty once the watchdog has declared a stall.
+  [[nodiscard]] std::string last_report() const;
+  [[nodiscard]] bool fired() const { return fired_.load(std::memory_order_acquire); }
+
+ private:
+  struct Beat {
+    std::atomic<std::int64_t> last_beat_ns{0};
+    std::atomic<int> op_id{-1};
+    std::atomic<std::int64_t> ops_started{0};
+    std::atomic<bool> done{false};
+  };
+
+  void loop();
+  [[nodiscard]] std::string build_report(std::int64_t now_ns) const;
+
+  const WatchdogConfig config_;
+  std::shared_ptr<AbortToken> token_;
+  std::function<std::string(int, int)> describe_op_;
+  std::function<std::string()> comm_snapshot_;
+  std::vector<Beat> beats_;
+
+  mutable std::mutex mutex_;  // guards stop_requested_ + report_ and the cv
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  std::string report_;
+  std::atomic<bool> fired_{false};
+  std::thread thread_;
+};
+
+}  // namespace vocab

@@ -1,8 +1,11 @@
 #include "runtime/checkpoint.h"
 
+#include <array>
 #include <cstdint>
 #include <cstdio>
 #include <memory>
+
+#include <unistd.h>
 
 #include "common/error.h"
 
@@ -10,7 +13,11 @@ namespace vocab {
 
 namespace {
 
-constexpr std::uint64_t kMagic = 0x564f434142435031ULL;  // "VOCABCP1"
+// "VOCABCP2": version 2 appends a CRC32 trailer and is written via a temp
+// file + atomic rename, so a crash mid-save can never leave a torn file at
+// the destination path and a torn/bit-flipped file is rejected at load.
+constexpr std::uint64_t kMagic = 0x564f434142435032ULL;
+constexpr std::uint64_t kMagicV1 = 0x564f434142435031ULL;
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -19,94 +26,169 @@ struct FileCloser {
 };
 using File = std::unique_ptr<std::FILE, FileCloser>;
 
-void write_bytes(std::FILE* f, const void* data, std::size_t size, const std::string& path) {
-  VOCAB_CHECK(std::fwrite(data, 1, size, f) == size, "short write to " << path);
+// CRC32 (IEEE, reflected polynomial 0xEDB88320), table-driven.
+const std::array<std::uint32_t, 256>& crc32_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
 }
 
-void read_bytes(std::FILE* f, void* data, std::size_t size, const std::string& path) {
-  VOCAB_CHECK(std::fread(data, 1, size, f) == size, "short read from " << path
-                                                                       << " (truncated?)");
-}
-
-void write_u64(std::FILE* f, std::uint64_t v, const std::string& path) {
-  write_bytes(f, &v, sizeof(v), path);
-}
-
-std::uint64_t read_u64(std::FILE* f, const std::string& path) {
-  std::uint64_t v = 0;
-  read_bytes(f, &v, sizeof(v), path);
-  return v;
-}
-
-void write_tensor(std::FILE* f, const Tensor& t, const std::string& path) {
-  write_u64(f, static_cast<std::uint64_t>(t.rank()), path);
-  for (int i = 0; i < t.rank(); ++i) {
-    write_u64(f, static_cast<std::uint64_t>(t.dim(i)), path);
+std::uint32_t crc32_update(std::uint32_t crc, const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  crc ^= 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = crc32_table()[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
   }
-  write_bytes(f, t.data(), static_cast<std::size_t>(t.numel()) * sizeof(float), path);
+  return crc ^ 0xFFFFFFFFu;
 }
 
-Tensor read_tensor(std::FILE* f, const std::string& path) {
-  const auto rank = read_u64(f, path);
+/// FILE wrapper that maintains a running CRC32 of every payload byte written
+/// or read after the magic, so save can append — and load can verify — the
+/// integrity trailer without buffering the file.
+struct Stream {
+  std::FILE* f = nullptr;
+  const std::string& path;
+  std::uint32_t crc = 0;
+
+  void write(const void* data, std::size_t size) {
+    VOCAB_CHECK(std::fwrite(data, 1, size, f) == size, "short write to " << path);
+    crc = crc32_update(crc, data, size);
+  }
+  void read(void* data, std::size_t size) {
+    VOCAB_CHECK(std::fread(data, 1, size, f) == size,
+                "short read from " << path << " at byte " << std::ftell(f)
+                                   << " (truncated checkpoint?)");
+    crc = crc32_update(crc, data, size);
+  }
+  void write_u64(std::uint64_t v) { write(&v, sizeof(v)); }
+  [[nodiscard]] std::uint64_t read_u64() {
+    std::uint64_t v = 0;
+    read(&v, sizeof(v));
+    return v;
+  }
+};
+
+void write_tensor(Stream& s, const Tensor& t) {
+  s.write_u64(static_cast<std::uint64_t>(t.rank()));
+  for (int i = 0; i < t.rank(); ++i) {
+    s.write_u64(static_cast<std::uint64_t>(t.dim(i)));
+  }
+  s.write(t.data(), static_cast<std::size_t>(t.numel()) * sizeof(float));
+}
+
+Tensor read_tensor(Stream& s) {
+  const auto rank = s.read_u64();
   VOCAB_CHECK(rank >= 1 && rank <= 4, "checkpoint tensor has invalid rank " << rank);
   std::vector<std::int64_t> shape;
   shape.reserve(rank);
+  std::uint64_t numel = 1;
   for (std::uint64_t i = 0; i < rank; ++i) {
-    shape.push_back(static_cast<std::int64_t>(read_u64(f, path)));
+    const std::uint64_t dim = s.read_u64();
+    // A corrupted dimension must fail here, not as a giant allocation (the
+    // CRC check only runs once the payload has been read).
+    VOCAB_CHECK(dim >= 1 && dim <= (1ULL << 32),
+                "checkpoint tensor has implausible dim " << dim << " (corrupted?)");
+    numel *= dim;
+    VOCAB_CHECK(numel <= (1ULL << 33), "checkpoint tensor has implausible size (corrupted?)");
+    shape.push_back(static_cast<std::int64_t>(dim));
   }
   Tensor t(std::move(shape));
-  read_bytes(f, t.data(), static_cast<std::size_t>(t.numel()) * sizeof(float), path);
+  s.read(t.data(), static_cast<std::size_t>(t.numel()) * sizeof(float));
   return t;
+}
+
+void write_raw_u64(std::FILE* f, std::uint64_t v, const std::string& path) {
+  VOCAB_CHECK(std::fwrite(&v, 1, sizeof(v), f) == sizeof(v), "short write to " << path);
+}
+
+std::uint64_t read_raw_u64(std::FILE* f, const std::string& path) {
+  std::uint64_t v = 0;
+  VOCAB_CHECK(std::fread(&v, 1, sizeof(v), f) == sizeof(v),
+              "short read from " << path << " (truncated checkpoint?)");
+  return v;
 }
 
 }  // namespace
 
 void save_checkpoint(const std::string& path, const GptWeights& weights) {
-  File f(std::fopen(path.c_str(), "wb"));
-  VOCAB_CHECK(f != nullptr, "cannot open " << path << " for writing");
-  write_u64(f.get(), kMagic, path);
-  const GptConfig& c = weights.config;
-  write_u64(f.get(), static_cast<std::uint64_t>(c.num_layers), path);
-  write_u64(f.get(), static_cast<std::uint64_t>(c.heads), path);
-  write_u64(f.get(), static_cast<std::uint64_t>(c.hidden), path);
-  write_u64(f.get(), static_cast<std::uint64_t>(c.seq_len), path);
-  write_u64(f.get(), static_cast<std::uint64_t>(c.vocab), path);
-  write_u64(f.get(), c.tie_embeddings ? 1 : 0, path);
-  write_tensor(f.get(), weights.input_embedding, path);
-  write_tensor(f.get(), weights.pos_embedding, path);
-  for (const auto& layer : weights.layers) {
-    for (const Tensor* t : {&layer.ln1_g, &layer.ln1_b, &layer.wq, &layer.wk, &layer.wv,
-                            &layer.wo, &layer.ln2_g, &layer.ln2_b, &layer.w1, &layer.b1,
-                            &layer.w2, &layer.b2}) {
-      write_tensor(f.get(), *t, path);
+  // Write to a sibling temp file and rename into place: the destination
+  // either keeps its previous (complete) contents or atomically becomes the
+  // new complete checkpoint — never a torn intermediate.
+  const std::string tmp = path + ".tmp";
+  {
+    File f(std::fopen(tmp.c_str(), "wb"));
+    VOCAB_CHECK(f != nullptr, "cannot open " << tmp << " for writing");
+    write_raw_u64(f.get(), kMagic, tmp);
+    Stream s{f.get(), tmp};
+    const GptConfig& c = weights.config;
+    s.write_u64(static_cast<std::uint64_t>(c.num_layers));
+    s.write_u64(static_cast<std::uint64_t>(c.heads));
+    s.write_u64(static_cast<std::uint64_t>(c.hidden));
+    s.write_u64(static_cast<std::uint64_t>(c.seq_len));
+    s.write_u64(static_cast<std::uint64_t>(c.vocab));
+    s.write_u64(c.tie_embeddings ? 1 : 0);
+    write_tensor(s, weights.input_embedding);
+    write_tensor(s, weights.pos_embedding);
+    for (const auto& layer : weights.layers) {
+      for (const Tensor* t : {&layer.ln1_g, &layer.ln1_b, &layer.wq, &layer.wk, &layer.wv,
+                              &layer.wo, &layer.ln2_g, &layer.ln2_b, &layer.w1, &layer.b1,
+                              &layer.w2, &layer.b2}) {
+        write_tensor(s, *t);
+      }
     }
+    write_tensor(s, weights.output_weight);
+    write_raw_u64(f.get(), s.crc, tmp);
+    VOCAB_CHECK(std::fflush(f.get()) == 0, "flush failed for " << tmp);
+    VOCAB_CHECK(::fsync(::fileno(f.get())) == 0, "fsync failed for " << tmp);
   }
-  write_tensor(f.get(), weights.output_weight, path);
-  VOCAB_CHECK(std::fflush(f.get()) == 0, "flush failed for " << path);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    VOCAB_FAIL("cannot rename " << tmp << " into " << path);
+  }
 }
 
 GptWeights load_checkpoint(const std::string& path) {
   File f(std::fopen(path.c_str(), "rb"));
   VOCAB_CHECK(f != nullptr, "cannot open checkpoint " << path);
-  VOCAB_CHECK(read_u64(f.get(), path) == kMagic, path << " is not a vocab checkpoint");
+  const std::uint64_t magic = read_raw_u64(f.get(), path);
+  VOCAB_CHECK(magic != kMagicV1,
+              path << " is a v1 checkpoint (no integrity trailer); re-save it with this "
+                      "version to upgrade");
+  VOCAB_CHECK(magic == kMagic, path << " is not a vocab checkpoint");
+  Stream s{f.get(), path};
   GptWeights w;
-  w.config.num_layers = static_cast<int>(read_u64(f.get(), path));
-  w.config.heads = static_cast<int>(read_u64(f.get(), path));
-  w.config.hidden = static_cast<std::int64_t>(read_u64(f.get(), path));
-  w.config.seq_len = static_cast<std::int64_t>(read_u64(f.get(), path));
-  w.config.vocab = static_cast<std::int64_t>(read_u64(f.get(), path));
-  w.config.tie_embeddings = read_u64(f.get(), path) != 0;
-  w.input_embedding = read_tensor(f.get(), path);
-  w.pos_embedding = read_tensor(f.get(), path);
+  w.config.num_layers = static_cast<int>(s.read_u64());
+  w.config.heads = static_cast<int>(s.read_u64());
+  w.config.hidden = static_cast<std::int64_t>(s.read_u64());
+  w.config.seq_len = static_cast<std::int64_t>(s.read_u64());
+  w.config.vocab = static_cast<std::int64_t>(s.read_u64());
+  w.config.tie_embeddings = s.read_u64() != 0;
+  VOCAB_CHECK(w.config.num_layers >= 0 && w.config.num_layers <= 1 << 20,
+              path << " has implausible layer count " << w.config.num_layers
+                   << " (corrupted?)");
+  w.input_embedding = read_tensor(s);
+  w.pos_embedding = read_tensor(s);
   w.layers.resize(static_cast<std::size_t>(w.config.num_layers));
   for (auto& layer : w.layers) {
     for (Tensor* t : {&layer.ln1_g, &layer.ln1_b, &layer.wq, &layer.wk, &layer.wv, &layer.wo,
                       &layer.ln2_g, &layer.ln2_b, &layer.w1, &layer.b1, &layer.w2,
                       &layer.b2}) {
-      *t = read_tensor(f.get(), path);
+      *t = read_tensor(s);
     }
   }
-  w.output_weight = read_tensor(f.get(), path);
+  w.output_weight = read_tensor(s);
+  const std::uint64_t stored_crc = read_raw_u64(f.get(), path);
+  VOCAB_CHECK(stored_crc == s.crc,
+              path << " failed its CRC32 integrity check: stored " << stored_crc
+                   << ", computed " << s.crc << " (bit-flipped or corrupted checkpoint)");
+  VOCAB_CHECK(std::fgetc(f.get()) == EOF, path << " has trailing bytes after the CRC trailer");
   return w;
 }
 

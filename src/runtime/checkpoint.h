@@ -2,13 +2,17 @@
 
 // Checkpoint I/O for GPT weights.
 //
-// A simple self-describing binary format: a magic header, the model config,
-// then each tensor as (rank, dims..., fp32 data). Because Vocabulary
-// Parallelism keeps the whole (padded) vocabulary logically contiguous
-// across shards, a full checkpoint can always be reassembled from a
-// pipeline's shards and re-sharded onto a *different* pipeline width — the
-// property the paper's Redis baseline lacks (its placement depends on the
-// model/pipeline configuration).
+// A simple self-describing binary format (v2): a magic header, the model
+// config, each tensor as (rank, dims..., fp32 data), then a CRC32 trailer
+// over everything after the magic. Saves go through a temp file + atomic
+// rename, so a crash mid-save can never tear the destination; loads verify
+// the CRC and reject truncated or bit-flipped files with a precise error.
+// Because Vocabulary Parallelism keeps the whole (padded) vocabulary
+// logically contiguous across shards, a full checkpoint can always be
+// reassembled from a pipeline's shards and re-sharded onto a *different*
+// pipeline width — the property the paper's Redis baseline lacks (its
+// placement depends on the model/pipeline configuration), and exactly the
+// recovery primitive the elastic restart path in resilient_trainer uses.
 
 #include <string>
 

@@ -67,7 +67,8 @@ struct PipelineTrainer::Device {
 
 PipelineTrainer::PipelineTrainer(GptWeights weights, int p, OutputAlgo algo,
                                  PipelineFlavor flavor)
-    : config_(weights.config), p_(p), algo_(algo), flavor_(flavor) {
+    : config_(weights.config), p_(p), algo_(algo), flavor_(flavor),
+      abort_(std::make_shared<AbortToken>()) {
   VOCAB_CHECK(p >= 1, "need at least one device");
   const int stages = num_stages();
   VOCAB_CHECK(config_.num_layers % stages == 0,
@@ -122,11 +123,16 @@ PipelineTrainer::PipelineTrainer(GptWeights weights, int p, OutputAlgo algo,
     devices_.push_back(std::move(dev));
   }
 
-  if (vocab_sharded()) group_ = std::make_unique<DeviceGroup>(p);
+  if (vocab_sharded()) {
+    group_ = std::make_unique<DeviceGroup>(p);
+    group_->set_abort_token(abort_);
+  }
   if (flavor == PipelineFlavor::Naive) {
     for (int d = 0; d + 1 < p; ++d) {
       fwd_.push_back(std::make_unique<Channel>());
       bwd_.push_back(std::make_unique<Channel>());
+      fwd_.back()->set_abort_token(abort_);
+      bwd_.back()->set_abort_token(abort_);
     }
     const int per_device = parallel::num_threads() / p;
     if (per_device >= 2) {
@@ -138,7 +144,10 @@ PipelineTrainer::PipelineTrainer(GptWeights weights, int p, OutputAlgo algo,
     // Scheduled path: one tag-addressed mailbox per device. Sends never
     // rendezvous (capacity far exceeds the microbatches in flight), which is
     // what lets transfers overlap the producer's next compute op.
-    for (int d = 0; d < p; ++d) mail_.push_back(std::make_unique<Channel>());
+    for (int d = 0; d < p; ++d) {
+      mail_.push_back(std::make_unique<Channel>());
+      mail_.back()->set_abort_token(abort_);
+    }
   }
   pos_embedding_ = std::move(weights.pos_embedding);
   pos_embedding_grad_ = Tensor(pos_embedding_.shape());
@@ -194,9 +203,31 @@ ScheduleExecutor& PipelineTrainer::executor_for(int m) {
       VOCAB_FAIL("the naive flavor does not execute a schedule");
   }
   auto ex = std::make_unique<ScheduleExecutor>(std::move(sched));
+  ex->set_abort_token(abort_);
+  if (injector_ != nullptr) ex->set_fault_injector(injector_);
+  if (watchdog_enabled_) ex->enable_watchdog(watchdog_config_);
+  ex->set_comm_snapshot([this] {
+    std::string s;
+    for (std::size_t d = 0; d < mail_.size(); ++d) {
+      s += "  mailbox[" + std::to_string(d) + "]: " + mail_[d]->describe() + "\n";
+    }
+    if (group_ != nullptr) s += "  collective group: " + group_->describe() + "\n";
+    return s;
+  });
   ScheduleExecutor& ref = *ex;
   executors_.emplace(m, std::move(ex));
   return ref;
+}
+
+void PipelineTrainer::set_fault_injector(std::shared_ptr<FaultInjector> injector) {
+  injector_ = std::move(injector);
+  for (auto& [m, ex] : executors_) ex->set_fault_injector(injector_);
+}
+
+void PipelineTrainer::enable_watchdog(WatchdogConfig config) {
+  watchdog_config_ = config;
+  watchdog_enabled_ = true;
+  for (auto& [m, ex] : executors_) ex->enable_watchdog(config);
 }
 
 // ---------------------------------------------------------------------------
@@ -506,6 +537,14 @@ void PipelineTrainer::optimizer_step_device(int d, const OptimizerConfig& opt) {
 float PipelineTrainer::train_iteration(const std::vector<Sample>& microbatches,
                                        const OptimizerConfig& opt) {
   VOCAB_CHECK(!microbatches.empty(), "need at least one microbatch");
+  // A failed iteration leaves partial gradients and in-flight mailbox state
+  // behind; the token stays aborted to poison further use. Recovery means
+  // rebuilding a fresh trainer from the last checkpoint (ResilientTrainer).
+  if (abort_->aborted()) {
+    throw AbortedError(abort_->reason(),
+                       "trainer poisoned by an earlier failure — rebuild from a "
+                       "checkpoint before training again");
+  }
   return flavor_ == PipelineFlavor::Naive ? train_iteration_naive(microbatches, opt)
                                           : train_iteration_scheduled(microbatches, opt);
 }
@@ -584,12 +623,26 @@ float PipelineTrainer::train_iteration_naive(const std::vector<Sample>& microbat
     threads.emplace_back([&, d] {
       try {
         device_main(d);
+      } catch (const AbortedError&) {
+        // Secondary: a peer already aborted; keep the originating error.
+        errors[static_cast<std::size_t>(d)] = std::current_exception();
+      } catch (const std::exception& e) {
+        errors[static_cast<std::size_t>(d)] = std::current_exception();
+        abort_->abort(AbortReason{d, -1, e.what()});
       } catch (...) {
         errors[static_cast<std::size_t>(d)] = std::current_exception();
+        abort_->abort(AbortReason{d, -1, "non-standard exception"});
       }
     });
   }
   for (auto& t : threads) t.join();
+  // Prefer the originating failure over peers' secondary AbortedErrors.
+  if (abort_->aborted()) {
+    const int origin = abort_->reason().device;
+    if (origin >= 0 && origin < p_ && errors[static_cast<std::size_t>(origin)]) {
+      std::rethrow_exception(errors[static_cast<std::size_t>(origin)]);
+    }
+  }
   for (const auto& e : errors) {
     if (e) std::rethrow_exception(e);
   }

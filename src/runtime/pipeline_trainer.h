@@ -26,6 +26,9 @@
 #include <memory>
 #include <vector>
 
+#include "fault/abort_token.h"
+#include "fault/fault_injector.h"
+#include "fault/watchdog.h"
 #include "core/input_layer_shard.h"
 #include "core/output_layer_shard.h"
 #include "model/gpt.h"
@@ -76,6 +79,21 @@ class PipelineTrainer {
   /// flavor or before the first iteration).
   [[nodiscard]] const ExecutorStats* last_executor_stats() const;
 
+  /// The trainer's shared abort token. The first device-thread failure in a
+  /// train_iteration aborts it, which unblocks every channel/collective wait
+  /// in milliseconds; the trainer is then poisoned — further iterations
+  /// throw until the owner rebuilds from a checkpoint (see ResilientTrainer).
+  [[nodiscard]] const std::shared_ptr<AbortToken>& abort_token() const { return abort_; }
+
+  /// Install a fault plan (scheduled flavors only; each executor op dispatch
+  /// consults it). The caller drives FaultInjector::begin_iteration.
+  void set_fault_injector(std::shared_ptr<FaultInjector> injector);
+
+  /// Run a stall watchdog inside every scheduled train_iteration; on a stall
+  /// past the deadline it aborts with a snapshot of per-device ops, mailbox
+  /// occupancy and collective waiters.
+  void enable_watchdog(WatchdogConfig config);
+
   /// Reassembled full tensors (gathered from the shards) for equivalence
   /// checks against the reference trainer.
   [[nodiscard]] Tensor gathered_input_embedding() const;
@@ -108,6 +126,10 @@ class PipelineTrainer {
   int p_;
   OutputAlgo algo_;
   PipelineFlavor flavor_;
+  std::shared_ptr<AbortToken> abort_;
+  std::shared_ptr<FaultInjector> injector_;
+  WatchdogConfig watchdog_config_;
+  bool watchdog_enabled_ = false;
   std::vector<std::unique_ptr<Device>> devices_;
   std::unique_ptr<class DeviceGroup> group_;
   // Naive path: fwd_[d] carries activations d -> d+1; bwd_[d] carries grads

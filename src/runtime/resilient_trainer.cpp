@@ -1,0 +1,111 @@
+#include "runtime/resilient_trainer.h"
+
+#include <exception>
+#include <utility>
+
+#include "common/error.h"
+#include "runtime/checkpoint.h"
+
+namespace vocab {
+
+namespace {
+
+int min_width(PipelineFlavor flavor) {
+  switch (flavor) {
+    case PipelineFlavor::Gpipe:
+    case PipelineFlavor::OneFOneBVocab:
+    case PipelineFlavor::VHalf:
+      return 2;  // vocabulary-parallel schedules need >= 2 devices
+    case PipelineFlavor::Naive:
+    case PipelineFlavor::Baseline1F1B:
+      return 1;
+  }
+  return 1;
+}
+
+int stages_of(int width, PipelineFlavor flavor) {
+  return flavor == PipelineFlavor::VHalf ? 2 * width : width;
+}
+
+}  // namespace
+
+int ResilientTrainer::next_smaller_width(int width, int num_layers, PipelineFlavor flavor) {
+  for (int w = width / 2; w >= min_width(flavor); --w) {
+    if (num_layers % stages_of(w, flavor) == 0) return w;
+  }
+  return 0;
+}
+
+ResilientTrainer::ResilientTrainer(GptWeights weights, int p, OutputAlgo algo,
+                                   PipelineFlavor flavor, RecoveryPolicy policy)
+    : algo_(algo), flavor_(flavor), policy_(std::move(policy)), width_(p) {
+  VOCAB_CHECK(!policy_.checkpoint_path.empty(), "RecoveryPolicy needs a checkpoint_path");
+  VOCAB_CHECK(policy_.checkpoint_every >= 1, "checkpoint_every must be >= 1");
+  VOCAB_CHECK(policy_.max_retries_per_iteration >= 1, "need at least one retry");
+  // Iteration-0 baseline: even a failure in the very first iteration has a
+  // good state to fall back to.
+  save_checkpoint(policy_.checkpoint_path, weights);
+  rebuild(std::move(weights), p);
+}
+
+ResilientTrainer::~ResilientTrainer() = default;
+
+void ResilientTrainer::rebuild(GptWeights weights, int width) {
+  trainer_ = nullptr;  // release the old (possibly poisoned) trainer first
+  trainer_ = std::make_unique<PipelineTrainer>(std::move(weights), width, algo_, flavor_);
+  width_ = width;
+  if (injector_ != nullptr) trainer_->set_fault_injector(injector_);
+  if (policy_.enable_watchdog) trainer_->enable_watchdog(policy_.watchdog);
+}
+
+void ResilientTrainer::set_fault_injector(std::shared_ptr<FaultInjector> injector) {
+  injector_ = std::move(injector);
+  if (trainer_ != nullptr) trainer_->set_fault_injector(injector_);
+}
+
+float ResilientTrainer::train_iteration(const std::vector<Sample>& microbatches,
+                                        const OptimizerConfig& opt) {
+  for (int attempt = 1;; ++attempt) {
+    // Global iteration index: a rebuilt trainer must not restart the fault
+    // clock, and one-shot specs must not re-fire on the retry.
+    if (injector_ != nullptr) injector_->begin_iteration(iteration_);
+    try {
+      const float loss = trainer_->train_iteration(microbatches, opt);
+      ++iteration_;
+      if (iteration_ % static_cast<std::uint64_t>(policy_.checkpoint_every) == 0) {
+        save_checkpoint(policy_.checkpoint_path, trainer_->export_weights());
+      }
+      return loss;
+    } catch (const std::exception& e) {
+      ++stats_.faults_observed;
+      stats_.events.push_back("iter " + std::to_string(iteration_) + " attempt " +
+                              std::to_string(attempt) + " failed on width " +
+                              std::to_string(width_) + ": " + e.what());
+      if (attempt >= policy_.max_retries_per_iteration) throw;
+
+      int width = width_;
+      if (policy_.allow_elastic_downgrade && attempt >= policy_.retries_before_downgrade) {
+        const int smaller =
+            next_smaller_width(width_, trainer_->config().num_layers, flavor_);
+        if (smaller > 0) {
+          width = smaller;
+          ++stats_.downgrades;
+          stats_.events.push_back("iter " + std::to_string(iteration_) +
+                                  ": elastic downgrade " + std::to_string(width_) + " -> " +
+                                  std::to_string(width));
+        }
+      }
+      // Reload the last good checkpoint and reshard onto `width` devices;
+      // the failed attempt's partial state is discarded with the trainer.
+      rebuild(load_checkpoint(policy_.checkpoint_path), width);
+      ++stats_.recoveries;
+      stats_.events.push_back("iter " + std::to_string(iteration_) +
+                              ": recovered from checkpoint onto width " +
+                              std::to_string(width));
+    }
+  }
+}
+
+GptWeights ResilientTrainer::export_weights() const { return trainer_->export_weights(); }
+
+}  // namespace vocab

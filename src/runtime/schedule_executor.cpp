@@ -132,11 +132,56 @@ const std::vector<int>& ScheduleExecutor::device_sequence(int device) const {
   return sequences_[static_cast<std::size_t>(device)];
 }
 
+void ScheduleExecutor::set_abort_token(std::shared_ptr<AbortToken> token) {
+  abort_ = std::move(token);
+}
+
+void ScheduleExecutor::set_fault_injector(std::shared_ptr<FaultInjector> injector) {
+  injector_ = std::move(injector);
+}
+
+void ScheduleExecutor::enable_watchdog(WatchdogConfig config) {
+  watchdog_config_ = config;
+  watchdog_enabled_ = true;
+}
+
+void ScheduleExecutor::set_comm_snapshot(std::function<std::string()> snapshot) {
+  comm_snapshot_ = std::move(snapshot);
+}
+
 void ScheduleExecutor::run(OpRunner& runner) {
   const int p = schedule_.num_devices;
   stats_.wall_seconds = 0.0;
   stats_.compute_seconds.assign(static_cast<std::size_t>(p), 0.0);
+  watchdog_report_.clear();
+
+  // A run over an already-aborted token would have every comm wait throw
+  // immediately; the owner must rebuild (or reset) first.
+  const std::shared_ptr<AbortToken> token =
+      abort_ != nullptr ? abort_ : std::make_shared<AbortToken>();
+  VOCAB_CHECK(!token->aborted(),
+              "executor started on an aborted runtime: " << token->reason().what
+                                                         << " — rebuild before retrying");
+
+  std::unique_ptr<Watchdog> watchdog;
+  if (watchdog_enabled_) {
+    watchdog = std::make_unique<Watchdog>(
+        p, watchdog_config_, token,
+        [this](int device, int op_id) {
+          const Op& op = schedule_.op(op_id);
+          return "op '" + op.label + "' (id " + std::to_string(op_id) + ", " +
+                 to_string(op.kind) + ") on device " + std::to_string(device);
+        },
+        comm_snapshot_);
+    watchdog->start();
+  }
+
+  // Per-device outcome of this run. kKilled threads raise no abort: the
+  // fault model for a silently-dying rank is that only the watchdog's stall
+  // deadline can discover it.
+  enum class Outcome { kOk, kFailed, kAborted, kKilled };
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(p));
+  std::vector<Outcome> outcomes(static_cast<std::size_t>(p), Outcome::kOk);
 
   const auto t0 = Clock::now();
   std::vector<std::thread> threads;
@@ -147,9 +192,17 @@ void ScheduleExecutor::run(OpRunner& runner) {
       // (or force serial when the machine is narrower than the pipeline).
       parallel::ScopedPool scope(pools_.empty() ? nullptr : pools_[static_cast<std::size_t>(d)].get());
       double compute = 0.0;
+      int current_op = -1;
       try {
         for (const int id : sequences_[static_cast<std::size_t>(d)]) {
           const Op& op = schedule_.op(id);
+          current_op = id;
+          // Devices busy computing (not blocked in a wait) still stop at the
+          // next op boundary after a peer fails.
+          token->throw_if_aborted("device " + std::to_string(d) + " before op '" + op.label +
+                                  "'");
+          if (watchdog != nullptr) watchdog->heartbeat(d, id);
+          if (injector_ != nullptr) injector_->on_op(d, id, op.label, token.get());
           if (op.stream == Stream::Compute) {
             const auto op_t0 = Clock::now();
             runner.run_op(op);
@@ -158,16 +211,53 @@ void ScheduleExecutor::run(OpRunner& runner) {
             runner.run_op(op);
           }
         }
+        if (watchdog != nullptr) watchdog->mark_done(d);
+      } catch (const ThreadKilledFault&) {
+        // Simulated silent thread death: no abort, no mark_done — the
+        // watchdog must discover the stall from the missing heartbeats.
+        errors[static_cast<std::size_t>(d)] = std::current_exception();
+        outcomes[static_cast<std::size_t>(d)] = Outcome::kKilled;
+      } catch (const AbortedError&) {
+        errors[static_cast<std::size_t>(d)] = std::current_exception();
+        outcomes[static_cast<std::size_t>(d)] = Outcome::kAborted;
+        if (watchdog != nullptr) watchdog->mark_done(d);
+      } catch (const std::exception& e) {
+        errors[static_cast<std::size_t>(d)] = std::current_exception();
+        // Only the thread whose abort() wins is the originating failure; a
+        // losing abort means this exception is secondary fallout (e.g. a
+        // poisoned-communicator error raised after a peer already aborted).
+        outcomes[static_cast<std::size_t>(d)] =
+            token->abort(AbortReason{d, current_op, e.what()}) ? Outcome::kFailed
+                                                               : Outcome::kAborted;
+        if (watchdog != nullptr) watchdog->mark_done(d);
       } catch (...) {
         errors[static_cast<std::size_t>(d)] = std::current_exception();
+        outcomes[static_cast<std::size_t>(d)] =
+            token->abort(AbortReason{d, current_op, "non-standard exception"})
+                ? Outcome::kFailed
+                : Outcome::kAborted;
+        if (watchdog != nullptr) watchdog->mark_done(d);
       }
       stats_.compute_seconds[static_cast<std::size_t>(d)] = compute;
     });
   }
   for (auto& t : threads) t.join();
+  if (watchdog != nullptr) {
+    watchdog->stop();
+    watchdog_report_ = watchdog->last_report();
+  }
   stats_.wall_seconds = seconds_since(t0);
-  for (const auto& e : errors) {
-    if (e) std::rethrow_exception(e);
+
+  // Rethrow the originating failure, not a peer's secondary AbortedError.
+  // Priority: a real op failure, then a silent kill, then the first abort
+  // observation (e.g. all survivors of a watchdog-detected stall).
+  for (const Outcome target : {Outcome::kFailed, Outcome::kKilled, Outcome::kAborted}) {
+    for (int d = 0; d < p; ++d) {
+      if (outcomes[static_cast<std::size_t>(d)] == target &&
+          errors[static_cast<std::size_t>(d)] != nullptr) {
+        std::rethrow_exception(errors[static_cast<std::size_t>(d)]);
+      }
+    }
   }
 }
 

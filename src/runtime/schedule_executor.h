@@ -35,9 +35,14 @@
 // when the width quotient drops below 2 the device threads run their
 // kernels serially (ScopedPool(nullptr)).
 
+#include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "fault/abort_token.h"
+#include "fault/fault_injector.h"
+#include "fault/watchdog.h"
 #include "schedule/ops.h"
 
 namespace vocab::parallel {
@@ -83,9 +88,37 @@ class ScheduleExecutor {
   ScheduleExecutor& operator=(const ScheduleExecutor&) = delete;
 
   /// Execute every op of the schedule once: p device threads, each invoking
-  /// `runner.run_op` over its sequence in the certified order. Rethrows the
-  /// first device-thread exception after all threads join.
+  /// `runner.run_op` over its sequence in the certified order.
+  ///
+  /// Failure protocol: the first device-thread exception aborts the shared
+  /// AbortToken, which unblocks every peer wait (channel recvs, collective
+  /// rendezvous, injected sleeps) within kAbortPollInterval — all threads
+  /// join in well under a second instead of serializing comm timeouts. The
+  /// originating exception is rethrown in preference to the peers'
+  /// AbortedErrors. A thread that dies silently (ThreadKilledFault) raises
+  /// no abort; only the watchdog (enable_watchdog) can end such a run early.
   void run(OpRunner& runner);
+
+  /// Share the runtime's abort token (also wired into the trainer's channels
+  /// and collectives). Without one, run() still aborts coordinately through
+  /// a per-run private token — but only waits that share it can observe it.
+  void set_abort_token(std::shared_ptr<AbortToken> token);
+  [[nodiscard]] const std::shared_ptr<AbortToken>& abort_token() const { return abort_; }
+
+  /// Install a deterministic fault plan; every op dispatch consults it.
+  void set_fault_injector(std::shared_ptr<FaultInjector> injector);
+
+  /// Run a stall watchdog during run(): per-op heartbeats, and on a stall
+  /// past the deadline a diagnostic snapshot (current op per device + the
+  /// comm snapshot) is attached to the abort.
+  void enable_watchdog(WatchdogConfig config);
+
+  /// Extra state renderer for watchdog reports (channel occupancy, queued
+  /// tags, collective waiters) — supplied by the owner of those objects.
+  void set_comm_snapshot(std::function<std::string()> snapshot);
+
+  /// Report of the most recent run()'s watchdog firing (empty if none).
+  [[nodiscard]] const std::string& last_watchdog_report() const { return watchdog_report_; }
 
   [[nodiscard]] const PipelineSchedule& schedule() const { return schedule_; }
   /// The common linearization's projection onto one device (op ids).
@@ -101,6 +134,12 @@ class ScheduleExecutor {
   std::vector<std::unique_ptr<parallel::ThreadPool>> pools_;  // per device; empty when serial
   int threads_per_device_ = 1;
   ExecutorStats stats_;
+  std::shared_ptr<AbortToken> abort_;
+  std::shared_ptr<FaultInjector> injector_;
+  std::function<std::string()> comm_snapshot_;
+  WatchdogConfig watchdog_config_;
+  bool watchdog_enabled_ = false;
+  std::string watchdog_report_;
 };
 
 }  // namespace vocab

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <unistd.h>
@@ -173,6 +174,90 @@ TEST(Checkpoint, TruncatedFileThrows) {
   std::fclose(f);
   ASSERT_EQ(::truncate(path.c_str(), size / 2), 0);
   EXPECT_THROW(load_checkpoint(path), Error);
+}
+
+TEST(Checkpoint, BitFlipFailsCrcWithPreciseError) {
+  GptConfig cfg;
+  cfg.num_layers = 1;
+  cfg.heads = 1;
+  cfg.hidden = 8;
+  cfg.seq_len = 4;
+  cfg.vocab = 11;
+  const std::string path = temp_path("bitflip.ckpt");
+  save_checkpoint(path, GptWeights::init(cfg, 2));
+
+  // Flip one bit in the middle of the tensor payload.
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, size / 2, SEEK_SET);
+  const int byte = std::fgetc(f);
+  std::fseek(f, size / 2, SEEK_SET);
+  std::fputc(byte ^ 0x01, f);
+  std::fclose(f);
+
+  try {
+    load_checkpoint(path);
+    FAIL() << "bit-flipped checkpoint must not load";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("CRC32"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Checkpoint, TruncatedTrailerThrows) {
+  // Cutting only the CRC trailer (not the payload) must still be rejected.
+  GptConfig cfg;
+  cfg.num_layers = 1;
+  cfg.heads = 1;
+  cfg.hidden = 8;
+  cfg.seq_len = 4;
+  cfg.vocab = 11;
+  const std::string path = temp_path("trunc_trailer.ckpt");
+  save_checkpoint(path, GptWeights::init(cfg, 3));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(::truncate(path.c_str(), size - 2), 0);
+  EXPECT_THROW(load_checkpoint(path), Error);
+}
+
+TEST(Checkpoint, V1MagicRejectedWithUpgradeHint) {
+  const std::string path = temp_path("v1.ckpt");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const std::uint64_t v1 = 0x564f434142435031ULL;  // "VOCABCP1"
+  ASSERT_EQ(std::fwrite(&v1, sizeof v1, 1, f), 1u);
+  std::fclose(f);
+  try {
+    load_checkpoint(path);
+    FAIL() << "v1 checkpoint must be rejected";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("re-save"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Checkpoint, SaveIsAtomicAndLeavesNoTempFile) {
+  GptConfig cfg;
+  cfg.num_layers = 1;
+  cfg.heads = 1;
+  cfg.hidden = 8;
+  cfg.seq_len = 4;
+  cfg.vocab = 11;
+  const std::string path = temp_path("atomic.ckpt");
+  const GptWeights first = GptWeights::init(cfg, 4);
+  save_checkpoint(path, first);
+  // Overwrite with different weights: the destination must flip atomically
+  // (rename), never be torn, and the temp file must be gone afterwards.
+  const GptWeights second = GptWeights::init(cfg, 5);
+  save_checkpoint(path, second);
+  std::FILE* tmp = std::fopen((path + ".tmp").c_str(), "rb");
+  EXPECT_EQ(tmp, nullptr) << "temp file left behind after save";
+  if (tmp != nullptr) std::fclose(tmp);
+  const GptWeights loaded = load_checkpoint(path);
+  EXPECT_EQ(max_abs_diff(loaded.output_weight, second.output_weight), 0.0f);
 }
 
 TEST(Checkpoint, ReshardAcrossPipelineWidths) {
