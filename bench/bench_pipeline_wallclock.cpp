@@ -5,13 +5,17 @@
 // Emits BENCH_pipeline.json: per flavor, ns/iteration, speedup over the
 // naive baseline, and each device's idle fraction as measured by the
 // executor (comm waits inside compute ops count as busy, so the printed
-// idle is a lower bound).
+// idle is a lower bound). A second section prices the numeric guardrails:
+// the same pipelined run at VOCAB_GUARD_LEVEL 0/1/2, so the fence's cost —
+// and level 0's zero-overhead claim — is a number in the JSON, not a
+// promise in a doc.
 //
 // Usage: bench_pipeline_wallclock [--json <path>] [--p <devices>]
 //                                 [--m <microbatches>] [--iters <n>]
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <optional>
 #include <string>
@@ -67,7 +71,29 @@ double run_flavor(const GptWeights& weights, const std::vector<Sample>& mbs, int
   return ns;
 }
 
-std::string render_json(const std::vector<Result>& results, int p, int m) {
+/// ns/iter of the schedule-driven pipeline at each guard level. The trainer
+/// reads VOCAB_GUARD_LEVEL at construction, so each level gets a fresh
+/// trainer; weights, data and schedule are otherwise identical.
+struct GuardOverhead {
+  std::string flavor;
+  double ns_per_iter[3] = {0.0, 0.0, 0.0};  // level 0 / 1 / 2
+};
+
+GuardOverhead run_guard_overhead(const GptWeights& weights, const std::vector<Sample>& mbs,
+                                 int p, const Flavor& f, int iters) {
+  GuardOverhead g;
+  g.flavor = f.key;
+  for (int level = 0; level <= 2; ++level) {
+    const char level_str[2] = {static_cast<char>('0' + level), '\0'};
+    ::setenv("VOCAB_GUARD_LEVEL", level_str, 1);
+    g.ns_per_iter[level] = run_flavor(weights, mbs, p, f, iters, nullptr);
+  }
+  ::unsetenv("VOCAB_GUARD_LEVEL");
+  return g;
+}
+
+std::string render_json(const std::vector<Result>& results, const GuardOverhead& guard,
+                        int p, int m) {
   // Record the measurement machine: overlap can only buy wall-clock when the
   // p device threads have >= p cores to land on (see DESIGN.md §10).
   const unsigned cores = std::thread::hardware_concurrency();
@@ -88,7 +114,19 @@ std::string render_json(const std::vector<Result>& results, int p, int m) {
     out += "]}";
     out += i + 1 < results.size() ? ",\n" : "\n";
   }
-  out += "  ]\n}\n";
+  out += "  ],\n";
+  const double base = guard.ns_per_iter[0];
+  std::snprintf(buf, sizeof(buf),
+                "  \"guard\": {\"flavor\": \"%s\", \"ns_per_iter_level0\": %.0f, "
+                "\"ns_per_iter_level1\": %.0f, \"ns_per_iter_level2\": %.0f, ",
+                guard.flavor.c_str(), base, guard.ns_per_iter[1], guard.ns_per_iter[2]);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "\"overhead_level1\": %.4f, \"overhead_level2\": %.4f}\n",
+                base > 0.0 ? guard.ns_per_iter[1] / base - 1.0 : 0.0,
+                base > 0.0 ? guard.ns_per_iter[2] / base - 1.0 : 0.0);
+  out += buf;
+  out += "}\n";
   return out;
 }
 
@@ -156,13 +194,22 @@ int run(int argc, char** argv) {
     results.push_back(std::move(r));
   }
 
+  // Guard-level pricing on the paper's main schedule.
+  const GuardOverhead guard =
+      run_guard_overhead(weights, mbs, p, flavors[2], iters);
+  std::printf("  guard levels (%s): L0 %.2f ms/iter, L1 %.2f (%+.2f%%), L2 %.2f (%+.2f%%)\n",
+              guard.flavor.c_str(), guard.ns_per_iter[0] / 1e6, guard.ns_per_iter[1] / 1e6,
+              (guard.ns_per_iter[1] / guard.ns_per_iter[0] - 1.0) * 100.0,
+              guard.ns_per_iter[2] / 1e6,
+              (guard.ns_per_iter[2] / guard.ns_per_iter[0] - 1.0) * 100.0);
+
   if (json_path) {
     FILE* out = std::fopen(json_path->c_str(), "w");
     if (out == nullptr) {
       std::fprintf(stderr, "cannot write %s\n", json_path->c_str());
       return 1;
     }
-    const std::string json = render_json(results, p, m);
+    const std::string json = render_json(results, guard, p, m);
     std::fwrite(json.data(), 1, json.size(), out);
     std::fclose(out);
     std::printf("wrote %s\n", json_path->c_str());

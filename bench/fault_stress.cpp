@@ -7,6 +7,9 @@
 //   ./build/bench/fault_stress                 # default 2 rounds
 //   ./build/bench/fault_stress --rounds 10     # longer soak
 //   ./build/bench/fault_stress --seed 1234     # different fault placements
+//   ./build/bench/fault_stress --numeric       # mix data faults (NaN/Inf/
+//                                              # bit-flip) with the process
+//                                              # faults, guard level 1
 
 #include <algorithm>
 #include <chrono>
@@ -125,27 +128,129 @@ RunOutcome run_one(PipelineFlavor flavor, int p, FaultKind kind, std::uint64_t s
   return out;
 }
 
+// Data-fault soak: the guard fence (VOCAB_GUARD_LEVEL=1, set by main) turns
+// a silent corruption into a clean abort, and recovery replays the iteration
+// without the one-shot fault — so a *detected* corruption must leave the run
+// bit-identical to the uninterrupted baseline. A bit flip is nastier than an
+// injected NaN/Inf: it can explode a gradient to a huge but *finite* value
+// that sails through the fence, and once the optimizer bakes it into the
+// weights and the checkpoint, no reload can help. That is the anomaly
+// detector's case — the grad-norm spike triggers a rollback before the
+// poisoned step is checkpointed — so the soak runs with kRollback active and
+// fires data faults only after the anomaly windows have warmed up. A flip
+// can also *shrink* a value instead, staying below every detector (silent —
+// reported, but not a failure of the guard).
+RunOutcome run_one_numeric(PipelineFlavor flavor, int p, FaultKind kind,
+                           std::uint64_t seed, const std::string& ckpt_path) {
+  constexpr int kWarmup = 2;      // anomaly min_samples below
+  constexpr int kIterations = 6;  // kWarmup clean + 4 fault-window iterations
+  const GptConfig cfg = stress_config();
+  const GptWeights init = GptWeights::init(cfg, 100 + static_cast<int>(seed % 1000));
+  SyntheticCorpus corpus(cfg.vocab, cfg.seq_len, 7);
+  const int m = 2 * p;
+  const OptimizerConfig opt = OptimizerConfig::sgd(0.1f);
+
+  FaultPlan plan =
+      FaultPlan::random(seed, /*count=*/1, p, /*max_iteration=*/kIterations - kWarmup,
+                        /*max_op_index=*/8, {kind});
+  for (auto& spec : plan.faults) spec.iteration += kWarmup;
+  auto injector = std::make_shared<FaultInjector>(plan);
+
+  PipelineTrainer baseline(init, p, OutputAlgo::Alg1, flavor);
+  RecoveryPolicy policy;
+  policy.checkpoint_path = ckpt_path;
+  policy.anomaly.action = AnomalyAction::kRollback;
+  policy.anomaly.min_samples = kWarmup;
+  // With only kWarmup accepted samples the MAD can be near zero, making
+  // ordinary grad-norm drift look like a huge z-score. The soak hunts
+  // *catastrophic* corruption (a bit-flipped gradient is ~1e38, z far beyond
+  // any threshold), so a deliberately extreme cutoff rejects cold-window
+  // false positives without ever missing an explosion.
+  policy.anomaly.threshold = 1e6;
+  ResilientTrainer resilient(init, p, OutputAlgo::Alg1, flavor, policy);
+  resilient.set_fault_injector(injector);
+
+  RunOutcome out;
+  try {
+    for (int it = 0; it < kIterations; ++it) {
+      // No per-iteration loss compare: a sub-fence bit flip is allowed to
+      // diverge silently; the verdict below distinguishes the cases.
+      (void)resilient.train_iteration(microbatches(corpus, it, m), opt);
+      (void)baseline.train_iteration(microbatches(corpus, it, m), opt);
+    }
+  } catch (const std::exception& e) {
+    out.detail = std::string("unrecovered: ") + e.what();
+    return out;
+  }
+  const int fired = injector->faults_fired();
+  const int applied = injector->corruptions_applied();
+  if (fired != 1) {
+    out.detail = "fault did not fire (plan: " + plan.summary() + ")";
+    return out;
+  }
+  if (applied > fired) {
+    out.detail = "corruptions_applied " + std::to_string(applied) + " > faults fired " +
+                 std::to_string(fired);
+    return out;
+  }
+  const int recoveries = resilient.stats().recoveries;
+  if (recoveries == 0 && applied > 0) {
+    // Corruption landed but stayed finite and below the fence. Only a bit
+    // flip can do this; an injected NaN/Inf at a guard boundary must trip.
+    if (kind != FaultKind::BitFlip) {
+      out.detail = "undetected " + std::string(to_string(kind)) + " corruption";
+      return out;
+    }
+    out.ok = true;
+    out.detail = "silent sub-fence corruption: " + plan.faults.front().describe();
+    return out;
+  }
+  const float diff = weights_diff(resilient.export_weights(), baseline.export_weights());
+  if (diff != 0.0f) {
+    out.detail = (recoveries > 0 ? "recovered run" : "clean run (corruption never landed)");
+    out.detail += " diverged from baseline by " + std::to_string(diff);
+    return out;
+  }
+  out.ok = true;
+  out.detail = (applied > 0 ? "detected+recovered: " : "armed, never landed: ") +
+               plan.faults.front().describe();
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   int rounds = 2;
   std::uint64_t seed = 1001;
+  bool numeric = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--rounds") == 0 && i + 1 < argc) {
       rounds = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--numeric") == 0) {
+      numeric = true;
     } else {
-      std::cerr << "usage: fault_stress [--rounds N] [--seed S]\n";
+      std::cerr << "usage: fault_stress [--rounds N] [--seed S] [--numeric]\n";
       return 2;
     }
+  }
+  if (numeric) {
+    // Every trainer built below (including recovery rebuilds) inherits the
+    // fence from the environment.
+    ::setenv("VOCAB_GUARD_LEVEL", "1", 1);
   }
 
   const std::vector<PipelineFlavor> flavors{
       PipelineFlavor::Baseline1F1B, PipelineFlavor::Gpipe, PipelineFlavor::OneFOneBVocab,
       PipelineFlavor::VHalf};
-  const std::vector<FaultKind> kinds{FaultKind::ThrowInOp, FaultKind::StallDevice,
-                                     FaultKind::KillThread};
+  std::vector<FaultKind> kinds{FaultKind::ThrowInOp, FaultKind::StallDevice,
+                               FaultKind::KillThread};
+  if (numeric) {
+    kinds.push_back(FaultKind::InjectNaN);
+    kinds.push_back(FaultKind::InjectInf);
+    kinds.push_back(FaultKind::BitFlip);
+  }
   const char* tmpdir = std::getenv("TMPDIR");
   const std::string ckpt =
       std::string(tmpdir != nullptr ? tmpdir : "/tmp") + "/fault_stress.ckpt";
@@ -157,7 +262,9 @@ int main(int argc, char** argv) {
         for (const FaultKind kind : kinds) {
           const std::uint64_t run_seed = seed + static_cast<std::uint64_t>(runs);
           const auto t0 = std::chrono::steady_clock::now();
-          const RunOutcome out = run_one(flavor, p, kind, run_seed, ckpt);
+          const RunOutcome out = is_data_fault(kind)
+                                     ? run_one_numeric(flavor, p, kind, run_seed, ckpt)
+                                     : run_one(flavor, p, kind, run_seed, ckpt);
           const double secs =
               std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
           ++runs;

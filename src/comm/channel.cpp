@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "common/env.h"
 #include "common/error.h"
 
 namespace vocab {
@@ -11,12 +12,9 @@ namespace vocab {
 std::chrono::milliseconds default_comm_timeout() {
   // Read the environment every call: tests toggle VOCAB_COMM_TIMEOUT_MS
   // between channel constructions, and construction is not a hot path.
-  if (const char* env = std::getenv("VOCAB_COMM_TIMEOUT_MS"); env != nullptr && *env != '\0') {
-    char* end = nullptr;
-    const long ms = std::strtol(env, &end, 10);
-    if (end != nullptr && *end == '\0' && ms > 0) return std::chrono::milliseconds(ms);
-  }
-  return std::chrono::seconds(30);
+  // Parsing is strict — garbage or a non-positive value fails fast instead
+  // of silently meaning "30 seconds" (common/env.h).
+  return std::chrono::milliseconds(positive_int_from_env("VOCAB_COMM_TIMEOUT_MS", 30000));
 }
 
 namespace {

@@ -209,6 +209,15 @@ std::uint64_t DeviceGroup::completed_collectives() const {
   return completed_;
 }
 
+std::vector<int> DeviceGroup::waiting_ranks() const {
+  std::lock_guard lock(mutex_);
+  std::vector<int> out;
+  for (int r = 0; r < world_size_; ++r) {
+    if (waiting_[static_cast<std::size_t>(r)]) out.push_back(r);
+  }
+  return out;
+}
+
 std::string DeviceGroup::describe() const {
   std::lock_guard lock(mutex_);
   std::ostringstream os;

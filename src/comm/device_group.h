@@ -74,6 +74,11 @@ class DeviceGroup {
   /// Number of collectives completed so far (for tests).
   [[nodiscard]] std::uint64_t completed_collectives() const;
 
+  /// Ranks currently blocked inside a rendezvous. Abort-hygiene tests assert
+  /// this is empty after a failed iteration has been torn down — a non-empty
+  /// result means a device thread leaked mid-collective.
+  [[nodiscard]] std::vector<int> waiting_ranks() const;
+
   /// One-line rendezvous snapshot: arrived count + per-rank waiting tags
   /// (for watchdog reports).
   [[nodiscard]] std::string describe() const;

@@ -1,0 +1,21 @@
+#include "common/env.h"
+
+#include <cstdlib>
+
+#include "common/error.h"
+
+namespace vocab {
+
+std::int64_t positive_int_from_env(const char* name, std::int64_t fallback,
+                                   std::int64_t max_value) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(env, &end, 10);
+  VOCAB_CHECK(end != env && *end == '\0' && v >= 1 && v <= max_value,
+              name << " must be an integer in [1, " << max_value << "], got \"" << env
+                   << "\"");
+  return static_cast<std::int64_t>(v);
+}
+
+}  // namespace vocab

@@ -1,0 +1,22 @@
+#pragma once
+
+// Strict environment-variable parsing.
+//
+// Config env vars that silently fall back on a typo are a robustness trap:
+// VOCAB_COMM_TIMEOUT_MS=3OOO (letter O) quietly meaning "30 seconds" turns a
+// deliberate 3-second test deadline into a half-minute hang. All numeric
+// config vars therefore parse strictly — unset means the documented default,
+// anything set must parse *completely* and be in range, or we fail fast with
+// a message naming the variable and the offending text.
+
+#include <cstdint>
+
+namespace vocab {
+
+/// Parse env var `name` as a strictly positive integer. Unset or empty
+/// returns `fallback`; anything else must be a full-string base-10 integer
+/// in [1, max_value] or CheckError is thrown.
+[[nodiscard]] std::int64_t positive_int_from_env(const char* name, std::int64_t fallback,
+                                                 std::int64_t max_value = 1000000000);
+
+}  // namespace vocab

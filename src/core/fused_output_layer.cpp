@@ -5,6 +5,7 @@
 
 #include "common/error.h"
 #include "core/online_softmax.h"
+#include "guard/tensor_stats.h"
 #include "parallel/thread_pool.h"
 #include "tensor/tensor_ops.h"
 
@@ -12,7 +13,8 @@ namespace vocab {
 
 FusedOutputResult fused_output_layer(const Tensor& x, const Tensor& w,
                                      const std::vector<std::int64_t>& targets,
-                                     float grad_scale, std::int64_t chunk_cols) {
+                                     float grad_scale, std::int64_t chunk_cols,
+                                     bool track_logits_absmax) {
   VOCAB_CHECK(x.rank() == 2 && w.rank() == 2 && x.dim(1) == w.dim(1),
               "fused_output_layer expects x [n,h], w [V,h]");
   VOCAB_CHECK(chunk_cols >= 1, "chunk_cols must be >= 1");
@@ -37,6 +39,10 @@ FusedOutputResult fused_output_layer(const Tensor& x, const Tensor& w,
     transient = std::max(transient,
                          static_cast<std::size_t>((logits.numel() + w_chunk.numel())) *
                              sizeof(float));
+    if (track_logits_absmax) {
+      const float chunk_absmax = guard::absmax(logits);
+      if (!(out.logits_absmax >= chunk_absmax)) out.logits_absmax = chunk_absmax;
+    }
     const std::int64_t cols = c1 - c0;
     const float* plogits = logits.data();
     float* ptgt = target_logit.data();

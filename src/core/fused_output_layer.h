@@ -14,6 +14,7 @@
 // its transient-memory accounting so the saving is testable.
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "core/reference_output_layer.h"
@@ -26,15 +27,22 @@ namespace vocab {
 struct FusedOutputResult {
   OutputLayerResult result;
   std::size_t peak_transient_bytes = 0;
+  /// Largest finite |logit| observed while streaming pass 1 — the numeric
+  /// guard's absmax tap for the one tensor the fusion never materialises in
+  /// full. NaN unless track_logits_absmax was set.
+  float logits_absmax = std::numeric_limits<float>::quiet_NaN();
 };
 
 /// Forward + backward of the output layer streaming `chunk_cols` vocabulary
 /// columns at a time. Numerically equivalent to reference_output_layer
 /// (same safe-softmax statistics, assembled online per eq. 5's identity).
 /// `x`: [n, h]; `w`: [V, h]; `targets` in [0, V); requires chunk_cols >= 1.
+/// `track_logits_absmax` maintains FusedOutputResult::logits_absmax per
+/// chunk (guard level 2 diagnostics); off by default to keep pass 1 lean.
 FusedOutputResult fused_output_layer(const Tensor& x, const Tensor& w,
                                      const std::vector<std::int64_t>& targets,
-                                     float grad_scale, std::int64_t chunk_cols);
+                                     float grad_scale, std::int64_t chunk_cols,
+                                     bool track_logits_absmax = false);
 
 /// Transient bytes the *unfused* reference needs (logits + softmax, fp32),
 /// for comparison in tests and benches.

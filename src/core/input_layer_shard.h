@@ -31,6 +31,8 @@ class InputLayerShard {
   [[nodiscard]] const Tensor& embedding() const { return embedding_; }
   [[nodiscard]] Tensor& mutable_embedding() { return embedding_; }
   [[nodiscard]] const Tensor& embedding_grad() const { return embedding_grad_; }
+  /// Mutable access for the global grad-norm clip's in-place scaling.
+  [[nodiscard]] Tensor& mutable_embedding_grad() { return embedding_grad_; }
   void zero_embedding_grad();
 
   /// Local forward gather for microbatch `mb`: returns the partial

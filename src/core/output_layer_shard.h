@@ -67,7 +67,16 @@ class OutputLayerShard {
   [[nodiscard]] Tensor& mutable_weight() { return weight_; }
   /// Accumulated weight gradient (summed over microbatches since last zero).
   [[nodiscard]] const Tensor& weight_grad() const { return weight_grad_; }
+  /// Mutable access for the global grad-norm clip's in-place scaling.
+  [[nodiscard]] Tensor& mutable_weight_grad() { return weight_grad_; }
   void zero_weight_grad();
+
+  /// The masked logits of microbatch `mb` (valid between the S phase and the
+  /// phase that frees them). Exposed so the executor's guard can fence /
+  /// absmax-tap the one tensor most prone to overflow (paper eq. 5-6's
+  /// rescaling exists precisely because of it), and so data-fault injection
+  /// can corrupt it in place.
+  [[nodiscard]] Tensor& mutable_logits(int mb) { return state(mb).logits; }
 
   /// Begin a microbatch: register inputs. `x` [n, h] is the (broadcast)
   /// output of the last transformer layer; `targets` are *global* vocab ids.

@@ -1,6 +1,8 @@
 #include "fault/fault_injector.h"
 
 #include <algorithm>
+#include <cstring>
+#include <limits>
 #include <sstream>
 #include <thread>
 
@@ -14,14 +16,23 @@ const char* to_string(FaultKind kind) {
     case FaultKind::DelayOp: return "delay";
     case FaultKind::StallDevice: return "stall";
     case FaultKind::KillThread: return "kill";
+    case FaultKind::InjectNaN: return "nan";
+    case FaultKind::InjectInf: return "inf";
+    case FaultKind::BitFlip: return "bitflip";
   }
   return "?";
+}
+
+bool is_data_fault(FaultKind kind) {
+  return kind == FaultKind::InjectNaN || kind == FaultKind::InjectInf ||
+         kind == FaultKind::BitFlip;
 }
 
 std::string FaultSpec::describe() const {
   std::ostringstream os;
   os << to_string(kind) << "@it" << iteration << ":d" << device << ":op" << op_index;
   if (delay.count() > 0) os << ":" << delay.count() << "ms";
+  if (is_data_fault(kind)) os << ":e" << element;
   if (!note.empty()) os << " (" << note << ")";
   return os.str();
 }
@@ -46,6 +57,9 @@ FaultPlan FaultPlan::random(std::uint64_t seed, int count, int num_devices,
     spec.device = static_cast<int>(rng.uniform_int(static_cast<std::uint64_t>(std::max(num_devices, 1))));
     spec.op_index = static_cast<int>(rng.uniform_int(static_cast<std::uint64_t>(std::max(max_op_index, 1))));
     spec.delay = delay;
+    // Only draw an element for data faults, so plans over the process-level
+    // kinds consume the same rng stream they always did (seed stability).
+    if (is_data_fault(spec.kind)) spec.element = rng.uniform_int(std::uint64_t{1} << 20);
     spec.note = "seed " + std::to_string(seed);
     plan.faults.push_back(std::move(spec));
   }
@@ -87,6 +101,9 @@ void FaultInjector::begin_iteration(std::uint64_t iteration) {
   std::lock_guard lock(mutex_);
   iteration_ = iteration;
   std::fill(op_counters_.begin(), op_counters_.end(), 0);
+  // Disarm any corruption left over from an aborted attempt: the spec is
+  // one-shot, so the recovery retry must run clean.
+  for (PendingCorruption& p : pending_) p.armed = false;
 }
 
 void FaultInjector::on_op(int device, int op_id, const std::string& label,
@@ -126,12 +143,60 @@ void FaultInjector::on_op(int device, int op_id, const std::string& label,
         token->throw_if_aborted(os.str());
       }
       return;
+    case FaultKind::InjectNaN:
+    case FaultKind::InjectInf:
+    case FaultKind::BitFlip: {
+      std::lock_guard lock(mutex_);
+      if (device >= static_cast<int>(pending_.size())) {
+        pending_.resize(static_cast<std::size_t>(device) + 1);
+      }
+      PendingCorruption& p = pending_[static_cast<std::size_t>(device)];
+      p.armed = true;
+      p.kind = hit->kind;
+      p.element = hit->element;
+      p.context = os.str();
+      return;
+    }
   }
+}
+
+bool FaultInjector::corrupt_pending(int device, float* data, std::int64_t numel) {
+  std::lock_guard lock(mutex_);
+  if (device < 0 || device >= static_cast<int>(pending_.size())) return false;
+  PendingCorruption& p = pending_[static_cast<std::size_t>(device)];
+  if (!p.armed || numel <= 0 || data == nullptr) return false;
+  const std::int64_t i =
+      static_cast<std::int64_t>(p.element % static_cast<std::uint64_t>(numel));
+  switch (p.kind) {
+    case FaultKind::InjectNaN:
+      data[i] = std::numeric_limits<float>::quiet_NaN();
+      break;
+    case FaultKind::InjectInf:
+      data[i] = std::numeric_limits<float>::infinity();
+      break;
+    case FaultKind::BitFlip: {
+      std::uint32_t bits = 0;
+      std::memcpy(&bits, &data[i], sizeof(bits));
+      bits ^= std::uint32_t{1} << 30;  // top exponent bit: magnitude explosion
+      std::memcpy(&data[i], &bits, sizeof(bits));
+      break;
+    }
+    default:
+      return false;
+  }
+  p.armed = false;
+  ++corruptions_applied_;
+  return true;
 }
 
 int FaultInjector::faults_fired() const {
   std::lock_guard lock(mutex_);
   return fired_count_;
+}
+
+int FaultInjector::corruptions_applied() const {
+  std::lock_guard lock(mutex_);
+  return corruptions_applied_;
 }
 
 }  // namespace vocab

@@ -16,6 +16,15 @@
 //   KillThread  — throw ThreadKilledFault, which the executor treats as the
 //                 thread dying silently (no abort is raised): only the
 //                 watchdog can notice the resulting stall.
+//   InjectNaN / InjectInf / BitFlip — *data* faults: on_op arms a pending
+//                 corruption for the device instead of throwing; the op
+//                 runner applies it to the next tensor it hands to
+//                 corrupt_pending() (element index chosen by the spec,
+//                 modulo the tensor size). This models silent numeric
+//                 corruption — bad kernels, flaky HBM — that only the
+//                 guard subsystem (src/guard) can detect. A BitFlip flips
+//                 the float's bit 30 (top exponent bit), which usually
+//                 explodes the magnitude but need not produce NaN/Inf.
 //
 // Every mode is reproducible: FaultPlan::random derives specs from a seed via
 // the library Rng, and fired specs are one-shot so a recovery retry of the
@@ -35,7 +44,20 @@
 
 namespace vocab {
 
-enum class FaultKind { ThrowInOp, DelayOp, StallDevice, KillThread };
+enum class FaultKind {
+  ThrowInOp,
+  DelayOp,
+  StallDevice,
+  KillThread,
+  InjectNaN,
+  InjectInf,
+  BitFlip,
+};
+
+/// True for the silent data-corruption kinds (armed by on_op, applied by
+/// corrupt_pending) as opposed to the process-level kinds (acted out
+/// directly inside on_op).
+[[nodiscard]] bool is_data_fault(FaultKind kind);
 
 [[nodiscard]] const char* to_string(FaultKind kind);
 
@@ -59,6 +81,7 @@ struct FaultSpec {
   int device = 0;               ///< device thread to hit
   int op_index = 0;             ///< k-th op that device dispatches that iteration
   std::chrono::milliseconds delay{0};  ///< DelayOp / StallDevice duration
+  std::uint64_t element = 0;    ///< data faults: flat index (mod numel) to corrupt
   std::string note;             ///< free-form tag echoed into the error message
 
   [[nodiscard]] std::string describe() const;
@@ -95,19 +118,43 @@ class FaultInjector {
 
   /// Executor hook: called on the device thread before dispatching each op.
   /// May throw InjectedFault / ThreadKilledFault / AbortedError, or sleep.
+  /// Data-fault specs arm a pending corruption instead of throwing.
   /// `token` (nullable) lets injected sleeps wake early on abort.
   void on_op(int device, int op_id, const std::string& label, const AbortToken* token);
 
+  /// Runner hook: apply device `device`'s armed corruption (if any) to the
+  /// buffer `data[0..numel)` and disarm it. Returns true when the buffer was
+  /// mutated. Buffers are corrupted *before* any guard check, so the fence
+  /// sees the poisoned bytes at the op that produced them. An armed
+  /// corruption stays pending across ops until a non-empty buffer passes a
+  /// corruption point — a matched op with no tensor boundary corrupts the
+  /// device's next output instead. (Raw pointer + count rather than Tensor
+  /// keeps the fault library below the tensor layer.)
+  bool corrupt_pending(int device, float* data, std::int64_t numel);
+
   [[nodiscard]] int faults_fired() const;
+  /// Corruptions actually written into a tensor (<= data faults fired: an
+  /// armed corruption on a device with no later tensor boundary that
+  /// iteration never lands).
+  [[nodiscard]] int corruptions_applied() const;
   [[nodiscard]] const FaultPlan& plan() const { return plan_; }
 
  private:
+  struct PendingCorruption {
+    bool armed = false;
+    FaultKind kind = FaultKind::InjectNaN;
+    std::uint64_t element = 0;
+    std::string context;
+  };
+
   FaultPlan plan_;
   mutable std::mutex mutex_;
   std::vector<bool> fired_;
   std::vector<int> op_counters_;  // per device, within the current iteration
+  std::vector<PendingCorruption> pending_;  // per device
   std::uint64_t iteration_ = 0;
   int fired_count_ = 0;
+  int corruptions_applied_ = 0;
 };
 
 }  // namespace vocab

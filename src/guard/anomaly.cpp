@@ -1,0 +1,85 @@
+#include "guard/anomaly.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "common/error.h"
+
+namespace vocab::guard {
+
+namespace {
+
+double median_of(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid), v.end());
+  const double hi = v[mid];
+  if (v.size() % 2 == 1) return hi;
+  const double lo = *std::max_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+AnomalyDetector::AnomalyDetector(std::size_t window, std::size_t min_samples, double threshold)
+    : window_(window), min_samples_(min_samples), threshold_(threshold) {
+  VOCAB_CHECK(window >= 1, "anomaly window must be at least 1, got " << window);
+  VOCAB_CHECK(min_samples >= 1 && min_samples <= window,
+              "min_samples must be in [1, window], got " << min_samples);
+  VOCAB_CHECK(threshold > 0.0, "anomaly threshold must be positive, got " << threshold);
+}
+
+bool AnomalyDetector::is_spike(double v) const {
+  if (!std::isfinite(v)) return true;
+  if (values_.size() < min_samples_) return false;
+  const std::vector<double> window(values_.begin(), values_.end());
+  const double med = median_of(window);
+  std::vector<double> dev;
+  dev.reserve(window.size());
+  for (const double x : window) dev.push_back(std::fabs(x - med));
+  const double mad = median_of(std::move(dev));
+  // Robust sigma, floored so a flat window (mad == 0) tolerates fp jitter.
+  const double sigma = std::max(1.4826 * mad, 1e-3 * (1.0 + std::fabs(med)));
+  return std::fabs(v - med) > threshold_ * sigma;
+}
+
+bool AnomalyDetector::observe(double v) {
+  if (is_spike(v)) {
+    ++spikes_;
+    return true;
+  }
+  values_.push_back(v);
+  if (values_.size() > window_) values_.pop_front();
+  return false;
+}
+
+double AnomalyDetector::median() const {
+  return median_of(std::vector<double>(values_.begin(), values_.end()));
+}
+
+std::string AnomalyDetector::describe() const {
+  std::vector<double> window(values_.begin(), values_.end());
+  const double med = median_of(window);
+  std::vector<double> dev;
+  dev.reserve(window.size());
+  for (const double x : window) dev.push_back(std::fabs(x - med));
+  const double mad = median_of(std::move(dev));
+  std::ostringstream oss;
+  oss << "n=" << values_.size() << " median=" << med << " mad=" << mad
+      << " spikes=" << spikes_ << " window=[";
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) oss << ", ";
+    oss << values_[i];
+  }
+  oss << "]";
+  return oss.str();
+}
+
+void AnomalyDetector::reset() {
+  values_.clear();
+  spikes_ = 0;
+}
+
+}  // namespace vocab::guard

@@ -1,0 +1,58 @@
+#pragma once
+
+// Rolling median + MAD anomaly detection for loss / grad-norm streams.
+//
+// A detector keeps a window of the last `window` *accepted* observations.
+// An incoming value is a spike when it is non-finite (always, even before
+// the window warms up) or when it deviates from the window median by more
+// than `threshold` robust standard deviations, where the robust sigma is
+// 1.4826 * MAD floored at a small relative epsilon so a perfectly flat
+// window does not flag ordinary fp jitter. Spikes are NOT admitted to the
+// window — one poisoned batch cannot drag the baseline toward itself and
+// mask a second fault.
+//
+// Determinism: the verdict is a pure function of the accepted-value history,
+// so a replayed run (ResilientTrainer's rollback path) reproduces the same
+// skip/rollback decisions.
+
+#include <cstddef>
+#include <deque>
+#include <string>
+
+namespace vocab::guard {
+
+class AnomalyDetector {
+ public:
+  /// `window`: max accepted samples kept; `min_samples`: accepted samples
+  /// required before finite values can be flagged; `threshold`: robust
+  /// z-score above which a value is a spike.
+  AnomalyDetector(std::size_t window, std::size_t min_samples, double threshold);
+
+  /// Classify `v` and, when it is not a spike, admit it to the window.
+  /// Returns true when `v` is a spike.
+  bool observe(double v);
+
+  /// Classify without mutating the window.
+  [[nodiscard]] bool is_spike(double v) const;
+
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+  [[nodiscard]] std::size_t spikes() const { return spikes_; }
+
+  /// Median of the accepted window (0 when empty).
+  [[nodiscard]] double median() const;
+
+  /// One-line dump: "n=5 median=2.1 mad=0.3 spikes=1 window=[...]" — embedded
+  /// in watchdog stall snapshots.
+  [[nodiscard]] std::string describe() const;
+
+  void reset();
+
+ private:
+  std::size_t window_;
+  std::size_t min_samples_;
+  double threshold_;
+  std::deque<double> values_;
+  std::size_t spikes_ = 0;
+};
+
+}  // namespace vocab::guard

@@ -1,0 +1,51 @@
+#include "guard/grad_clip.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace vocab::guard {
+
+double total_squared_norm(const std::vector<float>& units) {
+  double total = 0.0;
+  for (const float u : units) total += static_cast<double>(u);
+  return total;
+}
+
+ClipResult clip_decision(const std::vector<float>& units, float max_norm) {
+  ClipResult r;
+  r.norm = static_cast<float>(std::sqrt(total_squared_norm(units)));
+  if (max_norm > 0.0f && r.norm > max_norm) r.scale = max_norm / r.norm;
+  return r;
+}
+
+PipelineSchedule with_clip_collective(const PipelineSchedule& s) {
+  if (s.num_devices < 2) return s;
+  PipelineSchedule out = s;
+  int clip_collective = 0;
+  for (const Op& op : out.ops) clip_collective = std::max(clip_collective, op.collective + 1);
+  const int base_id = static_cast<int>(out.ops.size());
+  for (int d = 0; d < out.num_devices; ++d) {
+    Op op;
+    op.id = base_id + d;
+    op.device = d;
+    op.stream = Stream::Comm;
+    op.kind = OpKind::Collective;
+    op.microbatch = -1;
+    op.duration = 1e-7;
+    op.collective = clip_collective;
+    op.label = "clipAR";
+    for (const Stream stream : {Stream::Compute, Stream::Comm, Stream::CommAlt}) {
+      const std::vector<int>& lane = out.devices[static_cast<std::size_t>(d)].lane(stream);
+      if (!lane.empty()) op.deps.push_back(lane.back());
+    }
+    VOCAB_CHECK(!op.deps.empty(), "device " << d << " has no ops to anchor the clip all-reduce");
+    out.devices[static_cast<std::size_t>(d)].comm.push_back(op.id);
+    out.ops.push_back(std::move(op));
+  }
+  out.validate();
+  return out;
+}
+
+}  // namespace vocab::guard

@@ -1,0 +1,95 @@
+#pragma once
+
+// Cross-shard global gradient-norm clipping.
+//
+// The hard part of clipping under vocabulary parallelism is not the norm —
+// it is making the clipped run *bit-identical* to ReferenceTrainer's single-
+// device clip even though the vocab matrices are row-sharded across p
+// devices and the all-reduce may combine partials in any order. The trick:
+//
+//   1. Define a canonical *unit vector*: one float per clip unit, in a fixed
+//      global order — every stack parameter tensor (layer-major, the
+//      TransformerStack::parameters() order), then the position embedding,
+//      then one unit per vocabulary row of the output weight (tied runs use
+//      the combined output+input gradient rows), then — untied only — one
+//      unit per input-embedding row. Each unit value is the squared norm of
+//      that unit's gradient bytes, accumulated serially in double and
+//      rounded to float (guard/tensor_stats.h kernels).
+//   2. Every rank fills ONLY the units it owns into a zero-filled vector and
+//      the group all-reduces it with Sum. Each element is x + 0 + ... + 0,
+//      which is exact in floating point *regardless of reduction order* —
+//      the all-reduce cannot introduce nondeterminism.
+//   3. Every rank then reduces the unit vector to the total in a fixed
+//      sequential double sum (total_squared_norm) and derives norm/scale.
+//
+// ReferenceTrainer computes the identical unit vector on one device, so the
+// norm and scale match bit-for-bit whenever the gradients match bit-for-bit.
+//
+// with_clip_collective() makes the clip's all-reduce part of the *verified*
+// schedule: it appends one "clipAR" Collective op per device (comm stream,
+// shared collective id, depending on the last op of each of the device's
+// lanes), so the executed schedule — clip included — still passes the static
+// verifier's collective-order certification.
+
+#include <cstdint>
+#include <vector>
+
+#include "schedule/ops.h"
+
+namespace vocab::guard {
+
+/// Canonical unit indexing for one model configuration. `vocab` is the
+/// *valid* (unpadded) vocabulary size — shard padding rows carry no unit.
+struct ClipUnitLayout {
+  int num_layers = 0;  ///< total transformer layers in the model
+  std::int64_t vocab = 0;
+  bool tied = true;
+
+  /// Tensors per transformer layer in TransformerStack::parameters() order:
+  /// ln1_g, ln1_b, wq, wk, wv, wo, ln2_g, ln2_b, w1, b1, w2, b2.
+  static constexpr int kParamsPerLayer = 12;
+
+  [[nodiscard]] std::int64_t num_stack_units() const {
+    return static_cast<std::int64_t>(num_layers) * kParamsPerLayer;
+  }
+  /// Unit of parameter `param` (0..11) of global layer `layer`.
+  [[nodiscard]] std::int64_t stack_unit(int layer, int param) const {
+    return static_cast<std::int64_t>(layer) * kParamsPerLayer + param;
+  }
+  [[nodiscard]] std::int64_t pos_unit() const { return num_stack_units(); }
+  /// Unit of output-weight row `v` (tied: the combined out+in grad row).
+  [[nodiscard]] std::int64_t output_row_unit(std::int64_t v) const {
+    return pos_unit() + 1 + v;
+  }
+  /// Unit of input-embedding row `v`. Untied layouts only.
+  [[nodiscard]] std::int64_t input_row_unit(std::int64_t v) const {
+    return pos_unit() + 1 + vocab + v;
+  }
+  [[nodiscard]] std::int64_t total_units() const {
+    return pos_unit() + 1 + vocab * (tied ? 1 : 2);
+  }
+};
+
+/// Outcome of the clip decision. scale == 1 when no clipping is needed.
+struct ClipResult {
+  float norm = 0.0f;
+  float scale = 1.0f;
+};
+
+/// Sequential double sum of the unit vector, in canonical (index) order.
+[[nodiscard]] double total_squared_norm(const std::vector<float>& units);
+
+/// norm = sqrt(sum units); scale = max_norm / norm when max_norm > 0 and the
+/// norm exceeds it, else 1. Pure function of (units, max_norm).
+[[nodiscard]] ClipResult clip_decision(const std::vector<float>& units, float max_norm);
+
+/// A copy of `s` with one "clipAR" Collective op appended per device: comm
+/// stream, a fresh shared collective id, microbatch -1, equal durations, and
+/// deps on the last op of each of the device's non-empty lanes — i.e. the
+/// clip all-reduce runs strictly after every scheduled op, in a globally
+/// consistent position, and the result still passes verify(). Schedules with
+/// a single device are returned unchanged (a one-member collective is not a
+/// collective; the trainer clips locally in the optimizer phase).
+[[nodiscard]] PipelineSchedule with_clip_collective(const PipelineSchedule& s);
+
+}  // namespace vocab::guard

@@ -1,0 +1,95 @@
+#include "guard/nan_fence.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "guard/tensor_stats.h"
+
+namespace vocab::guard {
+
+GuardLevel guard_level_from_env() {
+  const char* env = std::getenv("VOCAB_GUARD_LEVEL");
+  if (env == nullptr || *env == '\0') return GuardLevel::kOff;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  VOCAB_CHECK(end != env && *end == '\0' && v >= 0 && v <= 2,
+              "VOCAB_GUARD_LEVEL must be 0 (off), 1 (fence), or 2 (full), got \""
+                  << env << "\"");
+  return static_cast<GuardLevel>(v);
+}
+
+NanFence::NanFence(int num_devices, GuardLevel level) : level_(level) {
+  VOCAB_CHECK(num_devices >= 1, "NanFence needs at least one device, got " << num_devices);
+  devices_ = std::vector<DeviceGuard>(static_cast<std::size_t>(num_devices));
+}
+
+void NanFence::begin_op(int device, const std::string& label, int microbatch) {
+  if (!active()) return;
+  DeviceGuard& g = devices_.at(static_cast<std::size_t>(device));
+  std::lock_guard<std::mutex> lk(g.mutex);
+  g.current_label = label;
+  g.current_microbatch = microbatch;
+}
+
+void NanFence::check(int device, const Tensor& t, const char* what) {
+  if (!active()) return;
+  DeviceGuard& g = devices_.at(static_cast<std::size_t>(device));
+  const TensorStats s = tensor_stats(t);
+  std::string label;
+  int microbatch = -1;
+  {
+    std::lock_guard<std::mutex> lk(g.mutex);
+    ++g.checks;
+    if (level_ == GuardLevel::kFull && s.absmax > g.absmax) g.absmax = s.absmax;
+    if (s.finite()) return;
+    label = g.current_label;
+    microbatch = g.current_microbatch;
+    if (g.failure.empty()) {
+      std::ostringstream oss;
+      oss << "non-finite " << what << " (" << s.nonfinite << "/" << s.count
+          << " elements) at op '" << label << "' microbatch " << microbatch
+          << " on device " << device;
+      g.failure = oss.str();
+    }
+  }
+  std::ostringstream oss;
+  oss << "NaN fence tripped: non-finite " << what << " (" << s.nonfinite << " of "
+      << s.count << " elements) produced by op '" << label << "' (microbatch "
+      << microbatch << ") on device " << device;
+  throw NonFiniteError(oss.str(), device, label, microbatch);
+}
+
+void NanFence::observe_absmax(int device, float value) {
+  if (level_ != GuardLevel::kFull) return;
+  DeviceGuard& g = devices_.at(static_cast<std::size_t>(device));
+  std::lock_guard<std::mutex> lk(g.mutex);
+  if (value > g.absmax) g.absmax = value;
+}
+
+std::string NanFence::verdict(int device) const {
+  const DeviceGuard& g = devices_.at(static_cast<std::size_t>(device));
+  std::lock_guard<std::mutex> lk(g.mutex);
+  return g.failure.empty() ? "ok" : g.failure;
+}
+
+std::int64_t NanFence::checks(int device) const {
+  const DeviceGuard& g = devices_.at(static_cast<std::size_t>(device));
+  std::lock_guard<std::mutex> lk(g.mutex);
+  return g.checks;
+}
+
+std::string NanFence::describe() const {
+  std::ostringstream oss;
+  oss << "NanFence level=" << static_cast<int>(level_) << "\n";
+  for (std::size_t d = 0; d < devices_.size(); ++d) {
+    const DeviceGuard& g = devices_[d];
+    std::lock_guard<std::mutex> lk(g.mutex);
+    oss << "  device " << d << ": checks=" << g.checks << " op='" << g.current_label
+        << "' mb=" << g.current_microbatch;
+    if (level_ == GuardLevel::kFull) oss << " absmax=" << g.absmax;
+    oss << " verdict=" << (g.failure.empty() ? "ok" : g.failure) << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace vocab::guard

@@ -1,0 +1,110 @@
+#pragma once
+
+// NaN/Inf fences at schedule-op boundaries.
+//
+// A NanFence is shared by all device threads of one pipeline. The executor
+// announces each op before dispatch (begin_op), and the op runners hand the
+// fence their freshly produced tensors (check). The fence scans each tensor
+// once; the first non-finite value raises NonFiniteError carrying the exact
+// (device, op label, microbatch) attribution — the op whose *output* first
+// went bad, not wherever the poison eventually surfaced.
+//
+// Levels (VOCAB_GUARD_LEVEL, default 0):
+//   0 kOff    fence fully disabled; active() is false and the executor makes
+//             zero guard calls — the hot loop is untouched.
+//   1 kFence  non-finite scans at op boundaries.
+//   2 kFull   level 1 plus absmax tracking per device (visible in describe()
+//             and in watchdog snapshots) for drift diagnosis.
+//
+// Thread model: begin_op/check/observe_absmax are called only by device d's
+// own executor thread for device d; cross-device reads (verdict, describe)
+// take the per-device mutex. One device tripping the fence does not stop the
+// others by itself — the raised error reaches the executor's abort path,
+// which poisons the shared AbortToken exactly like any other op failure.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "tensor/tensor.h"
+
+namespace vocab::guard {
+
+enum class GuardLevel : int {
+  kOff = 0,
+  kFence = 1,
+  kFull = 2,
+};
+
+/// Strictly parse VOCAB_GUARD_LEVEL: unset -> kOff; "0"/"1"/"2" -> the level;
+/// anything else (garbage, negative, out of range) throws CheckError.
+[[nodiscard]] GuardLevel guard_level_from_env();
+
+/// Raised when a fence finds a non-finite value. Carries the attribution the
+/// acceptance criteria require: which device, which schedule op, which
+/// microbatch, and what was being checked.
+class NonFiniteError : public Error {
+ public:
+  NonFiniteError(const std::string& what, int device, std::string op_label, int microbatch)
+      : Error(what), device_(device), op_label_(std::move(op_label)), microbatch_(microbatch) {}
+
+  [[nodiscard]] int device() const { return device_; }
+  [[nodiscard]] const std::string& op_label() const { return op_label_; }
+  [[nodiscard]] int microbatch() const { return microbatch_; }
+
+ private:
+  int device_;
+  std::string op_label_;
+  int microbatch_;
+};
+
+/// Per-pipeline NaN/Inf fence; see the file comment for the protocol.
+class NanFence {
+ public:
+  NanFence(int num_devices, GuardLevel level);
+
+  [[nodiscard]] GuardLevel level() const { return level_; }
+  [[nodiscard]] bool active() const { return level_ != GuardLevel::kOff; }
+
+  /// Announce the op device `device`'s thread is about to run. Cheap: stores
+  /// the attribution used if a subsequent check on that device fails.
+  void begin_op(int device, const std::string& label, int microbatch);
+
+  /// Scan `t`; throws NonFiniteError attributed to the current op of
+  /// `device` if any element is NaN or +/-Inf. `what` names the tensor
+  /// ("fwd activation", "grad", ...) in the error message. No-op when the
+  /// fence is inactive. At kFull also records the running absmax.
+  void check(int device, const Tensor& t, const char* what);
+
+  /// kFull only: fold a precomputed absmax (e.g. the fused output layer's
+  /// logits tap) into device `device`'s running maximum without a rescan.
+  void observe_absmax(int device, float value);
+
+  /// "ok" / the first failure string for the device — watchdog snapshots
+  /// embed this so a stall caused by a numeric abort is diagnosable.
+  [[nodiscard]] std::string verdict(int device) const;
+
+  /// Count of tensors scanned on `device` (test hook: proves placement).
+  [[nodiscard]] std::int64_t checks(int device) const;
+
+  /// Multi-line per-device summary (level, current op, checks, absmax,
+  /// verdict).
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  struct DeviceGuard {
+    mutable std::mutex mutex;
+    std::string current_label = "<none>";
+    int current_microbatch = -1;
+    std::int64_t checks = 0;
+    float absmax = 0.0f;      // kFull only
+    std::string failure;      // empty until the fence trips
+  };
+
+  GuardLevel level_;
+  std::vector<DeviceGuard> devices_;
+};
+
+}  // namespace vocab::guard

@@ -1,0 +1,130 @@
+#include "guard/tensor_stats.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+#include "parallel/thread_pool.h"
+
+namespace vocab::guard {
+
+namespace {
+
+// Grain for the flat scans: cheap per-element work, so large chunks.
+constexpr std::int64_t kStatsGrain = 4096;
+
+}  // namespace
+
+TensorStats tensor_stats(const Tensor& t) {
+  TensorStats total;
+  total.count = t.numel();
+  if (t.numel() == 0) return total;
+  const float* x = t.data();
+  const std::int64_t slots = parallel::num_chunks(0, t.numel(), kStatsGrain);
+  std::vector<TensorStats> partial(static_cast<std::size_t>(slots));
+  parallel::parallel_for_chunked(
+      0, t.numel(), kStatsGrain,
+      [&](std::int64_t c, std::int64_t b, std::int64_t e) {
+        TensorStats s;
+        for (std::int64_t i = b; i < e; ++i) {
+          const float v = x[i];
+          if (!std::isfinite(v)) {
+            ++s.nonfinite;
+            continue;
+          }
+          const float a = std::fabs(v);
+          if (a > s.absmax) s.absmax = a;
+          s.sq_norm += static_cast<double>(v) * static_cast<double>(v);
+        }
+        partial[static_cast<std::size_t>(c)] = s;
+      });
+  // Combine in ascending chunk order on the calling thread.
+  for (const TensorStats& s : partial) {
+    total.nonfinite += s.nonfinite;
+    if (s.absmax > total.absmax) total.absmax = s.absmax;
+    total.sq_norm += s.sq_norm;
+  }
+  return total;
+}
+
+std::int64_t nonfinite_count(const Tensor& t) {
+  if (t.numel() == 0) return 0;
+  const float* x = t.data();
+  const std::int64_t slots = parallel::num_chunks(0, t.numel(), kStatsGrain);
+  std::vector<std::int64_t> partial(static_cast<std::size_t>(slots), 0);
+  parallel::parallel_for_chunked(
+      0, t.numel(), kStatsGrain,
+      [&](std::int64_t c, std::int64_t b, std::int64_t e) {
+        std::int64_t n = 0;
+        for (std::int64_t i = b; i < e; ++i) {
+          if (!std::isfinite(x[i])) ++n;
+        }
+        partial[static_cast<std::size_t>(c)] = n;
+      });
+  std::int64_t total = 0;
+  for (const std::int64_t n : partial) total += n;
+  return total;
+}
+
+float absmax(const Tensor& t) {
+  if (t.numel() == 0) return 0.0f;
+  const float* x = t.data();
+  const std::int64_t slots = parallel::num_chunks(0, t.numel(), kStatsGrain);
+  std::vector<float> partial(static_cast<std::size_t>(slots), 0.0f);
+  parallel::parallel_for_chunked(
+      0, t.numel(), kStatsGrain,
+      [&](std::int64_t c, std::int64_t b, std::int64_t e) {
+        float m = 0.0f;
+        for (std::int64_t i = b; i < e; ++i) {
+          const float a = std::fabs(x[i]);
+          if (std::isfinite(a) && a > m) m = a;
+        }
+        partial[static_cast<std::size_t>(c)] = m;
+      });
+  float total = 0.0f;
+  for (const float m : partial) {
+    if (m > total) total = m;
+  }
+  return total;
+}
+
+double squared_norm(const Tensor& t) {
+  if (t.numel() == 0) return 0.0;
+  const float* x = t.data();
+  const std::int64_t slots = parallel::num_chunks(0, t.numel(), kStatsGrain);
+  std::vector<double> partial(static_cast<std::size_t>(slots), 0.0);
+  parallel::parallel_for_chunked(
+      0, t.numel(), kStatsGrain,
+      [&](std::int64_t c, std::int64_t b, std::int64_t e) {
+        double s = 0.0;
+        for (std::int64_t i = b; i < e; ++i) {
+          s += static_cast<double>(x[i]) * static_cast<double>(x[i]);
+        }
+        partial[static_cast<std::size_t>(c)] = s;
+      });
+  double total = 0.0;
+  for (const double s : partial) total += s;
+  return total;
+}
+
+void row_squared_norms(const Tensor& m, std::int64_t row0, std::int64_t row1, float* out) {
+  VOCAB_CHECK(m.rank() == 2, "row_squared_norms needs a rank-2 tensor, got " << m.shape_str());
+  VOCAB_CHECK(0 <= row0 && row0 <= row1 && row1 <= m.dim(0),
+              "row range [" << row0 << ", " << row1 << ") out of bounds for " << m.shape_str());
+  const std::int64_t cols = m.dim(1);
+  const float* x = m.data();
+  // One row per iteration; each row is a serial left-to-right double sum, so
+  // the per-row value is independent of which device owns the row.
+  parallel::parallel_for(row0, row1, 8, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t r = b; r < e; ++r) {
+      const float* row = x + r * cols;
+      double s = 0.0;
+      for (std::int64_t c = 0; c < cols; ++c) {
+        s += static_cast<double>(row[c]) * static_cast<double>(row[c]);
+      }
+      out[r - row0] = static_cast<float>(s);
+    }
+  });
+}
+
+}  // namespace vocab::guard

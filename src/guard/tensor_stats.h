@@ -1,0 +1,52 @@
+#pragma once
+
+// Deterministic tensor statistics for the numeric guardrails.
+//
+// Three single-pass kernels — finite count, absolute maximum, squared norm —
+// built on the parallel_for chunk partition: each chunk produces one partial
+// on its own slot and the partials are combined in ascending chunk order on
+// the calling thread. Chunk boundaries are shape-only, so every statistic is
+// bit-identical for any pool width (the same contract the numeric kernels in
+// tensor_ops obey).
+//
+// The squared norm accumulates in double within each chunk and across the
+// chunk combine, so it is also the canonical per-unit kernel of the
+// cross-shard gradient clip (guard/grad_clip.h): any layout that computes
+// the norm of the same bytes gets the same double back.
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace vocab::guard {
+
+/// One pass worth of statistics over a tensor.
+struct TensorStats {
+  std::int64_t count = 0;      ///< elements scanned
+  std::int64_t nonfinite = 0;  ///< NaN or +/-Inf elements
+  float absmax = 0.0f;         ///< max |x| over the finite elements
+  double sq_norm = 0.0;        ///< sum x^2 (double accumulation, chunk order)
+
+  [[nodiscard]] bool finite() const { return nonfinite == 0; }
+};
+
+/// All statistics in one deterministic pass.
+[[nodiscard]] TensorStats tensor_stats(const Tensor& t);
+
+/// Number of NaN / +/-Inf elements.
+[[nodiscard]] std::int64_t nonfinite_count(const Tensor& t);
+
+/// Max |x| over the finite elements (0 for an empty tensor).
+[[nodiscard]] float absmax(const Tensor& t);
+
+/// Sum of squares, double accumulation in chunk order. Deterministic for any
+/// pool width and equal for any two tensors holding the same flat bytes.
+[[nodiscard]] double squared_norm(const Tensor& t);
+
+/// Per-row squared norms of rows [row0, row1) of a rank-2 tensor `m`,
+/// written to out[0 .. row1-row0). Each row is accumulated serially
+/// left-to-right in double then rounded to float — the canonical per-row
+/// unit value of the gradient clip, independent of how rows are sharded.
+void row_squared_norms(const Tensor& m, std::int64_t row0, std::int64_t row1, float* out);
+
+}  // namespace vocab::guard

@@ -187,15 +187,31 @@ bool ThreadPool::try_run(std::int64_t num_chunks,
   return true;
 }
 
+namespace {
+
+// Shape-only chunking: boundaries are a function of (n, grain) alone.
+// Returns {chunk_size, num_chunks}.
+std::pair<std::int64_t, std::int64_t> partition(std::int64_t n, std::int64_t grain) {
+  const std::int64_t g = std::max<std::int64_t>(grain, 1);
+  std::int64_t chunks = std::min((n + g - 1) / g, kMaxChunks);
+  const std::int64_t chunk = (n + chunks - 1) / chunks;
+  chunks = (n + chunk - 1) / chunk;
+  return {chunk, chunks};
+}
+
+}  // namespace
+
+std::int64_t num_chunks(std::int64_t begin, std::int64_t end, std::int64_t grain) {
+  const std::int64_t n = end - begin;
+  if (n <= 0) return 0;
+  return partition(n, grain).second;
+}
+
 void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
                   const std::function<void(std::int64_t, std::int64_t)>& body) {
   const std::int64_t n = end - begin;
   if (n <= 0) return;
-  const std::int64_t g = std::max<std::int64_t>(grain, 1);
-  // Shape-only chunking: boundaries are a function of (n, grain) alone.
-  std::int64_t chunks = std::min((n + g - 1) / g, kMaxChunks);
-  const std::int64_t chunk = (n + chunks - 1) / chunks;
-  chunks = (n + chunk - 1) / chunk;
+  const auto [chunk, chunks] = partition(n, grain);
   if (chunks == 1) {
     body(begin, end);
     return;
@@ -204,6 +220,26 @@ void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
     const std::int64_t b = begin + c * chunk;
     body(b, std::min(b + chunk, end));
   };
+  ThreadPool* pool = t_pool_override ? t_scoped_pool : &ThreadPool::instance();
+  if (pool == nullptr || !pool->try_run(chunks, run_chunk)) {
+    for (std::int64_t c = 0; c < chunks; ++c) run_chunk(c);
+  }
+}
+
+void parallel_for_chunked(
+    std::int64_t begin, std::int64_t end, std::int64_t grain,
+    const std::function<void(std::int64_t, std::int64_t, std::int64_t)>& body) {
+  const std::int64_t n = end - begin;
+  if (n <= 0) return;
+  const auto [chunk, chunks] = partition(n, grain);
+  const auto run_chunk = [&](std::int64_t c) {
+    const std::int64_t b = begin + c * chunk;
+    body(c, b, std::min(b + chunk, end));
+  };
+  if (chunks == 1) {
+    run_chunk(0);
+    return;
+  }
   ThreadPool* pool = t_pool_override ? t_scoped_pool : &ThreadPool::instance();
   if (pool == nullptr || !pool->try_run(chunks, run_chunk)) {
     for (std::int64_t c = 0; c < chunks; ++c) run_chunk(c);

@@ -115,6 +115,20 @@ class ScopedPool {
 void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
                   const std::function<void(std::int64_t, std::int64_t)>& body);
 
+/// Like parallel_for, but the body also receives the chunk index
+/// (0-based, in partition order). Reduction kernels use it to write one
+/// partial result per chunk and combine the partials in ascending chunk
+/// order on the calling thread — deterministic for any pool width, since
+/// the partition is the same shape-only one parallel_for uses.
+void parallel_for_chunked(
+    std::int64_t begin, std::int64_t end, std::int64_t grain,
+    const std::function<void(std::int64_t, std::int64_t, std::int64_t)>& body);
+
+/// Number of chunks the shape-only partition produces for (end - begin,
+/// grain) — the partial-slot count a chunked reduction must allocate.
+[[nodiscard]] std::int64_t num_chunks(std::int64_t begin, std::int64_t end,
+                                      std::int64_t grain);
+
 /// Current total execution width (== ThreadPool::instance().num_threads()).
 [[nodiscard]] int num_threads();
 

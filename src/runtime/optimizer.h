@@ -25,6 +25,13 @@ struct OptimizerConfig {
   float beta2 = 0.999f;  // Adam only
   float eps = 1e-8f;     // Adam only
 
+  /// Global gradient-norm clip threshold; <= 0 disables clipping. Applied by
+  /// the trainers before any step: gradients are scaled by
+  /// max_grad_norm / norm when the global norm (all parameters, all shards)
+  /// exceeds the threshold. See guard/grad_clip.h for how the sharded norm
+  /// stays bit-identical to the single-device one.
+  float max_grad_norm = 0.0f;
+
   static OptimizerConfig sgd(float lr) { return {OptimizerKind::Sgd, lr}; }
   static OptimizerConfig adam(float lr) { return {OptimizerKind::Adam, lr}; }
 };

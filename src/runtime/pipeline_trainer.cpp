@@ -10,6 +10,8 @@
 #include "core/reference_input_layer.h"
 #include "core/reference_output_layer.h"
 #include "cost/cost_model.h"
+#include "guard/grad_clip.h"
+#include "guard/tensor_stats.h"
 #include "parallel/thread_pool.h"
 #include "schedule/layer_assignment.h"
 #include "schedule/schedule_1f1b.h"
@@ -123,7 +125,10 @@ PipelineTrainer::PipelineTrainer(GptWeights weights, int p, OutputAlgo algo,
     devices_.push_back(std::move(dev));
   }
 
-  if (vocab_sharded()) {
+  // The folded baseline historically had no collective group; the global
+  // grad-norm clip gives every multi-device flavor one (its single "clipAR"
+  // all-reduce). Single-device folded layouts clip locally instead.
+  if (vocab_sharded() || p > 1) {
     group_ = std::make_unique<DeviceGroup>(p);
     group_->set_abort_token(abort_);
   }
@@ -151,6 +156,8 @@ PipelineTrainer::PipelineTrainer(GptWeights weights, int p, OutputAlgo algo,
   }
   pos_embedding_ = std::move(weights.pos_embedding);
   pos_embedding_grad_ = Tensor(pos_embedding_.shape());
+  fence_ = std::make_shared<guard::NanFence>(p, guard::guard_level_from_env());
+  clip_state_.resize(static_cast<std::size_t>(p));
 }
 
 PipelineTrainer::~PipelineTrainer() = default;
@@ -170,8 +177,9 @@ const ExecutorStats* PipelineTrainer::last_executor_stats() const {
   return last_executor_ == nullptr ? nullptr : &last_executor_->last_stats();
 }
 
-ScheduleExecutor& PipelineTrainer::executor_for(int m) {
-  const auto it = executors_.find(m);
+ScheduleExecutor& PipelineTrainer::executor_for(int m, bool with_clip) {
+  const auto key = std::make_pair(m, with_clip);
+  const auto it = executors_.find(key);
   if (it != executors_.end()) return *it->second;
 
   ModelConfig mc;
@@ -202,8 +210,12 @@ ScheduleExecutor& PipelineTrainer::executor_for(int m) {
     case PipelineFlavor::Naive:
       VOCAB_FAIL("the naive flavor does not execute a schedule");
   }
+  if (with_clip) sched = guard::with_clip_collective(sched);
+  // The ScheduleExecutor constructor re-verifies, so the schedule that
+  // actually runs — clip all-reduce included — is certified.
   auto ex = std::make_unique<ScheduleExecutor>(std::move(sched));
   ex->set_abort_token(abort_);
+  ex->set_nan_fence(fence_);
   if (injector_ != nullptr) ex->set_fault_injector(injector_);
   if (watchdog_enabled_) ex->enable_watchdog(watchdog_config_);
   ex->set_comm_snapshot([this] {
@@ -212,10 +224,12 @@ ScheduleExecutor& PipelineTrainer::executor_for(int m) {
       s += "  mailbox[" + std::to_string(d) + "]: " + mail_[d]->describe() + "\n";
     }
     if (group_ != nullptr) s += "  collective group: " + group_->describe() + "\n";
+    if (fence_ != nullptr && fence_->active()) s += "  guard: " + fence_->describe();
+    if (extra_snapshot_) s += extra_snapshot_();
     return s;
   });
   ScheduleExecutor& ref = *ex;
-  executors_.emplace(m, std::move(ex));
+  executors_.emplace(key, std::move(ex));
   return ref;
 }
 
@@ -228,6 +242,126 @@ void PipelineTrainer::enable_watchdog(WatchdogConfig config) {
   watchdog_config_ = config;
   watchdog_enabled_ = true;
   for (auto& [m, ex] : executors_) ex->enable_watchdog(config);
+}
+
+void PipelineTrainer::set_guard_level(guard::GuardLevel level) {
+  fence_ = std::make_shared<guard::NanFence>(p_, level);
+  for (auto& [m, ex] : executors_) ex->set_nan_fence(fence_);
+}
+
+void PipelineTrainer::set_extra_snapshot(std::function<std::string()> snapshot) {
+  extra_snapshot_ = std::move(snapshot);
+}
+
+void PipelineTrainer::drain_comm() {
+  for (auto& c : fwd_) c->clear();
+  for (auto& c : bwd_) c->clear();
+  for (auto& c : mail_) c->clear();
+}
+
+std::size_t PipelineTrainer::comm_in_flight() const {
+  std::size_t total = 0;
+  for (const auto& c : fwd_) total += c->size();
+  for (const auto& c : bwd_) total += c->size();
+  for (const auto& c : mail_) total += c->size();
+  return total;
+}
+
+void PipelineTrainer::guard_boundary(int d, Tensor& t, const char* what) {
+  // Corruption lands before the fence looks, so an armed data fault is
+  // caught at the boundary of the op that (nominally) produced the bytes.
+  if (injector_ != nullptr) injector_->corrupt_pending(d, t.data(), t.numel());
+  if (fence_ != nullptr && fence_->active()) fence_->check(d, t, what);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-shard global gradient-norm clip (guard/grad_clip.h).
+//
+// Each device fills ONLY the canonical clip units it owns into a zero-filled
+// unit vector; the Sum all-reduce is then exact in fp regardless of reduction
+// order (every element is x + 0 + ... + 0), and every device derives the
+// identical norm/scale from the identical post-reduce bytes — bit-for-bit
+// the numbers ReferenceTrainer computes from the same gradients.
+// ---------------------------------------------------------------------------
+
+void PipelineTrainer::compute_clip_device(int d) {
+  Device& dev = *devices_[static_cast<std::size_t>(d)];
+  ClipState& cs = clip_state_[static_cast<std::size_t>(d)];
+  const guard::ClipUnitLayout layout{config_.num_layers, config_.vocab,
+                                     config_.tie_embeddings};
+  Tensor units({layout.total_units()});
+  float* u = units.data();
+
+  const int layers_per_stage = config_.num_layers / num_stages();
+  const auto fill_stack = [&](TransformerStack& stack, int stage) {
+    const auto params = stack.parameters();
+    const std::int64_t base =
+        layout.stack_unit(stage * layers_per_stage, 0);
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      if (params[i]->grad.empty()) continue;
+      u[base + static_cast<std::int64_t>(i)] =
+          static_cast<float>(guard::squared_norm(params[i]->grad));
+    }
+  };
+  fill_stack(*dev.stack, d);
+  if (dev.stack2) fill_stack(*dev.stack2, 2 * p_ - 1 - d);
+  if (d == 0) {
+    u[layout.pos_unit()] = static_cast<float>(guard::squared_norm(pos_embedding_grad_));
+  }
+
+  if (vocab_sharded()) {
+    const VocabShard& sh = dev.output->shard();
+    if (config_.tie_embeddings) {
+      // Combine the tied shards' gradients BEFORE the clip, exactly as the
+      // reference does: fp scaling is not distributive over a later add.
+      cs.combined_grad = dev.output->weight_grad();
+      add_inplace(cs.combined_grad, dev.input->embedding_grad());
+      guard::row_squared_norms(cs.combined_grad, 0, sh.valid_size(),
+                               u + layout.output_row_unit(sh.offset));
+    } else {
+      guard::row_squared_norms(dev.output->weight_grad(), 0, sh.valid_size(),
+                               u + layout.output_row_unit(sh.offset));
+      guard::row_squared_norms(dev.input->embedding_grad(), 0, sh.valid_size(),
+                               u + layout.input_row_unit(sh.offset));
+    }
+  } else if (config_.tie_embeddings) {
+    // Folded tied layout: the shared weight's two gradients live on devices
+    // 0 and p-1, so the pre-clip combine costs one mailbox exchange.
+    if (p_ == 1) {
+      add_inplace(dev.out_weight_full_grad, dev.embed_full_grad);
+      dev.embed_full_grad.fill(0.0f);
+      cs.tied_combined = true;
+      guard::row_squared_norms(dev.out_weight_full_grad, 0, config_.vocab,
+                               u + layout.output_row_unit(0));
+    } else if (d == 0) {
+      mail_[static_cast<std::size_t>(p_ - 1)]->send("clip:tied-grad", dev.embed_full_grad);
+      dev.embed_full_grad.fill(0.0f);
+      cs.tied_combined = true;
+    } else if (d == p_ - 1) {
+      add_inplace(dev.out_weight_full_grad,
+                  mail_[static_cast<std::size_t>(d)]->recv_tag("clip:tied-grad"));
+      cs.tied_combined = true;
+      guard::row_squared_norms(dev.out_weight_full_grad, 0, config_.vocab,
+                               u + layout.output_row_unit(0));
+    }
+  } else {
+    if (d == 0) {
+      guard::row_squared_norms(dev.embed_full_grad, 0, config_.vocab,
+                               u + layout.input_row_unit(0));
+    }
+    if (d == p_ - 1) {
+      guard::row_squared_norms(dev.out_weight_full_grad, 0, config_.vocab,
+                               u + layout.output_row_unit(0));
+    }
+  }
+
+  if (p_ > 1) group_->all_reduce(d, units, ReduceOp::Sum, "clipAR");
+
+  const std::vector<float> unit_vec(units.data(), units.data() + units.numel());
+  const guard::ClipResult result = guard::clip_decision(unit_vec, clip_max_norm_);
+  cs.norm = result.norm;
+  cs.scale = result.scale;
+  cs.computed = true;
 }
 
 // ---------------------------------------------------------------------------
@@ -302,6 +436,7 @@ struct PipelineTrainer::ScheduledIteration final : OpRunner {
     }
 
     Tensor y = tr.stack_of_stage(s).forward(mb, x);
+    tr.guard_boundary(d, y, "forward activation");
 
     if (s == last_stage()) {
       if (tr.vocab_sharded()) {
@@ -313,6 +448,7 @@ struct PipelineTrainer::ScheduledIteration final : OpRunner {
             reference_output_layer(y, dev.out_weight_full, sample.targets, grad_scale);
         losses[static_cast<std::size_t>(mb)] = out.loss;
         add_inplace(dev.out_weight_full_grad, out.grad_w);
+        tr.guard_boundary(d, out.grad_x, "output-layer grad_x");
         ds.grad.emplace(std::make_pair(s, mb), std::move(out.grad_x));
       }
     } else {
@@ -347,6 +483,7 @@ struct PipelineTrainer::ScheduledIteration final : OpRunner {
       }
       grad_in = tr.stack_of_stage(s).backward(mb, grad_out);
     }
+    tr.guard_boundary(d, grad_in, "backward gradient");
 
     if (s == 0) {
       add_inplace(tr.pos_embedding_grad_, grad_in);
@@ -377,6 +514,7 @@ struct PipelineTrainer::ScheduledIteration final : OpRunner {
 
     if (label.rfind("iAR", 0) == 0) {
       dev.input->forward_allreduce(mb, ds.embed_partial.at(mb), group);
+      tr.guard_boundary(d, ds.embed_partial.at(mb), "embedding all-reduce output");
       // Only the stage-0 host consumes the all-reduced embedding output.
       if (d != 0) ds.embed_partial.erase(mb);
     } else if (label.rfind("C0", 0) == 0) {
@@ -387,6 +525,7 @@ struct PipelineTrainer::ScheduledIteration final : OpRunner {
         ds.last_y.erase(mb);
       }
       group.broadcast(d, root, x_last, "C0:mb" + std::to_string(mb));
+      tr.guard_boundary(d, x_last, "broadcast last-stage activation");
       dev.output->start_microbatch(mb, std::move(x_last),
                                    mbs[static_cast<std::size_t>(mb)].targets, grad_scale);
       ds.output_done[mb] = false;
@@ -406,7 +545,10 @@ struct PipelineTrainer::ScheduledIteration final : OpRunner {
         ds.grad0.erase(mb);
       }
       group.broadcast(d, /*root=*/0, g, "jBC:mb" + std::to_string(mb));
+      tr.guard_boundary(d, g, "broadcast input-layer gradient");
       ds.jgrad.emplace(mb, std::move(g));
+    } else if (label == "clipAR") {
+      tr.compute_clip_device(d);
     } else {
       VOCAB_FAIL("unknown collective label '" << label << "'");
     }
@@ -430,6 +572,11 @@ struct PipelineTrainer::ScheduledIteration final : OpRunner {
         break;
       case OpKind::OutputS:
         dev.output->compute_phase(op.microbatch, 0);
+        // The logits are the tensor the paper's online-softmax rescaling
+        // protects; fence them (and absmax-tap them at level 2) right where
+        // they are produced.
+        tr.guard_boundary(op.device, dev.output->mutable_logits(op.microbatch),
+                          "output-shard logits");
         break;
       case OpKind::OutputT:
         dev.output->compute_phase(op.microbatch, 1);
@@ -438,12 +585,13 @@ struct PipelineTrainer::ScheduledIteration final : OpRunner {
           maybe_finish_output(ds, dev, op.microbatch);
         }
         break;
-      case OpKind::InputFwd:
-        ds.embed_partial.emplace(
-            op.microbatch,
-            dev.input->forward_local(op.microbatch,
-                                     mbs[static_cast<std::size_t>(op.microbatch)].tokens));
+      case OpKind::InputFwd: {
+        Tensor partial = dev.input->forward_local(
+            op.microbatch, mbs[static_cast<std::size_t>(op.microbatch)].tokens);
+        tr.guard_boundary(op.device, partial, "input-shard partial embedding");
+        ds.embed_partial.emplace(op.microbatch, std::move(partial));
         break;
+      }
       case OpKind::InputBwd:
         dev.input->backward_local(op.microbatch, ds.jgrad.at(op.microbatch));
         ds.jgrad.erase(op.microbatch);
@@ -463,6 +611,19 @@ struct PipelineTrainer::ScheduledIteration final : OpRunner {
 
 void PipelineTrainer::optimizer_step_device(int d, const OptimizerConfig& opt) {
   Device& dev = *devices_[static_cast<std::size_t>(d)];
+  ClipState& cs = clip_state_[static_cast<std::size_t>(d)];
+  // Single-device layouts have no clip collective in the schedule; compute
+  // the (local) clip decision lazily here. Multi-device runs arrive with it
+  // already computed — by the clipAR schedule op or the naive path's
+  // explicit collective — since reaching this point requires the device
+  // threads to have joined.
+  if (clip_active_ && !cs.computed) {
+    VOCAB_CHECK(p_ == 1, "clip decision missing for device " << d << " of " << p_);
+    compute_clip_device(d);
+  }
+  const float cscale = clip_active_ ? cs.scale : 1.0f;
+  if (clip_active_ && d == 0) last_grad_norm_ = cs.norm;
+
   auto params = dev.stack->parameters();
   if (dev.stack2) {
     const auto extra = dev.stack2->parameters();
@@ -471,6 +632,7 @@ void PipelineTrainer::optimizer_step_device(int d, const OptimizerConfig& opt) {
   if (dev.stack_opt.size() != params.size()) dev.stack_opt.resize(params.size());
   for (std::size_t i = 0; i < params.size(); ++i) {
     if (params[i]->grad.empty()) continue;
+    if (cscale != 1.0f) scale_inplace(params[i]->grad, cscale);
     dev.stack_opt[i].step(params[i]->value, params[i]->grad, opt);
     params[i]->grad.fill(0.0f);
   }
@@ -479,11 +641,24 @@ void PipelineTrainer::optimizer_step_device(int d, const OptimizerConfig& opt) {
     if (config_.tie_embeddings) {
       // §6.1: the tied weight's shards share a device, so tying needs no
       // extra all-reduce — just a local gradient sum before the update.
-      Tensor grad = dev.output->weight_grad();
-      add_inplace(grad, dev.input->embedding_grad());
+      // With clipping active the combined gradient was already formed
+      // (pre-scale) by compute_clip_device, so the clip scales the same
+      // bytes the optimizer consumes.
+      Tensor grad;
+      if (clip_active_) {
+        grad = std::move(cs.combined_grad);
+      } else {
+        grad = dev.output->weight_grad();
+        add_inplace(grad, dev.input->embedding_grad());
+      }
+      if (cscale != 1.0f) scale_inplace(grad, cscale);
       dev.output_opt.step(dev.output->mutable_weight(), grad, opt);
       dev.input->mutable_embedding() = dev.output->weight();
     } else {
+      if (cscale != 1.0f) {
+        scale_inplace(dev.output->mutable_weight_grad(), cscale);
+        scale_inplace(dev.input->mutable_embedding_grad(), cscale);
+      }
       dev.output_opt.step(dev.output->mutable_weight(), dev.output->weight_grad(), opt);
       dev.input_opt.step(dev.input->mutable_embedding(), dev.input->embedding_grad(), opt);
     }
@@ -492,10 +667,13 @@ void PipelineTrainer::optimizer_step_device(int d, const OptimizerConfig& opt) {
   } else if (config_.tie_embeddings) {
     // The folded layout puts the tied weight's two copies on *different*
     // devices, so tying costs a gradient exchange — the disadvantage §6.1
-    // notes for the baseline.
+    // notes for the baseline. When clipping is active the exchange already
+    // happened pre-clip (cs.tied_combined), so only the weight broadcast
+    // remains.
     if (p_ == 1) {
       if (d == 0) {
-        add_inplace(dev.out_weight_full_grad, dev.embed_full_grad);
+        if (!cs.tied_combined) add_inplace(dev.out_weight_full_grad, dev.embed_full_grad);
+        if (cscale != 1.0f) scale_inplace(dev.out_weight_full_grad, cscale);
         dev.output_opt.step(dev.out_weight_full, dev.out_weight_full_grad, opt);
         dev.embed_full = dev.out_weight_full;
         dev.out_weight_full_grad.fill(0.0f);
@@ -503,11 +681,17 @@ void PipelineTrainer::optimizer_step_device(int d, const OptimizerConfig& opt) {
       }
     } else {
       if (d == 0) {
-        mail_[static_cast<std::size_t>(p_ - 1)]->send("tied:grad", dev.embed_full_grad);
+        if (!cs.tied_combined) {
+          mail_[static_cast<std::size_t>(p_ - 1)]->send("tied:grad", dev.embed_full_grad);
+        }
         dev.embed_full = mail_[0]->recv_tag("tied:weight");
         dev.embed_full_grad.fill(0.0f);
       } else if (d == p_ - 1) {
-        add_inplace(dev.out_weight_full_grad, mail_[static_cast<std::size_t>(d)]->recv_tag("tied:grad"));
+        if (!cs.tied_combined) {
+          add_inplace(dev.out_weight_full_grad,
+                      mail_[static_cast<std::size_t>(d)]->recv_tag("tied:grad"));
+        }
+        if (cscale != 1.0f) scale_inplace(dev.out_weight_full_grad, cscale);
         dev.output_opt.step(dev.out_weight_full, dev.out_weight_full_grad, opt);
         mail_[0]->send("tied:weight", dev.out_weight_full);
         dev.out_weight_full_grad.fill(0.0f);
@@ -515,16 +699,19 @@ void PipelineTrainer::optimizer_step_device(int d, const OptimizerConfig& opt) {
     }
   } else {
     if (d == 0) {
+      if (cscale != 1.0f) scale_inplace(dev.embed_full_grad, cscale);
       dev.input_opt.step(dev.embed_full, dev.embed_full_grad, opt);
       dev.embed_full_grad.fill(0.0f);
     }
     if (d == p_ - 1) {
+      if (cscale != 1.0f) scale_inplace(dev.out_weight_full_grad, cscale);
       dev.output_opt.step(dev.out_weight_full, dev.out_weight_full_grad, opt);
       dev.out_weight_full_grad.fill(0.0f);
     }
   }
 
   if (d == 0) {
+    if (cscale != 1.0f) scale_inplace(pos_embedding_grad_, cscale);
     pos_opt_.step(pos_embedding_, pos_embedding_grad_, opt);
     pos_embedding_grad_.fill(0.0f);
   }
@@ -545,6 +732,11 @@ float PipelineTrainer::train_iteration(const std::vector<Sample>& microbatches,
                        "trainer poisoned by an earlier failure — rebuild from a "
                        "checkpoint before training again");
   }
+  // Reset per-iteration clip coordination while still single-threaded; device
+  // threads then each write only their own slot.
+  clip_active_ = opt.max_grad_norm > 0.0f || monitor_grad_norm_;
+  clip_max_norm_ = opt.max_grad_norm;
+  for (auto& cs : clip_state_) cs = ClipState{};
   return flavor_ == PipelineFlavor::Naive ? train_iteration_naive(microbatches, opt)
                                           : train_iteration_scheduled(microbatches, opt);
 }
@@ -568,7 +760,9 @@ float PipelineTrainer::train_iteration_naive(const std::vector<Sample>& microbat
       const Sample& sample = microbatches[static_cast<std::size_t>(mb)];
 
       // ---- input layer forward (vocab-parallel, all-reduced) --------------
+      if (fence_ != nullptr && fence_->active()) fence_->begin_op(d, "naive:fwd", mb);
       Tensor x0 = dev.input->forward(mb, sample.tokens, *group_);
+      guard_boundary(d, x0, "input embedding");
 
       // ---- transformer forward through this stage ---------------------------
       Tensor x;
@@ -579,6 +773,7 @@ float PipelineTrainer::train_iteration_naive(const std::vector<Sample>& microbat
         x = fwd_[static_cast<std::size_t>(d - 1)]->recv_expect("fwd:" + std::to_string(mb));
       }
       Tensor y = dev.stack->forward(mb, x);
+      guard_boundary(d, y, "forward activation");
       if (d + 1 < p_) {
         fwd_[static_cast<std::size_t>(d)]->send("fwd:" + std::to_string(mb), y);
       }
@@ -588,9 +783,13 @@ float PipelineTrainer::train_iteration_naive(const std::vector<Sample>& microbat
       group_->broadcast(d, p_ - 1, x_last, "C0:mb" + std::to_string(mb));
 
       // ---- output layer S / barriers / T phases -----------------------------
+      if (fence_ != nullptr && fence_->active()) fence_->begin_op(d, "naive:output", mb);
       dev.output->start_microbatch(mb, std::move(x_last), sample.targets, grad_scale);
       for (int phase = 0; phase < phases; ++phase) {
         dev.output->compute_phase(mb, phase);
+        if (phase == 0) {
+          guard_boundary(d, dev.output->mutable_logits(mb), "output-shard logits");
+        }
         if (phase < barriers) dev.output->comm_barrier(mb, phase, *group_);
       }
       if (d == 0) losses[static_cast<std::size_t>(mb)] = dev.output->loss(mb);
@@ -603,7 +802,9 @@ float PipelineTrainer::train_iteration_naive(const std::vector<Sample>& microbat
         grad_out = bwd_[static_cast<std::size_t>(d)]->recv_expect("bwd:" + std::to_string(mb));
       }
       dev.output->finish_microbatch(mb);
+      if (fence_ != nullptr && fence_->active()) fence_->begin_op(d, "naive:bwd", mb);
       Tensor grad_in = dev.stack->backward(mb, grad_out);
+      guard_boundary(d, grad_in, "backward gradient");
       if (d > 0) {
         bwd_[static_cast<std::size_t>(d - 1)]->send("bwd:" + std::to_string(mb), grad_in);
       }
@@ -614,6 +815,9 @@ float PipelineTrainer::train_iteration_naive(const std::vector<Sample>& microbat
       dev.input->backward(mb, gin, /*root=*/0, *group_);
     }
 
+    // The clip all-reduce is a collective: every device thread must reach it
+    // before any can take its optimizer step.
+    if (clip_active_ && p_ > 1) compute_clip_device(d);
     optimizer_step_device(d, opt);
   };
 
@@ -638,13 +842,17 @@ float PipelineTrainer::train_iteration_naive(const std::vector<Sample>& microbat
   for (auto& t : threads) t.join();
   // Prefer the originating failure over peers' secondary AbortedErrors.
   if (abort_->aborted()) {
+    drain_comm();
     const int origin = abort_->reason().device;
     if (origin >= 0 && origin < p_ && errors[static_cast<std::size_t>(origin)]) {
       std::rethrow_exception(errors[static_cast<std::size_t>(origin)]);
     }
   }
   for (const auto& e : errors) {
-    if (e) std::rethrow_exception(e);
+    if (e) {
+      drain_comm();
+      std::rethrow_exception(e);
+    }
   }
 
   double total = 0.0;
@@ -658,11 +866,18 @@ float PipelineTrainer::train_iteration_scheduled(const std::vector<Sample>& micr
   const float grad_scale =
       1.0f / (static_cast<float>(config_.seq_len) * static_cast<float>(m));
 
-  ScheduleExecutor& executor = executor_for(m);
+  ScheduleExecutor& executor = executor_for(m, clip_active_ && p_ > 1);
   last_executor_ = &executor;
 
   ScheduledIteration iteration(*this, microbatches, grad_scale);
-  executor.run(iteration);
+  try {
+    executor.run(iteration);
+  } catch (...) {
+    // Abort hygiene: a failed iteration must not leave payloads queued for a
+    // retry to mis-receive.
+    drain_comm();
+    throw;
+  }
 
   // Optimizer phase: one thread per device, like the compute phase (the
   // tied folded baseline exchanges its gradient over the mailboxes).
@@ -680,7 +895,10 @@ float PipelineTrainer::train_iteration_scheduled(const std::vector<Sample>& micr
   }
   for (auto& t : threads) t.join();
   for (const auto& e : errors) {
-    if (e) std::rethrow_exception(e);
+    if (e) {
+      drain_comm();
+      std::rethrow_exception(e);
+    }
   }
 
   double total = 0.0;

@@ -22,8 +22,11 @@
 //     sends non-blocking, collective barriers overlapped with compute.
 
 #include <cstdint>
+#include <functional>
+#include <limits>
 #include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "fault/abort_token.h"
@@ -31,6 +34,7 @@
 #include "fault/watchdog.h"
 #include "core/input_layer_shard.h"
 #include "core/output_layer_shard.h"
+#include "guard/nan_fence.h"
 #include "model/gpt.h"
 #include "model/transformer.h"
 #include "runtime/optimizer.h"
@@ -94,6 +98,38 @@ class PipelineTrainer {
   /// occupancy and collective waiters.
   void enable_watchdog(WatchdogConfig config);
 
+  /// Set the NaN/Inf fence level (default: VOCAB_GUARD_LEVEL, off when
+  /// unset). At level 0 the fence object is inert and the executor's hot
+  /// loop makes no guard calls at all.
+  void set_guard_level(guard::GuardLevel level);
+  [[nodiscard]] const std::shared_ptr<guard::NanFence>& nan_fence() const { return fence_; }
+
+  /// Compute the global gradient norm every iteration even when
+  /// OptimizerConfig::max_grad_norm is 0, so last_grad_norm feeds anomaly
+  /// monitors. Adds the clip all-reduce to the executed schedule.
+  void set_grad_norm_monitor(bool on) { monitor_grad_norm_ = on; }
+
+  /// Global (cross-shard) gradient norm of the most recent train_iteration;
+  /// NaN until one has been computed (clipping or the monitor enabled).
+  [[nodiscard]] float last_grad_norm() const { return last_grad_norm_; }
+
+  /// Extra state appended to watchdog stall snapshots (e.g. the resilient
+  /// trainer's rolling loss/grad-norm anomaly windows).
+  void set_extra_snapshot(std::function<std::string()> snapshot);
+
+  /// Drop every queued mailbox / stage-channel payload. Called on the abort
+  /// paths so a failed iteration cannot leak messages; exposed for the
+  /// abort-hygiene tests.
+  void drain_comm();
+
+  /// Total payloads currently queued across all channels (0 after a clean or
+  /// cleanly-aborted iteration).
+  [[nodiscard]] std::size_t comm_in_flight() const;
+
+  /// The trainer's collective group (null for single-device folded layouts);
+  /// abort-hygiene tests assert no rank is left waiting in it.
+  [[nodiscard]] const class DeviceGroup* device_group() const { return group_.get(); }
+
   /// Reassembled full tensors (gathered from the shards) for equivalence
   /// checks against the reference trainer.
   [[nodiscard]] Tensor gathered_input_embedding() const;
@@ -119,8 +155,16 @@ class PipelineTrainer {
   /// Per-device optimizer step; shared by both paths (the shards own their
   /// parameters, so no optimizer communication is needed — §6.1).
   void optimizer_step_device(int d, const OptimizerConfig& opt);
-  /// Build (or fetch the cached) executor for `m` microbatches.
-  ScheduleExecutor& executor_for(int m);
+  /// Build (or fetch the cached) executor for `m` microbatches; `with_clip`
+  /// variants run the schedule with the appended clip all-reduce.
+  ScheduleExecutor& executor_for(int m, bool with_clip);
+  /// Fill this device's clip units, all-reduce them, and record the clip
+  /// decision in clip_state_[d]. Runs on device d's thread; every device
+  /// must call it (collectively) when clipping is active and p > 1.
+  void compute_clip_device(int d);
+  /// Fault-corruption + NaN-fence point for a tensor device `d` just
+  /// produced (applies any armed data fault first, then fences).
+  void guard_boundary(int d, Tensor& t, const char* what);
 
   GptConfig config_;
   int p_;
@@ -137,7 +181,8 @@ class PipelineTrainer {
   std::vector<std::unique_ptr<class Channel>> fwd_;
   std::vector<std::unique_ptr<class Channel>> bwd_;
   std::vector<std::unique_ptr<class Channel>> mail_;
-  std::map<int, std::unique_ptr<ScheduleExecutor>> executors_;  // by microbatch count
+  // Keyed by (microbatch count, clip collective appended).
+  std::map<std::pair<int, bool>, std::unique_ptr<ScheduleExecutor>> executors_;
   ScheduleExecutor* last_executor_ = nullptr;
   // Naive path: the same per-device slice of the intra-op thread budget the
   // executor gives its device threads, so every flavor models p devices of
@@ -146,6 +191,25 @@ class PipelineTrainer {
   Tensor pos_embedding_;       // whole, on device 0 (paper §6.4)
   Tensor pos_embedding_grad_;
   ParamOptimizer pos_opt_;
+
+  // ---- numeric guardrails (src/guard) ----
+  std::shared_ptr<guard::NanFence> fence_;
+  std::function<std::string()> extra_snapshot_;
+  bool monitor_grad_norm_ = false;
+  float last_grad_norm_ = std::numeric_limits<float>::quiet_NaN();
+  // Per-iteration clip coordination. Reset single-threaded at iteration
+  // start; clip_state_[d] is then written only by device d's thread, and the
+  // optimizer phase reads it after the executor's thread join.
+  struct ClipState {
+    bool computed = false;
+    float scale = 1.0f;
+    float norm = 0.0f;
+    bool tied_combined = false;  // folded tied: grads already merged pre-clip
+    Tensor combined_grad;        // vocab-sharded tied: out+in grad, pre-scale
+  };
+  bool clip_active_ = false;     // this iteration computes the global norm
+  float clip_max_norm_ = 0.0f;
+  std::vector<ClipState> clip_state_;
 };
 
 }  // namespace vocab

@@ -3,6 +3,8 @@
 #include "common/error.h"
 #include "core/reference_input_layer.h"
 #include "core/reference_output_layer.h"
+#include "guard/grad_clip.h"
+#include "guard/tensor_stats.h"
 #include "tensor/tensor_ops.h"
 
 namespace vocab {
@@ -50,15 +52,51 @@ float ReferenceTrainer::train_iteration(const std::vector<Sample>& microbatches,
 
   const auto params = stack_.parameters();
   if (stack_opt_.size() != params.size()) stack_opt_.resize(params.size());
+
+  if (config_.tie_embeddings) {
+    // One shared parameter: both layers' gradients flow into it and a single
+    // optimizer state drives the update. Combined *before* the clip so the
+    // clip scales the same bytes the optimizer will consume (fp scaling is
+    // not distributive over the later add).
+    add_inplace(output_weight_grad_, input_embedding_grad_);
+  }
+  if (opt.max_grad_norm > 0.0f || monitor_grad_norm_) {
+    // Canonical clip-unit vector (guard/grad_clip.h): this single-device
+    // fill is the ground truth the sharded trainers must reproduce
+    // bit-for-bit through their all-reduce.
+    const guard::ClipUnitLayout layout{config_.num_layers, config_.vocab,
+                                       config_.tie_embeddings};
+    std::vector<float> units(static_cast<std::size_t>(layout.total_units()), 0.0f);
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      if (params[i]->grad.empty()) continue;
+      units[i] = static_cast<float>(guard::squared_norm(params[i]->grad));
+    }
+    units[static_cast<std::size_t>(layout.pos_unit())] =
+        static_cast<float>(guard::squared_norm(pos_embedding_grad_));
+    guard::row_squared_norms(output_weight_grad_, 0, config_.vocab,
+                             &units[static_cast<std::size_t>(layout.output_row_unit(0))]);
+    if (!config_.tie_embeddings) {
+      guard::row_squared_norms(input_embedding_grad_, 0, config_.vocab,
+                               &units[static_cast<std::size_t>(layout.input_row_unit(0))]);
+    }
+    const guard::ClipResult clip = guard::clip_decision(units, opt.max_grad_norm);
+    last_grad_norm_ = clip.norm;
+    if (clip.scale != 1.0f) {
+      for (const auto& p : params) {
+        if (!p->grad.empty()) scale_inplace(p->grad, clip.scale);
+      }
+      scale_inplace(pos_embedding_grad_, clip.scale);
+      scale_inplace(output_weight_grad_, clip.scale);
+      if (!config_.tie_embeddings) scale_inplace(input_embedding_grad_, clip.scale);
+    }
+  }
+
   for (std::size_t i = 0; i < params.size(); ++i) {
     if (params[i]->grad.empty()) continue;
     stack_opt_[i].step(params[i]->value, params[i]->grad, opt);
     params[i]->grad.fill(0.0f);
   }
   if (config_.tie_embeddings) {
-    // One shared parameter: both layers' gradients flow into it and a single
-    // optimizer state drives the update.
-    add_inplace(output_weight_grad_, input_embedding_grad_);
     output_opt_.step(output_weight_, output_weight_grad_, opt);
     input_embedding_ = output_weight_;
   } else {

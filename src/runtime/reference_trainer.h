@@ -5,6 +5,7 @@
 // comparison. Everything (embeddings, all transformer layers, output layer)
 // lives in one process with no communication.
 
+#include <limits>
 #include <vector>
 
 #include "model/gpt.h"
@@ -30,6 +31,15 @@ class ReferenceTrainer {
   /// Loss of one sample without touching gradients (for eval-style checks).
   [[nodiscard]] float evaluate(const Sample& sample);
 
+  /// Compute the global gradient norm every iteration even when
+  /// OptimizerConfig::max_grad_norm is 0 (so last_grad_norm stays fresh for
+  /// anomaly monitors). Off by default: the extra pass is not free.
+  void set_grad_norm_monitor(bool on) { monitor_grad_norm_ = on; }
+
+  /// Global gradient norm of the most recent train_iteration; NaN until one
+  /// has been computed (clipping enabled or monitor on).
+  [[nodiscard]] float last_grad_norm() const { return last_grad_norm_; }
+
   [[nodiscard]] const GptConfig& config() const { return config_; }
   [[nodiscard]] const Tensor& input_embedding() const { return input_embedding_; }
   [[nodiscard]] const Tensor& output_weight() const { return output_weight_; }
@@ -49,6 +59,8 @@ class ReferenceTrainer {
   Tensor output_weight_grad_;
   std::vector<ParamOptimizer> stack_opt_;
   ParamOptimizer output_opt_, input_opt_, pos_opt_;
+  bool monitor_grad_norm_ = false;
+  float last_grad_norm_ = std::numeric_limits<float>::quiet_NaN();
 };
 
 }  // namespace vocab

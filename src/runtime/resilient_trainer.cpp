@@ -38,10 +38,21 @@ int ResilientTrainer::next_smaller_width(int width, int num_layers, PipelineFlav
 
 ResilientTrainer::ResilientTrainer(GptWeights weights, int p, OutputAlgo algo,
                                    PipelineFlavor flavor, RecoveryPolicy policy)
-    : algo_(algo), flavor_(flavor), policy_(std::move(policy)), width_(p) {
+    : algo_(algo),
+      flavor_(flavor),
+      policy_(std::move(policy)),
+      width_(p),
+      loss_detector_(policy_.anomaly.window, policy_.anomaly.min_samples,
+                     policy_.anomaly.threshold),
+      grad_detector_(policy_.anomaly.window, policy_.anomaly.min_samples,
+                     policy_.anomaly.threshold) {
   VOCAB_CHECK(!policy_.checkpoint_path.empty(), "RecoveryPolicy needs a checkpoint_path");
   VOCAB_CHECK(policy_.checkpoint_every >= 1, "checkpoint_every must be >= 1");
   VOCAB_CHECK(policy_.max_retries_per_iteration >= 1, "need at least one retry");
+  // Anomaly actions undo an already-applied optimizer step by reloading the
+  // last checkpoint, so that checkpoint must be exactly one iteration old.
+  VOCAB_CHECK(!policy_.anomaly.active() || policy_.checkpoint_every == 1,
+              "an active AnomalyPolicy requires checkpoint_every == 1");
   // Iteration-0 baseline: even a failure in the very first iteration has a
   // good state to fall back to.
   save_checkpoint(policy_.checkpoint_path, weights);
@@ -56,6 +67,35 @@ void ResilientTrainer::rebuild(GptWeights weights, int width) {
   width_ = width;
   if (injector_ != nullptr) trainer_->set_fault_injector(injector_);
   if (policy_.enable_watchdog) trainer_->enable_watchdog(policy_.watchdog);
+  if (policy_.anomaly.active()) {
+    if (policy_.anomaly.watch_grad_norm) trainer_->set_grad_norm_monitor(true);
+    trainer_->set_extra_snapshot([this] { return anomaly_snapshot(); });
+  }
+}
+
+std::string ResilientTrainer::anomaly_snapshot() const {
+  std::string out = "anomaly: anomalies=" + std::to_string(stats_.anomalies) +
+                    " skipped=" + std::to_string(stats_.skipped_batches) +
+                    " rollbacks=" + std::to_string(stats_.rollbacks) + "\n";
+  out += "  loss: " + loss_detector_.describe() + "\n";
+  out += "  grad-norm: " + grad_detector_.describe() + "\n";
+  return out;
+}
+
+std::string ResilientTrainer::classify_anomaly(float loss, float grad_norm) {
+  std::string what;
+  if (policy_.anomaly.watch_loss &&
+      loss_detector_.observe(static_cast<double>(loss))) {
+    what += "loss spike " + std::to_string(loss) + " (window median " +
+            std::to_string(loss_detector_.median()) + ")";
+  }
+  if (policy_.anomaly.watch_grad_norm &&
+      grad_detector_.observe(static_cast<double>(grad_norm))) {
+    if (!what.empty()) what += "; ";
+    what += "grad-norm spike " + std::to_string(grad_norm) + " (window median " +
+            std::to_string(grad_detector_.median()) + ")";
+  }
+  return what;
 }
 
 void ResilientTrainer::set_fault_injector(std::shared_ptr<FaultInjector> injector) {
@@ -71,6 +111,36 @@ float ResilientTrainer::train_iteration(const std::vector<Sample>& microbatches,
     if (injector_ != nullptr) injector_->begin_iteration(iteration_);
     try {
       const float loss = trainer_->train_iteration(microbatches, opt);
+      const std::string anomaly =
+          policy_.anomaly.active()
+              ? classify_anomaly(loss, trainer_->last_grad_norm())
+              : std::string();
+      if (!anomaly.empty()) {
+        ++stats_.anomalies;
+        stats_.events.push_back("iter " + std::to_string(iteration_) + " attempt " +
+                                std::to_string(attempt) + ": " + anomaly);
+        // The anomalous optimizer step is already applied; undo it by
+        // reloading the last good checkpoint (one iteration old by the
+        // checkpoint_every == 1 precondition).
+        rebuild(load_checkpoint(policy_.checkpoint_path), width_);
+        ++stats_.recoveries;
+        if (policy_.anomaly.action == AnomalyAction::kSkipBatch) {
+          ++stats_.skipped_batches;
+          ++iteration_;  // advance past the poisoned batch, update discarded
+          stats_.events.push_back("iter " + std::to_string(iteration_ - 1) +
+                                  ": anomalous update discarded, batch skipped");
+          return loss;
+        }
+        ++stats_.rollbacks;
+        stats_.events.push_back("iter " + std::to_string(iteration_) +
+                                ": rolled back for replay");
+        if (attempt >= policy_.max_retries_per_iteration) {
+          VOCAB_FAIL("anomaly persisted through " << attempt
+                                                  << " attempts of iteration "
+                                                  << iteration_ << ": " << anomaly);
+        }
+        continue;  // replay the same iteration from the restored state
+      }
       ++iteration_;
       if (iteration_ % static_cast<std::uint64_t>(policy_.checkpoint_every) == 0) {
         save_checkpoint(policy_.checkpoint_path, trainer_->export_weights());

@@ -30,9 +30,32 @@
 
 #include "fault/fault_injector.h"
 #include "fault/watchdog.h"
+#include "guard/anomaly.h"
 #include "runtime/pipeline_trainer.h"
 
 namespace vocab {
+
+/// What to do when the loss / grad-norm anomaly detector flags an iteration.
+enum class AnomalyAction {
+  kNone,       ///< detection off
+  kSkipBatch,  ///< discard the anomalous update, advance to the next batch
+  kRollback,   ///< discard the update and replay the same iteration
+};
+
+/// Rolling-statistics anomaly detection over the per-iteration loss and
+/// global gradient norm (guard/anomaly.h). Detection runs *after* the
+/// optimizer step, so acting on a verdict means undoing the step — both
+/// actions reload the last good checkpoint, which is why an active policy
+/// requires checkpoint_every == 1.
+struct AnomalyPolicy {
+  AnomalyAction action = AnomalyAction::kNone;
+  std::size_t window = 16;      ///< accepted samples kept per stream
+  std::size_t min_samples = 4;  ///< warm-up before finite values can spike
+  double threshold = 8.0;       ///< robust z-score cutoff
+  bool watch_loss = true;
+  bool watch_grad_norm = true;  ///< enables the trainer's grad-norm monitor
+  [[nodiscard]] bool active() const { return action != AnomalyAction::kNone; }
+};
 
 /// Knobs of the recovery loop.
 struct RecoveryPolicy {
@@ -49,13 +72,19 @@ struct RecoveryPolicy {
   /// Run the stall watchdog inside every iteration (rebuilds inherit it).
   bool enable_watchdog = false;
   WatchdogConfig watchdog;
+  /// Loss / grad-norm anomaly detection; requires checkpoint_every == 1
+  /// when active.
+  AnomalyPolicy anomaly;
 };
 
 /// What the recovery loop observed; one human-readable line per event.
 struct RecoveryStats {
-  int faults_observed = 0;  ///< failed train_iteration attempts
-  int recoveries = 0;       ///< successful checkpoint reload + rebuild
-  int downgrades = 0;       ///< elastic restarts onto a smaller width
+  int faults_observed = 0;   ///< failed train_iteration attempts
+  int recoveries = 0;        ///< successful checkpoint reload + rebuild
+  int downgrades = 0;        ///< elastic restarts onto a smaller width
+  int anomalies = 0;         ///< iterations flagged by the anomaly detector
+  int skipped_batches = 0;   ///< anomalous updates discarded (kSkipBatch)
+  int rollbacks = 0;         ///< anomalous iterations replayed (kRollback)
   std::vector<std::string> events;
 };
 
@@ -94,8 +123,15 @@ class ResilientTrainer {
   /// or 0 if none exists. Exposed for tests.
   [[nodiscard]] static int next_smaller_width(int width, int num_layers, PipelineFlavor flavor);
 
+  /// The anomaly windows + counters as one human-readable block (appended to
+  /// watchdog stall snapshots; exposed for tests).
+  [[nodiscard]] std::string anomaly_snapshot() const;
+
  private:
   void rebuild(GptWeights weights, int width);
+  /// Classify this iteration's (loss, grad norm); returns a non-empty
+  /// description when it is anomalous.
+  [[nodiscard]] std::string classify_anomaly(float loss, float grad_norm);
 
   OutputAlgo algo_;
   PipelineFlavor flavor_;
@@ -105,6 +141,8 @@ class ResilientTrainer {
   std::unique_ptr<PipelineTrainer> trainer_;
   std::shared_ptr<FaultInjector> injector_;
   RecoveryStats stats_;
+  guard::AnomalyDetector loss_detector_;
+  guard::AnomalyDetector grad_detector_;
 };
 
 }  // namespace vocab

@@ -140,6 +140,10 @@ void ScheduleExecutor::set_fault_injector(std::shared_ptr<FaultInjector> injecto
   injector_ = std::move(injector);
 }
 
+void ScheduleExecutor::set_nan_fence(std::shared_ptr<guard::NanFence> fence) {
+  fence_ = std::move(fence);
+}
+
 void ScheduleExecutor::enable_watchdog(WatchdogConfig config) {
   watchdog_config_ = config;
   watchdog_enabled_ = true;
@@ -203,6 +207,7 @@ void ScheduleExecutor::run(OpRunner& runner) {
                                   "'");
           if (watchdog != nullptr) watchdog->heartbeat(d, id);
           if (injector_ != nullptr) injector_->on_op(d, id, op.label, token.get());
+          if (fence_ != nullptr && fence_->active()) fence_->begin_op(d, op.label, op.microbatch);
           if (op.stream == Stream::Compute) {
             const auto op_t0 = Clock::now();
             runner.run_op(op);

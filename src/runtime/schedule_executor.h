@@ -43,6 +43,7 @@
 #include "fault/abort_token.h"
 #include "fault/fault_injector.h"
 #include "fault/watchdog.h"
+#include "guard/nan_fence.h"
 #include "schedule/ops.h"
 
 namespace vocab::parallel {
@@ -108,6 +109,13 @@ class ScheduleExecutor {
   /// Install a deterministic fault plan; every op dispatch consults it.
   void set_fault_injector(std::shared_ptr<FaultInjector> injector);
 
+  /// Install a NaN/Inf fence. The executor announces each op (device, label,
+  /// microbatch) to the fence before dispatch so any tensor the runner hands
+  /// to NanFence::check is attributed to the op that produced it. A null or
+  /// inactive (level 0) fence adds zero work to the dispatch loop.
+  void set_nan_fence(std::shared_ptr<guard::NanFence> fence);
+  [[nodiscard]] const std::shared_ptr<guard::NanFence>& nan_fence() const { return fence_; }
+
   /// Run a stall watchdog during run(): per-op heartbeats, and on a stall
   /// past the deadline a diagnostic snapshot (current op per device + the
   /// comm snapshot) is attached to the abort.
@@ -136,6 +144,7 @@ class ScheduleExecutor {
   ExecutorStats stats_;
   std::shared_ptr<AbortToken> abort_;
   std::shared_ptr<FaultInjector> injector_;
+  std::shared_ptr<guard::NanFence> fence_;
   std::function<std::string()> comm_snapshot_;
   WatchdogConfig watchdog_config_;
   bool watchdog_enabled_ = false;

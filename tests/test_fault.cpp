@@ -230,11 +230,35 @@ TEST(CommTimeout, EnvOverrideAndDiagnosticMessage) {
   EXPECT_LT(elapsed, kAbortLatencyBound);
 }
 
-TEST(CommTimeout, InvalidEnvFallsBackToDefault) {
-  ::setenv("VOCAB_COMM_TIMEOUT_MS", "not-a-number", 1);
+// A malformed timeout used to silently fall back to the 30 s default — a
+// typo'd override then ran with a config the operator never chose. Garbage
+// now fails fast, naming the variable and the offending text.
+TEST(CommTimeout, InvalidEnvFailsFast) {
+  for (const char* bad : {"not-a-number", "-5", "0", "10abc", ""}) {
+    ::setenv("VOCAB_COMM_TIMEOUT_MS", bad, 1);
+    if (*bad == '\0') {
+      // Empty is treated as unset, not as garbage.
+      Channel ch(2);
+      EXPECT_EQ(ch.timeout().count(), 30000) << "empty value should use default";
+      continue;
+    }
+    try {
+      Channel ch(2);
+      FAIL() << "VOCAB_COMM_TIMEOUT_MS=\"" << bad << "\" should have thrown";
+    } catch (const CheckError& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("VOCAB_COMM_TIMEOUT_MS"), std::string::npos) << what;
+      EXPECT_NE(what.find(bad), std::string::npos) << what;
+    }
+  }
+  ::unsetenv("VOCAB_COMM_TIMEOUT_MS");
+}
+
+TEST(CommTimeout, ValidEnvOverrides) {
+  ::setenv("VOCAB_COMM_TIMEOUT_MS", "1234", 1);
   Channel ch(2);
   ::unsetenv("VOCAB_COMM_TIMEOUT_MS");
-  EXPECT_EQ(ch.timeout().count(), 30000);
+  EXPECT_EQ(ch.timeout().count(), 1234);
 }
 
 // ---------------------------------------------------------------------------
@@ -485,6 +509,9 @@ std::string fault_case_name(const testing::TestParamInfo<FaultCase>& info) {
     case FaultKind::DelayOp: kind = "Delay"; break;
     case FaultKind::StallDevice: kind = "Stall"; break;
     case FaultKind::KillThread: kind = "Kill"; break;
+    case FaultKind::InjectNaN: kind = "NaN"; break;
+    case FaultKind::InjectInf: kind = "Inf"; break;
+    case FaultKind::BitFlip: kind = "BitFlip"; break;
   }
   return flavor + "_p" + std::to_string(c.p) + "_" + kind;
 }
@@ -660,6 +687,317 @@ TEST(ElasticRecovery, NextSmallerWidthHonorsFlavorConstraints) {
   // 12 layers, width 8 -> largest admissible half-or-smaller is 6 (12 % 6 == 0...
   // scan starts at 4: 12 % 4 == 0), so 4.
   EXPECT_EQ(ResilientTrainer::next_smaller_width(8, 12, PipelineFlavor::OneFOneBVocab), 4);
+}
+
+// ---------------------------------------------------------------------------
+// Numeric guardrails (src/guard): silently corrupted tensors (NaN / Inf data
+// faults) are caught by the fence within the same iteration with exact
+// (device, op, microbatch) attribution; recovery from a detected corruption
+// is bit-identical to a fault-free run; an aborted iteration leaves no
+// residue in the mailboxes or the collective group.
+// ---------------------------------------------------------------------------
+
+/// Sets an environment variable for the lifetime of one test (exception-safe:
+/// a failing assertion must not leak the guard level into later tests).
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() { ::unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+class GuardDetection : public testing::TestWithParam<FaultCase> {};
+
+TEST_P(GuardDetection, DataFaultDetectedWithAttribution) {
+  const FaultCase c = GetParam();
+  const GptConfig cfg = fault_config();
+  PipelineTrainer trainer(GptWeights::init(cfg, 91), c.p, OutputAlgo::Alg1, c.flavor);
+  trainer.set_guard_level(guard::GuardLevel::kFence);
+  FaultSpec spec;
+  spec.kind = c.kind;
+  spec.iteration = 1;
+  spec.device = 1;
+  spec.op_index = 3;
+  spec.element = 7;
+  auto injector = std::make_shared<FaultInjector>(FaultPlan::single(spec));
+  trainer.set_fault_injector(injector);
+  SyntheticCorpus corpus(cfg.vocab, cfg.seq_len, 92);
+  const int m = 2 * c.p;
+
+  injector->begin_iteration(0);
+  trainer.train_iteration(microbatches(corpus, 0, m), 0.1f);  // clean warm-up
+  EXPECT_GT(trainer.nan_fence()->checks(0), 0) << "fence must actually scan tensors";
+
+  injector->begin_iteration(1);
+  const auto t0 = Clock::now();
+  try {
+    trainer.train_iteration(microbatches(corpus, 1, m), 0.1f);
+    FAIL() << "corrupted iteration must throw through the fence";
+  } catch (const guard::NonFiniteError& e) {
+    // Attribution: the corruption is applied (and must be caught) at a tensor
+    // boundary on the device whose op the spec addressed, before the poison
+    // can propagate to a peer.
+    EXPECT_EQ(e.device(), spec.device);
+    EXPECT_FALSE(e.op_label().empty());
+    EXPECT_GE(e.microbatch(), -1);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("non-finite"), std::string::npos) << what;
+    EXPECT_NE(what.find(e.op_label()), std::string::npos) << what;
+    EXPECT_NE(what.find("device 1"), std::string::npos) << what;
+  }
+  // Same-iteration detection: the throw ends the iteration immediately rather
+  // than surfacing iterations later as a diverged loss.
+  EXPECT_LT(seconds_since(t0), kAbortLatencyBound);
+  EXPECT_EQ(injector->faults_fired(), 1);
+  EXPECT_EQ(injector->corruptions_applied(), 1);
+  EXPECT_NE(trainer.nan_fence()->verdict(spec.device), "ok")
+      << "the tripped device's verdict must record the failure";
+  ASSERT_TRUE(trainer.abort_token()->aborted());
+
+  // Abort hygiene: nothing queued, nobody waiting.
+  EXPECT_EQ(trainer.comm_in_flight(), 0u);
+  if (trainer.device_group() != nullptr) {
+    EXPECT_TRUE(trainer.device_group()->waiting_ranks().empty());
+  }
+}
+
+std::vector<FaultCase> guard_detection_cases() {
+  std::vector<FaultCase> cases;
+  for (const PipelineFlavor flavor :
+       {PipelineFlavor::Baseline1F1B, PipelineFlavor::Gpipe, PipelineFlavor::OneFOneBVocab,
+        PipelineFlavor::VHalf}) {
+    for (const int p : {2, 4}) {
+      for (const FaultKind kind : {FaultKind::InjectNaN, FaultKind::InjectInf}) {
+        cases.push_back({flavor, p, kind});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, GuardDetection, testing::ValuesIn(guard_detection_cases()),
+                         fault_case_name);
+
+class GuardRecovery : public testing::TestWithParam<FaultCase> {};
+
+TEST_P(GuardRecovery, DetectedCorruptionRecoversBitIdentical) {
+  const FaultCase c = GetParam();
+  // Via the environment on purpose: ResilientTrainer rebuilds the trainer
+  // after the failure, and the rebuilt one must inherit the fence level.
+  ScopedEnv guard_env("VOCAB_GUARD_LEVEL", "1");
+  const GptConfig cfg = fault_config();
+  const GptWeights init = GptWeights::init(cfg, 93);
+  SyntheticCorpus corpus(cfg.vocab, cfg.seq_len, 94);
+  const OptimizerConfig opt = OptimizerConfig::sgd(0.1f);
+  const int m = 2 * c.p;
+
+  PipelineTrainer baseline(init, c.p, OutputAlgo::Alg1, c.flavor);
+  RecoveryPolicy policy;
+  policy.checkpoint_path = temp_path("guard_" + fault_case_name({c, 0}) + ".ckpt");
+  ResilientTrainer resilient(init, c.p, OutputAlgo::Alg1, c.flavor, policy);
+
+  FaultSpec spec;
+  spec.kind = c.kind;
+  spec.iteration = 2;
+  spec.device = 1;
+  spec.op_index = 3;
+  spec.element = 11;
+  auto injector = std::make_shared<FaultInjector>(FaultPlan::single(spec));
+  resilient.set_fault_injector(injector);
+
+  for (int it = 0; it < 4; ++it) {
+    const float l_res = resilient.train_iteration(microbatches(corpus, it, m), opt);
+    const float l_base = baseline.train_iteration(microbatches(corpus, it, m), opt);
+    EXPECT_EQ(l_res, l_base) << "iteration " << it;
+  }
+  EXPECT_EQ(injector->faults_fired(), 1);
+  EXPECT_EQ(injector->corruptions_applied(), 1);
+  EXPECT_EQ(resilient.stats().faults_observed, 1);
+  EXPECT_EQ(resilient.stats().recoveries, 1);
+  expect_bitwise_equal(resilient.export_weights(), baseline.export_weights());
+}
+
+std::vector<FaultCase> guard_recovery_cases() {
+  std::vector<FaultCase> cases;
+  for (const PipelineFlavor flavor :
+       {PipelineFlavor::Baseline1F1B, PipelineFlavor::Gpipe, PipelineFlavor::OneFOneBVocab,
+        PipelineFlavor::VHalf}) {
+    for (const int p : {2, 4}) {
+      cases.push_back({flavor, p, FaultKind::InjectNaN});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, GuardRecovery, testing::ValuesIn(guard_recovery_cases()),
+                         fault_case_name);
+
+class AbortHygiene : public testing::TestWithParam<FaultCase> {};
+
+TEST_P(AbortHygiene, AbortedIterationLeavesNoResidue) {
+  const FaultCase c = GetParam();
+  const GptConfig cfg = fault_config();
+  PipelineTrainer trainer(GptWeights::init(cfg, 95), c.p, OutputAlgo::Alg1, c.flavor);
+  FaultSpec spec;
+  spec.kind = FaultKind::ThrowInOp;
+  spec.iteration = 0;
+  spec.device = 1;
+  spec.op_index = 3;
+  auto injector = std::make_shared<FaultInjector>(FaultPlan::single(spec));
+  trainer.set_fault_injector(injector);
+  injector->begin_iteration(0);
+  SyntheticCorpus corpus(cfg.vocab, cfg.seq_len, 96);
+
+  EXPECT_THROW(trainer.train_iteration(microbatches(corpus, 0, 2 * c.p), 0.1f),
+               InjectedFault);
+  // The abort tore the iteration mid-flight: every recv_tag mailbox and stage
+  // channel must have been drained, and no rank may still sit in a
+  // collective.
+  EXPECT_EQ(trainer.comm_in_flight(), 0u);
+  if (trainer.device_group() != nullptr) {
+    EXPECT_TRUE(trainer.device_group()->waiting_ranks().empty());
+  }
+}
+
+std::vector<FaultCase> abort_hygiene_cases() {
+  std::vector<FaultCase> cases;
+  for (const PipelineFlavor flavor :
+       {PipelineFlavor::Baseline1F1B, PipelineFlavor::Gpipe, PipelineFlavor::OneFOneBVocab,
+        PipelineFlavor::VHalf}) {
+    for (const int p : {2, 4}) cases.push_back({flavor, p, FaultKind::ThrowInOp});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, AbortHygiene, testing::ValuesIn(abort_hygiene_cases()),
+                         fault_case_name);
+
+// ---------------------------------------------------------------------------
+// Anomaly-triggered recovery: a silent corruption (guard fence OFF) surfaces
+// as a non-finite loss / grad norm, which the rolling detector flags; the
+// policy then discards the poisoned optimizer step.
+// ---------------------------------------------------------------------------
+
+TEST(AnomalyRecovery, RollbackReplaysBitIdentical) {
+  const GptConfig cfg = fault_config();
+  const GptWeights init = GptWeights::init(cfg, 97);
+  SyntheticCorpus corpus(cfg.vocab, cfg.seq_len, 98);
+  const OptimizerConfig opt = OptimizerConfig::sgd(0.1f);
+
+  // Baseline without anomaly machinery: the grad-norm monitor the policy
+  // turns on must not perturb training numerics.
+  PipelineTrainer baseline(init, 2, OutputAlgo::Alg1, PipelineFlavor::OneFOneBVocab);
+
+  RecoveryPolicy policy;
+  policy.checkpoint_path = temp_path("anomaly_rollback.ckpt");
+  policy.anomaly.action = AnomalyAction::kRollback;
+  ResilientTrainer resilient(init, 2, OutputAlgo::Alg1, PipelineFlavor::OneFOneBVocab,
+                             policy);
+
+  FaultSpec spec;
+  spec.kind = FaultKind::InjectNaN;  // fence off: the NaN propagates silently
+  spec.iteration = 2;
+  spec.device = 1;
+  spec.op_index = 3;
+  auto injector = std::make_shared<FaultInjector>(FaultPlan::single(spec));
+  resilient.set_fault_injector(injector);
+
+  for (int it = 0; it < 4; ++it) {
+    const float l_res = resilient.train_iteration(microbatches(corpus, it, 4), opt);
+    const float l_base = baseline.train_iteration(microbatches(corpus, it, 4), opt);
+    EXPECT_EQ(l_res, l_base) << "iteration " << it;
+  }
+  EXPECT_EQ(resilient.stats().anomalies, 1);
+  EXPECT_EQ(resilient.stats().rollbacks, 1);
+  EXPECT_EQ(resilient.stats().skipped_batches, 0);
+  EXPECT_EQ(resilient.iterations_completed(), 4u);
+  expect_bitwise_equal(resilient.export_weights(), baseline.export_weights());
+}
+
+TEST(AnomalyRecovery, SkipBatchDiscardsPoisonedUpdate) {
+  const GptConfig cfg = fault_config();
+  const GptWeights init = GptWeights::init(cfg, 99);
+  SyntheticCorpus corpus(cfg.vocab, cfg.seq_len, 100);
+  const OptimizerConfig opt = OptimizerConfig::sgd(0.1f);
+
+  RecoveryPolicy policy;
+  policy.checkpoint_path = temp_path("anomaly_skip.ckpt");
+  policy.anomaly.action = AnomalyAction::kSkipBatch;
+  ResilientTrainer resilient(init, 2, OutputAlgo::Alg1, PipelineFlavor::OneFOneBVocab,
+                             policy);
+
+  FaultSpec spec;
+  spec.kind = FaultKind::InjectInf;
+  spec.iteration = 2;
+  spec.device = 0;
+  spec.op_index = 4;
+  auto injector = std::make_shared<FaultInjector>(FaultPlan::single(spec));
+  resilient.set_fault_injector(injector);
+
+  for (int it = 0; it < 4; ++it) {
+    resilient.train_iteration(microbatches(corpus, it, 4), opt);
+  }
+  EXPECT_EQ(resilient.stats().anomalies, 1);
+  EXPECT_EQ(resilient.stats().skipped_batches, 1);
+  EXPECT_EQ(resilient.stats().rollbacks, 0);
+  EXPECT_EQ(resilient.iterations_completed(), 4u);
+
+  // Skip semantics: the final weights equal a run that never saw iteration
+  // 2's batch at all.
+  PipelineTrainer skipping(init, 2, OutputAlgo::Alg1, PipelineFlavor::OneFOneBVocab);
+  for (const int it : {0, 1, 3}) {
+    skipping.train_iteration(microbatches(corpus, it, 4), opt);
+  }
+  expect_bitwise_equal(resilient.export_weights(), skipping.export_weights());
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog stall snapshots now carry the numeric state: the per-device guard
+// verdict and the resilient trainer's rolling anomaly windows.
+// ---------------------------------------------------------------------------
+
+TEST(WatchdogSnapshot, StallReportCarriesGuardAndAnomalyState) {
+  ScopedEnv guard_env("VOCAB_GUARD_LEVEL", "2");
+  const GptConfig cfg = fault_config();
+  SyntheticCorpus corpus(cfg.vocab, cfg.seq_len, 102);
+
+  RecoveryPolicy policy;
+  policy.checkpoint_path = temp_path("snapshot.ckpt");
+  policy.max_retries_per_iteration = 1;  // rethrow on the first failure
+  policy.enable_watchdog = true;
+  policy.watchdog = fast_watchdog();
+  policy.anomaly.action = AnomalyAction::kRollback;
+  ResilientTrainer resilient(GptWeights::init(cfg, 101), 2, OutputAlgo::Alg1,
+                             PipelineFlavor::OneFOneBVocab, policy);
+
+  FaultSpec spec;
+  spec.kind = FaultKind::StallDevice;
+  spec.iteration = 1;
+  spec.device = 1;
+  spec.op_index = 3;
+  spec.delay = kStallDeadline + std::chrono::milliseconds(2000);
+  auto injector = std::make_shared<FaultInjector>(FaultPlan::single(spec));
+  resilient.set_fault_injector(injector);
+
+  // One clean iteration warms the anomaly windows so the dump is non-trivial.
+  resilient.train_iteration(microbatches(corpus, 0, 4), 0.1f);
+  EXPECT_NE(resilient.anomaly_snapshot().find("loss: n=1"), std::string::npos)
+      << resilient.anomaly_snapshot();
+
+  try {
+    resilient.train_iteration(microbatches(corpus, 1, 4), 0.1f);
+    FAIL() << "the stalled iteration must fail through the watchdog";
+  } catch (const std::exception& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("stall deadline"), std::string::npos) << what;
+    EXPECT_NE(what.find("guard:"), std::string::npos) << what;
+    EXPECT_NE(what.find("anomaly:"), std::string::npos) << what;
+    EXPECT_NE(what.find("grad-norm:"), std::string::npos) << what;
+  }
 }
 
 TEST(ElasticRecovery, ExhaustedRetriesRethrowTheFault) {
