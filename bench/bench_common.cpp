@@ -1,5 +1,6 @@
 #include "bench_common.h"
 
+#include <cstdint>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -97,9 +98,12 @@ std::string BenchJson::render() const {
   os << "[\n";
   for (std::size_t i = 0; i < records_.size(); ++i) {
     const KernelRecord& r = records_[i];
+    // ns_per_iter is a count of nanoseconds: emit it as a full-precision
+    // integer, not ostream's 6-significant-digit scientific default, so
+    // trajectory diffs between baselines are exact.
     os << "  {\"name\": \"" << json_escape(r.name) << "\", "
        << "\"shape\": \"" << json_escape(r.shape) << "\", "
-       << "\"ns_per_iter\": " << r.ns_per_iter << ", "
+       << "\"ns_per_iter\": " << static_cast<std::int64_t>(r.ns_per_iter + 0.5) << ", "
        << "\"gflops\": " << r.gflops << ", "
        << "\"gbps\": " << r.gbps << ", "
        << "\"threads\": " << r.threads << "}" << (i + 1 < records_.size() ? "," : "") << "\n";

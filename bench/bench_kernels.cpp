@@ -22,6 +22,7 @@
 #include "core/reference_output_layer.h"
 #include "core/vocab_shard.h"
 #include "parallel/thread_pool.h"
+#include "tensor/bf16.h"
 #include "tensor/tensor_ops.h"
 
 namespace vocab {
@@ -94,6 +95,22 @@ BENCHMARK(BM_MatmulNT_LogitsSeedSerial)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1)
     ->UseRealTime();
+
+// The same logits product against a bf16-stored weight shard — the
+// mixed-precision S-pass matmul. Same FLOPs, half the weight-stream bytes.
+void BM_MatmulNTBf16_Logits(benchmark::State& state) {
+  Rng rng(6);
+  const Tensor x = Tensor::randn({kLogitsRows, kLogitsHidden}, rng);
+  const Bf16Tensor w =
+      Bf16Tensor::from_tensor(Tensor::randn({kLogitsShard, kLogitsHidden}, rng, 0.2f));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul_nt_bf16(x, w));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * kLogitsRows * kLogitsShard * kLogitsHidden);
+  state.SetLabel(dims(kLogitsRows, kLogitsHidden) + "x" + dims(kLogitsShard, kLogitsHidden) +
+                 "^T bf16");
+}
+BENCHMARK(BM_MatmulNTBf16_Logits)->Unit(benchmark::kMillisecond)->Iterations(3)->UseRealTime();
 
 // Softmax is memory-bound, so its throughput is reported as bytes moved
 // (read the logits, write the probabilities) rather than FLOPs.

@@ -13,7 +13,9 @@
 // Usage: bench_pipeline_wallclock [--json <path>] [--p <devices>]
 //                                 [--m <microbatches>] [--iters <n>]
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -92,8 +94,38 @@ GuardOverhead run_guard_overhead(const GptWeights& weights, const std::vector<Sa
   return g;
 }
 
+/// fp32 vs bf16 mixed precision on the same schedule: wall clock, the
+/// vocab-shard parameter footprint (the ~2x acceptance number), and the
+/// final-iteration loss of each so the bf16-tracks-fp32 claim is recorded
+/// next to the cost it buys.
+struct MixedPrecisionAb {
+  std::string flavor;
+  double ns_fp32 = 0.0, ns_bf16 = 0.0;
+  std::size_t bytes_fp32 = 0, bytes_bf16 = 0;
+  float loss_fp32 = 0.0f, loss_bf16 = 0.0f;
+};
+
+MixedPrecisionAb run_mixed_precision(const GptWeights& weights, const std::vector<Sample>& mbs,
+                                     int p, const Flavor& f, int iters) {
+  MixedPrecisionAb ab;
+  ab.flavor = f.key;
+  for (const bool bf16 : {false, true}) {
+    PipelineTrainer trainer(weights, p, f.algo, f.flavor);
+    if (bf16) trainer.set_mixed_precision(MixedPrecisionConfig{});
+    float loss = trainer.train_iteration(mbs, 0.05f);  // warmup
+    const auto t0 = Clock::now();
+    for (int i = 0; i < iters; ++i) loss = trainer.train_iteration(mbs, 0.05f);
+    const double ns =
+        std::chrono::duration<double, std::nano>(Clock::now() - t0).count() / iters;
+    (bf16 ? ab.ns_bf16 : ab.ns_fp32) = ns;
+    (bf16 ? ab.bytes_bf16 : ab.bytes_fp32) = trainer.vocab_param_bytes();
+    (bf16 ? ab.loss_bf16 : ab.loss_fp32) = loss;
+  }
+  return ab;
+}
+
 std::string render_json(const std::vector<Result>& results, const GuardOverhead& guard,
-                        int p, int m) {
+                        const MixedPrecisionAb& mp, int p, int m) {
   // Record the measurement machine: overlap can only buy wall-clock when the
   // p device threads have >= p cores to land on (see DESIGN.md §10).
   const unsigned cores = std::thread::hardware_concurrency();
@@ -122,16 +154,33 @@ std::string render_json(const std::vector<Result>& results, const GuardOverhead&
                 guard.flavor.c_str(), base, guard.ns_per_iter[1], guard.ns_per_iter[2]);
   out += buf;
   std::snprintf(buf, sizeof(buf),
-                "\"overhead_level1\": %.4f, \"overhead_level2\": %.4f}\n",
+                "\"overhead_level1\": %.4f, \"overhead_level2\": %.4f},\n",
                 base > 0.0 ? guard.ns_per_iter[1] / base - 1.0 : 0.0,
                 base > 0.0 ? guard.ns_per_iter[2] / base - 1.0 : 0.0);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  \"mixed_precision\": {\"flavor\": \"%s\", \"ns_per_iter_fp32\": %.0f, "
+                "\"ns_per_iter_bf16\": %.0f, ",
+                mp.flavor.c_str(), mp.ns_fp32, mp.ns_bf16);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "\"vocab_param_bytes_fp32\": %zu, \"vocab_param_bytes_bf16\": %zu, ",
+                mp.bytes_fp32, mp.bytes_bf16);
+  out += buf;
+  const double denom = std::max(std::abs(mp.loss_fp32), 1e-12f);
+  std::snprintf(buf, sizeof(buf),
+                "\"loss_fp32\": %.6f, \"loss_bf16\": %.6f, \"rel_loss_diff\": %.4f}\n",
+                static_cast<double>(mp.loss_fp32), static_cast<double>(mp.loss_bf16),
+                std::abs(mp.loss_bf16 - mp.loss_fp32) / denom);
   out += buf;
   out += "}\n";
   return out;
 }
 
 int run(int argc, char** argv) {
-  int p = 4, m = 8, iters = 3;
+  // 5 timed iterations (plus warmup) per configuration: at 3 the guard/mp
+  // overhead percentages moved by more than the effects being measured.
+  int p = 4, m = 8, iters = 5;
   std::optional<std::string> json_path;
   for (int i = 1; i < argc; ++i) {
     const auto intflag = [&](const char* name, int& slot) {
@@ -203,13 +252,21 @@ int run(int argc, char** argv) {
               guard.ns_per_iter[2] / 1e6,
               (guard.ns_per_iter[2] / guard.ns_per_iter[0] - 1.0) * 100.0);
 
+  // bf16 mixed precision A/B on the same schedule.
+  const MixedPrecisionAb mp = run_mixed_precision(weights, mbs, p, flavors[2], iters);
+  std::printf("  mixed precision (%s): fp32 %.2f ms/iter, bf16 %.2f ms/iter, "
+              "vocab params %zu -> %zu bytes, loss %.4f vs %.4f\n",
+              mp.flavor.c_str(), mp.ns_fp32 / 1e6, mp.ns_bf16 / 1e6, mp.bytes_fp32,
+              mp.bytes_bf16, static_cast<double>(mp.loss_fp32),
+              static_cast<double>(mp.loss_bf16));
+
   if (json_path) {
     FILE* out = std::fopen(json_path->c_str(), "w");
     if (out == nullptr) {
       std::fprintf(stderr, "cannot write %s\n", json_path->c_str());
       return 1;
     }
-    const std::string json = render_json(results, guard, p, m);
+    const std::string json = render_json(results, guard, mp, p, m);
     std::fwrite(json.data(), 1, json.size(), out);
     std::fclose(out);
     std::printf("wrote %s\n", json_path->c_str());

@@ -7,6 +7,7 @@
 #include "core/online_softmax.h"
 #include "guard/tensor_stats.h"
 #include "parallel/thread_pool.h"
+#include "tensor/simd.h"
 #include "tensor/tensor_ops.h"
 
 namespace vocab {
@@ -76,14 +77,13 @@ FusedOutputResult fused_output_layer(const Tensor& x, const Tensor& w,
                              sizeof(float));
     const std::int64_t cols = c1 - c0;
     float* pd = d.data();
+    const simd::Kernels& ks = simd::kernels();
     parallel::parallel_for(0, n, std::max<std::int64_t>(1, 4096 / cols),
                            [&](std::int64_t i0, std::int64_t i1) {
       for (std::int64_t i = i0; i < i1; ++i) {
         const SoftmaxStats& s = stats[static_cast<std::size_t>(i)];
         float* row = pd + i * cols;
-        for (std::int64_t j = 0; j < cols; ++j) {
-          row[j] = std::exp(row[j] - s.max) / s.sum;  // softmax(Y)_ij
-        }
+        ks.exp_scale(row, row, cols, s.max, 1.0f / s.sum);  // softmax(Y)_i*
         const std::int64_t t = targets[static_cast<std::size_t>(i)];
         if (t >= c0 && t < c1) row[t - c0] -= 1.0f;  // minus the one-hot G
       }

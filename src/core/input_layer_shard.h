@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/vocab_shard.h"
+#include "tensor/bf16.h"
 #include "tensor/tensor.h"
 
 namespace vocab {
@@ -28,8 +29,20 @@ class InputLayerShard {
   InputLayerShard(VocabShard shard, Tensor embedding_shard);
 
   [[nodiscard]] const VocabShard& shard() const { return shard_; }
-  [[nodiscard]] const Tensor& embedding() const { return embedding_; }
-  [[nodiscard]] Tensor& mutable_embedding() { return embedding_; }
+  /// fp32-mode embedding accessors; invalid once enable_bf16() ran.
+  [[nodiscard]] const Tensor& embedding() const;
+  [[nodiscard]] Tensor& mutable_embedding();
+
+  /// Switch the shard to bf16 embedding storage (see
+  /// OutputLayerShard::enable_bf16). Gradients stay fp32.
+  void enable_bf16();
+  [[nodiscard]] bool bf16_enabled() const { return bf16_; }
+  [[nodiscard]] const Bf16Tensor& embedding_bf16() const;
+  [[nodiscard]] Bf16Tensor& mutable_embedding_bf16();
+  /// The embedding widened to fp32 (exact copy in bf16 mode).
+  [[nodiscard]] Tensor embedding_fp32() const;
+  /// Bytes of parameter storage (bf16 mode: half the fp32 figure).
+  [[nodiscard]] std::size_t parameter_bytes() const;
   [[nodiscard]] const Tensor& embedding_grad() const { return embedding_grad_; }
   /// Mutable access for the global grad-norm clip's in-place scaling.
   [[nodiscard]] Tensor& mutable_embedding_grad() { return embedding_grad_; }
@@ -62,8 +75,11 @@ class InputLayerShard {
 
  private:
   VocabShard shard_;
-  Tensor embedding_;
-  Tensor embedding_grad_;
+  Tensor embedding_;       // empty in bf16 mode
+  Bf16Tensor ebf16_;       // empty in fp32 mode
+  bool bf16_ = false;
+  std::int64_t hidden_ = 0;
+  Tensor embedding_grad_;  // fp32 in both modes
   std::map<int, std::vector<std::int64_t>> tokens_;
 };
 

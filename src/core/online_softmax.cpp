@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/error.h"
+#include "tensor/simd.h"
 
 namespace vocab {
 
@@ -17,10 +18,13 @@ SoftmaxStats empty_stats() { return {kNegInf, 0.0f}; }
 SoftmaxStats stats_of(const float* begin, const float* end) {
   SoftmaxStats s = empty_stats();
   if (begin == end) return s;
-  for (const float* p = begin; p != end; ++p) s.max = std::max(s.max, *p);
-  double sum = 0.0;
-  for (const float* p = begin; p != end; ++p) sum += std::exp(static_cast<double>(*p - s.max));
-  s.sum = static_cast<float>(sum);
+  const std::int64_t n = end - begin;
+  const simd::Kernels& ks = simd::kernels();
+  s.max = ks.reduce_max(begin, n);
+  // A fully masked chunk (every logit -inf) is the merge identity; bailing
+  // out here keeps exp away from the indeterminate -inf - -inf argument.
+  if (s.max == kNegInf) return empty_stats();
+  s.sum = static_cast<float>(ks.exp_sum(begin, n, s.max));
   return s;
 }
 
@@ -64,8 +68,8 @@ Tensor streaming_softmax_rows(const Tensor& x, std::int64_t chunk_cols) {
       global = merge(global, stats_of(row + j0, row + j1));
     }
     // Pass 2: emit normalized values.
-    float* orow = out.data() + i * c;
-    for (std::int64_t j = 0; j < c; ++j) orow[j] = std::exp(row[j] - global.max) / global.sum;
+    simd::kernels().exp_scale(row, out.data() + i * c, c, global.max,
+                              1.0f / global.sum);
   }
   return out;
 }

@@ -6,6 +6,7 @@
 #include "comm/device_group.h"
 #include "common/error.h"
 #include "parallel/thread_pool.h"
+#include "tensor/simd.h"
 #include "tensor/tensor_ops.h"
 
 namespace vocab {
@@ -75,16 +76,54 @@ OutputLayerShard::OutputLayerShard(OutputAlgo algo, VocabShard shard, Tensor wei
   for (std::int64_t r = shard_.valid_size(); r < shard_.size; ++r) {
     for (std::int64_t c = 0; c < weight_.dim(1); ++c) weight_.at(r, c) = 0.0f;
   }
+  hidden_ = weight_.dim(1);
   weight_grad_ = Tensor(weight_.shape());
 }
 
 void OutputLayerShard::zero_weight_grad() { weight_grad_.fill(0.0f); }
 
+const Tensor& OutputLayerShard::weight() const {
+  VOCAB_CHECK(!bf16_, "fp32 weight accessor used on a bf16-mode shard");
+  return weight_;
+}
+
+Tensor& OutputLayerShard::mutable_weight() {
+  VOCAB_CHECK(!bf16_, "fp32 weight accessor used on a bf16-mode shard");
+  return weight_;
+}
+
+void OutputLayerShard::enable_bf16() {
+  VOCAB_CHECK(!bf16_, "bf16 mode already enabled");
+  VOCAB_CHECK(state_.empty(), "cannot switch precision with microbatches in flight");
+  wbf16_ = Bf16Tensor::from_tensor(weight_);
+  weight_ = Tensor();
+  bf16_ = true;
+}
+
+const Bf16Tensor& OutputLayerShard::weight_bf16() const {
+  VOCAB_CHECK(bf16_, "bf16 weight accessor used on an fp32-mode shard");
+  return wbf16_;
+}
+
+Bf16Tensor& OutputLayerShard::mutable_weight_bf16() {
+  VOCAB_CHECK(bf16_, "bf16 weight accessor used on an fp32-mode shard");
+  return wbf16_;
+}
+
+Tensor OutputLayerShard::weight_fp32() const {
+  return bf16_ ? wbf16_.to_tensor() : weight_;
+}
+
+std::size_t OutputLayerShard::parameter_bytes() const {
+  return bf16_ ? wbf16_.byte_size()
+               : static_cast<std::size_t>(weight_.numel()) * sizeof(float);
+}
+
 void OutputLayerShard::start_microbatch(int mb, Tensor x, std::vector<std::int64_t> targets,
                                         float grad_scale) {
   VOCAB_CHECK(!state_.contains(mb), "microbatch " << mb << " already in flight");
-  VOCAB_CHECK(x.rank() == 2 && x.dim(1) == weight_.dim(1),
-              "x must be [n, " << weight_.dim(1) << "], got " << x.shape_str());
+  VOCAB_CHECK(x.rank() == 2 && x.dim(1) == hidden_,
+              "x must be [n, " << hidden_ << "], got " << x.shape_str());
   VOCAB_CHECK(static_cast<std::int64_t>(targets.size()) == x.dim(0),
               "target count must equal token count");
   for (const auto t : targets) {
@@ -139,7 +178,8 @@ void OutputLayerShard::comm_barrier(int mb, int barrier, DeviceGroup& group) {
 // ---- shared helpers --------------------------------------------------------
 
 void OutputLayerShard::compute_logits_masked(MbState& s) {
-  s.logits = matmul_nt(s.x, weight_);  // eq. (1): Y = X W_d^T
+  // eq. (1): Y = X W_d^T; bf16 mode streams half the weight bytes.
+  s.logits = bf16_ ? matmul_nt_bf16(s.x, wbf16_) : matmul_nt(s.x, weight_);
   // Extract this shard's contribution to the per-token target logit while the
   // logits are live; unowned targets contribute zero and are summed in later.
   const std::int64_t n = s.logits.dim(0);
@@ -163,18 +203,16 @@ void OutputLayerShard::compute_local_stats(MbState& s) {
   float* psm = s.softmax_local.data();
   float* pmax = s.local_max.data();
   float* psum = s.local_sum.data();
+  const simd::Kernels& ks = simd::kernels();
   parallel::parallel_for(0, n, stats_grain(valid), [&](std::int64_t i0, std::int64_t i1) {
     for (std::int64_t i = i0; i < i1; ++i) {
       const float* row = py + i * cols;
-      float m = kNegInf;
-      for (std::int64_t j = 0; j < valid; ++j) m = std::max(m, row[j]);
-      double sum = 0.0;
-      for (std::int64_t j = 0; j < valid; ++j) sum += std::exp(static_cast<double>(row[j] - m));
+      const float m = ks.reduce_max(row, valid);
+      const double sum = ks.exp_sum(row, valid, m);
       pmax[i] = m;
       psum[i] = static_cast<float>(sum);
       const float inv = sum > 0.0 ? static_cast<float>(1.0 / sum) : 0.0f;
-      float* smrow = psm + i * cols;
-      for (std::int64_t j = 0; j < valid; ++j) smrow[j] = std::exp(row[j] - m) * inv;
+      ks.exp_scale(row, psm + i * cols, valid, m, inv);
       // columns [valid, cols) stay zero
     }
   });
@@ -217,9 +255,10 @@ void OutputLayerShard::naive_compute(MbState& s, int phase) {
       s.local_max = Tensor({n}, kNegInf);
       const float* py = s.logits.data();
       float* pmax = s.local_max.data();
+      const simd::Kernels& ks = simd::kernels();
       parallel::parallel_for(0, n, stats_grain(valid), [&](std::int64_t i0, std::int64_t i1) {
         for (std::int64_t i = i0; i < i1; ++i) {
-          for (std::int64_t j = 0; j < valid; ++j) pmax[i] = std::max(pmax[i], py[i * cols + j]);
+          pmax[i] = ks.reduce_max(py + i * cols, valid);
         }
       });
       s.global_max = s.local_max;  // reduced in place by barrier 0
@@ -233,16 +272,13 @@ void OutputLayerShard::naive_compute(MbState& s, int phase) {
       const float* pgm = s.global_max.data();
       float* psm = s.softmax_local.data();
       float* psum = s.local_sum.data();
+      const simd::Kernels& ks = simd::kernels();
       parallel::parallel_for(0, n, stats_grain(valid), [&](std::int64_t i0, std::int64_t i1) {
         for (std::int64_t i = i0; i < i1; ++i) {
-          const float m = pgm[i];
-          double sum = 0.0;
-          for (std::int64_t j = 0; j < valid; ++j) {
-            const float e = std::exp(py[i * cols + j] - m);
-            psm[i * cols + j] = e;
-            sum += e;
-          }
-          psum[i] = static_cast<float>(sum);
+          // Emit exp(Y - m) into the softmax buffer, then sum those floats in
+          // double — the same value sequence the fused scalar loop produced.
+          ks.exp_scale(py + i * cols, psm + i * cols, valid, pgm[i], 1.0f);
+          psum[i] = static_cast<float>(ks.reduce_sum(psm + i * cols, valid));
         }
       });
       s.global_sum = s.local_sum;  // reduced in place by barrier 1
@@ -261,7 +297,8 @@ void OutputLayerShard::naive_compute(MbState& s, int phase) {
         }
       });
       const Tensor d = diff_matrix(s);
-      s.grad_x = matmul(d, weight_);  // eq. (3) partial: reduced by barrier 2
+      // eq. (3) partial: reduced by barrier 2
+      s.grad_x = bf16_ ? matmul_bf16(d, wbf16_) : matmul(d, weight_);
       break;
     }
     case 3: {  // T: weight gradient, arbitrarily delayable
@@ -304,7 +341,8 @@ void OutputLayerShard::alg1_compute(MbState& s, int phase) {
     case 1: {  // T: rescale softmax to global (eq. 5), both gradient matmuls
       rescale_softmax_rows(s.softmax_local, s.rescale, shard_.valid_size());
       const Tensor d = diff_matrix(s);
-      s.grad_x = matmul(d, weight_);                  // partial; reduced in C2
+      // partial; reduced in C2
+      s.grad_x = bf16_ ? matmul_bf16(d, wbf16_) : matmul(d, weight_);
       add_inplace(weight_grad_, matmul_tn(d, s.x));   // eq. (4)
       s.softmax_local = Tensor();
       s.x = Tensor();
@@ -351,16 +389,21 @@ void OutputLayerShard::alg2_compute(MbState& s, int phase) {
       compute_logits_masked(s);
       compute_local_stats(s);
       s.logits = Tensor();
-      s.a = matmul(s.softmax_local, weight_);  // softmax'(Y) W_d
+      // softmax'(Y) W_d
+      s.a = bf16_ ? matmul_bf16(s.softmax_local, wbf16_) : matmul(s.softmax_local, weight_);
       // B = G_d W_d is a row gather: row i is W_d[g_i] when this shard owns
-      // the label, zero otherwise.
-      const std::int64_t n = s.x.dim(0), h = weight_.dim(1);
+      // the label, zero otherwise. bf16 rows widen exactly on load.
+      const std::int64_t n = s.x.dim(0), h = hidden_;
       s.b = Tensor({n, h});
       for (std::int64_t i = 0; i < n; ++i) {
         const std::int64_t t = s.targets[static_cast<std::size_t>(i)];
         if (!shard_.owns(t)) continue;
         const std::int64_t r = shard_.to_local(t);
-        for (std::int64_t c = 0; c < h; ++c) s.b.at(i, c) = weight_.at(r, c);
+        if (bf16_) {
+          simd::kernels().bf16_to_fp32(wbf16_.data() + r * h, &s.b.at(i, 0), h);
+        } else {
+          for (std::int64_t c = 0; c < h; ++c) s.b.at(i, c) = weight_.at(r, c);
+        }
       }
       break;
     }

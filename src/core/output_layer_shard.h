@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/vocab_shard.h"
+#include "tensor/bf16.h"
 #include "tensor/tensor.h"
 
 namespace vocab {
@@ -63,8 +64,25 @@ class OutputLayerShard {
 
   [[nodiscard]] OutputAlgo algo() const { return algo_; }
   [[nodiscard]] const VocabShard& shard() const { return shard_; }
-  [[nodiscard]] const Tensor& weight() const { return weight_; }
-  [[nodiscard]] Tensor& mutable_weight() { return weight_; }
+  /// fp32-mode weight accessors; invalid once enable_bf16() ran.
+  [[nodiscard]] const Tensor& weight() const;
+  [[nodiscard]] Tensor& mutable_weight();
+
+  /// Switch the shard to bf16 weight storage (mixed-precision mode): the
+  /// fp32 weight is rounded into a Bf16Tensor and released, halving the
+  /// shard's parameter bytes. Gradients stay fp32; the fp32 master copy
+  /// lives with the optimizer (ParamOptimizer::step_master). Irreversible;
+  /// call before any microbatch is in flight.
+  void enable_bf16();
+  [[nodiscard]] bool bf16_enabled() const { return bf16_; }
+  /// bf16-mode weight accessors; invalid in fp32 mode.
+  [[nodiscard]] const Bf16Tensor& weight_bf16() const;
+  [[nodiscard]] Bf16Tensor& mutable_weight_bf16();
+  /// The weight widened to fp32 (a copy in bf16 mode; exact, since every
+  /// bf16 value is an fp32 value). For export / equivalence checks.
+  [[nodiscard]] Tensor weight_fp32() const;
+  /// Bytes of parameter storage (bf16 mode: half the fp32 figure).
+  [[nodiscard]] std::size_t parameter_bytes() const;
   /// Accumulated weight gradient (summed over microbatches since last zero).
   [[nodiscard]] const Tensor& weight_grad() const { return weight_grad_; }
   /// Mutable access for the global grad-norm clip's in-place scaling.
@@ -155,8 +173,11 @@ class OutputLayerShard {
 
   OutputAlgo algo_;
   VocabShard shard_;
-  Tensor weight_;       // [Vp/p, h]
-  Tensor weight_grad_;  // same shape
+  Tensor weight_;        // [Vp/p, h]; empty in bf16 mode
+  Bf16Tensor wbf16_;     // bf16 mode's working weight; empty in fp32 mode
+  bool bf16_ = false;
+  std::int64_t hidden_ = 0;
+  Tensor weight_grad_;   // fp32 in both modes
   std::map<int, MbState> state_;
 };
 

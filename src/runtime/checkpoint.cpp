@@ -3,6 +3,7 @@
 #include <array>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 
 #include <unistd.h>
@@ -18,6 +19,9 @@ namespace {
 // the destination path and a torn/bit-flipped file is rejected at load.
 constexpr std::uint64_t kMagic = 0x564f434142435032ULL;
 constexpr std::uint64_t kMagicV1 = 0x564f434142435031ULL;
+// "VOCABCP3": v2 plus a training-state section (loss-scaler state) between
+// the output weight and the CRC trailer. v2 files remain loadable.
+constexpr std::uint64_t kMagicV3 = 0x564f434142435033ULL;
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -117,7 +121,10 @@ std::uint64_t read_raw_u64(std::FILE* f, const std::string& path) {
 
 }  // namespace
 
-void save_checkpoint(const std::string& path, const GptWeights& weights) {
+namespace {
+
+void save_checkpoint_impl(const std::string& path, const GptWeights& weights,
+                          const CheckpointTrainState* state) {
   // Write to a sibling temp file and rename into place: the destination
   // either keeps its previous (complete) contents or atomically becomes the
   // new complete checkpoint — never a torn intermediate.
@@ -125,7 +132,7 @@ void save_checkpoint(const std::string& path, const GptWeights& weights) {
   {
     File f(std::fopen(tmp.c_str(), "wb"));
     VOCAB_CHECK(f != nullptr, "cannot open " << tmp << " for writing");
-    write_raw_u64(f.get(), kMagic, tmp);
+    write_raw_u64(f.get(), state != nullptr ? kMagicV3 : kMagic, tmp);
     Stream s{f.get(), tmp};
     const GptConfig& c = weights.config;
     s.write_u64(static_cast<std::uint64_t>(c.num_layers));
@@ -144,6 +151,14 @@ void save_checkpoint(const std::string& path, const GptWeights& weights) {
       }
     }
     write_tensor(s, weights.output_weight);
+    if (state != nullptr) {
+      std::uint32_t scale_bits = 0;
+      static_assert(sizeof(scale_bits) == sizeof(state->loss_scale));
+      std::memcpy(&scale_bits, &state->loss_scale, sizeof(scale_bits));
+      s.write_u64(scale_bits);
+      s.write_u64(static_cast<std::uint64_t>(state->scaler_good_steps));
+      s.write_u64(static_cast<std::uint64_t>(state->scaler_overflows));
+    }
     write_raw_u64(f.get(), s.crc, tmp);
     VOCAB_CHECK(std::fflush(f.get()) == 0, "flush failed for " << tmp);
     VOCAB_CHECK(::fsync(::fileno(f.get())) == 0, "fsync failed for " << tmp);
@@ -154,14 +169,31 @@ void save_checkpoint(const std::string& path, const GptWeights& weights) {
   }
 }
 
+}  // namespace
+
+void save_checkpoint(const std::string& path, const GptWeights& weights) {
+  save_checkpoint_impl(path, weights, nullptr);
+}
+
+void save_checkpoint(const std::string& path, const GptWeights& weights,
+                     const CheckpointTrainState& state) {
+  save_checkpoint_impl(path, weights, &state);
+}
+
 GptWeights load_checkpoint(const std::string& path) {
+  CheckpointTrainState ignored;
+  return load_checkpoint(path, ignored);
+}
+
+GptWeights load_checkpoint(const std::string& path, CheckpointTrainState& state) {
   File f(std::fopen(path.c_str(), "rb"));
   VOCAB_CHECK(f != nullptr, "cannot open checkpoint " << path);
   const std::uint64_t magic = read_raw_u64(f.get(), path);
   VOCAB_CHECK(magic != kMagicV1,
               path << " is a v1 checkpoint (no integrity trailer); re-save it with this "
                       "version to upgrade");
-  VOCAB_CHECK(magic == kMagic, path << " is not a vocab checkpoint");
+  VOCAB_CHECK(magic == kMagic || magic == kMagicV3, path << " is not a vocab checkpoint");
+  const bool v3 = magic == kMagicV3;
   Stream s{f.get(), path};
   GptWeights w;
   w.config.num_layers = static_cast<int>(s.read_u64());
@@ -184,6 +216,15 @@ GptWeights load_checkpoint(const std::string& path) {
     }
   }
   w.output_weight = read_tensor(s);
+  state = CheckpointTrainState{};
+  if (v3) {
+    const std::uint64_t scale_u64 = s.read_u64();
+    VOCAB_CHECK(scale_u64 <= 0xFFFFFFFFULL, path << " has a corrupt loss-scale field");
+    const auto scale_bits = static_cast<std::uint32_t>(scale_u64);
+    std::memcpy(&state.loss_scale, &scale_bits, sizeof(state.loss_scale));
+    state.scaler_good_steps = static_cast<int>(s.read_u64());
+    state.scaler_overflows = static_cast<int>(s.read_u64());
+  }
   const std::uint64_t stored_crc = read_raw_u64(f.get(), path);
   VOCAB_CHECK(stored_crc == s.crc,
               path << " failed its CRC32 integrity check: stored " << stored_crc

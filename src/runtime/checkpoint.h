@@ -20,11 +20,27 @@
 
 namespace vocab {
 
-/// Serialize `weights` to `path`. Throws vocab::Error on I/O failure.
-void save_checkpoint(const std::string& path, const GptWeights& weights);
+/// Training state carried by v3 checkpoints alongside the weights. Today
+/// that is the dynamic loss-scaler state, so a mixed-precision run resumes
+/// at the scale it had converged to rather than re-descending from 2^16.
+/// loss_scale == 0 means "no mixed-precision state recorded".
+struct CheckpointTrainState {
+  float loss_scale = 0.0f;
+  int scaler_good_steps = 0;
+  int scaler_overflows = 0;
+};
 
-/// Load a checkpoint written by save_checkpoint. Throws vocab::Error on
-/// missing file, bad magic, or truncated data.
+/// Serialize `weights` to `path`. Throws vocab::Error on I/O failure.
+/// With `state` the file is written as v3 (weights + training state);
+/// without it the v2 layout is emitted unchanged.
+void save_checkpoint(const std::string& path, const GptWeights& weights);
+void save_checkpoint(const std::string& path, const GptWeights& weights,
+                     const CheckpointTrainState& state);
+
+/// Load a checkpoint written by save_checkpoint (v2 or v3). Throws
+/// vocab::Error on missing file, bad magic, or truncated data. The overload
+/// taking `state` fills it from a v3 file and leaves it default for v2.
 GptWeights load_checkpoint(const std::string& path);
+GptWeights load_checkpoint(const std::string& path, CheckpointTrainState& state);
 
 }  // namespace vocab

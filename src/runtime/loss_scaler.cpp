@@ -1,0 +1,49 @@
+#include "runtime/loss_scaler.h"
+
+#include <algorithm>
+
+#include "common/env.h"
+#include "common/error.h"
+
+namespace vocab {
+
+LossScalerConfig LossScalerConfig::from_env() {
+  LossScalerConfig cfg;
+  cfg.init_scale = static_cast<float>(positive_int_from_env(
+      "VOCAB_LOSS_SCALE_INIT", static_cast<std::int64_t>(cfg.init_scale),
+      /*max_value=*/std::int64_t{1} << 40));
+  cfg.growth_interval = static_cast<int>(
+      positive_int_from_env("VOCAB_LOSS_SCALE_GROWTH_INTERVAL", cfg.growth_interval));
+  return cfg;
+}
+
+LossScaler::LossScaler(LossScalerConfig cfg) : cfg_(cfg), scale_(cfg.init_scale) {
+  VOCAB_CHECK(cfg_.init_scale >= cfg_.min_scale && cfg_.min_scale > 0.0f,
+              "loss scale must start at or above its floor");
+  VOCAB_CHECK(cfg_.growth_factor > 1.0f && cfg_.backoff_factor > 0.0f &&
+                  cfg_.backoff_factor < 1.0f,
+              "growth factor must exceed 1, backoff must sit in (0, 1)");
+  VOCAB_CHECK(cfg_.growth_interval >= 1, "growth interval must be positive");
+}
+
+void LossScaler::update(bool overflow) {
+  if (overflow) {
+    ++overflows_;
+    good_steps_ = 0;
+    scale_ = std::max(cfg_.min_scale, scale_ * cfg_.backoff_factor);
+    return;
+  }
+  if (++good_steps_ >= cfg_.growth_interval) {
+    good_steps_ = 0;
+    scale_ *= cfg_.growth_factor;
+  }
+}
+
+void LossScaler::restore(float scale, int good_steps, int overflows) {
+  VOCAB_CHECK(scale >= cfg_.min_scale, "restored loss scale below the floor");
+  scale_ = scale;
+  good_steps_ = good_steps;
+  overflows_ = overflows;
+}
+
+}  // namespace vocab

@@ -36,4 +36,14 @@ void ParamOptimizer::step(Tensor& param, const Tensor& grad, const OptimizerConf
   }
 }
 
+void ParamOptimizer::step_master(Bf16Tensor& param, const Tensor& grad,
+                                 const OptimizerConfig& cfg) {
+  if (master_.empty()) master_ = param.to_tensor();  // exact widening
+  VOCAB_CHECK(master_.same_shape(grad), "optimizer master/grad shape mismatch: "
+                                            << master_.shape_str() << " vs "
+                                            << grad.shape_str());
+  step(master_, grad, cfg);
+  param.assign_from(master_);
+}
+
 }  // namespace vocab

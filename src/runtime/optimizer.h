@@ -12,6 +12,7 @@
 
 #include <cstdint>
 
+#include "tensor/bf16.h"
 #include "tensor/tensor.h"
 
 namespace vocab {
@@ -43,11 +44,22 @@ class ParamOptimizer {
   /// are allocated on first use and sized to the parameter.
   void step(Tensor& param, const Tensor& grad, const OptimizerConfig& cfg);
 
+  /// Mixed-precision step: `param` is the bf16 working copy; the fp32 master
+  /// weight lives here (seeded exactly from the bf16 values on first use).
+  /// The update runs entirely in fp32 on the master, which is then rounded
+  /// back into `param` — the Megatron master-weight recipe, so repeated tiny
+  /// updates cannot be swallowed by bf16's 8-bit significand.
+  void step_master(Bf16Tensor& param, const Tensor& grad, const OptimizerConfig& cfg);
+
+  /// The fp32 master (empty until the first step_master call).
+  [[nodiscard]] const Tensor& master() const { return master_; }
+
   [[nodiscard]] int steps_taken() const { return t_; }
 
  private:
   Tensor m_;
   Tensor v_;
+  Tensor master_;  // step_master only
   int t_ = 0;
 };
 

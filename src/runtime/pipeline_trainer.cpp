@@ -18,6 +18,8 @@
 #include "schedule/schedule_1f1b_vocab.h"
 #include "schedule/schedule_gpipe.h"
 #include "schedule/schedule_vhalf.h"
+#include "tensor/bf16.h"
+#include "tensor/simd.h"
 #include "tensor/tensor_ops.h"
 
 namespace vocab {
@@ -267,6 +269,68 @@ std::size_t PipelineTrainer::comm_in_flight() const {
   return total;
 }
 
+void PipelineTrainer::set_mixed_precision(const MixedPrecisionConfig& mp) {
+  VOCAB_CHECK(vocab_sharded(),
+              "mixed precision requires a vocab-sharded flavor (not " << to_string(flavor_)
+                                                                      << ")");
+  VOCAB_CHECK(!mp_enabled_, "mixed precision already enabled");
+  mp_enabled_ = true;
+  mp_bf16_comm_ = mp.bf16_comm;
+  scaler_ = LossScaler(mp.loss_scale);
+  if (mp.bf16_vocab) {
+    for (auto& dev : devices_) {
+      dev->output->enable_bf16();
+      dev->input->enable_bf16();
+    }
+  }
+}
+
+std::size_t PipelineTrainer::vocab_param_bytes() const {
+  std::size_t bytes = 0;
+  for (const auto& dev : devices_) {
+    if (vocab_sharded()) {
+      bytes += dev->output->parameter_bytes() + dev->input->parameter_bytes();
+    } else {
+      bytes += static_cast<std::size_t>(dev->embed_full.numel() +
+                                        dev->out_weight_full.numel()) *
+               sizeof(float);
+    }
+  }
+  return bytes;
+}
+
+void PipelineTrainer::maybe_quantize_comm(Tensor& t) {
+  if (!mp_enabled_ || !mp_bf16_comm_ || t.numel() == 0) return;
+  // Round-trip through bf16 in place: the fp32 payload now carries exactly
+  // the values a 2-byte wire format would have delivered.
+  std::vector<std::uint16_t> half(static_cast<std::size_t>(t.numel()));
+  const simd::Kernels& ks = simd::kernels();
+  ks.fp32_to_bf16(t.data(), half.data(), t.numel());
+  ks.bf16_to_fp32(half.data(), t.data(), t.numel());
+  comm_bf16_bytes_.fetch_add(half.size() * sizeof(std::uint16_t),
+                             std::memory_order_relaxed);
+}
+
+bool PipelineTrainer::device_grads_nonfinite(int d) const {
+  const simd::Kernels& ks = simd::kernels();
+  const auto bad = [&ks](const Tensor& t) {
+    return !t.empty() && ks.nonfinite_count(t.data(), t.numel()) > 0;
+  };
+  const Device& dev = *devices_[static_cast<std::size_t>(d)];
+  auto params = dev.stack->parameters();
+  if (dev.stack2) {
+    const auto extra = dev.stack2->parameters();
+    params.insert(params.end(), extra.begin(), extra.end());
+  }
+  for (const auto& p : params) {
+    if (bad(p->grad)) return true;
+  }
+  if (vocab_sharded() && (bad(dev.output->weight_grad()) || bad(dev.input->embedding_grad()))) {
+    return true;
+  }
+  return d == 0 && bad(pos_embedding_grad_);
+}
+
 void PipelineTrainer::guard_boundary(int d, Tensor& t, const char* what) {
   // Corruption lands before the fence looks, so an armed data fault is
   // caught at the boundary of the op that (nominally) produced the bytes.
@@ -358,8 +422,13 @@ void PipelineTrainer::compute_clip_device(int d) {
   if (p_ > 1) group_->all_reduce(d, units, ReduceOp::Sum, "clipAR");
 
   const std::vector<float> unit_vec(units.data(), units.data() + units.numel());
-  const guard::ClipResult result = guard::clip_decision(unit_vec, clip_max_norm_);
-  cs.norm = result.norm;
+  // Mixed precision: the gradients (and hence the norm) carry the loss scale
+  // S, so the decision clips against S * max_norm — the resulting scale is
+  // the same one the unscaled gradients would get — and the reported norm
+  // divides S back out.
+  const float thresh = mp_enabled_ ? clip_max_norm_ * scaler_.scale() : clip_max_norm_;
+  const guard::ClipResult result = guard::clip_decision(unit_vec, thresh);
+  cs.norm = mp_enabled_ ? result.norm / scaler_.scale() : result.norm;
   cs.scale = result.scale;
   cs.computed = true;
 }
@@ -456,6 +525,7 @@ struct PipelineTrainer::ScheduledIteration final : OpRunner {
       if (next_dev == d) {
         ds.act.emplace(std::make_pair(s + 1, mb), std::move(y));
       } else {
+        tr.maybe_quantize_comm(y);
         tr.mail_[static_cast<std::size_t>(next_dev)]->send(act_tag(s + 1, mb), std::move(y));
       }
     }
@@ -498,6 +568,7 @@ struct PipelineTrainer::ScheduledIteration final : OpRunner {
       if (prev_dev == d) {
         ds.grad.emplace(std::make_pair(s - 1, mb), std::move(grad_in));
       } else {
+        tr.maybe_quantize_comm(grad_in);
         tr.mail_[static_cast<std::size_t>(prev_dev)]->send(grad_tag(s - 1, mb),
                                                            std::move(grad_in));
       }
@@ -621,8 +692,36 @@ void PipelineTrainer::optimizer_step_device(int d, const OptimizerConfig& opt) {
     VOCAB_CHECK(p_ == 1, "clip decision missing for device " << d << " of " << p_);
     compute_clip_device(d);
   }
-  const float cscale = clip_active_ ? cs.scale : 1.0f;
   if (clip_active_ && d == 0) last_grad_norm_ = cs.norm;
+
+  // Mixed precision: agree globally on overflow before anyone steps, so an
+  // iteration either updates every shard or none of them.
+  if (mp_enabled_) {
+    Tensor flag({1});
+    flag.at(0) = device_grads_nonfinite(d) ? 1.0f : 0.0f;
+    if (p_ > 1) group_->all_reduce(d, flag, ReduceOp::Sum, "mpOF");
+    const bool overflow = flag.at(0) > 0.0f;
+    if (d == 0) mp_iter_overflow_ = overflow;
+    if (overflow) {
+      // Skip the step: drop this iteration's gradients, leave weights alone.
+      auto params = dev.stack->parameters();
+      if (dev.stack2) {
+        const auto extra = dev.stack2->parameters();
+        params.insert(params.end(), extra.begin(), extra.end());
+      }
+      for (const auto& p : params) {
+        if (!p->grad.empty()) p->grad.fill(0.0f);
+      }
+      dev.output->zero_weight_grad();
+      dev.input->zero_embedding_grad();
+      if (d == 0) pos_embedding_grad_.fill(0.0f);
+      return;
+    }
+  }
+
+  // Clip scale and loss-scale unscale fold into one per-gradient multiply.
+  const float cscale = (clip_active_ ? cs.scale : 1.0f) *
+                       (mp_enabled_ ? 1.0f / scaler_.scale() : 1.0f);
 
   auto params = dev.stack->parameters();
   if (dev.stack2) {
@@ -652,15 +751,30 @@ void PipelineTrainer::optimizer_step_device(int d, const OptimizerConfig& opt) {
         add_inplace(grad, dev.input->embedding_grad());
       }
       if (cscale != 1.0f) scale_inplace(grad, cscale);
-      dev.output_opt.step(dev.output->mutable_weight(), grad, opt);
-      dev.input->mutable_embedding() = dev.output->weight();
+      if (dev.output->bf16_enabled()) {
+        dev.output_opt.step_master(dev.output->mutable_weight_bf16(), grad, opt);
+        dev.input->mutable_embedding_bf16() = dev.output->weight_bf16();
+      } else {
+        dev.output_opt.step(dev.output->mutable_weight(), grad, opt);
+        dev.input->mutable_embedding() = dev.output->weight();
+      }
     } else {
       if (cscale != 1.0f) {
         scale_inplace(dev.output->mutable_weight_grad(), cscale);
         scale_inplace(dev.input->mutable_embedding_grad(), cscale);
       }
-      dev.output_opt.step(dev.output->mutable_weight(), dev.output->weight_grad(), opt);
-      dev.input_opt.step(dev.input->mutable_embedding(), dev.input->embedding_grad(), opt);
+      if (dev.output->bf16_enabled()) {
+        dev.output_opt.step_master(dev.output->mutable_weight_bf16(),
+                                   dev.output->weight_grad(), opt);
+      } else {
+        dev.output_opt.step(dev.output->mutable_weight(), dev.output->weight_grad(), opt);
+      }
+      if (dev.input->bf16_enabled()) {
+        dev.input_opt.step_master(dev.input->mutable_embedding_bf16(),
+                                  dev.input->embedding_grad(), opt);
+      } else {
+        dev.input_opt.step(dev.input->mutable_embedding(), dev.input->embedding_grad(), opt);
+      }
     }
     dev.output->zero_weight_grad();
     dev.input->zero_embedding_grad();
@@ -737,15 +851,24 @@ float PipelineTrainer::train_iteration(const std::vector<Sample>& microbatches,
   clip_active_ = opt.max_grad_norm > 0.0f || monitor_grad_norm_;
   clip_max_norm_ = opt.max_grad_norm;
   for (auto& cs : clip_state_) cs = ClipState{};
-  return flavor_ == PipelineFlavor::Naive ? train_iteration_naive(microbatches, opt)
-                                          : train_iteration_scheduled(microbatches, opt);
+  mp_iter_overflow_ = false;
+  const float loss = flavor_ == PipelineFlavor::Naive
+                         ? train_iteration_naive(microbatches, opt)
+                         : train_iteration_scheduled(microbatches, opt);
+  // The scaler reacts once per iteration, after every device agreed on the
+  // overflow verdict (device 0's step thread recorded it).
+  if (mp_enabled_) scaler_.update(mp_iter_overflow_);
+  return loss;
 }
 
 float PipelineTrainer::train_iteration_naive(const std::vector<Sample>& microbatches,
                                              const OptimizerConfig& opt) {
   const int m = static_cast<int>(microbatches.size());
+  // Mixed precision multiplies the loss-gradient scale by S; the optimizer
+  // phase divides S back out before stepping.
   const float grad_scale =
-      1.0f / (static_cast<float>(config_.seq_len) * static_cast<float>(m));
+      (mp_enabled_ ? scaler_.scale() : 1.0f) /
+      (static_cast<float>(config_.seq_len) * static_cast<float>(m));
 
   std::vector<float> losses(static_cast<std::size_t>(m), 0.0f);
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(p_));
@@ -775,6 +898,7 @@ float PipelineTrainer::train_iteration_naive(const std::vector<Sample>& microbat
       Tensor y = dev.stack->forward(mb, x);
       guard_boundary(d, y, "forward activation");
       if (d + 1 < p_) {
+        maybe_quantize_comm(y);
         fwd_[static_cast<std::size_t>(d)]->send("fwd:" + std::to_string(mb), y);
       }
 
@@ -806,6 +930,7 @@ float PipelineTrainer::train_iteration_naive(const std::vector<Sample>& microbat
       Tensor grad_in = dev.stack->backward(mb, grad_out);
       guard_boundary(d, grad_in, "backward gradient");
       if (d > 0) {
+        maybe_quantize_comm(grad_in);
         bwd_[static_cast<std::size_t>(d - 1)]->send("bwd:" + std::to_string(mb), grad_in);
       }
 
@@ -864,7 +989,8 @@ float PipelineTrainer::train_iteration_scheduled(const std::vector<Sample>& micr
                                                  const OptimizerConfig& opt) {
   const int m = static_cast<int>(microbatches.size());
   const float grad_scale =
-      1.0f / (static_cast<float>(config_.seq_len) * static_cast<float>(m));
+      (mp_enabled_ ? scaler_.scale() : 1.0f) /
+      (static_cast<float>(config_.seq_len) * static_cast<float>(m));
 
   ScheduleExecutor& executor = executor_for(m, clip_active_ && p_ > 1);
   last_executor_ = &executor;
@@ -928,9 +1054,10 @@ Tensor PipelineTrainer::gathered_input_embedding() const {
   Tensor out({config_.vocab, config_.hidden});
   for (const auto& dev : devices_) {
     const VocabShard& s = dev->input->shard();
+    const Tensor e = dev->input->embedding_fp32();
     for (std::int64_t r = 0; r < s.valid_size(); ++r) {
       for (std::int64_t c = 0; c < config_.hidden; ++c) {
-        out.at(s.offset + r, c) = dev->input->embedding().at(r, c);
+        out.at(s.offset + r, c) = e.at(r, c);
       }
     }
   }
@@ -942,9 +1069,10 @@ Tensor PipelineTrainer::gathered_output_weight() const {
   Tensor out({config_.vocab, config_.hidden});
   for (const auto& dev : devices_) {
     const VocabShard& s = dev->output->shard();
+    const Tensor w = dev->output->weight_fp32();
     for (std::int64_t r = 0; r < s.valid_size(); ++r) {
       for (std::int64_t c = 0; c < config_.hidden; ++c) {
-        out.at(s.offset + r, c) = dev->output->weight().at(r, c);
+        out.at(s.offset + r, c) = w.at(r, c);
       }
     }
   }

@@ -21,6 +21,7 @@
 //     ScheduleExecutor — microbatches genuinely in flight together, P2P
 //     sends non-blocking, collective barriers overlapped with compute.
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <limits>
@@ -37,6 +38,7 @@
 #include "guard/nan_fence.h"
 #include "model/gpt.h"
 #include "model/transformer.h"
+#include "runtime/loss_scaler.h"
 #include "runtime/optimizer.h"
 #include "runtime/schedule_executor.h"
 
@@ -52,6 +54,13 @@ enum class PipelineFlavor {
 };
 
 [[nodiscard]] const char* to_string(PipelineFlavor flavor);
+
+/// bf16 mixed-precision knobs (vocab-sharded flavors only).
+struct MixedPrecisionConfig {
+  bool bf16_vocab = true;  ///< store input/output shard weights as bf16
+  bool bf16_comm = true;   ///< quantize stage-boundary act/grad payloads to bf16
+  LossScalerConfig loss_scale = {};
+};
 
 class PipelineTrainer {
  public:
@@ -103,6 +112,24 @@ class PipelineTrainer {
   /// loop makes no guard calls at all.
   void set_guard_level(guard::GuardLevel level);
   [[nodiscard]] const std::shared_ptr<guard::NanFence>& nan_fence() const { return fence_; }
+
+  /// Enable bf16 mixed precision: shard weights (and optionally the
+  /// stage-boundary payloads) drop to bf16 storage, gradients are produced
+  /// under a dynamic loss scale, the optimizer steps fp32 master weights,
+  /// and an overflowed iteration skips the step and backs the scale off.
+  /// Vocab-sharded flavors only; call before the first train_iteration.
+  /// With the NaN fence at level >= 1 an overflow aborts the iteration
+  /// before the scaler can react — run mixed precision at guard level 0.
+  void set_mixed_precision(const MixedPrecisionConfig& mp);
+  [[nodiscard]] bool mixed_precision() const { return mp_enabled_; }
+  [[nodiscard]] const LossScaler& loss_scaler() const { return scaler_; }
+  /// Whether the most recent train_iteration skipped its step on overflow.
+  [[nodiscard]] bool last_overflow() const { return mp_iter_overflow_; }
+  /// Total bytes of vocabulary-shard parameter storage across devices
+  /// (halves under bf16 — the acceptance number for mixed precision).
+  [[nodiscard]] std::size_t vocab_param_bytes() const;
+  /// Total bf16 payload bytes sent over stage-boundary channels so far.
+  [[nodiscard]] std::size_t comm_bf16_bytes() const { return comm_bf16_bytes_.load(); }
 
   /// Compute the global gradient norm every iteration even when
   /// OptimizerConfig::max_grad_norm is 0, so last_grad_norm feeds anomaly
@@ -165,6 +192,11 @@ class PipelineTrainer {
   /// Fault-corruption + NaN-fence point for a tensor device `d` just
   /// produced (applies any armed data fault first, then fences).
   void guard_boundary(int d, Tensor& t, const char* what);
+  /// bf16_comm: round-trip a stage-boundary payload through bf16 so the
+  /// receiver sees exactly the values a half-width wire would deliver.
+  void maybe_quantize_comm(Tensor& t);
+  /// True when any gradient this device owns contains a NaN/Inf.
+  [[nodiscard]] bool device_grads_nonfinite(int d) const;
 
   GptConfig config_;
   int p_;
@@ -210,6 +242,13 @@ class PipelineTrainer {
   bool clip_active_ = false;     // this iteration computes the global norm
   float clip_max_norm_ = 0.0f;
   std::vector<ClipState> clip_state_;
+
+  // ---- bf16 mixed precision ----
+  bool mp_enabled_ = false;
+  bool mp_bf16_comm_ = false;
+  LossScaler scaler_;
+  bool mp_iter_overflow_ = false;          // written by device 0's step thread
+  std::atomic<std::size_t> comm_bf16_bytes_{0};
 };
 
 }  // namespace vocab

@@ -1,0 +1,123 @@
+#pragma once
+
+// Header-only bfloat16 storage type + a bf16 tensor container.
+//
+// bf16 is fp32 with the bottom 16 mantissa bits dropped: same exponent range
+// (so no new overflow behaviour versus fp32 — only precision loss), 8 bits of
+// significand. That makes it the natural *storage and wire* format for the
+// paper's vocabulary layers: shard weights and S/T-pass activations halve
+// their 2hV footprint and their all-reduce/pipeline payloads, while every
+// arithmetic op still runs in fp32 (values are widened on load, exactly).
+//
+// Following the c10 Half idiom (SNIPPETS.md Snippet 3), arithmetic on bf16
+// promotes to float and returns float — the type never does half-precision
+// math, so there is no second rounding mode to reason about. Conversion to
+// bf16 rounds to nearest-even and keeps NaNs quiet; conversion back is exact.
+// Both directions are value-exact across SIMD levels (integer bit
+// manipulation), so mixed-precision state never depends on dispatch.
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "tensor/simd.h"
+#include "tensor/tensor.h"
+
+namespace vocab {
+
+namespace bf16_detail {
+
+/// fp32 -> bf16 bits, round-to-nearest-even; NaN payload is truncated but
+/// forced quiet so it cannot become an infinity.
+inline std::uint16_t bits_from_float(float f) {
+  std::uint32_t u;
+  std::memcpy(&u, &f, sizeof(u));
+  if ((u & 0x7FFFFFFFu) > 0x7F800000u) {
+    return static_cast<std::uint16_t>((u >> 16) | 0x0040u);
+  }
+  u += 0x7FFFu + ((u >> 16) & 1u);
+  return static_cast<std::uint16_t>(u >> 16);
+}
+
+/// bf16 bits -> fp32 (exact: every bf16 value is an fp32 value).
+inline float float_from_bits(std::uint16_t h) {
+  const std::uint32_t u = static_cast<std::uint32_t>(h) << 16;
+  float f;
+  std::memcpy(&f, &u, sizeof(f));
+  return f;
+}
+
+}  // namespace bf16_detail
+
+/// One bfloat16 value. Storage-only: loads widen to float, arithmetic is
+/// float arithmetic.
+struct bf16 {
+  std::uint16_t bits = 0;
+
+  bf16() = default;
+  explicit bf16(float f) : bits(bf16_detail::bits_from_float(f)) {}
+  operator float() const { return bf16_detail::float_from_bits(bits); }
+
+  static bf16 from_bits(std::uint16_t b) {
+    bf16 h;
+    h.bits = b;
+    return h;
+  }
+};
+
+inline float operator+(bf16 a, bf16 b) { return static_cast<float>(a) + static_cast<float>(b); }
+inline float operator-(bf16 a, bf16 b) { return static_cast<float>(a) - static_cast<float>(b); }
+inline float operator*(bf16 a, bf16 b) { return static_cast<float>(a) * static_cast<float>(b); }
+inline float operator/(bf16 a, bf16 b) { return static_cast<float>(a) / static_cast<float>(b); }
+inline bool operator==(bf16 a, bf16 b) { return static_cast<float>(a) == static_cast<float>(b); }
+
+/// Dense row-major bf16 tensor: the storage twin of Tensor for vocab-shard
+/// parameters and stage-boundary activations. Conversions go through the
+/// active SIMD level's bulk kernels (bit-identical across levels).
+class Bf16Tensor {
+ public:
+  Bf16Tensor() = default;
+
+  explicit Bf16Tensor(std::vector<std::int64_t> shape) : shape_(std::move(shape)) {
+    std::int64_t n = 1;
+    for (const std::int64_t d : shape_) n *= d;
+    data_.assign(static_cast<std::size_t>(n < 0 ? 0 : n), 0);
+  }
+
+  /// Round an fp32 tensor into bf16 storage.
+  static Bf16Tensor from_tensor(const Tensor& t) {
+    Bf16Tensor h(t.shape());
+    simd::kernels().fp32_to_bf16(t.data(), h.data(), t.numel());
+    return h;
+  }
+
+  /// Widen back to fp32 (exact).
+  [[nodiscard]] Tensor to_tensor() const {
+    Tensor t(shape_);
+    simd::kernels().bf16_to_fp32(data(), t.data(), t.numel());
+    return t;
+  }
+
+  /// Overwrite the stored values from a same-shaped fp32 tensor.
+  void assign_from(const Tensor& t) {
+    shape_ = t.shape();
+    data_.resize(static_cast<std::size_t>(t.numel()));
+    simd::kernels().fp32_to_bf16(t.data(), data(), t.numel());
+  }
+
+  [[nodiscard]] const std::vector<std::int64_t>& shape() const { return shape_; }
+  [[nodiscard]] std::int64_t rank() const { return static_cast<std::int64_t>(shape_.size()); }
+  [[nodiscard]] std::int64_t dim(std::int64_t i) const { return shape_[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] std::int64_t numel() const { return static_cast<std::int64_t>(data_.size()); }
+  [[nodiscard]] std::size_t byte_size() const { return data_.size() * sizeof(std::uint16_t); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  [[nodiscard]] std::uint16_t* data() { return data_.data(); }
+  [[nodiscard]] const std::uint16_t* data() const { return data_.data(); }
+
+ private:
+  std::vector<std::int64_t> shape_;
+  std::vector<std::uint16_t> data_;
+};
+
+}  // namespace vocab

@@ -1,0 +1,601 @@
+// AVX2 + FMA kernel table. Compiled with -mavx2 -mfma regardless of the
+// project-wide arch flags; the dispatcher only installs it after
+// __builtin_cpu_supports confirms the CPU executes it.
+//
+// Element-consistency (simd.h contract, rule 2): every output element is
+// produced by the same per-element operation sequence no matter which code
+// path — register-blocked body, single-row edge, or remainder loop — emitted
+// it. Vector FMAs are matched by std::fma / fmaf in the scalar tails, and the
+// polynomial exp has a scalar twin with the identical operation order, so
+// tail elements round exactly like vector-lane elements.
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+#include "tensor/simd_tables.h"
+
+namespace vocab::simd::detail {
+
+namespace {
+
+// ---- shared helpers --------------------------------------------------------
+
+// Fixed lane-reduction tree: ((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7)).
+inline float hsum8(__m256 v) {
+  const __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  __m128 s = _mm_add_ps(lo, hi);
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 0x1));
+  return _mm_cvtss_f32(s);
+}
+
+inline float hmax8(__m256 v) {
+  const __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  __m128 s = _mm_max_ps(lo, hi);
+  s = _mm_max_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_max_ss(s, _mm_shuffle_ps(s, s, 0x1));
+  return _mm_cvtss_f32(s);
+}
+
+// Fixed double-lane tree for the 2x4 double accumulators used by the sums.
+inline double hsum_pd(__m256d a, __m256d b) {
+  const __m256d s = _mm256_add_pd(a, b);
+  const __m128d lo = _mm256_castpd256_pd128(s);
+  const __m128d hi = _mm256_extractf128_pd(s, 1);
+  __m128d t = _mm_add_pd(lo, hi);
+  t = _mm_add_sd(t, _mm_unpackhi_pd(t, t));
+  return _mm_cvtsd_f64(t);
+}
+
+// Widen 8 bf16 values (exact).
+inline __m256 bf16_load8(const std::uint16_t* p) {
+  const __m128i h = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+  const __m256i w = _mm256_cvtepu16_epi32(h);
+  return _mm256_castsi256_ps(_mm256_slli_epi32(w, 16));
+}
+
+inline float bf16_load1(std::uint16_t h) {
+  const std::uint32_t u = static_cast<std::uint32_t>(h) << 16;
+  float f;
+  std::memcpy(&f, &u, sizeof(f));
+  return f;
+}
+
+// Single dot product; defines the per-element sequence every matmul_nt path
+// must reproduce: 8-wide FMA accumulation, hsum8 tree, fmaf tail.
+inline float dot(const float* a, const float* b, std::int64_t k) {
+  __m256 acc = _mm256_setzero_ps();
+  std::int64_t l = 0;
+  for (; l + 8 <= k; l += 8) {
+    acc = _mm256_fmadd_ps(_mm256_loadu_ps(a + l), _mm256_loadu_ps(b + l), acc);
+  }
+  float s = hsum8(acc);
+  for (; l < k; ++l) s = std::fma(a[l], b[l], s);
+  return s;
+}
+
+inline float dot_bf16(const float* a, const std::uint16_t* b, std::int64_t k) {
+  __m256 acc = _mm256_setzero_ps();
+  std::int64_t l = 0;
+  for (; l + 8 <= k; l += 8) {
+    acc = _mm256_fmadd_ps(_mm256_loadu_ps(a + l), bf16_load8(b + l), acc);
+  }
+  float s = hsum8(acc);
+  for (; l < k; ++l) s = std::fma(a[l], bf16_load1(b[l]), s);
+  return s;
+}
+
+// ---- matmul_nt: C = A @ B^T ------------------------------------------------
+//
+// Cache tiling: A-row tiles of 16 against four-row B panels (the panel — four
+// contiguous rows of row-major B — stays L1/L2 resident across the tile).
+// Register blocking: 2 A rows x 4 B rows = 8 accumulator registers in the
+// k-loop. Every C element still equals dot(arow, brow, k) bit for bit.
+void mm_nt(const float* a, const float* b, float* c, std::int64_t i0,
+           std::int64_t i1, std::int64_t n, std::int64_t k) {
+  constexpr std::int64_t kRowTile = 16;
+  for (std::int64_t ib = i0; ib < i1; ib += kRowTile) {
+    const std::int64_t ie = std::min(ib + kRowTile, i1);
+    std::int64_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const float* b0 = b + j * k;
+      const float* b1 = b0 + k;
+      const float* b2 = b1 + k;
+      const float* b3 = b2 + k;
+      std::int64_t i = ib;
+      for (; i + 2 <= ie; i += 2) {
+        const float* a0 = a + i * k;
+        const float* a1 = a0 + k;
+        __m256 c00 = _mm256_setzero_ps(), c01 = _mm256_setzero_ps();
+        __m256 c02 = _mm256_setzero_ps(), c03 = _mm256_setzero_ps();
+        __m256 c10 = _mm256_setzero_ps(), c11 = _mm256_setzero_ps();
+        __m256 c12 = _mm256_setzero_ps(), c13 = _mm256_setzero_ps();
+        std::int64_t l = 0;
+        for (; l + 8 <= k; l += 8) {
+          const __m256 va0 = _mm256_loadu_ps(a0 + l);
+          const __m256 va1 = _mm256_loadu_ps(a1 + l);
+          __m256 vb = _mm256_loadu_ps(b0 + l);
+          c00 = _mm256_fmadd_ps(va0, vb, c00);
+          c10 = _mm256_fmadd_ps(va1, vb, c10);
+          vb = _mm256_loadu_ps(b1 + l);
+          c01 = _mm256_fmadd_ps(va0, vb, c01);
+          c11 = _mm256_fmadd_ps(va1, vb, c11);
+          vb = _mm256_loadu_ps(b2 + l);
+          c02 = _mm256_fmadd_ps(va0, vb, c02);
+          c12 = _mm256_fmadd_ps(va1, vb, c12);
+          vb = _mm256_loadu_ps(b3 + l);
+          c03 = _mm256_fmadd_ps(va0, vb, c03);
+          c13 = _mm256_fmadd_ps(va1, vb, c13);
+        }
+        float s00 = hsum8(c00), s01 = hsum8(c01), s02 = hsum8(c02), s03 = hsum8(c03);
+        float s10 = hsum8(c10), s11 = hsum8(c11), s12 = hsum8(c12), s13 = hsum8(c13);
+        for (; l < k; ++l) {
+          const float x0 = a0[l], x1 = a1[l];
+          s00 = std::fma(x0, b0[l], s00);
+          s01 = std::fma(x0, b1[l], s01);
+          s02 = std::fma(x0, b2[l], s02);
+          s03 = std::fma(x0, b3[l], s03);
+          s10 = std::fma(x1, b0[l], s10);
+          s11 = std::fma(x1, b1[l], s11);
+          s12 = std::fma(x1, b2[l], s12);
+          s13 = std::fma(x1, b3[l], s13);
+        }
+        float* crow0 = c + i * n + j;
+        float* crow1 = crow0 + n;
+        crow0[0] = s00;
+        crow0[1] = s01;
+        crow0[2] = s02;
+        crow0[3] = s03;
+        crow1[0] = s10;
+        crow1[1] = s11;
+        crow1[2] = s12;
+        crow1[3] = s13;
+      }
+      for (; i < ie; ++i) {
+        const float* arow = a + i * k;
+        float* crow = c + i * n + j;
+        crow[0] = dot(arow, b0, k);
+        crow[1] = dot(arow, b1, k);
+        crow[2] = dot(arow, b2, k);
+        crow[3] = dot(arow, b3, k);
+      }
+    }
+    for (; j < n; ++j) {
+      const float* brow = b + j * k;
+      for (std::int64_t i = ib; i < ie; ++i) {
+        c[i * n + j] = dot(a + i * k, brow, k);
+      }
+    }
+  }
+}
+
+// bf16-B variant: 1 A row x 4 B rows (B bandwidth is already halved; the
+// simpler blocking keeps the decode in registers).
+void mm_nt_bf16(const float* a, const std::uint16_t* b, float* c, std::int64_t i0,
+                std::int64_t i1, std::int64_t n, std::int64_t k) {
+  constexpr std::int64_t kRowTile = 16;
+  for (std::int64_t ib = i0; ib < i1; ib += kRowTile) {
+    const std::int64_t ie = std::min(ib + kRowTile, i1);
+    std::int64_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const std::uint16_t* b0 = b + j * k;
+      const std::uint16_t* b1 = b0 + k;
+      const std::uint16_t* b2 = b1 + k;
+      const std::uint16_t* b3 = b2 + k;
+      for (std::int64_t i = ib; i < ie; ++i) {
+        const float* arow = a + i * k;
+        __m256 c0 = _mm256_setzero_ps(), c1 = _mm256_setzero_ps();
+        __m256 c2 = _mm256_setzero_ps(), c3 = _mm256_setzero_ps();
+        std::int64_t l = 0;
+        for (; l + 8 <= k; l += 8) {
+          const __m256 va = _mm256_loadu_ps(arow + l);
+          c0 = _mm256_fmadd_ps(va, bf16_load8(b0 + l), c0);
+          c1 = _mm256_fmadd_ps(va, bf16_load8(b1 + l), c1);
+          c2 = _mm256_fmadd_ps(va, bf16_load8(b2 + l), c2);
+          c3 = _mm256_fmadd_ps(va, bf16_load8(b3 + l), c3);
+        }
+        float s0 = hsum8(c0), s1 = hsum8(c1), s2 = hsum8(c2), s3 = hsum8(c3);
+        for (; l < k; ++l) {
+          const float av = arow[l];
+          s0 = std::fma(av, bf16_load1(b0[l]), s0);
+          s1 = std::fma(av, bf16_load1(b1[l]), s1);
+          s2 = std::fma(av, bf16_load1(b2[l]), s2);
+          s3 = std::fma(av, bf16_load1(b3[l]), s3);
+        }
+        float* crow = c + i * n + j;
+        crow[0] = s0;
+        crow[1] = s1;
+        crow[2] = s2;
+        crow[3] = s3;
+      }
+    }
+    for (; j < n; ++j) {
+      const std::uint16_t* brow = b + j * k;
+      for (std::int64_t i = ib; i < ie; ++i) {
+        c[i * n + j] = dot_bf16(a + i * k, brow, k);
+      }
+    }
+  }
+}
+
+// ---- matmul: C += A @ B ----------------------------------------------------
+//
+// Per output row: four broadcast A elements against four contiguous B rows,
+// j vectorized by 8. Per-element sequence (both vector lane and fmaf tail):
+//   crow[j] += fma(a1, b1[j], a0*b0[j]) + fma(a3, b3[j], a2*b2[j])
+void mm_nn(const float* a, const float* b, float* c, std::int64_t i0,
+           std::int64_t i1, std::int64_t n, std::int64_t k) {
+  for (std::int64_t i = i0; i < i1; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    std::int64_t l = 0;
+    for (; l + 4 <= k; l += 4) {
+      const float a0 = arow[l], a1 = arow[l + 1], a2 = arow[l + 2], a3 = arow[l + 3];
+      const float* b0 = b + l * n;
+      const float* b1 = b0 + n;
+      const float* b2 = b1 + n;
+      const float* b3 = b2 + n;
+      const __m256 va0 = _mm256_set1_ps(a0);
+      const __m256 va1 = _mm256_set1_ps(a1);
+      const __m256 va2 = _mm256_set1_ps(a2);
+      const __m256 va3 = _mm256_set1_ps(a3);
+      std::int64_t j = 0;
+      for (; j + 8 <= n; j += 8) {
+        const __m256 m01 =
+            _mm256_fmadd_ps(va1, _mm256_loadu_ps(b1 + j),
+                            _mm256_mul_ps(va0, _mm256_loadu_ps(b0 + j)));
+        const __m256 m23 =
+            _mm256_fmadd_ps(va3, _mm256_loadu_ps(b3 + j),
+                            _mm256_mul_ps(va2, _mm256_loadu_ps(b2 + j)));
+        _mm256_storeu_ps(crow + j, _mm256_add_ps(_mm256_loadu_ps(crow + j),
+                                                 _mm256_add_ps(m01, m23)));
+      }
+      for (; j < n; ++j) {
+        const float m01 = std::fma(a1, b1[j], a0 * b0[j]);
+        const float m23 = std::fma(a3, b3[j], a2 * b2[j]);
+        crow[j] += m01 + m23;
+      }
+    }
+    for (; l < k; ++l) {
+      const float av = arow[l];
+      const float* brow = b + l * n;
+      const __m256 vav = _mm256_set1_ps(av);
+      std::int64_t j = 0;
+      for (; j + 8 <= n; j += 8) {
+        _mm256_storeu_ps(crow + j, _mm256_fmadd_ps(vav, _mm256_loadu_ps(brow + j),
+                                                   _mm256_loadu_ps(crow + j)));
+      }
+      for (; j < n; ++j) crow[j] = std::fma(av, brow[j], crow[j]);
+    }
+  }
+}
+
+void mm_nn_bf16(const float* a, const std::uint16_t* b, float* c, std::int64_t i0,
+                std::int64_t i1, std::int64_t n, std::int64_t k) {
+  for (std::int64_t i = i0; i < i1; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    std::int64_t l = 0;
+    for (; l + 4 <= k; l += 4) {
+      const float a0 = arow[l], a1 = arow[l + 1], a2 = arow[l + 2], a3 = arow[l + 3];
+      const std::uint16_t* b0 = b + l * n;
+      const std::uint16_t* b1 = b0 + n;
+      const std::uint16_t* b2 = b1 + n;
+      const std::uint16_t* b3 = b2 + n;
+      const __m256 va0 = _mm256_set1_ps(a0);
+      const __m256 va1 = _mm256_set1_ps(a1);
+      const __m256 va2 = _mm256_set1_ps(a2);
+      const __m256 va3 = _mm256_set1_ps(a3);
+      std::int64_t j = 0;
+      for (; j + 8 <= n; j += 8) {
+        const __m256 m01 = _mm256_fmadd_ps(va1, bf16_load8(b1 + j),
+                                           _mm256_mul_ps(va0, bf16_load8(b0 + j)));
+        const __m256 m23 = _mm256_fmadd_ps(va3, bf16_load8(b3 + j),
+                                           _mm256_mul_ps(va2, bf16_load8(b2 + j)));
+        _mm256_storeu_ps(crow + j, _mm256_add_ps(_mm256_loadu_ps(crow + j),
+                                                 _mm256_add_ps(m01, m23)));
+      }
+      for (; j < n; ++j) {
+        const float m01 = std::fma(a1, bf16_load1(b1[j]), a0 * bf16_load1(b0[j]));
+        const float m23 = std::fma(a3, bf16_load1(b3[j]), a2 * bf16_load1(b2[j]));
+        crow[j] += m01 + m23;
+      }
+    }
+    for (; l < k; ++l) {
+      const float av = arow[l];
+      const std::uint16_t* brow = b + l * n;
+      const __m256 vav = _mm256_set1_ps(av);
+      std::int64_t j = 0;
+      for (; j + 8 <= n; j += 8) {
+        _mm256_storeu_ps(crow + j, _mm256_fmadd_ps(vav, bf16_load8(brow + j),
+                                                   _mm256_loadu_ps(crow + j)));
+      }
+      for (; j < n; ++j) crow[j] = std::fma(av, bf16_load1(brow[j]), crow[j]);
+    }
+  }
+}
+
+// ---- matmul_tn: C += A^T @ B -----------------------------------------------
+void mm_tn(const float* a, const float* b, float* c, std::int64_t i0,
+           std::int64_t i1, std::int64_t m, std::int64_t n, std::int64_t k) {
+  std::int64_t l = 0;
+  for (; l + 4 <= k; l += 4) {
+    const float* a0 = a + l * m;
+    const float* a1 = a0 + m;
+    const float* a2 = a1 + m;
+    const float* a3 = a2 + m;
+    const float* b0 = b + l * n;
+    const float* b1 = b0 + n;
+    const float* b2 = b1 + n;
+    const float* b3 = b2 + n;
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const float v0 = a0[i], v1 = a1[i], v2 = a2[i], v3 = a3[i];
+      const __m256 vv0 = _mm256_set1_ps(v0);
+      const __m256 vv1 = _mm256_set1_ps(v1);
+      const __m256 vv2 = _mm256_set1_ps(v2);
+      const __m256 vv3 = _mm256_set1_ps(v3);
+      float* crow = c + i * n;
+      std::int64_t j = 0;
+      for (; j + 8 <= n; j += 8) {
+        const __m256 m01 =
+            _mm256_fmadd_ps(vv1, _mm256_loadu_ps(b1 + j),
+                            _mm256_mul_ps(vv0, _mm256_loadu_ps(b0 + j)));
+        const __m256 m23 =
+            _mm256_fmadd_ps(vv3, _mm256_loadu_ps(b3 + j),
+                            _mm256_mul_ps(vv2, _mm256_loadu_ps(b2 + j)));
+        _mm256_storeu_ps(crow + j, _mm256_add_ps(_mm256_loadu_ps(crow + j),
+                                                 _mm256_add_ps(m01, m23)));
+      }
+      for (; j < n; ++j) {
+        const float m01 = std::fma(v1, b1[j], v0 * b0[j]);
+        const float m23 = std::fma(v3, b3[j], v2 * b2[j]);
+        crow[j] += m01 + m23;
+      }
+    }
+  }
+  for (; l < k; ++l) {
+    const float* arow = a + l * m;
+    const float* brow = b + l * n;
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const float av = arow[i];
+      const __m256 vav = _mm256_set1_ps(av);
+      float* crow = c + i * n;
+      std::int64_t j = 0;
+      for (; j + 8 <= n; j += 8) {
+        _mm256_storeu_ps(crow + j, _mm256_fmadd_ps(vav, _mm256_loadu_ps(brow + j),
+                                                   _mm256_loadu_ps(crow + j)));
+      }
+      for (; j < n; ++j) crow[j] = std::fma(av, brow[j], crow[j]);
+    }
+  }
+}
+
+// ---- reductions ------------------------------------------------------------
+
+float r_max(const float* x, std::int64_t n) {
+  if (n == 0) return -std::numeric_limits<float>::infinity();
+  if (n < 8) {
+    float best = x[0];
+    for (std::int64_t j = 1; j < n; ++j) best = std::max(best, x[j]);
+    return best;
+  }
+  __m256 m = _mm256_loadu_ps(x);
+  std::int64_t l = 8;
+  for (; l + 8 <= n; l += 8) m = _mm256_max_ps(m, _mm256_loadu_ps(x + l));
+  float best = hmax8(m);
+  for (; l < n; ++l) best = std::max(best, x[l]);
+  return best;
+}
+
+double r_sum(const float* x, std::int64_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  std::int64_t l = 0;
+  for (; l + 8 <= n; l += 8) {
+    const __m256 v = _mm256_loadu_ps(x + l);
+    acc0 = _mm256_add_pd(acc0, _mm256_cvtps_pd(_mm256_castps256_ps128(v)));
+    acc1 = _mm256_add_pd(acc1, _mm256_cvtps_pd(_mm256_extractf128_ps(v, 1)));
+  }
+  double s = hsum_pd(acc0, acc1);
+  for (; l < n; ++l) s += x[l];
+  return s;
+}
+
+// ---- exp -------------------------------------------------------------------
+//
+// Cephes-style single-precision exp (avx_mathfun coefficients): range-reduce
+// by log2(e), degree-5 polynomial in the reduced argument, scale by 2^n via
+// exponent-bit construction. Inputs below kExpLo flush to exactly 0 — masked
+// -inf logits must contribute nothing and receive zero gradient. exp_scalar
+// below is the bit-exact twin used for remainder elements.
+
+constexpr float kExpHi = 88.3762626647950f;
+constexpr float kExpLo = -87.3365478515625f;
+constexpr float kLog2E = 1.44269504088896341f;
+constexpr float kExpC1 = 0.693359375f;
+constexpr float kExpC2 = -2.12194440e-4f;
+constexpr float kExpP0 = 1.9875691500E-4f;
+constexpr float kExpP1 = 1.3981999507E-3f;
+constexpr float kExpP2 = 8.3334519073E-3f;
+constexpr float kExpP3 = 4.1665795894E-2f;
+constexpr float kExpP4 = 1.6666665459E-1f;
+constexpr float kExpP5 = 5.0000001201E-1f;
+
+inline __m256 exp8(__m256 x) {
+  const __m256 flush = _mm256_cmp_ps(x, _mm256_set1_ps(kExpLo), _CMP_LT_OQ);
+  x = _mm256_min_ps(x, _mm256_set1_ps(kExpHi));
+  x = _mm256_max_ps(x, _mm256_set1_ps(kExpLo));
+  __m256 fx = _mm256_fmadd_ps(x, _mm256_set1_ps(kLog2E), _mm256_set1_ps(0.5f));
+  fx = _mm256_floor_ps(fx);
+  x = _mm256_fnmadd_ps(fx, _mm256_set1_ps(kExpC1), x);
+  x = _mm256_fnmadd_ps(fx, _mm256_set1_ps(kExpC2), x);
+  const __m256 z = _mm256_mul_ps(x, x);
+  __m256 y = _mm256_set1_ps(kExpP0);
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(kExpP1));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(kExpP2));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(kExpP3));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(kExpP4));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(kExpP5));
+  y = _mm256_fmadd_ps(y, z, x);
+  y = _mm256_add_ps(y, _mm256_set1_ps(1.0f));
+  const __m256i n = _mm256_cvtps_epi32(fx);
+  const __m256i pow2 =
+      _mm256_slli_epi32(_mm256_add_epi32(n, _mm256_set1_epi32(0x7F)), 23);
+  y = _mm256_mul_ps(y, _mm256_castsi256_ps(pow2));
+  return _mm256_andnot_ps(flush, y);
+}
+
+// Bit-exact scalar twin of exp8: same ops in the same order, every
+// multiply-add fused (std::fma == vfmadd lane), clamps written to mirror
+// minps/maxps operand-order NaN semantics.
+inline float exp_scalar(float x) {
+  if (x < kExpLo) return 0.0f;
+  x = (x < kExpHi) ? x : kExpHi;
+  x = (x > kExpLo) ? x : kExpLo;
+  float fx = std::fma(x, kLog2E, 0.5f);
+  fx = std::floor(fx);
+  x = std::fma(-fx, kExpC1, x);
+  x = std::fma(-fx, kExpC2, x);
+  const float z = x * x;
+  float y = kExpP0;
+  y = std::fma(y, x, kExpP1);
+  y = std::fma(y, x, kExpP2);
+  y = std::fma(y, x, kExpP3);
+  y = std::fma(y, x, kExpP4);
+  y = std::fma(y, x, kExpP5);
+  y = std::fma(y, z, x);
+  y = y + 1.0f;
+  const int n = static_cast<int>(fx);
+  std::uint32_t pow2_bits = static_cast<std::uint32_t>(n + 0x7F) << 23;
+  float pow2;
+  std::memcpy(&pow2, &pow2_bits, sizeof(pow2));
+  return y * pow2;
+}
+
+double e_sum(const float* x, std::int64_t n, float shift) {
+  const __m256 vshift = _mm256_set1_ps(shift);
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  std::int64_t l = 0;
+  for (; l + 8 <= n; l += 8) {
+    const __m256 e = exp8(_mm256_sub_ps(_mm256_loadu_ps(x + l), vshift));
+    acc0 = _mm256_add_pd(acc0, _mm256_cvtps_pd(_mm256_castps256_ps128(e)));
+    acc1 = _mm256_add_pd(acc1, _mm256_cvtps_pd(_mm256_extractf128_ps(e, 1)));
+  }
+  double s = hsum_pd(acc0, acc1);
+  for (; l < n; ++l) s += exp_scalar(x[l] - shift);
+  return s;
+}
+
+void e_scale(const float* x, float* out, std::int64_t n, float shift, float scale) {
+  const __m256 vshift = _mm256_set1_ps(shift);
+  const __m256 vscale = _mm256_set1_ps(scale);
+  std::int64_t l = 0;
+  for (; l + 8 <= n; l += 8) {
+    const __m256 e = exp8(_mm256_sub_ps(_mm256_loadu_ps(x + l), vshift));
+    _mm256_storeu_ps(out + l, _mm256_mul_ps(e, vscale));
+  }
+  for (; l < n; ++l) out[l] = exp_scalar(x[l] - shift) * scale;
+}
+
+// ---- conversions / guards --------------------------------------------------
+
+void f32_to_b16(const float* src, std::uint16_t* dst, std::int64_t n) {
+  const __m256i abs_mask = _mm256_set1_epi32(0x7FFFFFFF);
+  const __m256i inf_bits = _mm256_set1_epi32(0x7F800000);
+  const __m256i one = _mm256_set1_epi32(1);
+  const __m256i round = _mm256_set1_epi32(0x7FFF);
+  const __m256i quiet = _mm256_set1_epi32(0x0040);
+  std::int64_t l = 0;
+  for (; l + 8 <= n; l += 8) {
+    const __m256i u =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + l));
+    const __m256i is_nan =
+        _mm256_cmpgt_epi32(_mm256_and_si256(u, abs_mask), inf_bits);
+    const __m256i lsb = _mm256_and_si256(_mm256_srli_epi32(u, 16), one);
+    const __m256i rounded =
+        _mm256_srli_epi32(_mm256_add_epi32(u, _mm256_add_epi32(round, lsb)), 16);
+    const __m256i nan16 = _mm256_or_si256(_mm256_srli_epi32(u, 16), quiet);
+    const __m256i res = _mm256_blendv_epi8(rounded, nan16, is_nan);
+    const __m256i packed = _mm256_packus_epi32(res, res);
+    const __m128i lo = _mm256_castsi256_si128(packed);
+    const __m128i hi = _mm256_extracti128_si256(packed, 1);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + l),
+                     _mm_unpacklo_epi64(lo, hi));
+  }
+  for (; l < n; ++l) {
+    std::uint32_t u;
+    std::memcpy(&u, src + l, sizeof(u));
+    if ((u & 0x7FFFFFFFu) > 0x7F800000u) {
+      dst[l] = static_cast<std::uint16_t>((u >> 16) | 0x0040u);
+    } else {
+      u += 0x7FFFu + ((u >> 16) & 1u);
+      dst[l] = static_cast<std::uint16_t>(u >> 16);
+    }
+  }
+}
+
+// NaN check via cmpgt on signed ints: (u & 0x7FFFFFFF) > 0x7F800000 works
+// because abs bits of any float fit in a non-negative signed int32.
+
+void b16_to_f32(const std::uint16_t* src, float* dst, std::int64_t n) {
+  std::int64_t l = 0;
+  for (; l + 8 <= n; l += 8) {
+    _mm256_storeu_ps(dst + l, bf16_load8(src + l));
+  }
+  for (; l < n; ++l) dst[l] = bf16_load1(src[l]);
+}
+
+std::int64_t nonfinite(const float* x, std::int64_t n) {
+  const __m256i exp_mask = _mm256_set1_epi32(0x7F800000);
+  __m256i cnt = _mm256_setzero_si256();
+  std::int64_t l = 0;
+  for (; l + 8 <= n; l += 8) {
+    const __m256i u = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + l));
+    const __m256i hit =
+        _mm256_cmpeq_epi32(_mm256_and_si256(u, exp_mask), exp_mask);
+    cnt = _mm256_sub_epi32(cnt, hit);
+  }
+  alignas(32) std::int32_t lanes[8];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), cnt);
+  std::int64_t count = 0;
+  for (const std::int32_t v : lanes) count += v;
+  for (; l < n; ++l) {
+    std::uint32_t u;
+    std::memcpy(&u, x + l, sizeof(u));
+    count += ((u & 0x7F800000u) == 0x7F800000u) ? 1 : 0;
+  }
+  return count;
+}
+
+}  // namespace
+
+const Kernels* avx2_table() {
+  static const Kernels table = {
+      &mm_nn,  &mm_nt,       &mm_tn,      &mm_nn_bf16, &mm_nt_bf16, &r_max,
+      &r_sum,  &e_sum,       &e_scale,    &f32_to_b16, &b16_to_f32,
+      &nonfinite,
+  };
+  return &table;
+}
+
+}  // namespace vocab::simd::detail
+
+#else  // build without AVX2+FMA codegen: no AVX2 table.
+
+#include "tensor/simd_tables.h"
+
+namespace vocab::simd::detail {
+const Kernels* avx2_table() { return nullptr; }
+}  // namespace vocab::simd::detail
+
+#endif

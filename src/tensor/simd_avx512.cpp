@@ -1,0 +1,578 @@
+// AVX-512 (F/BW/DQ/VL) kernel table: the AVX2 algorithms at 16 lanes, with
+// mask registers for the blends. Same element-consistency discipline — the
+// scalar tails are fused-FMA twins of the vector lanes, so an element's bits
+// do not depend on which path produced it.
+
+#if defined(__AVX512F__) && defined(__AVX512BW__) && defined(__AVX512DQ__) && \
+    defined(__AVX512VL__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+#include "tensor/simd_tables.h"
+
+namespace vocab::simd::detail {
+
+namespace {
+
+// ---- shared helpers --------------------------------------------------------
+
+inline float hsum8_avx(__m256 v) {
+  const __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  __m128 s = _mm_add_ps(lo, hi);
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 0x1));
+  return _mm_cvtss_f32(s);
+}
+
+// Fixed tree: halves first, then the 8-lane tree.
+inline float hsum16(__m512 v) {
+  const __m256 lo = _mm512_castps512_ps256(v);
+  const __m256 hi = _mm512_extractf32x8_ps(v, 1);
+  return hsum8_avx(_mm256_add_ps(lo, hi));
+}
+
+inline float hmax16(__m512 v) {
+  const __m256 lo = _mm512_castps512_ps256(v);
+  const __m256 hi = _mm512_extractf32x8_ps(v, 1);
+  const __m256 m8 = _mm256_max_ps(lo, hi);
+  const __m128 l = _mm256_castps256_ps128(m8);
+  const __m128 h = _mm256_extractf128_ps(m8, 1);
+  __m128 s = _mm_max_ps(l, h);
+  s = _mm_max_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_max_ss(s, _mm_shuffle_ps(s, s, 0x1));
+  return _mm_cvtss_f32(s);
+}
+
+inline double hsum_pd16(__m512d a, __m512d b) {
+  const __m512d s = _mm512_add_pd(a, b);
+  const __m256d lo = _mm512_castpd512_pd256(s);
+  const __m256d hi = _mm512_extractf64x4_pd(s, 1);
+  const __m256d q = _mm256_add_pd(lo, hi);
+  const __m128d l = _mm256_castpd256_pd128(q);
+  const __m128d h = _mm256_extractf128_pd(q, 1);
+  __m128d t = _mm_add_pd(l, h);
+  t = _mm_add_sd(t, _mm_unpackhi_pd(t, t));
+  return _mm_cvtsd_f64(t);
+}
+
+inline __m512 bf16_load16(const std::uint16_t* p) {
+  const __m256i h = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  const __m512i w = _mm512_cvtepu16_epi32(h);
+  return _mm512_castsi512_ps(_mm512_slli_epi32(w, 16));
+}
+
+inline float bf16_load1(std::uint16_t h) {
+  const std::uint32_t u = static_cast<std::uint32_t>(h) << 16;
+  float f;
+  std::memcpy(&f, &u, sizeof(f));
+  return f;
+}
+
+inline float dot(const float* a, const float* b, std::int64_t k) {
+  __m512 acc = _mm512_setzero_ps();
+  std::int64_t l = 0;
+  for (; l + 16 <= k; l += 16) {
+    acc = _mm512_fmadd_ps(_mm512_loadu_ps(a + l), _mm512_loadu_ps(b + l), acc);
+  }
+  float s = hsum16(acc);
+  for (; l < k; ++l) s = std::fma(a[l], b[l], s);
+  return s;
+}
+
+inline float dot_bf16(const float* a, const std::uint16_t* b, std::int64_t k) {
+  __m512 acc = _mm512_setzero_ps();
+  std::int64_t l = 0;
+  for (; l + 16 <= k; l += 16) {
+    acc = _mm512_fmadd_ps(_mm512_loadu_ps(a + l), bf16_load16(b + l), acc);
+  }
+  float s = hsum16(acc);
+  for (; l < k; ++l) s = std::fma(a[l], bf16_load1(b[l]), s);
+  return s;
+}
+
+// ---- matmul_nt: C = A @ B^T ------------------------------------------------
+
+void mm_nt(const float* a, const float* b, float* c, std::int64_t i0,
+           std::int64_t i1, std::int64_t n, std::int64_t k) {
+  constexpr std::int64_t kRowTile = 16;
+  for (std::int64_t ib = i0; ib < i1; ib += kRowTile) {
+    const std::int64_t ie = std::min(ib + kRowTile, i1);
+    std::int64_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const float* b0 = b + j * k;
+      const float* b1 = b0 + k;
+      const float* b2 = b1 + k;
+      const float* b3 = b2 + k;
+      std::int64_t i = ib;
+      for (; i + 2 <= ie; i += 2) {
+        const float* a0 = a + i * k;
+        const float* a1 = a0 + k;
+        __m512 c00 = _mm512_setzero_ps(), c01 = _mm512_setzero_ps();
+        __m512 c02 = _mm512_setzero_ps(), c03 = _mm512_setzero_ps();
+        __m512 c10 = _mm512_setzero_ps(), c11 = _mm512_setzero_ps();
+        __m512 c12 = _mm512_setzero_ps(), c13 = _mm512_setzero_ps();
+        std::int64_t l = 0;
+        for (; l + 16 <= k; l += 16) {
+          const __m512 va0 = _mm512_loadu_ps(a0 + l);
+          const __m512 va1 = _mm512_loadu_ps(a1 + l);
+          __m512 vb = _mm512_loadu_ps(b0 + l);
+          c00 = _mm512_fmadd_ps(va0, vb, c00);
+          c10 = _mm512_fmadd_ps(va1, vb, c10);
+          vb = _mm512_loadu_ps(b1 + l);
+          c01 = _mm512_fmadd_ps(va0, vb, c01);
+          c11 = _mm512_fmadd_ps(va1, vb, c11);
+          vb = _mm512_loadu_ps(b2 + l);
+          c02 = _mm512_fmadd_ps(va0, vb, c02);
+          c12 = _mm512_fmadd_ps(va1, vb, c12);
+          vb = _mm512_loadu_ps(b3 + l);
+          c03 = _mm512_fmadd_ps(va0, vb, c03);
+          c13 = _mm512_fmadd_ps(va1, vb, c13);
+        }
+        float s00 = hsum16(c00), s01 = hsum16(c01), s02 = hsum16(c02), s03 = hsum16(c03);
+        float s10 = hsum16(c10), s11 = hsum16(c11), s12 = hsum16(c12), s13 = hsum16(c13);
+        for (; l < k; ++l) {
+          const float x0 = a0[l], x1 = a1[l];
+          s00 = std::fma(x0, b0[l], s00);
+          s01 = std::fma(x0, b1[l], s01);
+          s02 = std::fma(x0, b2[l], s02);
+          s03 = std::fma(x0, b3[l], s03);
+          s10 = std::fma(x1, b0[l], s10);
+          s11 = std::fma(x1, b1[l], s11);
+          s12 = std::fma(x1, b2[l], s12);
+          s13 = std::fma(x1, b3[l], s13);
+        }
+        float* crow0 = c + i * n + j;
+        float* crow1 = crow0 + n;
+        crow0[0] = s00;
+        crow0[1] = s01;
+        crow0[2] = s02;
+        crow0[3] = s03;
+        crow1[0] = s10;
+        crow1[1] = s11;
+        crow1[2] = s12;
+        crow1[3] = s13;
+      }
+      for (; i < ie; ++i) {
+        const float* arow = a + i * k;
+        float* crow = c + i * n + j;
+        crow[0] = dot(arow, b0, k);
+        crow[1] = dot(arow, b1, k);
+        crow[2] = dot(arow, b2, k);
+        crow[3] = dot(arow, b3, k);
+      }
+    }
+    for (; j < n; ++j) {
+      const float* brow = b + j * k;
+      for (std::int64_t i = ib; i < ie; ++i) {
+        c[i * n + j] = dot(a + i * k, brow, k);
+      }
+    }
+  }
+}
+
+void mm_nt_bf16(const float* a, const std::uint16_t* b, float* c, std::int64_t i0,
+                std::int64_t i1, std::int64_t n, std::int64_t k) {
+  constexpr std::int64_t kRowTile = 16;
+  for (std::int64_t ib = i0; ib < i1; ib += kRowTile) {
+    const std::int64_t ie = std::min(ib + kRowTile, i1);
+    std::int64_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const std::uint16_t* b0 = b + j * k;
+      const std::uint16_t* b1 = b0 + k;
+      const std::uint16_t* b2 = b1 + k;
+      const std::uint16_t* b3 = b2 + k;
+      for (std::int64_t i = ib; i < ie; ++i) {
+        const float* arow = a + i * k;
+        __m512 c0 = _mm512_setzero_ps(), c1 = _mm512_setzero_ps();
+        __m512 c2 = _mm512_setzero_ps(), c3 = _mm512_setzero_ps();
+        std::int64_t l = 0;
+        for (; l + 16 <= k; l += 16) {
+          const __m512 va = _mm512_loadu_ps(arow + l);
+          c0 = _mm512_fmadd_ps(va, bf16_load16(b0 + l), c0);
+          c1 = _mm512_fmadd_ps(va, bf16_load16(b1 + l), c1);
+          c2 = _mm512_fmadd_ps(va, bf16_load16(b2 + l), c2);
+          c3 = _mm512_fmadd_ps(va, bf16_load16(b3 + l), c3);
+        }
+        float s0 = hsum16(c0), s1 = hsum16(c1), s2 = hsum16(c2), s3 = hsum16(c3);
+        for (; l < k; ++l) {
+          const float av = arow[l];
+          s0 = std::fma(av, bf16_load1(b0[l]), s0);
+          s1 = std::fma(av, bf16_load1(b1[l]), s1);
+          s2 = std::fma(av, bf16_load1(b2[l]), s2);
+          s3 = std::fma(av, bf16_load1(b3[l]), s3);
+        }
+        float* crow = c + i * n + j;
+        crow[0] = s0;
+        crow[1] = s1;
+        crow[2] = s2;
+        crow[3] = s3;
+      }
+    }
+    for (; j < n; ++j) {
+      const std::uint16_t* brow = b + j * k;
+      for (std::int64_t i = ib; i < ie; ++i) {
+        c[i * n + j] = dot_bf16(a + i * k, brow, k);
+      }
+    }
+  }
+}
+
+// ---- matmul: C += A @ B ----------------------------------------------------
+
+void mm_nn(const float* a, const float* b, float* c, std::int64_t i0,
+           std::int64_t i1, std::int64_t n, std::int64_t k) {
+  for (std::int64_t i = i0; i < i1; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    std::int64_t l = 0;
+    for (; l + 4 <= k; l += 4) {
+      const float a0 = arow[l], a1 = arow[l + 1], a2 = arow[l + 2], a3 = arow[l + 3];
+      const float* b0 = b + l * n;
+      const float* b1 = b0 + n;
+      const float* b2 = b1 + n;
+      const float* b3 = b2 + n;
+      const __m512 va0 = _mm512_set1_ps(a0);
+      const __m512 va1 = _mm512_set1_ps(a1);
+      const __m512 va2 = _mm512_set1_ps(a2);
+      const __m512 va3 = _mm512_set1_ps(a3);
+      std::int64_t j = 0;
+      for (; j + 16 <= n; j += 16) {
+        const __m512 m01 =
+            _mm512_fmadd_ps(va1, _mm512_loadu_ps(b1 + j),
+                            _mm512_mul_ps(va0, _mm512_loadu_ps(b0 + j)));
+        const __m512 m23 =
+            _mm512_fmadd_ps(va3, _mm512_loadu_ps(b3 + j),
+                            _mm512_mul_ps(va2, _mm512_loadu_ps(b2 + j)));
+        _mm512_storeu_ps(crow + j, _mm512_add_ps(_mm512_loadu_ps(crow + j),
+                                                 _mm512_add_ps(m01, m23)));
+      }
+      for (; j < n; ++j) {
+        const float m01 = std::fma(a1, b1[j], a0 * b0[j]);
+        const float m23 = std::fma(a3, b3[j], a2 * b2[j]);
+        crow[j] += m01 + m23;
+      }
+    }
+    for (; l < k; ++l) {
+      const float av = arow[l];
+      const float* brow = b + l * n;
+      const __m512 vav = _mm512_set1_ps(av);
+      std::int64_t j = 0;
+      for (; j + 16 <= n; j += 16) {
+        _mm512_storeu_ps(crow + j, _mm512_fmadd_ps(vav, _mm512_loadu_ps(brow + j),
+                                                   _mm512_loadu_ps(crow + j)));
+      }
+      for (; j < n; ++j) crow[j] = std::fma(av, brow[j], crow[j]);
+    }
+  }
+}
+
+void mm_nn_bf16(const float* a, const std::uint16_t* b, float* c, std::int64_t i0,
+                std::int64_t i1, std::int64_t n, std::int64_t k) {
+  for (std::int64_t i = i0; i < i1; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    std::int64_t l = 0;
+    for (; l + 4 <= k; l += 4) {
+      const float a0 = arow[l], a1 = arow[l + 1], a2 = arow[l + 2], a3 = arow[l + 3];
+      const std::uint16_t* b0 = b + l * n;
+      const std::uint16_t* b1 = b0 + n;
+      const std::uint16_t* b2 = b1 + n;
+      const std::uint16_t* b3 = b2 + n;
+      const __m512 va0 = _mm512_set1_ps(a0);
+      const __m512 va1 = _mm512_set1_ps(a1);
+      const __m512 va2 = _mm512_set1_ps(a2);
+      const __m512 va3 = _mm512_set1_ps(a3);
+      std::int64_t j = 0;
+      for (; j + 16 <= n; j += 16) {
+        const __m512 m01 = _mm512_fmadd_ps(va1, bf16_load16(b1 + j),
+                                           _mm512_mul_ps(va0, bf16_load16(b0 + j)));
+        const __m512 m23 = _mm512_fmadd_ps(va3, bf16_load16(b3 + j),
+                                           _mm512_mul_ps(va2, bf16_load16(b2 + j)));
+        _mm512_storeu_ps(crow + j, _mm512_add_ps(_mm512_loadu_ps(crow + j),
+                                                 _mm512_add_ps(m01, m23)));
+      }
+      for (; j < n; ++j) {
+        const float m01 = std::fma(a1, bf16_load1(b1[j]), a0 * bf16_load1(b0[j]));
+        const float m23 = std::fma(a3, bf16_load1(b3[j]), a2 * bf16_load1(b2[j]));
+        crow[j] += m01 + m23;
+      }
+    }
+    for (; l < k; ++l) {
+      const float av = arow[l];
+      const std::uint16_t* brow = b + l * n;
+      const __m512 vav = _mm512_set1_ps(av);
+      std::int64_t j = 0;
+      for (; j + 16 <= n; j += 16) {
+        _mm512_storeu_ps(crow + j, _mm512_fmadd_ps(vav, bf16_load16(brow + j),
+                                                   _mm512_loadu_ps(crow + j)));
+      }
+      for (; j < n; ++j) crow[j] = std::fma(av, bf16_load1(brow[j]), crow[j]);
+    }
+  }
+}
+
+// ---- matmul_tn: C += A^T @ B -----------------------------------------------
+
+void mm_tn(const float* a, const float* b, float* c, std::int64_t i0,
+           std::int64_t i1, std::int64_t m, std::int64_t n, std::int64_t k) {
+  std::int64_t l = 0;
+  for (; l + 4 <= k; l += 4) {
+    const float* a0 = a + l * m;
+    const float* a1 = a0 + m;
+    const float* a2 = a1 + m;
+    const float* a3 = a2 + m;
+    const float* b0 = b + l * n;
+    const float* b1 = b0 + n;
+    const float* b2 = b1 + n;
+    const float* b3 = b2 + n;
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const float v0 = a0[i], v1 = a1[i], v2 = a2[i], v3 = a3[i];
+      const __m512 vv0 = _mm512_set1_ps(v0);
+      const __m512 vv1 = _mm512_set1_ps(v1);
+      const __m512 vv2 = _mm512_set1_ps(v2);
+      const __m512 vv3 = _mm512_set1_ps(v3);
+      float* crow = c + i * n;
+      std::int64_t j = 0;
+      for (; j + 16 <= n; j += 16) {
+        const __m512 m01 =
+            _mm512_fmadd_ps(vv1, _mm512_loadu_ps(b1 + j),
+                            _mm512_mul_ps(vv0, _mm512_loadu_ps(b0 + j)));
+        const __m512 m23 =
+            _mm512_fmadd_ps(vv3, _mm512_loadu_ps(b3 + j),
+                            _mm512_mul_ps(vv2, _mm512_loadu_ps(b2 + j)));
+        _mm512_storeu_ps(crow + j, _mm512_add_ps(_mm512_loadu_ps(crow + j),
+                                                 _mm512_add_ps(m01, m23)));
+      }
+      for (; j < n; ++j) {
+        const float m01 = std::fma(v1, b1[j], v0 * b0[j]);
+        const float m23 = std::fma(v3, b3[j], v2 * b2[j]);
+        crow[j] += m01 + m23;
+      }
+    }
+  }
+  for (; l < k; ++l) {
+    const float* arow = a + l * m;
+    const float* brow = b + l * n;
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const float av = arow[i];
+      const __m512 vav = _mm512_set1_ps(av);
+      float* crow = c + i * n;
+      std::int64_t j = 0;
+      for (; j + 16 <= n; j += 16) {
+        _mm512_storeu_ps(crow + j, _mm512_fmadd_ps(vav, _mm512_loadu_ps(brow + j),
+                                                   _mm512_loadu_ps(crow + j)));
+      }
+      for (; j < n; ++j) crow[j] = std::fma(av, brow[j], crow[j]);
+    }
+  }
+}
+
+// ---- reductions ------------------------------------------------------------
+
+float r_max(const float* x, std::int64_t n) {
+  if (n == 0) return -std::numeric_limits<float>::infinity();
+  if (n < 16) {
+    float best = x[0];
+    for (std::int64_t j = 1; j < n; ++j) best = std::max(best, x[j]);
+    return best;
+  }
+  __m512 m = _mm512_loadu_ps(x);
+  std::int64_t l = 16;
+  for (; l + 16 <= n; l += 16) m = _mm512_max_ps(m, _mm512_loadu_ps(x + l));
+  float best = hmax16(m);
+  for (; l < n; ++l) best = std::max(best, x[l]);
+  return best;
+}
+
+double r_sum(const float* x, std::int64_t n) {
+  __m512d acc0 = _mm512_setzero_pd();
+  __m512d acc1 = _mm512_setzero_pd();
+  std::int64_t l = 0;
+  for (; l + 16 <= n; l += 16) {
+    const __m512 v = _mm512_loadu_ps(x + l);
+    acc0 = _mm512_add_pd(acc0, _mm512_cvtps_pd(_mm512_castps512_ps256(v)));
+    acc1 = _mm512_add_pd(acc1, _mm512_cvtps_pd(_mm512_extractf32x8_ps(v, 1)));
+  }
+  double s = hsum_pd16(acc0, acc1);
+  for (; l < n; ++l) s += x[l];
+  return s;
+}
+
+// ---- exp -------------------------------------------------------------------
+
+constexpr float kExpHi = 88.3762626647950f;
+constexpr float kExpLo = -87.3365478515625f;
+constexpr float kLog2E = 1.44269504088896341f;
+constexpr float kExpC1 = 0.693359375f;
+constexpr float kExpC2 = -2.12194440e-4f;
+constexpr float kExpP0 = 1.9875691500E-4f;
+constexpr float kExpP1 = 1.3981999507E-3f;
+constexpr float kExpP2 = 8.3334519073E-3f;
+constexpr float kExpP3 = 4.1665795894E-2f;
+constexpr float kExpP4 = 1.6666665459E-1f;
+constexpr float kExpP5 = 5.0000001201E-1f;
+
+inline __m512 exp16(__m512 x) {
+  const __mmask16 flush =
+      _mm512_cmp_ps_mask(x, _mm512_set1_ps(kExpLo), _CMP_LT_OQ);
+  x = _mm512_min_ps(x, _mm512_set1_ps(kExpHi));
+  x = _mm512_max_ps(x, _mm512_set1_ps(kExpLo));
+  __m512 fx = _mm512_fmadd_ps(x, _mm512_set1_ps(kLog2E), _mm512_set1_ps(0.5f));
+  fx = _mm512_roundscale_ps(fx, _MM_FROUND_TO_NEG_INF | _MM_FROUND_NO_EXC);
+  x = _mm512_fnmadd_ps(fx, _mm512_set1_ps(kExpC1), x);
+  x = _mm512_fnmadd_ps(fx, _mm512_set1_ps(kExpC2), x);
+  const __m512 z = _mm512_mul_ps(x, x);
+  __m512 y = _mm512_set1_ps(kExpP0);
+  y = _mm512_fmadd_ps(y, x, _mm512_set1_ps(kExpP1));
+  y = _mm512_fmadd_ps(y, x, _mm512_set1_ps(kExpP2));
+  y = _mm512_fmadd_ps(y, x, _mm512_set1_ps(kExpP3));
+  y = _mm512_fmadd_ps(y, x, _mm512_set1_ps(kExpP4));
+  y = _mm512_fmadd_ps(y, x, _mm512_set1_ps(kExpP5));
+  y = _mm512_fmadd_ps(y, z, x);
+  y = _mm512_add_ps(y, _mm512_set1_ps(1.0f));
+  const __m512i n = _mm512_cvtps_epi32(fx);
+  const __m512i pow2 =
+      _mm512_slli_epi32(_mm512_add_epi32(n, _mm512_set1_epi32(0x7F)), 23);
+  y = _mm512_mul_ps(y, _mm512_castsi512_ps(pow2));
+  return _mm512_mask_blend_ps(flush, y, _mm512_setzero_ps());
+}
+
+inline float exp_scalar(float x) {
+  if (x < kExpLo) return 0.0f;
+  x = (x < kExpHi) ? x : kExpHi;
+  x = (x > kExpLo) ? x : kExpLo;
+  float fx = std::fma(x, kLog2E, 0.5f);
+  fx = std::floor(fx);
+  x = std::fma(-fx, kExpC1, x);
+  x = std::fma(-fx, kExpC2, x);
+  const float z = x * x;
+  float y = kExpP0;
+  y = std::fma(y, x, kExpP1);
+  y = std::fma(y, x, kExpP2);
+  y = std::fma(y, x, kExpP3);
+  y = std::fma(y, x, kExpP4);
+  y = std::fma(y, x, kExpP5);
+  y = std::fma(y, z, x);
+  y = y + 1.0f;
+  const int n = static_cast<int>(fx);
+  const std::uint32_t pow2_bits = static_cast<std::uint32_t>(n + 0x7F) << 23;
+  float pow2;
+  std::memcpy(&pow2, &pow2_bits, sizeof(pow2));
+  return y * pow2;
+}
+
+double e_sum(const float* x, std::int64_t n, float shift) {
+  const __m512 vshift = _mm512_set1_ps(shift);
+  __m512d acc0 = _mm512_setzero_pd();
+  __m512d acc1 = _mm512_setzero_pd();
+  std::int64_t l = 0;
+  for (; l + 16 <= n; l += 16) {
+    const __m512 e = exp16(_mm512_sub_ps(_mm512_loadu_ps(x + l), vshift));
+    acc0 = _mm512_add_pd(acc0, _mm512_cvtps_pd(_mm512_castps512_ps256(e)));
+    acc1 = _mm512_add_pd(acc1, _mm512_cvtps_pd(_mm512_extractf32x8_ps(e, 1)));
+  }
+  double s = hsum_pd16(acc0, acc1);
+  for (; l < n; ++l) s += exp_scalar(x[l] - shift);
+  return s;
+}
+
+void e_scale(const float* x, float* out, std::int64_t n, float shift, float scale) {
+  const __m512 vshift = _mm512_set1_ps(shift);
+  const __m512 vscale = _mm512_set1_ps(scale);
+  std::int64_t l = 0;
+  for (; l + 16 <= n; l += 16) {
+    const __m512 e = exp16(_mm512_sub_ps(_mm512_loadu_ps(x + l), vshift));
+    _mm512_storeu_ps(out + l, _mm512_mul_ps(e, vscale));
+  }
+  for (; l < n; ++l) out[l] = exp_scalar(x[l] - shift) * scale;
+}
+
+// ---- conversions / guards --------------------------------------------------
+
+void f32_to_b16(const float* src, std::uint16_t* dst, std::int64_t n) {
+  const __m512i abs_mask = _mm512_set1_epi32(0x7FFFFFFF);
+  const __m512i inf_bits = _mm512_set1_epi32(0x7F800000);
+  const __m512i one = _mm512_set1_epi32(1);
+  const __m512i round = _mm512_set1_epi32(0x7FFF);
+  const __m512i quiet = _mm512_set1_epi32(0x0040);
+  std::int64_t l = 0;
+  for (; l + 16 <= n; l += 16) {
+    const __m512i u =
+        _mm512_loadu_si512(reinterpret_cast<const void*>(src + l));
+    const __mmask16 is_nan =
+        _mm512_cmpgt_epi32_mask(_mm512_and_si512(u, abs_mask), inf_bits);
+    const __m512i lsb = _mm512_and_si512(_mm512_srli_epi32(u, 16), one);
+    const __m512i rounded =
+        _mm512_srli_epi32(_mm512_add_epi32(u, _mm512_add_epi32(round, lsb)), 16);
+    const __m512i nan16 = _mm512_or_si512(_mm512_srli_epi32(u, 16), quiet);
+    const __m512i res = _mm512_mask_blend_epi32(is_nan, rounded, nan16);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + l),
+                        _mm512_cvtepi32_epi16(res));
+  }
+  for (; l < n; ++l) {
+    std::uint32_t u;
+    std::memcpy(&u, src + l, sizeof(u));
+    if ((u & 0x7FFFFFFFu) > 0x7F800000u) {
+      dst[l] = static_cast<std::uint16_t>((u >> 16) | 0x0040u);
+    } else {
+      u += 0x7FFFu + ((u >> 16) & 1u);
+      dst[l] = static_cast<std::uint16_t>(u >> 16);
+    }
+  }
+}
+
+void b16_to_f32(const std::uint16_t* src, float* dst, std::int64_t n) {
+  std::int64_t l = 0;
+  for (; l + 16 <= n; l += 16) {
+    _mm512_storeu_ps(dst + l, bf16_load16(src + l));
+  }
+  for (; l < n; ++l) dst[l] = bf16_load1(src[l]);
+}
+
+std::int64_t nonfinite(const float* x, std::int64_t n) {
+  const __m512i exp_mask = _mm512_set1_epi32(0x7F800000);
+  std::int64_t count = 0;
+  std::int64_t l = 0;
+  for (; l + 16 <= n; l += 16) {
+    const __m512i u = _mm512_loadu_si512(reinterpret_cast<const void*>(x + l));
+    const __mmask16 hit =
+        _mm512_cmpeq_epi32_mask(_mm512_and_si512(u, exp_mask), exp_mask);
+    count += __builtin_popcount(static_cast<unsigned>(hit));
+  }
+  for (; l < n; ++l) {
+    std::uint32_t u;
+    std::memcpy(&u, x + l, sizeof(u));
+    count += ((u & 0x7F800000u) == 0x7F800000u) ? 1 : 0;
+  }
+  return count;
+}
+
+}  // namespace
+
+const Kernels* avx512_table() {
+  static const Kernels table = {
+      &mm_nn,  &mm_nt,       &mm_tn,      &mm_nn_bf16, &mm_nt_bf16, &r_max,
+      &r_sum,  &e_sum,       &e_scale,    &f32_to_b16, &b16_to_f32,
+      &nonfinite,
+  };
+  return &table;
+}
+
+}  // namespace vocab::simd::detail
+
+#else  // build without AVX-512 codegen: no AVX-512 table.
+
+#include "tensor/simd_tables.h"
+
+namespace vocab::simd::detail {
+const Kernels* avx512_table() { return nullptr; }
+}  // namespace vocab::simd::detail
+
+#endif

@@ -1,0 +1,46 @@
+#pragma once
+
+// Internal glue between the dispatch layer (simd.cpp) and the per-ISA
+// translation units (simd_avx2.cpp, simd_avx512.cpp, simd_neon.cpp). Each TU
+// is compiled with its own -m flags and exports its table — or nullptr when
+// the build targets a different architecture. The scalar reference kernels
+// are also exported so ISA tables can fall back to them entry-by-entry
+// (NEON only vectorizes the matmul + conversion kernels, for example).
+//
+// Not part of the public API; include simd.h instead.
+
+#include "tensor/simd.h"
+
+namespace vocab::simd::detail {
+
+/// Table for the ISA, or nullptr when this build cannot execute it. (CPU
+/// support is checked separately by the dispatcher.)
+[[nodiscard]] const Kernels* avx2_table();
+[[nodiscard]] const Kernels* avx512_table();
+[[nodiscard]] const Kernels* neon_table();
+
+/// The scalar reference table (always available).
+[[nodiscard]] const Kernels& scalar_table();
+
+// Individual scalar kernels, reusable as fallback entries in ISA tables.
+void s_matmul_rows(const float* a, const float* b, float* c, std::int64_t i0,
+                   std::int64_t i1, std::int64_t n, std::int64_t k);
+void s_matmul_nt_rows(const float* a, const float* b, float* c, std::int64_t i0,
+                      std::int64_t i1, std::int64_t n, std::int64_t k);
+void s_matmul_tn_rows(const float* a, const float* b, float* c, std::int64_t i0,
+                      std::int64_t i1, std::int64_t m, std::int64_t n, std::int64_t k);
+void s_matmul_bf16_rows(const float* a, const std::uint16_t* b, float* c,
+                        std::int64_t i0, std::int64_t i1, std::int64_t n,
+                        std::int64_t k);
+void s_matmul_nt_bf16_rows(const float* a, const std::uint16_t* b, float* c,
+                           std::int64_t i0, std::int64_t i1, std::int64_t n,
+                           std::int64_t k);
+float s_reduce_max(const float* x, std::int64_t n);
+double s_reduce_sum(const float* x, std::int64_t n);
+double s_exp_sum(const float* x, std::int64_t n, float shift);
+void s_exp_scale(const float* x, float* out, std::int64_t n, float shift, float scale);
+void s_fp32_to_bf16(const float* src, std::uint16_t* dst, std::int64_t n);
+void s_bf16_to_fp32(const std::uint16_t* src, float* dst, std::int64_t n);
+std::int64_t s_nonfinite_count(const float* x, std::int64_t n);
+
+}  // namespace vocab::simd::detail

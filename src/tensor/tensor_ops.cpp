@@ -5,6 +5,8 @@
 
 #include "common/error.h"
 #include "parallel/thread_pool.h"
+#include "tensor/bf16.h"
+#include "tensor/simd.h"
 
 namespace vocab {
 
@@ -23,59 +25,10 @@ std::int64_t row_grain(std::int64_t steps_per_row) {
   return std::max<std::int64_t>(1, kGrainSteps / std::max<std::int64_t>(steps_per_row, 1));
 }
 
-// SIMD lane width for the dot-product kernels. The lane accumulators below
-// are plain float arrays in a fixed pattern the compiler turns into packed
-// FMAs; the width is a constant of the kernel, never of the machine the
-// result is observed on, so outputs are identical for any thread count.
-constexpr std::int64_t kLanes = 8;
-
-float horizontal_sum(const float* l) {
-  // Fixed reduction tree — part of the determinism contract.
-  return ((l[0] + l[1]) + (l[2] + l[3])) + ((l[4] + l[5]) + (l[6] + l[7]));
-}
-
-// Four simultaneous dot products of `a` against b0..b3 (all length k). Row
-// register blocking: `a` is read once for four outputs, and each output gets
-// kLanes independent accumulator chains so the k-loop is vectorizable
-// without reassociating across lanes.
-void dot4(const float* a, const float* b0, const float* b1, const float* b2,
-          const float* b3, std::int64_t k, float* out) {
-  float l0[kLanes] = {}, l1[kLanes] = {}, l2[kLanes] = {}, l3[kLanes] = {};
-  std::int64_t l = 0;
-  for (; l + kLanes <= k; l += kLanes) {
-    for (std::int64_t v = 0; v < kLanes; ++v) {
-      const float av = a[l + v];
-      l0[v] += av * b0[l + v];
-      l1[v] += av * b1[l + v];
-      l2[v] += av * b2[l + v];
-      l3[v] += av * b3[l + v];
-    }
-  }
-  float acc0 = horizontal_sum(l0), acc1 = horizontal_sum(l1);
-  float acc2 = horizontal_sum(l2), acc3 = horizontal_sum(l3);
-  for (; l < k; ++l) {
-    const float av = a[l];
-    acc0 += av * b0[l];
-    acc1 += av * b1[l];
-    acc2 += av * b2[l];
-    acc3 += av * b3[l];
-  }
-  out[0] = acc0;
-  out[1] = acc1;
-  out[2] = acc2;
-  out[3] = acc3;
-}
-
-float dot1(const float* a, const float* b, std::int64_t k) {
-  float lanes[kLanes] = {};
-  std::int64_t l = 0;
-  for (; l + kLanes <= k; l += kLanes) {
-    for (std::int64_t v = 0; v < kLanes; ++v) lanes[v] += a[l + v] * b[l + v];
-  }
-  float acc = horizontal_sum(lanes);
-  for (; l < k; ++l) acc += a[l] * b[l];
-  return acc;
-}
+// The inner loops live in the runtime-dispatched kernel tables (tensor/simd.h).
+// The table is resolved on the calling thread, before the parallel_for, so
+// worker threads never consult dispatch state; kernels are invoked per chunk
+// and chunk boundaries are shape-only, preserving thread-width determinism.
 
 }  // namespace
 
@@ -88,29 +41,29 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
-  // Parallel over output rows; each row accumulates four B rows per pass so C
-  // traffic drops 4x and the j-loop stays elementwise (vector-friendly).
+  // Parallel over output rows; the kernel accumulates four B rows per pass so
+  // C traffic drops 4x and the j-loop stays elementwise (vector-friendly).
+  const simd::Kernels& ks = simd::kernels();
   parallel::parallel_for(0, m, row_grain(k * n), [&](std::int64_t i0, std::int64_t i1) {
-    for (std::int64_t i = i0; i < i1; ++i) {
-      const float* arow = pa + i * k;
-      float* crow = pc + i * n;
-      std::int64_t l = 0;
-      for (; l + 4 <= k; l += 4) {
-        const float a0 = arow[l], a1 = arow[l + 1], a2 = arow[l + 2], a3 = arow[l + 3];
-        const float* b0 = pb + l * n;
-        const float* b1 = b0 + n;
-        const float* b2 = b1 + n;
-        const float* b3 = b2 + n;
-        for (std::int64_t j = 0; j < n; ++j) {
-          crow[j] += (a0 * b0[j] + a1 * b1[j]) + (a2 * b2[j] + a3 * b3[j]);
-        }
-      }
-      for (; l < k; ++l) {
-        const float av = arow[l];
-        const float* brow = pb + l * n;
-        for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
+    ks.matmul_rows(pa, pb, pc, i0, i1, n, k);
+  });
+  return c;
+}
+
+Tensor matmul_bf16(const Tensor& a, const Bf16Tensor& b) {
+  check_rank2(a, "matmul_bf16");
+  VOCAB_CHECK(b.rank() == 2, "matmul_bf16 requires a rank-2 bf16 tensor");
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  VOCAB_CHECK(b.dim(0) == k, "matmul_bf16 inner dims mismatch: " << a.shape_str()
+                                                                 << " @ bf16[" << b.dim(0)
+                                                                 << ", " << b.dim(1) << "]");
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const std::uint16_t* pb = b.data();
+  float* pc = c.data();
+  const simd::Kernels& ks = simd::kernels();
+  parallel::parallel_for(0, m, row_grain(k * n), [&](std::int64_t i0, std::int64_t i1) {
+    ks.matmul_bf16_rows(pa, pb, pc, i0, i1, n, k);
   });
   return c;
 }
@@ -124,30 +77,30 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
-  // Row-times-row dot products, parallel over A rows. A-row tiles keep each
-  // four-row B panel resident across kRowTile outputs instead of streaming
-  // the whole of B once per A row.
-  constexpr std::int64_t kRowTile = 32;
+  // Row-times-row dot products, parallel over A rows; the kernel's A-row
+  // tiles keep each four-row B panel resident across the tile instead of
+  // streaming the whole of B once per A row.
+  const simd::Kernels& ks = simd::kernels();
   parallel::parallel_for(0, m, row_grain(k * n), [&](std::int64_t i0, std::int64_t i1) {
-    for (std::int64_t ib = i0; ib < i1; ib += kRowTile) {
-      const std::int64_t ie = std::min(ib + kRowTile, i1);
-      std::int64_t j = 0;
-      for (; j + 4 <= n; j += 4) {
-        const float* b0 = pb + j * k;
-        const float* b1 = b0 + k;
-        const float* b2 = b1 + k;
-        const float* b3 = b2 + k;
-        for (std::int64_t i = ib; i < ie; ++i) {
-          dot4(pa + i * k, b0, b1, b2, b3, k, pc + i * n + j);
-        }
-      }
-      for (; j < n; ++j) {
-        const float* brow = pb + j * k;
-        for (std::int64_t i = ib; i < ie; ++i) {
-          pc[i * n + j] = dot1(pa + i * k, brow, k);
-        }
-      }
-    }
+    ks.matmul_nt_rows(pa, pb, pc, i0, i1, n, k);
+  });
+  return c;
+}
+
+Tensor matmul_nt_bf16(const Tensor& a, const Bf16Tensor& b) {
+  check_rank2(a, "matmul_nt_bf16");
+  VOCAB_CHECK(b.rank() == 2, "matmul_nt_bf16 requires a rank-2 bf16 tensor");
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  VOCAB_CHECK(b.dim(1) == k, "matmul_nt_bf16 inner dims mismatch: " << a.shape_str()
+                                                                    << " @ bf16[" << b.dim(0)
+                                                                    << ", " << b.dim(1) << "]^T");
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const std::uint16_t* pb = b.data();
+  float* pc = c.data();
+  const simd::Kernels& ks = simd::kernels();
+  parallel::parallel_for(0, m, row_grain(k * n), [&](std::int64_t i0, std::int64_t i1) {
+    ks.matmul_nt_bf16_rows(pa, pb, pc, i0, i1, n, k);
   });
   return c;
 }
@@ -162,36 +115,11 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   const float* pb = b.data();
   float* pc = c.data();
   // Rank-1 update accumulation, parallel over output rows (columns of A).
-  // Four updates per pass so every C row is touched k/4 times, not k times;
-  // the j-loop is elementwise and vectorizes.
+  // The kernel applies four updates per pass so every C row is touched k/4
+  // times, not k times; the j-loop is elementwise and vectorizes.
+  const simd::Kernels& ks = simd::kernels();
   parallel::parallel_for(0, m, row_grain(k * n), [&](std::int64_t i0, std::int64_t i1) {
-    std::int64_t l = 0;
-    for (; l + 4 <= k; l += 4) {
-      const float* a0 = pa + l * m;
-      const float* a1 = a0 + m;
-      const float* a2 = a1 + m;
-      const float* a3 = a2 + m;
-      const float* b0 = pb + l * n;
-      const float* b1 = b0 + n;
-      const float* b2 = b1 + n;
-      const float* b3 = b2 + n;
-      for (std::int64_t i = i0; i < i1; ++i) {
-        const float v0 = a0[i], v1 = a1[i], v2 = a2[i], v3 = a3[i];
-        float* crow = pc + i * n;
-        for (std::int64_t j = 0; j < n; ++j) {
-          crow[j] += (v0 * b0[j] + v1 * b1[j]) + (v2 * b2[j] + v3 * b3[j]);
-        }
-      }
-    }
-    for (; l < k; ++l) {
-      const float* arow = pa + l * m;
-      const float* brow = pb + l * n;
-      for (std::int64_t i = i0; i < i1; ++i) {
-        const float av = arow[i];
-        float* crow = pc + i * n;
-        for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
+    ks.matmul_tn_rows(pa, pb, pc, i0, i1, m, n, k);
   });
   return c;
 }
@@ -262,12 +190,9 @@ Tensor row_max(const Tensor& a) {
   Tensor out({m});
   const float* pa = a.data();
   float* po = out.data();
+  const simd::Kernels& ks = simd::kernels();
   parallel::parallel_for(0, m, row_grain(n), [&](std::int64_t i0, std::int64_t i1) {
-    for (std::int64_t i = i0; i < i1; ++i) {
-      float best = pa[i * n];
-      for (std::int64_t j = 1; j < n; ++j) best = std::max(best, pa[i * n + j]);
-      po[i] = best;
-    }
+    for (std::int64_t i = i0; i < i1; ++i) po[i] = ks.reduce_max(pa + i * n, n);
   });
   return out;
 }
@@ -278,11 +203,10 @@ Tensor row_sum(const Tensor& a) {
   Tensor out({m});
   const float* pa = a.data();
   float* po = out.data();
+  const simd::Kernels& ks = simd::kernels();
   parallel::parallel_for(0, m, row_grain(n), [&](std::int64_t i0, std::int64_t i1) {
     for (std::int64_t i = i0; i < i1; ++i) {
-      double acc = 0.0;
-      for (std::int64_t j = 0; j < n; ++j) acc += pa[i * n + j];
-      po[i] = static_cast<float>(acc);
+      po[i] = static_cast<float>(ks.reduce_sum(pa + i * n, n));
     }
   });
   return out;
@@ -296,12 +220,10 @@ Tensor row_exp_sum(const Tensor& a, const Tensor& maxima) {
   const float* pa = a.data();
   const float* pm = maxima.data();
   float* po = out.data();
+  const simd::Kernels& ks = simd::kernels();
   parallel::parallel_for(0, m, row_grain(n), [&](std::int64_t i0, std::int64_t i1) {
     for (std::int64_t i = i0; i < i1; ++i) {
-      const float mi = pm[i];
-      double acc = 0.0;
-      for (std::int64_t j = 0; j < n; ++j) acc += std::exp(static_cast<double>(pa[i * n + j] - mi));
-      po[i] = static_cast<float>(acc);
+      po[i] = static_cast<float>(ks.exp_sum(pa + i * n, n, pm[i]));
     }
   });
   return out;
@@ -323,13 +245,10 @@ Tensor softmax_rows_with_stats(const Tensor& logits, const Tensor& maxima, const
   const float* pm = maxima.data();
   const float* ps = sums.data();
   float* po = out.data();
+  const simd::Kernels& ks = simd::kernels();
   parallel::parallel_for(0, m, row_grain(n), [&](std::int64_t i0, std::int64_t i1) {
     for (std::int64_t i = i0; i < i1; ++i) {
-      const float mi = pm[i];
-      const float inv = 1.0f / ps[i];
-      for (std::int64_t j = 0; j < n; ++j) {
-        po[i * n + j] = std::exp(pl[i * n + j] - mi) * inv;
-      }
+      ks.exp_scale(pl + i * n, po + i * n, n, pm[i], 1.0f / ps[i]);
     }
   });
   return out;

@@ -14,6 +14,8 @@
 
 namespace vocab {
 
+class Bf16Tensor;
+
 // ---- matrix products -------------------------------------------------------
 
 /// C = A @ B. A: [m, k], B: [k, n] -> [m, n]. Blocked i-k-j loop.
@@ -26,6 +28,16 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b);
 /// C = A^T @ B. A: [k, m], B: [k, n] -> [m, n]. Used for weight gradients
 /// (eq. 4): grad_W = (softmax(Y) - G)^T X.
 Tensor matmul_tn(const Tensor& a, const Tensor& b);
+
+/// C = A @ B with B stored as bf16 ([k, n]); B elements widen exactly to
+/// fp32 on load, accumulation is fp32. The mixed-precision grad_x product
+/// D @ W_d against a bf16 weight shard.
+Tensor matmul_bf16(const Tensor& a, const Bf16Tensor& b);
+
+/// C = A @ B^T with B stored as bf16 ([n, k]). The mixed-precision logits
+/// product Y = X W^T against a bf16 vocabulary shard — halves the weight
+/// bytes streamed per token.
+Tensor matmul_nt_bf16(const Tensor& a, const Bf16Tensor& b);
 
 // ---- elementwise -----------------------------------------------------------
 

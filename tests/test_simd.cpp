@@ -1,0 +1,589 @@
+// SIMD dispatch + mixed-precision tests.
+//
+// Three layers of guarantees, matching the contract in tensor/simd.h:
+//   1. Per level, kernel output is bit-identical at every thread-pool width
+//      (the width sweep: {1, 2, 4, 7} threads, memcmp equality).
+//   2. Bit-exact ops (bf16 conversions, nonfinite counting) are identical
+//      across *all* levels; floating kernels agree with the scalar reference
+//      within a small relative tolerance.
+//   3. The mixed-precision training recipe built on top — bf16 shard storage,
+//      fp32 master weights, dynamic loss scaling, overflow skip-step — tracks
+//      the fp32 trainer, halves vocabulary parameter bytes, and survives a
+//      checkpoint round trip (v3 carries the scaler state).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "model/gpt.h"
+#include "parallel/thread_pool.h"
+#include "runtime/checkpoint.h"
+#include "runtime/loss_scaler.h"
+#include "runtime/optimizer.h"
+#include "runtime/pipeline_trainer.h"
+#include "tensor/bf16.h"
+#include "tensor/simd.h"
+#include "tensor/tensor.h"
+#include "tensor/tensor_ops.h"
+
+namespace vocab {
+namespace {
+
+constexpr float kInf = std::numeric_limits<float>::infinity();
+constexpr float kNan = std::numeric_limits<float>::quiet_NaN();
+
+/// Restores the global pool width on scope exit (same idiom as
+/// test_parallel.cpp); the sweeps below mutate it.
+class PoolWidthGuard {
+ public:
+  PoolWidthGuard() : saved_(parallel::num_threads()) {}
+  ~PoolWidthGuard() { parallel::set_num_threads(saved_); }
+
+ private:
+  int saved_;
+};
+
+Tensor randn(std::vector<std::int64_t> shape, std::uint64_t seed, float stddev = 1.0f) {
+  Rng rng(seed);
+  return Tensor::randn(std::move(shape), rng, stddev);
+}
+
+void expect_bitwise_equal(const Tensor& a, const Tensor& b, const std::string& what) {
+  ASSERT_EQ(a.numel(), b.numel()) << what;
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), static_cast<std::size_t>(a.numel()) * sizeof(float)),
+            0)
+      << what << ": outputs are not bit-identical";
+}
+
+float rel_diff(float a, float b) {
+  const float denom = std::max(std::abs(a), std::abs(b));
+  return denom == 0.0f ? 0.0f : std::abs(a - b) / denom;
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch plumbing
+// ---------------------------------------------------------------------------
+
+TEST(SimdDispatch, ScalarAlwaysSupportedAndFirst) {
+  EXPECT_TRUE(simd::level_supported(simd::Level::kScalar));
+  const auto levels = simd::supported_levels();
+  ASSERT_FALSE(levels.empty());
+  EXPECT_EQ(levels.front(), simd::Level::kScalar);
+  // The resolved level must be one this build/CPU actually supports.
+  bool found = false;
+  for (const auto l : levels) found = found || l == simd::active_level();
+  EXPECT_TRUE(found);
+}
+
+TEST(SimdDispatch, ScopedLevelInstallsAndRestores) {
+  const simd::Kernels* before = &simd::kernels();
+  for (const auto level : simd::supported_levels()) {
+    simd::ScopedLevel scoped(level);
+    EXPECT_EQ(&simd::kernels(), &simd::kernels_for(level)) << simd::to_string(level);
+  }
+  EXPECT_EQ(&simd::kernels(), before) << "ScopedLevel must restore the previous table";
+}
+
+TEST(SimdDispatch, EveryTableIsFullyPopulated) {
+  for (const auto level : simd::supported_levels()) {
+    const simd::Kernels& ks = simd::kernels_for(level);
+    EXPECT_NE(ks.matmul_rows, nullptr) << simd::to_string(level);
+    EXPECT_NE(ks.matmul_nt_rows, nullptr) << simd::to_string(level);
+    EXPECT_NE(ks.matmul_tn_rows, nullptr) << simd::to_string(level);
+    EXPECT_NE(ks.matmul_bf16_rows, nullptr) << simd::to_string(level);
+    EXPECT_NE(ks.matmul_nt_bf16_rows, nullptr) << simd::to_string(level);
+    EXPECT_NE(ks.reduce_max, nullptr) << simd::to_string(level);
+    EXPECT_NE(ks.reduce_sum, nullptr) << simd::to_string(level);
+    EXPECT_NE(ks.exp_sum, nullptr) << simd::to_string(level);
+    EXPECT_NE(ks.exp_scale, nullptr) << simd::to_string(level);
+    EXPECT_NE(ks.fp32_to_bf16, nullptr) << simd::to_string(level);
+    EXPECT_NE(ks.bf16_to_fp32, nullptr) << simd::to_string(level);
+    EXPECT_NE(ks.nonfinite_count, nullptr) << simd::to_string(level);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Width sweep: per level, every kernel is bit-identical at widths {1,2,4,7}.
+// Odd shapes (13x67 @ 67x29) force vector-remainder tails in every kernel.
+// ---------------------------------------------------------------------------
+
+TEST(SimdWidthSweep, MatmulFamilyBitIdenticalAcrossThreadWidths) {
+  const Tensor a = randn({13, 67}, 1);
+  const Tensor b = randn({67, 29}, 2);
+  const Tensor bt = randn({29, 67}, 3);       // for matmul_nt: B is [n, k]
+  const Tensor at = randn({67, 13}, 4);       // for matmul_tn: A is [k, m]
+  const Bf16Tensor hb = Bf16Tensor::from_tensor(b);
+  const Bf16Tensor hbt = Bf16Tensor::from_tensor(bt);
+
+  PoolWidthGuard guard;
+  for (const auto level : simd::supported_levels()) {
+    simd::ScopedLevel scoped(level);
+    parallel::set_num_threads(1);
+    const Tensor ref_mm = matmul(a, b);
+    const Tensor ref_nt = matmul_nt(a, bt);
+    const Tensor ref_tn = matmul_tn(at, b);
+    const Tensor ref_mm_h = matmul_bf16(a, hb);
+    const Tensor ref_nt_h = matmul_nt_bf16(a, hbt);
+    for (const int width : {2, 4, 7}) {
+      parallel::set_num_threads(width);
+      const std::string tag =
+          std::string(simd::to_string(level)) + " @ " + std::to_string(width) + " threads";
+      expect_bitwise_equal(matmul(a, b), ref_mm, "matmul " + tag);
+      expect_bitwise_equal(matmul_nt(a, bt), ref_nt, "matmul_nt " + tag);
+      expect_bitwise_equal(matmul_tn(at, b), ref_tn, "matmul_tn " + tag);
+      expect_bitwise_equal(matmul_bf16(a, hb), ref_mm_h, "matmul_bf16 " + tag);
+      expect_bitwise_equal(matmul_nt_bf16(a, hbt), ref_nt_h, "matmul_nt_bf16 " + tag);
+    }
+  }
+}
+
+TEST(SimdWidthSweep, SoftmaxFamilyBitIdenticalAcrossThreadWidths) {
+  // 9 rows x 131 logits with masked (-inf) entries, like a padded vocab shard.
+  Tensor logits = randn({9, 131}, 5, 4.0f);
+  for (std::int64_t i = 0; i < 9; ++i) {
+    for (std::int64_t j = 100 + i; j < 131; ++j) logits.at(i, j) = -kInf;
+  }
+
+  PoolWidthGuard guard;
+  for (const auto level : simd::supported_levels()) {
+    simd::ScopedLevel scoped(level);
+    parallel::set_num_threads(1);
+    const Tensor ref_max = row_max(logits);
+    const Tensor ref_sum = row_sum(logits);
+    const Tensor ref_esum = row_exp_sum(logits, ref_max);
+    const Tensor ref_soft = softmax_rows(logits);
+    const Tensor ref_stats = softmax_rows_with_stats(logits, ref_max, ref_esum);
+    for (const int width : {2, 4, 7}) {
+      parallel::set_num_threads(width);
+      const std::string tag =
+          std::string(simd::to_string(level)) + " @ " + std::to_string(width) + " threads";
+      expect_bitwise_equal(row_max(logits), ref_max, "row_max " + tag);
+      expect_bitwise_equal(row_sum(logits), ref_sum, "row_sum " + tag);
+      expect_bitwise_equal(row_exp_sum(logits, ref_max), ref_esum, "row_exp_sum " + tag);
+      expect_bitwise_equal(softmax_rows(logits), ref_soft, "softmax_rows " + tag);
+      expect_bitwise_equal(softmax_rows_with_stats(logits, ref_max, ref_esum), ref_stats,
+                           "softmax_rows_with_stats " + tag);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-level: exact ops identical everywhere, float kernels near scalar.
+// ---------------------------------------------------------------------------
+
+TEST(SimdCrossLevel, ConversionsAndNonfiniteCountBitIdentical) {
+  // Values that stress the conversions: denormals, +/-0, infinities, NaN,
+  // round-to-nearest-even ties, plus a random bulk (odd length for tails).
+  std::vector<float> vals = {0.0f, -0.0f, kInf, -kInf, kNan, 1e-45f, -1e-45f,
+                             1e-40f, 3.4e38f, 1.00390625f, -1.01171875f};
+  const Tensor bulk = randn({257}, 7, 100.0f);
+  for (std::int64_t i = 0; i < bulk.numel(); ++i) vals.push_back(bulk.at(i));
+  const auto n = static_cast<std::int64_t>(vals.size());
+
+  const auto& scalar = simd::kernels_for(simd::Level::kScalar);
+  std::vector<std::uint16_t> ref_bits(vals.size());
+  scalar.fp32_to_bf16(vals.data(), ref_bits.data(), n);
+  std::vector<float> ref_widened(vals.size());
+  scalar.bf16_to_fp32(ref_bits.data(), ref_widened.data(), n);
+  const std::int64_t ref_nonfinite = scalar.nonfinite_count(vals.data(), n);
+  EXPECT_EQ(ref_nonfinite, 3);  // inf, -inf, nan — denormals/large finites don't count
+
+  for (const auto level : simd::supported_levels()) {
+    const auto& ks = simd::kernels_for(level);
+    std::vector<std::uint16_t> bits(vals.size());
+    ks.fp32_to_bf16(vals.data(), bits.data(), n);
+    EXPECT_EQ(std::memcmp(bits.data(), ref_bits.data(), vals.size() * sizeof(std::uint16_t)), 0)
+        << "fp32_to_bf16 differs at " << simd::to_string(level);
+    std::vector<float> widened(vals.size());
+    ks.bf16_to_fp32(bits.data(), widened.data(), n);
+    EXPECT_EQ(std::memcmp(widened.data(), ref_widened.data(), vals.size() * sizeof(float)), 0)
+        << "bf16_to_fp32 differs at " << simd::to_string(level);
+    EXPECT_EQ(ks.nonfinite_count(vals.data(), n), ref_nonfinite)
+        << "nonfinite_count differs at " << simd::to_string(level);
+  }
+}
+
+TEST(SimdCrossLevel, MatmulAndSoftmaxNearScalarReference) {
+  const Tensor a = randn({13, 67}, 11);
+  const Tensor bt = randn({29, 67}, 12);
+  Tensor logits = randn({7, 97}, 13, 4.0f);
+  logits.at(3, 96) = -kInf;  // one masked entry
+
+  Tensor ref_nt, ref_soft;
+  {
+    simd::ScopedLevel scoped(simd::Level::kScalar);
+    ref_nt = matmul_nt(a, bt);
+    ref_soft = softmax_rows(logits);
+  }
+  for (const auto level : simd::supported_levels()) {
+    simd::ScopedLevel scoped(level);
+    const Tensor nt = matmul_nt(a, bt);
+    const Tensor soft = softmax_rows(logits);
+    for (std::int64_t i = 0; i < nt.numel(); ++i) {
+      ASSERT_LT(rel_diff(nt.at(i), ref_nt.at(i)), 1e-5f)
+          << "matmul_nt vs scalar at " << simd::to_string(level) << " index " << i;
+    }
+    for (std::int64_t i = 0; i < soft.numel(); ++i) {
+      ASSERT_LT(std::abs(soft.at(i) - ref_soft.at(i)), 1e-6f)
+          << "softmax vs scalar at " << simd::to_string(level) << " index " << i;
+    }
+  }
+}
+
+TEST(SimdKernels, ExpKernelsFlushMaskedLogitsToExactZero) {
+  const std::vector<float> x = {-kInf, -200.0f, 0.0f, 1.0f, -kInf};
+  for (const auto level : simd::supported_levels()) {
+    const auto& ks = simd::kernels_for(level);
+    std::vector<float> out(x.size(), -1.0f);
+    ks.exp_scale(x.data(), out.data(), static_cast<std::int64_t>(x.size()), 0.0f, 1.0f);
+    EXPECT_EQ(out[0], 0.0f) << simd::to_string(level);
+    EXPECT_EQ(out[4], 0.0f) << simd::to_string(level);
+    EXPECT_GT(out[2], 0.0f) << simd::to_string(level);
+    const double s = ks.exp_sum(x.data(), static_cast<std::int64_t>(x.size()), 0.0f);
+    EXPECT_TRUE(std::isfinite(s)) << simd::to_string(level);
+    EXPECT_GT(s, 0.0) << simd::to_string(level);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// bf16 scalar semantics
+// ---------------------------------------------------------------------------
+
+TEST(Bf16, RoundTripExactForRepresentableValues) {
+  // Any fp32 value with zero low 16 mantissa bits is exactly representable.
+  for (const float v : {0.0f, 1.0f, -2.5f, 0.15625f, 256.0f, -1.0f / 1024.0f, 3.3895314e38f}) {
+    EXPECT_EQ(static_cast<float>(bf16(v)), v) << v;
+  }
+}
+
+TEST(Bf16, RoundsToNearestEven) {
+  const auto from_u32 = [](std::uint32_t u) {
+    float f;
+    std::memcpy(&f, &u, sizeof(f));
+    return f;
+  };
+  // 1.0 + 2^-9 is exactly halfway between bf16 1.0 (even) and 1.00390625.
+  EXPECT_EQ(bf16(from_u32(0x3F808000u)).bits, 0x3F80u);
+  // 1.01171875 + 2^-9 is halfway with an odd lower neighbour: rounds up.
+  EXPECT_EQ(bf16(from_u32(0x3F818000u)).bits, 0x3F82u);
+  // Just past halfway always rounds up.
+  EXPECT_EQ(bf16(from_u32(0x3F808001u)).bits, 0x3F81u);
+  // Just under halfway rounds down.
+  EXPECT_EQ(bf16(from_u32(0x3F807FFFu)).bits, 0x3F80u);
+}
+
+TEST(Bf16, SpecialValues) {
+  EXPECT_EQ(static_cast<float>(bf16(kInf)), kInf);
+  EXPECT_EQ(static_cast<float>(bf16(-kInf)), -kInf);
+  EXPECT_TRUE(std::isnan(static_cast<float>(bf16(kNan))));
+  // NaN stays a NaN even when its payload truncates to zero: the quiet bit
+  // is forced, so a signalling NaN can never round into an infinity.
+  EXPECT_NE(bf16(kNan).bits & 0x0040u, 0u);
+  // Negative zero keeps its sign.
+  EXPECT_TRUE(std::signbit(static_cast<float>(bf16(-0.0f))));
+  // The smallest fp32 denormal is exactly halfway to the smallest bf16
+  // denormal; ties-to-even flushes it to +0.
+  EXPECT_EQ(static_cast<float>(bf16(1e-45f)), 0.0f);
+}
+
+TEST(Bf16Tensor, RoundTripAndHalfStorage) {
+  const Tensor t = randn({17, 23}, 21);
+  const Bf16Tensor h = Bf16Tensor::from_tensor(t);
+  EXPECT_EQ(h.byte_size(), static_cast<std::size_t>(t.numel()) * 2);
+  const Tensor widened = h.to_tensor();
+  ASSERT_EQ(widened.numel(), t.numel());
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    // Widening is exact, so the only error is the original rounding step:
+    // at most 2^-8 relative.
+    ASSERT_LT(rel_diff(widened.at(i), t.at(i)), 1.0f / 256.0f);
+    // bf16 -> fp32 -> bf16 must be a fixed point.
+    ASSERT_EQ(bf16(widened.at(i)).bits, h.data()[i]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Loss scaler
+// ---------------------------------------------------------------------------
+
+TEST(LossScaler, GrowsAfterCleanInterval) {
+  LossScalerConfig cfg;
+  cfg.init_scale = 8.0f;
+  cfg.growth_interval = 2;
+  LossScaler s(cfg);
+  s.update(false);
+  EXPECT_EQ(s.scale(), 8.0f);
+  s.update(false);
+  EXPECT_EQ(s.scale(), 16.0f);
+  EXPECT_EQ(s.good_steps(), 0) << "growth resets the clean-step run";
+}
+
+TEST(LossScaler, OverflowBacksOffAndFloorsAtMin) {
+  LossScalerConfig cfg;
+  cfg.init_scale = 8.0f;
+  cfg.min_scale = 2.0f;
+  LossScaler s(cfg);
+  s.update(true);
+  EXPECT_EQ(s.scale(), 4.0f);
+  EXPECT_EQ(s.overflow_count(), 1);
+  s.update(true);
+  s.update(true);
+  s.update(true);
+  EXPECT_EQ(s.scale(), 2.0f) << "scale never drops below min_scale";
+  EXPECT_EQ(s.overflow_count(), 4);
+}
+
+TEST(LossScaler, OverflowResetsGrowthRun) {
+  LossScalerConfig cfg;
+  cfg.init_scale = 8.0f;
+  cfg.growth_interval = 3;
+  LossScaler s(cfg);
+  s.update(false);
+  s.update(false);
+  s.update(true);  // resets the run and halves
+  s.update(false);
+  s.update(false);
+  EXPECT_EQ(s.scale(), 4.0f) << "two clean steps after an overflow must not grow";
+  s.update(false);
+  EXPECT_EQ(s.scale(), 8.0f);
+}
+
+TEST(LossScaler, RestoreResumesPersistedState) {
+  LossScaler s;
+  s.restore(1024.0f, 7, 3);
+  EXPECT_EQ(s.scale(), 1024.0f);
+  EXPECT_EQ(s.good_steps(), 7);
+  EXPECT_EQ(s.overflow_count(), 3);
+}
+
+TEST(LossScalerConfig, FromEnvOverrides) {
+  ::setenv("VOCAB_LOSS_SCALE_INIT", "256", 1);
+  ::setenv("VOCAB_LOSS_SCALE_GROWTH_INTERVAL", "5", 1);
+  const LossScalerConfig cfg = LossScalerConfig::from_env();
+  ::unsetenv("VOCAB_LOSS_SCALE_INIT");
+  ::unsetenv("VOCAB_LOSS_SCALE_GROWTH_INTERVAL");
+  EXPECT_EQ(cfg.init_scale, 256.0f);
+  EXPECT_EQ(cfg.growth_interval, 5);
+  EXPECT_EQ(LossScalerConfig::from_env().init_scale, 65536.0f);
+}
+
+// ---------------------------------------------------------------------------
+// Mixed-precision training integration
+// ---------------------------------------------------------------------------
+
+GptConfig mp_config() {
+  GptConfig cfg;
+  cfg.num_layers = 2;
+  cfg.heads = 2;
+  cfg.hidden = 32;
+  cfg.seq_len = 16;
+  cfg.vocab = 53;  // prime: forces shard padding
+  return cfg;
+}
+
+std::vector<Sample> microbatches(const SyntheticCorpus& corpus, int iteration, int count) {
+  std::vector<Sample> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) out.push_back(corpus.sample(iteration * count + i));
+  return out;
+}
+
+TEST(MixedPrecision, TracksFp32LossAndHalvesVocabParamBytes) {
+  const GptConfig cfg = mp_config();
+  PipelineTrainer fp32(GptWeights::init(cfg, 33), /*p=*/2, OutputAlgo::Alg1,
+                       PipelineFlavor::Naive);
+  PipelineTrainer mp(GptWeights::init(cfg, 33), /*p=*/2, OutputAlgo::Alg1,
+                     PipelineFlavor::Naive);
+  mp.set_mixed_precision(MixedPrecisionConfig{});
+  EXPECT_TRUE(mp.mixed_precision());
+
+  // bf16 storage is exactly half the fp32 shard footprint.
+  EXPECT_EQ(mp.vocab_param_bytes() * 2, fp32.vocab_param_bytes());
+
+  SyntheticCorpus corpus(cfg.vocab, cfg.seq_len, 34);
+  float last_fp32 = 0.0f;
+  float last_mp = 0.0f;
+  for (int it = 0; it < 5; ++it) {
+    const auto mbs = microbatches(corpus, it, 2);
+    last_fp32 = fp32.train_iteration(mbs, OptimizerConfig::adam(1e-3f));
+    last_mp = mp.train_iteration(mbs, OptimizerConfig::adam(1e-3f));
+    ASSERT_FALSE(mp.last_overflow()) << "iteration " << it;
+    ASSERT_LT(rel_diff(last_mp, last_fp32), 0.02f)
+        << "iteration " << it << ": bf16 loss " << last_mp << " vs fp32 " << last_fp32;
+  }
+  // Both trainers actually learned (loss below the uniform baseline).
+  EXPECT_LT(last_fp32, std::log(static_cast<float>(cfg.vocab)));
+  EXPECT_LT(last_mp, std::log(static_cast<float>(cfg.vocab)));
+  // bf16_comm quantized the stage-boundary payloads.
+  EXPECT_GT(mp.comm_bf16_bytes(), 0u);
+  EXPECT_EQ(fp32.comm_bf16_bytes(), 0u);
+}
+
+TEST(MixedPrecision, ScheduledFlavorTrainsUnderBf16) {
+  GptConfig cfg = mp_config();
+  cfg.num_layers = 4;
+  PipelineTrainer mp(GptWeights::init(cfg, 43), /*p=*/2, OutputAlgo::Alg2,
+                     PipelineFlavor::OneFOneBVocab);
+  mp.set_mixed_precision(MixedPrecisionConfig{});
+  SyntheticCorpus corpus(cfg.vocab, cfg.seq_len, 44);
+  float first = 0.0f;
+  float last = 0.0f;
+  for (int it = 0; it < 4; ++it) {
+    last = mp.train_iteration(microbatches(corpus, it, 4), OptimizerConfig::adam(1e-3f));
+    ASSERT_TRUE(std::isfinite(last));
+    ASSERT_FALSE(mp.last_overflow());
+    if (it == 0) first = last;
+  }
+  EXPECT_LT(last, first) << "scheduled bf16 training must reduce the loss";
+  EXPECT_GT(mp.comm_bf16_bytes(), 0u);
+}
+
+TEST(MixedPrecision, TiedEmbeddingsStayTiedUnderBf16) {
+  GptConfig cfg = mp_config();
+  cfg.tie_embeddings = true;
+  PipelineTrainer mp(GptWeights::init(cfg, 53), /*p=*/2, OutputAlgo::Alg1,
+                     PipelineFlavor::Naive);
+  mp.set_mixed_precision(MixedPrecisionConfig{});
+  SyntheticCorpus corpus(cfg.vocab, cfg.seq_len, 54);
+  for (int it = 0; it < 2; ++it) {
+    const float loss =
+        mp.train_iteration(microbatches(corpus, it, 2), OptimizerConfig::adam(1e-3f));
+    ASSERT_TRUE(std::isfinite(loss));
+  }
+  expect_bitwise_equal(mp.gathered_input_embedding(), mp.gathered_output_weight(),
+                       "tied embedding/output weight");
+}
+
+TEST(MixedPrecision, OverflowSkipsStepAndBacksOffScale) {
+  const GptConfig cfg = mp_config();
+  GptWeights init = GptWeights::init(cfg, 63);
+  // One enormous coordinate in the residual stream: the forward pass stays
+  // finite (LayerNorm feeds the blocks, softmax is shift-invariant), but the
+  // output shard's weight gradient d^T x multiplies the 2^16-scaled loss
+  // gradient by this activation and overflows fp32 — the classic way real
+  // mixed-precision runs trip the scaler.
+  init.pos_embedding.at(0, 0) = 1e36f;
+  PipelineTrainer mp(std::move(init), /*p=*/2, OutputAlgo::Alg1, PipelineFlavor::Naive);
+  mp.set_mixed_precision(MixedPrecisionConfig{});
+
+  const GptWeights before = mp.export_weights();
+  SyntheticCorpus corpus(cfg.vocab, cfg.seq_len, 64);
+  const float loss = mp.train_iteration(microbatches(corpus, 0, 2), OptimizerConfig::adam(1e-3f));
+  EXPECT_TRUE(std::isfinite(loss)) << "the loss itself is computed unscaled";
+  EXPECT_TRUE(mp.last_overflow());
+  EXPECT_EQ(mp.loss_scaler().scale(), 32768.0f);
+  EXPECT_EQ(mp.loss_scaler().overflow_count(), 1);
+
+  // The step was skipped on *every* shard: weights are bit-identical.
+  const GptWeights after = mp.export_weights();
+  expect_bitwise_equal(before.input_embedding, after.input_embedding, "input embedding");
+  expect_bitwise_equal(before.output_weight, after.output_weight, "output weight");
+  expect_bitwise_equal(before.pos_embedding, after.pos_embedding, "pos embedding");
+  for (std::size_t l = 0; l < before.layers.size(); ++l) {
+    expect_bitwise_equal(before.layers[l].wq, after.layers[l].wq, "layer wq");
+    expect_bitwise_equal(before.layers[l].w1, after.layers[l].w1, "layer w1");
+  }
+}
+
+TEST(MixedPrecision, ScaleGrowsAfterCleanInterval) {
+  const GptConfig cfg = mp_config();
+  PipelineTrainer mp(GptWeights::init(cfg, 73), /*p=*/2, OutputAlgo::Alg1,
+                     PipelineFlavor::Naive);
+  MixedPrecisionConfig mpc;
+  mpc.loss_scale.init_scale = 8.0f;
+  mpc.loss_scale.growth_interval = 2;
+  mp.set_mixed_precision(mpc);
+  SyntheticCorpus corpus(cfg.vocab, cfg.seq_len, 74);
+  mp.train_iteration(microbatches(corpus, 0, 2), OptimizerConfig::adam(1e-3f));
+  EXPECT_EQ(mp.loss_scaler().scale(), 8.0f);
+  mp.train_iteration(microbatches(corpus, 1, 2), OptimizerConfig::adam(1e-3f));
+  EXPECT_EQ(mp.loss_scaler().scale(), 16.0f);
+}
+
+TEST(MixedPrecision, ReportedGradNormIsUnscaled) {
+  // The clip path computes the norm on S-scaled gradients; the reported
+  // last_grad_norm must be divided back so monitors see true magnitudes.
+  const GptConfig cfg = mp_config();
+  PipelineTrainer fp32(GptWeights::init(cfg, 83), /*p=*/2, OutputAlgo::Alg1,
+                       PipelineFlavor::Naive);
+  PipelineTrainer mp(GptWeights::init(cfg, 83), /*p=*/2, OutputAlgo::Alg1,
+                     PipelineFlavor::Naive);
+  mp.set_mixed_precision(MixedPrecisionConfig{});
+  SyntheticCorpus corpus(cfg.vocab, cfg.seq_len, 84);
+  OptimizerConfig opt = OptimizerConfig::adam(1e-3f);
+  opt.max_grad_norm = 0.5f;
+  const auto mbs = microbatches(corpus, 0, 2);
+  fp32.train_iteration(mbs, opt);
+  mp.train_iteration(mbs, opt);
+  ASSERT_FALSE(mp.last_overflow());
+  EXPECT_LT(rel_diff(mp.last_grad_norm(), fp32.last_grad_norm()), 0.01f)
+      << "mp norm " << mp.last_grad_norm() << " vs fp32 " << fp32.last_grad_norm();
+}
+
+TEST(MixedPrecision, RejectedOnUnshardedFlavor) {
+  GptConfig cfg = mp_config();
+  cfg.num_layers = 2;
+  PipelineTrainer baseline(GptWeights::init(cfg, 93), /*p=*/2, OutputAlgo::Alg1,
+                           PipelineFlavor::Baseline1F1B);
+  EXPECT_THROW(baseline.set_mixed_precision(MixedPrecisionConfig{}), CheckError);
+}
+
+TEST(MixedPrecision, MasterWeightsAccumulateTinyUpdates) {
+  // A direct demonstration of why masters exist: updates of 1e-4 on a weight
+  // of 1.0 are below bf16's resolution (2^-8), so stepping bf16 storage alone
+  // would be a no-op forever; the fp32 master accumulates them and the bf16
+  // copy eventually moves.
+  Bf16Tensor param = Bf16Tensor::from_tensor(Tensor({4}, 1.0f));
+  const Tensor grad({4}, 1.0f);
+  ParamOptimizer opt;
+  const OptimizerConfig cfg = OptimizerConfig::sgd(1e-4f);
+  for (int i = 0; i < 64; ++i) opt.step_master(param, grad, cfg);
+  const float master = opt.master().at(0);
+  EXPECT_NEAR(master, 1.0f - 64 * 1e-4f, 1e-5f);
+  EXPECT_LT(static_cast<float>(bf16::from_bits(param.data()[0])), 1.0f)
+      << "accumulated master updates must eventually cross a bf16 step";
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint v3: loss-scaler state rides with the weights
+// ---------------------------------------------------------------------------
+
+TEST(CheckpointV3, TrainStateRoundTripsAndV2StaysLoadable) {
+  const GptConfig cfg = mp_config();
+  const GptWeights w = GptWeights::init(cfg, 99);
+  const std::string v3_path = std::string(::testing::TempDir()) + "/simd_ckpt_v3.bin";
+  const std::string v2_path = std::string(::testing::TempDir()) + "/simd_ckpt_v2.bin";
+
+  CheckpointTrainState state;
+  state.loss_scale = 1024.0f;
+  state.scaler_good_steps = 7;
+  state.scaler_overflows = 3;
+  save_checkpoint(v3_path, w, state);
+  save_checkpoint(v2_path, w);
+
+  CheckpointTrainState loaded;
+  const GptWeights w3 = load_checkpoint(v3_path, loaded);
+  EXPECT_EQ(loaded.loss_scale, 1024.0f);
+  EXPECT_EQ(loaded.scaler_good_steps, 7);
+  EXPECT_EQ(loaded.scaler_overflows, 3);
+  expect_bitwise_equal(w.output_weight, w3.output_weight, "v3 output weight");
+
+  CheckpointTrainState none;
+  none.loss_scale = -1.0f;  // must be reset by the loader
+  const GptWeights w2 = load_checkpoint(v2_path, none);
+  EXPECT_EQ(none.loss_scale, 0.0f) << "v2 files carry no training state";
+  expect_bitwise_equal(w.output_weight, w2.output_weight, "v2 output weight");
+
+  std::remove(v3_path.c_str());
+  std::remove(v2_path.c_str());
+}
+
+}  // namespace
+}  // namespace vocab
