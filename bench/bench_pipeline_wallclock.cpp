@@ -8,7 +8,9 @@
 // idle is a lower bound). A second section prices the numeric guardrails:
 // the same pipelined run at VOCAB_GUARD_LEVEL 0/1/2, so the fence's cost —
 // and level 0's zero-overhead claim — is a number in the JSON, not a
-// promise in a doc.
+// promise in a doc. An `executor_dispatch` section A/Bs the struct-walking
+// executor against the bytecode interpreter (ns/iter + per-device idle) —
+// the two backends are bit-identical, so the delta is pure dispatch cost.
 //
 // Usage: bench_pipeline_wallclock [--json <path>] [--p <devices>]
 //                                 [--m <microbatches>] [--iters <n>]
@@ -94,6 +96,44 @@ GuardOverhead run_guard_overhead(const GptWeights& weights, const std::vector<Sa
   return g;
 }
 
+/// Struct-walking executor vs the bytecode interpreter on the same schedule:
+/// ns/iter and per-device idle for each backend. The dispatch paths differ
+/// (Op-struct traversal vs fetch-decode over compiled instructions with
+/// token mailboxes) but the numerics are bit-identical, so any delta here is
+/// pure dispatch overhead.
+struct DispatchAb {
+  std::string flavor;
+  double ns_structs = 0.0, ns_program = 0.0;
+  std::vector<double> idle_structs, idle_program;
+};
+
+DispatchAb run_dispatch_ab(const GptWeights& weights, const std::vector<Sample>& mbs,
+                           int p, const Flavor& f, int iters) {
+  DispatchAb ab;
+  ab.flavor = f.key;
+  for (const ExecutorBackend backend : {ExecutorBackend::kStructs, ExecutorBackend::kProgram}) {
+    PipelineTrainer trainer(weights, p, f.algo, f.flavor);
+    trainer.set_executor_backend(backend);
+    trainer.train_iteration(mbs, 0.05f);  // warmup
+    const auto t0 = Clock::now();
+    for (int i = 0; i < iters; ++i) trainer.train_iteration(mbs, 0.05f);
+    const double ns =
+        std::chrono::duration<double, std::nano>(Clock::now() - t0).count() / iters;
+    std::vector<double> idle;
+    if (const ExecutorStats* stats = trainer.last_executor_stats()) {
+      for (int d = 0; d < p; ++d) idle.push_back(stats->idle_fraction(d));
+    }
+    if (backend == ExecutorBackend::kStructs) {
+      ab.ns_structs = ns;
+      ab.idle_structs = std::move(idle);
+    } else {
+      ab.ns_program = ns;
+      ab.idle_program = std::move(idle);
+    }
+  }
+  return ab;
+}
+
 /// fp32 vs bf16 mixed precision on the same schedule: wall clock, the
 /// vocab-shard parameter footprint (the ~2x acceptance number), and the
 /// final-iteration loss of each so the bf16-tracks-fp32 claim is recorded
@@ -125,7 +165,8 @@ MixedPrecisionAb run_mixed_precision(const GptWeights& weights, const std::vecto
 }
 
 std::string render_json(const std::vector<Result>& results, const GuardOverhead& guard,
-                        const MixedPrecisionAb& mp, int p, int m) {
+                        const MixedPrecisionAb& mp, const DispatchAb& dispatch, int p,
+                        int m) {
   // Record the measurement machine: overlap can only buy wall-clock when the
   // p device threads have >= p cores to land on (see DESIGN.md §10).
   const unsigned cores = std::thread::hardware_concurrency();
@@ -173,6 +214,27 @@ std::string render_json(const std::vector<Result>& results, const GuardOverhead&
                 static_cast<double>(mp.loss_fp32), static_cast<double>(mp.loss_bf16),
                 std::abs(mp.loss_bf16 - mp.loss_fp32) / denom);
   out += buf;
+  out.back() = ',';  // keep appending after the mixed_precision object
+  out += "\n";
+  std::snprintf(buf, sizeof(buf),
+                "  \"executor_dispatch\": {\"flavor\": \"%s\", \"ns_per_iter_structs\": %.0f, "
+                "\"ns_per_iter_program\": %.0f, \"program_overhead\": %.4f, ",
+                dispatch.flavor.c_str(), dispatch.ns_structs, dispatch.ns_program,
+                dispatch.ns_structs > 0.0 ? dispatch.ns_program / dispatch.ns_structs - 1.0
+                                          : 0.0);
+  out += buf;
+  const auto idle_array = [&](const char* key, const std::vector<double>& idle) {
+    out += std::string("\"") + key + "\": [";
+    for (std::size_t d = 0; d < idle.size(); ++d) {
+      std::snprintf(buf, sizeof(buf), "%s%.3f", d > 0 ? ", " : "", idle[d]);
+      out += buf;
+    }
+    out += "]";
+  };
+  idle_array("idle_fraction_structs", dispatch.idle_structs);
+  out += ", ";
+  idle_array("idle_fraction_program", dispatch.idle_program);
+  out += "}\n";
   out += "}\n";
   return out;
 }
@@ -252,6 +314,15 @@ int run(int argc, char** argv) {
               guard.ns_per_iter[2] / 1e6,
               (guard.ns_per_iter[2] / guard.ns_per_iter[0] - 1.0) * 100.0);
 
+  // Struct-walking vs bytecode-interpreter dispatch on the paper's main
+  // schedule (same certified linearization either way — pure dispatch cost).
+  const DispatchAb dispatch = run_dispatch_ab(weights, mbs, p, flavors[2], iters);
+  std::printf("  executor dispatch (%s): structs %.2f ms/iter, program %.2f ms/iter (%+.2f%%)\n",
+              dispatch.flavor.c_str(), dispatch.ns_structs / 1e6, dispatch.ns_program / 1e6,
+              dispatch.ns_structs > 0.0
+                  ? (dispatch.ns_program / dispatch.ns_structs - 1.0) * 100.0
+                  : 0.0);
+
   // bf16 mixed precision A/B on the same schedule.
   const MixedPrecisionAb mp = run_mixed_precision(weights, mbs, p, flavors[2], iters);
   std::printf("  mixed precision (%s): fp32 %.2f ms/iter, bf16 %.2f ms/iter, "
@@ -266,7 +337,7 @@ int run(int argc, char** argv) {
       std::fprintf(stderr, "cannot write %s\n", json_path->c_str());
       return 1;
     }
-    const std::string json = render_json(results, guard, mp, p, m);
+    const std::string json = render_json(results, guard, mp, dispatch, p, m);
     std::fwrite(json.data(), 1, json.size(), out);
     std::fclose(out);
     std::printf("wrote %s\n", json_path->c_str());

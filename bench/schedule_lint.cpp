@@ -1,17 +1,55 @@
 // schedule_lint: run the static schedule verifier over every generator ×
 // (p, vocabulary) configuration and print a diagnostics table — the CLI
-// face of src/analysis. A clean run certifies, without simulating, that
-// every shipped schedule is deadlock-free, semantically ordered, memory
-// balanced, and that the vocabulary schedules hold the paper's peak
-// activation closed forms (p / p+1 / p+2 microbatches).
+// face of src/analysis and src/program. A clean run certifies, without
+// simulating, that every shipped schedule is deadlock-free, semantically
+// ordered, memory balanced, and that the vocabulary schedules hold the
+// paper's peak activation closed forms (p / p+1 / p+2 microbatches).
 //
 //   ./build/bench/schedule_lint            # table + nonzero exit on findings
-//   ./build/bench/schedule_lint --csv      # machine-readable
+//   ./build/bench/schedule_lint --csv      # machine-readable table
+//   ./build/bench/schedule_lint --json     # machine-readable diagnostics
 //   ./build/bench/schedule_lint --strict-streams   # also warn on sync
 //                                          # collectives (flags interlaced)
+//   ./build/bench/schedule_lint --compile  # lower every certified schedule
+//                                          # to per-device bytecode (adds
+//                                          # instruction-count/hash columns)
+//   ./build/bench/schedule_lint --compile --verify-program
+//                                          # translation validation: re-prove
+//                                          # every invariant on the compiled
+//                                          # artifact; nonzero exit on any
+//                                          # program diagnostic
+//   ./build/bench/schedule_lint --compile --disasm
+//                                          # print each program's listing
+//
+// --json document shape (stable field names, one object per case):
+//   {
+//     "cases": [
+//       {
+//         "schedule": "<name>", "p": N, "vocab": N, "ops": N,
+//         "peak_microbatches": X, "status": "ok|warn|FAIL",
+//         "errors": N, "warnings": N,
+//         "diagnostics": [
+//           {"severity": "error|warning", "check": "<check-code>",
+//            "ops": [ids...], "message": "..."}
+//         ],
+//         // present with --compile:
+//         "program": {
+//           "instructions": N, "content_hash": "<16 hex digits>",
+//           // present with --verify-program:
+//           "errors": N,
+//           "diagnostics": [
+//             {"severity": "...", "check": "<check-code>", "lane": N,
+//              "pc": N, "kernels": [ids...], "message": "..."}
+//           ]
+//         }
+//       }
+//     ],
+//     "total_errors": N, "total_warnings": N
+//   }
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -20,6 +58,9 @@
 #include "analysis/verifier.h"
 #include "common/table.h"
 #include "cost/cost_model.h"
+#include "program/bytecode.h"
+#include "program/compiler.h"
+#include "program/program_verifier.h"
 #include "schedule/layer_assignment.h"
 #include "schedule/ops.h"
 #include "schedule/schedule_1f1b.h"
@@ -58,29 +99,90 @@ std::vector<Case> build_cases(int p, std::int64_t v) {
   return cases;
 }
 
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string hash_hex(std::uint64_t h) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(h));
+  return buf;
+}
+
+std::string json_int_array(const std::vector<int>& v) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) out += ",";
+    out += std::to_string(v[i]);
+  }
+  return out + "]";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool csv = false;
+  bool json = false;
   bool strict_streams = false;
+  bool compile = false;
+  bool disasm = false;
+  bool verify_program = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--csv") == 0) {
       csv = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
     } else if (std::strcmp(argv[i], "--strict-streams") == 0) {
       strict_streams = true;
+    } else if (std::strcmp(argv[i], "--compile") == 0) {
+      compile = true;
+    } else if (std::strcmp(argv[i], "--disasm") == 0) {
+      disasm = true;
+    } else if (std::strcmp(argv[i], "--verify-program") == 0) {
+      verify_program = true;
     } else {
-      std::cerr << "usage: schedule_lint [--csv] [--strict-streams]\n";
+      std::cerr << "usage: schedule_lint [--csv|--json] [--strict-streams] [--compile] "
+                   "[--disasm] [--verify-program]\n";
       return 2;
     }
   }
+  // --disasm and --verify-program operate on compiled programs.
+  compile = compile || disasm || verify_program;
 
-  Table table({"schedule", "p", "vocab", "ops", "peak mb", "errors", "warnings", "status"});
+  std::vector<std::string> header = {"schedule", "p",      "vocab",    "ops",
+                                     "peak mb",  "errors", "warnings", "status"};
+  if (compile) {
+    header.insert(header.end() - 1, "instrs");
+    header.insert(header.end() - 1, "hash");
+    if (verify_program) header.insert(header.end() - 1, "prog errs");
+  }
+  Table table(header);
   std::vector<std::string> reports;
+  std::vector<std::string> json_cases;
   int total_errors = 0;
   int total_warnings = 0;
 
   for (const int p : {8, 16, 32}) {
-    if (p != 8) table.add_separator();
+    if (p != 8 && !json) table.add_separator();
     for (const std::int64_t v : {std::int64_t{32768}, std::int64_t{262144}}) {
       for (const Case& c : build_cases(p, v)) {
         analysis::VerifyOptions opt;
@@ -91,28 +193,114 @@ int main(int argc, char** argv) {
         for (const auto& d : diags) {
           (d.severity == analysis::Severity::Error ? errors : warnings)++;
         }
-        total_errors += errors;
-        total_warnings += warnings;
         const auto peaks = analysis::activation_peak_microbatches(c.schedule);
         double peak = 0.0;
         for (const double x : peaks) peak = std::max(peak, x);
-        table.add_row({c.schedule.name, std::to_string(p), fmt_count(v),
-                       std::to_string(c.schedule.ops.size()), fmt_f(peak, 1),
-                       std::to_string(errors), std::to_string(warnings),
-                       diags.empty() ? "ok" : (errors ? "FAIL" : "warn")});
-        if (!diags.empty()) {
+
+        // Lowering + translation validation. Compilation requires a certified
+        // source, so a schedule that already failed is reported as skipped.
+        std::string instrs = "-";
+        std::string hash = "-";
+        int prog_errors = 0;
+        std::vector<program::ProgramDiagnostic> prog_diags;
+        std::string prog_json;
+        if (compile && errors == 0) {
+          const program::CompiledProgram prog = program::compile_schedule(c.schedule);
+          instrs = std::to_string(prog.total_instructions());
+          hash = hash_hex(program::content_hash(prog));
+          prog_json = "\"program\":{\"instructions\":" + instrs + ",\"content_hash\":\"" +
+                      hash + "\"";
+          if (verify_program) {
+            prog_diags = program::verify_program(prog, &c.schedule);
+            for (const auto& d : prog_diags) {
+              (d.severity == analysis::Severity::Error ? prog_errors : warnings)++;
+            }
+            prog_json += ",\"errors\":" + std::to_string(prog_errors) + ",\"diagnostics\":[";
+            for (std::size_t i = 0; i < prog_diags.size(); ++i) {
+              const auto& d = prog_diags[i];
+              if (i) prog_json += ",";
+              prog_json += std::string("{\"severity\":\"") +
+                           analysis::to_string(d.severity) + "\",\"check\":\"" +
+                           program::to_string(d.check) +
+                           "\",\"lane\":" + std::to_string(d.lane) +
+                           ",\"pc\":" + std::to_string(d.pc) +
+                           ",\"kernels\":" + json_int_array(d.kernels) +
+                           ",\"message\":\"" + json_escape(d.message) + "\"}";
+            }
+            prog_json += "]";
+          }
+          prog_json += "}";
+          if (disasm) {
+            reports.push_back("-- disassembly: " + c.schedule.name +
+                              " (p=" + std::to_string(p) + ", V=" + std::to_string(v) +
+                              ") --\n" + program::disassemble(prog));
+          }
+        }
+        total_errors += errors + prog_errors;
+        total_warnings += warnings;
+
+        std::vector<std::string> row = {c.schedule.name, std::to_string(p), fmt_count(v),
+                                        std::to_string(c.schedule.ops.size()),
+                                        fmt_f(peak, 1), std::to_string(errors),
+                                        std::to_string(warnings)};
+        if (compile) {
+          row.push_back(instrs);
+          row.push_back(hash);
+          if (verify_program) row.push_back(std::to_string(prog_errors));
+        }
+        row.push_back((diags.empty() && prog_diags.empty())
+                          ? "ok"
+                          : ((errors + prog_errors) ? "FAIL" : "warn"));
+        table.add_row(row);
+
+        if (json) {
+          std::string jc = "{\"schedule\":\"" + json_escape(c.schedule.name) +
+                           "\",\"p\":" + std::to_string(p) +
+                           ",\"vocab\":" + std::to_string(v) +
+                           ",\"ops\":" + std::to_string(c.schedule.ops.size()) +
+                           ",\"peak_microbatches\":" + fmt_f(peak, 3) + ",\"status\":\"" +
+                           ((diags.empty() && prog_diags.empty())
+                                ? "ok"
+                                : ((errors + prog_errors) ? "FAIL" : "warn")) +
+                           "\",\"errors\":" + std::to_string(errors) +
+                           ",\"warnings\":" + std::to_string(warnings) +
+                           ",\"diagnostics\":[";
+          for (std::size_t i = 0; i < diags.size(); ++i) {
+            const auto& d = diags[i];
+            if (i) jc += ",";
+            jc += std::string("{\"severity\":\"") + analysis::to_string(d.severity) +
+                  "\",\"check\":\"" + analysis::to_string(d.check) +
+                  "\",\"ops\":" + json_int_array(d.ops) + ",\"message\":\"" +
+                  json_escape(d.message) + "\"}";
+          }
+          jc += "]";
+          if (!prog_json.empty()) jc += "," + prog_json;
+          jc += "}";
+          json_cases.push_back(std::move(jc));
+        }
+
+        if (!diags.empty() || !prog_diags.empty()) {
           // A single root cause repeated per op can produce thousands of
           // diagnostics; show the first few and the count of the rest.
           constexpr std::size_t kMaxShown = 8;
+          std::string r = "-- " + c.schedule.name + " (p=" + std::to_string(p) +
+                          ", V=" + std::to_string(v) + ") --\n";
           std::vector<analysis::Diagnostic> shown(
               diags.begin(), diags.begin() + static_cast<std::ptrdiff_t>(
                                                  std::min(diags.size(), kMaxShown)));
-          std::string r = "-- " + c.schedule.name + " (p=" + std::to_string(p) +
-                          ", V=" + std::to_string(v) + ") --\n" +
-                          analysis::render_report(shown);
+          r += analysis::render_report(shown);
           if (diags.size() > kMaxShown) {
             r += "  ... and " + std::to_string(diags.size() - kMaxShown) +
-                 " more diagnostic(s)\n";
+                 " more schedule diagnostic(s)\n";
+          }
+          std::vector<program::ProgramDiagnostic> pshown(
+              prog_diags.begin(),
+              prog_diags.begin() +
+                  static_cast<std::ptrdiff_t>(std::min(prog_diags.size(), kMaxShown)));
+          r += program::render_report(pshown);
+          if (prog_diags.size() > kMaxShown) {
+            r += "  ... and " + std::to_string(prog_diags.size() - kMaxShown) +
+                 " more program diagnostic(s)\n";
           }
           reports.push_back(std::move(r));
         }
@@ -120,9 +308,19 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::cout << (csv ? table.to_csv() : table.to_string());
-  for (const std::string& r : reports) std::cout << "\n" << r;
-  std::cout << "\nschedule_lint: " << total_errors << " error(s), " << total_warnings
-            << " warning(s)\n";
+  if (json) {
+    std::cout << "{\"cases\":[";
+    for (std::size_t i = 0; i < json_cases.size(); ++i) {
+      if (i) std::cout << ",";
+      std::cout << "\n" << json_cases[i];
+    }
+    std::cout << "\n],\"total_errors\":" << total_errors
+              << ",\"total_warnings\":" << total_warnings << "}\n";
+  } else {
+    std::cout << (csv ? table.to_csv() : table.to_string());
+    for (const std::string& r : reports) std::cout << "\n" << r;
+    std::cout << "\nschedule_lint: " << total_errors << " error(s), " << total_warnings
+              << " warning(s)\n";
+  }
   return total_errors > 0 ? 1 : 0;
 }

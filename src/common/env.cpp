@@ -1,21 +1,67 @@
 #include "common/env.h"
 
+#include <cctype>
 #include <cstdlib>
 
 #include "common/error.h"
 
 namespace vocab {
 
-std::int64_t positive_int_from_env(const char* name, std::int64_t fallback,
-                                   std::int64_t max_value) {
+namespace {
+
+/// nullptr when unset or empty (both mean "use the documented default").
+const char* raw_env(const char* name) {
   const char* env = std::getenv(name);
-  if (env == nullptr || *env == '\0') return fallback;
+  return (env == nullptr || *env == '\0') ? nullptr : env;
+}
+
+std::string lowercase(const char* s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+}  // namespace
+
+std::int64_t int_from_env(const char* name, std::int64_t fallback, std::int64_t min_value,
+                          std::int64_t max_value) {
+  const char* env = raw_env(name);
+  if (env == nullptr) return fallback;
   char* end = nullptr;
   const long long v = std::strtoll(env, &end, 10);
-  VOCAB_CHECK(end != env && *end == '\0' && v >= 1 && v <= max_value,
-              name << " must be an integer in [1, " << max_value << "], got \"" << env
-                   << "\"");
+  VOCAB_CHECK(end != env && *end == '\0' && v >= min_value && v <= max_value,
+              name << " must be an integer in [" << min_value << ", " << max_value
+                   << "], got \"" << env << "\"");
   return static_cast<std::int64_t>(v);
+}
+
+std::int64_t positive_int_from_env(const char* name, std::int64_t fallback,
+                                   std::int64_t max_value) {
+  return int_from_env(name, fallback, 1, max_value);
+}
+
+bool bool_from_env(const char* name, bool fallback) {
+  const char* env = raw_env(name);
+  if (env == nullptr) return fallback;
+  const std::string v = lowercase(env);
+  if (v == "0" || v == "false" || v == "off" || v == "no") return false;
+  if (v == "1" || v == "true" || v == "on" || v == "yes") return true;
+  VOCAB_FAIL(name << " must be one of 0/1/false/true/off/on/no/yes, got \"" << env << "\"");
+}
+
+std::string choice_from_env(const char* name, const char* fallback,
+                            std::initializer_list<const char*> allowed) {
+  const char* env = raw_env(name);
+  if (env == nullptr) return fallback;
+  for (const char* a : allowed) {
+    if (std::string(a) == env) return env;
+  }
+  std::string expected;
+  for (const char* a : allowed) {
+    if (!expected.empty()) expected += "|";
+    expected += a;
+  }
+  VOCAB_FAIL(name << " must be one of " << expected << ", got \"" << env << "\"");
 }
 
 }  // namespace vocab

@@ -1,21 +1,14 @@
 #include "guard/nan_fence.h"
 
-#include <cstdlib>
 #include <sstream>
 
+#include "common/env.h"
 #include "guard/tensor_stats.h"
 
 namespace vocab::guard {
 
 GuardLevel guard_level_from_env() {
-  const char* env = std::getenv("VOCAB_GUARD_LEVEL");
-  if (env == nullptr || *env == '\0') return GuardLevel::kOff;
-  char* end = nullptr;
-  const long v = std::strtol(env, &end, 10);
-  VOCAB_CHECK(end != env && *end == '\0' && v >= 0 && v <= 2,
-              "VOCAB_GUARD_LEVEL must be 0 (off), 1 (fence), or 2 (full), got \""
-                  << env << "\"");
-  return static_cast<GuardLevel>(v);
+  return static_cast<GuardLevel>(int_from_env("VOCAB_GUARD_LEVEL", 0, 0, 2));
 }
 
 NanFence::NanFence(int num_devices, GuardLevel level) : level_(level) {

@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/env.h"
 #include "common/error.h"
 
 namespace vocab::parallel {
@@ -30,13 +31,9 @@ thread_local ThreadPool* t_scoped_pool = nullptr;
 constexpr std::int64_t kMaxChunks = 256;
 
 int env_num_threads() {
-  if (const char* env = std::getenv("VOCAB_NUM_THREADS")) {
-    char* end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (end != env && v >= 1 && v <= 1024) return static_cast<int>(v);
-  }
   const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<int>(hw);
+  const int fallback = hw == 0 ? 1 : static_cast<int>(hw);
+  return static_cast<int>(int_from_env("VOCAB_NUM_THREADS", fallback, 1, 1024));
 }
 
 }  // namespace

@@ -1,0 +1,340 @@
+#include "program/bytecode.h"
+
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace vocab::program {
+
+const char* to_string(Opcode op) {
+  switch (op) {
+    case Opcode::kCall: return "CALL";
+    case Opcode::kSend: return "SEND";
+    case Opcode::kRecv: return "RECV";
+    case Opcode::kColl: return "COLL";
+    case Opcode::kAlloc: return "ALLOC";
+    case Opcode::kFree: return "FREE";
+    case Opcode::kBarrier: return "BARRIER";
+    case Opcode::kHalt: return "HALT";
+  }
+  return "?";
+}
+
+namespace {
+
+void describe_kernel(std::ostringstream& oss, const CompiledProgram& prog, int kernel) {
+  if (kernel < 0 || kernel >= static_cast<int>(prog.kernels.size())) {
+    oss << "kernel " << kernel << " (out of range)";
+    return;
+  }
+  const KernelMeta& k = prog.kernels[static_cast<std::size_t>(kernel)];
+  oss << (k.label.empty() ? "?" : k.label) << " (kernel " << kernel << ", "
+      << vocab::to_string(k.kind);
+  if (k.microbatch >= 0) oss << " mb " << k.microbatch;
+  oss << ")";
+}
+
+}  // namespace
+
+std::string disassemble(const CompiledProgram& prog, int lane) {
+  VOCAB_CHECK(lane >= 0 && lane < static_cast<int>(prog.lanes.size()),
+              "lane " << lane << " out of range for " << prog.lanes.size() << " lanes");
+  std::ostringstream oss;
+  const std::vector<Instr>& code = prog.lanes[static_cast<std::size_t>(lane)];
+  char pc_buf[24];
+  for (std::size_t pc = 0; pc < code.size(); ++pc) {
+    const Instr& in = code[pc];
+    std::snprintf(pc_buf, sizeof(pc_buf), "%04u", static_cast<unsigned>(pc));
+    oss << "[lane " << lane << "] " << pc_buf << "  " << to_string(in.op) << "  ";
+    switch (in.op) {
+      case Opcode::kCall:
+        describe_kernel(oss, prog, in.a);
+        break;
+      case Opcode::kSend:
+        oss << "tag " << in.a << " -> lane " << in.b;
+        break;
+      case Opcode::kRecv:
+        oss << "tag " << in.a << " <- lane " << in.b;
+        break;
+      case Opcode::kColl:
+        oss << "group " << in.a << ", ";
+        describe_kernel(oss, prog, in.b);
+        break;
+      case Opcode::kAlloc:
+      case Opcode::kFree:
+        oss << in.bytes << " bytes, ";
+        describe_kernel(oss, prog, in.a);
+        break;
+      case Opcode::kBarrier:
+        oss << "id " << in.a;
+        break;
+      case Opcode::kHalt:
+        break;
+    }
+    oss << "\n";
+  }
+  return oss.str();
+}
+
+std::string disassemble(const CompiledProgram& prog) {
+  std::ostringstream oss;
+  oss << "; program '" << prog.schedule_name << "': " << prog.num_devices << " lanes, "
+      << prog.num_microbatches << " microbatches, " << prog.total_instructions()
+      << " instructions, hash 0x" << std::hex << content_hash(prog) << std::dec << "\n";
+  for (int d = 0; d < static_cast<int>(prog.lanes.size()); ++d) {
+    oss << disassemble(prog, d);
+  }
+  return oss.str();
+}
+
+// ---------------------------------------------------------------------------
+// Serialization. Little-endian fixed-width fields; doubles as IEEE-754 bit
+// patterns. The payload is hashed with FNV-1a 64 and the hash embedded in
+// the container header, so a loaded artifact proves it is the compiled one.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr char kMagic[4] = {'V', 'P', 'B', '1'};
+constexpr std::uint32_t kVersion = 1;
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void f64(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    bytes_.insert(bytes_.end(), s.begin(), s.end());
+  }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::string str() {
+    const std::uint32_t n = u32();
+    need(n);
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+  [[nodiscard]] bool exhausted() const { return pos_ == size_; }
+
+ private:
+  void need(std::size_t n) {
+    VOCAB_CHECK(pos_ + n <= size_, "truncated program artifact: need " << n << " byte(s) at "
+                                                                       << pos_ << " of "
+                                                                       << size_);
+  }
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+void write_doubles(Writer& w, const std::vector<double>& v) {
+  w.u32(static_cast<std::uint32_t>(v.size()));
+  for (const double x : v) w.f64(x);
+}
+
+std::vector<double> read_doubles(Reader& r) {
+  const std::uint32_t n = r.u32();
+  std::vector<double> v;
+  v.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) v.push_back(r.f64());
+  return v;
+}
+
+std::vector<std::uint8_t> serialize_payload(const CompiledProgram& p) {
+  Writer w;
+  w.str(p.schedule_name);
+  w.i32(p.num_devices);
+  w.i32(p.num_microbatches);
+  write_doubles(w, p.base_bytes);
+  write_doubles(w, p.expected_peak_bytes);
+  write_doubles(w, p.expected_peak_microbatches);
+  w.u32(static_cast<std::uint32_t>(p.kernels.size()));
+  for (const KernelMeta& k : p.kernels) {
+    w.u8(static_cast<std::uint8_t>(k.kind));
+    w.i32(k.device);
+    w.u8(static_cast<std::uint8_t>(k.stream));
+    w.i32(k.microbatch);
+    w.i32(k.chunk);
+    w.i32(k.collective);
+    w.f64(k.duration);
+    w.f64(k.alloc_bytes);
+    w.f64(k.free_bytes);
+    w.str(k.label);
+  }
+  w.u32(static_cast<std::uint32_t>(p.lanes.size()));
+  for (const std::vector<Instr>& lane : p.lanes) {
+    w.u32(static_cast<std::uint32_t>(lane.size()));
+    for (const Instr& in : lane) {
+      w.u8(static_cast<std::uint8_t>(in.op));
+      w.i32(in.a);
+      w.i32(in.b);
+      w.f64(in.bytes);
+    }
+  }
+  return w.take();
+}
+
+std::uint64_t fnv1a(const std::vector<std::uint8_t>& bytes) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+template <typename T>
+T checked_enum(std::uint8_t raw, std::uint8_t max_value, const char* what) {
+  VOCAB_CHECK(raw <= max_value, "program artifact carries invalid " << what << " value "
+                                                                    << int{raw});
+  return static_cast<T>(raw);
+}
+
+}  // namespace
+
+std::uint64_t content_hash(const CompiledProgram& prog) {
+  return fnv1a(serialize_payload(prog));
+}
+
+std::vector<std::uint8_t> serialize(const CompiledProgram& prog) {
+  std::vector<std::uint8_t> payload = serialize_payload(prog);
+  Writer w;
+  for (const char c : kMagic) w.u8(static_cast<std::uint8_t>(c));
+  w.u32(kVersion);
+  w.u64(fnv1a(payload));
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  std::vector<std::uint8_t> out = w.take();
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+CompiledProgram deserialize(const std::vector<std::uint8_t>& bytes) {
+  Reader header(bytes.data(), bytes.size());
+  for (const char c : kMagic) {
+    VOCAB_CHECK(header.u8() == static_cast<std::uint8_t>(c),
+                "not a compiled-program artifact (bad magic)");
+  }
+  const std::uint32_t version = header.u32();
+  VOCAB_CHECK(version == kVersion,
+              "unsupported program artifact version " << version << " (expected " << kVersion
+                                                      << ")");
+  const std::uint64_t stored_hash = header.u64();
+  const std::uint32_t payload_size = header.u32();
+  constexpr std::size_t kHeaderSize = 4 + 4 + 8 + 4;
+  VOCAB_CHECK(bytes.size() == kHeaderSize + payload_size,
+              "program artifact size mismatch: header promises " << payload_size
+                                                                 << " payload byte(s)");
+  const std::vector<std::uint8_t> payload(bytes.begin() + kHeaderSize, bytes.end());
+  VOCAB_CHECK(fnv1a(payload) == stored_hash,
+              "program artifact failed its content-hash check; the file is corrupt");
+
+  Reader r(payload.data(), payload.size());
+  CompiledProgram p;
+  p.schedule_name = r.str();
+  p.num_devices = r.i32();
+  p.num_microbatches = r.i32();
+  p.base_bytes = read_doubles(r);
+  p.expected_peak_bytes = read_doubles(r);
+  p.expected_peak_microbatches = read_doubles(r);
+  const std::uint32_t num_kernels = r.u32();
+  p.kernels.reserve(num_kernels);
+  for (std::uint32_t i = 0; i < num_kernels; ++i) {
+    KernelMeta k;
+    k.kind = checked_enum<OpKind>(r.u8(), static_cast<std::uint8_t>(OpKind::Sync), "OpKind");
+    k.device = r.i32();
+    k.stream = checked_enum<Stream>(r.u8(), static_cast<std::uint8_t>(Stream::CommAlt), "Stream");
+    k.microbatch = r.i32();
+    k.chunk = r.i32();
+    k.collective = r.i32();
+    k.duration = r.f64();
+    k.alloc_bytes = r.f64();
+    k.free_bytes = r.f64();
+    k.label = r.str();
+    p.kernels.push_back(std::move(k));
+  }
+  const std::uint32_t num_lanes = r.u32();
+  p.lanes.reserve(num_lanes);
+  for (std::uint32_t d = 0; d < num_lanes; ++d) {
+    const std::uint32_t n = r.u32();
+    std::vector<Instr> lane;
+    lane.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      Instr in;
+      in.op = checked_enum<Opcode>(r.u8(), static_cast<std::uint8_t>(Opcode::kHalt), "Opcode");
+      in.a = r.i32();
+      in.b = r.i32();
+      in.bytes = r.f64();
+      lane.push_back(in);
+    }
+    p.lanes.push_back(std::move(lane));
+  }
+  VOCAB_CHECK(r.exhausted(), "program artifact carries trailing bytes");
+  return p;
+}
+
+void save(const CompiledProgram& prog, const std::string& path) {
+  const std::vector<std::uint8_t> bytes = serialize(prog);
+  FILE* f = std::fopen(path.c_str(), "wb");
+  VOCAB_CHECK(f != nullptr, "cannot open " << path << " for writing");
+  const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const int close_rc = std::fclose(f);
+  VOCAB_CHECK(written == bytes.size() && close_rc == 0, "short write to " << path);
+}
+
+CompiledProgram load(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  VOCAB_CHECK(f != nullptr, "cannot open " << path << " for reading");
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) bytes.insert(bytes.end(), buf, buf + n);
+  std::fclose(f);
+  return deserialize(bytes);
+}
+
+}  // namespace vocab::program

@@ -1,0 +1,207 @@
+#include "program/compiler.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "analysis/verifier.h"
+#include "common/error.h"
+#include "sim/pipeline_sim.h"
+
+namespace vocab::program {
+
+namespace {
+
+/// Union collective members into one condensed node (all members start and
+/// end together, so they execute as a unit of the order). Representative =
+/// smallest member id.
+std::vector<int> condensed_representatives(const PipelineSchedule& s) {
+  std::vector<int> rep(s.ops.size());
+  for (std::size_t i = 0; i < s.ops.size(); ++i) rep[i] = static_cast<int>(i);
+  std::vector<int> first_member;  // by collective id
+  for (const Op& op : s.ops) {
+    if (op.collective < 0) continue;
+    if (op.collective >= static_cast<int>(first_member.size())) {
+      first_member.resize(static_cast<std::size_t>(op.collective) + 1, -1);
+    }
+    int& f = first_member[static_cast<std::size_t>(op.collective)];
+    if (f < 0) f = op.id;
+    rep[static_cast<std::size_t>(op.id)] = f;
+  }
+  return rep;
+}
+
+/// Kahn's algorithm over the condensed graph, min-heap keyed by (simulated
+/// start, id); each popped node's member ops land on their own device's
+/// sequence, so devices agree on the relative order of shared collectives.
+std::vector<std::vector<int>> project_sequences(const PipelineSchedule& s) {
+  const SimResult sim = simulate(s, /*memory_capacity=*/0.0, SimVerify::kOff);
+  const std::vector<int> rep = condensed_representatives(s);
+  const std::size_t n = s.ops.size();
+  std::vector<std::vector<int>> adj(n);
+  std::vector<int> indegree(n, 0);
+  auto add_edge = [&](int from, int to) {
+    const int u = rep[static_cast<std::size_t>(from)];
+    const int v = rep[static_cast<std::size_t>(to)];
+    if (u == v) return;
+    adj[static_cast<std::size_t>(u)].push_back(v);
+    ++indegree[static_cast<std::size_t>(v)];
+  };
+  for (const Op& op : s.ops) {
+    for (const int dep : op.deps) add_edge(dep, op.id);
+  }
+  for (const DeviceLanes& lanes : s.devices) {
+    for (const Stream stream : {Stream::Compute, Stream::Comm, Stream::CommAlt}) {
+      const std::vector<int>& lane = lanes.lane(stream);
+      for (std::size_t i = 1; i < lane.size(); ++i) add_edge(lane[i - 1], lane[i]);
+    }
+  }
+
+  using Key = std::pair<double, int>;
+  std::priority_queue<Key, std::vector<Key>, std::greater<>> ready;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rep[i] == static_cast<int>(i) && indegree[i] == 0) {
+      ready.emplace(sim.times[i].start, static_cast<int>(i));
+    }
+  }
+  std::vector<std::vector<int>> members(n);
+  for (const Op& op : s.ops) {
+    members[static_cast<std::size_t>(rep[static_cast<std::size_t>(op.id)])].push_back(op.id);
+  }
+
+  std::vector<std::vector<int>> sequences(static_cast<std::size_t>(s.num_devices));
+  std::size_t emitted = 0;
+  while (!ready.empty()) {
+    const int node = ready.top().second;
+    ready.pop();
+    for (const int id : members[static_cast<std::size_t>(node)]) {
+      sequences[static_cast<std::size_t>(s.op(id).device)].push_back(id);
+      ++emitted;
+    }
+    for (const int next : adj[static_cast<std::size_t>(node)]) {
+      if (--indegree[static_cast<std::size_t>(next)] == 0) {
+        ready.emplace(sim.times[static_cast<std::size_t>(next)].start, next);
+      }
+    }
+  }
+  VOCAB_CHECK(emitted == n,
+              "topological order incomplete: " << emitted << " of " << n << " ops emitted");
+  return sequences;
+}
+
+}  // namespace
+
+CompiledProgram compile_schedule(const PipelineSchedule& schedule) {
+  // Precondition: only certified schedules are lowered. The projection below
+  // exists exactly when the condensed graph is acyclic, which the verifier
+  // proves; everything else about the compiled artifact is then re-proven by
+  // the program verifier (translation validation).
+  analysis::verify_or_throw(schedule);
+
+  const std::vector<std::vector<int>> sequences = project_sequences(schedule);
+
+  CompiledProgram prog;
+  prog.schedule_name = schedule.name;
+  prog.num_devices = schedule.num_devices;
+  prog.num_microbatches = schedule.num_microbatches;
+  prog.base_bytes = schedule.base_bytes;
+  prog.kernels.reserve(schedule.ops.size());
+  for (const Op& op : schedule.ops) {
+    KernelMeta k;
+    k.kind = op.kind;
+    k.device = op.device;
+    k.stream = op.stream;
+    k.microbatch = op.microbatch;
+    k.chunk = op.chunk;
+    k.collective = op.collective;
+    k.duration = op.duration;
+    k.alloc_bytes = op.alloc_bytes;
+    k.free_bytes = op.free_bytes;
+    k.label = op.label;
+    prog.kernels.push_back(std::move(k));
+  }
+
+  // Assign one token tag per cross-device dependency edge, deterministically
+  // by (consumer id, dep position). Same-device edges need no token: the
+  // lane is serial and the projection preserves them.
+  std::map<int, std::vector<std::pair<int, int>>> sends;  // producer -> (tag, consumer)
+  std::map<int, std::vector<std::pair<int, int>>> recvs;  // consumer -> (tag, producer)
+  int next_tag = 0;
+  for (const Op& op : schedule.ops) {
+    for (const int dep : op.deps) {
+      const Op& producer = schedule.op(dep);
+      if (producer.device == op.device) continue;
+      const int tag = next_tag++;
+      sends[dep].emplace_back(tag, op.id);
+      recvs[op.id].emplace_back(tag, dep);
+    }
+  }
+
+  // Reference answer for the program verifier's byte-accurate peak scan:
+  // walk the projected *op* sequence (alloc at op start, free at op end)
+  // before any instruction is emitted, so a dropped, duplicated or
+  // reordered ALLOC/FREE in the instruction stream diverges from it.
+  prog.expected_peak_bytes.assign(static_cast<std::size_t>(schedule.num_devices), 0.0);
+  for (int d = 0; d < schedule.num_devices; ++d) {
+    double live = 0.0;
+    double peak = 0.0;
+    for (const int id : sequences[static_cast<std::size_t>(d)]) {
+      const Op& op = schedule.op(id);
+      if (op.alloc_bytes > 0.0) {
+        live += op.alloc_bytes;
+        peak = std::max(peak, live);
+      }
+      if (op.free_bytes > 0.0) live -= op.free_bytes;
+    }
+    prog.expected_peak_bytes[static_cast<std::size_t>(d)] = peak;
+  }
+
+  prog.lanes.assign(static_cast<std::size_t>(schedule.num_devices), {});
+  for (int d = 0; d < schedule.num_devices; ++d) {
+    std::vector<Instr>& code = prog.lanes[static_cast<std::size_t>(d)];
+    for (const int id : sequences[static_cast<std::size_t>(d)]) {
+      const Op& op = schedule.op(id);
+      const auto rit = recvs.find(id);
+      if (rit != recvs.end()) {
+        for (const auto& [tag, producer] : rit->second) {
+          code.push_back({Opcode::kRecv, tag, schedule.op(producer).device, 0.0});
+        }
+      }
+      if (op.alloc_bytes > 0.0) code.push_back({Opcode::kAlloc, id, -1, op.alloc_bytes});
+      if (op.collective >= 0) {
+        code.push_back({Opcode::kColl, op.collective, id, 0.0});
+      } else {
+        code.push_back({Opcode::kCall, id, -1, 0.0});
+      }
+      const auto sit = sends.find(id);
+      if (sit != sends.end()) {
+        for (const auto& [tag, consumer] : sit->second) {
+          code.push_back({Opcode::kSend, tag, schedule.op(consumer).device, 0.0});
+        }
+      }
+      if (op.free_bytes > 0.0) code.push_back({Opcode::kFree, id, -1, op.free_bytes});
+    }
+    code.push_back({Opcode::kHalt, -1, -1, 0.0});
+  }
+
+  // Reference answer for the closed-form re-proof, computed by the existing
+  // schedule-level analysis over the source lanes — fully independent of
+  // both the projection and the instruction emission above.
+  prog.expected_peak_microbatches = analysis::activation_peak_microbatches(schedule);
+  return prog;
+}
+
+std::vector<std::vector<int>> device_sequences(const CompiledProgram& prog) {
+  std::vector<std::vector<int>> sequences(static_cast<std::size_t>(prog.num_devices));
+  for (std::size_t d = 0; d < prog.lanes.size() && d < sequences.size(); ++d) {
+    for (const Instr& in : prog.lanes[d]) {
+      if (in.op == Opcode::kCall) sequences[d].push_back(in.a);
+      if (in.op == Opcode::kColl) sequences[d].push_back(in.b);
+    }
+  }
+  return sequences;
+}
+
+}  // namespace vocab::program

@@ -1,0 +1,47 @@
+#pragma once
+
+// ScheduleCompiler: lower a verifier-certified PipelineSchedule into one
+// bytecode program per device (see bytecode.h).
+//
+// Lowering
+// --------
+// 1. The schedule-level verifier must certify the source (precondition —
+//    the projection below only exists for the proven-acyclic condensed
+//    graph). 2. One global topological order is derived over the condensed
+//    dependency graph (collective members contracted; dep edges + per-lane
+//    issue-order edges) with Kahn's algorithm, ties broken by the discrete-
+//    event simulator's predicted start times so the linearization tracks
+//    the intended overlap. This is the executor's historical projection,
+//    now owned by the compiler. 3. Each device's projection of that common
+//    order becomes its lane: per op, RECV instructions for every
+//    cross-device dependency, then ALLOC, then CALL (or COLL for
+//    collective members), then a SEND per cross-device consumer, then
+//    FREE; a HALT terminates the lane.
+//
+// Same-device dependencies compile to nothing — the lane is serial and the
+// projection of a topological order preserves them — while every
+// cross-device edge becomes an explicit SEND/RECV token pair with a unique
+// tag. That turns the implicit happens-before structure of the op graph
+// into checkable instructions: the program verifier re-proves tag
+// matching, deadlock-freedom, collective agreement and the memory bounds
+// on the compiled artifact alone (translation validation), so a compiler
+// bug cannot silently ship an unsafe program.
+
+#include "program/bytecode.h"
+#include "schedule/ops.h"
+
+namespace vocab::program {
+
+/// Lower `schedule` into per-device bytecode. Throws CheckError when the
+/// schedule-level verifier rejects the source. The result carries the
+/// schedule verifier's expected peak-memory answers for the program
+/// verifier to re-prove.
+[[nodiscard]] CompiledProgram compile_schedule(const PipelineSchedule& schedule);
+
+/// The common linearization's per-device projection (op ids, one vector per
+/// device) that compile_schedule lowers from — exposed so the struct-walking
+/// executor backend and tests can check both backends execute the same
+/// per-device op sequences.
+[[nodiscard]] std::vector<std::vector<int>> device_sequences(const CompiledProgram& prog);
+
+}  // namespace vocab::program

@@ -218,6 +218,7 @@ ScheduleExecutor& PipelineTrainer::executor_for(int m, bool with_clip) {
   auto ex = std::make_unique<ScheduleExecutor>(std::move(sched));
   ex->set_abort_token(abort_);
   ex->set_nan_fence(fence_);
+  if (backend_override_) ex->set_backend(*backend_override_);
   if (injector_ != nullptr) ex->set_fault_injector(injector_);
   if (watchdog_enabled_) ex->enable_watchdog(watchdog_config_);
   ex->set_comm_snapshot([this] {
@@ -233,6 +234,11 @@ ScheduleExecutor& PipelineTrainer::executor_for(int m, bool with_clip) {
   ScheduleExecutor& ref = *ex;
   executors_.emplace(key, std::move(ex));
   return ref;
+}
+
+void PipelineTrainer::set_executor_backend(ExecutorBackend backend) {
+  backend_override_ = backend;
+  for (auto& [m, ex] : executors_) ex->set_backend(backend);
 }
 
 void PipelineTrainer::set_fault_injector(std::shared_ptr<FaultInjector> injector) {

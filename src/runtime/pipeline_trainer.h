@@ -27,6 +27,7 @@
 #include <limits>
 #include <map>
 #include <memory>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -97,6 +98,11 @@ class PipelineTrainer {
   /// in milliseconds; the trainer is then poisoned — further iterations
   /// throw until the owner rebuilds from a checkpoint (see ResilientTrainer).
   [[nodiscard]] const std::shared_ptr<AbortToken>& abort_token() const { return abort_; }
+
+  /// Select the dispatch backend (struct-walking vs bytecode interpreter)
+  /// for every cached and future executor. Both backends are bit-identical
+  /// numerically; default comes from VOCAB_EXECUTOR.
+  void set_executor_backend(ExecutorBackend backend);
 
   /// Install a fault plan (scheduled flavors only; each executor op dispatch
   /// consults it). The caller drives FaultInjector::begin_iteration.
@@ -216,6 +222,7 @@ class PipelineTrainer {
   // Keyed by (microbatch count, clip collective appended).
   std::map<std::pair<int, bool>, std::unique_ptr<ScheduleExecutor>> executors_;
   ScheduleExecutor* last_executor_ = nullptr;
+  std::optional<ExecutorBackend> backend_override_;  // unset: VOCAB_EXECUTOR
   // Naive path: the same per-device slice of the intra-op thread budget the
   // executor gives its device threads, so every flavor models p devices of
   // equal fixed capacity (idle devices cannot lend cores to busy ones).

@@ -1,15 +1,20 @@
 #include "runtime/schedule_executor.h"
 
 #include <chrono>
+#include <condition_variable>
 #include <exception>
-#include <queue>
+#include <map>
+#include <mutex>
+#include <set>
 #include <thread>
 #include <utility>
 
-#include "analysis/verifier.h"
+#include "comm/channel.h"  // default_comm_timeout
+#include "common/env.h"
 #include "common/error.h"
 #include "parallel/thread_pool.h"
-#include "sim/pipeline_sim.h"
+#include "program/compiler.h"
+#include "program/program_verifier.h"
 
 namespace vocab {
 
@@ -21,26 +26,21 @@ double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
-/// Union collective members into one condensed node (all members start and
-/// end together, so they execute as a unit of the order). Representative =
-/// smallest member id.
-std::vector<int> condensed_representatives(const PipelineSchedule& s) {
-  std::vector<int> rep(s.ops.size());
-  for (std::size_t i = 0; i < s.ops.size(); ++i) rep[i] = static_cast<int>(i);
-  std::vector<int> first_member;  // by collective id
-  for (const Op& op : s.ops) {
-    if (op.collective < 0) continue;
-    if (op.collective >= static_cast<int>(first_member.size())) {
-      first_member.resize(static_cast<std::size_t>(op.collective) + 1, -1);
-    }
-    int& f = first_member[static_cast<std::size_t>(op.collective)];
-    if (f < 0) f = op.id;
-    rep[static_cast<std::size_t>(op.id)] = f;
-  }
-  return rep;
+ExecutorBackend backend_from_env() {
+  const std::string choice =
+      choice_from_env("VOCAB_EXECUTOR", "structs", {"structs", "program"});
+  return choice == "program" ? ExecutorBackend::kProgram : ExecutorBackend::kStructs;
 }
 
 }  // namespace
+
+const char* to_string(ExecutorBackend backend) {
+  switch (backend) {
+    case ExecutorBackend::kStructs: return "structs";
+    case ExecutorBackend::kProgram: return "program";
+  }
+  return "?";
+}
 
 double ExecutorStats::idle_fraction(int device) const {
   if (wall_seconds <= 0.0) return 0.0;
@@ -48,70 +48,81 @@ double ExecutorStats::idle_fraction(int device) const {
   return busy >= wall_seconds ? 0.0 : 1.0 - busy / wall_seconds;
 }
 
+/// Per-run interpreter comm state: one tag mailbox per lane (SEND posts,
+/// RECV blocks) and shared barrier arrival counts. Waits slice their comm
+/// timeout by kAbortPollInterval so an abort anywhere unblocks them fast.
+struct ScheduleExecutor::TokenBoxes {
+  struct Box {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::multiset<int> tags;
+  };
+
+  explicit TokenBoxes(int num_lanes) : boxes(static_cast<std::size_t>(num_lanes)) {}
+
+  std::vector<Box> boxes;
+  std::mutex barrier_mutex;
+  std::condition_variable barrier_cv;
+  std::map<int, int> barrier_arrivals;  // barrier id -> lanes arrived
+
+  void post(int lane, int tag) {
+    Box& box = boxes[static_cast<std::size_t>(lane)];
+    {
+      const std::lock_guard<std::mutex> lock(box.mutex);
+      box.tags.insert(tag);
+    }
+    box.cv.notify_all();
+  }
+
+  void wait(int lane, int tag, const AbortToken& token, const std::string& context) {
+    Box& box = boxes[static_cast<std::size_t>(lane)];
+    const auto t0 = Clock::now();
+    const auto deadline = t0 + default_comm_timeout();
+    std::unique_lock<std::mutex> lock(box.mutex);
+    for (;;) {
+      const auto it = box.tags.find(tag);
+      if (it != box.tags.end()) {
+        box.tags.erase(it);
+        return;
+      }
+      token.throw_if_aborted(context);
+      if (Clock::now() >= deadline) {
+        throw DeadlockError("interpreter RECV timed out: " + context);
+      }
+      box.cv.wait_for(lock, kAbortPollInterval);
+    }
+  }
+
+  void barrier(int id, int num_lanes, const AbortToken& token, const std::string& context) {
+    std::unique_lock<std::mutex> lock(barrier_mutex);
+    const int arrived = ++barrier_arrivals[id];
+    if (arrived >= num_lanes) {
+      barrier_cv.notify_all();
+      return;
+    }
+    const auto deadline = Clock::now() + default_comm_timeout();
+    while (barrier_arrivals[id] < num_lanes) {
+      token.throw_if_aborted(context);
+      if (Clock::now() >= deadline) {
+        throw DeadlockError("interpreter BARRIER timed out: " + context);
+      }
+      barrier_cv.wait_for(lock, kAbortPollInterval);
+    }
+  }
+};
+
 ScheduleExecutor::ScheduleExecutor(PipelineSchedule schedule, int total_threads)
     : schedule_(std::move(schedule)) {
-  // Precondition: the static verifier must certify the schedule — the
-  // topological order below only exists (and the no-deadlock argument only
-  // holds) for the acyclic condensed graph the verifier proves.
-  analysis::verify_or_throw(schedule_);
-
-  // Predicted start times key the tie-breaking so the common linearization
-  // tracks the simulator's intended overlap instead of op creation order.
-  const SimResult sim = simulate(schedule_, /*memory_capacity=*/0.0, SimVerify::kOff);
-
-  const std::vector<int> rep = condensed_representatives(schedule_);
-  const std::size_t n = schedule_.ops.size();
-  std::vector<std::vector<int>> adj(n);
-  std::vector<int> indegree(n, 0);
-  auto add_edge = [&](int from, int to) {
-    const int u = rep[static_cast<std::size_t>(from)];
-    const int v = rep[static_cast<std::size_t>(to)];
-    if (u == v) return;
-    adj[static_cast<std::size_t>(u)].push_back(v);
-    ++indegree[static_cast<std::size_t>(v)];
-  };
-  for (const Op& op : schedule_.ops) {
-    for (const int dep : op.deps) add_edge(dep, op.id);
-  }
-  for (const DeviceLanes& lanes : schedule_.devices) {
-    for (const Stream stream : {Stream::Compute, Stream::Comm, Stream::CommAlt}) {
-      const std::vector<int>& lane = lanes.lane(stream);
-      for (std::size_t i = 1; i < lane.size(); ++i) add_edge(lane[i - 1], lane[i]);
-    }
-  }
-
-  // Kahn's algorithm over condensed nodes, min-heap keyed by (simulated
-  // start, id). Every member op of a popped node lands on its own device's
-  // sequence; devices thereby agree on the relative order of all shared
-  // collectives.
-  using Key = std::pair<double, int>;
-  std::priority_queue<Key, std::vector<Key>, std::greater<>> ready;
-  for (std::size_t i = 0; i < n; ++i) {
-    if (rep[i] == static_cast<int>(i) && indegree[i] == 0) {
-      ready.emplace(sim.times[i].start, static_cast<int>(i));
-    }
-  }
-  // Collect each condensed node's member ops up front.
-  std::vector<std::vector<int>> members(n);
-  for (const Op& op : schedule_.ops) members[static_cast<std::size_t>(rep[static_cast<std::size_t>(op.id)])].push_back(op.id);
-
-  sequences_.assign(static_cast<std::size_t>(schedule_.num_devices), {});
-  std::size_t emitted = 0;
-  while (!ready.empty()) {
-    const int node = ready.top().second;
-    ready.pop();
-    for (const int id : members[static_cast<std::size_t>(node)]) {
-      sequences_[static_cast<std::size_t>(schedule_.op(id).device)].push_back(id);
-      ++emitted;
-    }
-    for (const int next : adj[static_cast<std::size_t>(node)]) {
-      if (--indegree[static_cast<std::size_t>(next)] == 0) {
-        ready.emplace(sim.times[static_cast<std::size_t>(next)].start, next);
-      }
-    }
-  }
-  VOCAB_CHECK(emitted == n, "topological order incomplete: " << emitted << " of " << n
-                                                             << " ops emitted");
+  // Lowering: the compiler verifies the schedule (precondition — the
+  // projection only exists for the proven-acyclic condensed graph), derives
+  // the common linearization and emits per-device bytecode. Translation
+  // validation: the program verifier then re-decides every invariant on the
+  // compiled artifact, with the source schedule for the dependency-
+  // realization check — a compiler bug cannot reach run().
+  program_ = program::compile_schedule(schedule_);
+  program::verify_program_or_throw(program_, &schedule_);
+  sequences_ = program::device_sequences(program_);
+  backend_ = backend_from_env();
 
   // Partition the intra-op thread budget across the device threads.
   const int total = total_threads > 0 ? total_threads : parallel::num_threads();
@@ -153,6 +164,96 @@ void ScheduleExecutor::set_comm_snapshot(std::function<std::string()> snapshot) 
   comm_snapshot_ = std::move(snapshot);
 }
 
+void ScheduleExecutor::set_program(program::CompiledProgram prog) {
+  program::verify_program_or_throw(prog, &schedule_);
+  const std::vector<std::vector<int>> sequences = program::device_sequences(prog);
+  VOCAB_CHECK(sequences == sequences_,
+              "loaded program '" << prog.schedule_name
+                                 << "' dispatches different per-device kernel sequences "
+                                    "than the compiled schedule '"
+                                 << schedule_.name << "'");
+  program_ = std::move(prog);
+}
+
+namespace {
+
+/// The per-op dispatch protocol shared by both backends: abort check,
+/// watchdog heartbeat, fault injection, fence attribution, compute timing.
+void dispatch_op(OpRunner& runner, const Op& op, int device, AbortToken& token,
+                 Watchdog* watchdog, FaultInjector* injector, guard::NanFence* fence,
+                 double& compute_seconds) {
+  // Devices busy computing (not blocked in a wait) still stop at the next
+  // op boundary after a peer fails.
+  token.throw_if_aborted("device " + std::to_string(device) + " before op '" + op.label +
+                         "'");
+  if (watchdog != nullptr) watchdog->heartbeat(device, op.id);
+  if (injector != nullptr) injector->on_op(device, op.id, op.label, &token);
+  if (fence != nullptr && fence->active()) fence->begin_op(device, op.label, op.microbatch);
+  if (op.stream == Stream::Compute) {
+    const auto op_t0 = Clock::now();
+    runner.run_op(op);
+    compute_seconds += seconds_since(op_t0);
+  } else {
+    runner.run_op(op);
+  }
+}
+
+}  // namespace
+
+void ScheduleExecutor::run_structs_lane(OpRunner& runner, int device, Watchdog* watchdog,
+                                        AbortToken& token, double& compute_seconds,
+                                        int& current_op) {
+  for (const int id : sequences_[static_cast<std::size_t>(device)]) {
+    current_op = id;
+    dispatch_op(runner, schedule_.op(id), device, token, watchdog, injector_.get(),
+                fence_.get(), compute_seconds);
+  }
+}
+
+void ScheduleExecutor::run_program_lane(OpRunner& runner, int device, Watchdog* watchdog,
+                                        AbortToken& token, TokenBoxes& boxes,
+                                        double& compute_seconds, int& current_op) {
+  const std::vector<program::Instr>& code = program_.lanes[static_cast<std::size_t>(device)];
+  for (std::size_t pc = 0; pc < code.size(); ++pc) {
+    const program::Instr& in = code[pc];
+    switch (in.op) {
+      case program::Opcode::kCall:
+        current_op = in.a;
+        dispatch_op(runner, schedule_.op(in.a), device, token, watchdog, injector_.get(),
+                    fence_.get(), compute_seconds);
+        break;
+      case program::Opcode::kColl:
+        // The OpRunner rendezvouses collective members itself (DeviceGroup);
+        // the instruction only fixes this lane's issue position.
+        current_op = in.b;
+        dispatch_op(runner, schedule_.op(in.b), device, token, watchdog, injector_.get(),
+                    fence_.get(), compute_seconds);
+        break;
+      case program::Opcode::kSend:
+        boxes.post(in.b, in.a);
+        break;
+      case program::Opcode::kRecv:
+        boxes.wait(device, in.a, token,
+                   "device " + std::to_string(device) + " pc " + std::to_string(pc) +
+                       " RECV tag " + std::to_string(in.a) + " from lane " +
+                       std::to_string(in.b));
+        break;
+      case program::Opcode::kAlloc:
+      case program::Opcode::kFree:
+        // Memory accounting instructions carry no runtime action here; the
+        // program verifier has already proven their balance and peak.
+        break;
+      case program::Opcode::kBarrier:
+        boxes.barrier(in.a, schedule_.num_devices, token,
+                      "device " + std::to_string(device) + " pc " + std::to_string(pc) +
+                          " BARRIER " + std::to_string(in.a));
+        break;
+      case program::Opcode::kHalt:
+        return;
+    }
+  }
+}
+
 void ScheduleExecutor::run(OpRunner& runner) {
   const int p = schedule_.num_devices;
   stats_.wall_seconds = 0.0;
@@ -180,6 +281,10 @@ void ScheduleExecutor::run(OpRunner& runner) {
     watchdog->start();
   }
 
+  // Fresh interpreter comm state per run: tokens from a previous (possibly
+  // aborted) run must not satisfy this run's RECVs.
+  TokenBoxes boxes(p);
+
   // Per-device outcome of this run. kKilled threads raise no abort: the
   // fault model for a silently-dying rank is that only the watchdog's stall
   // deadline can discover it.
@@ -198,23 +303,10 @@ void ScheduleExecutor::run(OpRunner& runner) {
       double compute = 0.0;
       int current_op = -1;
       try {
-        for (const int id : sequences_[static_cast<std::size_t>(d)]) {
-          const Op& op = schedule_.op(id);
-          current_op = id;
-          // Devices busy computing (not blocked in a wait) still stop at the
-          // next op boundary after a peer fails.
-          token->throw_if_aborted("device " + std::to_string(d) + " before op '" + op.label +
-                                  "'");
-          if (watchdog != nullptr) watchdog->heartbeat(d, id);
-          if (injector_ != nullptr) injector_->on_op(d, id, op.label, token.get());
-          if (fence_ != nullptr && fence_->active()) fence_->begin_op(d, op.label, op.microbatch);
-          if (op.stream == Stream::Compute) {
-            const auto op_t0 = Clock::now();
-            runner.run_op(op);
-            compute += seconds_since(op_t0);
-          } else {
-            runner.run_op(op);
-          }
+        if (backend_ == ExecutorBackend::kProgram) {
+          run_program_lane(runner, d, watchdog.get(), *token, boxes, compute, current_op);
+        } else {
+          run_structs_lane(runner, d, watchdog.get(), *token, compute, current_op);
         }
         if (watchdog != nullptr) watchdog->mark_done(d);
       } catch (const ThreadKilledFault&) {

@@ -16,15 +16,35 @@
 // Static verification (src/analysis/verifier) is a *precondition*: the
 // executor refuses schedules whose condensed dependency graph (dep edges +
 // per-lane issue-order edges + collective members contracted to one node)
-// is not provably acyclic. From that certified DAG the executor derives ONE
-// global topological order — Kahn's algorithm with ties broken by the
-// discrete-event simulator's predicted start times — and each device
-// executes the projection of that common linearization onto its ops. All
-// devices therefore issue shared collectives in the same relative order,
-// and every cross-device dependency points backward in the common order:
-// with sends non-blocking and receives tag-addressed, the smallest
+// is not provably acyclic. Lowering now lives in program::compile_schedule:
+// the compiler derives ONE global topological order — Kahn's algorithm with
+// ties broken by the discrete-event simulator's predicted start times — and
+// each device executes the projection of that common linearization onto its
+// ops. All devices therefore issue shared collectives in the same relative
+// order, and every cross-device dependency points backward in the common
+// order: with sends non-blocking and receives tag-addressed, the smallest
 // incomplete op in the order always has its producers completed, so the
 // execution cannot deadlock.
+//
+// Backends
+// --------
+// The executor compiles its schedule to per-device bytecode at construction
+// and statically re-verifies the program against the source (translation
+// validation; see src/program). run() then dispatches through one of two
+// backends, selected by VOCAB_EXECUTOR (structs|program) or set_backend():
+//
+//   kStructs  — walk the projected op-id sequences directly (historical
+//               path). Cross-device ordering is implicit: it emerges from
+//               the trainer's blocking channel recvs.
+//   kProgram  — interpret the compiled bytecode: CALL/COLL dispatch the
+//               source op to the OpRunner exactly as kStructs does, while
+//               SEND/RECV additionally enforce every cross-device dependency
+//               edge through abort-aware token mailboxes. Both backends
+//               dispatch the identical per-device kernel sequence (they are
+//               projections of the same certified linearization), so the
+//               numerics are bit-identical; tokens only add synchronization,
+//               and every token edge points backward in the linearization,
+//               so no new deadlock is introduced.
 //
 // Thread-pool partitioning
 // ------------------------
@@ -44,6 +64,7 @@
 #include "fault/fault_injector.h"
 #include "fault/watchdog.h"
 #include "guard/nan_fence.h"
+#include "program/bytecode.h"
 #include "schedule/ops.h"
 
 namespace vocab::parallel {
@@ -74,14 +95,26 @@ struct ExecutorStats {
   [[nodiscard]] double idle_fraction(int device) const;
 };
 
+/// How run() dispatches ops. Bit-identical numerics either way (see the
+/// header comment); kProgram additionally enforces cross-device dependency
+/// edges through SEND/RECV token mailboxes.
+enum class ExecutorBackend {
+  kStructs,  ///< walk the projected op-id sequences (historical path)
+  kProgram,  ///< interpret the compiled, statically verified bytecode
+};
+
+[[nodiscard]] const char* to_string(ExecutorBackend backend);
+
 /// Per-device dispatch engine for one verified PipelineSchedule. Construct
 /// once per (schedule, thread budget) and run() once per training iteration.
 class ScheduleExecutor {
  public:
-  /// Verifies `schedule` (throws CheckError on any static violation), then
-  /// derives the per-device execution order. `total_threads` is the machine
-  /// width to partition across device threads; <= 0 uses the process
-  /// ThreadPool's width.
+  /// Verifies `schedule` (throws CheckError on any static violation),
+  /// compiles it to per-device bytecode and statically re-verifies the
+  /// program against the source (translation validation). `total_threads`
+  /// is the machine width to partition across device threads; <= 0 uses the
+  /// process ThreadPool's width. The initial backend comes from
+  /// VOCAB_EXECUTOR (structs|program, default structs).
   explicit ScheduleExecutor(PipelineSchedule schedule, int total_threads = 0);
   ~ScheduleExecutor();
 
@@ -128,7 +161,20 @@ class ScheduleExecutor {
   /// Report of the most recent run()'s watchdog firing (empty if none).
   [[nodiscard]] const std::string& last_watchdog_report() const { return watchdog_report_; }
 
+  /// Select the dispatch backend for subsequent run() calls (checked at run
+  /// time, not construction, so cached executors can be switched).
+  void set_backend(ExecutorBackend backend) { backend_ = backend; }
+  [[nodiscard]] ExecutorBackend backend() const { return backend_; }
+
+  /// Replace the compiled program with `prog` (e.g. one loaded from disk).
+  /// The program is statically re-verified against this executor's schedule
+  /// and must dispatch the same per-device kernel sequences; throws
+  /// CheckError otherwise. Subsequent kProgram runs interpret it.
+  void set_program(program::CompiledProgram prog);
+
   [[nodiscard]] const PipelineSchedule& schedule() const { return schedule_; }
+  /// The compiled, verified bytecode artifact of schedule().
+  [[nodiscard]] const program::CompiledProgram& program() const { return program_; }
   /// The common linearization's projection onto one device (op ids).
   [[nodiscard]] const std::vector<int>& device_sequence(int device) const;
   /// Stats of the most recent run().
@@ -137,7 +183,17 @@ class ScheduleExecutor {
   [[nodiscard]] int threads_per_device() const { return threads_per_device_; }
 
  private:
+  struct TokenBoxes;  // per-device RECV mailboxes (kProgram backend)
+
+  void run_structs_lane(OpRunner& runner, int device, Watchdog* watchdog,
+                        AbortToken& token, double& compute_seconds, int& current_op);
+  void run_program_lane(OpRunner& runner, int device, Watchdog* watchdog,
+                        AbortToken& token, TokenBoxes& boxes,
+                        double& compute_seconds, int& current_op);
+
   PipelineSchedule schedule_;
+  program::CompiledProgram program_;        // compiled + statically verified
+  ExecutorBackend backend_ = ExecutorBackend::kStructs;
   std::vector<std::vector<int>> sequences_;  // per device, op ids in issue order
   std::vector<std::unique_ptr<parallel::ThreadPool>> pools_;  // per device; empty when serial
   int threads_per_device_ = 1;

@@ -8,6 +8,7 @@
 #include <string_view>
 
 #include "analysis/verifier.h"
+#include "common/env.h"
 #include "common/error.h"
 
 namespace vocab {
@@ -39,23 +40,21 @@ namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
 /// VOCAB_VERIFY_SCHEDULES overrides the build-type default in either
-/// direction: "0" disables verification even in debug builds, any other
-/// non-empty value enables it even in release builds. Unset, debug builds
-/// verify and release builds don't. The verifier proves deadlock-freedom,
-/// so a failure here points at the generator, not at the simulation.
+/// direction (strict boolean: 0/1/false/true/off/on/no/yes): a false value
+/// disables verification even in debug builds, a true value enables it even
+/// in release builds. Unset, debug builds verify and release builds don't.
+/// The verifier proves deadlock-freedom, so a failure here points at the
+/// generator, not at the simulation.
 bool verify_precondition_enabled(SimVerify verify) {
   if (verify == SimVerify::kOn) return true;
   if (verify == SimVerify::kOff) return false;
   static const bool enabled = [] {
-    const char* e = std::getenv("VOCAB_VERIFY_SCHEDULES");
-    if (e == nullptr || std::string_view(e).empty()) {
 #ifndef NDEBUG
-      return false;
+    const bool fallback = false;
 #else
-      return true;
+    const bool fallback = true;
 #endif
-    }
-    return std::string_view(e) != "0";
+    return bool_from_env("VOCAB_VERIFY_SCHEDULES", fallback);
   }();
   return enabled;
 }

@@ -8,6 +8,7 @@
 #include <limits>
 #include <string>
 
+#include "common/env.h"
 #include "common/error.h"
 #include "tensor/bf16.h"
 #include "tensor/simd_tables.h"
@@ -350,8 +351,8 @@ const Kernels* table_for(Level level) {
 }
 
 Level resolve_from_env() {
-  const char* env = std::getenv("VOCAB_SIMD");
-  const std::string v = (env != nullptr && *env != '\0') ? env : "auto";
+  const std::string v =
+      choice_from_env("VOCAB_SIMD", "auto", {"auto", "avx512", "avx2", "neon", "scalar"});
   if (v == "auto") {
     for (const Level l : {Level::kAvx512, Level::kAvx2, Level::kNeon}) {
       if (level_supported(l)) return l;
@@ -365,11 +366,8 @@ Level resolve_from_env() {
     want = Level::kNeon;
   } else if (v == "avx2") {
     want = Level::kAvx2;
-  } else if (v == "avx512") {
-    want = Level::kAvx512;
   } else {
-    VOCAB_CHECK(false, "VOCAB_SIMD: unknown value '"
-                           << v << "' (expected auto|avx512|avx2|neon|scalar)");
+    want = Level::kAvx512;
   }
   VOCAB_CHECK(level_supported(want),
               "VOCAB_SIMD=" << v << " requested but "

@@ -1,12 +1,15 @@
 // Tests for the common substrate: error macros, table rendering, logging
-// levels, and statistical sanity of the deterministic RNG.
+// levels, strict env-var parsing, and statistical sanity of the
+// deterministic RNG.
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <string>
 
+#include "common/env.h"
 #include "common/error.h"
 #include "common/logging.h"
 #include "common/rng.h"
@@ -99,6 +102,108 @@ TEST(Logging, ThresholdGatesEmission) {
   VOCAB_INFO("info " << touch());
   EXPECT_EQ(evaluations, 0);
   set_log_level(original);
+}
+
+// ---- strict env parsing ----------------------------------------------------------
+
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() { ::unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+/// The thrown message must name the variable and echo the offending text, so
+/// a failing run is diagnosable from the error alone.
+template <typename Fn>
+void expect_env_error(const char* name, const char* value, Fn fn) {
+  const ScopedEnv env(name, value);
+  try {
+    fn();
+    FAIL() << name << "=" << value << " should have thrown";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(name), std::string::npos) << what;
+    EXPECT_NE(what.find(value), std::string::npos) << what;
+  }
+}
+
+TEST(EnvParsing, IntUnsetAndEmptyMeanFallback) {
+  ::unsetenv("VOCAB_TEST_INT");
+  EXPECT_EQ(int_from_env("VOCAB_TEST_INT", 7, 0, 100), 7);
+  const ScopedEnv env("VOCAB_TEST_INT", "");
+  EXPECT_EQ(int_from_env("VOCAB_TEST_INT", 7, 0, 100), 7);
+}
+
+TEST(EnvParsing, IntParsesFullStringInRange) {
+  {
+    const ScopedEnv env("VOCAB_TEST_INT", "42");
+    EXPECT_EQ(int_from_env("VOCAB_TEST_INT", 7, 0, 100), 42);
+  }
+  {
+    const ScopedEnv env("VOCAB_TEST_INT", "-5");
+    EXPECT_EQ(int_from_env("VOCAB_TEST_INT", 7, -10, 100), -5);
+  }
+}
+
+TEST(EnvParsing, IntRejectsGarbageTrailersAndOutOfRange) {
+  const auto parse = [] { (void)int_from_env("VOCAB_TEST_INT", 7, 0, 100); };
+  expect_env_error("VOCAB_TEST_INT", "3OOO", parse);  // the letter-O typo
+  expect_env_error("VOCAB_TEST_INT", "12x", parse);
+  expect_env_error("VOCAB_TEST_INT", "1 2", parse);
+  expect_env_error("VOCAB_TEST_INT", "101", parse);
+  expect_env_error("VOCAB_TEST_INT", "-1", parse);
+}
+
+TEST(EnvParsing, PositiveIntRejectsZero) {
+  {
+    const ScopedEnv env("VOCAB_TEST_INT", "3");
+    EXPECT_EQ(positive_int_from_env("VOCAB_TEST_INT", 1), 3);
+  }
+  expect_env_error("VOCAB_TEST_INT", "0",
+                   [] { (void)positive_int_from_env("VOCAB_TEST_INT", 1); });
+}
+
+TEST(EnvParsing, BoolAcceptsEverySpellingCaseInsensitively) {
+  ::unsetenv("VOCAB_TEST_BOOL");
+  EXPECT_TRUE(bool_from_env("VOCAB_TEST_BOOL", true));
+  EXPECT_FALSE(bool_from_env("VOCAB_TEST_BOOL", false));
+  for (const char* v : {"1", "true", "TRUE", "on", "yes", "Yes"}) {
+    const ScopedEnv env("VOCAB_TEST_BOOL", v);
+    EXPECT_TRUE(bool_from_env("VOCAB_TEST_BOOL", false)) << v;
+  }
+  for (const char* v : {"0", "false", "False", "off", "OFF", "no"}) {
+    const ScopedEnv env("VOCAB_TEST_BOOL", v);
+    EXPECT_FALSE(bool_from_env("VOCAB_TEST_BOOL", true)) << v;
+  }
+  expect_env_error("VOCAB_TEST_BOOL", "maybe",
+                   [] { (void)bool_from_env("VOCAB_TEST_BOOL", false); });
+}
+
+TEST(EnvParsing, ChoiceMatchesExactlyOrListsTheSpellings) {
+  ::unsetenv("VOCAB_TEST_CHOICE");
+  EXPECT_EQ(choice_from_env("VOCAB_TEST_CHOICE", "a", {"a", "b"}), "a");
+  {
+    const ScopedEnv env("VOCAB_TEST_CHOICE", "b");
+    EXPECT_EQ(choice_from_env("VOCAB_TEST_CHOICE", "a", {"a", "b"}), "b");
+  }
+  {
+    const ScopedEnv env("VOCAB_TEST_CHOICE", "B");  // exact match — no folding
+    try {
+      (void)choice_from_env("VOCAB_TEST_CHOICE", "a", {"a", "b"});
+      FAIL() << "should have thrown";
+    } catch (const CheckError& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("VOCAB_TEST_CHOICE"), std::string::npos);
+      // The error must list the accepted spellings.
+      EXPECT_NE(what.find("a"), std::string::npos);
+      EXPECT_NE(what.find("b"), std::string::npos);
+    }
+  }
 }
 
 // ---- RNG statistics ------------------------------------------------------------------

@@ -1,0 +1,698 @@
+// Tests for src/program: the schedule compiler (lowering to per-device
+// bytecode), serialization with content hashing, the static program verifier
+// (translation validation — including a mutation suite asserting that every
+// class of compiler bug is caught with the right check code, lane and pc),
+// and the interpreter backend's bit-identity with the struct-walking
+// executor across every flavor, width and tying configuration — including
+// under fault injection.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "analysis/verifier.h"
+#include "common/error.h"
+#include "cost/cost_model.h"
+#include "fault/fault_injector.h"
+#include "model/gpt.h"
+#include "program/bytecode.h"
+#include "program/compiler.h"
+#include "program/program_verifier.h"
+#include "runtime/pipeline_trainer.h"
+#include "runtime/schedule_executor.h"
+#include "schedule/layer_assignment.h"
+#include "schedule/schedule_1f1b.h"
+#include "schedule/schedule_1f1b_vocab.h"
+#include "schedule/schedule_gpipe.h"
+#include "schedule/schedule_vhalf.h"
+#include "tensor/tensor_ops.h"
+
+namespace vocab {
+namespace {
+
+using program::CompiledProgram;
+using program::Instr;
+using program::Opcode;
+using program::ProgramCheck;
+using program::ProgramDiagnostic;
+
+CostModel small_cost_model(int m) {
+  ModelConfig mc;
+  mc.num_layers = 8;
+  mc.attention_heads = 2;
+  mc.hidden = 32;
+  mc.seq_len = 16;
+  mc.vocab = 53;
+  mc.microbatch = 1;
+  mc.num_microbatches = m;
+  return CostModel(mc, HardwareModel{});
+}
+
+/// Every shipped generator at test width, with the paper's peak-activation
+/// closed form where one applies (< 0: none).
+struct GenCase {
+  PipelineSchedule schedule;
+  double closed_form;
+};
+
+std::vector<GenCase> generator_cases(int p) {
+  const CostModel cm = small_cost_model(2 * p);
+  std::vector<GenCase> cases;
+  cases.push_back({build_1f1b(cm, p, uniform_assignment(8, p)), static_cast<double>(p)});
+  cases.push_back({build_1f1b_vocab(cm, p, OutputAlgo::Alg1), static_cast<double>(p + 2)});
+  cases.push_back({build_1f1b_vocab(cm, p, OutputAlgo::Alg2), static_cast<double>(p + 1)});
+  cases.push_back({build_gpipe(cm, p, uniform_assignment(8, p)), -1.0});
+  cases.push_back({build_gpipe_vocab(cm, p, OutputAlgo::Alg1), -1.0});
+  cases.push_back({build_gpipe_vocab(cm, p, OutputAlgo::Alg2), -1.0});
+  cases.push_back({build_vhalf(cm, p), -1.0});
+  cases.push_back({build_vhalf_vocab(cm, p), -1.0});
+  return cases;
+}
+
+struct Site {
+  int lane = -1;
+  int pc = -1;
+};
+
+/// First instruction satisfying `pred`, scanning lanes in order.
+template <typename Pred>
+Site find_site(const CompiledProgram& prog, Pred pred) {
+  for (int d = 0; d < prog.num_devices; ++d) {
+    const auto& code = prog.lanes[static_cast<std::size_t>(d)];
+    for (std::size_t pc = 0; pc < code.size(); ++pc) {
+      if (pred(code[pc])) return {d, static_cast<int>(pc)};
+    }
+  }
+  return {};
+}
+
+const Instr& at(const CompiledProgram& prog, Site s) {
+  return prog.lanes[static_cast<std::size_t>(s.lane)][static_cast<std::size_t>(s.pc)];
+}
+
+bool has_check(const std::vector<ProgramDiagnostic>& diags, ProgramCheck check) {
+  return std::any_of(diags.begin(), diags.end(),
+                     [&](const ProgramDiagnostic& d) { return d.check == check; });
+}
+
+const ProgramDiagnostic* find_check(const std::vector<ProgramDiagnostic>& diags,
+                                    ProgramCheck check) {
+  for (const auto& d : diags) {
+    if (d.check == check) return &d;
+  }
+  return nullptr;
+}
+
+std::string render(const std::vector<ProgramDiagnostic>& diags) {
+  return program::render_report(diags);
+}
+
+// ---------------------------------------------------------------------------
+// Compiler units.
+// ---------------------------------------------------------------------------
+
+TEST(Compiler, CoversEveryKernelExactlyOnceOnItsDevice) {
+  const PipelineSchedule s = build_1f1b_vocab(small_cost_model(8), 4, OutputAlgo::Alg2);
+  const CompiledProgram prog = program::compile_schedule(s);
+  ASSERT_EQ(prog.kernels.size(), s.ops.size());
+  std::vector<int> seen(s.ops.size(), 0);
+  const auto seqs = program::device_sequences(prog);
+  for (int d = 0; d < prog.num_devices; ++d) {
+    for (const int id : seqs[static_cast<std::size_t>(d)]) {
+      ASSERT_GE(id, 0);
+      ASSERT_LT(id, static_cast<int>(s.ops.size()));
+      EXPECT_EQ(s.op(id).device, d);
+      ++seen[static_cast<std::size_t>(id)];
+    }
+  }
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i], 1) << "kernel " << i;
+  }
+}
+
+TEST(Compiler, EveryCrossDeviceEdgeGetsOneTokenPair) {
+  const PipelineSchedule s = build_1f1b_vocab(small_cost_model(8), 4, OutputAlgo::Alg1);
+  const CompiledProgram prog = program::compile_schedule(s);
+  std::size_t cross_edges = 0;
+  for (const Op& op : s.ops) {
+    for (const int dep : op.deps) {
+      if (s.op(dep).device != op.device) ++cross_edges;
+    }
+  }
+  std::size_t sends = 0, recvs = 0;
+  for (const auto& lane : prog.lanes) {
+    for (const Instr& in : lane) {
+      sends += in.op == Opcode::kSend;
+      recvs += in.op == Opcode::kRecv;
+    }
+  }
+  EXPECT_EQ(sends, cross_edges);
+  EXPECT_EQ(recvs, cross_edges);
+}
+
+TEST(Compiler, ExecutorAndCompilerAgreeOnSequences) {
+  const PipelineSchedule s = build_1f1b_vocab(small_cost_model(8), 4, OutputAlgo::Alg2);
+  const ScheduleExecutor ex(s);
+  const auto seqs = program::device_sequences(ex.program());
+  for (int d = 0; d < s.num_devices; ++d) {
+    EXPECT_EQ(ex.device_sequence(d), seqs[static_cast<std::size_t>(d)]) << "device " << d;
+  }
+}
+
+TEST(Compiler, RejectsUncertifiedSchedule) {
+  PipelineSchedule s = build_1f1b(small_cost_model(4), 2, uniform_assignment(8, 2));
+  s.ops.front().deps.push_back(s.ops.back().id);  // dependency cycle
+  EXPECT_THROW((void)program::compile_schedule(s), CheckError);
+}
+
+TEST(Compiler, DisassemblyNamesKernelsAndTokens) {
+  const PipelineSchedule s = build_1f1b(small_cost_model(4), 2, uniform_assignment(8, 2));
+  const CompiledProgram prog = program::compile_schedule(s);
+  const std::string listing = program::disassemble(prog);
+  EXPECT_NE(listing.find("CALL"), std::string::npos);
+  EXPECT_NE(listing.find("RECV"), std::string::npos);
+  EXPECT_NE(listing.find("SEND"), std::string::npos);
+  EXPECT_NE(listing.find("HALT"), std::string::npos);
+  EXPECT_NE(listing.find("[lane 1]"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Translation validation: every generator's compiled output re-proves clean,
+// and the paper's closed forms survive compilation.
+// ---------------------------------------------------------------------------
+
+TEST(ProgramVerifier, CleanOnEveryGeneratorWithClosedForms) {
+  for (const int p : {2, 4}) {
+    for (const GenCase& c : generator_cases(p)) {
+      const CompiledProgram prog = program::compile_schedule(c.schedule);
+      const std::vector<ProgramDiagnostic> diags =
+          program::verify_program(prog, &c.schedule);
+      EXPECT_TRUE(diags.empty())
+          << c.schedule.name << " (p=" << p << "):\n" << render(diags);
+      // The compiled artifact must carry the schedule verifier's answers...
+      EXPECT_EQ(prog.expected_peak_microbatches,
+                analysis::activation_peak_microbatches(c.schedule))
+          << c.schedule.name;
+      // ...and its own instruction streams must recompute them.
+      const std::vector<double> recomputed =
+          program::program_activation_peak_microbatches(prog);
+      double peak = 0.0;
+      for (const double x : recomputed) peak = std::max(peak, x);
+      if (c.closed_form > 0) {
+        EXPECT_DOUBLE_EQ(peak, c.closed_form)
+            << c.schedule.name << " (p=" << p
+            << "): the p/p+1/p+2 closed form must survive compilation";
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Mutation suite: every class of compiler bug must be caught with the right
+// check code, lane and pc.
+// ---------------------------------------------------------------------------
+
+CompiledProgram mutation_subject() {
+  return program::compile_schedule(
+      build_1f1b_vocab(small_cost_model(8), 4, OutputAlgo::Alg2));
+}
+
+TEST(ProgramMutation, DroppedRecvIsCaughtAtTheOrphanedSend) {
+  CompiledProgram prog = mutation_subject();
+  const Site recv = find_site(prog, [](const Instr& i) { return i.op == Opcode::kRecv; });
+  ASSERT_GE(recv.lane, 0);
+  const int tag = at(prog, recv).a;
+  const Site send =
+      find_site(prog, [&](const Instr& i) { return i.op == Opcode::kSend && i.a == tag; });
+  ASSERT_GE(send.lane, 0);
+  auto& code = prog.lanes[static_cast<std::size_t>(recv.lane)];
+  code.erase(code.begin() + recv.pc);
+
+  const auto diags = program::verify_program(prog);
+  const ProgramDiagnostic* d = find_check(diags, ProgramCheck::TagMatching);
+  ASSERT_NE(d, nullptr) << render(diags);
+  EXPECT_EQ(d->lane, send.lane);
+  EXPECT_EQ(d->pc, send.pc);
+  EXPECT_NE(d->message.find("never received"), std::string::npos) << d->message;
+}
+
+TEST(ProgramMutation, RetargetedSendIsCaughtAndDeadlocks) {
+  CompiledProgram prog = mutation_subject();
+  const Site send = find_site(prog, [](const Instr& i) { return i.op == Opcode::kSend; });
+  ASSERT_GE(send.lane, 0);
+  const int tag = at(prog, send).a;
+  const Site recv =
+      find_site(prog, [&](const Instr& i) { return i.op == Opcode::kRecv && i.a == tag; });
+  ASSERT_GE(recv.lane, 0);
+  // Post the token into a mailbox that is neither the true destination nor
+  // the sender's own lane.
+  Instr& s = prog.lanes[static_cast<std::size_t>(send.lane)][static_cast<std::size_t>(send.pc)];
+  for (int d = 0; d < prog.num_devices; ++d) {
+    if (d != recv.lane && d != send.lane) {
+      s.b = d;
+      break;
+    }
+  }
+
+  const auto diags = program::verify_program(prog);
+  const ProgramDiagnostic* tm = find_check(diags, ProgramCheck::TagMatching);
+  ASSERT_NE(tm, nullptr) << render(diags);
+  EXPECT_EQ(tm->lane, send.lane);
+  EXPECT_EQ(tm->pc, send.pc);
+  // The starved RECV is a real deadlock, found by the model check at its pc.
+  bool recv_blocked = false;
+  for (const auto& d : diags) {
+    if (d.check == ProgramCheck::Deadlock && d.lane == recv.lane && d.pc == recv.pc) {
+      recv_blocked = true;
+    }
+  }
+  EXPECT_TRUE(recv_blocked) << render(diags);
+}
+
+TEST(ProgramMutation, DuplicatedSendIsCaughtAtTheDuplicate) {
+  CompiledProgram prog = mutation_subject();
+  const Site send = find_site(prog, [](const Instr& i) { return i.op == Opcode::kSend; });
+  ASSERT_GE(send.lane, 0);
+  auto& code = prog.lanes[static_cast<std::size_t>(send.lane)];
+  code.insert(code.begin() + send.pc + 1, at(prog, send));
+
+  const auto diags = program::verify_program(prog);
+  const ProgramDiagnostic* d = find_check(diags, ProgramCheck::TagMatching);
+  ASSERT_NE(d, nullptr) << render(diags);
+  EXPECT_EQ(d->lane, send.lane);
+  EXPECT_EQ(d->pc, send.pc + 1);
+  EXPECT_NE(d->message.find("2 times"), std::string::npos) << d->message;
+}
+
+TEST(ProgramMutation, SwappedCollectivesBreakOrderAgreement) {
+  CompiledProgram prog = mutation_subject();
+  // Swap the first two collective instructions on lane 0; every other lane
+  // still issues the shared groups in the original order.
+  std::vector<int> coll_pcs;
+  auto& code = prog.lanes[0];
+  for (std::size_t pc = 0; pc < code.size() && coll_pcs.size() < 2; ++pc) {
+    if (code[pc].op == Opcode::kColl) coll_pcs.push_back(static_cast<int>(pc));
+  }
+  ASSERT_EQ(coll_pcs.size(), 2u) << "subject schedule must have >= 2 collectives on lane 0";
+  std::swap(code[static_cast<std::size_t>(coll_pcs[0])],
+            code[static_cast<std::size_t>(coll_pcs[1])]);
+
+  const auto diags = program::verify_program(prog);
+  const ProgramDiagnostic* d = find_check(diags, ProgramCheck::CollectiveOrder);
+  ASSERT_NE(d, nullptr) << render(diags);
+  EXPECT_EQ(d->lane, 0);
+  EXPECT_EQ(d->pc, coll_pcs[0]);
+}
+
+TEST(ProgramMutation, DroppedFreeUnbalancesTheLane) {
+  CompiledProgram prog = mutation_subject();
+  const Site free_site =
+      find_site(prog, [](const Instr& i) { return i.op == Opcode::kFree; });
+  ASSERT_GE(free_site.lane, 0);
+  auto& code = prog.lanes[static_cast<std::size_t>(free_site.lane)];
+  code.erase(code.begin() + free_site.pc);
+
+  const auto diags = program::verify_program(prog);
+  const ProgramDiagnostic* d = find_check(diags, ProgramCheck::MemoryBalance);
+  ASSERT_NE(d, nullptr) << render(diags);
+  EXPECT_EQ(d->lane, free_site.lane);
+}
+
+TEST(ProgramMutation, DroppedAllocDivergesFromThePeakProof) {
+  CompiledProgram prog = mutation_subject();
+  const Site alloc =
+      find_site(prog, [](const Instr& i) { return i.op == Opcode::kAlloc; });
+  ASSERT_GE(alloc.lane, 0);
+  auto& code = prog.lanes[static_cast<std::size_t>(alloc.lane)];
+  code.erase(code.begin() + alloc.pc);
+
+  const auto diags = program::verify_program(prog);
+  EXPECT_TRUE(has_check(diags, ProgramCheck::MemoryBalance)) << render(diags);
+  const ProgramDiagnostic* peak = find_check(diags, ProgramCheck::PeakMemory);
+  ASSERT_NE(peak, nullptr) << render(diags);
+  EXPECT_EQ(peak->lane, alloc.lane);
+}
+
+TEST(ProgramMutation, DroppedCallIsAKernelCoverageHole) {
+  CompiledProgram prog = mutation_subject();
+  const Site call = find_site(prog, [](const Instr& i) { return i.op == Opcode::kCall; });
+  ASSERT_GE(call.lane, 0);
+  const int kid = at(prog, call).a;
+  auto& code = prog.lanes[static_cast<std::size_t>(call.lane)];
+  code.erase(code.begin() + call.pc);
+
+  const auto diags = program::verify_program(prog);
+  const ProgramDiagnostic* d = find_check(diags, ProgramCheck::KernelCoverage);
+  ASSERT_NE(d, nullptr) << render(diags);
+  EXPECT_EQ(d->lane, call.lane);
+  ASSERT_FALSE(d->kernels.empty());
+  EXPECT_EQ(d->kernels.front(), kid);
+  EXPECT_NE(d->message.find("0 time(s)"), std::string::npos) << d->message;
+}
+
+TEST(ProgramMutation, ReorderedPassesViolateSemanticOrder) {
+  // 1F1B has F and B of the same microbatch on the same compute lane.
+  const PipelineSchedule s = build_1f1b(small_cost_model(8), 2, uniform_assignment(8, 2));
+  CompiledProgram prog = program::compile_schedule(s);
+  Site fwd{}, bwd{};
+  for (int d = 0; d < prog.num_devices && bwd.lane < 0; ++d) {
+    const auto& code = prog.lanes[static_cast<std::size_t>(d)];
+    for (std::size_t pc = 0; pc < code.size(); ++pc) {
+      if (code[pc].op != Opcode::kCall) continue;
+      const program::KernelMeta& k = prog.kernels[static_cast<std::size_t>(code[pc].a)];
+      if (k.microbatch != 0 || k.chunk != 0) continue;
+      if (k.kind == OpKind::Forward) fwd = {d, static_cast<int>(pc)};
+      if (k.kind == OpKind::BackwardFull && fwd.lane == d) {
+        bwd = {d, static_cast<int>(pc)};
+        break;
+      }
+    }
+  }
+  ASSERT_GE(bwd.lane, 0);
+  auto& code = prog.lanes[static_cast<std::size_t>(bwd.lane)];
+  std::swap(code[static_cast<std::size_t>(fwd.pc)], code[static_cast<std::size_t>(bwd.pc)]);
+
+  const auto diags = program::verify_program(prog);
+  const ProgramDiagnostic* d = find_check(diags, ProgramCheck::SemanticOrder);
+  ASSERT_NE(d, nullptr) << render(diags);
+  EXPECT_EQ(d->lane, bwd.lane);
+  EXPECT_EQ(d->pc, fwd.pc);  // the backward now dispatches at the forward's old pc
+}
+
+TEST(ProgramMutation, TamperedPeakMetadataIsAProofDivergence) {
+  {
+    CompiledProgram prog = mutation_subject();
+    prog.expected_peak_microbatches[0] += 1.0;
+    const auto diags = program::verify_program(prog);
+    const ProgramDiagnostic* d = find_check(diags, ProgramCheck::PeakActivation);
+    ASSERT_NE(d, nullptr) << render(diags);
+    EXPECT_EQ(d->lane, 0);
+  }
+  {
+    CompiledProgram prog = mutation_subject();
+    prog.expected_peak_bytes[1] *= 2.0;
+    const auto diags = program::verify_program(prog);
+    const ProgramDiagnostic* d = find_check(diags, ProgramCheck::PeakMemory);
+    ASSERT_NE(d, nullptr) << render(diags);
+    EXPECT_EQ(d->lane, 1);
+  }
+}
+
+TEST(ProgramMutation, UnrealizedDependencyNeedsTheSourceSchedule) {
+  // Drop a RECV *and* its SEND: tags still match (both gone), no deadlock —
+  // only the dependency-realization check against the source can see the
+  // missing edge.
+  const PipelineSchedule s = build_1f1b_vocab(small_cost_model(8), 4, OutputAlgo::Alg2);
+  CompiledProgram prog = program::compile_schedule(s);
+  const Site recv = find_site(prog, [](const Instr& i) { return i.op == Opcode::kRecv; });
+  const int tag = at(prog, recv).a;
+  const Site send =
+      find_site(prog, [&](const Instr& i) { return i.op == Opcode::kSend && i.a == tag; });
+  {
+    auto& code = prog.lanes[static_cast<std::size_t>(recv.lane)];
+    code.erase(code.begin() + recv.pc);
+  }
+  {
+    auto& code = prog.lanes[static_cast<std::size_t>(send.lane)];
+    code.erase(code.begin() + send.pc);
+  }
+  EXPECT_FALSE(has_check(program::verify_program(prog), ProgramCheck::SourceDep));
+  const auto diags = program::verify_program(prog, &s);
+  EXPECT_TRUE(has_check(diags, ProgramCheck::SourceDep)) << render(diags);
+}
+
+// ---------------------------------------------------------------------------
+// Serialization: round trip, stable content hash, corruption detection.
+// ---------------------------------------------------------------------------
+
+TEST(ProgramSerialization, RoundTripPreservesProgramAndHash) {
+  const CompiledProgram prog = mutation_subject();
+  const std::vector<std::uint8_t> bytes = program::serialize(prog);
+  const CompiledProgram back = program::deserialize(bytes);
+  EXPECT_EQ(back, prog);
+  EXPECT_EQ(program::content_hash(back), program::content_hash(prog));
+  // Hashing and serialization are deterministic within a process...
+  EXPECT_EQ(program::serialize(prog), bytes);
+  // ...and recompilation of the same schedule reproduces the same artifact.
+  const CompiledProgram again = program::compile_schedule(
+      build_1f1b_vocab(small_cost_model(8), 4, OutputAlgo::Alg2));
+  EXPECT_EQ(program::content_hash(again), program::content_hash(prog));
+}
+
+TEST(ProgramSerialization, DetectsCorruptionAndTruncation) {
+  const CompiledProgram prog = mutation_subject();
+  std::vector<std::uint8_t> bytes = program::serialize(prog);
+  std::vector<std::uint8_t> corrupt = bytes;
+  corrupt[corrupt.size() / 2] ^= 0x40;
+  EXPECT_THROW((void)program::deserialize(corrupt), CheckError);
+  std::vector<std::uint8_t> truncated(bytes.begin(), bytes.begin() + 40);
+  EXPECT_THROW((void)program::deserialize(truncated), CheckError);
+  std::vector<std::uint8_t> bad_magic = bytes;
+  bad_magic[0] ^= 0xff;
+  EXPECT_THROW((void)program::deserialize(bad_magic), CheckError);
+}
+
+TEST(ProgramSerialization, SaveLoadVerifyExecuteRoundTrip) {
+  const PipelineSchedule s = build_1f1b_vocab(small_cost_model(8), 4, OutputAlgo::Alg2);
+  ScheduleExecutor ex(s);
+  const std::string path = testing::TempDir() + "vocab_roundtrip.vpb";
+  program::save(ex.program(), path);
+  CompiledProgram loaded = program::load(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(loaded, ex.program());
+  const std::uint64_t hash = program::content_hash(ex.program());
+  EXPECT_EQ(program::content_hash(loaded), hash);
+  program::verify_program_or_throw(loaded, &s);
+
+  // Interpret the *loaded* artifact and check it dispatches exactly the
+  // certified per-device sequences — compile → save → load → verify →
+  // execute, with the hash proving it is the same program end to end.
+  ex.set_program(std::move(loaded));
+  ex.set_backend(ExecutorBackend::kProgram);
+
+  class RecordingRunner : public OpRunner {
+   public:
+    explicit RecordingRunner(int p) : order(static_cast<std::size_t>(p)) {}
+    void run_op(const Op& op) override {
+      const std::lock_guard<std::mutex> lock(mutex);
+      order[static_cast<std::size_t>(op.device)].push_back(op.id);
+    }
+    std::mutex mutex;
+    std::vector<std::vector<int>> order;
+  } runner(s.num_devices);
+
+  ex.run(runner);
+  for (int d = 0; d < s.num_devices; ++d) {
+    EXPECT_EQ(runner.order[static_cast<std::size_t>(d)], ex.device_sequence(d))
+        << "device " << d;
+  }
+  EXPECT_EQ(program::content_hash(ex.program()), hash);
+}
+
+TEST(ProgramSerialization, LoadedProgramForWrongScheduleIsRejected) {
+  const PipelineSchedule a = build_1f1b_vocab(small_cost_model(8), 4, OutputAlgo::Alg2);
+  const PipelineSchedule b = build_1f1b_vocab(small_cost_model(8), 4, OutputAlgo::Alg1);
+  ScheduleExecutor ex(a);
+  EXPECT_THROW(ex.set_program(program::compile_schedule(b)), CheckError);
+}
+
+// ---------------------------------------------------------------------------
+// Backend selection.
+// ---------------------------------------------------------------------------
+
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() { ::unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+TEST(BackendSelection, EnvVarPicksTheInterpreter) {
+  const PipelineSchedule s = build_1f1b(small_cost_model(4), 2, uniform_assignment(8, 2));
+  {
+    const ScheduleExecutor ex(s);
+    EXPECT_EQ(ex.backend(), ExecutorBackend::kStructs);  // default
+  }
+  {
+    const ScopedEnv env("VOCAB_EXECUTOR", "program");
+    const ScheduleExecutor ex(s);
+    EXPECT_EQ(ex.backend(), ExecutorBackend::kProgram);
+  }
+  {
+    const ScopedEnv env("VOCAB_EXECUTOR", "bytecode");
+    try {
+      const ScheduleExecutor ex(s);
+      FAIL() << "misspelled VOCAB_EXECUTOR must throw";
+    } catch (const CheckError& e) {
+      EXPECT_NE(std::string(e.what()).find("VOCAB_EXECUTOR"), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bit-identity: the interpreter backend must reproduce the struct-walking
+// backend exactly — same losses, same weights — for every flavor, width and
+// tying configuration.
+// ---------------------------------------------------------------------------
+
+GptConfig small_gpt(bool tied) {
+  GptConfig cfg;
+  cfg.num_layers = 8;
+  cfg.heads = 2;
+  cfg.hidden = 32;
+  cfg.seq_len = 16;
+  cfg.vocab = 53;
+  cfg.tie_embeddings = tied;
+  return cfg;
+}
+
+std::vector<Sample> microbatches(const SyntheticCorpus& corpus, int iteration, int count) {
+  std::vector<Sample> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) out.push_back(corpus.sample(iteration * count + i));
+  return out;
+}
+
+void expect_bitwise_equal(const GptWeights& a, const GptWeights& b) {
+  EXPECT_EQ(max_abs_diff(a.input_embedding, b.input_embedding), 0.0f);
+  EXPECT_EQ(max_abs_diff(a.pos_embedding, b.pos_embedding), 0.0f);
+  EXPECT_EQ(max_abs_diff(a.output_weight, b.output_weight), 0.0f);
+  ASSERT_EQ(a.layers.size(), b.layers.size());
+  for (std::size_t l = 0; l < a.layers.size(); ++l) {
+    EXPECT_EQ(max_abs_diff(a.layers[l].wq, b.layers[l].wq), 0.0f) << "layer " << l;
+    EXPECT_EQ(max_abs_diff(a.layers[l].w2, b.layers[l].w2), 0.0f) << "layer " << l;
+  }
+}
+
+struct BackendCase {
+  PipelineFlavor flavor;
+  OutputAlgo algo;
+  int p;
+  bool tied;
+};
+
+std::string backend_case_name(const testing::TestParamInfo<BackendCase>& info) {
+  const BackendCase& c = info.param;
+  std::string name = to_string(c.flavor);
+  for (char& ch : name) {
+    if (ch == '-') ch = '_';
+  }
+  if (c.flavor != PipelineFlavor::Baseline1F1B) {
+    name += c.algo == OutputAlgo::Alg1 ? "_alg1" : "_alg2";
+  }
+  name += "_p" + std::to_string(c.p);
+  name += c.tied ? "_tied" : "_untied";
+  return name;
+}
+
+class BackendBitIdentity : public testing::TestWithParam<BackendCase> {};
+
+TEST_P(BackendBitIdentity, InterpreterMatchesStructWalkerExactly) {
+  const BackendCase c = GetParam();
+  const GptConfig cfg = small_gpt(c.tied);
+  const GptWeights init = GptWeights::init(cfg, 4321);
+  SyntheticCorpus corpus(cfg.vocab, cfg.seq_len, 777);
+
+  PipelineTrainer structs(init, c.p, c.algo, c.flavor);
+  structs.set_executor_backend(ExecutorBackend::kStructs);
+  PipelineTrainer interp(init, c.p, c.algo, c.flavor);
+  interp.set_executor_backend(ExecutorBackend::kProgram);
+
+  constexpr int kIterations = 3;
+  for (int it = 0; it < kIterations; ++it) {
+    const auto mbs = microbatches(corpus, it, 2 * c.p);
+    const float l_structs = structs.train_iteration(mbs, 0.1f);
+    const float l_interp = interp.train_iteration(mbs, 0.1f);
+    EXPECT_EQ(l_structs, l_interp) << "iteration " << it << ": losses must be bit-identical";
+  }
+  expect_bitwise_equal(structs.export_weights(), interp.export_weights());
+}
+
+std::vector<BackendCase> backend_cases() {
+  std::vector<BackendCase> cases;
+  for (const int p : {2, 4}) {
+    for (const bool tied : {false, true}) {
+      cases.push_back({PipelineFlavor::Baseline1F1B, OutputAlgo::Alg1, p, tied});
+      cases.push_back({PipelineFlavor::Gpipe, OutputAlgo::Alg1, p, tied});
+      cases.push_back({PipelineFlavor::Gpipe, OutputAlgo::Alg2, p, tied});
+      cases.push_back({PipelineFlavor::OneFOneBVocab, OutputAlgo::Alg1, p, tied});
+      cases.push_back({PipelineFlavor::OneFOneBVocab, OutputAlgo::Alg2, p, tied});
+      cases.push_back({PipelineFlavor::VHalf, OutputAlgo::Alg1, p, tied});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFlavors, BackendBitIdentity, testing::ValuesIn(backend_cases()),
+                         backend_case_name);
+
+// ---------------------------------------------------------------------------
+// The interpreter under fault injection: a transient delay stays harmless
+// and bit-identical; a thrown op aborts coordinately and poisons the
+// trainer, exactly like the struct backend.
+// ---------------------------------------------------------------------------
+
+TEST(BackendFaults, DelayedOpUnderInterpreterStaysBitIdentical) {
+  const GptConfig cfg = small_gpt(/*tied=*/true);
+  const GptWeights init = GptWeights::init(cfg, 99);
+  SyntheticCorpus corpus(cfg.vocab, cfg.seq_len, 98);
+
+  PipelineTrainer clean(init, /*p=*/2, OutputAlgo::Alg2, PipelineFlavor::OneFOneBVocab);
+  clean.set_executor_backend(ExecutorBackend::kStructs);
+  PipelineTrainer delayed(init, /*p=*/2, OutputAlgo::Alg2, PipelineFlavor::OneFOneBVocab);
+  delayed.set_executor_backend(ExecutorBackend::kProgram);
+
+  FaultSpec spec;
+  spec.kind = FaultKind::DelayOp;
+  spec.iteration = 1;
+  spec.device = 1;
+  spec.op_index = 2;
+  spec.delay = std::chrono::milliseconds(30);
+  auto injector = std::make_shared<FaultInjector>(FaultPlan::single(spec));
+  delayed.set_fault_injector(injector);
+
+  for (int it = 0; it < 3; ++it) {
+    const auto mbs = microbatches(corpus, it, 4);
+    const float l_clean = clean.train_iteration(mbs, 0.1f);
+    injector->begin_iteration(static_cast<std::uint64_t>(it));
+    const float l_delayed = delayed.train_iteration(mbs, 0.1f);
+    EXPECT_EQ(l_clean, l_delayed) << "iteration " << it;
+  }
+  EXPECT_EQ(injector->faults_fired(), 1);
+  expect_bitwise_equal(clean.export_weights(), delayed.export_weights());
+}
+
+TEST(BackendFaults, ThrownOpUnderInterpreterAbortsAndPoisons) {
+  const GptConfig cfg = small_gpt(/*tied=*/false);
+  PipelineTrainer trainer(GptWeights::init(cfg, 55), /*p=*/4, OutputAlgo::Alg1,
+                          PipelineFlavor::OneFOneBVocab);
+  trainer.set_executor_backend(ExecutorBackend::kProgram);
+  FaultSpec spec;
+  spec.kind = FaultKind::ThrowInOp;
+  spec.iteration = 0;
+  spec.device = 1;
+  spec.op_index = 3;
+  auto injector = std::make_shared<FaultInjector>(FaultPlan::single(spec));
+  trainer.set_fault_injector(injector);
+  injector->begin_iteration(0);
+
+  SyntheticCorpus corpus(cfg.vocab, cfg.seq_len, 54);
+  const auto mbs = microbatches(corpus, 0, 8);
+  EXPECT_THROW(trainer.train_iteration(mbs, 0.1f), InjectedFault);
+  ASSERT_TRUE(trainer.abort_token()->aborted());
+  EXPECT_EQ(trainer.abort_token()->reason().device, 1);
+  EXPECT_THROW(trainer.train_iteration(mbs, 0.1f), AbortedError);
+}
+
+}  // namespace
+}  // namespace vocab
