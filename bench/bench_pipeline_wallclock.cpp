@@ -27,8 +27,10 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "cost/cost_model.h"
 #include "model/gpt.h"
 #include "runtime/pipeline_trainer.h"
+#include "search/schedule_search.h"
 
 namespace vocab {
 namespace {
@@ -39,13 +41,17 @@ struct Flavor {
   const char* key;  // JSON name
   PipelineFlavor flavor;
   OutputAlgo algo;
+  int zb_w_delay = 0;  // ZbVocab only; 0 = 1F1B-vocab's peak memory
 };
 
 struct Result {
   std::string name;
   double ns_per_iter = 0.0;
   double speedup_vs_naive = 0.0;
-  std::vector<double> idle;  // per device; empty for the naive baseline
+  // Measured per-device bubble fraction (executor idle / wall). Comm waits
+  // inside compute ops count as busy, so this is a lower bound on the true
+  // bubble. Empty for the naive baseline.
+  std::vector<double> bubble;
 };
 
 GptConfig bench_config(int p) {
@@ -59,17 +65,22 @@ GptConfig bench_config(int p) {
 }
 
 double run_flavor(const GptWeights& weights, const std::vector<Sample>& mbs, int p,
-                  const Flavor& f, int iters, std::vector<double>* idle) {
+                  const Flavor& f, int iters, std::vector<double>* bubble) {
   PipelineTrainer trainer(weights, p, f.algo, f.flavor);
+  if (f.flavor == PipelineFlavor::ZbVocab) {
+    ScheduleTuning tuning;
+    tuning.zb_w_delay = f.zb_w_delay;
+    trainer.set_schedule_tuning(tuning);
+  }
   trainer.train_iteration(mbs, 0.05f);  // warmup: builds + caches the executor
   const auto t0 = Clock::now();
   for (int i = 0; i < iters; ++i) trainer.train_iteration(mbs, 0.05f);
   const double ns =
       std::chrono::duration<double, std::nano>(Clock::now() - t0).count() / iters;
-  if (idle != nullptr) {
-    idle->clear();
+  if (bubble != nullptr) {
+    bubble->clear();
     if (const ExecutorStats* stats = trainer.last_executor_stats()) {
-      for (int d = 0; d < p; ++d) idle->push_back(stats->idle_fraction(d));
+      for (int d = 0; d < p; ++d) bubble->push_back(stats->idle_fraction(d));
     }
   }
   return ns;
@@ -164,9 +175,86 @@ MixedPrecisionAb run_mixed_precision(const GptWeights& weights, const std::vecto
   return ab;
 }
 
+/// Cost-model-driven schedule search (src/search) on the bench configuration,
+/// with each compared schedule then actually executed: predicted bubble
+/// fraction (discrete-event simulation) next to the measured one (executor
+/// idle). The comparison set is the searched winner, the equal-peak-memory
+/// zb-vocab w0 members, and the 1f1b-vocab baselines. On a machine with
+/// fewer than p cores the measured column is time-slicing noise — the
+/// predicted column is the schedule-quality signal there (see DESIGN.md §10).
+struct SearchBenchRow {
+  std::string name;
+  std::string family;
+  OutputAlgo algo = OutputAlgo::Alg1;
+  int w_delay = 0;
+  bool winner = false;
+  double predicted_makespan = 0.0;
+  double predicted_bubble = 0.0;  // max over devices
+  double peak_microbatches = 0.0;
+  double measured_ns = 0.0;
+  double measured_bubble = 0.0;  // max over devices
+  std::vector<double> measured_bubble_per_device;
+};
+
+std::vector<SearchBenchRow> run_schedule_search(const GptWeights& weights,
+                                                const std::vector<Sample>& mbs, int p, int m,
+                                                int iters) {
+  const GptConfig& cfg = weights.config;
+  ModelConfig mc;
+  mc.name = "bench";
+  mc.num_layers = cfg.num_layers;
+  mc.attention_heads = cfg.heads;
+  mc.hidden = cfg.hidden;
+  mc.seq_len = cfg.seq_len;
+  mc.vocab = cfg.vocab;
+  mc.microbatch = 1;
+  mc.num_microbatches = m;
+  const CostModel cm(mc, HardwareModel{});
+
+  search::SearchRequest req;
+  req.p = p;
+  req.runtime_only = true;
+  req.include_multi_chunk = false;
+  const search::SearchResult found = search::search_schedules(cm, req);
+  const search::Candidate* best = found.best();
+
+  std::vector<SearchBenchRow> rows;
+  for (const auto& c : found.ranked) {
+    const bool is_winner = best != nullptr && &c == best;
+    const bool equal_peak_zb = c.family == "zb-vocab" && c.w_delay == 0;
+    const bool baseline = c.family == "1f1b-vocab";
+    if (!is_winner && !equal_peak_zb && !baseline) continue;
+    if (!c.certified) continue;
+
+    SearchBenchRow row;
+    row.name = c.name;
+    row.family = c.family;
+    row.algo = c.algo;
+    row.w_delay = c.w_delay;
+    row.winner = is_winner;
+    row.predicted_makespan = c.predicted_makespan;
+    row.predicted_bubble = c.predicted_bubble;
+    row.peak_microbatches = c.peak_microbatches;
+
+    Flavor f;
+    f.key = row.name.c_str();
+    f.flavor = c.family == "zb-vocab"      ? PipelineFlavor::ZbVocab
+               : c.family == "gpipe-vocab" ? PipelineFlavor::Gpipe
+                                           : PipelineFlavor::OneFOneBVocab;
+    f.algo = c.algo;
+    f.zb_w_delay = c.w_delay;
+    row.measured_ns = run_flavor(weights, mbs, p, f, iters, &row.measured_bubble_per_device);
+    for (const double b : row.measured_bubble_per_device) {
+      row.measured_bubble = std::max(row.measured_bubble, b);
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
 std::string render_json(const std::vector<Result>& results, const GuardOverhead& guard,
-                        const MixedPrecisionAb& mp, const DispatchAb& dispatch, int p,
-                        int m) {
+                        const MixedPrecisionAb& mp, const DispatchAb& dispatch,
+                        const std::vector<SearchBenchRow>& search_rows, int p, int m) {
   // Record the measurement machine: overlap can only buy wall-clock when the
   // p device threads have >= p cores to land on (see DESIGN.md §10).
   const unsigned cores = std::thread::hardware_concurrency();
@@ -179,9 +267,21 @@ std::string render_json(const std::vector<Result>& results, const GuardOverhead&
                   "    {\"name\": \"%s\", \"ns_per_iter\": %.0f, \"speedup_vs_naive\": %.3f, ",
                   r.name.c_str(), r.ns_per_iter, r.speedup_vs_naive);
     out += buf;
+    // Measured per-device bubble fraction is first-class; "idle_fraction"
+    // repeats it under the historical name for existing consumers.
+    double bubble_max = 0.0;
+    for (const double b : r.bubble) bubble_max = std::max(bubble_max, b);
+    out += "\"bubble_fraction\": [";
+    for (std::size_t d = 0; d < r.bubble.size(); ++d) {
+      std::snprintf(buf, sizeof(buf), "%s%.3f", d > 0 ? ", " : "", r.bubble[d]);
+      out += buf;
+    }
+    out += "], ";
+    std::snprintf(buf, sizeof(buf), "\"bubble_fraction_max\": %.3f, ", bubble_max);
+    out += buf;
     out += "\"idle_fraction\": [";
-    for (std::size_t d = 0; d < r.idle.size(); ++d) {
-      std::snprintf(buf, sizeof(buf), "%s%.3f", d > 0 ? ", " : "", r.idle[d]);
+    for (std::size_t d = 0; d < r.bubble.size(); ++d) {
+      std::snprintf(buf, sizeof(buf), "%s%.3f", d > 0 ? ", " : "", r.bubble[d]);
       out += buf;
     }
     out += "]}";
@@ -234,7 +334,33 @@ std::string render_json(const std::vector<Result>& results, const GuardOverhead&
   idle_array("idle_fraction_structs", dispatch.idle_structs);
   out += ", ";
   idle_array("idle_fraction_program", dispatch.idle_program);
-  out += "}\n";
+  out += "},\n";
+  out += "  \"schedule_search\": [\n";
+  for (std::size_t i = 0; i < search_rows.size(); ++i) {
+    const SearchBenchRow& r = search_rows[i];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"name\": \"%s\", \"family\": \"%s\", \"w_delay\": %d, "
+                  "\"winner\": %s, ",
+                  r.name.c_str(), r.family.c_str(), r.w_delay, r.winner ? "true" : "false");
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "\"peak_microbatches\": %.2f, \"predicted_bubble\": %.4f, "
+                  "\"measured_bubble\": %.4f, ",
+                  r.peak_microbatches, r.predicted_bubble, r.measured_bubble);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "\"predicted_makespan_ms\": %.3f, \"ns_per_iter\": %.0f, ",
+                  r.predicted_makespan * 1e3, r.measured_ns);
+    out += buf;
+    out += "\"measured_bubble_per_device\": [";
+    for (std::size_t d = 0; d < r.measured_bubble_per_device.size(); ++d) {
+      std::snprintf(buf, sizeof(buf), "%s%.3f", d > 0 ? ", " : "",
+                    r.measured_bubble_per_device[d]);
+      out += buf;
+    }
+    out += "]}";
+    out += i + 1 < search_rows.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n";
   out += "}\n";
   return out;
 }
@@ -273,6 +399,12 @@ int run(int argc, char** argv) {
       {"1f1b-vocab-alg1", PipelineFlavor::OneFOneBVocab, OutputAlgo::Alg1},
       {"1f1b-vocab-alg2", PipelineFlavor::OneFOneBVocab, OutputAlgo::Alg2},
       {"v-half-vocab-alg1", PipelineFlavor::VHalf, OutputAlgo::Alg1},
+      // Zero-bubble family at w_delay=0: same peak activation memory as the
+      // 1f1b-vocab rows above (p+2 / p+1 microbatches).
+      {"zb-vocab-alg1-w0", PipelineFlavor::ZbVocab, OutputAlgo::Alg1, 0},
+      {"zb-vocab-alg2-w0", PipelineFlavor::ZbVocab, OutputAlgo::Alg2, 0},
+      // What the cost-model-driven search picks for this configuration.
+      {"auto-alg2", PipelineFlavor::Auto, OutputAlgo::Alg2},
   };
 
   std::printf("pipeline wall-clock, p=%d m=%d L=%d h=%lld V=%lld (%d iters each)\n", p, m,
@@ -289,15 +421,15 @@ int run(int argc, char** argv) {
   for (const Flavor& f : flavors) {
     Result r;
     r.name = f.key;
-    r.ns_per_iter = run_flavor(weights, mbs, p, f, iters, &r.idle);
+    r.ns_per_iter = run_flavor(weights, mbs, p, f, iters, &r.bubble);
     if (f.flavor == PipelineFlavor::Naive) naive_ns = r.ns_per_iter;
     r.speedup_vs_naive = naive_ns > 0.0 ? naive_ns / r.ns_per_iter : 0.0;
     std::printf("  %-18s %10.2f ms/iter  speedup %5.2fx", r.name.c_str(),
                 r.ns_per_iter / 1e6, r.speedup_vs_naive);
-    if (!r.idle.empty()) {
-      std::printf("  idle [");
-      for (std::size_t d = 0; d < r.idle.size(); ++d) {
-        std::printf("%s%.2f", d > 0 ? " " : "", r.idle[d]);
+    if (!r.bubble.empty()) {
+      std::printf("  bubble [");
+      for (std::size_t d = 0; d < r.bubble.size(); ++d) {
+        std::printf("%s%.2f", d > 0 ? " " : "", r.bubble[d]);
       }
       std::printf("]");
     }
@@ -323,6 +455,17 @@ int run(int argc, char** argv) {
                   ? (dispatch.ns_program / dispatch.ns_structs - 1.0) * 100.0
                   : 0.0);
 
+  // Schedule search: predicted vs measured bubble fraction for the searched
+  // winner, the equal-memory zb-vocab members, and the 1f1b-vocab baselines.
+  const std::vector<SearchBenchRow> search_rows =
+      run_schedule_search(weights, mbs, p, m, iters);
+  std::printf("  schedule search (predicted vs measured bubble, peak mb):\n");
+  for (const SearchBenchRow& r : search_rows) {
+    std::printf("    %-18s pred %.4f  meas %.4f  peak %5.2f mb%s\n", r.name.c_str(),
+                r.predicted_bubble, r.measured_bubble, r.peak_microbatches,
+                r.winner ? "  <-- winner" : "");
+  }
+
   // bf16 mixed precision A/B on the same schedule.
   const MixedPrecisionAb mp = run_mixed_precision(weights, mbs, p, flavors[2], iters);
   std::printf("  mixed precision (%s): fp32 %.2f ms/iter, bf16 %.2f ms/iter, "
@@ -337,7 +480,7 @@ int run(int argc, char** argv) {
       std::fprintf(stderr, "cannot write %s\n", json_path->c_str());
       return 1;
     }
-    const std::string json = render_json(results, guard, mp, dispatch, p, m);
+    const std::string json = render_json(results, guard, mp, dispatch, search_rows, p, m);
     std::fwrite(json.data(), 1, json.size(), out);
     std::fclose(out);
     std::printf("wrote %s\n", json_path->c_str());

@@ -20,6 +20,12 @@
 //                                          # program diagnostic
 //   ./build/bench/schedule_lint --compile --disasm
 //                                          # print each program's listing
+//   ./build/bench/schedule_lint --search   # cost-model-driven schedule search
+//                                          # over the Table-1 presets: ranked
+//                                          # candidate table (predicted
+//                                          # makespan/bubble/peak + winner);
+//                                          # nonzero exit if any ranked
+//                                          # schedule fails certification
 //
 // --json document shape (stable field names, one object per case):
 //   {
@@ -68,6 +74,8 @@
 #include "schedule/schedule_gpipe.h"
 #include "schedule/schedule_interlaced.h"
 #include "schedule/schedule_vhalf.h"
+#include "schedule/schedule_zb.h"
+#include "search/schedule_search.h"
 
 namespace {
 
@@ -86,6 +94,16 @@ std::vector<Case> build_cases(int p, std::int64_t v) {
   cases.push_back({build_1f1b(cm, p, redis_assignment(cm, p), "redis"), static_cast<double>(p)});
   cases.push_back({build_1f1b_vocab(cm, p, OutputAlgo::Alg1), static_cast<double>(p + 2)});
   cases.push_back({build_1f1b_vocab(cm, p, OutputAlgo::Alg2), static_cast<double>(p + 1)});
+  // Zero-bubble family: w_delay=0 members hold the 1F1B-vocab closed forms
+  // (p+2 / p+1); each +1 of w_delay defers one more BW cycle, +1/3 mb.
+  cases.push_back({build_zb_vocab(cm, p, OutputAlgo::Alg1, "", ZbOptions{0, -1}),
+                   static_cast<double>(p + 2)});
+  cases.push_back({build_zb_vocab(cm, p, OutputAlgo::Alg2, "", ZbOptions{0, -1}),
+                   static_cast<double>(p + 1)});
+  cases.push_back({build_zb_vocab(cm, p, OutputAlgo::Alg1, "", ZbOptions{1, -1}),
+                   p + 2 + 1.0 / 3.0});
+  cases.push_back({build_zb_vocab(cm, p, OutputAlgo::Alg2, "", ZbOptions{2, -1}),
+                   p + 1 + 2.0 / 3.0});
   cases.push_back({build_interlaced(cm, p, true), -1.0});
   cases.push_back({build_interlaced(cm, p, false), -1.0});
   cases.push_back({build_gpipe(cm, p, uniform), -1.0});
@@ -137,6 +155,66 @@ std::string json_int_array(const std::vector<int>& v) {
   return out + "]";
 }
 
+// --search: run the cost-model-driven schedule search (src/search) over the
+// Table-1 presets and dump the ranked candidate table. Exit status is
+// nonzero if ANY ranked schedule — winner or not — fails certification.
+int run_search(bool csv, bool json) {
+  Table table({"rank", "schedule", "p", "vocab", "pred ms", "pred bubble", "peak mb",
+               "peak GB", "cert", "winner"});
+  std::vector<std::string> json_rows;
+  int uncertified = 0;
+
+  for (const int p : {8, 16, 32}) {
+    if (p != 8 && !json) table.add_separator();
+    for (const std::int64_t v : {std::int64_t{32768}, std::int64_t{262144}}) {
+      const CostModel cm(preset_1f1b(p, 2048, v), HardwareModel{});
+      search::SearchRequest req;
+      req.p = p;
+      const search::SearchResult res = search::search_schedules(cm, req);
+      const search::Candidate* best = res.best();
+      int rank = 0;
+      for (const auto& c : res.ranked) {
+        ++rank;
+        if (!c.certified) ++uncertified;
+        const bool winner = best != nullptr && &c == best;
+        table.add_row({std::to_string(rank), c.name, std::to_string(p), fmt_count(v),
+                       fmt_f(c.predicted_makespan * 1e3, 2), fmt_f(c.predicted_bubble, 4),
+                       fmt_f(c.peak_microbatches, 2), fmt_f(c.peak_bytes / 1e9, 2),
+                       c.certified ? "yes" : "NO", winner ? "<--" : ""});
+        if (json) {
+          std::string row = "{\"rank\":" + std::to_string(rank) + ",\"schedule\":\"" +
+                            json_escape(c.name) + "\",\"family\":\"" + json_escape(c.family) +
+                            "\",\"p\":" + std::to_string(p) +
+                            ",\"vocab\":" + std::to_string(v) +
+                            ",\"w_delay\":" + std::to_string(c.w_delay) +
+                            ",\"predicted_makespan\":" + fmt_f(c.predicted_makespan, 6) +
+                            ",\"predicted_bubble\":" + fmt_f(c.predicted_bubble, 6) +
+                            ",\"peak_microbatches\":" + fmt_f(c.peak_microbatches, 3) +
+                            ",\"peak_bytes\":" + fmt_f(c.peak_bytes, 0) +
+                            ",\"certified\":" + (c.certified ? "true" : "false") +
+                            ",\"winner\":" + (winner ? "true" : "false");
+          if (!c.failure.empty()) row += ",\"failure\":\"" + json_escape(c.failure) + "\"";
+          row += "}";
+          json_rows.push_back(std::move(row));
+        }
+      }
+    }
+  }
+
+  if (json) {
+    std::cout << "{\"search\":[";
+    for (std::size_t i = 0; i < json_rows.size(); ++i) {
+      if (i) std::cout << ",";
+      std::cout << "\n" << json_rows[i];
+    }
+    std::cout << "\n],\"total_uncertified\":" << uncertified << "}\n";
+  } else {
+    std::cout << (csv ? table.to_csv() : table.to_string());
+    std::cout << "\nschedule_lint --search: " << uncertified << " uncertified candidate(s)\n";
+  }
+  return uncertified > 0 ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -146,8 +224,11 @@ int main(int argc, char** argv) {
   bool compile = false;
   bool disasm = false;
   bool verify_program = false;
+  bool do_search = false;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--csv") == 0) {
+    if (std::strcmp(argv[i], "--search") == 0) {
+      do_search = true;
+    } else if (std::strcmp(argv[i], "--csv") == 0) {
       csv = true;
     } else if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
@@ -161,12 +242,13 @@ int main(int argc, char** argv) {
       verify_program = true;
     } else {
       std::cerr << "usage: schedule_lint [--csv|--json] [--strict-streams] [--compile] "
-                   "[--disasm] [--verify-program]\n";
+                   "[--disasm] [--verify-program] [--search]\n";
       return 2;
     }
   }
   // --disasm and --verify-program operate on compiled programs.
   compile = compile || disasm || verify_program;
+  if (do_search) return run_search(csv, json);
 
   std::vector<std::string> header = {"schedule", "p",      "vocab",    "ops",
                                      "peak mb",  "errors", "warnings", "status"};

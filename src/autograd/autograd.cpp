@@ -21,9 +21,33 @@ Var leaf(Tensor value, bool requires_grad) {
   return node;
 }
 
+Var param(Tensor value) {
+  Var node = leaf(std::move(value), /*requires_grad=*/true);
+  node->is_param = true;
+  return node;
+}
+
 Var constant(Tensor value) { return leaf(std::move(value), false); }
 
 namespace {
+
+/// Which half of the backward pass the current traversal computes. Closures
+/// consult wants() so a split traversal skips the other half's FLOPs rather
+/// than recomputing (or double-accumulating) them.
+enum class GradPhase { kFull, kInput, kWeight };
+
+thread_local GradPhase g_phase = GradPhase::kFull;
+
+/// Does the current phase want a gradient accumulated into `v`?
+bool wants(const Var& v) {
+  if (!v->requires_grad) return false;
+  switch (g_phase) {
+    case GradPhase::kFull: return true;
+    case GradPhase::kInput: return !v->is_param;
+    case GradPhase::kWeight: return v->is_param;
+  }
+  return true;
+}
 
 /// Create an interior node; requires_grad is inherited from parents.
 Var make_node(Tensor value, std::vector<Var> parents, std::function<void(Node&)> backward_fn) {
@@ -36,7 +60,7 @@ Var make_node(Tensor value, std::vector<Var> parents, std::function<void(Node&)>
 }
 
 void accumulate(const Var& node, const Tensor& delta) {
-  if (!node->requires_grad) return;
+  if (!wants(node)) return;
   add_inplace(node->ensure_grad(), delta);
 }
 
@@ -45,9 +69,9 @@ void accumulate(const Var& node, const Tensor& delta) {
 Var matmul(const Var& a, const Var& b) {
   Tensor out = vocab::matmul(a->value, b->value);
   return make_node(std::move(out), {a, b}, [a, b](Node& n) {
-    // dA = dC B^T ; dB = A^T dC
-    accumulate(a, vocab::matmul_nt(n.grad, b->value));
-    accumulate(b, vocab::matmul_tn(a->value, n.grad));
+    // dA = dC B^T ; dB = A^T dC (gated per phase so BI/BW split the FLOPs)
+    if (wants(a)) accumulate(a, vocab::matmul_nt(n.grad, b->value));
+    if (wants(b)) accumulate(b, vocab::matmul_tn(a->value, n.grad));
   });
 }
 
@@ -55,8 +79,8 @@ Var matmul_nt(const Var& a, const Var& b) {
   Tensor out = vocab::matmul_nt(a->value, b->value);
   return make_node(std::move(out), {a, b}, [a, b](Node& n) {
     // C = A B^T: dA = dC B ; dB = dC^T A
-    accumulate(a, vocab::matmul(n.grad, b->value));
-    accumulate(b, vocab::matmul_tn(n.grad, a->value));
+    if (wants(a)) accumulate(a, vocab::matmul(n.grad, b->value));
+    if (wants(b)) accumulate(b, vocab::matmul_tn(n.grad, a->value));
   });
 }
 
@@ -79,7 +103,7 @@ Var add_rowvec(const Var& a, const Var& bias) {
   }
   return make_node(std::move(out), {a, bias}, [a, bias](Node& n) {
     accumulate(a, n.grad);
-    if (bias->requires_grad) {
+    if (wants(bias)) {
       Tensor db({n.grad.dim(1)});
       for (std::int64_t i = 0; i < n.grad.dim(0); ++i) {
         for (std::int64_t j = 0; j < n.grad.dim(1); ++j) db.at(j) += n.grad.at(i, j);
@@ -92,15 +116,15 @@ Var add_rowvec(const Var& a, const Var& bias) {
 Var mul(const Var& a, const Var& b) {
   Tensor out = vocab::mul(a->value, b->value);
   return make_node(std::move(out), {a, b}, [a, b](Node& n) {
-    accumulate(a, vocab::mul(n.grad, b->value));
-    accumulate(b, vocab::mul(n.grad, a->value));
+    if (wants(a)) accumulate(a, vocab::mul(n.grad, b->value));
+    if (wants(b)) accumulate(b, vocab::mul(n.grad, a->value));
   });
 }
 
 Var scale(const Var& a, float s) {
   Tensor out = vocab::scale(a->value, s);
   return make_node(std::move(out), {a}, [a, s](Node& n) {
-    accumulate(a, vocab::scale(n.grad, s));
+    if (wants(a)) accumulate(a, vocab::scale(n.grad, s));
   });
 }
 
@@ -118,7 +142,7 @@ Var gelu(const Var& a) {
     }
   });
   return make_node(std::move(out), {a}, [a](Node& n) {
-    if (!a->requires_grad) return;
+    if (!wants(a)) return;
     Tensor da(a->value.shape());
     const float* px = a->value.data();
     const float* pg = n.grad.data();
@@ -179,7 +203,7 @@ Var layernorm(const Var& x, const Var& gamma, const Var& beta, float eps) {
                    [x, gamma, beta, xhat = std::move(xhat),
                     inv_sigma = std::move(inv_sigma)](Node& nd) {
     const std::int64_t m = nd.grad.dim(0), n = nd.grad.dim(1);
-    if (gamma->requires_grad || beta->requires_grad) {
+    if (wants(gamma) || wants(beta)) {
       Tensor dg({n}), db({n});
       for (std::int64_t i = 0; i < m; ++i) {
         for (std::int64_t j = 0; j < n; ++j) {
@@ -187,10 +211,10 @@ Var layernorm(const Var& x, const Var& gamma, const Var& beta, float eps) {
           db.at(j) += nd.grad.at(i, j);
         }
       }
-      if (gamma->requires_grad) add_inplace(gamma->ensure_grad(), dg);
-      if (beta->requires_grad) add_inplace(beta->ensure_grad(), db);
+      if (wants(gamma)) add_inplace(gamma->ensure_grad(), dg);
+      if (wants(beta)) add_inplace(beta->ensure_grad(), db);
     }
-    if (!x->requires_grad) return;
+    if (!wants(x)) return;
     Tensor dx({m, n});
     const float* pgam = gamma->value.data();
     const float* pg = nd.grad.data();
@@ -253,6 +277,8 @@ Var causal_attention(const Var& q, const Var& k, const Var& v, int heads) {
 
   return make_node(std::move(out), {q, k, v},
                    [q, k, v, heads, dh, inv_sqrt, probs = std::move(probs)](Node& n) {
+    // q/k/v are all activations: the whole closure is BI work.
+    if (!wants(q) && !wants(k) && !wants(v)) return;
     const std::int64_t s = n.grad.dim(0);
     Tensor dq(q->value.shape()), dk(k->value.shape()), dv(v->value.shape());
     for (int a = 0; a < heads; ++a) {
@@ -300,7 +326,7 @@ Var softmax_rows(const Var& a) {
   Tensor out = vocab::softmax_rows(a->value);
   Tensor saved = out;
   return make_node(std::move(out), {a}, [a, saved = std::move(saved)](Node& n) {
-    if (!a->requires_grad) return;
+    if (!wants(a)) return;
     const std::int64_t m = n.grad.dim(0), c = n.grad.dim(1);
     Tensor da({m, c});
     const float* pg = n.grad.data();
@@ -323,15 +349,28 @@ Var softmax_rows(const Var& a) {
 Var sum_all(const Var& a) {
   Tensor out({1}, static_cast<float>(vocab::sum_all(a->value)));
   return make_node(std::move(out), {a}, [a](Node& n) {
-    if (!a->requires_grad) return;
+    if (!wants(a)) return;
     Tensor da(a->value.shape(), n.grad.at(0));
     add_inplace(a->ensure_grad(), da);
   });
 }
 
-void backward(const Var& root, const Tensor& seed) {
+namespace {
+
+/// Restore the traversal phase even if a closure throws.
+struct PhaseScope {
+  GradPhase saved;
+  explicit PhaseScope(GradPhase phase) : saved(g_phase) { g_phase = phase; }
+  ~PhaseScope() { g_phase = saved; }
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+};
+
+/// Shared reverse-mode walk. The topological order is a pure function of the
+/// graph structure, so the input and weight passes visit nodes in the exact
+/// same sequence — the property that makes the split bit-identical.
+void run_backward(const Var& root, const Tensor* seed, GradPhase phase) {
   VOCAB_CHECK(root != nullptr, "backward on null var");
-  VOCAB_CHECK(seed.same_shape(root->value), "seed shape must match root value");
   // Iterative post-order topological sort.
   std::vector<Node*> order;
   std::unordered_set<Node*> visited;
@@ -350,7 +389,8 @@ void backward(const Var& root, const Tensor& seed) {
       stack.pop_back();
     }
   }
-  add_inplace(root->ensure_grad(), seed);
+  PhaseScope scope(phase);
+  if (seed) add_inplace(root->ensure_grad(), *seed);
   // Reverse topological order: children before parents.
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     Node* node = *it;
@@ -358,8 +398,29 @@ void backward(const Var& root, const Tensor& seed) {
   }
 }
 
+}  // namespace
+
+void backward(const Var& root, const Tensor& seed) {
+  VOCAB_CHECK(root != nullptr, "backward on null var");
+  VOCAB_CHECK(seed.same_shape(root->value), "seed shape must match root value");
+  run_backward(root, &seed, GradPhase::kFull);
+}
+
 void backward(const Var& root) {
   backward(root, Tensor(root->value.shape(), 1.0f));
+}
+
+void backward_input(const Var& root, const Tensor& seed) {
+  VOCAB_CHECK(root != nullptr, "backward_input on null var");
+  VOCAB_CHECK(seed.same_shape(root->value), "seed shape must match root value");
+  run_backward(root, &seed, GradPhase::kInput);
+}
+
+void backward_weight(const Var& root) {
+  VOCAB_CHECK(root != nullptr, "backward_weight on null var");
+  VOCAB_CHECK(!root->grad.empty(),
+              "backward_weight requires a prior backward_input on the same tape");
+  run_backward(root, nullptr, GradPhase::kWeight);
 }
 
 }  // namespace vocab::autograd

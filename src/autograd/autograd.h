@@ -31,6 +31,7 @@ struct Node {
   Tensor value;
   Tensor grad;                 ///< same shape as value once backward touches it
   bool requires_grad = false;  ///< leaves: parameters / inputs tracked for grads
+  bool is_param = false;       ///< parameter leaf: gradient belongs to the W pass
   std::vector<Var> parents;
   /// Propagates this->grad into parents' grads. Null for leaves.
   std::function<void(Node&)> backward_fn;
@@ -41,6 +42,11 @@ struct Node {
 
 /// Wrap a tensor as a graph leaf.
 Var leaf(Tensor value, bool requires_grad);
+
+/// Wrap a parameter leaf: requires_grad, and its gradient is deferred to the
+/// weight pass when the split backward (backward_input / backward_weight) is
+/// used. Plain backward() treats it like any other leaf.
+Var param(Tensor value);
 
 /// Wrap a constant (no gradient tracked).
 Var constant(Tensor value);
@@ -71,6 +77,28 @@ void backward(const Var& root, const Tensor& seed);
 
 /// Convenience: backward from a scalar-like root with seed 1.
 void backward(const Var& root);
+
+// ---- split backward (zero-bubble BI/BW decomposition) ------------------------
+//
+// Zero-bubble schedules split each backward into BI (activation gradients,
+// on the pipeline critical path) and BW (parameter gradients, deferrable
+// filler work). backward_input() propagates gradients through every
+// non-parameter node — after it returns, all activation gradients (including
+// the stage input's) are complete, and every interior node holds its full
+// upstream gradient. backward_weight() then re-walks the SAME tape in the
+// same deterministic order and runs only the parameter-gradient halves of
+// each closure, consuming the stashed node gradients. The per-leaf
+// accumulation sequences are identical to a single backward() call, so the
+// split is bit-identical to the combined pass — the FLOPs merely move.
+
+/// Input half: propagate `seed` from `root` into every non-parameter leaf.
+/// Keeps interior gradients alive for the matching backward_weight().
+void backward_input(const Var& root, const Tensor& seed);
+
+/// Weight half: accumulate parameter-leaf gradients from the node gradients
+/// stashed by a prior backward_input() over the same graph. Must be called
+/// at most once per backward_input() (gradients accumulate +=).
+void backward_weight(const Var& root);
 
 }  // namespace autograd
 

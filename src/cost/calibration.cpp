@@ -1,0 +1,187 @@
+#include "cost/calibration.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace vocab {
+
+namespace {
+
+// Minimal cursor-based parser for the flat array-of-objects subset that
+// bench_kernels emits. Not a general JSON parser on purpose — anything
+// outside the expected shape throws with the offset, which is exactly the
+// failure mode we want for a corrupted snapshot.
+struct Cursor {
+  const std::string& text;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos]))) ++pos;
+  }
+  [[nodiscard]] char peek() {
+    skip_ws();
+    VOCAB_CHECK(pos < text.size(), "unexpected end of BENCH_kernels.json");
+    return text[pos];
+  }
+  void expect(char c) {
+    VOCAB_CHECK(peek() == c, "BENCH_kernels.json: expected '" << c << "' at offset " << pos
+                                                              << ", got '" << text[pos] << "'");
+    ++pos;
+  }
+  [[nodiscard]] std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos < text.size() && text[pos] != '"') {
+      if (text[pos] == '\\' && pos + 1 < text.size()) ++pos;  // keep escaped char verbatim
+      out += text[pos++];
+    }
+    VOCAB_CHECK(pos < text.size(), "unterminated string in BENCH_kernels.json");
+    ++pos;  // closing quote
+    return out;
+  }
+  [[nodiscard]] double parse_number() {
+    skip_ws();
+    const std::size_t start = pos;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) || text[pos] == '-' ||
+            text[pos] == '+' || text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E')) {
+      ++pos;
+    }
+    VOCAB_CHECK(pos > start, "BENCH_kernels.json: expected a number at offset " << start);
+    return std::stod(text.substr(start, pos - start));
+  }
+};
+
+}  // namespace
+
+std::vector<KernelSample> parse_kernel_samples(const std::string& json_text) {
+  Cursor c{json_text};
+  std::vector<KernelSample> samples;
+  c.expect('[');
+  if (c.peek() == ']') {
+    ++c.pos;
+    return samples;
+  }
+  while (true) {
+    c.expect('{');
+    KernelSample s;
+    while (true) {
+      const std::string key = c.parse_string();
+      c.expect(':');
+      if (key == "name") {
+        s.name = c.parse_string();
+      } else if (key == "shape") {
+        s.shape = c.parse_string();
+      } else if (key == "ns_per_iter") {
+        s.ns_per_iter = c.parse_number();
+      } else if (key == "gflops") {
+        s.gflops = c.parse_number();
+      } else if (key == "gbps") {
+        s.gbps = c.parse_number();
+      } else if (key == "threads") {
+        s.threads = static_cast<int>(c.parse_number());
+      } else if (c.peek() == '"') {
+        (void)c.parse_string();  // unknown string field
+      } else {
+        (void)c.parse_number();  // unknown numeric field
+      }
+      if (c.peek() != ',') break;
+      ++c.pos;
+    }
+    c.expect('}');
+    samples.push_back(std::move(s));
+    if (c.peek() != ',') break;
+    ++c.pos;
+  }
+  c.expect(']');
+  return samples;
+}
+
+std::vector<KernelSample> load_kernel_samples(const std::string& path) {
+  std::ifstream in(path);
+  VOCAB_CHECK(in.good(), "cannot read kernel benchmark snapshot: " << path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_kernel_samples(buf.str());
+}
+
+KernelCalibration calibrate(const std::vector<KernelSample>& samples) {
+  // GEMM fit: rate(w) = R * w / (w + o)  <=>  1/rate = 1/R + (o/R) * (1/w).
+  // Least squares of y = 1/rate against x = 1/w over the parallel matmul
+  // samples (the deliberately-serial variants would corrupt the fit).
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  int n = 0;
+  double max_rate = 0.0;
+  for (const KernelSample& s : samples) {
+    if (s.name.rfind("BM_MatmulNT", 0) != 0 || s.gflops <= 0.0) continue;
+    if (s.name.find("Serial") != std::string::npos) continue;
+    const double rate = s.gflops * 1e9;                // flops/s
+    const double work = s.gflops * s.ns_per_iter;      // flops per iteration
+    if (work <= 0.0) continue;
+    const double x = 1.0 / work, y = 1.0 / rate;
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    max_rate = std::max(max_rate, rate);
+    ++n;
+  }
+  VOCAB_CHECK(n >= 2, "calibration needs >= 2 matmul samples, got " << n);
+  const double det = n * sxx - sx * sx;
+  VOCAB_CHECK(std::abs(det) > 1e-30, "matmul samples must span distinct work sizes");
+  double a = (sy * sxx - sx * sxy) / det;  // intercept: 1/R
+  const double b = (n * sxy - sx * sy) / det;  // slope: o/R
+  if (a <= 0.0) {
+    // Degenerate fit (noise placed the asymptote below the fastest sample):
+    // anchor the asymptotic rate just above the best measured rate.
+    a = 1.0 / (1.05 * max_rate);
+  }
+
+  KernelCalibration cal;
+  cal.gemm_rate_flops = 1.0 / a;
+  cal.gemm_overhead_flops = std::max(0.0, b / a);
+  cal.gemm_samples_used = n;
+
+  // Memory-bound rate from the safe-softmax sweep: ~5 ops per 8 streamed
+  // bytes (max scan, exp, sum, rescale over fp32 read+write).
+  std::vector<double> rates;
+  for (const KernelSample& s : samples) {
+    if (s.name.rfind("BM_SafeSoftmax", 0) != 0 || s.gbps <= 0.0) continue;
+    rates.push_back(s.gbps * 1e9 * 5.0 / 8.0);
+  }
+  if (!rates.empty()) {
+    std::sort(rates.begin(), rates.end());
+    cal.elementwise_rate_flops = rates[rates.size() / 2];
+    cal.elementwise_samples_used = static_cast<int>(rates.size());
+  }
+  return cal;
+}
+
+HardwareModel KernelCalibration::apply(HardwareModel base) const {
+  VOCAB_CHECK(gemm_rate_flops > 0.0, "calibration was not fitted");
+  // Keep max_efficiency as the shape parameter; scale the peak so that
+  // peak * e_max — the model's asymptotic rate — matches the fit.
+  base.peak_flops = gemm_rate_flops / base.max_efficiency;
+  base.kernel_overhead_flops = gemm_overhead_flops;
+  if (elementwise_rate_flops > 0.0) base.elementwise_flops = elementwise_rate_flops;
+  return base;
+}
+
+PassRatios pass_ratios(const CostModel& cm, OutputAlgo algo, int p, int layers_per_stage) {
+  VOCAB_CHECK(p >= 1, "pass_ratios needs p >= 1");
+  VOCAB_CHECK(layers_per_stage >= 1, "pass_ratios needs >= 1 layer per stage");
+  PassRatios r;
+  r.tF = cm.time_f(layers_per_stage);
+  r.tBI = cm.time_b_input(layers_per_stage);
+  r.tBW = cm.time_b_weight(layers_per_stage);
+  r.tS = cm.time_output_s(algo, p);
+  r.tT = cm.time_output_t(algo, p);
+  return r;
+}
+
+}  // namespace vocab

@@ -1,0 +1,92 @@
+#pragma once
+
+// Cost-model calibration from measured kernel benchmarks.
+//
+// BENCH_kernels.json (written by bench_kernels) records measured ns/iter and
+// achieved GFLOP/s / GB/s for the numeric kernels on the build machine. The
+// analytical HardwareModel the simulator prices schedules with is stated in
+// "A100 units"; this module refits its two GEMM parameters — the asymptotic
+// rate and the per-kernel overhead of eff(w) = e_max * w / (w + o) — from
+// the matmul samples, and the memory-bound elementwise rate from the softmax
+// samples. Absolute times then track the bench machine, and more importantly
+// the *ratios* between the schedule building blocks (F : BI : BW : S : T)
+// that the schedule search ranks by become measured quantities instead of
+// datasheet guesses.
+//
+// The JSON subset parsed here is exactly what bench_kernels emits: a flat
+// array of one-line objects with string/number fields, no nesting.
+
+#include <string>
+#include <vector>
+
+#include "core/output_layer_shard.h"
+#include "cost/cost_model.h"
+#include "cost/hardware.h"
+
+namespace vocab {
+
+/// One row of BENCH_kernels.json.
+struct KernelSample {
+  std::string name;   ///< e.g. "BM_MatmulNT/128/real_time"
+  std::string shape;  ///< e.g. "[128,128]x[128,128]^T"
+  double ns_per_iter = 0.0;
+  double gflops = 0.0;  ///< achieved, 0 for bandwidth-bound kernels
+  double gbps = 0.0;    ///< achieved, 0 for compute-bound kernels
+  int threads = 1;
+};
+
+/// Parse the BENCH_kernels.json array from its text. Throws CheckError on
+/// malformed input. Unknown fields are ignored.
+[[nodiscard]] std::vector<KernelSample> parse_kernel_samples(const std::string& json_text);
+
+/// Read and parse a BENCH_kernels.json file. Throws CheckError if the file
+/// cannot be read.
+[[nodiscard]] std::vector<KernelSample> load_kernel_samples(const std::string& path);
+
+/// Fitted calibration parameters.
+struct KernelCalibration {
+  /// Asymptotic GEMM rate R (flops/s): 1/rate_i regressed against 1/work_i
+  /// over the matmul samples, rate(w) = R * w / (w + o).
+  double gemm_rate_flops = 0.0;
+  /// Fitted per-kernel overhead o (flops of work lost to launch cost).
+  double gemm_overhead_flops = 0.0;
+  /// Measured memory-bound elementwise rate (flops/s); 0 when no softmax
+  /// sample was present (the base model's value is kept).
+  double elementwise_rate_flops = 0.0;
+  int gemm_samples_used = 0;
+  int elementwise_samples_used = 0;
+
+  /// Graft the fitted parameters onto `base`: peak_flops is scaled so
+  /// peak * max_efficiency equals the fitted asymptotic rate,
+  /// kernel_overhead_flops is replaced by the fitted overhead, and
+  /// elementwise_flops by the measured rate when one exists. Interconnect
+  /// and memory parameters are untouched.
+  [[nodiscard]] HardwareModel apply(HardwareModel base) const;
+};
+
+/// Fit a calibration from kernel samples. Requires at least two matmul
+/// samples of distinct work sizes (throws CheckError otherwise).
+[[nodiscard]] KernelCalibration calibrate(const std::vector<KernelSample>& samples);
+
+/// The schedule building-block durations for one pipeline configuration and
+/// their ratios to tF — the quantities the §5.2 packing and the zero-bubble
+/// generators consume. All values are per-microbatch wall seconds.
+struct PassRatios {
+  double tF = 0.0;   ///< transformer forward, one stage
+  double tBI = 0.0;  ///< activation-grad backward (B pass)
+  double tBW = 0.0;  ///< weight-grad backward (W pass)
+  double tS = 0.0;   ///< vocab output S pass (shard)
+  double tT = 0.0;   ///< vocab output T pass (shard)
+
+  [[nodiscard]] double bi_over_f() const { return tF > 0 ? tBI / tF : 0.0; }
+  [[nodiscard]] double bw_over_f() const { return tF > 0 ? tBW / tF : 0.0; }
+  [[nodiscard]] double s_over_f() const { return tF > 0 ? tS / tF : 0.0; }
+  [[nodiscard]] double t_over_f() const { return tF > 0 ? tT / tF : 0.0; }
+};
+
+/// Evaluate the building-block ratios of `cm` for a p-device pipeline with
+/// layers_per_stage transformer layers per device.
+[[nodiscard]] PassRatios pass_ratios(const CostModel& cm, OutputAlgo algo, int p,
+                                     int layers_per_stage);
+
+}  // namespace vocab

@@ -32,19 +32,21 @@ TransformerStack::TransformerStack(std::vector<LayerWeights> layers, int heads)
   VOCAB_CHECK(heads >= 1, "need at least one attention head");
   layers_.reserve(layers.size());
   for (auto& w : layers) {
+    // Parameter leaves: their gradients belong to the weight half of a split
+    // (BI/BW) backward, which is what lets zero-bubble schedules defer them.
     LayerVars lv;
-    lv.ln1_g = ag::leaf(std::move(w.ln1_g), true);
-    lv.ln1_b = ag::leaf(std::move(w.ln1_b), true);
-    lv.wq = ag::leaf(std::move(w.wq), true);
-    lv.wk = ag::leaf(std::move(w.wk), true);
-    lv.wv = ag::leaf(std::move(w.wv), true);
-    lv.wo = ag::leaf(std::move(w.wo), true);
-    lv.ln2_g = ag::leaf(std::move(w.ln2_g), true);
-    lv.ln2_b = ag::leaf(std::move(w.ln2_b), true);
-    lv.w1 = ag::leaf(std::move(w.w1), true);
-    lv.b1 = ag::leaf(std::move(w.b1), true);
-    lv.w2 = ag::leaf(std::move(w.w2), true);
-    lv.b2 = ag::leaf(std::move(w.b2), true);
+    lv.ln1_g = ag::param(std::move(w.ln1_g));
+    lv.ln1_b = ag::param(std::move(w.ln1_b));
+    lv.wq = ag::param(std::move(w.wq));
+    lv.wk = ag::param(std::move(w.wk));
+    lv.wv = ag::param(std::move(w.wv));
+    lv.wo = ag::param(std::move(w.wo));
+    lv.ln2_g = ag::param(std::move(w.ln2_g));
+    lv.ln2_b = ag::param(std::move(w.ln2_b));
+    lv.w1 = ag::param(std::move(w.w1));
+    lv.b1 = ag::param(std::move(w.b1));
+    lv.w2 = ag::param(std::move(w.w2));
+    lv.b2 = ag::param(std::move(w.b2));
     layers_.push_back(std::move(lv));
   }
 }
@@ -85,6 +87,24 @@ Tensor TransformerStack::backward(int mb, const Tensor& grad_out) {
   VOCAB_CHECK(!grad_in.empty(), "input gradient was not produced");
   tapes_.erase(it);
   return grad_in;
+}
+
+Tensor TransformerStack::backward_input(int mb, const Tensor& grad_out) {
+  const auto it = tapes_.find(mb);
+  VOCAB_CHECK(it != tapes_.end(), "microbatch " << mb << " has no live tape");
+  ag::backward_input(it->second.output, grad_out);
+  Tensor grad_in = it->second.input->grad;
+  VOCAB_CHECK(!grad_in.empty(), "input gradient was not produced");
+  // The tape stays live: backward_weight(mb) still needs the stashed node
+  // gradients (the 1/3 of activation memory the W pass holds on to).
+  return grad_in;
+}
+
+void TransformerStack::backward_weight(int mb) {
+  const auto it = tapes_.find(mb);
+  VOCAB_CHECK(it != tapes_.end(), "microbatch " << mb << " has no live tape");
+  ag::backward_weight(it->second.output);
+  tapes_.erase(it);
 }
 
 std::vector<ag::Var> TransformerStack::parameters() const {

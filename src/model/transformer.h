@@ -44,6 +44,17 @@ class TransformerStack {
   /// Backward for a previously forwarded microbatch; returns grad wrt x.
   Tensor backward(int mb, const Tensor& grad_out);
 
+  /// Zero-bubble split backward, input half (BI): propagates grad_out through
+  /// the activations only and returns grad wrt x. The tape stays live until
+  /// the matching backward_weight() call. Bit-identical to backward() when
+  /// the two halves run back to back.
+  Tensor backward_input(int mb, const Tensor& grad_out);
+
+  /// Zero-bubble split backward, weight half (BW): accumulates the deferred
+  /// parameter gradients from the tape's stashed node gradients, then frees
+  /// the tape. Requires a prior backward_input(mb).
+  void backward_weight(int mb);
+
   /// Microbatches with a live tape (activation memory).
   [[nodiscard]] std::size_t live_microbatches() const { return tapes_.size(); }
 

@@ -18,6 +18,9 @@
 #include "schedule/schedule_1f1b_vocab.h"
 #include "schedule/schedule_gpipe.h"
 #include "schedule/schedule_vhalf.h"
+#include "schedule/schedule_zb.h"
+#include "search/schedule_search.h"
+#include "common/env.h"
 #include "tensor/bf16.h"
 #include "tensor/simd.h"
 #include "tensor/tensor_ops.h"
@@ -51,8 +54,23 @@ const char* to_string(PipelineFlavor flavor) {
     case PipelineFlavor::Gpipe: return "gpipe";
     case PipelineFlavor::OneFOneBVocab: return "1f1b-vocab";
     case PipelineFlavor::VHalf: return "v-half";
+    case PipelineFlavor::ZbVocab: return "zb-vocab";
+    case PipelineFlavor::Auto: return "auto";
   }
   return "?";
+}
+
+PipelineFlavor flavor_from_env(PipelineFlavor fallback) {
+  const std::string v = choice_from_env(
+      "VOCAB_SCHEDULE", to_string(fallback),
+      {"naive", "1f1b", "gpipe", "1f1b-vocab", "v-half", "zb-vocab", "auto"});
+  if (v == "naive") return PipelineFlavor::Naive;
+  if (v == "1f1b") return PipelineFlavor::Baseline1F1B;
+  if (v == "gpipe") return PipelineFlavor::Gpipe;
+  if (v == "1f1b-vocab") return PipelineFlavor::OneFOneBVocab;
+  if (v == "v-half") return PipelineFlavor::VHalf;
+  if (v == "zb-vocab") return PipelineFlavor::ZbVocab;
+  return PipelineFlavor::Auto;
 }
 
 struct PipelineTrainer::Device {
@@ -71,7 +89,7 @@ struct PipelineTrainer::Device {
 
 PipelineTrainer::PipelineTrainer(GptWeights weights, int p, OutputAlgo algo,
                                  PipelineFlavor flavor)
-    : config_(weights.config), p_(p), algo_(algo), flavor_(flavor),
+    : config_(weights.config), p_(p), algo_(algo), flavor_(flavor_from_env(flavor)),
       abort_(std::make_shared<AbortToken>()) {
   VOCAB_CHECK(p >= 1, "need at least one device");
   const int stages = num_stages();
@@ -82,11 +100,10 @@ PipelineTrainer::PipelineTrainer(GptWeights weights, int p, OutputAlgo algo,
     VOCAB_CHECK(algo == OutputAlgo::Alg1 || algo == OutputAlgo::Alg2,
                 "pipeline trainer runs Vocab-1 or Vocab-2");
   }
-  if (flavor == PipelineFlavor::VHalf) {
+  if (flavor_ == PipelineFlavor::VHalf) {
     VOCAB_CHECK(algo == OutputAlgo::Alg1, "the V-Half vocab schedule integrates Vocab-1");
   }
-  if (flavor == PipelineFlavor::Gpipe || flavor == PipelineFlavor::OneFOneBVocab ||
-      flavor == PipelineFlavor::VHalf) {
+  if (flavor_ != PipelineFlavor::Naive && flavor_ != PipelineFlavor::Baseline1F1B) {
     VOCAB_CHECK(p >= 2, "vocabulary-parallel schedules need >= 2 devices");
   }
 
@@ -103,7 +120,7 @@ PipelineTrainer::PipelineTrainer(GptWeights weights, int p, OutputAlgo algo,
     auto dev = std::make_unique<Device>();
     dev->rank = d;
     dev->stack = std::make_unique<TransformerStack>(slice_layers(d), config_.heads);
-    if (flavor == PipelineFlavor::VHalf) {
+    if (flavor_ == PipelineFlavor::VHalf) {
       dev->stack2 = std::make_unique<TransformerStack>(slice_layers(2 * p - 1 - d),
                                                        config_.heads);
     }
@@ -134,7 +151,7 @@ PipelineTrainer::PipelineTrainer(GptWeights weights, int p, OutputAlgo algo,
     group_ = std::make_unique<DeviceGroup>(p);
     group_->set_abort_token(abort_);
   }
-  if (flavor == PipelineFlavor::Naive) {
+  if (flavor_ == PipelineFlavor::Naive) {
     for (int d = 0; d + 1 < p; ++d) {
       fwd_.push_back(std::make_unique<Channel>());
       bwd_.push_back(std::make_unique<Channel>());
@@ -209,9 +226,34 @@ ScheduleExecutor& PipelineTrainer::executor_for(int m, bool with_clip) {
     case PipelineFlavor::VHalf:
       sched = build_vhalf_vocab(cm, p_);
       break;
+    case PipelineFlavor::ZbVocab: {
+      ZbOptions opts;
+      opts.w_delay = tuning_.zb_w_delay;
+      opts.inserted_intervals = tuning_.inserted_intervals;
+      sched = build_zb_vocab(cm, p_, algo_, "", opts);
+      break;
+    }
+    case PipelineFlavor::Auto: {
+      // Cost-model-driven search over the runtime-executable families,
+      // restricted to this trainer's output algorithm so the device layout
+      // (barrier count, S/T structure) matches the constructed shards.
+      search::SearchRequest req;
+      req.p = p_;
+      req.algo = algo_;
+      req.runtime_only = true;
+      req.include_multi_chunk = false;
+      req.memory_cap_bytes = tuning_.memory_cap_bytes;
+      const search::SearchResult found = search::search_schedules(cm, req);
+      const search::Candidate* best = found.best();
+      VOCAB_CHECK(best != nullptr,
+                  "schedule search found no certified schedule for p=" << p_ << ", m=" << m);
+      sched = best->schedule;
+      break;
+    }
     case PipelineFlavor::Naive:
       VOCAB_FAIL("the naive flavor does not execute a schedule");
   }
+  selected_schedule_ = sched.name;
   if (with_clip) sched = guard::with_clip_collective(sched);
   // The ScheduleExecutor constructor re-verifies, so the schedule that
   // actually runs — clip all-reduce included — is certified.
@@ -234,6 +276,14 @@ ScheduleExecutor& PipelineTrainer::executor_for(int m, bool with_clip) {
   ScheduleExecutor& ref = *ex;
   executors_.emplace(key, std::move(ex));
   return ref;
+}
+
+void PipelineTrainer::set_schedule_tuning(const ScheduleTuning& tuning) {
+  tuning_ = tuning;
+  // Cached executors were built from the old knobs; drop them so the next
+  // iteration regenerates (and re-certifies) with the new ones.
+  last_executor_ = nullptr;
+  executors_.clear();
 }
 
 void PipelineTrainer::set_executor_backend(ExecutorBackend backend) {
@@ -537,16 +587,22 @@ struct PipelineTrainer::ScheduledIteration final : OpRunner {
     }
   }
 
-  void run_backward(const Op& op) {
+  void run_backward(const Op& op, bool split) {
     const int d = op.device;
     const int s = stage_of(op);
     const int mb = op.microbatch;
     DeviceState& ds = state[static_cast<std::size_t>(d)];
     Device& dev = *tr.devices_[static_cast<std::size_t>(d)];
+    TransformerStack& stack = tr.stack_of_stage(s);
+    // Split (zero-bubble) backward: BI propagates activation gradients now;
+    // the parameter gradients arrive later via the matching BackwardWeight op.
+    const auto stack_backward = [&](const Tensor& grad_out) {
+      return split ? stack.backward_input(mb, grad_out) : stack.backward(mb, grad_out);
+    };
 
     Tensor grad_in;
     if (s == last_stage() && tr.vocab_sharded()) {
-      grad_in = tr.stack_of_stage(s).backward(mb, dev.output->grad_x(mb));
+      grad_in = stack_backward(dev.output->grad_x(mb));
       ds.grad_taken[mb] = true;
       maybe_finish_output(ds, dev, mb);
     } else {
@@ -557,7 +613,7 @@ struct PipelineTrainer::ScheduledIteration final : OpRunner {
       } else {
         grad_out = tr.mail_[static_cast<std::size_t>(d)]->recv_tag(grad_tag(s, mb));
       }
-      grad_in = tr.stack_of_stage(s).backward(mb, grad_out);
+      grad_in = stack_backward(grad_out);
     }
     tr.guard_boundary(d, grad_in, "backward gradient");
 
@@ -639,13 +695,17 @@ struct PipelineTrainer::ScheduledIteration final : OpRunner {
         run_forward(op);
         break;
       case OpKind::BackwardFull:
+        run_backward(op, /*split=*/false);
+        break;
       case OpKind::BackwardInput:
-        run_backward(op);
+        run_backward(op, /*split=*/true);
         break;
       case OpKind::BackwardWeight:
-        // The autograd tape computes activation and weight gradients in one
-        // replay, so the split B already accumulated this op's work; W is a
-        // schedule-level placeholder here (see DESIGN.md §10).
+        // Weight half of the split backward: consume the node gradients the
+        // BI pass stashed and accumulate this microbatch's parameter grads.
+        // Schedules keep per-stage W ops in microbatch order, so the
+        // accumulation sequence matches the combined backward bit for bit.
+        tr.stack_of_stage(stage_of(op)).backward_weight(op.microbatch);
         break;
       case OpKind::OutputS:
         dev.output->compute_phase(op.microbatch, 0);

@@ -28,6 +28,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -52,9 +53,29 @@ enum class PipelineFlavor {
   Gpipe,         ///< GPipe + Vocabulary Parallelism schedule
   OneFOneBVocab, ///< 1F1B + Vocabulary Parallelism schedule (the paper's main result)
   VHalf,         ///< V-Half + Vocabulary Parallelism schedule (Vocab-1)
+  ZbVocab,       ///< zero-bubble family: BI/BW split backward + Vocabulary Parallelism
+  Auto,          ///< cost-model-driven schedule search picks the executed schedule
 };
 
 [[nodiscard]] const char* to_string(PipelineFlavor flavor);
+
+/// Resolve the VOCAB_SCHEDULE env var — one of naive / 1f1b / gpipe /
+/// 1f1b-vocab / v-half / zb-vocab / auto — into a flavor. Unset (or empty)
+/// returns `fallback`; any other value throws. The PipelineTrainer
+/// constructor applies this, so exporting VOCAB_SCHEDULE=auto reroutes any
+/// trainer without a code change.
+[[nodiscard]] PipelineFlavor flavor_from_env(PipelineFlavor fallback);
+
+/// Knobs for the generated schedule (ZbVocab and Auto flavors).
+struct ScheduleTuning {
+  /// ZbVocab: whole cycles each BW lags its BI (controllable-memory dial).
+  /// 0 keeps 1F1B-vocab's peak activation memory; each +1 adds 1/3 mb.
+  int zb_w_delay = 1;
+  /// Override the inserted-interval count; -1 = the algorithm's default.
+  int inserted_intervals = -1;
+  /// Auto: peak-memory cap (bytes/device) the search filters by; 0 = uncapped.
+  double memory_cap_bytes = 0.0;
+};
 
 /// bf16 mixed-precision knobs (vocab-sharded flavors only).
 struct MixedPrecisionConfig {
@@ -98,6 +119,16 @@ class PipelineTrainer {
   /// in milliseconds; the trainer is then poisoned — further iterations
   /// throw until the owner rebuilds from a checkpoint (see ResilientTrainer).
   [[nodiscard]] const std::shared_ptr<AbortToken>& abort_token() const { return abort_; }
+
+  /// Tune the generated schedule (ZbVocab w_delay, Auto memory cap). Clears
+  /// the executor cache so the next train_iteration rebuilds with the new
+  /// knobs; call between iterations, not during one.
+  void set_schedule_tuning(const ScheduleTuning& tuning);
+  [[nodiscard]] const ScheduleTuning& schedule_tuning() const { return tuning_; }
+
+  /// Name of the schedule the most recent executor ran (e.g. what Auto
+  /// picked); empty before the first scheduled iteration.
+  [[nodiscard]] const std::string& selected_schedule() const { return selected_schedule_; }
 
   /// Select the dispatch backend (struct-walking vs bytecode interpreter)
   /// for every cached and future executor. Both backends are bit-identical
@@ -223,6 +254,8 @@ class PipelineTrainer {
   std::map<std::pair<int, bool>, std::unique_ptr<ScheduleExecutor>> executors_;
   ScheduleExecutor* last_executor_ = nullptr;
   std::optional<ExecutorBackend> backend_override_;  // unset: VOCAB_EXECUTOR
+  ScheduleTuning tuning_;
+  std::string selected_schedule_;
   // Naive path: the same per-device slice of the intra-op thread budget the
   // executor gives its device threads, so every flavor models p devices of
   // equal fixed capacity (idle devices cannot lend cores to busy ones).

@@ -15,6 +15,8 @@ int min_width(PipelineFlavor flavor) {
     case PipelineFlavor::Gpipe:
     case PipelineFlavor::OneFOneBVocab:
     case PipelineFlavor::VHalf:
+    case PipelineFlavor::ZbVocab:
+    case PipelineFlavor::Auto:
       return 2;  // vocabulary-parallel schedules need >= 2 devices
     case PipelineFlavor::Naive:
     case PipelineFlavor::Baseline1F1B:

@@ -1,0 +1,400 @@
+#include "schedule/schedule_zb.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+#include "schedule/builder.h"
+#include "schedule/layer_assignment.h"
+
+namespace vocab {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Per-device steady-state cycle layout with a split backward.
+//
+// The cycle of schedule_1f1b_vocab.cpp, with B replaced by BI + BW:
+//     I = tF + tBI + tBW + tS + tT + tIF + tIB.
+// BI keeps 1F1B-vocab's rotating-wave role — the ascending constraint
+//     start(BI(mb, d)) >= start(BI(mb, d+1)) + tBI
+// now propagates at tBI per hop (roughly half of tB), which is the
+// zero-bubble effect: the drain wave crosses the pipeline twice as fast.
+// BW joins the small passes {S, T, i, j} as a fifth packable block, forced
+// into the gap after BI (F < BI < BW is the verifier's semantic order), and
+// may additionally lag `w_delay` whole cycles — the controllable-memory
+// dial: each deferred BW holds one more third of a microbatch's activations.
+// ---------------------------------------------------------------------------
+
+struct Item {
+  char kind;  // 'S', 'T', 'i', 'j', 'w'
+  double duration;
+};
+
+struct DeviceLayout {
+  int b_lag = 0;          ///< BI(mb) runs in device-local cycle mb + b_lag
+  double b_pos = 0.0;     ///< BI's position within the cycle
+  double global_b = 0.0;  ///< steady-state global start of BI(0) on this device
+  // Position within the cycle of each packable pass, keyed by kind.
+  double pos_s = 0, pos_t = 0, pos_i = 0, pos_j = 0, pos_w = 0;
+  int lag_s = 0, lag_t = 0, lag_i = 0, lag_j = 0, lag_w = 0;
+};
+
+double& pos_of(DeviceLayout& dl, char kind) {
+  switch (kind) {
+    case 'S': return dl.pos_s;
+    case 'T': return dl.pos_t;
+    case 'i': return dl.pos_i;
+    case 'w': return dl.pos_w;
+    default: return dl.pos_j;
+  }
+}
+
+/// Pack `items` into gap1 [tF, b_pos) and gap2 [b_pos + tBI, I), choosing the
+/// smallest feasible b_pos >= `b_pos_req` (identical to the 1F1B-vocab
+/// packer, with tBI as the pivot block). Masks force items before/after BI.
+double pack_cycle(DeviceLayout& dl, const std::vector<Item>& items, double tF, double tBI,
+                  double interval, double b_pos_req, unsigned forced_gap1_mask,
+                  unsigned forced_gap2_mask) {
+  const auto n = items.size();
+  VOCAB_CHECK(n <= 8, "too many small passes to pack");
+  double best_pos = -1.0;
+  unsigned best_mask = 0;
+  for (unsigned mask = 0; mask < (1u << n); ++mask) {
+    if ((mask & forced_gap2_mask) != 0) continue;                 // must follow BI
+    if ((mask & forced_gap1_mask) != forced_gap1_mask) continue;  // must precede BI
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (1u << i)) sum += items[i].duration;
+    }
+    const double pos = tF + sum;
+    if (pos + 1e-12 >= b_pos_req && (best_pos < 0 || pos < best_pos)) {
+      best_pos = pos;
+      best_mask = mask;
+    }
+  }
+  if (best_pos < 0) return -1.0;  // infeasible at this b_pos_req: caller carries
+  double cursor = tF;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (best_mask & (1u << i)) {
+      pos_of(dl, items[i].kind) = cursor;
+      cursor += items[i].duration;
+    }
+  }
+  cursor = best_pos + tBI;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!(best_mask & (1u << i))) {
+      pos_of(dl, items[i].kind) = cursor;
+      cursor += items[i].duration;
+    }
+  }
+  VOCAB_CHECK(cursor <= interval + 1e-9, "cycle overpacked: " << cursor << " > " << interval);
+  dl.b_pos = best_pos;
+  return best_pos;
+}
+
+struct ZbLayout {
+  double interval = 0.0;
+  double s_global = 0.0;  ///< global steady-state offset of S(0) (all devices)
+  int gap = 0;            ///< effective inserted-interval count
+  std::vector<DeviceLayout> devices;
+};
+
+ZbLayout compute_layout(const CostModel& cm, int p, OutputAlgo algo, const ZbOptions& opts) {
+  VOCAB_CHECK(algo == OutputAlgo::Alg1 || algo == OutputAlgo::Alg2,
+              "vocabulary-parallel schedules use Alg1 or Alg2");
+  const int layers = cm.config().num_layers / p;
+  const double tF = cm.time_f(layers);
+  const double tBI = cm.time_b_input(layers);
+  const double tBW = cm.time_b_weight(layers);
+  const double tS = cm.time_output_s(algo, p);
+  const double tT = cm.time_output_t(algo, p);
+  const double tIF = cm.time_input_shard_fwd(p);
+  const double tIB = cm.time_input_shard_bwd(p);
+
+  ZbLayout lay;
+  lay.interval = tF + tBI + tBW + tS + tT + tIF + tIB;
+  const double I = lay.interval;
+  lay.s_global = p * tF + cm.time_x_broadcast(p);
+  lay.devices.resize(static_cast<std::size_t>(p));
+
+  // Same barrier-overlap reasoning as 1F1B-vocab: BI on the last stage runs
+  // `gap` whole intervals after S so the communication barriers overlap
+  // other microbatches' compute.
+  const int min_gap = algo == OutputAlgo::Alg1 ? 1 : 0;
+  lay.gap = std::max(min_gap, opts.inserted_intervals >= 0 ? opts.inserted_intervals
+                                                           : num_barriers(algo));
+  const double b_last_global = lay.s_global + lay.gap * I;
+
+  // Item order fixes the mask bit layout: w=1, S=2, T=4, i=8, j=16. BW leads
+  // the vector so the gap2 cursor lays it out directly after BI — filler work
+  // that overlaps the jBC broadcast latency instead of stacking on top of it
+  // (j, the only latency-bound gap2 item, must come last in the cycle).
+  const std::vector<Item> items{{'w', tBW}, {'S', tS}, {'T', tT}, {'i', tIF}, {'j', tIB}};
+  // BW must follow its own BI (semantic order F < BI < BW), so it can never
+  // sit in gap1. Alg1 additionally forces S and T before BI (BI waits on C2).
+  const unsigned forced_gap2 = 0b00001u;
+  const unsigned forced_gap1 = algo == OutputAlgo::Alg1 ? 0b00110u : 0u;
+
+  double wave = b_last_global;  // required global start of BI on this device
+  for (int d = p - 1; d >= 0; --d) {
+    DeviceLayout& dl = lay.devices[static_cast<std::size_t>(d)];
+    const double phi = d * tF;
+    int lag = static_cast<int>(std::floor((wave - phi) / I));
+    double pos_req = wave - phi - lag * I;
+    if (pos_req < tF) {
+      pos_req = tF;  // BI can at best follow this cycle's F
+    }
+    if (pos_req > I - tBI - tBW + 1e-9) {  // BI+BW don't fit: carry into next
+      ++lag;
+      pos_req = tF;
+    }
+    double pos = pack_cycle(dl, items, tF, tBI, I, pos_req, forced_gap1, forced_gap2);
+    if (pos < 0) {  // no feasible boundary >= pos_req in this cycle: carry
+      ++lag;
+      pos = pack_cycle(dl, items, tF, tBI, I, tF, forced_gap1, forced_gap2);
+      VOCAB_CHECK(pos >= 0, "cycle packing failed even at the cycle head");
+    }
+    dl.b_lag = lag;
+    dl.global_b = phi + lag * I + pos;
+    // The rounding slack feeds the wave upstream — at tBI per hop, the
+    // zero-bubble speedup over the tB-per-hop 1F1B wave.
+    wave = dl.global_b + tBI;
+
+    // BW lags its BI by w_delay whole cycles (0 = same cycle, packed after).
+    dl.lag_w = dl.b_lag + opts.w_delay;
+
+    // Small-pass cycle lags, exactly as in the 1F1B-vocab layout.
+    dl.lag_s = static_cast<int>(std::ceil((lay.s_global - phi - dl.pos_s) / I - 1e-9));
+    if (algo == OutputAlgo::Alg1) {
+      const double c1_end = lay.s_global + tS + cm.time_stats_allreduce(p);
+      const double deadline = b_last_global - cm.time_gradx_allreduce(p) - tT;
+      const int lo = static_cast<int>(std::ceil((c1_end - phi - dl.pos_t) / I - 1e-9));
+      const int hi = static_cast<int>(std::floor((deadline - phi - dl.pos_t) / I + 1e-9));
+      dl.lag_t = std::min(std::max({lo, hi, dl.lag_s}), dl.b_lag);
+    } else {
+      dl.lag_t = dl.lag_s + 1;
+    }
+    dl.lag_i = static_cast<int>(std::floor((-I - phi - dl.pos_i) / I)) + 1;
+    lay.devices[static_cast<std::size_t>(d)] = dl;
+  }
+  // j(mb) follows the jBC broadcast of BI(mb, 0)'s gradient.
+  const double j_ready = lay.devices[0].global_b + tBI + cm.time_x_broadcast(p);
+  for (int d = 0; d < p; ++d) {
+    DeviceLayout& dl = lay.devices[static_cast<std::size_t>(d)];
+    const double phi = d * tF;
+    dl.lag_j = static_cast<int>(std::ceil((j_ready - phi - dl.pos_j) / I - 1e-9));
+  }
+  return lay;
+}
+
+}  // namespace
+
+PipelineSchedule build_zb_vocab(const CostModel& cm, int p, OutputAlgo algo,
+                                const std::string& name, ZbOptions opts) {
+  const int m = cm.config().num_microbatches;
+  VOCAB_CHECK(m >= p, "need at least p microbatches");
+  VOCAB_CHECK(p >= 2, "vocabulary parallelism needs >= 2 devices");
+  VOCAB_CHECK(opts.w_delay >= 0 && opts.w_delay <= 8,
+              "w_delay must be in [0, 8], got " << opts.w_delay);
+  const LayerAssignment assign = uniform_assignment(cm.config().num_layers, p);
+  const int layers = assign.layers_per_stage[0];
+
+  const std::string sched_name =
+      name.empty() ? std::string("zb-vocab-") + (algo == OutputAlgo::Alg1 ? "1" : "2") + "-w" +
+                         std::to_string(opts.w_delay)
+                   : name;
+  ScheduleBuilder b(sched_name, p, m);
+
+  const ZbLayout lay = compute_layout(cm, p, algo, opts);
+  const int gap = lay.gap;
+  const double I = lay.interval;
+  const double tF = cm.time_f(layers);
+  const double tBI = cm.time_b_input(layers);
+  const double tBW = cm.time_b_weight(layers);
+  const double tS = cm.time_output_s(algo, p);
+  const double tT = cm.time_output_t(algo, p);
+  const double tIF = cm.time_input_shard_fwd(p);
+  const double tIB = cm.time_input_shard_bwd(p);
+
+  std::vector<int> all_devices(static_cast<std::size_t>(p));
+  std::iota(all_devices.begin(), all_devices.end(), 0);
+
+  const double act = cm.activation_bytes_per_mb(layers);
+  const double out_state = cm.output_shard_state_bytes(algo, p);
+  const double in_state = cm.activation_bytes();  // held input-layer output
+
+  auto slot_of = [&](int d, int mb, int lag, double pos) {
+    return d * tF + (mb + lag) * I + pos;
+  };
+
+  for (int mb = 0; mb < m; ++mb) {
+    // --- input layer forward (well ahead of F(mb, 0), Appendix C) ----------
+    std::vector<int> if_ids(static_cast<std::size_t>(p));
+    for (int d = 0; d < p; ++d) {
+      const DeviceLayout& dl = lay.devices[static_cast<std::size_t>(d)];
+      Op op;
+      op.device = d;
+      op.kind = OpKind::InputFwd;
+      op.microbatch = mb;
+      op.duration = tIF;
+      op.label = "i" + std::to_string(mb);
+      op.alloc_bytes = in_state;
+      if_ids[static_cast<std::size_t>(d)] = b.add(std::move(op), slot_of(d, mb, dl.lag_i, dl.pos_i));
+    }
+    std::vector<std::vector<int>> iar_deps(static_cast<std::size_t>(p));
+    for (int d = 0; d < p; ++d) iar_deps[static_cast<std::size_t>(d)] = {if_ids[static_cast<std::size_t>(d)]};
+    const std::vector<int> iar = b.add_collective(
+        all_devices, Stream::CommAlt, cm.time_input_allreduce(p), mb, "iAR" + std::to_string(mb),
+        iar_deps, (mb - 1) * I);
+
+    // --- transformer forwards ------------------------------------------------
+    std::vector<int> f_ids(static_cast<std::size_t>(p));
+    for (int d = 0; d < p; ++d) {
+      Op op;
+      op.device = d;
+      op.kind = OpKind::Forward;
+      op.microbatch = mb;
+      op.duration = tF;
+      op.label = "F" + std::to_string(mb);
+      op.alloc_bytes = act;
+      if (d == 0) {
+        op.deps.push_back(iar[0]);
+      } else {
+        op.deps.push_back(f_ids[static_cast<std::size_t>(d - 1)]);
+      }
+      f_ids[static_cast<std::size_t>(d)] = b.add(std::move(op), slot_of(d, mb, 0, 0.0));
+    }
+    for (int d = 0; d < p; ++d) {
+      b.add_free(d == 0 ? f_ids[0] : iar[static_cast<std::size_t>(d)], in_state);
+    }
+
+    // --- C0: broadcast X to all shards --------------------------------------
+    std::vector<std::vector<int>> c0_deps(static_cast<std::size_t>(p),
+                                          {f_ids[static_cast<std::size_t>(p - 1)]});
+    const std::vector<int> c0 =
+        b.add_collective(all_devices, Stream::Comm, cm.time_x_broadcast(p), mb,
+                         "C0." + std::to_string(mb), c0_deps, p * tF + mb * I);
+
+    // --- S pass on every device ----------------------------------------------
+    std::vector<int> s_ids(static_cast<std::size_t>(p));
+    for (int d = 0; d < p; ++d) {
+      const DeviceLayout& dl = lay.devices[static_cast<std::size_t>(d)];
+      Op op;
+      op.device = d;
+      op.kind = OpKind::OutputS;
+      op.microbatch = mb;
+      op.duration = tS;
+      op.label = "S" + std::to_string(mb);
+      op.alloc_bytes = out_state;
+      op.deps.push_back(c0[static_cast<std::size_t>(d)]);
+      s_ids[static_cast<std::size_t>(d)] = b.add(std::move(op), slot_of(d, mb, dl.lag_s, dl.pos_s));
+    }
+
+    // --- C1 barrier ------------------------------------------------------------
+    std::vector<std::vector<int>> c1_deps(static_cast<std::size_t>(p));
+    for (int d = 0; d < p; ++d) c1_deps[static_cast<std::size_t>(d)] = {s_ids[static_cast<std::size_t>(d)]};
+    const double c1_time = algo == OutputAlgo::Alg1
+                               ? cm.time_stats_allreduce(p)
+                               : cm.time_stats_allreduce(p) + cm.time_gradx_allreduce(p);
+    const std::vector<int> c1 =
+        b.add_collective(all_devices, Stream::Comm, c1_time, mb, "C1." + std::to_string(mb),
+                         c1_deps, lay.s_global + tS + mb * I);
+
+    // --- T passes / C2 / split backwards ---------------------------------------
+    std::vector<int> t_ids(static_cast<std::size_t>(p));
+    std::vector<int> bi_ids(static_cast<std::size_t>(p));
+    auto make_t = [&](int d) {
+      const DeviceLayout& dl = lay.devices[static_cast<std::size_t>(d)];
+      Op op;
+      op.device = d;
+      op.kind = OpKind::OutputT;
+      op.microbatch = mb;
+      op.duration = tT;
+      op.label = "T" + std::to_string(mb);
+      op.free_bytes = out_state;
+      op.deps.push_back(c1[static_cast<std::size_t>(d)]);
+      t_ids[static_cast<std::size_t>(d)] = b.add(std::move(op), slot_of(d, mb, dl.lag_t, dl.pos_t));
+    };
+    // BI frees the two thirds of the activations the weight pass won't need;
+    // BW (below) releases the final third when it consumes the stashed grads.
+    auto make_bi = [&](int d, int gate_op) {
+      const DeviceLayout& dl = lay.devices[static_cast<std::size_t>(d)];
+      Op op;
+      op.device = d;
+      op.kind = OpKind::BackwardInput;
+      op.microbatch = mb;
+      op.duration = tBI;
+      op.label = "B" + std::to_string(mb);
+      op.free_bytes = act * (2.0 / 3.0);
+      op.deps.push_back(f_ids[static_cast<std::size_t>(d)]);
+      op.deps.push_back(gate_op);
+      bi_ids[static_cast<std::size_t>(d)] = b.add(std::move(op), slot_of(d, mb, dl.b_lag, dl.b_pos));
+    };
+
+    if (algo == OutputAlgo::Alg1) {
+      for (int d = 0; d < p; ++d) make_t(d);
+      std::vector<std::vector<int>> c2_deps(static_cast<std::size_t>(p));
+      for (int d = 0; d < p; ++d) c2_deps[static_cast<std::size_t>(d)] = {t_ids[static_cast<std::size_t>(d)]};
+      const std::vector<int> c2 =
+          b.add_collective(all_devices, Stream::Comm, cm.time_gradx_allreduce(p), mb,
+                           "C2." + std::to_string(mb), c2_deps,
+                           std::max(lay.s_global + gap * I - 0.5 * tT,
+                                    lay.s_global + tS + tT) +
+                               mb * I);
+      for (int d = p - 1; d >= 0; --d) {
+        make_bi(d, d == p - 1 ? c2[static_cast<std::size_t>(d)]
+                              : bi_ids[static_cast<std::size_t>(d + 1)]);
+      }
+    } else {
+      for (int d = p - 1; d >= 0; --d) {
+        make_bi(d, d == p - 1 ? c1[static_cast<std::size_t>(d)]
+                              : bi_ids[static_cast<std::size_t>(d + 1)]);
+      }
+      for (int d = 0; d < p; ++d) make_t(d);
+    }
+
+    // --- deferred weight passes ------------------------------------------------
+    // Per-device lane slots are monotone in mb (equal lags), so each stage's
+    // BW ops execute in microbatch order — the property that keeps parameter
+    // gradient accumulation bit-identical to the combined backward.
+    for (int d = 0; d < p; ++d) {
+      const DeviceLayout& dl = lay.devices[static_cast<std::size_t>(d)];
+      Op op;
+      op.device = d;
+      op.kind = OpKind::BackwardWeight;
+      op.microbatch = mb;
+      op.duration = tBW;
+      op.label = "W" + std::to_string(mb);
+      op.free_bytes = act / 3.0;
+      op.deps.push_back(bi_ids[static_cast<std::size_t>(d)]);
+      b.add(std::move(op), slot_of(d, mb, dl.lag_w, dl.pos_w));
+    }
+
+    // --- input layer backward ------------------------------------------------
+    std::vector<std::vector<int>> ibb_deps(static_cast<std::size_t>(p), {bi_ids[0]});
+    const std::vector<int> ibb =
+        b.add_collective(all_devices, Stream::CommAlt, cm.time_x_broadcast(p), mb,
+                         "jBC" + std::to_string(mb), ibb_deps,
+                         lay.devices[0].global_b + tBI + mb * I);
+    for (int d = 0; d < p; ++d) {
+      const DeviceLayout& dl = lay.devices[static_cast<std::size_t>(d)];
+      Op op;
+      op.device = d;
+      op.kind = OpKind::InputBwd;
+      op.microbatch = mb;
+      op.duration = tIB;
+      op.label = "j" + std::to_string(mb);
+      op.deps.push_back(ibb[static_cast<std::size_t>(d)]);
+      b.add(std::move(op), slot_of(d, mb, dl.lag_j, dl.pos_j));
+    }
+  }
+
+  std::vector<double> base_bytes(static_cast<std::size_t>(p),
+                                 layers * cm.transformer_layer_param_bytes() +
+                                     2.0 * cm.vocab_shard_param_bytes(p));
+  return b.finalize(std::move(base_bytes));
+}
+
+}  // namespace vocab

@@ -1,0 +1,176 @@
+#include "search/schedule_search.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/verifier.h"
+#include "common/error.h"
+#include "program/compiler.h"
+#include "program/program_verifier.h"
+#include "schedule/schedule_1f1b_vocab.h"
+#include "schedule/schedule_gpipe.h"
+#include "schedule/schedule_interlaced.h"
+#include "schedule/schedule_vhalf.h"
+#include "schedule/schedule_zb.h"
+#include "sim/pipeline_sim.h"
+
+namespace vocab::search {
+
+namespace {
+
+/// Score one candidate: simulate (predicted makespan / bubble / peak), then
+/// certify through the static verifier and the bytecode pipeline. Never
+/// throws — a generator or compiler failure becomes an uncertified row.
+void score_candidate(Candidate& c, double memory_cap_bytes) {
+  try {
+    const SimResult r = simulate(c.schedule, /*memory_capacity=*/0.0, SimVerify::kOff);
+    c.predicted_makespan = r.makespan;
+    c.predicted_bubble_per_device.resize(static_cast<std::size_t>(c.schedule.num_devices));
+    c.predicted_bubble = 0.0;
+    for (int d = 0; d < c.schedule.num_devices; ++d) {
+      const double f = r.bubble_fraction(d);
+      c.predicted_bubble_per_device[static_cast<std::size_t>(d)] = f;
+      c.predicted_bubble = std::max(c.predicted_bubble, f);
+    }
+    c.peak_bytes = r.max_peak_bytes();
+    const std::vector<double> peaks = analysis::activation_peak_microbatches(c.schedule);
+    c.peak_microbatches = peaks.empty() ? 0.0 : *std::max_element(peaks.begin(), peaks.end());
+    c.fits_cap = memory_cap_bytes <= 0.0 || c.peak_bytes <= memory_cap_bytes;
+
+    // Certification: static verifier, then compile + translation validation.
+    const std::vector<analysis::Diagnostic> diags = analysis::verify(c.schedule);
+    for (const auto& dg : diags) {
+      if (dg.severity == analysis::Severity::Error) {
+        c.failure = dg.message;
+        return;
+      }
+    }
+    const program::CompiledProgram prog = program::compile_schedule(c.schedule);
+    const std::vector<program::ProgramDiagnostic> pdiags =
+        program::verify_program(prog, &c.schedule);
+    for (const auto& dg : pdiags) {
+      if (dg.severity == analysis::Severity::Error) {
+        c.failure = dg.message;
+        return;
+      }
+    }
+    c.certified = true;
+  } catch (const std::exception& e) {
+    c.failure = e.what();
+    c.certified = false;
+  }
+}
+
+bool winner_eligible(const Candidate& c, const SearchRequest& req) {
+  return c.certified && c.fits_cap && (!req.runtime_only || c.runtime_compatible);
+}
+
+}  // namespace
+
+const Candidate* SearchResult::best() const {
+  for (const auto& c : ranked) {
+    if (c.certified && c.fits_cap) return &c;
+  }
+  return nullptr;
+}
+
+SearchResult search_schedules(const CostModel& cm, const SearchRequest& req) {
+  const int p = req.p;
+  const int m = cm.config().num_microbatches;
+  const int layers = cm.config().num_layers;
+  VOCAB_CHECK(p >= 2, "schedule search needs p >= 2, got " << p);
+  VOCAB_CHECK(layers % p == 0, "p=" << p << " must divide num_layers=" << layers);
+  VOCAB_CHECK(m >= p, "need at least p microbatches (m=" << m << ", p=" << p << ")");
+
+  std::vector<OutputAlgo> algos;
+  if (req.algo.has_value()) {
+    algos.push_back(*req.algo);
+  } else {
+    algos = {OutputAlgo::Alg1, OutputAlgo::Alg2};
+  }
+  const int max_w = req.max_w_delay >= 0 ? req.max_w_delay : std::min(p - 1, 3);
+
+  std::vector<Candidate> all;
+  auto emit = [&](Candidate c, auto&& build) {
+    try {
+      c.schedule = build();
+    } catch (const std::exception& e) {
+      // A generator precondition (e.g. m too small) disqualifies the
+      // candidate rather than aborting the search.
+      c.failure = e.what();
+      all.push_back(std::move(c));
+      return;
+    }
+    score_candidate(c, req.memory_cap_bytes);
+    all.push_back(std::move(c));
+  };
+
+  for (const OutputAlgo algo : algos) {
+    // Match the generators' own default naming: "...-1" / "...-2".
+    const std::string suffix = algo == OutputAlgo::Alg1 ? "-1" : "-2";
+    {
+      Candidate c;
+      c.family = "1f1b-vocab";
+      c.algo = algo;
+      c.name = "1f1b-vocab" + suffix;
+      c.runtime_compatible = true;
+      emit(std::move(c), [&] { return build_1f1b_vocab(cm, p, algo, "1f1b-vocab" + suffix); });
+    }
+    for (int w = 0; w <= max_w; ++w) {
+      const std::string zb_name = "zb-vocab" + suffix + "-w" + std::to_string(w);
+      Candidate c;
+      c.family = "zb-vocab";
+      c.algo = algo;
+      c.w_delay = w;
+      c.name = zb_name;
+      c.runtime_compatible = true;
+      emit(std::move(c), [&, zb_name] {
+        ZbOptions opts;
+        opts.w_delay = w;
+        return build_zb_vocab(cm, p, algo, zb_name, opts);
+      });
+    }
+    {
+      Candidate c;
+      c.family = "gpipe-vocab";
+      c.algo = algo;
+      c.name = "gpipe-vocab" + suffix;
+      c.runtime_compatible = true;
+      emit(std::move(c), [&] { return build_gpipe_vocab(cm, p, algo, "gpipe-vocab" + suffix); });
+    }
+  }
+
+  if (req.include_multi_chunk && !req.runtime_only) {
+    // Baselines for the ranked table: not executable by the trainer's
+    // p-stage single-chunk vocabulary-sharded layout, so never Auto winners.
+    {
+      Candidate c;
+      c.family = "interlaced";
+      c.algo = OutputAlgo::Alg1;
+      c.name = "interlaced";
+      emit(std::move(c), [&] { return build_interlaced(cm, p, true, "interlaced"); });
+    }
+    if ((2 * p <= layers) && layers % (2 * p) == 0) {
+      Candidate c;
+      c.family = "vhalf-vocab";
+      c.algo = OutputAlgo::Alg1;
+      c.name = "vhalf-vocab";
+      emit(std::move(c), [&] { return build_vhalf_vocab(cm, p, "vhalf-vocab"); });
+    }
+  }
+
+  SearchResult result;
+  result.ranked = std::move(all);
+  std::stable_sort(result.ranked.begin(), result.ranked.end(),
+                   [&](const Candidate& a, const Candidate& b) {
+                     const bool ea = winner_eligible(a, req), eb = winner_eligible(b, req);
+                     if (ea != eb) return ea;
+                     if (a.predicted_makespan != b.predicted_makespan) {
+                       return a.predicted_makespan < b.predicted_makespan;
+                     }
+                     return a.name < b.name;
+                   });
+  return result;
+}
+
+}  // namespace vocab::search

@@ -459,6 +459,8 @@ std::string clip_case_name(const testing::TestParamInfo<ClipCase>& info) {
     case PipelineFlavor::Gpipe: flavor = "Gpipe"; break;
     case PipelineFlavor::OneFOneBVocab: flavor = "OneFOneBVocab"; break;
     case PipelineFlavor::VHalf: flavor = "VHalf"; break;
+    case PipelineFlavor::ZbVocab: flavor = "ZbVocab"; break;
+    case PipelineFlavor::Auto: flavor = "Auto"; break;
   }
   return flavor + "_p" + std::to_string(c.p) + (c.tied ? "_tied" : "_untied");
 }

@@ -628,8 +628,12 @@ std::vector<BackendCase> backend_cases() {
       cases.push_back({PipelineFlavor::OneFOneBVocab, OutputAlgo::Alg1, p, tied});
       cases.push_back({PipelineFlavor::OneFOneBVocab, OutputAlgo::Alg2, p, tied});
       cases.push_back({PipelineFlavor::VHalf, OutputAlgo::Alg1, p, tied});
+      cases.push_back({PipelineFlavor::ZbVocab, OutputAlgo::Alg1, p, tied});
+      cases.push_back({PipelineFlavor::ZbVocab, OutputAlgo::Alg2, p, tied});
     }
   }
+  cases.push_back({PipelineFlavor::Auto, OutputAlgo::Alg1, 2, false});
+  cases.push_back({PipelineFlavor::Auto, OutputAlgo::Alg2, 4, true});
   return cases;
 }
 

@@ -205,8 +205,14 @@ std::vector<ExecCase> exec_cases() {
       cases.push_back({PipelineFlavor::OneFOneBVocab, OutputAlgo::Alg1, p, tied});
       cases.push_back({PipelineFlavor::OneFOneBVocab, OutputAlgo::Alg2, p, tied});
       cases.push_back({PipelineFlavor::VHalf, OutputAlgo::Alg1, p, tied});
+      cases.push_back({PipelineFlavor::ZbVocab, OutputAlgo::Alg1, p, tied});
+      cases.push_back({PipelineFlavor::ZbVocab, OutputAlgo::Alg2, p, tied});
     }
   }
+  // Auto runs whatever the search ranks best for this configuration; the
+  // equivalence bound must hold regardless of which schedule wins.
+  cases.push_back({PipelineFlavor::Auto, OutputAlgo::Alg1, 2, true});
+  cases.push_back({PipelineFlavor::Auto, OutputAlgo::Alg2, 4, false});
   return cases;
 }
 

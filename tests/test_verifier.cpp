@@ -17,6 +17,7 @@
 #include "schedule/ops.h"
 #include "schedule/schedule_1f1b.h"
 #include "schedule/schedule_1f1b_vocab.h"
+#include "schedule/schedule_interlaced.h"
 
 namespace vocab {
 namespace {
@@ -405,6 +406,23 @@ TEST_F(CorruptedGenerator, ReversedBackwardWaveDepCyclesAreCaught) {
   ASSERT_FALSE(diags.empty());
   EXPECT_TRUE(implicates(diags[0], b1));
   EXPECT_TRUE(implicates(diags[0], b2));
+}
+
+TEST(Verifier, InterlacedGeneratorIsCertified) {
+  // The interlaced baseline threads its collectives through every microbatch
+  // (sync on the compute stream, async on the comm stream) — exactly the op
+  // shapes the collective-coupling checks above police — so both variants
+  // must certify clean at multiple widths.
+  for (const int p : {4, 8}) {
+    const CostModel cm(preset_1f1b(8, 2048, 65536), HardwareModel{});
+    for (const bool sync : {true, false}) {
+      const auto sched = build_interlaced(cm, p, sync);
+      const auto diags = analysis::verify(sched);
+      EXPECT_TRUE(diags.empty())
+          << "p=" << p << " sync=" << sync << "\n" << analysis::render_report(diags);
+      EXPECT_NO_THROW(analysis::verify_or_throw(sched));
+    }
+  }
 }
 
 // --- the paper's closed-form peak-activation counts ----------------------------
