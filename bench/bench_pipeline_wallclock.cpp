@@ -259,7 +259,15 @@ std::string render_json(const std::vector<Result>& results, const GuardOverhead&
   // p device threads have >= p cores to land on (see DESIGN.md §10).
   const unsigned cores = std::thread::hardware_concurrency();
   std::string out = "{\n  \"p\": " + std::to_string(p) + ", \"m\": " + std::to_string(m) +
-                    ", \"cores\": " + std::to_string(cores) + ",\n  \"flavors\": [\n";
+                    ", \"cores\": " + std::to_string(cores) + ",\n";
+  // Make an oversubscribed measurement self-describing: consumers of the
+  // JSON (CI trend lines, the paper tables) must not read a time-sliced run
+  // as a pipelining result.
+  if (cores < static_cast<unsigned>(p)) {
+    out += "  \"warning\": \"" + std::to_string(cores) + " core(s) < p=" + std::to_string(p) +
+           " devices; wall-clock numbers are time-slicing noise, expect ~1.0x\",\n";
+  }
+  out += "  \"flavors\": [\n";
   char buf[160];
   for (std::size_t i = 0; i < results.size(); ++i) {
     const Result& r = results[i];
@@ -412,9 +420,12 @@ int run(int argc, char** argv) {
               static_cast<long long>(cfg.vocab), iters);
   const unsigned cores = std::thread::hardware_concurrency();
   if (cores < static_cast<unsigned>(p)) {
-    std::printf("  note: %u core(s) < p=%d devices — device threads time-slice one machine,\n"
-                "  so pipelining cannot beat the synchronous baseline here; expect ~1.0x.\n",
-                cores, p);
+    // On stderr so a redirected stdout/JSON capture still shows the caveat
+    // on the terminal; the JSON itself carries a "warning" field too.
+    std::fprintf(stderr,
+                 "warning: %u core(s) < p=%d devices — device threads time-slice one machine,\n"
+                 "so pipelining cannot beat the synchronous baseline here; expect ~1.0x.\n",
+                 cores, p);
   }
   std::vector<Result> results;
   double naive_ns = 0.0;

@@ -10,6 +10,17 @@
 //   ./build/bench/fault_stress --numeric       # mix data faults (NaN/Inf/
 //                                              # bit-flip) with the process
 //                                              # faults, guard level 1
+//
+// Multi-process mode (the transport PR's soak): real fork()ed workers over
+// shared-memory rings, SIGKILL one mid-iteration, and check the elastic
+// kill -> downgrade -> recover loop republishes a loss sequence bit-identical
+// to a never-killed in-process reference replayed at the downgraded widths.
+//
+//   ./build/bench/fault_stress --transport shm               # rotate the
+//                                                            # killed rank +
+//                                                            # iteration
+//   ./build/bench/fault_stress --transport shm \
+//       --kill-rank 1 --at-iter 2                            # pin the death
 
 #include <algorithm>
 #include <chrono>
@@ -24,9 +35,12 @@
 #include "fault/fault_injector.h"
 #include "fault/watchdog.h"
 #include "model/gpt.h"
+#include "runtime/checkpoint.h"
 #include "runtime/pipeline_trainer.h"
 #include "runtime/resilient_trainer.h"
+#include "runtime/shm_elastic_trainer.h"
 #include "tensor/tensor_ops.h"
+#include "transport/shm_region.h"
 
 namespace {
 
@@ -217,12 +231,102 @@ RunOutcome run_one_numeric(PipelineFlavor flavor, int p, FaultKind kind,
   return out;
 }
 
+// Multi-process soak: SIGKILL worker `kill_rank` at global iteration
+// `kill_iter`, let the elastic loop downgrade and resume, then replay every
+// generation in-process (thread backend) at the width the elastic run
+// actually used. Checkpoint-before-publish plus stateless SGD makes the
+// replay a true never-killed reference: the published loss sequence and the
+// final checkpoint must match it bit for bit.
+RunOutcome run_one_elastic(PipelineFlavor flavor, int p, int kill_rank,
+                           std::uint64_t kill_iter, std::uint64_t seed,
+                           const std::string& ckpt_path) {
+  constexpr std::uint64_t kIterations = 4;
+  const GptConfig cfg = stress_config();
+  const GptWeights init = GptWeights::init(cfg, 100 + static_cast<int>(seed % 1000));
+  SyntheticCorpus corpus(cfg.vocab, cfg.seq_len, 7);
+  const int m = 2 * p;
+  const OptimizerConfig opt = OptimizerConfig::sgd(0.1f);
+
+  ElasticOptions options;
+  options.checkpoint_path = ckpt_path;
+  options.transport.heartbeat_period = std::chrono::milliseconds(20);
+  options.transport.heartbeat_timeout = std::chrono::milliseconds(400);
+
+  RunOutcome out;
+  try {
+    ShmElasticTrainer elastic(init, p, OutputAlgo::Alg1, flavor, options);
+    FaultSpec kill;
+    kill.kind = FaultKind::KillProcess;
+    kill.iteration = kill_iter;
+    kill.device = kill_rank;
+    kill.op_index = 2;
+    kill.note = "soak kill";
+    elastic.set_fault_plan(FaultPlan::single(kill));
+
+    const ElasticResult result = elastic.train(
+        kIterations,
+        [&](std::uint64_t it) { return microbatches(corpus, static_cast<int>(it), m); },
+        opt);
+
+    if (result.kills != 1) {
+      out.detail = "expected exactly one kill, saw " + std::to_string(result.kills);
+      return out;
+    }
+    if (result.losses.size() != kIterations) {
+      out.detail = "run finished " + std::to_string(result.losses.size()) + "/" +
+                   std::to_string(kIterations) + " iterations";
+      return out;
+    }
+
+    // Never-killed reference at the downgraded widths.
+    GptWeights weights = init;
+    std::vector<float> ref;
+    for (std::size_t g = 0; g < result.history.size(); ++g) {
+      const std::uint64_t start = result.history[g].start_iteration;
+      const std::uint64_t end = g + 1 < result.history.size()
+                                    ? result.history[g + 1].start_iteration
+                                    : kIterations;
+      if (end <= start) continue;  // generation died before completing anything
+      PipelineTrainer trainer(std::move(weights), result.history[g].width, OutputAlgo::Alg1,
+                              flavor);
+      for (std::uint64_t it = start; it < end; ++it) {
+        ref.push_back(trainer.train_iteration(microbatches(corpus, static_cast<int>(it), m), opt));
+      }
+      weights = trainer.export_weights();
+    }
+    for (std::size_t i = 0; i < kIterations; ++i) {
+      if (ref[i] != result.losses[i]) {
+        out.detail = "loss diverged from never-killed reference at iteration " +
+                     std::to_string(i);
+        return out;
+      }
+    }
+    const float diff = weights_diff(load_checkpoint(ckpt_path), weights);
+    if (diff != 0.0f) {
+      out.detail = "final checkpoint diverged from reference by " + std::to_string(diff);
+      return out;
+    }
+    out.ok = true;
+    out.detail = "kill rank " + std::to_string(kill_rank) + " @ iter " +
+                 std::to_string(kill_iter) + ", downgrades=" +
+                 std::to_string(result.downgrades) + ", final width " +
+                 std::to_string(result.final_width) + ", generations " +
+                 std::to_string(result.generations);
+  } catch (const std::exception& e) {
+    out.detail = std::string("unrecovered: ") + e.what();
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   int rounds = 2;
   std::uint64_t seed = 1001;
   bool numeric = false;
+  std::string transport = "threads";
+  int kill_rank = -1;     // shm mode: rank to SIGKILL (-1: rotate per run)
+  long long at_iter = -1; // shm mode: iteration to die in (-1: rotate per run)
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--rounds") == 0 && i + 1 < argc) {
       rounds = std::atoi(argv[++i]);
@@ -230,10 +334,60 @@ int main(int argc, char** argv) {
       seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--numeric") == 0) {
       numeric = true;
+    } else if (std::strcmp(argv[i], "--transport") == 0 && i + 1 < argc) {
+      transport = argv[++i];
+      if (transport != "threads" && transport != "shm") {
+        std::cerr << "fault_stress: unknown transport '" << transport << "'\n";
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--kill-rank") == 0 && i + 1 < argc) {
+      kill_rank = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--at-iter") == 0 && i + 1 < argc) {
+      at_iter = std::atoll(argv[++i]);
     } else {
-      std::cerr << "usage: fault_stress [--rounds N] [--seed S] [--numeric]\n";
+      std::cerr << "usage: fault_stress [--rounds N] [--seed S] [--numeric]\n"
+                   "                    [--transport threads|shm] [--kill-rank R] "
+                   "[--at-iter N]\n";
       return 2;
     }
+  }
+
+  if (transport == "shm") {
+    // Real process death + elastic downgrade over forked workers. Skips
+    // cleanly (exit 0) where shared mappings are unavailable.
+    if (!transport::shm_transport_supported()) {
+      std::cout << "fault_stress: shared-memory transport unsupported here; skipping\n";
+      return 0;
+    }
+    const char* shm_tmpdir = std::getenv("TMPDIR");
+    const std::string shm_ckpt =
+        std::string(shm_tmpdir != nullptr ? shm_tmpdir : "/tmp") + "/fault_stress_elastic.ckpt";
+    // One folded and one vocab-sharded flavor; widths with a halving step
+    // available (Baseline 2 -> 1, 1f1b-vocab 4 -> 2).
+    const std::vector<std::pair<PipelineFlavor, int>> cases{
+        {PipelineFlavor::Baseline1F1B, 2}, {PipelineFlavor::OneFOneBVocab, 4}};
+    int runs = 0, failures = 0;
+    for (int round = 0; round < rounds; ++round) {
+      for (const auto& [flavor, p] : cases) {
+        const int rank = (kill_rank >= 0 ? kill_rank : runs) % p;
+        const std::uint64_t iter =
+            static_cast<std::uint64_t>(at_iter >= 0 ? at_iter : 1 + runs) % 4;
+        const std::uint64_t run_seed = seed + static_cast<std::uint64_t>(runs);
+        const auto t0 = std::chrono::steady_clock::now();
+        const RunOutcome out = run_one_elastic(flavor, p, rank, iter, run_seed, shm_ckpt);
+        const double secs =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+        ++runs;
+        if (!out.ok) ++failures;
+        std::cout << "fault_stress: round " << round << " seed " << run_seed << " "
+                  << to_string(flavor) << " p=" << p << " kill-process ["
+                  << (out.ok ? "ok" : "FAIL") << "] " << out.detail << " ("
+                  << static_cast<int>(secs * 1000) << " ms)\n";
+      }
+    }
+    std::cout << "\nfault_stress: " << runs << " elastic run(s), " << failures
+              << " failure(s)\n";
+    return failures > 0 ? 1 : 0;
   }
   if (numeric) {
     // Every trainer built below (including recovery rebuilds) inherits the

@@ -1,94 +1,27 @@
 #include "comm/channel.h"
 
-#include <algorithm>
-#include <cstdlib>
-#include <sstream>
-
-#include "common/env.h"
 #include "common/error.h"
 
 namespace vocab {
 
-std::chrono::milliseconds default_comm_timeout() {
-  // Read the environment every call: tests toggle VOCAB_COMM_TIMEOUT_MS
-  // between channel constructions, and construction is not a hot path.
-  // Parsing is strict — garbage or a non-positive value fails fast instead
-  // of silently meaning "30 seconds" (common/env.h).
-  return std::chrono::milliseconds(positive_int_from_env("VOCAB_COMM_TIMEOUT_MS", 30000));
-}
-
-namespace {
-
-// Render queue occupancy + queued tags for DeadlockError messages, so a
-// timed-out send/recv names the messages actually in flight instead of
-// leaving the schedule bug to a debugger. Requires the channel mutex held.
-std::string describe_queue(const std::deque<Message>& queue, std::size_t capacity) {
-  std::ostringstream os;
-  os << "occupancy " << queue.size() << "/" << capacity << ", queued tags [";
-  constexpr std::size_t kMaxListed = 16;
-  for (std::size_t i = 0; i < std::min(queue.size(), kMaxListed); ++i) {
-    if (i > 0) os << ", ";
-    os << "'" << queue[i].tag << "'";
-  }
-  if (queue.size() > kMaxListed) os << ", ... +" << queue.size() - kMaxListed << " more";
-  os << "]";
-  return os.str();
-}
-
-}  // namespace
-
-Channel::Channel(std::size_t capacity, std::chrono::milliseconds timeout)
+Channel::Channel(std::size_t capacity, std::chrono::milliseconds timeout,
+                 transport::Transport* transport)
     : capacity_(capacity),
       timeout_(timeout == kCommTimeoutFromEnv ? default_comm_timeout() : timeout) {
-  VOCAB_CHECK(capacity > 0, "channel capacity must be positive");
+  transport::Transport& backend =
+      transport != nullptr ? *transport : transport::default_transport();
+  impl_ = backend.make_mailbox(capacity, timeout_);
 }
 
 void Channel::set_abort_token(std::shared_ptr<AbortToken> token) {
-  std::lock_guard lock(mutex_);
-  abort_ = std::move(token);
-}
-
-template <typename Ready>
-void Channel::wait_or_throw(std::unique_lock<std::mutex>& lock, std::condition_variable& cv,
-                            const char* verb, const std::string& tag, Ready&& ready) {
-  const auto t0 = std::chrono::steady_clock::now();
-  const auto deadline = t0 + timeout_;
-  for (;;) {
-    if (ready()) return;
-    if (abort_ != nullptr && abort_->aborted()) {
-      throw AbortedError(abort_->reason(),
-                         std::string("channel ") + verb + " of tag '" + tag + "' interrupted");
-    }
-    const auto now = std::chrono::steady_clock::now();
-    if (now >= deadline) {
-      const auto elapsed =
-          std::chrono::duration_cast<std::chrono::milliseconds>(now - t0).count();
-      throw DeadlockError(std::string("channel ") + verb + " timed out waiting for tag '" +
-                          tag + "' after " + std::to_string(elapsed) + " ms (timeout " +
-                          std::to_string(timeout_.count()) + " ms): " +
-                          describe_queue(queue_, capacity_));
-    }
-    cv.wait_for(lock, std::min<std::chrono::steady_clock::duration>(deadline - now,
-                                                                    kAbortPollInterval));
-  }
+  impl_->set_abort_token(std::move(token));
 }
 
 void Channel::send(std::string tag, Tensor payload) {
-  std::unique_lock lock(mutex_);
-  wait_or_throw(lock, cv_send_, "send (full)", tag,
-                [&] { return queue_.size() < capacity_; });
-  queue_.push_back(Message{std::move(tag), std::move(payload)});
-  cv_recv_.notify_all();
+  impl_->send(std::move(tag), std::move(payload));
 }
 
-Message Channel::recv() {
-  std::unique_lock lock(mutex_);
-  wait_or_throw(lock, cv_recv_, "recv (empty)", "<front>", [&] { return !queue_.empty(); });
-  Message msg = std::move(queue_.front());
-  queue_.pop_front();
-  cv_send_.notify_all();
-  return msg;
-}
+Message Channel::recv() { return impl_->recv(); }
 
 Tensor Channel::recv_expect(const std::string& expected_tag) {
   Message msg = recv();
@@ -97,32 +30,12 @@ Tensor Channel::recv_expect(const std::string& expected_tag) {
   return std::move(msg.payload);
 }
 
-Tensor Channel::recv_tag(const std::string& tag) {
-  std::unique_lock lock(mutex_);
-  auto find = [&] { return std::find_if(queue_.begin(), queue_.end(),
-                                        [&](const Message& m) { return m.tag == tag; }); };
-  auto it = queue_.end();
-  wait_or_throw(lock, cv_recv_, "recv", tag, [&] { return (it = find()) != queue_.end(); });
-  Tensor payload = std::move(it->payload);
-  queue_.erase(it);
-  cv_send_.notify_all();
-  return payload;
-}
+Tensor Channel::recv_tag(const std::string& tag) { return impl_->recv_tag(tag); }
 
-void Channel::clear() {
-  std::lock_guard lock(mutex_);
-  queue_.clear();
-  cv_send_.notify_all();
-}
+void Channel::clear() { impl_->clear(); }
 
-std::size_t Channel::size() const {
-  std::lock_guard lock(mutex_);
-  return queue_.size();
-}
+std::size_t Channel::size() const { return impl_->size(); }
 
-std::string Channel::describe() const {
-  std::lock_guard lock(mutex_);
-  return describe_queue(queue_, capacity_);
-}
+std::string Channel::describe() const { return impl_->describe(); }
 
 }  // namespace vocab

@@ -7,6 +7,14 @@
 // tensors; pops block (with deadlock timeout) until the matching message
 // arrives, mirroring NCCL send/recv pairing on a P2P connection.
 //
+// Since the transport layer landed, Channel is a facade over a pluggable
+// transport::Mailbox backend: the in-process thread rendezvous (default,
+// bit-identical to the historical implementation) or shared-memory ring
+// buffers that work across fork() (VOCAB_TRANSPORT=shm). The public API and
+// error texts are unchanged; DeadlockError reports additionally name the
+// backend and peer heartbeat ages so a hang is attributable to a dead peer
+// vs. a schedule bug.
+//
 // Fault protocol: a channel may share an AbortToken with the rest of the
 // runtime (set_abort_token). Blocking waits slice their timeout into
 // kAbortPollInterval chunks and re-check the token, so the first device
@@ -15,36 +23,23 @@
 // timeout.
 
 #include <chrono>
-#include <condition_variable>
-#include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "fault/abort_token.h"
 #include "tensor/tensor.h"
+#include "transport/transport.h"
 
 namespace vocab {
-
-/// Default timeout for Channel / DeviceGroup waits: VOCAB_COMM_TIMEOUT_MS
-/// from the environment when set to a positive integer, else 30 s.
-[[nodiscard]] std::chrono::milliseconds default_comm_timeout();
-
-/// Sentinel: "resolve the timeout from default_comm_timeout() at use".
-inline constexpr std::chrono::milliseconds kCommTimeoutFromEnv{-1};
-
-/// A tensor in flight between two pipeline stages.
-struct Message {
-  std::string tag;  ///< e.g. "fwd:mb3" — identifies microbatch + direction
-  Tensor payload;
-};
 
 /// Bounded blocking FIFO of Messages. Single producer / single consumer in
 /// the pipeline runtime, but safe for multiple of either.
 class Channel {
  public:
+  /// Backed by `transport` (default: the VOCAB_TRANSPORT-selected backend).
   explicit Channel(std::size_t capacity = 1024,
-                   std::chrono::milliseconds timeout = kCommTimeoutFromEnv);
+                   std::chrono::milliseconds timeout = kCommTimeoutFromEnv,
+                   transport::Transport* transport = nullptr);
 
   Channel(const Channel&) = delete;
   Channel& operator=(const Channel&) = delete;
@@ -79,23 +74,14 @@ class Channel {
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
   [[nodiscard]] std::chrono::milliseconds timeout() const { return timeout_; }
 
-  /// One-line occupancy + queued-tags snapshot (for watchdog reports).
+  /// One-line occupancy + queued-tags + transport snapshot (for watchdog
+  /// reports and DeadlockError diagnostics).
   [[nodiscard]] std::string describe() const;
 
  private:
-  // Wait until `ready()` under `lock`, polling the abort token each slice.
-  // `verb` + `tag` contextualize the DeadlockError / AbortedError.
-  template <typename Ready>
-  void wait_or_throw(std::unique_lock<std::mutex>& lock, std::condition_variable& cv,
-                     const char* verb, const std::string& tag, Ready&& ready);
-
   const std::size_t capacity_;
   const std::chrono::milliseconds timeout_;
-  std::shared_ptr<AbortToken> abort_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_send_;
-  std::condition_variable cv_recv_;
-  std::deque<Message> queue_;
+  std::unique_ptr<transport::Mailbox> impl_;
 };
 
 }  // namespace vocab

@@ -1,238 +1,43 @@
 #include "comm/device_group.h"
 
-#include <algorithm>
-#include <sstream>
-
-#include "common/error.h"
-
 namespace vocab {
 
-namespace {
-
-void reduce_into(Tensor& acc, const Tensor& contrib, ReduceOp op) {
-  VOCAB_CHECK(acc.same_shape(contrib),
-              "collective shape mismatch: " << acc.shape_str() << " vs " << contrib.shape_str());
-  float* pa = acc.data();
-  const float* pb = contrib.data();
-  const std::int64_t n = acc.numel();
-  if (op == ReduceOp::Sum) {
-    for (std::int64_t i = 0; i < n; ++i) pa[i] += pb[i];
-  } else {
-    for (std::int64_t i = 0; i < n; ++i) pa[i] = std::max(pa[i], pb[i]);
-  }
-}
-
-}  // namespace
-
-DeviceGroup::DeviceGroup(int world_size, std::chrono::milliseconds timeout)
-    : world_size_(world_size),
-      timeout_(timeout == kCommTimeoutFromEnv ? default_comm_timeout() : timeout),
-      slots_(static_cast<std::size_t>(std::max(world_size, 1))),
-      tags_(static_cast<std::size_t>(std::max(world_size, 1))),
-      waiting_(static_cast<std::size_t>(std::max(world_size, 1)), false) {
-  VOCAB_CHECK(world_size >= 1, "world_size must be >= 1, got " << world_size);
+DeviceGroup::DeviceGroup(int world_size, std::chrono::milliseconds timeout,
+                         transport::Transport* transport) {
+  transport::Transport& backend =
+      transport != nullptr ? *transport : transport::default_transport();
+  impl_ = backend.make_collective(world_size, timeout);
 }
 
 void DeviceGroup::set_abort_token(std::shared_ptr<AbortToken> token) {
-  std::lock_guard lock(mutex_);
-  abort_ = std::move(token);
+  impl_->set_abort_token(std::move(token));
 }
 
-void DeviceGroup::check_rank(int rank) const {
-  VOCAB_CHECK(rank >= 0 && rank < world_size_,
-              "rank " << rank << " out of range [0, " << world_size_ << ")");
-}
-
-template <typename LeaderFn>
-void DeviceGroup::rendezvous(int rank, const std::string& tag, const char* kind,
-                             LeaderFn&& leader_fn) {
-  check_rank(rank);
-  std::unique_lock lock(mutex_);
-  const auto t0 = std::chrono::steady_clock::now();
-  const auto deadline = t0 + timeout_;
-  waiting_[static_cast<std::size_t>(rank)] = true;
-  struct WaitingGuard {
-    std::vector<bool>& waiting;
-    std::size_t rank;
-    ~WaitingGuard() { waiting[rank] = false; }
-  } waiting_guard{waiting_, static_cast<std::size_t>(rank)};
-
-  // Wait until `pred`, slicing the timeout so the shared abort token is
-  // observed within kAbortPollInterval even if a notify is missed.
-  auto timed_wait = [&](auto&& pred) {
-    for (;;) {
-      if (pred()) return;
-      if (abort_ != nullptr && abort_->aborted()) {
-        if (failure_.empty()) failure_ = "aborted during " + std::string(kind) + " '" + tag + "'";
-        cv_.notify_all();
-        throw AbortedError(abort_->reason(), std::string(kind) + " '" + tag + "' on rank " +
-                                                 std::to_string(rank) + " interrupted");
-      }
-      const auto now = std::chrono::steady_clock::now();
-      if (now >= deadline) {
-        const auto elapsed =
-            std::chrono::duration_cast<std::chrono::milliseconds>(now - t0).count();
-        failure_ = std::string("deadlock: rank ") + std::to_string(rank) + " timed out in " +
-                   kind + " '" + tag + "' after " + std::to_string(elapsed) + " ms (timeout " +
-                   std::to_string(timeout_.count()) + " ms; arrived " +
-                   std::to_string(arrived_) + "/" + std::to_string(world_size_) + ")";
-        cv_.notify_all();
-        throw DeadlockError(failure_);
-      }
-      cv_.wait_for(lock, std::min<std::chrono::steady_clock::duration>(deadline - now,
-                                                                       kAbortPollInterval));
-    }
-  };
-
-  if (!failure_.empty()) throw DeadlockError("communicator poisoned: " + failure_);
-
-  // Wait for the previous collective to fully drain before joining.
-  timed_wait([&] { return departed_ == 0 || !failure_.empty(); });
-  if (!failure_.empty()) throw DeadlockError("communicator poisoned: " + failure_);
-
-  const std::uint64_t my_gen = generation_;
-  tags_[static_cast<std::size_t>(rank)] = tag;
-  ++arrived_;
-
-  if (arrived_ == world_size_) {
-    // Leader: validate tags, run the collective body, release everyone.
-    for (int r = 0; r < world_size_; ++r) {
-      if (tags_[static_cast<std::size_t>(r)] != tag) {
-        failure_ = std::string("collective mismatch in ") + kind + ": rank " +
-                   std::to_string(rank) + " tag '" + tag + "' vs rank " + std::to_string(r) +
-                   " tag '" + tags_[static_cast<std::size_t>(r)] + "'";
-        arrived_ = 0;
-        ++generation_;
-        cv_.notify_all();
-        throw CheckError(failure_);
-      }
-    }
-    try {
-      leader_fn();
-    } catch (const std::exception& e) {
-      failure_ = std::string(kind) + " '" + tag + "' failed: " + e.what();
-      arrived_ = 0;
-      ++generation_;
-      cv_.notify_all();
-      throw;
-    }
-    ++completed_;
-    arrived_ = 0;
-    departed_ = world_size_;
-    ++generation_;
-    cv_.notify_all();
-  } else {
-    timed_wait([&] { return generation_ != my_gen || !failure_.empty(); });
-    if (!failure_.empty()) throw DeadlockError("collective aborted: " + failure_);
-  }
-
-  --departed_;
-  if (departed_ == 0) cv_.notify_all();
-}
-
-void DeviceGroup::barrier(int rank, const std::string& tag) {
-  rendezvous(rank, tag, "barrier", [] {});
-}
+void DeviceGroup::barrier(int rank, const std::string& tag) { impl_->barrier(rank, tag); }
 
 void DeviceGroup::all_reduce(int rank, Tensor& data, ReduceOp op, const std::string& tag) {
-  check_rank(rank);
-  {
-    std::lock_guard lock(mutex_);
-    slots_[static_cast<std::size_t>(rank)].tensor = &data;
-  }
-  rendezvous(rank, tag, "all_reduce", [&] {
-    Tensor acc = *slots_[0].tensor;
-    for (int r = 1; r < world_size_; ++r) reduce_into(acc, *slots_[static_cast<std::size_t>(r)].tensor, op);
-    for (int r = 0; r < world_size_; ++r) *slots_[static_cast<std::size_t>(r)].tensor = acc;
-  });
+  impl_->all_reduce(rank, data, op, tag);
 }
 
-void DeviceGroup::reduce(int rank, int root, Tensor& data, ReduceOp op, const std::string& tag) {
-  check_rank(rank);
-  check_rank(root);
-  {
-    std::lock_guard lock(mutex_);
-    slots_[static_cast<std::size_t>(rank)].tensor = &data;
-  }
-  rendezvous(rank, tag, "reduce", [&] {
-    Tensor acc = *slots_[0].tensor;
-    for (int r = 1; r < world_size_; ++r) reduce_into(acc, *slots_[static_cast<std::size_t>(r)].tensor, op);
-    *slots_[static_cast<std::size_t>(root)].tensor = std::move(acc);
-  });
+void DeviceGroup::reduce(int rank, int root, Tensor& data, ReduceOp op,
+                         const std::string& tag) {
+  impl_->reduce(rank, root, data, op, tag);
 }
 
 void DeviceGroup::broadcast(int rank, int root, Tensor& data, const std::string& tag) {
-  check_rank(rank);
-  check_rank(root);
-  {
-    std::lock_guard lock(mutex_);
-    slots_[static_cast<std::size_t>(rank)].tensor = &data;
-  }
-  rendezvous(rank, tag, "broadcast", [&] {
-    const Tensor& src = *slots_[static_cast<std::size_t>(root)].tensor;
-    for (int r = 0; r < world_size_; ++r) {
-      if (r != root) *slots_[static_cast<std::size_t>(r)].tensor = src;
-    }
-  });
+  impl_->broadcast(rank, root, data, tag);
 }
 
 Tensor DeviceGroup::all_gather_rows(int rank, const Tensor& data, const std::string& tag) {
-  check_rank(rank);
-  Tensor out;
-  {
-    std::lock_guard lock(mutex_);
-    slots_[static_cast<std::size_t>(rank)].const_tensor = &data;
-    slots_[static_cast<std::size_t>(rank)].tensor = &out;
-  }
-  rendezvous(rank, tag, "all_gather_rows", [&] {
-    std::int64_t total_rows = 0;
-    const std::int64_t cols = slots_[0].const_tensor->dim(1);
-    for (int r = 0; r < world_size_; ++r) {
-      const Tensor& t = *slots_[static_cast<std::size_t>(r)].const_tensor;
-      VOCAB_CHECK(t.rank() == 2 && t.dim(1) == cols, "all_gather_rows column mismatch");
-      total_rows += t.dim(0);
-    }
-    Tensor gathered({total_rows, cols});
-    std::int64_t row = 0;
-    for (int r = 0; r < world_size_; ++r) {
-      const Tensor& t = *slots_[static_cast<std::size_t>(r)].const_tensor;
-      std::copy(t.data(), t.data() + t.numel(), gathered.data() + row * cols);
-      row += t.dim(0);
-    }
-    for (int r = 0; r < world_size_; ++r) *slots_[static_cast<std::size_t>(r)].tensor = gathered;
-  });
-  return out;
+  return impl_->all_gather_rows(rank, data, tag);
 }
 
 std::uint64_t DeviceGroup::completed_collectives() const {
-  std::lock_guard lock(mutex_);
-  return completed_;
+  return impl_->completed_collectives();
 }
 
-std::vector<int> DeviceGroup::waiting_ranks() const {
-  std::lock_guard lock(mutex_);
-  std::vector<int> out;
-  for (int r = 0; r < world_size_; ++r) {
-    if (waiting_[static_cast<std::size_t>(r)]) out.push_back(r);
-  }
-  return out;
-}
+std::vector<int> DeviceGroup::waiting_ranks() const { return impl_->waiting_ranks(); }
 
-std::string DeviceGroup::describe() const {
-  std::lock_guard lock(mutex_);
-  std::ostringstream os;
-  os << "arrived " << arrived_ << "/" << world_size_ << ", departed " << departed_
-     << ", completed " << completed_ << ", waiters [";
-  bool first = true;
-  for (int r = 0; r < world_size_; ++r) {
-    if (!waiting_[static_cast<std::size_t>(r)]) continue;
-    if (!first) os << ", ";
-    first = false;
-    os << "r" << r << ":'" << tags_[static_cast<std::size_t>(r)] << "'";
-  }
-  os << "]";
-  if (!failure_.empty()) os << ", failure: " << failure_;
-  return os.str();
-}
+std::string DeviceGroup::describe() const { return impl_->describe(); }
 
 }  // namespace vocab

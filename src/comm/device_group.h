@@ -1,12 +1,18 @@
 #pragma once
 
-// Thread-backed communication group standing in for NCCL.
+// Communication group standing in for NCCL.
 //
-// Each simulated pipeline device is an OS thread; a DeviceGroup provides the
+// Each simulated pipeline device is an OS thread (or, under the shm
+// transport's multi-process mode, an OS process); a DeviceGroup provides the
 // collectives the paper's algorithms need: AllReduce(max), AllReduce(sum),
 // Reduce(sum), Broadcast and Barrier. Semantics mirror NCCL:
 //   * every rank must call the same collectives in the same order;
 //   * calls block until all ranks arrive (rendezvous) and the data is ready.
+//
+// Since the transport layer landed, DeviceGroup is a facade over a pluggable
+// transport::Collective backend selected by VOCAB_TRANSPORT (default: the
+// in-process thread rendezvous, bit-identical to the historical
+// implementation).
 //
 // Robustness features NCCL does not give you, which make scheduling bugs
 // observable in tests:
@@ -20,33 +26,31 @@
 //     AbortedError naming the originating op.
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
-#include "comm/channel.h"  // default_comm_timeout / kCommTimeoutFromEnv
+#include "comm/channel.h"  // facade neighbors share the transport include
 #include "fault/abort_token.h"
 #include "tensor/tensor.h"
+#include "transport/transport.h"
 
 namespace vocab {
 
-/// Reduction operator for all_reduce / reduce.
-enum class ReduceOp { Sum, Max };
-
-/// Rendezvous collective communicator over `world_size` participant threads.
+/// Rendezvous collective communicator over `world_size` participants.
 /// Thread-safe: each rank must be driven by exactly one thread at a time.
 class DeviceGroup {
  public:
+  /// Backed by `transport` (default: the VOCAB_TRANSPORT-selected backend).
   explicit DeviceGroup(int world_size,
-                       std::chrono::milliseconds timeout = kCommTimeoutFromEnv);
+                       std::chrono::milliseconds timeout = kCommTimeoutFromEnv,
+                       transport::Transport* transport = nullptr);
 
   DeviceGroup(const DeviceGroup&) = delete;
   DeviceGroup& operator=(const DeviceGroup&) = delete;
 
-  [[nodiscard]] int world_size() const { return world_size_; }
+  [[nodiscard]] int world_size() const { return impl_->world_size(); }
 
   /// Share the runtime's abort token; every rendezvous wait observes it.
   void set_abort_token(std::shared_ptr<AbortToken> token);
@@ -84,37 +88,7 @@ class DeviceGroup {
   [[nodiscard]] std::string describe() const;
 
  private:
-  struct Slot {
-    Tensor* tensor = nullptr;
-    const Tensor* const_tensor = nullptr;
-  };
-
-  // Runs `leader_fn` on the last-arriving rank, between the arrival phase and
-  // the departure phase. Throws DeadlockError on timeout, AbortedError when
-  // the shared token aborts, CheckError on tag or shape mismatch detected at
-  // rendezvous.
-  template <typename LeaderFn>
-  void rendezvous(int rank, const std::string& tag, const char* kind, LeaderFn&& leader_fn);
-
-  void check_rank(int rank) const;
-
-  const int world_size_;
-  const std::chrono::milliseconds timeout_;
-  std::shared_ptr<AbortToken> abort_;
-
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::vector<Slot> slots_;
-  std::vector<std::string> tags_;
-  std::vector<bool> waiting_;
-  int arrived_ = 0;
-  int departed_ = 0;
-  std::uint64_t generation_ = 0;
-  std::uint64_t completed_ = 0;
-  std::string failure_;  // non-empty once a rendezvous has failed
-
-  // Scratch owned by the group, used by leader functions.
-  Tensor gather_result_;
+  std::unique_ptr<transport::Collective> impl_;
 };
 
 }  // namespace vocab

@@ -1,6 +1,9 @@
 #include "fault/fault_injector.h"
 
+#include <signal.h>
+
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <limits>
 #include <sstream>
@@ -19,6 +22,10 @@ const char* to_string(FaultKind kind) {
     case FaultKind::InjectNaN: return "nan";
     case FaultKind::InjectInf: return "inf";
     case FaultKind::BitFlip: return "bitflip";
+    case FaultKind::KillProcess: return "kill-process";
+    case FaultKind::DropMessage: return "drop-msg";
+    case FaultKind::DelayMessage: return "delay-msg";
+    case FaultKind::SuppressHeartbeat: return "suppress-heartbeat";
   }
   return "?";
 }
@@ -104,6 +111,7 @@ void FaultInjector::begin_iteration(std::uint64_t iteration) {
   // Disarm any corruption left over from an aborted attempt: the spec is
   // one-shot, so the recovery retry must run clean.
   for (PendingCorruption& p : pending_) p.armed = false;
+  for (PendingComm& p : pending_comm_) p = PendingComm{};
 }
 
 void FaultInjector::on_op(int device, int op_id, const std::string& label,
@@ -157,7 +165,64 @@ void FaultInjector::on_op(int device, int op_id, const std::string& label,
       p.context = os.str();
       return;
     }
+    case FaultKind::KillProcess:
+      // Genuine peer death: no unwinding, no abort, no flushed buffers. Only
+      // meaningful inside a worker process (under the threads transport this
+      // takes the whole test process down — plans are responsible for scoping
+      // the kind to multi-process runs).
+      std::fflush(nullptr);
+      ::raise(SIGKILL);
+      return;
+    case FaultKind::DropMessage:
+    case FaultKind::DelayMessage: {
+      std::lock_guard lock(mutex_);
+      if (device >= static_cast<int>(pending_comm_.size())) {
+        pending_comm_.resize(static_cast<std::size_t>(device) + 1);
+      }
+      PendingComm& p = pending_comm_[static_cast<std::size_t>(device)];
+      if (hit->kind == FaultKind::DropMessage) {
+        p.drop = true;
+      } else {
+        p.delay = hit->delay;
+      }
+      return;
+    }
+    case FaultKind::SuppressHeartbeat: {
+      std::lock_guard lock(mutex_);
+      if (device >= static_cast<int>(suppress_until_.size())) {
+        suppress_until_.resize(static_cast<std::size_t>(device) + 1);
+      }
+      suppress_until_[static_cast<std::size_t>(device)] =
+          std::chrono::steady_clock::now() + hit->delay;
+      return;
+    }
   }
+}
+
+bool FaultInjector::take_message_drop(int device) {
+  std::lock_guard lock(mutex_);
+  if (device < 0 || device >= static_cast<int>(pending_comm_.size())) return false;
+  PendingComm& p = pending_comm_[static_cast<std::size_t>(device)];
+  if (!p.drop) return false;
+  p.drop = false;
+  return true;
+}
+
+std::chrono::milliseconds FaultInjector::take_message_delay(int device) {
+  std::lock_guard lock(mutex_);
+  if (device < 0 || device >= static_cast<int>(pending_comm_.size())) {
+    return std::chrono::milliseconds(0);
+  }
+  PendingComm& p = pending_comm_[static_cast<std::size_t>(device)];
+  const auto delay = p.delay;
+  p.delay = std::chrono::milliseconds(0);
+  return delay;
+}
+
+bool FaultInjector::heartbeat_suppressed(int device) const {
+  std::lock_guard lock(mutex_);
+  if (device < 0 || device >= static_cast<int>(suppress_until_.size())) return false;
+  return std::chrono::steady_clock::now() < suppress_until_[static_cast<std::size_t>(device)];
 }
 
 bool FaultInjector::corrupt_pending(int device, float* data, std::int64_t numel) {

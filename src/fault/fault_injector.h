@@ -26,6 +26,15 @@
 //                 the float's bit 30 (top exponent bit), which usually
 //                 explodes the magnitude but need not produce NaN/Inf.
 //
+//   KillProcess / DropMessage / DelayMessage / SuppressHeartbeat — transport
+//                 faults for the multi-process (shm) backend: KillProcess
+//                 raises SIGKILL on the calling worker (genuine peer death,
+//                 detectable only by heartbeat loss / waitpid); the message
+//                 kinds arm a one-shot drop/delay that the trainer's next
+//                 cross-device send consumes (take_message_drop/delay);
+//                 SuppressHeartbeat mutes the worker's beacon for `delay`,
+//                 making a live process indistinguishable from a dead one.
+//
 // Every mode is reproducible: FaultPlan::random derives specs from a seed via
 // the library Rng, and fired specs are one-shot so a recovery retry of the
 // same iteration does not re-fail.
@@ -52,6 +61,11 @@ enum class FaultKind {
   InjectNaN,
   InjectInf,
   BitFlip,
+  // Transport-level kinds (multi-process fault tolerance, PR 9):
+  KillProcess,        ///< raise(SIGKILL) on the calling process — real peer death
+  DropMessage,        ///< arm: the device's next cross-device send is discarded
+  DelayMessage,       ///< arm: the device's next cross-device send sleeps `delay` first
+  SuppressHeartbeat,  ///< mute the device's heartbeat beacon for `delay` (peer sees loss)
 };
 
 /// True for the silent data-corruption kinds (armed by on_op, applied by
@@ -122,6 +136,20 @@ class FaultInjector {
   /// `token` (nullable) lets injected sleeps wake early on abort.
   void on_op(int device, int op_id, const std::string& label, const AbortToken* token);
 
+  /// Trainer send hook: consume an armed DropMessage for `device`. Returns
+  /// true when the caller should discard the payload instead of sending it —
+  /// exercising the retry/timeout path on the receiving side.
+  [[nodiscard]] bool take_message_drop(int device);
+
+  /// Trainer send hook: consume an armed DelayMessage for `device`. Returns
+  /// the delay to sleep before sending (zero when none is armed).
+  [[nodiscard]] std::chrono::milliseconds take_message_delay(int device);
+
+  /// Transport beacon hook: true while `device`'s heartbeat is suppressed
+  /// (a SuppressHeartbeat spec fired less than its `delay` ago). A muted
+  /// beacon looks exactly like a dead process to the peers' watchdogs.
+  [[nodiscard]] bool heartbeat_suppressed(int device) const;
+
   /// Runner hook: apply device `device`'s armed corruption (if any) to the
   /// buffer `data[0..numel)` and disarm it. Returns true when the buffer was
   /// mutated. Buffers are corrupted *before* any guard check, so the fence
@@ -147,11 +175,20 @@ class FaultInjector {
     std::string context;
   };
 
+  struct PendingComm {
+    bool drop = false;
+    std::chrono::milliseconds delay{0};
+  };
+
   FaultPlan plan_;
   mutable std::mutex mutex_;
   std::vector<bool> fired_;
   std::vector<int> op_counters_;  // per device, within the current iteration
   std::vector<PendingCorruption> pending_;  // per device
+  std::vector<PendingComm> pending_comm_;   // per device
+  // Suppression windows outlive iterations on purpose: heartbeat loss must
+  // span at least one timeout to be observable.
+  std::vector<std::chrono::steady_clock::time_point> suppress_until_;
   std::uint64_t iteration_ = 0;
   int fired_count_ = 0;
   int corruptions_applied_ = 0;

@@ -1,6 +1,9 @@
 #include "fault/watchdog.h"
 
+#include <cstdio>
 #include <sstream>
+
+#include "common/error.h"
 
 namespace vocab {
 
@@ -13,6 +16,54 @@ std::int64_t now_ns() {
 }
 
 }  // namespace
+
+std::string WatchdogSnapshot::serialize() const {
+  std::ostringstream os;
+  os << "watchdog-snapshot v1\n";
+  os << "deadline_ms " << stall_deadline_ms << "\n";
+  for (const WatchdogDeviceBeat& b : devices) {
+    os << "device " << b.device << " op " << b.op_id << " ops " << b.ops_started
+       << " silent_ms " << b.silent_ms << " done " << (b.done ? 1 : 0) << "\n";
+  }
+  os << "comm\n" << comm;
+  return os.str();
+}
+
+WatchdogSnapshot Watchdog::last_snapshot() const {
+  std::lock_guard lock(mutex_);
+  return fire_snapshot_;
+}
+
+WatchdogSnapshot WatchdogSnapshot::parse(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  VOCAB_CHECK(std::getline(is, line) && line == "watchdog-snapshot v1",
+              "watchdog snapshot: bad header '" << line << "'");
+  WatchdogSnapshot snap;
+  VOCAB_CHECK(std::getline(is, line) && line.rfind("deadline_ms ", 0) == 0,
+              "watchdog snapshot: missing deadline_ms line, got '" << line << "'");
+  snap.stall_deadline_ms = std::stoll(line.substr(std::string("deadline_ms ").size()));
+  while (std::getline(is, line)) {
+    if (line == "comm") {
+      std::ostringstream rest;
+      rest << is.rdbuf();
+      snap.comm = rest.str();
+      return snap;
+    }
+    WatchdogDeviceBeat b;
+    long long ops = 0;
+    long long silent = 0;
+    int done = 0;
+    const int got = std::sscanf(line.c_str(), "device %d op %d ops %lld silent_ms %lld done %d",
+                                &b.device, &b.op_id, &ops, &silent, &done);
+    VOCAB_CHECK(got == 5, "watchdog snapshot: malformed device line '" << line << "'");
+    b.ops_started = ops;
+    b.silent_ms = silent;
+    b.done = done != 0;
+    snap.devices.push_back(b);
+  }
+  VOCAB_FAIL("watchdog snapshot: missing comm section");
+}
 
 Watchdog::Watchdog(int num_devices, WatchdogConfig config, std::shared_ptr<AbortToken> token,
                    std::function<std::string(int, int)> describe_op,
@@ -80,6 +131,25 @@ std::string Watchdog::build_report(std::int64_t now) const {
   return os.str();
 }
 
+WatchdogSnapshot Watchdog::build_snapshot(std::int64_t now) const {
+  WatchdogSnapshot snap;
+  snap.stall_deadline_ms = config_.stall_deadline.count();
+  for (std::size_t d = 0; d < beats_.size(); ++d) {
+    const Beat& b = beats_[d];
+    WatchdogDeviceBeat beat;
+    beat.device = static_cast<int>(d);
+    beat.op_id = b.op_id.load(std::memory_order_relaxed);
+    beat.ops_started = b.ops_started.load(std::memory_order_relaxed);
+    beat.silent_ms = (now - b.last_beat_ns.load(std::memory_order_acquire)) / 1'000'000;
+    beat.done = b.done.load(std::memory_order_acquire);
+    snap.devices.push_back(beat);
+  }
+  if (comm_snapshot_) snap.comm = comm_snapshot_();
+  return snap;
+}
+
+WatchdogSnapshot Watchdog::snapshot() const { return build_snapshot(now_ns()); }
+
 void Watchdog::loop() {
   std::unique_lock lock(mutex_);
   for (;;) {
@@ -104,6 +174,7 @@ void Watchdog::loop() {
     if (stalled < 0) continue;
 
     report_ = build_report(now);
+    fire_snapshot_ = build_snapshot(now);
     fired_.store(true, std::memory_order_release);
     AbortReason reason;
     reason.device = stalled;

@@ -35,6 +35,29 @@ struct WatchdogConfig {
   std::chrono::milliseconds poll_interval{25};
 };
 
+/// One device's heartbeat state as captured in a WatchdogSnapshot.
+struct WatchdogDeviceBeat {
+  int device = 0;
+  int op_id = -1;              ///< op the device last announced (-1: none yet)
+  std::int64_t ops_started = 0;
+  std::int64_t silent_ms = 0;  ///< time since the last heartbeat at capture
+  bool done = false;
+};
+
+/// Machine-readable form of a stall diagnostic: the per-device beats plus the
+/// owner-provided comm state, with a line-oriented serialize/parse round-trip
+/// so a coordinator process can persist a worker's report (or ship it across
+/// a process boundary) and later re-ingest which op each lane was stuck on.
+struct WatchdogSnapshot {
+  std::int64_t stall_deadline_ms = 0;
+  std::vector<WatchdogDeviceBeat> devices;
+  std::string comm;  ///< comm snapshot text, carried verbatim
+
+  [[nodiscard]] std::string serialize() const;
+  /// Inverse of serialize(); throws CheckError on a malformed snapshot.
+  [[nodiscard]] static WatchdogSnapshot parse(const std::string& text);
+};
+
 class Watchdog {
  public:
   /// `describe_op(device, op_id)` renders a heartbeat for the report;
@@ -61,6 +84,13 @@ class Watchdog {
   [[nodiscard]] std::string last_report() const;
   [[nodiscard]] bool fired() const { return fired_.load(std::memory_order_acquire); }
 
+  /// Capture the current per-device heartbeat state (plus the comm snapshot)
+  /// in machine-readable form. Callable any time, not just after a stall.
+  [[nodiscard]] WatchdogSnapshot snapshot() const;
+  /// The snapshot captured at the moment the stall fired (empty devices list
+  /// if the watchdog never fired).
+  [[nodiscard]] WatchdogSnapshot last_snapshot() const;
+
  private:
   struct Beat {
     std::atomic<std::int64_t> last_beat_ns{0};
@@ -71,6 +101,7 @@ class Watchdog {
 
   void loop();
   [[nodiscard]] std::string build_report(std::int64_t now_ns) const;
+  [[nodiscard]] WatchdogSnapshot build_snapshot(std::int64_t now_ns) const;
 
   const WatchdogConfig config_;
   std::shared_ptr<AbortToken> token_;
@@ -82,6 +113,7 @@ class Watchdog {
   std::condition_variable cv_;
   bool stop_requested_ = false;
   std::string report_;
+  WatchdogSnapshot fire_snapshot_;  // captured when the stall fired
   std::atomic<bool> fired_{false};
   std::thread thread_;
 };

@@ -6,6 +6,7 @@
 
 #include "comm/channel.h"
 #include "comm/device_group.h"
+#include "transport/transport.h"
 #include "common/error.h"
 #include "core/reference_input_layer.h"
 #include "core/reference_output_layer.h"
@@ -88,7 +89,7 @@ struct PipelineTrainer::Device {
 };
 
 PipelineTrainer::PipelineTrainer(GptWeights weights, int p, OutputAlgo algo,
-                                 PipelineFlavor flavor)
+                                 PipelineFlavor flavor, transport::Transport* transport)
     : config_(weights.config), p_(p), algo_(algo), flavor_(flavor_from_env(flavor)),
       abort_(std::make_shared<AbortToken>()) {
   VOCAB_CHECK(p >= 1, "need at least one device");
@@ -147,14 +148,19 @@ PipelineTrainer::PipelineTrainer(GptWeights weights, int p, OutputAlgo algo,
   // The folded baseline historically had no collective group; the global
   // grad-norm clip gives every multi-device flavor one (its single "clipAR"
   // all-reduce). Single-device folded layouts clip locally instead.
+  //
+  // NOTE: the construction order here — collective group first, then the p
+  // mailboxes in rank order — is the shm transport's arena consumption
+  // order. Every worker process attaching the same arena must build its
+  // trainer the same way, which they do by running this constructor.
   if (vocab_sharded() || p > 1) {
-    group_ = std::make_unique<DeviceGroup>(p);
+    group_ = std::make_unique<DeviceGroup>(p, kCommTimeoutFromEnv, transport);
     group_->set_abort_token(abort_);
   }
   if (flavor_ == PipelineFlavor::Naive) {
     for (int d = 0; d + 1 < p; ++d) {
-      fwd_.push_back(std::make_unique<Channel>());
-      bwd_.push_back(std::make_unique<Channel>());
+      fwd_.push_back(std::make_unique<Channel>(1024, kCommTimeoutFromEnv, transport));
+      bwd_.push_back(std::make_unique<Channel>(1024, kCommTimeoutFromEnv, transport));
       fwd_.back()->set_abort_token(abort_);
       bwd_.back()->set_abort_token(abort_);
     }
@@ -169,7 +175,7 @@ PipelineTrainer::PipelineTrainer(GptWeights weights, int p, OutputAlgo algo,
     // rendezvous (capacity far exceeds the microbatches in flight), which is
     // what lets transfers overlap the producer's next compute op.
     for (int d = 0; d < p; ++d) {
-      mail_.push_back(std::make_unique<Channel>());
+      mail_.push_back(std::make_unique<Channel>(1024, kCommTimeoutFromEnv, transport));
       mail_.back()->set_abort_token(abort_);
     }
   }
@@ -365,6 +371,15 @@ void PipelineTrainer::maybe_quantize_comm(Tensor& t) {
   ks.bf16_to_fp32(half.data(), t.data(), t.numel());
   comm_bf16_bytes_.fetch_add(half.size() * sizeof(std::uint16_t),
                              std::memory_order_relaxed);
+}
+
+void PipelineTrainer::send_cross_device(int from, int to, const std::string& tag, Tensor&& t) {
+  if (injector_ != nullptr) {
+    if (injector_->take_message_drop(from)) return;
+    const auto delay = injector_->take_message_delay(from);
+    if (delay.count() > 0) std::this_thread::sleep_for(delay);
+  }
+  mail_[static_cast<std::size_t>(to)]->send(tag, std::move(t));
 }
 
 bool PipelineTrainer::device_grads_nonfinite(int d) const {
@@ -582,7 +597,7 @@ struct PipelineTrainer::ScheduledIteration final : OpRunner {
         ds.act.emplace(std::make_pair(s + 1, mb), std::move(y));
       } else {
         tr.maybe_quantize_comm(y);
-        tr.mail_[static_cast<std::size_t>(next_dev)]->send(act_tag(s + 1, mb), std::move(y));
+        tr.send_cross_device(d, next_dev, act_tag(s + 1, mb), std::move(y));
       }
     }
   }
@@ -631,8 +646,7 @@ struct PipelineTrainer::ScheduledIteration final : OpRunner {
         ds.grad.emplace(std::make_pair(s - 1, mb), std::move(grad_in));
       } else {
         tr.maybe_quantize_comm(grad_in);
-        tr.mail_[static_cast<std::size_t>(prev_dev)]->send(grad_tag(s - 1, mb),
-                                                           std::move(grad_in));
+        tr.send_cross_device(d, prev_dev, grad_tag(s - 1, mb), std::move(grad_in));
       }
     }
   }
@@ -1096,6 +1110,126 @@ float PipelineTrainer::train_iteration_scheduled(const std::vector<Sample>& micr
   double total = 0.0;
   for (const float l : iteration.losses) total += l;
   return static_cast<float>(total / m);
+}
+
+float PipelineTrainer::train_iteration_lane(int rank, const std::vector<Sample>& microbatches,
+                                            const OptimizerConfig& opt) {
+  VOCAB_CHECK(!microbatches.empty(), "need at least one microbatch");
+  VOCAB_CHECK(rank >= 0 && rank < p_,
+              "lane rank " << rank << " out of range [0, " << p_ << ")");
+  VOCAB_CHECK(flavor_ != PipelineFlavor::Naive,
+              "lane mode drives the scheduled flavors only (not naive)");
+  VOCAB_CHECK(!mp_enabled_, "lane mode does not support mixed precision");
+  if (abort_->aborted()) {
+    throw AbortedError(abort_->reason(),
+                       "trainer poisoned by an earlier failure — rebuild from a "
+                       "checkpoint before training again");
+  }
+  // Same per-iteration reset train_iteration does; every worker process runs
+  // it identically over its own trainer instance, so the group agrees on
+  // whether the schedule carries the clip collective.
+  clip_active_ = opt.max_grad_norm > 0.0f || monitor_grad_norm_;
+  clip_max_norm_ = opt.max_grad_norm;
+  for (auto& cs : clip_state_) cs = ClipState{};
+
+  const int m = static_cast<int>(microbatches.size());
+  const float grad_scale =
+      1.0f / (static_cast<float>(config_.seq_len) * static_cast<float>(m));
+
+  ScheduleExecutor& executor = executor_for(m, clip_active_ && p_ > 1);
+  last_executor_ = &executor;
+
+  ScheduledIteration iteration(*this, microbatches, grad_scale);
+  try {
+    executor.run_lane(iteration, rank);
+  } catch (...) {
+    // Abort hygiene, lane edition: drain only this lane's mailbox — the
+    // peers' rings belong to live processes that drain their own.
+    mail_[static_cast<std::size_t>(rank)]->clear();
+    throw;
+  }
+
+  optimizer_step_device(rank, opt);
+  if (clip_active_ && rank == 0) {
+    last_grad_norm_ = clip_state_[0].norm;
+  }
+
+  // Folded baseline: the schedule computes the losses on the last stage;
+  // forward them so the return value means the same thing on rank 0 as in
+  // the threaded path (where d==0 records them at C1 for vocab flavors).
+  if (!vocab_sharded() && p_ > 1) {
+    if (rank == p_ - 1) {
+      Tensor l({m});
+      for (int mb = 0; mb < m; ++mb) {
+        l.at(mb) = iteration.losses[static_cast<std::size_t>(mb)];
+      }
+      mail_[0]->send("lane:losses", std::move(l));
+    } else if (rank == 0) {
+      const Tensor l = mail_[0]->recv_tag("lane:losses");
+      for (int mb = 0; mb < m; ++mb) {
+        iteration.losses[static_cast<std::size_t>(mb)] = l.at(mb);
+      }
+    }
+  }
+
+  // One fence per iteration: microbatch tags repeat across iterations, so no
+  // lane may race into iteration i+1's sends while a peer still owes
+  // iteration i receives. (group_ exists: lane mode is multi-device.)
+  if (group_ != nullptr) group_->barrier(rank, "lane:iter-fence");
+
+  double total = 0.0;
+  for (const float l : iteration.losses) total += l;
+  return static_cast<float>(total / m);
+}
+
+GptWeights PipelineTrainer::gather_weights_lane(int rank, std::uint64_t seq) {
+  VOCAB_CHECK(rank >= 0 && rank < p_,
+              "lane rank " << rank << " out of range [0, " << p_ << ")");
+  const auto tag = [&](int r, const std::string& what) {
+    return "ckpt:" + std::to_string(seq) + ":d" + std::to_string(r) + ":" + what;
+  };
+  const auto device_params = [this](int r) {
+    Device& dev = *devices_[static_cast<std::size_t>(r)];
+    auto params = dev.stack->parameters();
+    if (dev.stack2) {
+      const auto extra = dev.stack2->parameters();
+      params.insert(params.end(), extra.begin(), extra.end());
+    }
+    return params;
+  };
+
+  if (rank != 0) {
+    Device& dev = *devices_[static_cast<std::size_t>(rank)];
+    const auto params = device_params(rank);
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      mail_[0]->send(tag(rank, "p" + std::to_string(i)), params[i]->value);
+    }
+    if (vocab_sharded()) {
+      mail_[0]->send(tag(rank, "emb"), dev.input->embedding_fp32());
+      mail_[0]->send(tag(rank, "out"), dev.output->weight_fp32());
+    } else if (rank == p_ - 1) {
+      mail_[0]->send(tag(rank, "out"), dev.out_weight_full);
+    }
+    return GptWeights{};
+  }
+
+  // Rank 0's copies of the other ranks' shards are stale (each process only
+  // trains its own lane); overwrite them from the wire, then reuse the
+  // threaded exporter over the now-current device array.
+  for (int r = 1; r < p_; ++r) {
+    Device& dev = *devices_[static_cast<std::size_t>(r)];
+    const auto params = device_params(r);
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      params[i]->value = mail_[0]->recv_tag(tag(r, "p" + std::to_string(i)));
+    }
+    if (vocab_sharded()) {
+      dev.input->mutable_embedding() = mail_[0]->recv_tag(tag(r, "emb"));
+      dev.output->mutable_weight() = mail_[0]->recv_tag(tag(r, "out"));
+    } else if (r == p_ - 1) {
+      dev.out_weight_full = mail_[0]->recv_tag(tag(r, "out"));
+    }
+  }
+  return export_weights();
 }
 
 // ---------------------------------------------------------------------------

@@ -46,6 +46,10 @@
 
 namespace vocab {
 
+namespace transport {
+class Transport;
+}
+
 /// Which execution strategy train_iteration uses.
 enum class PipelineFlavor {
   Naive,         ///< synchronous per-microbatch loop (no pipelining)
@@ -89,8 +93,15 @@ class PipelineTrainer {
   /// Shards `weights` across `p` pipeline devices; requires p | num_layers
   /// (2p | num_layers for VHalf). Baseline1F1B keeps the vocabulary layers
   /// whole on the first/last device instead of sharding them.
+  ///
+  /// `transport` (nullable) selects the comm backend the trainer's channels
+  /// and collective group are built on: null uses the process default
+  /// (VOCAB_TRANSPORT); an attached shm transport makes this trainer one
+  /// lane of a multi-process group (see train_iteration_lane). The trainer
+  /// borrows the pointer — the transport must outlive it.
   PipelineTrainer(GptWeights weights, int p, OutputAlgo algo,
-                  PipelineFlavor flavor = PipelineFlavor::Naive);
+                  PipelineFlavor flavor = PipelineFlavor::Naive,
+                  transport::Transport* transport = nullptr);
   ~PipelineTrainer();
 
   PipelineTrainer(const PipelineTrainer&) = delete;
@@ -104,6 +115,26 @@ class PipelineTrainer {
   float train_iteration(const std::vector<Sample>& microbatches, float lr) {
     return train_iteration(microbatches, OptimizerConfig::sgd(lr));
   }
+
+  /// Multi-process entry point: run ONLY `rank`'s share of one training
+  /// iteration on the calling thread. Every rank of the group must call this
+  /// with the same microbatches and optimizer config — each worker process
+  /// owns one trainer built over the same attached shm transport, and the
+  /// cross-rank ordering that sibling threads provide under train_iteration
+  /// comes from the transport's blocking recvs and collective rendezvous
+  /// instead. Scheduled flavors only (structs executor backend); mixed
+  /// precision and the naive flavor are not supported in lane mode. Returns
+  /// the mean loss (meaningful on rank 0; the folded baseline forwards its
+  /// last-stage losses to rank 0 first).
+  float train_iteration_lane(int rank, const std::vector<Sample>& microbatches,
+                             const OptimizerConfig& opt);
+
+  /// Lane-mode companion to export_weights(): rank 0 returns the full model
+  /// with every other rank's shards gathered over the mailboxes (tagged with
+  /// `seq` so successive gathers cannot alias); other ranks send their
+  /// shards and return an empty GptWeights. Collective: every rank must
+  /// call it with the same `seq`.
+  GptWeights gather_weights_lane(int rank, std::uint64_t seq);
 
   [[nodiscard]] int num_devices() const { return p_; }
   [[nodiscard]] OutputAlgo algo() const { return algo_; }
@@ -232,6 +263,11 @@ class PipelineTrainer {
   /// bf16_comm: round-trip a stage-boundary payload through bf16 so the
   /// receiver sees exactly the values a half-width wire would deliver.
   void maybe_quantize_comm(Tensor& t);
+  /// Cross-device mailbox send with the injector's transport faults applied
+  /// first: an armed DropMessage on `from` discards the payload (the
+  /// receiver's retry/timeout path then owns the outcome); an armed
+  /// DelayMessage sleeps before sending.
+  void send_cross_device(int from, int to, const std::string& tag, Tensor&& t);
   /// True when any gradient this device owns contains a NaN/Inf.
   [[nodiscard]] bool device_grads_nonfinite(int d) const;
 

@@ -254,6 +254,78 @@ void ScheduleExecutor::run_program_lane(OpRunner& runner, int device, Watchdog* 
   }
 }
 
+void ScheduleExecutor::run_lane(OpRunner& runner, int device) {
+  const int p = schedule_.num_devices;
+  VOCAB_CHECK(device >= 0 && device < p, "lane device " << device << " out of range [0, " << p
+                                                        << ")");
+  VOCAB_CHECK(backend_ == ExecutorBackend::kStructs,
+              "run_lane requires the structs backend: the program interpreter's token "
+              "mailboxes are in-process and cannot span worker processes");
+  stats_.wall_seconds = 0.0;
+  stats_.compute_seconds.assign(static_cast<std::size_t>(p), 0.0);
+  watchdog_report_.clear();
+
+  const std::shared_ptr<AbortToken> token =
+      abort_ != nullptr ? abort_ : std::make_shared<AbortToken>();
+  VOCAB_CHECK(!token->aborted(),
+              "executor started on an aborted runtime: " << token->reason().what
+                                                         << " — rebuild before retrying");
+
+  std::unique_ptr<Watchdog> watchdog;
+  if (watchdog_enabled_) {
+    watchdog = std::make_unique<Watchdog>(
+        p, watchdog_config_, token,
+        [this](int d, int op_id) {
+          const Op& op = schedule_.op(op_id);
+          return "op '" + op.label + "' (id " + std::to_string(op_id) + ", " +
+                 to_string(op.kind) + ") on device " + std::to_string(d);
+        },
+        comm_snapshot_);
+    // The other lanes live in other processes and never heartbeat here; the
+    // local watchdog only monitors this lane (peer death is the transport's
+    // heartbeat monitor's job).
+    for (int d = 0; d < p; ++d) {
+      if (d != device) watchdog->mark_done(d);
+    }
+    watchdog->start();
+  }
+
+  const auto t0 = Clock::now();
+  parallel::ScopedPool scope(
+      pools_.empty() ? nullptr : pools_[static_cast<std::size_t>(device)].get());
+  double compute = 0.0;
+  int current_op = -1;
+  try {
+    run_structs_lane(runner, device, watchdog.get(), *token, compute, current_op);
+    if (watchdog != nullptr) watchdog->mark_done(device);
+  } catch (const AbortedError&) {
+    if (watchdog != nullptr) {
+      watchdog->mark_done(device);
+      watchdog->stop();
+      watchdog_report_ = watchdog->last_report();
+    }
+    stats_.compute_seconds[static_cast<std::size_t>(device)] = compute;
+    stats_.wall_seconds = seconds_since(t0);
+    throw;
+  } catch (const std::exception& e) {
+    token->abort(AbortReason{device, current_op, e.what()});
+    if (watchdog != nullptr) {
+      watchdog->mark_done(device);
+      watchdog->stop();
+      watchdog_report_ = watchdog->last_report();
+    }
+    stats_.compute_seconds[static_cast<std::size_t>(device)] = compute;
+    stats_.wall_seconds = seconds_since(t0);
+    throw;
+  }
+  if (watchdog != nullptr) {
+    watchdog->stop();
+    watchdog_report_ = watchdog->last_report();
+  }
+  stats_.compute_seconds[static_cast<std::size_t>(device)] = compute;
+  stats_.wall_seconds = seconds_since(t0);
+}
+
 void ScheduleExecutor::run(OpRunner& runner) {
   const int p = schedule_.num_devices;
   stats_.wall_seconds = 0.0;

@@ -133,6 +133,17 @@ class ScheduleExecutor {
   /// no abort; only the watchdog (enable_watchdog) can end such a run early.
   void run(OpRunner& runner);
 
+  /// Execute only `device`'s projection of the schedule, on the calling
+  /// thread. This is the multi-process entry point: under the shm transport
+  /// each OS process is one pipeline lane and drives exactly one device,
+  /// with cross-lane ordering enforced by the transport's blocking channel
+  /// recvs and collective rendezvous instead of sibling threads. Structs
+  /// backend only — the program interpreter's token mailboxes are in-process
+  /// and cannot span workers. Failure protocol matches run(): the first
+  /// exception aborts the shared token (which the shm transport mirrors to
+  /// every peer process) and is rethrown.
+  void run_lane(OpRunner& runner, int device);
+
   /// Share the runtime's abort token (also wired into the trainer's channels
   /// and collectives). Without one, run() still aborts coordinately through
   /// a per-run private token — but only waits that share it can observe it.

@@ -1,0 +1,199 @@
+#include "runtime/shm_elastic_trainer.h"
+
+#include <signal.h>
+
+#include <cstdio>
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "common/error.h"
+#include "parallel/thread_pool.h"
+#include "runtime/checkpoint.h"
+#include "runtime/resilient_trainer.h"
+#include "transport/process_group.h"
+#include "transport/shm_region.h"
+#include "transport/shm_transport.h"
+
+namespace vocab {
+
+ShmElasticTrainer::ShmElasticTrainer(GptWeights weights, int p, OutputAlgo algo,
+                                     PipelineFlavor flavor, ElasticOptions options)
+    : algo_(algo), flavor_(flavor_from_env(flavor)), options_(std::move(options)), width_(p),
+      num_layers_(weights.config.num_layers) {
+  VOCAB_CHECK(!options_.checkpoint_path.empty(),
+              "elastic training requires a checkpoint path (recovery IS the checkpoint)");
+  VOCAB_CHECK(flavor_ != PipelineFlavor::Naive,
+              "elastic lane workers drive the scheduled flavors only (not naive)");
+  // The initial checkpoint: even a death in the very first iteration has a
+  // good state to restart from.
+  save_checkpoint(options_.checkpoint_path, weights);
+}
+
+void ShmElasticTrainer::set_fault_plan(FaultPlan plan) { plan_ = std::move(plan); }
+
+void ShmElasticTrainer::worker_main(int rank, transport::ShmArena& arena, int width,
+                                    std::uint64_t start_iteration, std::uint64_t end_iteration,
+                                    const BatchFn& batch, const OptimizerConfig& opt,
+                                    const FaultPlan& plan) const {
+  // The fork inherited the parent's ThreadPool singleton WITHOUT its worker
+  // threads; route any parallel_for outside the executor's own (freshly
+  // constructed) per-device pools to serial execution — same chunks, same
+  // order, same bytes.
+  parallel::ScopedPool serial(nullptr);
+
+  auto transport = transport::ShmTransport::attach(arena, rank, options_.transport);
+  auto injector = std::make_shared<FaultInjector>(plan);
+  transport->set_heartbeat_suppressed(
+      [injector, rank] { return injector->heartbeat_suppressed(rank); });
+
+  GptWeights weights = load_checkpoint(options_.checkpoint_path);
+  PipelineTrainer trainer(std::move(weights), width, algo_, flavor_, transport.get());
+  transport->set_abort_token(trainer.abort_token());
+  trainer.set_fault_injector(injector);
+  if (options_.enable_watchdog) trainer.enable_watchdog(options_.watchdog);
+
+  transport::ShmProgressBlock& progress = arena.progress();
+  for (std::uint64_t it = start_iteration; it < end_iteration; ++it) {
+    injector->begin_iteration(it);
+    const std::vector<Sample> microbatches = batch(it);
+    const float loss = trainer.train_iteration_lane(rank, microbatches, opt);
+    GptWeights full = trainer.gather_weights_lane(rank, it);
+    if (rank == 0) {
+      // Checkpoint FIRST, publish second: `completed` must never point at an
+      // iteration whose state could not be reloaded.
+      save_checkpoint(options_.checkpoint_path, full);
+      progress.losses[it] = loss;
+      progress.completed.store(static_cast<std::int64_t>(it) + 1, std::memory_order_release);
+    }
+  }
+  transport->mark_done();
+}
+
+ElasticResult ShmElasticTrainer::train(std::uint64_t iterations, const BatchFn& batch,
+                                       const OptimizerConfig& opt) {
+  VOCAB_CHECK(iterations >= 1, "need at least one iteration");
+  VOCAB_CHECK(iterations <= transport::kShmProgressSlots,
+              "elastic progress block holds " << transport::kShmProgressSlots
+                                              << " iterations, asked for " << iterations);
+  VOCAB_CHECK(transport::shm_transport_supported(),
+              "shared-memory transport unsupported on this platform");
+
+  ElasticResult result;
+  FaultPlan plan = plan_;
+  int width = width_;
+  std::uint64_t next_iteration = 0;
+
+  while (next_iteration < iterations) {
+    VOCAB_CHECK(result.generations < options_.max_generations,
+                "elastic training exhausted " << options_.max_generations
+                                              << " generations at iteration " << next_iteration);
+    ++result.generations;
+    result.history.push_back({next_iteration, width});
+    result.events.push_back("generation " + std::to_string(result.generations) + ": width " +
+                            std::to_string(width) + " from iteration " +
+                            std::to_string(next_iteration));
+
+    transport::ShmArenaOptions arena_options;
+    arena_options.world = width;
+    arena_options.num_mailboxes = static_cast<std::size_t>(width);
+    arena_options.ring_bytes = options_.ring_bytes;
+    arena_options.slot_bytes = options_.slot_bytes;
+    auto arena = transport::ShmArena::create(arena_options);
+    VOCAB_CHECK(arena != nullptr, "failed to create the shared arena");
+    arena->progress().completed.store(static_cast<std::int64_t>(next_iteration),
+                                      std::memory_order_release);
+
+    // Workers leave via _exit (no stdio flush): drain the parent's buffers
+    // first or every child re-emits whatever the caller had pending.
+    std::fflush(nullptr);
+    auto group = transport::ProcessGroup::spawn(width, [&](int rank) {
+      worker_main(rank, *arena, width, next_iteration, iterations, batch, opt, plan);
+    });
+
+    // Monitor: waitpid is the authoritative death signal (faster and surer
+    // than heartbeat loss when the coordinator is alive); the workers' own
+    // beacons back it up when the coordinator is starved or gone.
+    bool killed = false;
+    bool aborted = false;
+    for (;;) {
+      for (const transport::ProcessExit& exit : group.poll()) {
+        if (exit.exited && exit.status == transport::kWorkerExitOk) continue;
+        result.events.push_back(exit.describe());
+        if (exit.exited) {
+          // Exit codes 3/4 are voluntary unwinds (abort protocol / clean
+          // exception): the peers already know or will know via the mirrored
+          // abort — retry at the same width.
+          aborted = true;
+          continue;
+        }
+        // Signal: real death. Mark the rank dead and post the shared abort
+        // so every survivor's blocking wait ends promptly.
+        killed = true;
+        ++result.kills;
+        arena->rank_state(exit.rank).dead.store(1, std::memory_order_release);
+        arena->abort_block().post(exit.rank, -1, exit.describe().c_str());
+      }
+      if (group.all_done()) break;
+      if (killed || aborted) {
+        if (!group.wait_all(options_.worker_exit_timeout)) {
+          result.events.push_back("survivors did not unwind in time; sending SIGKILL");
+          group.kill_all(SIGKILL);
+          group.wait_all(options_.worker_exit_timeout);
+        }
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    // Late exits can still reclassify the generation; sweep once more.
+    for (const transport::ProcessExit& exit : group.poll()) {
+      if (exit.exited && exit.status == transport::kWorkerExitOk) continue;
+      result.events.push_back(exit.describe());
+      if (exit.exited) {
+        aborted = true;
+      } else {
+        killed = true;
+        ++result.kills;
+      }
+    }
+    if (aborted) ++result.aborts;
+
+    // Harvest the generation's published progress.
+    const auto completed =
+        static_cast<std::uint64_t>(arena->progress().completed.load(std::memory_order_acquire));
+    for (std::uint64_t it = next_iteration; it < completed; ++it) {
+      result.losses.push_back(arena->progress().losses[it]);
+    }
+    next_iteration = completed;
+    if (!killed && !aborted) continue;  // clean generation (or finished)
+
+    // The retry of iteration `completed` must run clean: the one-shot fired
+    // state died with the workers, so drop every spec at-or-before it.
+    plan.faults.erase(std::remove_if(plan.faults.begin(), plan.faults.end(),
+                                     [&](const FaultSpec& spec) {
+                                       return spec.iteration <= completed;
+                                     }),
+                      plan.faults.end());
+
+    if (killed) {
+      const int smaller = ResilientTrainer::next_smaller_width(width, num_layers_, flavor_);
+      if (smaller > 0) {
+        ++result.downgrades;
+        result.events.push_back("downgrading width " + std::to_string(width) + " -> " +
+                                std::to_string(smaller));
+        width = smaller;
+      } else {
+        result.events.push_back("no smaller admissible width; retrying at " +
+                                std::to_string(width));
+      }
+    }
+    // An abort without a death retries at the same width from the last
+    // checkpoint — the generation loop IS the retry.
+  }
+
+  result.final_width = width;
+  return result;
+}
+
+}  // namespace vocab

@@ -1,0 +1,147 @@
+#pragma once
+
+// Live elastic downgrade over real OS processes (the tentpole of the
+// transport/fault-tolerance PR).
+//
+// ResilientTrainer recovers from *exceptions* inside one process; this
+// coordinator recovers from *process death*. It fans one training run out as
+// one worker process per pipeline device, all attached to a pre-fork shared
+// arena (transport/shm_region.h):
+//
+//   coordinator                         worker rank r
+//   -----------                         -------------
+//   save initial checkpoint             attach ShmTransport(arena, r)
+//   create ShmArena(world=width)        load checkpoint, build PipelineTrainer
+//   fork x width ------------------->   per iteration:
+//   poll waitpid + arena progress         train_iteration_lane(r, ...)
+//                                         gather_weights_lane(r, it)
+//                                       rank 0: save checkpoint, publish
+//                                         loss + completed into the arena
+//
+// When a worker dies abnormally (SIGKILL, crash, nonzero exit), the
+// coordinator marks the rank dead in the arena and posts the shared abort so
+// the survivors unblock within kAbortPollInterval — the same coordinated
+// abort the in-thread fault machinery uses; a worker's own beacon thread
+// detects the loss independently via heartbeat timeout, so detection does
+// not depend on the coordinator being scheduled. The coordinator then reaps
+// everyone, picks the next admissible width (ResilientTrainer::
+// next_smaller_width — halving, possible because vocabulary parallelism
+// keeps the vocabulary logically contiguous across shards), reloads from the
+// last good checkpoint and spawns the next generation at the reduced width:
+// live elastic downgrade. An abort without a killed process (e.g. an
+// injected throw) retries at the same width.
+//
+// Every iteration is checkpointed (CRC32 + atomic rename) BEFORE rank 0
+// publishes it as completed, so a generation that dies mid-iteration resumes
+// exactly at the last published iteration and the loss sequence is
+// bit-identical to a clean run over the same generation widths (the
+// fault_stress soak asserts this).
+//
+// Survivability: the coordinator itself holds no training state — a
+// coordinator death loses only the monitor; the checkpoint file plus the
+// ElasticResult history is everything needed to resume (see DESIGN.md §16).
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fault/fault_injector.h"
+#include "fault/watchdog.h"
+#include "model/gpt.h"
+#include "runtime/optimizer.h"
+#include "runtime/pipeline_trainer.h"
+#include "transport/transport.h"
+
+namespace vocab::transport {
+class ShmArena;
+}
+
+namespace vocab {
+
+/// Knobs of the multi-process elastic loop.
+struct ElasticOptions {
+  /// Where the (single) rolling checkpoint lives. Required.
+  std::string checkpoint_path;
+  /// Heartbeat / retry knobs handed to every worker's attached transport.
+  transport::TransportConfig transport = {};
+  /// Run the per-lane stall watchdog inside every worker iteration.
+  bool enable_watchdog = false;
+  WatchdogConfig watchdog;
+  /// After a death is observed, how long the survivors get to unwind via the
+  /// coordinated abort before the coordinator SIGKILLs the stragglers.
+  std::chrono::milliseconds worker_exit_timeout{10000};
+  /// Hard bound on process-group spawns (first generation included); the
+  /// loop throws CheckError when exceeded instead of respawning forever.
+  int max_generations = 16;
+  /// Shared-arena sizing (per-mailbox ring data bytes / max serialized
+  /// tensor); the defaults fit the test-scale models comfortably.
+  std::size_t ring_bytes = std::size_t{8} << 20;
+  std::size_t slot_bytes = std::size_t{4} << 20;
+};
+
+/// One process-group lifetime: which global iteration it started at and at
+/// what pipeline width — the replay recipe for the bit-identity reference.
+struct ElasticGeneration {
+  std::uint64_t start_iteration = 0;
+  int width = 0;
+};
+
+/// What an elastic run observed.
+struct ElasticResult {
+  std::vector<float> losses;  ///< per iteration, bitwise as rank 0 published them
+  int kills = 0;              ///< workers that died by signal
+  int aborts = 0;             ///< workers that exited via the abort protocol
+  int downgrades = 0;         ///< width reductions
+  int generations = 0;        ///< process groups spawned
+  int final_width = 0;
+  std::vector<ElasticGeneration> history;  ///< one entry per generation
+  std::vector<std::string> events;         ///< human-readable log
+};
+
+/// Coordinator for multi-process training with fault tolerance. Construct
+/// once (writes the initial checkpoint), then train(). Thread-free by
+/// design: fork() from a multi-threaded coordinator would be a minefield.
+class ShmElasticTrainer {
+ public:
+  /// Produce iteration `it`'s microbatches. Must be deterministic in `it`
+  /// (the batch is re-derived inside every worker process and on retries).
+  using BatchFn = std::function<std::vector<Sample>(std::uint64_t)>;
+
+  ShmElasticTrainer(GptWeights weights, int p, OutputAlgo algo, PipelineFlavor flavor,
+                    ElasticOptions options);
+
+  ShmElasticTrainer(const ShmElasticTrainer&) = delete;
+  ShmElasticTrainer& operator=(const ShmElasticTrainer&) = delete;
+
+  /// Deterministic fault plan every worker's injector is built from. Specs
+  /// whose iteration has already been attempted are dropped between
+  /// generations (the one-shot `fired` state dies with the process that
+  /// fired it, so the coordinator must keep retries clean).
+  void set_fault_plan(FaultPlan plan);
+
+  /// Run `iterations` training iterations across worker processes, surviving
+  /// worker death by elastic downgrade. Throws CheckError when the platform
+  /// has no shared-memory support, when max_generations is exhausted, or
+  /// when a generation fails with no admissible recovery.
+  ElasticResult train(std::uint64_t iterations, const BatchFn& batch,
+                      const OptimizerConfig& opt);
+
+  [[nodiscard]] int initial_width() const { return width_; }
+
+ private:
+  void worker_main(int rank, transport::ShmArena& arena, int width,
+                   std::uint64_t start_iteration, std::uint64_t end_iteration,
+                   const BatchFn& batch, const OptimizerConfig& opt,
+                   const FaultPlan& plan) const;
+
+  OutputAlgo algo_;
+  PipelineFlavor flavor_;
+  ElasticOptions options_;
+  int width_;
+  int num_layers_;
+  FaultPlan plan_;
+};
+
+}  // namespace vocab

@@ -1,0 +1,368 @@
+#include "transport/thread_transport.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace vocab::transport {
+
+namespace {
+
+// Render queue occupancy + queued tags for DeadlockError messages, so a
+// timed-out send/recv names the messages actually in flight instead of
+// leaving the schedule bug to a debugger. Requires the mailbox mutex held.
+std::string describe_queue(const std::deque<Message>& queue, std::size_t capacity) {
+  std::ostringstream os;
+  os << "occupancy " << queue.size() << "/" << capacity << ", queued tags [";
+  constexpr std::size_t kMaxListed = 16;
+  for (std::size_t i = 0; i < std::min(queue.size(), kMaxListed); ++i) {
+    if (i > 0) os << ", ";
+    os << "'" << queue[i].tag << "'";
+  }
+  if (queue.size() > kMaxListed) os << ", ... +" << queue.size() - kMaxListed << " more";
+  os << "]";
+  // Failure-model attribution: the threads backend has no liveness signal —
+  // a peer "dying" here is a thread that stopped calling, which only the
+  // watchdog can see. Name the backend so a hang is not mistaken for a dead
+  // process.
+  os << ", transport 'threads' (peer heartbeat n/a)";
+  return os.str();
+}
+
+void reduce_into(Tensor& acc, const Tensor& contrib, ReduceOp op) {
+  VOCAB_CHECK(acc.same_shape(contrib),
+              "collective shape mismatch: " << acc.shape_str() << " vs " << contrib.shape_str());
+  float* pa = acc.data();
+  const float* pb = contrib.data();
+  const std::int64_t n = acc.numel();
+  if (op == ReduceOp::Sum) {
+    for (std::int64_t i = 0; i < n; ++i) pa[i] += pb[i];
+  } else {
+    for (std::int64_t i = 0; i < n; ++i) pa[i] = std::max(pa[i], pb[i]);
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ThreadMailbox
+// ---------------------------------------------------------------------------
+
+ThreadMailbox::ThreadMailbox(std::size_t capacity, std::chrono::milliseconds timeout)
+    : capacity_(capacity),
+      timeout_(timeout == kCommTimeoutFromEnv ? default_comm_timeout() : timeout) {
+  VOCAB_CHECK(capacity > 0, "channel capacity must be positive");
+}
+
+void ThreadMailbox::set_abort_token(std::shared_ptr<AbortToken> token) {
+  std::lock_guard lock(mutex_);
+  abort_ = std::move(token);
+}
+
+template <typename Ready>
+void ThreadMailbox::wait_or_throw(std::unique_lock<std::mutex>& lock,
+                                  std::condition_variable& cv, const char* verb,
+                                  const std::string& tag, Ready&& ready) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto deadline = t0 + timeout_;
+  for (;;) {
+    if (ready()) return;
+    if (abort_ != nullptr && abort_->aborted()) {
+      throw AbortedError(abort_->reason(),
+                         std::string("channel ") + verb + " of tag '" + tag + "' interrupted");
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      const auto elapsed =
+          std::chrono::duration_cast<std::chrono::milliseconds>(now - t0).count();
+      throw DeadlockError(std::string("channel ") + verb + " timed out waiting for tag '" +
+                          tag + "' after " + std::to_string(elapsed) + " ms (timeout " +
+                          std::to_string(timeout_.count()) + " ms): " +
+                          describe_queue(queue_, capacity_));
+    }
+    cv.wait_for(lock, std::min<std::chrono::steady_clock::duration>(deadline - now,
+                                                                    kAbortPollInterval));
+  }
+}
+
+void ThreadMailbox::send(std::string tag, Tensor payload) {
+  std::unique_lock lock(mutex_);
+  wait_or_throw(lock, cv_send_, "send (full)", tag,
+                [&] { return queue_.size() < capacity_; });
+  queue_.push_back(Message{std::move(tag), std::move(payload)});
+  cv_recv_.notify_all();
+}
+
+Message ThreadMailbox::recv() {
+  std::unique_lock lock(mutex_);
+  wait_or_throw(lock, cv_recv_, "recv (empty)", "<front>", [&] { return !queue_.empty(); });
+  Message msg = std::move(queue_.front());
+  queue_.pop_front();
+  cv_send_.notify_all();
+  return msg;
+}
+
+Tensor ThreadMailbox::recv_tag(const std::string& tag) {
+  std::unique_lock lock(mutex_);
+  auto find = [&] { return std::find_if(queue_.begin(), queue_.end(),
+                                        [&](const Message& m) { return m.tag == tag; }); };
+  auto it = queue_.end();
+  wait_or_throw(lock, cv_recv_, "recv", tag, [&] { return (it = find()) != queue_.end(); });
+  Tensor payload = std::move(it->payload);
+  queue_.erase(it);
+  cv_send_.notify_all();
+  return payload;
+}
+
+void ThreadMailbox::clear() {
+  std::lock_guard lock(mutex_);
+  queue_.clear();
+  cv_send_.notify_all();
+}
+
+std::size_t ThreadMailbox::size() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size();
+}
+
+std::string ThreadMailbox::describe() const {
+  std::lock_guard lock(mutex_);
+  return describe_queue(queue_, capacity_);
+}
+
+// ---------------------------------------------------------------------------
+// ThreadCollective
+// ---------------------------------------------------------------------------
+
+ThreadCollective::ThreadCollective(int world_size, std::chrono::milliseconds timeout)
+    : world_size_(world_size),
+      timeout_(timeout == kCommTimeoutFromEnv ? default_comm_timeout() : timeout),
+      slots_(static_cast<std::size_t>(std::max(world_size, 1))),
+      tags_(static_cast<std::size_t>(std::max(world_size, 1))),
+      waiting_(static_cast<std::size_t>(std::max(world_size, 1)), false) {
+  VOCAB_CHECK(world_size >= 1, "world_size must be >= 1, got " << world_size);
+}
+
+void ThreadCollective::set_abort_token(std::shared_ptr<AbortToken> token) {
+  std::lock_guard lock(mutex_);
+  abort_ = std::move(token);
+}
+
+void ThreadCollective::check_rank(int rank) const {
+  VOCAB_CHECK(rank >= 0 && rank < world_size_,
+              "rank " << rank << " out of range [0, " << world_size_ << ")");
+}
+
+template <typename LeaderFn>
+void ThreadCollective::rendezvous(int rank, const std::string& tag, const char* kind,
+                                  LeaderFn&& leader_fn) {
+  check_rank(rank);
+  std::unique_lock lock(mutex_);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto deadline = t0 + timeout_;
+  waiting_[static_cast<std::size_t>(rank)] = true;
+  struct WaitingGuard {
+    std::vector<bool>& waiting;
+    std::size_t rank;
+    ~WaitingGuard() { waiting[rank] = false; }
+  } waiting_guard{waiting_, static_cast<std::size_t>(rank)};
+
+  // Wait until `pred`, slicing the timeout so the shared abort token is
+  // observed within kAbortPollInterval even if a notify is missed.
+  auto timed_wait = [&](auto&& pred) {
+    for (;;) {
+      if (pred()) return;
+      if (abort_ != nullptr && abort_->aborted()) {
+        if (failure_.empty()) failure_ = "aborted during " + std::string(kind) + " '" + tag + "'";
+        cv_.notify_all();
+        throw AbortedError(abort_->reason(), std::string(kind) + " '" + tag + "' on rank " +
+                                                 std::to_string(rank) + " interrupted");
+      }
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) {
+        const auto elapsed =
+            std::chrono::duration_cast<std::chrono::milliseconds>(now - t0).count();
+        failure_ = std::string("deadlock: rank ") + std::to_string(rank) + " timed out in " +
+                   kind + " '" + tag + "' after " + std::to_string(elapsed) + " ms (timeout " +
+                   std::to_string(timeout_.count()) + " ms; arrived " +
+                   std::to_string(arrived_) + "/" + std::to_string(world_size_) +
+                   "; transport 'threads')";
+        cv_.notify_all();
+        throw DeadlockError(failure_);
+      }
+      cv_.wait_for(lock, std::min<std::chrono::steady_clock::duration>(deadline - now,
+                                                                       kAbortPollInterval));
+    }
+  };
+
+  if (!failure_.empty()) throw DeadlockError("communicator poisoned: " + failure_);
+
+  // Wait for the previous collective to fully drain before joining.
+  timed_wait([&] { return departed_ == 0 || !failure_.empty(); });
+  if (!failure_.empty()) throw DeadlockError("communicator poisoned: " + failure_);
+
+  const std::uint64_t my_gen = generation_;
+  tags_[static_cast<std::size_t>(rank)] = tag;
+  ++arrived_;
+
+  if (arrived_ == world_size_) {
+    // Leader: validate tags, run the collective body, release everyone.
+    for (int r = 0; r < world_size_; ++r) {
+      if (tags_[static_cast<std::size_t>(r)] != tag) {
+        failure_ = std::string("collective mismatch in ") + kind + ": rank " +
+                   std::to_string(rank) + " tag '" + tag + "' vs rank " + std::to_string(r) +
+                   " tag '" + tags_[static_cast<std::size_t>(r)] + "'";
+        arrived_ = 0;
+        ++generation_;
+        cv_.notify_all();
+        throw CheckError(failure_);
+      }
+    }
+    try {
+      leader_fn();
+    } catch (const std::exception& e) {
+      failure_ = std::string(kind) + " '" + tag + "' failed: " + e.what();
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+      throw;
+    }
+    ++completed_;
+    arrived_ = 0;
+    departed_ = world_size_;
+    ++generation_;
+    cv_.notify_all();
+  } else {
+    timed_wait([&] { return generation_ != my_gen || !failure_.empty(); });
+    if (!failure_.empty()) throw DeadlockError("collective aborted: " + failure_);
+  }
+
+  --departed_;
+  if (departed_ == 0) cv_.notify_all();
+}
+
+void ThreadCollective::barrier(int rank, const std::string& tag) {
+  rendezvous(rank, tag, "barrier", [] {});
+}
+
+void ThreadCollective::all_reduce(int rank, Tensor& data, ReduceOp op,
+                                  const std::string& tag) {
+  check_rank(rank);
+  {
+    std::lock_guard lock(mutex_);
+    slots_[static_cast<std::size_t>(rank)].tensor = &data;
+  }
+  rendezvous(rank, tag, "all_reduce", [&] {
+    Tensor acc = *slots_[0].tensor;
+    for (int r = 1; r < world_size_; ++r) reduce_into(acc, *slots_[static_cast<std::size_t>(r)].tensor, op);
+    for (int r = 0; r < world_size_; ++r) *slots_[static_cast<std::size_t>(r)].tensor = acc;
+  });
+}
+
+void ThreadCollective::reduce(int rank, int root, Tensor& data, ReduceOp op,
+                              const std::string& tag) {
+  check_rank(rank);
+  check_rank(root);
+  {
+    std::lock_guard lock(mutex_);
+    slots_[static_cast<std::size_t>(rank)].tensor = &data;
+  }
+  rendezvous(rank, tag, "reduce", [&] {
+    Tensor acc = *slots_[0].tensor;
+    for (int r = 1; r < world_size_; ++r) reduce_into(acc, *slots_[static_cast<std::size_t>(r)].tensor, op);
+    *slots_[static_cast<std::size_t>(root)].tensor = std::move(acc);
+  });
+}
+
+void ThreadCollective::broadcast(int rank, int root, Tensor& data, const std::string& tag) {
+  check_rank(rank);
+  check_rank(root);
+  {
+    std::lock_guard lock(mutex_);
+    slots_[static_cast<std::size_t>(rank)].tensor = &data;
+  }
+  rendezvous(rank, tag, "broadcast", [&] {
+    const Tensor& src = *slots_[static_cast<std::size_t>(root)].tensor;
+    for (int r = 0; r < world_size_; ++r) {
+      if (r != root) *slots_[static_cast<std::size_t>(r)].tensor = src;
+    }
+  });
+}
+
+Tensor ThreadCollective::all_gather_rows(int rank, const Tensor& data,
+                                         const std::string& tag) {
+  check_rank(rank);
+  Tensor out;
+  {
+    std::lock_guard lock(mutex_);
+    slots_[static_cast<std::size_t>(rank)].const_tensor = &data;
+    slots_[static_cast<std::size_t>(rank)].tensor = &out;
+  }
+  rendezvous(rank, tag, "all_gather_rows", [&] {
+    std::int64_t total_rows = 0;
+    const std::int64_t cols = slots_[0].const_tensor->dim(1);
+    for (int r = 0; r < world_size_; ++r) {
+      const Tensor& t = *slots_[static_cast<std::size_t>(r)].const_tensor;
+      VOCAB_CHECK(t.rank() == 2 && t.dim(1) == cols, "all_gather_rows column mismatch");
+      total_rows += t.dim(0);
+    }
+    Tensor gathered({total_rows, cols});
+    std::int64_t row = 0;
+    for (int r = 0; r < world_size_; ++r) {
+      const Tensor& t = *slots_[static_cast<std::size_t>(r)].const_tensor;
+      std::copy(t.data(), t.data() + t.numel(), gathered.data() + row * cols);
+      row += t.dim(0);
+    }
+    for (int r = 0; r < world_size_; ++r) *slots_[static_cast<std::size_t>(r)].tensor = gathered;
+  });
+  return out;
+}
+
+std::uint64_t ThreadCollective::completed_collectives() const {
+  std::lock_guard lock(mutex_);
+  return completed_;
+}
+
+std::vector<int> ThreadCollective::waiting_ranks() const {
+  std::lock_guard lock(mutex_);
+  std::vector<int> out;
+  for (int r = 0; r < world_size_; ++r) {
+    if (waiting_[static_cast<std::size_t>(r)]) out.push_back(r);
+  }
+  return out;
+}
+
+std::string ThreadCollective::describe() const {
+  std::lock_guard lock(mutex_);
+  std::ostringstream os;
+  os << "arrived " << arrived_ << "/" << world_size_ << ", departed " << departed_
+     << ", completed " << completed_ << ", waiters [";
+  bool first = true;
+  for (int r = 0; r < world_size_; ++r) {
+    if (!waiting_[static_cast<std::size_t>(r)]) continue;
+    if (!first) os << ", ";
+    first = false;
+    os << "r" << r << ":'" << tags_[static_cast<std::size_t>(r)] << "'";
+  }
+  os << "]";
+  if (!failure_.empty()) os << ", failure: " << failure_;
+  os << ", transport 'threads' (peer heartbeat n/a)";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// ThreadTransport
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<Mailbox> ThreadTransport::make_mailbox(std::size_t capacity,
+                                                       std::chrono::milliseconds timeout) {
+  return std::make_unique<ThreadMailbox>(capacity, timeout);
+}
+
+std::unique_ptr<Collective> ThreadTransport::make_collective(
+    int world_size, std::chrono::milliseconds timeout) {
+  return std::make_unique<ThreadCollective>(world_size, timeout);
+}
+
+}  // namespace vocab::transport

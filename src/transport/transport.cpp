@@ -1,0 +1,78 @@
+#include "transport/transport.h"
+
+#include <algorithm>
+
+#include "common/env.h"
+#include "common/error.h"
+#include "transport/shm_transport.h"
+#include "transport/thread_transport.h"
+
+namespace vocab {
+
+std::chrono::milliseconds default_comm_timeout() {
+  // Read the environment every call: tests toggle VOCAB_COMM_TIMEOUT_MS
+  // between channel constructions, and construction is not a hot path.
+  // Parsing is strict — garbage or a non-positive value fails fast instead
+  // of silently meaning "30 seconds" (common/env.h).
+  return std::chrono::milliseconds(positive_int_from_env("VOCAB_COMM_TIMEOUT_MS", 30000));
+}
+
+namespace transport {
+
+const char* to_string(TransportKind kind) {
+  switch (kind) {
+    case TransportKind::kThreads: return "threads";
+    case TransportKind::kShm: return "shm";
+  }
+  return "?";
+}
+
+TransportKind transport_kind_from_env() {
+  const std::string v = choice_from_env("VOCAB_TRANSPORT", "threads", {"threads", "shm"});
+  return v == "shm" ? TransportKind::kShm : TransportKind::kThreads;
+}
+
+TransportConfig TransportConfig::from_env() {
+  TransportConfig config;
+  config.heartbeat_period =
+      std::chrono::milliseconds(positive_int_from_env("VOCAB_HEARTBEAT_MS", 100));
+  config.heartbeat_timeout = std::chrono::milliseconds(
+      positive_int_from_env("VOCAB_HEARTBEAT_TIMEOUT_MS", 1000));
+  config.retry_max = static_cast<int>(positive_int_from_env("VOCAB_RETRY_MAX", 8, 1000000));
+  config.retry_backoff =
+      std::chrono::milliseconds(positive_int_from_env("VOCAB_RETRY_BACKOFF_MS", 2));
+  VOCAB_CHECK(config.heartbeat_timeout > config.heartbeat_period,
+              "VOCAB_HEARTBEAT_TIMEOUT_MS (" << config.heartbeat_timeout.count()
+                                             << ") must exceed VOCAB_HEARTBEAT_MS ("
+                                             << config.heartbeat_period.count() << ")");
+  return config;
+}
+
+std::chrono::microseconds backoff_delay(const TransportConfig& config, int attempt,
+                                        std::uint64_t seed) {
+  const auto cap = std::chrono::duration_cast<std::chrono::microseconds>(kAbortPollInterval);
+  auto base = std::chrono::duration_cast<std::chrono::microseconds>(config.retry_backoff);
+  // Exponential growth, saturating at the abort-poll cap.
+  for (int i = 0; i < attempt && base < cap; ++i) base *= 2;
+  base = std::min(base, cap);
+  // Deterministic jitter (splitmix64 over seed ^ attempt) in [0, base/4]:
+  // concurrent retriers of the same lock decorrelate, and the same (seed,
+  // attempt) always sleeps the same amount — reproducible soaks.
+  std::uint64_t z = seed ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(attempt + 1));
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  const auto quarter = std::max<std::int64_t>(base.count() / 4, 1);
+  return base + std::chrono::microseconds(static_cast<std::int64_t>(z % static_cast<std::uint64_t>(quarter)));
+}
+
+Transport& default_transport() {
+  static ThreadTransport threads;
+  static ShmTransport shm = ShmTransport::in_process();
+  return transport_kind_from_env() == TransportKind::kShm
+             ? static_cast<Transport&>(shm)
+             : static_cast<Transport&>(threads);
+}
+
+}  // namespace transport
+}  // namespace vocab

@@ -1,0 +1,154 @@
+#pragma once
+
+// Pluggable communication transport for the pipeline runtime.
+//
+// comm/Channel and comm/DeviceGroup are thin facades over the two interfaces
+// here: a Mailbox (bounded tag-addressed FIFO of tensors, the P2P primitive)
+// and a Collective (rendezvous barrier / all-reduce / reduce / broadcast /
+// all-gather, the NCCL stand-in). A Transport is a factory for both, plus
+// the failure-detection substrate that makes a multi-process backend honest:
+// per-rank heartbeats, peer-death detection, and a diagnostic suffix so a
+// timed-out wait names the backend and the last heartbeat age — a hang is
+// then attributable to a dead peer vs. a schedule bug.
+//
+// Backends:
+//   threads — the in-process condition-variable rendezvous the runtime has
+//             always used (default; bit-identical to the historical comm
+//             layer). transport/thread_transport.h.
+//   shm     — shared-memory ring buffers + rendezvous cells that work across
+//             fork(): one OS process per pipeline device, heartbeat beacons,
+//             and peer death converted into the coordinated AbortToken
+//             protocol. transport/shm_transport.h.
+//
+// Selection: VOCAB_TRANSPORT={threads,shm} (strict-parsed; see common/env).
+// Tuning: VOCAB_HEARTBEAT_MS, VOCAB_HEARTBEAT_TIMEOUT_MS, VOCAB_RETRY_MAX,
+// VOCAB_RETRY_BACKOFF_MS (TransportConfig::from_env).
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fault/abort_token.h"
+#include "tensor/tensor.h"
+
+namespace vocab {
+
+/// A tensor in flight between two pipeline stages.
+struct Message {
+  std::string tag;  ///< e.g. "fwd:mb3" — identifies microbatch + direction
+  Tensor payload;
+};
+
+/// Reduction operator for all_reduce / reduce.
+enum class ReduceOp { Sum, Max };
+
+/// Default timeout for Channel / DeviceGroup waits: VOCAB_COMM_TIMEOUT_MS
+/// from the environment when set to a positive integer, else 30 s.
+[[nodiscard]] std::chrono::milliseconds default_comm_timeout();
+
+/// Sentinel: "resolve the timeout from default_comm_timeout() at use".
+inline constexpr std::chrono::milliseconds kCommTimeoutFromEnv{-1};
+
+namespace transport {
+
+enum class TransportKind {
+  kThreads,  ///< in-process thread rendezvous (default)
+  kShm,      ///< shared-memory rings; survives fork() into one process/device
+};
+
+[[nodiscard]] const char* to_string(TransportKind kind);
+
+/// Resolve VOCAB_TRANSPORT — "threads" or "shm"; unset means threads, any
+/// other value throws CheckError (strict env parsing).
+[[nodiscard]] TransportKind transport_kind_from_env();
+
+/// Failure-detection and retry knobs, one per env var.
+struct TransportConfig {
+  /// Beacon period: how often a rank stamps its shared heartbeat slot.
+  /// VOCAB_HEARTBEAT_MS, default 100.
+  std::chrono::milliseconds heartbeat_period{100};
+  /// A rank silent this long is declared dead and the group aborts.
+  /// VOCAB_HEARTBEAT_TIMEOUT_MS, default 1000.
+  std::chrono::milliseconds heartbeat_timeout{1000};
+  /// Transient-failure retries (e.g. a full ring) before a send re-validates
+  /// peer liveness. VOCAB_RETRY_MAX, default 8.
+  int retry_max = 8;
+  /// Base delay of the exponential backoff between retries.
+  /// VOCAB_RETRY_BACKOFF_MS, default 2.
+  std::chrono::milliseconds retry_backoff{2};
+
+  [[nodiscard]] static TransportConfig from_env();
+};
+
+/// Backoff schedule for retry `attempt` (0-based): retry_backoff doubled per
+/// attempt, capped at kAbortPollInterval so abort latency stays bounded, plus
+/// a deterministic jitter in [0, base/4] derived from `seed` and the attempt
+/// (so concurrent retriers decorrelate without nondeterminism).
+[[nodiscard]] std::chrono::microseconds backoff_delay(const TransportConfig& config,
+                                                      int attempt, std::uint64_t seed);
+
+/// Bounded blocking FIFO of tagged tensors — the backend behind comm/Channel.
+class Mailbox {
+ public:
+  virtual ~Mailbox() = default;
+
+  virtual void set_abort_token(std::shared_ptr<AbortToken> token) = 0;
+  virtual void send(std::string tag, Tensor payload) = 0;
+  virtual Message recv() = 0;
+  virtual Tensor recv_tag(const std::string& tag) = 0;
+  virtual void clear() = 0;
+  [[nodiscard]] virtual std::size_t size() const = 0;
+  /// One-line occupancy + queued-tags + transport diagnostics snapshot.
+  [[nodiscard]] virtual std::string describe() const = 0;
+};
+
+/// Rendezvous collective communicator — the backend behind comm/DeviceGroup.
+class Collective {
+ public:
+  virtual ~Collective() = default;
+
+  [[nodiscard]] virtual int world_size() const = 0;
+  virtual void set_abort_token(std::shared_ptr<AbortToken> token) = 0;
+  virtual void barrier(int rank, const std::string& tag) = 0;
+  virtual void all_reduce(int rank, Tensor& data, ReduceOp op, const std::string& tag) = 0;
+  virtual void reduce(int rank, int root, Tensor& data, ReduceOp op,
+                      const std::string& tag) = 0;
+  virtual void broadcast(int rank, int root, Tensor& data, const std::string& tag) = 0;
+  virtual Tensor all_gather_rows(int rank, const Tensor& data, const std::string& tag) = 0;
+  [[nodiscard]] virtual std::uint64_t completed_collectives() const = 0;
+  [[nodiscard]] virtual std::vector<int> waiting_ranks() const = 0;
+  [[nodiscard]] virtual std::string describe() const = 0;
+};
+
+/// Factory for mailboxes and collectives plus the backend's liveness view.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  [[nodiscard]] virtual TransportKind kind() const = 0;
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  [[nodiscard]] virtual std::unique_ptr<Mailbox> make_mailbox(
+      std::size_t capacity, std::chrono::milliseconds timeout) = 0;
+  [[nodiscard]] virtual std::unique_ptr<Collective> make_collective(
+      int world_size, std::chrono::milliseconds timeout) = 0;
+
+  /// Milliseconds since `rank` last heartbeat, or -1 when the backend has no
+  /// liveness signal for it (threads backend; shm before the first stamp).
+  [[nodiscard]] virtual long long heartbeat_age_ms(int rank) const {
+    (void)rank;
+    return -1;
+  }
+};
+
+/// The process-wide transport selected by VOCAB_TRANSPORT, resolved on every
+/// call (tests toggle the variable between trainer constructions). Both
+/// backends are process-lifetime singletons; the shm singleton runs in
+/// in-process mode (each mailbox/collective owns a private shared-memory
+/// region), which exercises the ring/rendezvous machinery without fork().
+[[nodiscard]] Transport& default_transport();
+
+}  // namespace transport
+}  // namespace vocab

@@ -451,6 +451,85 @@ TEST(ExecutorAbort, WatchdogDetectsKilledThread) {
 }
 
 // ---------------------------------------------------------------------------
+// WatchdogSnapshot: the machine-readable stall diagnostic survives its wire
+// format, so a coordinator can persist / re-ingest which op each lane was
+// stuck on.
+// ---------------------------------------------------------------------------
+
+TEST(WatchdogSnapshot, SerializeParseRoundTrip) {
+  WatchdogSnapshot snap;
+  snap.stall_deadline_ms = 1234;
+  snap.devices.push_back({/*device=*/0, /*op_id=*/17, /*ops_started=*/42,
+                          /*silent_ms=*/950, /*done=*/false});
+  snap.devices.push_back({/*device=*/1, /*op_id=*/-1, /*ops_started=*/0,
+                          /*silent_ms=*/12, /*done=*/true});
+  snap.comm = "mailbox fwd[1]: 2/8 ['fwd:mb3']\ngroup: arrived 1/2, waiters [r0:'loss']";
+
+  const WatchdogSnapshot back = WatchdogSnapshot::parse(snap.serialize());
+  EXPECT_EQ(back.stall_deadline_ms, 1234);
+  ASSERT_EQ(back.devices.size(), 2u);
+  EXPECT_EQ(back.devices[0].device, 0);
+  EXPECT_EQ(back.devices[0].op_id, 17);  // the stuck-op id survives the trip
+  EXPECT_EQ(back.devices[0].ops_started, 42);
+  EXPECT_EQ(back.devices[0].silent_ms, 950);
+  EXPECT_FALSE(back.devices[0].done);
+  EXPECT_EQ(back.devices[1].op_id, -1);
+  EXPECT_TRUE(back.devices[1].done);
+  EXPECT_EQ(back.comm, snap.comm);  // multi-line comm text carried verbatim
+}
+
+TEST(WatchdogSnapshot, ParseRejectsMalformedInput) {
+  EXPECT_THROW((void)WatchdogSnapshot::parse("garbage"), CheckError);
+  // Missing comm section.
+  EXPECT_THROW((void)WatchdogSnapshot::parse("watchdog-snapshot v1\ndeadline_ms 10\n"),
+               CheckError);
+  // Malformed device line.
+  EXPECT_THROW((void)WatchdogSnapshot::parse(
+                   "watchdog-snapshot v1\ndeadline_ms 10\ndevice 0 op\ncomm\n"),
+               CheckError);
+}
+
+TEST(WatchdogSnapshot, FiredSnapshotCarriesStuckOp) {
+  auto token = std::make_shared<AbortToken>();
+  Watchdog dog(
+      /*num_devices=*/2, fast_watchdog(), token,
+      [](int d, int op) { return "op " + std::to_string(op) + " on d" + std::to_string(d); },
+      [] { return std::string("mailbox fwd[0]: 1/4 ['fwd:mb0']"); });
+  dog.start();
+  dog.heartbeat(0, 7);  // device 0 announces op 7, then falls silent
+  dog.mark_done(1);
+
+  // Before the stall fires, snapshot() is an on-demand probe of the beats.
+  const WatchdogSnapshot live = dog.snapshot();
+  ASSERT_EQ(live.devices.size(), 2u);
+  EXPECT_EQ(live.devices[0].op_id, 7);
+  EXPECT_TRUE(live.devices[1].done);
+
+  const auto t0 = Clock::now();
+  while (!dog.fired() && seconds_since(t0) < 30.0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_TRUE(dog.fired());
+  dog.stop();
+  EXPECT_TRUE(token->aborted());
+
+  const WatchdogSnapshot fired = dog.last_snapshot();
+  ASSERT_EQ(fired.devices.size(), 2u);
+  EXPECT_EQ(fired.devices[0].op_id, 7);
+  EXPECT_FALSE(fired.devices[0].done);
+  EXPECT_GE(fired.devices[0].silent_ms, kStallDeadline.count());
+  EXPECT_TRUE(fired.devices[1].done);
+  EXPECT_EQ(fired.stall_deadline_ms, kStallDeadline.count());
+  EXPECT_NE(fired.comm.find("mailbox"), std::string::npos);
+
+  // Round-trip the fired snapshot through the wire format.
+  const WatchdogSnapshot back = WatchdogSnapshot::parse(fired.serialize());
+  EXPECT_EQ(back.devices[0].op_id, 7);
+  EXPECT_EQ(back.devices[0].silent_ms, fired.devices[0].silent_ms);
+  EXPECT_EQ(back.comm, fired.comm);
+}
+
+// ---------------------------------------------------------------------------
 // A transient delay (slow link / straggler) must NOT abort, and must leave
 // training bit-identical to an undisturbed run.
 // ---------------------------------------------------------------------------
@@ -502,6 +581,8 @@ std::string fault_case_name(const testing::TestParamInfo<FaultCase>& info) {
     case PipelineFlavor::Gpipe: flavor = "Gpipe"; break;
     case PipelineFlavor::OneFOneBVocab: flavor = "OneFOneBVocab"; break;
     case PipelineFlavor::VHalf: flavor = "VHalf"; break;
+    case PipelineFlavor::ZbVocab: flavor = "ZbVocab"; break;
+    case PipelineFlavor::Auto: flavor = "Auto"; break;
   }
   std::string kind;
   switch (c.kind) {
@@ -512,6 +593,12 @@ std::string fault_case_name(const testing::TestParamInfo<FaultCase>& info) {
     case FaultKind::InjectNaN: kind = "NaN"; break;
     case FaultKind::InjectInf: kind = "Inf"; break;
     case FaultKind::BitFlip: kind = "BitFlip"; break;
+    // Transport-level kinds live in the multi-process suite
+    // (test_transport.cpp); the in-thread recovery matrix never uses them.
+    case FaultKind::KillProcess: kind = "KillProcess"; break;
+    case FaultKind::DropMessage: kind = "DropMsg"; break;
+    case FaultKind::DelayMessage: kind = "DelayMsg"; break;
+    case FaultKind::SuppressHeartbeat: kind = "SuppressHeartbeat"; break;
   }
   return flavor + "_p" + std::to_string(c.p) + "_" + kind;
 }
