@@ -11,6 +11,9 @@
 // promise in a doc. An `executor_dispatch` section A/Bs the struct-walking
 // executor against the bytecode interpreter (ns/iter + per-device idle) —
 // the two backends are bit-identical, so the delta is pure dispatch cost.
+// A `transport` section A/Bs the comm backends (threads vs shm rings vs tcp
+// loopback sockets) on the same schedule: all three are bit-identical by
+// construction, so the deltas price serialization + kernel crossings.
 //
 // Usage: bench_pipeline_wallclock [--json <path>] [--p <devices>]
 //                                 [--m <microbatches>] [--iters <n>]
@@ -31,6 +34,11 @@
 #include "model/gpt.h"
 #include "runtime/pipeline_trainer.h"
 #include "search/schedule_search.h"
+#include "transport/shm_region.h"
+#include "transport/shm_transport.h"
+#include "transport/tcp_frame.h"
+#include "transport/tcp_transport.h"
+#include "transport/thread_transport.h"
 
 namespace vocab {
 namespace {
@@ -145,6 +153,44 @@ DispatchAb run_dispatch_ab(const GptWeights& weights, const std::vector<Sample>&
   return ab;
 }
 
+/// Comm backends on the same schedule: in-process threads (mutex+condvar
+/// queues), shm rings (lock-free SPSC over a shared mapping), and tcp
+/// loopback sockets (CRC-framed, supervised). The transport suite asserts
+/// all three are bit-identical, so the deltas here price pure serialization
+/// and kernel-crossing cost — what a deployment pays to leave one machine.
+struct TransportAb {
+  std::string flavor;
+  double ns_threads = 0.0;
+  double ns_shm = 0.0;  // 0 = backend unsupported on this platform
+  double ns_tcp = 0.0;  // 0 = backend unsupported on this platform
+};
+
+TransportAb run_transport_ab(const GptWeights& weights, const std::vector<Sample>& mbs,
+                             int p, const Flavor& f, int iters) {
+  TransportAb ab;
+  ab.flavor = f.key;
+  const auto time_backend = [&](transport::Transport* backend) {
+    PipelineTrainer trainer(weights, p, f.algo, f.flavor, backend);
+    trainer.train_iteration(mbs, 0.05f);  // warmup
+    const auto t0 = Clock::now();
+    for (int i = 0; i < iters; ++i) trainer.train_iteration(mbs, 0.05f);
+    return std::chrono::duration<double, std::nano>(Clock::now() - t0).count() / iters;
+  };
+  {
+    transport::ThreadTransport threads;
+    ab.ns_threads = time_backend(&threads);
+  }
+  if (transport::shm_transport_supported()) {
+    transport::ShmTransport shm = transport::ShmTransport::in_process();
+    ab.ns_shm = time_backend(&shm);
+  }
+  if (transport::tcp_transport_supported()) {
+    transport::TcpTransport tcp = transport::TcpTransport::in_process();
+    ab.ns_tcp = time_backend(&tcp);
+  }
+  return ab;
+}
+
 /// fp32 vs bf16 mixed precision on the same schedule: wall clock, the
 /// vocab-shard parameter footprint (the ~2x acceptance number), and the
 /// final-iteration loss of each so the bf16-tracks-fp32 claim is recorded
@@ -254,6 +300,7 @@ std::vector<SearchBenchRow> run_schedule_search(const GptWeights& weights,
 
 std::string render_json(const std::vector<Result>& results, const GuardOverhead& guard,
                         const MixedPrecisionAb& mp, const DispatchAb& dispatch,
+                        const TransportAb& tab,
                         const std::vector<SearchBenchRow>& search_rows, int p, int m) {
   // Record the measurement machine: overlap can only buy wall-clock when the
   // p device threads have >= p cores to land on (see DESIGN.md §10).
@@ -343,6 +390,20 @@ std::string render_json(const std::vector<Result>& results, const GuardOverhead&
   out += ", ";
   idle_array("idle_fraction_program", dispatch.idle_program);
   out += "},\n";
+  // ns_per_iter 0 = backend unsupported on the measurement machine (shm
+  // needs fork+shared mappings, tcp needs loopback sockets); overhead is
+  // relative to the threads backend and 0 when the column is absent.
+  std::snprintf(buf, sizeof(buf),
+                "  \"transport\": {\"flavor\": \"%s\", \"ns_per_iter_threads\": %.0f, "
+                "\"ns_per_iter_shm\": %.0f, \"ns_per_iter_tcp\": %.0f, ",
+                tab.flavor.c_str(), tab.ns_threads, tab.ns_shm, tab.ns_tcp);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "\"shm_overhead\": %.4f, \"tcp_overhead\": %.4f},\n",
+                tab.ns_threads > 0.0 && tab.ns_shm > 0.0 ? tab.ns_shm / tab.ns_threads - 1.0
+                                                         : 0.0,
+                tab.ns_threads > 0.0 && tab.ns_tcp > 0.0 ? tab.ns_tcp / tab.ns_threads - 1.0
+                                                         : 0.0);
+  out += buf;
   out += "  \"schedule_search\": [\n";
   for (std::size_t i = 0; i < search_rows.size(); ++i) {
     const SearchBenchRow& r = search_rows[i];
@@ -466,6 +527,25 @@ int run(int argc, char** argv) {
                   ? (dispatch.ns_program / dispatch.ns_structs - 1.0) * 100.0
                   : 0.0);
 
+  // Comm-backend pricing (threads vs shm vs tcp) on the paper's main
+  // schedule; unsupported backends print as such and record 0 in the JSON.
+  const TransportAb tab = run_transport_ab(weights, mbs, p, flavors[2], iters);
+  std::printf("  transport (%s): threads %.2f ms/iter", tab.flavor.c_str(),
+              tab.ns_threads / 1e6);
+  if (tab.ns_shm > 0.0) {
+    std::printf(", shm %.2f (%+.2f%%)", tab.ns_shm / 1e6,
+                (tab.ns_shm / tab.ns_threads - 1.0) * 100.0);
+  } else {
+    std::printf(", shm unsupported");
+  }
+  if (tab.ns_tcp > 0.0) {
+    std::printf(", tcp %.2f (%+.2f%%)", tab.ns_tcp / 1e6,
+                (tab.ns_tcp / tab.ns_threads - 1.0) * 100.0);
+  } else {
+    std::printf(", tcp unsupported");
+  }
+  std::printf("\n");
+
   // Schedule search: predicted vs measured bubble fraction for the searched
   // winner, the equal-memory zb-vocab members, and the 1f1b-vocab baselines.
   const std::vector<SearchBenchRow> search_rows =
@@ -491,7 +571,8 @@ int run(int argc, char** argv) {
       std::fprintf(stderr, "cannot write %s\n", json_path->c_str());
       return 1;
     }
-    const std::string json = render_json(results, guard, mp, dispatch, search_rows, p, m);
+    const std::string json =
+        render_json(results, guard, mp, dispatch, tab, search_rows, p, m);
     std::fwrite(json.data(), 1, json.size(), out);
     std::fclose(out);
     std::printf("wrote %s\n", json_path->c_str());

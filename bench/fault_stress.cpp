@@ -11,16 +11,26 @@
 //                                              # bit-flip) with the process
 //                                              # faults, guard level 1
 //
-// Multi-process mode (the transport PR's soak): real fork()ed workers over
-// shared-memory rings, SIGKILL one mid-iteration, and check the elastic
-// kill -> downgrade -> recover loop republishes a loss sequence bit-identical
-// to a never-killed in-process reference replayed at the downgraded widths.
+// Multi-process mode (the transport PRs' soak): real fork()ed workers over
+// shared-memory rings or a supervised tcp socket mesh. SIGKILL one worker
+// mid-iteration (or, over tcp, inject deterministic network chaos into its
+// connection supervisor) and check the elastic recovery loop republishes a
+// loss sequence bit-identical to a never-failed in-process reference
+// replayed at the widths the run actually used.
 //
-//   ./build/bench/fault_stress --transport shm               # rotate the
-//                                                            # killed rank +
-//                                                            # iteration
-//   ./build/bench/fault_stress --transport shm \
-//       --kill-rank 1 --at-iter 2                            # pin the death
+//   ./build/bench/fault_stress --transport shm
+//       rotate the killed rank + iteration across runs
+//   ./build/bench/fault_stress --transport shm --kill-rank 1 --at-iter 2
+//       pin the death
+//   ./build/bench/fault_stress --transport tcp
+//       the same SIGKILL soak over the tcp mesh
+//   ./build/bench/fault_stress --transport tcp --chaos partition
+//       network chaos instead of death; modes: drop (transient link drop,
+//       must reconnect with NO downgrade), partition (sticky blackhole,
+//       must downgrade like a kill), dup (duplicated frame, seq dedup),
+//       truncate (frame cut mid-stream + link drop), stall (frozen socket
+//       below the heartbeat timeout). Every mode replays its generations
+//       in-process and demands bitwise-identical losses + checkpoint.
 
 #include <algorithm>
 #include <chrono>
@@ -38,9 +48,11 @@
 #include "runtime/checkpoint.h"
 #include "runtime/pipeline_trainer.h"
 #include "runtime/resilient_trainer.h"
-#include "runtime/shm_elastic_trainer.h"
+#include "runtime/elastic_trainer.h"
 #include "tensor/tensor_ops.h"
 #include "transport/shm_region.h"
+#include "transport/tcp_frame.h"
+#include "transport/transport.h"
 
 namespace {
 
@@ -231,45 +243,82 @@ RunOutcome run_one_numeric(PipelineFlavor flavor, int p, FaultKind kind,
   return out;
 }
 
-// Multi-process soak: SIGKILL worker `kill_rank` at global iteration
-// `kill_iter`, let the elastic loop downgrade and resume, then replay every
-// generation in-process (thread backend) at the width the elastic run
-// actually used. Checkpoint-before-publish plus stateless SGD makes the
-// replay a true never-killed reference: the published loss sequence and the
-// final checkpoint must match it bit for bit.
-RunOutcome run_one_elastic(PipelineFlavor flavor, int p, int kill_rank,
-                           std::uint64_t kill_iter, std::uint64_t seed,
-                           const std::string& ckpt_path) {
+// Multi-process soak: hit worker `fault_rank` at global iteration
+// `fault_iter` with `kind` — SIGKILL, or one of the tcp network-chaos kinds
+// injected into its connection supervisor — let the elastic loop recover,
+// then replay every generation in-process (thread backend) at the width the
+// elastic run actually used. Checkpoint-before-publish plus stateless SGD
+// makes the replay a true never-failed reference: the published loss
+// sequence and the final checkpoint must match it bit for bit. A death or a
+// sticky partition must downgrade; the transient chaos kinds (drop, dup,
+// truncate, stall) must heal inside the supervisor with NO downgrade.
+RunOutcome run_one_elastic(PipelineFlavor flavor, int p, FaultKind kind, int fault_rank,
+                           std::uint64_t fault_iter, std::uint64_t seed,
+                           transport::TransportKind backend, const std::string& ckpt_path) {
   constexpr std::uint64_t kIterations = 4;
   const GptConfig cfg = stress_config();
   const GptWeights init = GptWeights::init(cfg, 100 + static_cast<int>(seed % 1000));
   SyntheticCorpus corpus(cfg.vocab, cfg.seq_len, 7);
   const int m = 2 * p;
   const OptimizerConfig opt = OptimizerConfig::sgd(0.1f);
+  const bool expect_downgrade =
+      kind == FaultKind::KillProcess || kind == FaultKind::PartitionPeer;
 
   ElasticOptions options;
   options.checkpoint_path = ckpt_path;
+  options.backend = backend;
   options.transport.heartbeat_period = std::chrono::milliseconds(20);
-  options.transport.heartbeat_timeout = std::chrono::milliseconds(400);
+  // Generous relative to the 20ms beat: the soak box may be a single
+  // oversubscribed core where a busy worker's supervisor thread can go
+  // hundreds of ms between laps — a tight deadline there turns scheduler
+  // starvation into spurious partitions, which the transient-chaos checks
+  // (no downgrade allowed) would misread as real escalations.
+  options.transport.heartbeat_timeout = std::chrono::milliseconds(1500);
 
   RunOutcome out;
   try {
-    ShmElasticTrainer elastic(init, p, OutputAlgo::Alg1, flavor, options);
-    FaultSpec kill;
-    kill.kind = FaultKind::KillProcess;
-    kill.iteration = kill_iter;
-    kill.device = kill_rank;
-    kill.op_index = 2;
-    kill.note = "soak kill";
-    elastic.set_fault_plan(FaultPlan::single(kill));
+    ElasticTrainer elastic(init, p, OutputAlgo::Alg1, flavor, options);
+    FaultSpec spec;
+    spec.kind = kind;
+    spec.iteration = fault_iter;
+    spec.device = fault_rank;
+    spec.op_index = 2;
+    spec.element = 0;  // net kinds: target peer (self-hits bump to the next rank)
+    if (kind == FaultKind::StallSocket) {
+      // Freeze well below the heartbeat timeout: a survivable half-open
+      // window, not a partition.
+      spec.delay = std::chrono::milliseconds(100);
+    }
+    spec.note = "soak fault";
+    elastic.set_fault_plan(FaultPlan::single(spec));
 
     const ElasticResult result = elastic.train(
         kIterations,
         [&](std::uint64_t it) { return microbatches(corpus, static_cast<int>(it), m); },
         opt);
 
-    if (result.kills != 1) {
-      out.detail = "expected exactly one kill, saw " + std::to_string(result.kills);
+    // On any expectation miss, append the generation event log: a soak
+    // failure without the coordinator's view of worker exits is undebuggable.
+    const auto with_events = [&](std::string detail) {
+      for (const std::string& e : result.events) detail += "\n      | " + e;
+      return detail;
+    };
+    if (kind == FaultKind::KillProcess && result.kills != 1) {
+      out.detail = with_events("expected exactly one kill, saw " + std::to_string(result.kills));
+      return out;
+    }
+    if (kind == FaultKind::PartitionPeer && (result.partitions < 1 || result.downgrades < 1)) {
+      out.detail = with_events("partition did not downgrade (partitions " +
+                               std::to_string(result.partitions) + ", downgrades " +
+                               std::to_string(result.downgrades) + ")");
+      return out;
+    }
+    if (!expect_downgrade &&
+        (result.kills != 0 || result.partitions != 0 || result.downgrades != 0)) {
+      out.detail = with_events("transient " + std::string(to_string(kind)) +
+                               " escalated: kills=" + std::to_string(result.kills) +
+                               " partitions=" + std::to_string(result.partitions) +
+                               " downgrades=" + std::to_string(result.downgrades));
       return out;
     }
     if (result.losses.size() != kIterations) {
@@ -307,11 +356,16 @@ RunOutcome run_one_elastic(PipelineFlavor flavor, int p, int kill_rank,
       return out;
     }
     out.ok = true;
-    out.detail = "kill rank " + std::to_string(kill_rank) + " @ iter " +
-                 std::to_string(kill_iter) + ", downgrades=" +
+    out.detail = std::string(to_string(kind)) + " rank " + std::to_string(fault_rank) +
+                 " @ iter " + std::to_string(fault_iter) + ", downgrades=" +
                  std::to_string(result.downgrades) + ", final width " +
                  std::to_string(result.final_width) + ", generations " +
                  std::to_string(result.generations);
+    // A recovery that needed more generations than the taxonomy predicts
+    // (2 for a downgrade kind, 1 for a transient) still converged bit-identically,
+    // but the extra same-width retries hide aborts worth reading about.
+    const std::uint64_t expected_generations = expect_downgrade ? 2 : 1;
+    if (result.generations > expected_generations) out.detail = with_events(out.detail);
   } catch (const std::exception& e) {
     out.detail = std::string("unrecovered: ") + e.what();
   }
@@ -325,8 +379,9 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 1001;
   bool numeric = false;
   std::string transport = "threads";
-  int kill_rank = -1;     // shm mode: rank to SIGKILL (-1: rotate per run)
-  long long at_iter = -1; // shm mode: iteration to die in (-1: rotate per run)
+  std::string chaos;     // tcp mode: drop|partition|dup|truncate|stall ("" = SIGKILL)
+  int kill_rank = -1;     // multi-process mode: rank to hit (-1: rotate per run)
+  long long at_iter = -1; // multi-process mode: iteration to hit (-1: rotate per run)
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--rounds") == 0 && i + 1 < argc) {
       rounds = std::atoi(argv[++i]);
@@ -336,8 +391,16 @@ int main(int argc, char** argv) {
       numeric = true;
     } else if (std::strcmp(argv[i], "--transport") == 0 && i + 1 < argc) {
       transport = argv[++i];
-      if (transport != "threads" && transport != "shm") {
+      if (transport != "threads" && transport != "shm" && transport != "tcp") {
         std::cerr << "fault_stress: unknown transport '" << transport << "'\n";
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--chaos") == 0 && i + 1 < argc) {
+      chaos = argv[++i];
+      if (chaos != "drop" && chaos != "partition" && chaos != "dup" &&
+          chaos != "truncate" && chaos != "stall") {
+        std::cerr << "fault_stress: unknown chaos mode '" << chaos
+                  << "' (drop|partition|dup|truncate|stall)\n";
         return 2;
       }
     } else if (std::strcmp(argv[i], "--kill-rank") == 0 && i + 1 < argc) {
@@ -346,22 +409,40 @@ int main(int argc, char** argv) {
       at_iter = std::atoll(argv[++i]);
     } else {
       std::cerr << "usage: fault_stress [--rounds N] [--seed S] [--numeric]\n"
-                   "                    [--transport threads|shm] [--kill-rank R] "
-                   "[--at-iter N]\n";
+                   "                    [--transport threads|shm|tcp]\n"
+                   "                    [--chaos drop|partition|dup|truncate|stall]\n"
+                   "                    [--kill-rank R] [--at-iter N]\n";
       return 2;
     }
   }
+  if (!chaos.empty() && transport != "tcp") {
+    std::cerr << "fault_stress: --chaos requires --transport tcp\n";
+    return 2;
+  }
 
-  if (transport == "shm") {
-    // Real process death + elastic downgrade over forked workers. Skips
-    // cleanly (exit 0) where shared mappings are unavailable.
+  if (transport == "shm" || transport == "tcp") {
+    // Real process death / network chaos + elastic recovery over forked
+    // workers. Skips cleanly (exit 0) where the platform lacks support.
     if (!transport::shm_transport_supported()) {
       std::cout << "fault_stress: shared-memory transport unsupported here; skipping\n";
       return 0;
     }
-    const char* shm_tmpdir = std::getenv("TMPDIR");
-    const std::string shm_ckpt =
-        std::string(shm_tmpdir != nullptr ? shm_tmpdir : "/tmp") + "/fault_stress_elastic.ckpt";
+    const bool tcp = transport == "tcp";
+    if (tcp && !transport::tcp_transport_supported()) {
+      std::cout << "fault_stress: loopback tcp sockets unsupported here; skipping\n";
+      return 0;
+    }
+    FaultKind kind = FaultKind::KillProcess;
+    if (chaos == "drop") kind = FaultKind::DropConnection;
+    else if (chaos == "partition") kind = FaultKind::PartitionPeer;
+    else if (chaos == "dup") kind = FaultKind::DuplicateFrame;
+    else if (chaos == "truncate") kind = FaultKind::TruncateFrame;
+    else if (chaos == "stall") kind = FaultKind::StallSocket;
+    const transport::TransportKind backend =
+        tcp ? transport::TransportKind::kTcp : transport::TransportKind::kShm;
+    const char* mp_tmpdir = std::getenv("TMPDIR");
+    const std::string mp_ckpt =
+        std::string(mp_tmpdir != nullptr ? mp_tmpdir : "/tmp") + "/fault_stress_elastic.ckpt";
     // One folded and one vocab-sharded flavor; widths with a halving step
     // available (Baseline 2 -> 1, 1f1b-vocab 4 -> 2).
     const std::vector<std::pair<PipelineFlavor, int>> cases{
@@ -374,15 +455,16 @@ int main(int argc, char** argv) {
             static_cast<std::uint64_t>(at_iter >= 0 ? at_iter : 1 + runs) % 4;
         const std::uint64_t run_seed = seed + static_cast<std::uint64_t>(runs);
         const auto t0 = std::chrono::steady_clock::now();
-        const RunOutcome out = run_one_elastic(flavor, p, rank, iter, run_seed, shm_ckpt);
+        const RunOutcome out =
+            run_one_elastic(flavor, p, kind, rank, iter, run_seed, backend, mp_ckpt);
         const double secs =
             std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
         ++runs;
         if (!out.ok) ++failures;
         std::cout << "fault_stress: round " << round << " seed " << run_seed << " "
-                  << to_string(flavor) << " p=" << p << " kill-process ["
-                  << (out.ok ? "ok" : "FAIL") << "] " << out.detail << " ("
-                  << static_cast<int>(secs * 1000) << " ms)\n";
+                  << to_string(flavor) << " p=" << p << " " << transport << "/"
+                  << to_string(kind) << " [" << (out.ok ? "ok" : "FAIL") << "] "
+                  << out.detail << " (" << static_cast<int>(secs * 1000) << " ms)\n";
       }
     }
     std::cout << "\nfault_stress: " << runs << " elastic run(s), " << failures

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace vocab {
+
+/// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven.
+/// Shared by the checkpoint file trailer and the tcp transport frame codec,
+/// so a checksum mismatch means the same thing everywhere: the bytes on the
+/// wire (or on disk) are not the bytes that were produced.
+///
+/// `crc32_update` is incremental: feed it the previous return value (start
+/// from 0) and it folds `size` more bytes in. The pre/post conditioning
+/// (xor with 0xFFFFFFFF) happens inside each call, so intermediate values
+/// are already final CRCs of the prefix seen so far.
+std::uint32_t crc32_update(std::uint32_t crc, const void* data, std::size_t size);
+
+/// One-shot convenience over a single buffer.
+inline std::uint32_t crc32(const void* data, std::size_t size) {
+  return crc32_update(0, data, size);
+}
+
+}  // namespace vocab

@@ -64,4 +64,14 @@ std::string choice_from_env(const char* name, const char* fallback,
   VOCAB_FAIL(name << " must be one of " << expected << ", got \"" << env << "\"");
 }
 
+void validate_timeout_lattice(std::int64_t heartbeat_ms, std::int64_t heartbeat_timeout_ms,
+                              std::int64_t comm_timeout_ms) {
+  VOCAB_CHECK(heartbeat_ms < heartbeat_timeout_ms && heartbeat_timeout_ms < comm_timeout_ms,
+              "timeout lattice violated: need VOCAB_HEARTBEAT_MS < "
+                  << "VOCAB_HEARTBEAT_TIMEOUT_MS < VOCAB_COMM_TIMEOUT_MS, got "
+                  << heartbeat_ms << " / " << heartbeat_timeout_ms << " / " << comm_timeout_ms
+                  << " ms (a comm timeout at or below the heartbeat timeout reports "
+                  << "'deadlock' for what is really a dead peer)");
+}
+
 }  // namespace vocab

@@ -41,4 +41,16 @@ namespace vocab {
 [[nodiscard]] std::string choice_from_env(const char* name, const char* fallback,
                                           std::initializer_list<const char*> allowed);
 
+/// Enforce the failure-detection timeout lattice
+///   VOCAB_HEARTBEAT_MS < VOCAB_HEARTBEAT_TIMEOUT_MS < VOCAB_COMM_TIMEOUT_MS
+/// given the three *resolved* values (env or default, in milliseconds).
+/// An inverted lattice misattributes failures — a comm timeout at or below
+/// the heartbeat timeout reports "deadlock" for what is really a dead peer,
+/// and a heartbeat period at or above its timeout declares every live peer
+/// dead — so a violation throws CheckError naming all three knobs and their
+/// current values. Called once per TransportConfig::from_env resolution
+/// (i.e. by every backend that detects failures: shm and tcp).
+void validate_timeout_lattice(std::int64_t heartbeat_ms, std::int64_t heartbeat_timeout_ms,
+                              std::int64_t comm_timeout_ms);
+
 }  // namespace vocab

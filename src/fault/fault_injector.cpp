@@ -26,6 +26,11 @@ const char* to_string(FaultKind kind) {
     case FaultKind::DropMessage: return "drop-msg";
     case FaultKind::DelayMessage: return "delay-msg";
     case FaultKind::SuppressHeartbeat: return "suppress-heartbeat";
+    case FaultKind::DropConnection: return "drop-connection";
+    case FaultKind::PartitionPeer: return "partition-peer";
+    case FaultKind::DuplicateFrame: return "duplicate-frame";
+    case FaultKind::TruncateFrame: return "truncate-frame";
+    case FaultKind::StallSocket: return "stall-socket";
   }
   return "?";
 }
@@ -35,11 +40,18 @@ bool is_data_fault(FaultKind kind) {
          kind == FaultKind::BitFlip;
 }
 
+bool is_net_fault(FaultKind kind) {
+  return kind == FaultKind::DropConnection || kind == FaultKind::PartitionPeer ||
+         kind == FaultKind::DuplicateFrame || kind == FaultKind::TruncateFrame ||
+         kind == FaultKind::StallSocket;
+}
+
 std::string FaultSpec::describe() const {
   std::ostringstream os;
   os << to_string(kind) << "@it" << iteration << ":d" << device << ":op" << op_index;
   if (delay.count() > 0) os << ":" << delay.count() << "ms";
   if (is_data_fault(kind)) os << ":e" << element;
+  if (is_net_fault(kind)) os << ":peer" << element;
   if (!note.empty()) os << " (" << note << ")";
   return os.str();
 }
@@ -64,9 +76,14 @@ FaultPlan FaultPlan::random(std::uint64_t seed, int count, int num_devices,
     spec.device = static_cast<int>(rng.uniform_int(static_cast<std::uint64_t>(std::max(num_devices, 1))));
     spec.op_index = static_cast<int>(rng.uniform_int(static_cast<std::uint64_t>(std::max(max_op_index, 1))));
     spec.delay = delay;
-    // Only draw an element for data faults, so plans over the process-level
-    // kinds consume the same rng stream they always did (seed stability).
-    if (is_data_fault(spec.kind)) spec.element = rng.uniform_int(std::uint64_t{1} << 20);
+    // Only draw an element for data/net faults, so plans over the
+    // process-level kinds consume the same rng stream they always did (seed
+    // stability; net kinds never appeared in pre-PR-10 plans, so drawing for
+    // them cannot shift an existing seed). For net faults the element picks
+    // the target peer (mod world at consume time).
+    if (is_data_fault(spec.kind) || is_net_fault(spec.kind)) {
+      spec.element = rng.uniform_int(std::uint64_t{1} << 20);
+    }
     spec.note = "seed " + std::to_string(seed);
     plan.faults.push_back(std::move(spec));
   }
@@ -196,7 +213,37 @@ void FaultInjector::on_op(int device, int op_id, const std::string& label,
           std::chrono::steady_clock::now() + hit->delay;
       return;
     }
+    case FaultKind::DropConnection:
+    case FaultKind::PartitionPeer:
+    case FaultKind::DuplicateFrame:
+    case FaultKind::TruncateFrame:
+    case FaultKind::StallSocket: {
+      std::lock_guard lock(mutex_);
+      if (device >= static_cast<int>(pending_net_.size())) {
+        pending_net_.resize(static_cast<std::size_t>(device) + 1);
+      }
+      NetFault fault;
+      fault.kind = hit->kind;
+      // `element` addresses the peer; avoid self-targeting by skipping past
+      // the arming device when the modulus lands on it (world size is not
+      // known here, so the supervisor re-mods; self-hits it simply ignores).
+      fault.peer = static_cast<int>(hit->element);
+      fault.delay = hit->delay;
+      fault.context = os.str();
+      pending_net_[static_cast<std::size_t>(device)].push_back(std::move(fault));
+      return;
+    }
   }
+}
+
+bool FaultInjector::take_net_fault(int device, NetFault* out) {
+  std::lock_guard lock(mutex_);
+  if (device < 0 || device >= static_cast<int>(pending_net_.size())) return false;
+  auto& queue = pending_net_[static_cast<std::size_t>(device)];
+  if (queue.empty()) return false;
+  *out = std::move(queue.front());
+  queue.erase(queue.begin());
+  return true;
 }
 
 bool FaultInjector::take_message_drop(int device) {

@@ -66,12 +66,24 @@ enum class FaultKind {
   DropMessage,        ///< arm: the device's next cross-device send is discarded
   DelayMessage,       ///< arm: the device's next cross-device send sleeps `delay` first
   SuppressHeartbeat,  ///< mute the device's heartbeat beacon for `delay` (peer sees loss)
+  // Network-chaos kinds (tcp backend, PR 10). on_op arms a one-shot event
+  // that the tcp supervisor consumes via take_net_fault; `element` selects
+  // the target peer rank (mod world) and `delay` parameterizes StallSocket:
+  DropConnection,     ///< close the link to the peer once — transient drop, reconnects
+  PartitionPeer,      ///< sticky blackhole to the peer — both directions, never heals
+  DuplicateFrame,     ///< transmit the next data-bearing frame to the peer twice
+  TruncateFrame,      ///< cut the next frame to the peer mid-header, then drop the link
+  StallSocket,        ///< freeze all I/O with the peer for `delay` (half-open window)
 };
 
 /// True for the silent data-corruption kinds (armed by on_op, applied by
 /// corrupt_pending) as opposed to the process-level kinds (acted out
 /// directly inside on_op).
 [[nodiscard]] bool is_data_fault(FaultKind kind);
+
+/// True for the network-chaos kinds (armed by on_op, consumed by the tcp
+/// supervisor via take_net_fault).
+[[nodiscard]] bool is_net_fault(FaultKind kind);
 
 [[nodiscard]] const char* to_string(FaultKind kind);
 
@@ -145,6 +157,19 @@ class FaultInjector {
   /// the delay to sleep before sending (zero when none is armed).
   [[nodiscard]] std::chrono::milliseconds take_message_delay(int device);
 
+  /// Armed network-chaos event, consumed by the tcp supervisor's duty loop.
+  struct NetFault {
+    FaultKind kind = FaultKind::DropConnection;
+    int peer = 0;                        ///< target peer rank
+    std::chrono::milliseconds delay{0};  ///< StallSocket freeze duration
+    std::string context;                 ///< for diagnostics / chaos logs
+  };
+
+  /// Supervisor hook: pop the oldest armed network fault for `device`
+  /// (armed by a DropConnection/PartitionPeer/DuplicateFrame/TruncateFrame/
+  /// StallSocket spec firing in on_op). Returns false when none is armed.
+  [[nodiscard]] bool take_net_fault(int device, NetFault* out);
+
   /// Transport beacon hook: true while `device`'s heartbeat is suppressed
   /// (a SuppressHeartbeat spec fired less than its `delay` ago). A muted
   /// beacon looks exactly like a dead process to the peers' watchdogs.
@@ -186,6 +211,10 @@ class FaultInjector {
   std::vector<int> op_counters_;  // per device, within the current iteration
   std::vector<PendingCorruption> pending_;  // per device
   std::vector<PendingComm> pending_comm_;   // per device
+  // Armed net-chaos events, per device, FIFO. Unlike pending_comm_ these
+  // survive begin_iteration: a partition armed late in iteration i must
+  // still strike when the supervisor next polls, even across the boundary.
+  std::vector<std::vector<NetFault>> pending_net_;
   // Suppression windows outlive iterations on purpose: heartbeat loss must
   // span at least one timeout to be observable.
   std::vector<std::chrono::steady_clock::time_point> suppress_until_;

@@ -25,6 +25,10 @@ std::string WatchdogSnapshot::serialize() const {
     os << "device " << b.device << " op " << b.op_id << " ops " << b.ops_started
        << " silent_ms " << b.silent_ms << " done " << (b.done ? 1 : 0) << "\n";
   }
+  for (const WatchdogPeerLink& p : peers) {
+    os << "peer " << p.rank << " state " << p.state << " reconnects " << p.reconnects
+       << " hb_age_ms " << p.heartbeat_age_ms << "\n";
+  }
   os << "comm\n" << comm;
   return os.str();
 }
@@ -49,6 +53,18 @@ WatchdogSnapshot WatchdogSnapshot::parse(const std::string& text) {
       rest << is.rdbuf();
       snap.comm = rest.str();
       return snap;
+    }
+    if (line.rfind("peer ", 0) == 0) {
+      WatchdogPeerLink p;
+      char state[32] = {0};
+      long long hb_age = 0;
+      const int got = std::sscanf(line.c_str(), "peer %d state %31s reconnects %d hb_age_ms %lld",
+                                  &p.rank, state, &p.reconnects, &hb_age);
+      VOCAB_CHECK(got == 4, "watchdog snapshot: malformed peer line '" << line << "'");
+      p.state = state;
+      p.heartbeat_age_ms = hb_age;
+      snap.peers.push_back(std::move(p));
+      continue;
     }
     WatchdogDeviceBeat b;
     long long ops = 0;
@@ -102,6 +118,10 @@ void Watchdog::mark_done(int device) {
   beats_[static_cast<std::size_t>(device)].done.store(true, std::memory_order_release);
 }
 
+void Watchdog::set_peer_probe(std::function<std::vector<WatchdogPeerLink>()> probe) {
+  peer_probe_ = std::move(probe);
+}
+
 std::string Watchdog::last_report() const {
   std::lock_guard lock(mutex_);
   return report_;
@@ -127,6 +147,12 @@ std::string Watchdog::build_report(std::int64_t now) const {
     }
     os << "\n";
   }
+  if (peer_probe_) {
+    for (const WatchdogPeerLink& p : peer_probe_()) {
+      os << "  peer " << p.rank << ": " << p.state << ", reconnects " << p.reconnects
+         << ", hb age " << p.heartbeat_age_ms << " ms\n";
+    }
+  }
   if (comm_snapshot_) os << comm_snapshot_();
   return os.str();
 }
@@ -144,6 +170,7 @@ WatchdogSnapshot Watchdog::build_snapshot(std::int64_t now) const {
     beat.done = b.done.load(std::memory_order_acquire);
     snap.devices.push_back(beat);
   }
+  if (peer_probe_) snap.peers = peer_probe_();
   if (comm_snapshot_) snap.comm = comm_snapshot_();
   return snap;
 }

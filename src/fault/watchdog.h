@@ -44,17 +44,30 @@ struct WatchdogDeviceBeat {
   bool done = false;
 };
 
+/// One transport peer link's connection state as captured in a snapshot —
+/// populated via Watchdog::set_peer_probe by connection-supervising backends
+/// (tcp); empty for threads/shm. Mirrors transport::PeerStatus.
+struct WatchdogPeerLink {
+  int rank = -1;
+  std::string state;  ///< connecting | connected | reconnecting | dead | done
+  int reconnects = 0;
+  std::int64_t heartbeat_age_ms = -1;
+};
+
 /// Machine-readable form of a stall diagnostic: the per-device beats plus the
 /// owner-provided comm state, with a line-oriented serialize/parse round-trip
 /// so a coordinator process can persist a worker's report (or ship it across
-/// a process boundary) and later re-ingest which op each lane was stuck on.
+/// a process boundary) and later re-ingest which op each lane was stuck on —
+/// and, over a connection-supervising transport, which peer link was down.
 struct WatchdogSnapshot {
   std::int64_t stall_deadline_ms = 0;
   std::vector<WatchdogDeviceBeat> devices;
+  std::vector<WatchdogPeerLink> peers;  ///< per-peer link state (tcp); may be empty
   std::string comm;  ///< comm snapshot text, carried verbatim
 
   [[nodiscard]] std::string serialize() const;
   /// Inverse of serialize(); throws CheckError on a malformed snapshot.
+  /// Accepts snapshots with or without peer lines (older captures).
   [[nodiscard]] static WatchdogSnapshot parse(const std::string& text);
 };
 
@@ -79,6 +92,11 @@ class Watchdog {
   /// Device `device` finished its sequence (or unwound with an exception that
   /// was reported); the watchdog stops monitoring it.
   void mark_done(int device);
+
+  /// Provide per-peer connection state for snapshots/reports (tcp backend:
+  /// transport->peer_status() adapted to WatchdogPeerLink). Call before
+  /// start(); the probe runs on the watchdog thread and at snapshot().
+  void set_peer_probe(std::function<std::vector<WatchdogPeerLink>()> probe);
 
   /// Non-empty once the watchdog has declared a stall.
   [[nodiscard]] std::string last_report() const;
@@ -107,6 +125,7 @@ class Watchdog {
   std::shared_ptr<AbortToken> token_;
   std::function<std::string(int, int)> describe_op_;
   std::function<std::string()> comm_snapshot_;
+  std::function<std::vector<WatchdogPeerLink>()> peer_probe_;
   std::vector<Beat> beats_;
 
   mutable std::mutex mutex_;  // guards stop_requested_ + report_ and the cv

@@ -1,6 +1,5 @@
 #include "runtime/checkpoint.h"
 
-#include <array>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -8,6 +7,7 @@
 
 #include <unistd.h>
 
+#include "common/crc32.h"
 #include "common/error.h"
 
 namespace vocab {
@@ -29,29 +29,6 @@ struct FileCloser {
   }
 };
 using File = std::unique_ptr<std::FILE, FileCloser>;
-
-// CRC32 (IEEE, reflected polynomial 0xEDB88320), table-driven.
-const std::array<std::uint32_t, 256>& crc32_table() {
-  static const std::array<std::uint32_t, 256> table = [] {
-    std::array<std::uint32_t, 256> t{};
-    for (std::uint32_t i = 0; i < 256; ++i) {
-      std::uint32_t c = i;
-      for (int k = 0; k < 8; ++k) c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-      t[i] = c;
-    }
-    return t;
-  }();
-  return table;
-}
-
-std::uint32_t crc32_update(std::uint32_t crc, const void* data, std::size_t size) {
-  const auto* bytes = static_cast<const unsigned char*>(data);
-  crc ^= 0xFFFFFFFFu;
-  for (std::size_t i = 0; i < size; ++i) {
-    crc = crc32_table()[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
-  }
-  return crc ^ 0xFFFFFFFFu;
-}
 
 /// FILE wrapper that maintains a running CRC32 of every payload byte written
 /// or read after the magic, so save can append — and load can verify — the

@@ -1,16 +1,16 @@
 #pragma once
 
-// Live elastic downgrade over real OS processes (the tentpole of the
-// transport/fault-tolerance PR).
+// Live elastic downgrade over real OS processes, over a pluggable
+// multi-process transport (shm rings or supervised tcp sockets).
 //
 // ResilientTrainer recovers from *exceptions* inside one process; this
-// coordinator recovers from *process death*. It fans one training run out as
-// one worker process per pipeline device, all attached to a pre-fork shared
-// arena (transport/shm_region.h):
+// coordinator recovers from *process death* and *network partitions*. It
+// fans one training run out as one worker process per pipeline device, all
+// attached to a pre-fork shared arena (transport/shm_region.h):
 //
 //   coordinator                         worker rank r
 //   -----------                         -------------
-//   save initial checkpoint             attach ShmTransport(arena, r)
+//   save initial checkpoint             attach Shm/TcpTransport(arena, r)
 //   create ShmArena(world=width)        load checkpoint, build PipelineTrainer
 //   fork x width ------------------->   per iteration:
 //   poll waitpid + arena progress         train_iteration_lane(r, ...)
@@ -18,24 +18,30 @@
 //                                       rank 0: save checkpoint, publish
 //                                         loss + completed into the arena
 //
-// When a worker dies abnormally (SIGKILL, crash, nonzero exit), the
-// coordinator marks the rank dead in the arena and posts the shared abort so
-// the survivors unblock within kAbortPollInterval — the same coordinated
-// abort the in-thread fault machinery uses; a worker's own beacon thread
-// detects the loss independently via heartbeat timeout, so detection does
-// not depend on the coordinator being scheduled. The coordinator then reaps
-// everyone, picks the next admissible width (ResilientTrainer::
-// next_smaller_width — halving, possible because vocabulary parallelism
-// keeps the vocabulary logically contiguous across shards), reloads from the
-// last good checkpoint and spawns the next generation at the reduced width:
-// live elastic downgrade. An abort without a killed process (e.g. an
-// injected throw) retries at the same width.
+// With `backend = kShm` the arena carries the data plane too (one ring per
+// mailbox). With `backend = kTcp` the data plane is a supervised full mesh
+// of loopback TCP connections and the arena shrinks to the control plane:
+// abort block, rank liveness/done flags, progress block, and the tcp port
+// advertisement — exactly the subset a future cross-machine deployment would
+// move onto a rendezvous service.
+//
+// Failure taxonomy, per generation:
+//   - worker killed by signal (waitpid says so): mark dead, post abort,
+//     downgrade width. The workers' own failure detectors (shm heartbeat
+//     beacon / tcp connection supervisor) back the coordinator up.
+//   - worker exits kWorkerExitPeerDead (5): its transport *itself* declared
+//     a peer dead — over tcp that is a partition (heartbeat silence) or an
+//     exhausted reconnect budget. The process mesh is unreliable even though
+//     every process may still be alive, so the coordinator downgrades
+//     exactly as it does for a real death.
+//   - worker exits 3/4 (abort protocol / clean exception): voluntary unwind;
+//     retry at the same width.
 //
 // Every iteration is checkpointed (CRC32 + atomic rename) BEFORE rank 0
 // publishes it as completed, so a generation that dies mid-iteration resumes
 // exactly at the last published iteration and the loss sequence is
-// bit-identical to a clean run over the same generation widths (the
-// fault_stress soak asserts this).
+// bit-identical to a clean run over the same generation widths — over either
+// backend (the fault_stress soak and the transport suite assert this).
 //
 // Survivability: the coordinator itself holds no training state — a
 // coordinator death loses only the monitor; the checkpoint file plus the
@@ -64,6 +70,9 @@ namespace vocab {
 struct ElasticOptions {
   /// Where the (single) rolling checkpoint lives. Required.
   std::string checkpoint_path;
+  /// Data-plane transport the workers attach to: kShm (arena rings) or kTcp
+  /// (supervised socket mesh). kThreads is not spawnable across fork().
+  transport::TransportKind backend = transport::TransportKind::kShm;
   /// Heartbeat / retry knobs handed to every worker's attached transport.
   transport::TransportConfig transport = {};
   /// Run the per-lane stall watchdog inside every worker iteration.
@@ -76,7 +85,8 @@ struct ElasticOptions {
   /// loop throws CheckError when exceeded instead of respawning forever.
   int max_generations = 16;
   /// Shared-arena sizing (per-mailbox ring data bytes / max serialized
-  /// tensor); the defaults fit the test-scale models comfortably.
+  /// tensor); the defaults fit the test-scale models comfortably. The tcp
+  /// backend allocates no rings (its data plane is the socket mesh).
   std::size_t ring_bytes = std::size_t{8} << 20;
   std::size_t slot_bytes = std::size_t{4} << 20;
 };
@@ -92,6 +102,7 @@ struct ElasticGeneration {
 struct ElasticResult {
   std::vector<float> losses;  ///< per iteration, bitwise as rank 0 published them
   int kills = 0;              ///< workers that died by signal
+  int partitions = 0;         ///< workers whose transport declared a peer dead
   int aborts = 0;             ///< workers that exited via the abort protocol
   int downgrades = 0;         ///< width reductions
   int generations = 0;        ///< process groups spawned
@@ -103,28 +114,31 @@ struct ElasticResult {
 /// Coordinator for multi-process training with fault tolerance. Construct
 /// once (writes the initial checkpoint), then train(). Thread-free by
 /// design: fork() from a multi-threaded coordinator would be a minefield.
-class ShmElasticTrainer {
+class ElasticTrainer {
  public:
   /// Produce iteration `it`'s microbatches. Must be deterministic in `it`
   /// (the batch is re-derived inside every worker process and on retries).
   using BatchFn = std::function<std::vector<Sample>(std::uint64_t)>;
 
-  ShmElasticTrainer(GptWeights weights, int p, OutputAlgo algo, PipelineFlavor flavor,
-                    ElasticOptions options);
+  ElasticTrainer(GptWeights weights, int p, OutputAlgo algo, PipelineFlavor flavor,
+                 ElasticOptions options);
 
-  ShmElasticTrainer(const ShmElasticTrainer&) = delete;
-  ShmElasticTrainer& operator=(const ShmElasticTrainer&) = delete;
+  ElasticTrainer(const ElasticTrainer&) = delete;
+  ElasticTrainer& operator=(const ElasticTrainer&) = delete;
 
   /// Deterministic fault plan every worker's injector is built from. Specs
   /// whose iteration has already been attempted are dropped between
   /// generations (the one-shot `fired` state dies with the process that
-  /// fired it, so the coordinator must keep retries clean).
+  /// fired it, so the coordinator must keep retries clean). Over tcp, the
+  /// network-chaos specs (DropConnection/PartitionPeer/...) are applied by
+  /// each worker's connection supervisor.
   void set_fault_plan(FaultPlan plan);
 
   /// Run `iterations` training iterations across worker processes, surviving
-  /// worker death by elastic downgrade. Throws CheckError when the platform
-  /// has no shared-memory support, when max_generations is exhausted, or
-  /// when a generation fails with no admissible recovery.
+  /// worker death and network partition by elastic downgrade. Throws
+  /// CheckError when the platform lacks shared-memory (or, for kTcp,
+  /// loopback-socket) support, when max_generations is exhausted, or when a
+  /// generation fails with no admissible recovery.
   ElasticResult train(std::uint64_t iterations, const BatchFn& batch,
                       const OptimizerConfig& opt);
 

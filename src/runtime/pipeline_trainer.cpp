@@ -91,7 +91,7 @@ struct PipelineTrainer::Device {
 PipelineTrainer::PipelineTrainer(GptWeights weights, int p, OutputAlgo algo,
                                  PipelineFlavor flavor, transport::Transport* transport)
     : config_(weights.config), p_(p), algo_(algo), flavor_(flavor_from_env(flavor)),
-      abort_(std::make_shared<AbortToken>()) {
+      transport_(transport), abort_(std::make_shared<AbortToken>()) {
   VOCAB_CHECK(p >= 1, "need at least one device");
   const int stages = num_stages();
   VOCAB_CHECK(config_.num_layers % stages == 0,
@@ -278,6 +278,22 @@ ScheduleExecutor& PipelineTrainer::executor_for(int m, bool with_clip) {
     if (fence_ != nullptr && fence_->active()) s += "  guard: " + fence_->describe();
     if (extra_snapshot_) s += extra_snapshot_();
     return s;
+  });
+  // Connection-supervising backends (tcp) expose per-peer link state; the
+  // watchdog snapshots it so a stall report names the link that was down.
+  ex->set_peer_probe([this] {
+    transport::Transport& t =
+        transport_ != nullptr ? *transport_ : transport::default_transport();
+    std::vector<WatchdogPeerLink> links;
+    for (const transport::PeerStatus& status : t.peer_status()) {
+      WatchdogPeerLink link;
+      link.rank = status.rank;
+      link.state = status.state;
+      link.reconnects = status.reconnects;
+      link.heartbeat_age_ms = status.heartbeat_age_ms;
+      links.push_back(std::move(link));
+    }
+    return links;
   });
   ScheduleExecutor& ref = *ex;
   executors_.emplace(key, std::move(ex));

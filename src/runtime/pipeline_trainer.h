@@ -275,6 +275,7 @@ class PipelineTrainer {
   int p_;
   OutputAlgo algo_;
   PipelineFlavor flavor_;
+  transport::Transport* transport_ = nullptr;  ///< null: default_transport() per use
   std::shared_ptr<AbortToken> abort_;
   std::shared_ptr<FaultInjector> injector_;
   WatchdogConfig watchdog_config_;

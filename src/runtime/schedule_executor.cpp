@@ -164,6 +164,10 @@ void ScheduleExecutor::set_comm_snapshot(std::function<std::string()> snapshot) 
   comm_snapshot_ = std::move(snapshot);
 }
 
+void ScheduleExecutor::set_peer_probe(std::function<std::vector<WatchdogPeerLink>()> probe) {
+  peer_probe_ = std::move(probe);
+}
+
 void ScheduleExecutor::set_program(program::CompiledProgram prog) {
   program::verify_program_or_throw(prog, &schedule_);
   const std::vector<std::vector<int>> sequences = program::device_sequences(prog);
@@ -281,6 +285,7 @@ void ScheduleExecutor::run_lane(OpRunner& runner, int device) {
                  to_string(op.kind) + ") on device " + std::to_string(d);
         },
         comm_snapshot_);
+    if (peer_probe_) watchdog->set_peer_probe(peer_probe_);
     // The other lanes live in other processes and never heartbeat here; the
     // local watchdog only monitors this lane (peer death is the transport's
     // heartbeat monitor's job).
@@ -350,6 +355,7 @@ void ScheduleExecutor::run(OpRunner& runner) {
                  to_string(op.kind) + ") on device " + std::to_string(device);
         },
         comm_snapshot_);
+    if (peer_probe_) watchdog->set_peer_probe(peer_probe_);
     watchdog->start();
   }
 

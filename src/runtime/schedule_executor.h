@@ -169,6 +169,10 @@ class ScheduleExecutor {
   /// tags, collective waiters) — supplied by the owner of those objects.
   void set_comm_snapshot(std::function<std::string()> snapshot);
 
+  /// Per-peer connection-state probe for watchdog snapshots (tcp backend's
+  /// link view); empty probe = no peer lines in snapshots.
+  void set_peer_probe(std::function<std::vector<WatchdogPeerLink>()> probe);
+
   /// Report of the most recent run()'s watchdog firing (empty if none).
   [[nodiscard]] const std::string& last_watchdog_report() const { return watchdog_report_; }
 
@@ -213,6 +217,7 @@ class ScheduleExecutor {
   std::shared_ptr<FaultInjector> injector_;
   std::shared_ptr<guard::NanFence> fence_;
   std::function<std::string()> comm_snapshot_;
+  std::function<std::vector<WatchdogPeerLink>()> peer_probe_;
   WatchdogConfig watchdog_config_;
   bool watchdog_enabled_ = false;
   std::string watchdog_report_;

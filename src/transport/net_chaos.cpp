@@ -1,0 +1,69 @@
+#include "transport/net_chaos.h"
+
+#include <sstream>
+#include <utility>
+
+namespace vocab::transport {
+
+std::string describe(const ChaosEvent& event) {
+  std::ostringstream os;
+  os << to_string(event.kind) << " -> peer " << event.peer;
+  if (event.delay.count() > 0) os << " (" << event.delay.count() << "ms)";
+  return os.str();
+}
+
+NetChaos::NetChaos(std::shared_ptr<FaultInjector> injector, int self_rank, int world)
+    : injector_(std::move(injector)), self_(self_rank), world_(world) {}
+
+std::optional<ChaosEvent> NetChaos::poll() {
+  if (injector_ == nullptr || world_ <= 1) {
+    // Still drain the queue in the degenerate world so armed events don't
+    // pile up forever.
+    if (injector_ != nullptr) {
+      FaultInjector::NetFault fault;
+      while (injector_->take_net_fault(self_, &fault)) {
+      }
+    }
+    return std::nullopt;
+  }
+  FaultInjector::NetFault fault;
+  while (injector_->take_net_fault(self_, &fault)) {
+    int peer = fault.peer % world_;
+    if (peer < 0) peer += world_;
+    if (peer == self_) peer = (peer + 1) % world_;
+    if (peer == self_) continue;  // world of 1 after all — nothing to hit
+    ChaosEvent event;
+    event.kind = fault.kind;
+    event.peer = peer;
+    event.delay = fault.delay;
+    event.note = fault.context;
+    {
+      std::lock_guard lock(mutex_);
+      applied_.push_back(event);
+    }
+    return event;
+  }
+  return std::nullopt;
+}
+
+std::vector<ChaosEvent> NetChaos::applied() const {
+  std::lock_guard lock(mutex_);
+  return applied_;
+}
+
+std::string NetChaos::describe() const {
+  std::lock_guard lock(mutex_);
+  std::ostringstream os;
+  os << applied_.size() << " chaos event(s)";
+  if (!applied_.empty()) {
+    os << ": [";
+    for (std::size_t i = 0; i < applied_.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << transport::describe(applied_[i]);
+    }
+    os << "]";
+  }
+  return os.str();
+}
+
+}  // namespace vocab::transport

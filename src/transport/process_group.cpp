@@ -10,6 +10,7 @@
 
 #include "common/error.h"
 #include "fault/abort_token.h"
+#include "transport/transport.h"
 
 namespace vocab::transport {
 
@@ -34,6 +35,11 @@ ProcessGroup ProcessGroup::spawn(int world, const std::function<void(int)>& fn) 
         fn(rank);
       } catch (const AbortedError&) {
         code = kWorkerExitAborted;
+      } catch (const PeerDeadError&) {
+        // Before the DeadlockError handler: PeerDeadError derives from it,
+        // and the distinct exit code is what lets the elastic coordinator
+        // downgrade on a partition instead of retrying at full width.
+        code = kWorkerExitPeerDead;
       } catch (const DeadlockError&) {
         code = kWorkerExitAborted;
       } catch (const std::exception& e) {

@@ -14,6 +14,9 @@
 //   3 — coordinated abort observed (AbortedError / DeadlockError): the rank
 //       shut down in sympathy with a failure elsewhere
 //   4 — unexpected exception
+//   5 — the transport declared a peer dead (PeerDeadError: heartbeat silence
+//       or reconnect budget exhausted over tcp) — the coordinator treats this
+//       like a kill and downgrades, because the named peer is unreachable
 
 #include <sys/types.h>
 
@@ -27,6 +30,7 @@ namespace vocab::transport {
 inline constexpr int kWorkerExitOk = 0;
 inline constexpr int kWorkerExitAborted = 3;
 inline constexpr int kWorkerExitError = 4;
+inline constexpr int kWorkerExitPeerDead = 5;
 
 /// One reaped child. `signaled` means the process was killed by `sig`
 /// (e.g. SIGKILL) rather than exiting.

@@ -78,6 +78,11 @@ struct alignas(kShmAlign) ShmRankState {
   std::atomic<std::int64_t> heartbeat_ns{0};
   std::atomic<std::uint32_t> done{0};
   std::atomic<std::uint32_t> dead{0};
+  /// TCP listener port advertisement for the tcp backend's mesh rendezvous:
+  /// a forked rank binds 127.0.0.1:0 (or VOCAB_TCP_PORT_BASE + rank) and
+  /// publishes the bound port here; peers poll until nonzero, then connect.
+  /// 0 = not listening (shm-only runs never touch it).
+  std::atomic<std::uint32_t> tcp_port{0};
 };
 
 /// Coordinator-visible training progress: rank 0 writes losses[i] and then

@@ -5,6 +5,7 @@
 #include "common/env.h"
 #include "common/error.h"
 #include "transport/shm_transport.h"
+#include "transport/tcp_transport.h"
 #include "transport/thread_transport.h"
 
 namespace vocab {
@@ -23,13 +24,17 @@ const char* to_string(TransportKind kind) {
   switch (kind) {
     case TransportKind::kThreads: return "threads";
     case TransportKind::kShm: return "shm";
+    case TransportKind::kTcp: return "tcp";
   }
   return "?";
 }
 
 TransportKind transport_kind_from_env() {
-  const std::string v = choice_from_env("VOCAB_TRANSPORT", "threads", {"threads", "shm"});
-  return v == "shm" ? TransportKind::kShm : TransportKind::kThreads;
+  const std::string v =
+      choice_from_env("VOCAB_TRANSPORT", "threads", {"threads", "shm", "tcp"});
+  if (v == "shm") return TransportKind::kShm;
+  if (v == "tcp") return TransportKind::kTcp;
+  return TransportKind::kThreads;
 }
 
 TransportConfig TransportConfig::from_env() {
@@ -41,10 +46,12 @@ TransportConfig TransportConfig::from_env() {
   config.retry_max = static_cast<int>(positive_int_from_env("VOCAB_RETRY_MAX", 8, 1000000));
   config.retry_backoff =
       std::chrono::milliseconds(positive_int_from_env("VOCAB_RETRY_BACKOFF_MS", 2));
-  VOCAB_CHECK(config.heartbeat_timeout > config.heartbeat_period,
-              "VOCAB_HEARTBEAT_TIMEOUT_MS (" << config.heartbeat_timeout.count()
-                                             << ") must exceed VOCAB_HEARTBEAT_MS ("
-                                             << config.heartbeat_period.count() << ")");
+  // The full lattice (heartbeat < heartbeat timeout < comm timeout) is
+  // checked here, once, for every supervising backend: a comm timeout at or
+  // below the heartbeat timeout would report "deadlock" for what is actually
+  // a dead peer the detector never got the time to name.
+  validate_timeout_lattice(config.heartbeat_period.count(), config.heartbeat_timeout.count(),
+                           default_comm_timeout().count());
   return config;
 }
 
@@ -69,9 +76,13 @@ std::chrono::microseconds backoff_delay(const TransportConfig& config, int attem
 Transport& default_transport() {
   static ThreadTransport threads;
   static ShmTransport shm = ShmTransport::in_process();
-  return transport_kind_from_env() == TransportKind::kShm
-             ? static_cast<Transport&>(shm)
-             : static_cast<Transport&>(threads);
+  static TcpTransport tcp = TcpTransport::in_process();
+  switch (transport_kind_from_env()) {
+    case TransportKind::kShm: return shm;
+    case TransportKind::kTcp: return tcp;
+    case TransportKind::kThreads: break;
+  }
+  return threads;
 }
 
 }  // namespace transport

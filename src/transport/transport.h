@@ -19,10 +19,16 @@
 //             fork(): one OS process per pipeline device, heartbeat beacons,
 //             and peer death converted into the coordinated AbortToken
 //             protocol. transport/shm_transport.h.
+//   tcp     — length-prefixed CRC32-checked frames over loopback/LAN TCP
+//             sockets with a per-peer connection supervisor (reconnect with
+//             bounded backoff, in-band heartbeats, half-open detection) and a
+//             deterministic network-chaos layer. transport/tcp_transport.h.
 //
-// Selection: VOCAB_TRANSPORT={threads,shm} (strict-parsed; see common/env).
+// Selection: VOCAB_TRANSPORT={threads,shm,tcp} (strict-parsed; common/env).
 // Tuning: VOCAB_HEARTBEAT_MS, VOCAB_HEARTBEAT_TIMEOUT_MS, VOCAB_RETRY_MAX,
-// VOCAB_RETRY_BACKOFF_MS (TransportConfig::from_env).
+// VOCAB_RETRY_BACKOFF_MS (TransportConfig::from_env); the lattice
+// VOCAB_HEARTBEAT_MS < VOCAB_HEARTBEAT_TIMEOUT_MS < VOCAB_COMM_TIMEOUT_MS is
+// validated once at config resolution (common/env validate_timeout_lattice).
 
 #include <chrono>
 #include <cstdint>
@@ -56,13 +62,30 @@ namespace transport {
 enum class TransportKind {
   kThreads,  ///< in-process thread rendezvous (default)
   kShm,      ///< shared-memory rings; survives fork() into one process/device
+  kTcp,      ///< framed TCP sockets; survives fork() and (in principle) hosts
 };
 
 [[nodiscard]] const char* to_string(TransportKind kind);
 
-/// Resolve VOCAB_TRANSPORT — "threads" or "shm"; unset means threads, any
-/// other value throws CheckError (strict env parsing).
+/// Resolve VOCAB_TRANSPORT — "threads", "shm" or "tcp"; unset means threads,
+/// any other value throws CheckError (strict env parsing).
 [[nodiscard]] TransportKind transport_kind_from_env();
+
+/// Thrown by a blocking transport wait when the *transport itself* declared
+/// the peer dead (heartbeat silence past the timeout, or reconnect budget
+/// exhausted) — as opposed to a DeadlockError, where the transport is healthy
+/// but no message arrived. Derives from DeadlockError so every existing
+/// catch still treats it as a fatal wait failure; ProcessGroup workers exit
+/// with kWorkerExitPeerDead so the elastic coordinator can tell "my peer is
+/// gone, downgrade" from "we deadlocked, retry".
+class PeerDeadError : public DeadlockError {
+ public:
+  PeerDeadError(int peer, const std::string& what) : DeadlockError(what), peer_(peer) {}
+  [[nodiscard]] int peer() const { return peer_; }
+
+ private:
+  int peer_;
+};
 
 /// Failure-detection and retry knobs, one per env var.
 struct TransportConfig {
@@ -80,6 +103,15 @@ struct TransportConfig {
   std::chrono::milliseconds retry_backoff{2};
 
   [[nodiscard]] static TransportConfig from_env();
+};
+
+/// One peer link's connection state as seen by a connection-supervising
+/// backend (tcp). Surfaces in describe() strings and watchdog snapshots.
+struct PeerStatus {
+  int rank = -1;
+  std::string state;           ///< connecting | connected | reconnecting | dead | done
+  int reconnects = 0;          ///< successful re-establishments so far
+  long long heartbeat_age_ms = -1;  ///< ms since the peer's last in-band heartbeat
 };
 
 /// Backoff schedule for retry `attempt` (0-based): retry_backoff doubled per
@@ -141,6 +173,10 @@ class Transport {
     (void)rank;
     return -1;
   }
+
+  /// Per-peer connection view (tcp backend; empty elsewhere). `state` is one
+  /// of "connecting", "connected", "reconnecting", "dead", "done".
+  [[nodiscard]] virtual std::vector<PeerStatus> peer_status() const { return {}; }
 };
 
 /// The process-wide transport selected by VOCAB_TRANSPORT, resolved on every

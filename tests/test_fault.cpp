@@ -599,6 +599,11 @@ std::string fault_case_name(const testing::TestParamInfo<FaultCase>& info) {
     case FaultKind::DropMessage: kind = "DropMsg"; break;
     case FaultKind::DelayMessage: kind = "DelayMsg"; break;
     case FaultKind::SuppressHeartbeat: kind = "SuppressHeartbeat"; break;
+    case FaultKind::DropConnection: kind = "DropConn"; break;
+    case FaultKind::PartitionPeer: kind = "Partition"; break;
+    case FaultKind::DuplicateFrame: kind = "DupFrame"; break;
+    case FaultKind::TruncateFrame: kind = "TruncFrame"; break;
+    case FaultKind::StallSocket: kind = "StallSock"; break;
   }
   return flavor + "_p" + std::to_string(c.p) + "_" + kind;
 }
